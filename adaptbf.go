@@ -1,0 +1,150 @@
+package adaptbf
+
+import (
+	"net"
+	"time"
+
+	"adaptbf/internal/cluster"
+	"adaptbf/internal/controller"
+	"adaptbf/internal/core"
+	"adaptbf/internal/device"
+	"adaptbf/internal/experiments"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/transport"
+	"adaptbf/internal/workload"
+)
+
+// A Policy selects the bandwidth-control mechanism: no control (FCFS),
+// static priority-proportional TBF rules, or the adaptive AdapTBF
+// controller.
+type Policy = sim.Policy
+
+// The paper's three evaluation mechanisms, plus the related-work SFQ(D)
+// fair-queueing baseline (§II/§V).
+const (
+	PolicyNoBW    = sim.NoBW
+	PolicyStatic  = sim.StaticBW
+	PolicyAdapTBF = sim.AdapTBF
+	PolicySFQ     = sim.SFQ
+	PolicyGIFT    = sim.GIFT
+)
+
+// A Job is a named, prioritized set of I/O processes (see
+// internal/workload for the pattern vocabulary).
+type Job = workload.Job
+
+// A Pattern describes one process's I/O behaviour.
+type Pattern = workload.Pattern
+
+// A Scenario describes one simulation run (see sim.Config for every
+// knob).
+type Scenario = sim.Config
+
+// A Result carries a finished run's timelines, records, and overheads.
+type Result = sim.Result
+
+// A Timeline is a binned per-job throughput series.
+type Timeline = metrics.Timeline
+
+// DeviceParams models a storage target.
+type DeviceParams = device.Params
+
+// AllocatorOption tweaks the token allocation algorithm (ablations,
+// record TTL, demand estimators).
+type AllocatorOption = core.Option
+
+// Allocation algorithm options, re-exported for scenario construction and
+// ablation studies.
+var (
+	WithoutRedistribution = core.WithoutRedistribution
+	WithoutRecompensation = core.WithoutRecompensation
+	WithoutRemainders     = core.WithoutRemainders
+	WithRecordTTL         = core.WithRecordTTL
+)
+
+// ContinuousJob builds a job of identical continuous sequential writers
+// (the paper's I/O-intensive personality): procs processes, fileBytes per
+// process, nodes compute nodes.
+func ContinuousJob(id string, nodes, procs int, fileBytes int64) Job {
+	return workload.Continuous(id, nodes, procs, fileBytes)
+}
+
+// BurstyJob builds a job of periodic-burst writers: bursts of burstRPCs
+// requests separated by interval idle gaps.
+func BurstyJob(id string, nodes, procs int, fileBytes int64, burstRPCs int, interval time.Duration) Job {
+	return workload.Bursty(id, nodes, procs, fileBytes, burstRPCs, interval)
+}
+
+// DelayedPattern postpones a pattern's start, for the paper's
+// delayed-stream workloads (§IV-F).
+func DelayedPattern(p Pattern, delay time.Duration) Pattern {
+	return workload.Delayed(p, delay)
+}
+
+// DefaultDevice returns the SSD-class storage target model used by the
+// paper reproduction.
+func DefaultDevice() DeviceParams { return device.Default() }
+
+// Run executes a scenario under the deterministic discrete-event
+// simulator and returns its result.
+func Run(s Scenario) (*Result, error) { return sim.Run(s) }
+
+// ExperimentParams scales a paper experiment (Scale 1 = the paper's
+// volumes).
+type ExperimentParams = experiments.Params
+
+// ExperimentReport is a regenerated figure: tables, timelines, series.
+type ExperimentReport = experiments.Report
+
+// PaperParams returns the paper-fidelity experiment parameters
+// (T_i = 500 tokens/s, Δt = 100 ms, 1 GiB files).
+func PaperParams() ExperimentParams { return experiments.DefaultParams() }
+
+// The paper's experiments, one runner per figure pair. See DESIGN.md §4
+// for the experiment index.
+var (
+	RunAllocationExperiment     = experiments.RunAllocation     // Figures 3-4 (§IV-D)
+	RunRedistributionExperiment = experiments.RunRedistribution // Figures 5-6 (§IV-E)
+	RunRecompensationExperiment = experiments.RunRecompensation // Figures 7-8 (§IV-F)
+	RunFrequencySweep           = experiments.RunFrequencySweep // Figure 9 (§IV-H)
+	RunOverheadAnalysis         = experiments.RunOverhead       // §IV-G
+	RunSFQComparison            = experiments.RunSFQComparison  // extension: vs SFQ(D)
+	RunGIFTComparison           = experiments.RunGIFTComparison // extension: vs GIFT
+)
+
+// Live-cluster mode: real goroutine storage servers and job runners over
+// the gob RPC transport, one decentralized AdapTBF controller per target.
+type (
+	// OSS is a live object storage server.
+	OSS = cluster.OSS
+	// OSSConfig parameterizes a live server.
+	OSSConfig = cluster.OSSConfig
+	// JobRunner executes a Job against live servers.
+	JobRunner = cluster.JobRunner
+	// JobStats summarizes a live job run.
+	JobStats = cluster.JobStats
+	// NodeMapper supplies per-job compute-node counts to a controller.
+	NodeMapper = controller.NodeMapper
+	// NodeMapperFunc adapts a function to NodeMapper.
+	NodeMapperFunc = controller.NodeMapperFunc
+)
+
+// NewOSS starts a live storage server.
+func NewOSS(cfg OSSConfig) *OSS { return cluster.NewOSS(cfg) }
+
+// An RPCClient issues requests to a live storage server.
+type RPCClient = transport.Client
+
+// DialOSS connects to a storage server listening on the given address.
+func DialOSS(network, addr string) (*RPCClient, error) {
+	return transport.Dial(network, addr)
+}
+
+// ServeOSS accepts client connections on l and serves them against the
+// storage server until the listener closes.
+func ServeOSS(l net.Listener, oss *OSS) error { return transport.Serve(l, oss) }
+
+// PipeOSS returns an in-process client connected to the storage server,
+// for single-process demos and tests.
+func PipeOSS(oss *OSS) *RPCClient { return transport.Pipe(oss) }

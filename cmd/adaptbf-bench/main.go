@@ -1,0 +1,89 @@
+// Command adaptbf-bench regenerates every table and figure of the paper's
+// evaluation section (§IV): the token allocation experiment (Figures 3-4),
+// token redistribution (Figures 5-6), token re-compensation (Figures 7-8),
+// the allocation frequency sweep (Figure 9), and the framework overhead
+// analysis (§IV-G).
+//
+// Each experiment's tables and timeline sparklines print to stdout; with
+// -out, the raw data behind every figure is also written as CSV.
+//
+// Usage:
+//
+//	adaptbf-bench [-scale N] [-out dir] [-only fig3,fig5,fig7,fig9,overhead,ext-sfq,ext-gift]
+//
+// -scale 1 (the default) reproduces the paper's full 1 GiB-per-process
+// volumes; larger values shrink the runs proportionally for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"adaptbf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptbf-bench: ")
+	scale := flag.Int64("scale", 1, "divide the paper's file sizes by this factor")
+	outDir := flag.String("out", "", "write each figure's data as CSV under this directory")
+	only := flag.String("only", "", "comma-separated experiment subset: fig3, fig5, fig7, fig9, overhead, ext-sfq, ext-gift")
+	width := flag.Int("width", 72, "sparkline width")
+	flag.Parse()
+
+	params := adaptbf.PaperParams()
+	params.Scale = *scale
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	selected := func(key string) bool { return len(want) == 0 || want[key] }
+
+	type experiment struct {
+		key string
+		run func() (*adaptbf.ExperimentReport, error)
+	}
+	experimentList := []experiment{
+		{"fig3", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunAllocationExperiment(params) }},
+		{"fig5", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunRedistributionExperiment(params) }},
+		{"fig7", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunRecompensationExperiment(params) }},
+		{"fig9", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunFrequencySweep(params, nil) }},
+		{"overhead", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunOverheadAnalysis(nil) }},
+		{"ext-sfq", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunSFQComparison(params) }},
+		{"ext-gift", func() (*adaptbf.ExperimentReport, error) { return adaptbf.RunGIFTComparison(params) }},
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range experimentList {
+		if !selected(e.key) {
+			continue
+		}
+		t0 := time.Now()
+		rep, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.key, err)
+		}
+		rep.Render(os.Stdout, *width)
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.key, time.Since(t0).Seconds())
+		if *outDir != "" {
+			files, err := rep.WriteCSVs(*outDir)
+			if err != nil {
+				log.Fatalf("%s: writing CSVs: %v", e.key, err)
+			}
+			fmt.Printf("wrote %d CSV files for %s under %s\n\n", len(files), e.key, *outDir)
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matched -only=%q", *only)
+	}
+	fmt.Printf("regenerated %d experiment(s) in %.1fs at scale %d\n", ran, time.Since(start).Seconds(), *scale)
+}

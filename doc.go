@@ -1,0 +1,47 @@
+// Package adaptbf is a from-scratch Go reproduction of "AdapTBF:
+// Decentralized Bandwidth Control via Adaptive Token Borrowing for HPC
+// Storage" (Rashid & Dai, IPPS 2025).
+//
+// AdapTBF controls per-application I/O bandwidth on shared HPC storage
+// servers. Building on the Token Bucket Filter (TBF) request scheduler of
+// parallel file systems like Lustre, it adds an adaptive token
+// borrowing/lending mechanism that keeps allocations proportional to each
+// job's compute allocation while remaining work-conserving: idle tokens
+// are lent to demanding jobs, and lenders are re-compensated when their
+// own demand returns.
+//
+// This module implements the complete system described in the paper plus
+// every substrate it depends on:
+//
+//   - the token allocation algorithm with records and remainder fairness
+//     (internal/core) — the paper's contribution;
+//   - a Lustre-style TBF network request scheduler (internal/tbf);
+//   - a storage-target device model (internal/device) and job statistics
+//     tracker (internal/jobstats);
+//   - the rule management daemon (internal/rules) and periodic system
+//     stats controller (internal/controller);
+//   - a Filebench-equivalent workload generator (internal/workload);
+//   - a deterministic discrete-event simulator that reproduces every
+//     figure of the paper's evaluation (internal/des, internal/sim,
+//     internal/experiments, internal/metrics);
+//   - a live goroutine/RPC cluster mode (internal/transport,
+//     internal/cluster).
+//
+// This package is the public façade: it re-exports the types needed to
+// define scenarios, run simulations under the paper's three policies
+// (NoBW, StaticBW, AdapTBF), reproduce the paper's experiments, and stand
+// up live storage servers with per-target AdapTBF controllers.
+//
+// # Quick start
+//
+//	res, err := adaptbf.Run(adaptbf.Scenario{
+//	    Policy: adaptbf.PolicyAdapTBF,
+//	    Jobs: []adaptbf.Job{
+//	        adaptbf.ContinuousJob("small.n01", 1, 4, 256<<20),
+//	        adaptbf.ContinuousJob("large.n02", 3, 4, 256<<20),
+//	    },
+//	})
+//
+// See examples/quickstart for the complete program and DESIGN.md for the
+// system inventory and the per-experiment index.
+package adaptbf

@@ -1,0 +1,118 @@
+// Striping: decentralized control across live storage servers.
+//
+// This demo runs the real-time stack: two object storage servers listen
+// on TCP loopback, each with its own AdapTBF controller making decisions
+// purely from local observations (no communication between servers — the
+// paper's decentralization claim). Two jobs with a 1:3 compute-node
+// ratio stripe their files round-robin across both servers, like a
+// Lustre client striping over OSTs.
+//
+// Because each server sees roughly the same interleaved slice of the
+// global workload, the two independent local controllers converge on the
+// same proportional split, and the global outcome is priority-fair
+// without any global coordinator.
+//
+// Run with: go run ./examples/striping
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"adaptbf"
+)
+
+const rpcBytes = 64 << 10
+
+func main() {
+	nodes := adaptbf.NodeMapperFunc(func(jobID string) int {
+		if jobID == "large.n02" {
+			return 3
+		}
+		return 1
+	})
+
+	// Two storage servers, each with a local controller. Token rate is
+	// 2000 tokens/s per target (64 KiB tokens ≈ 125 MiB/s) so wall-clock
+	// token deadlines stay well above OS timer granularity.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		oss := adaptbf.NewOSS(adaptbf.OSSConfig{BucketDepth: 16})
+		defer oss.Close()
+		ctrl := oss.NewController(nodes, 2000, 50*time.Millisecond)
+		go ctrl.Run(ctx)
+
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer l.Close()
+		go adaptbf.ServeOSS(l, oss)
+		addrs = append(addrs, l.Addr().String())
+		fmt.Printf("OSS %d listening on %s with its own AdapTBF controller\n", i, l.Addr())
+	}
+
+	// Two jobs, each striping across both servers over TCP. Both run
+	// unbounded for a fixed window so the proportional split is visible
+	// in the whole-run averages.
+	const window = 3 * time.Second
+	jobs := []adaptbf.Job{
+		{
+			ID:    "small.n01",
+			Nodes: 1,
+			Procs: []adaptbf.Pattern{{RPCBytes: rpcBytes, MaxInflight: 16}},
+		},
+		{
+			ID:    "large.n02",
+			Nodes: 3,
+			Procs: []adaptbf.Pattern{{RPCBytes: rpcBytes, MaxInflight: 16}},
+		},
+	}
+	runCtx, runCancel := context.WithTimeout(ctx, window)
+	defer runCancel()
+
+	var wg sync.WaitGroup
+	results := make(map[string]adaptbf.JobStats)
+	var mu sync.Mutex
+	for _, job := range jobs {
+		job := job
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var targets []*adaptbf.RPCClient
+			for _, addr := range addrs {
+				c, err := adaptbf.DialOSS("tcp", addr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer c.Close()
+				targets = append(targets, c)
+			}
+			runner := &adaptbf.JobRunner{Job: job, Targets: targets}
+			stats, err := runner.Run(runCtx)
+			if err != nil && runCtx.Err() == nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			results[job.ID] = stats
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println()
+	for _, job := range jobs {
+		s := results[job.ID]
+		fmt.Printf("%-12s %5d RPCs, %6.1f MiB in %6.2fs (%6.1f MiB/s)\n",
+			job.ID, s.RPCs, float64(s.Bytes)/(1<<20), s.Elapsed.Seconds(),
+			float64(s.Bytes)/(1<<20)/s.Elapsed.Seconds())
+	}
+	fmt.Println("\nWhile both jobs run, each decentralized controller holds")
+	fmt.Println("large.n02 to ~3x small.n01 using only local observations.")
+}

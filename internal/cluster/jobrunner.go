@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptbf/internal/transport"
+	"adaptbf/internal/workload"
+)
+
+// streamIDs hands out globally unique stream identifiers so the device
+// model's stream-switch accounting works across jobs and runners.
+var streamIDs atomic.Int64
+
+// JobStats summarizes a completed (or cancelled) job run.
+type JobStats struct {
+	RPCs    int64
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// A JobRunner executes one workload.Job as live goroutines — one per
+// process — issuing RPCs against the given storage targets. Processes
+// stripe their requests round-robin across targets, like a Lustre client
+// striping a file over OSTs.
+type JobRunner struct {
+	Job     workload.Job
+	Targets []*transport.Client
+}
+
+// Run executes every process to completion (or until ctx is cancelled —
+// the way to stop unbounded patterns) and returns the job's aggregate
+// stats. The first RPC error aborts the run.
+func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
+	if err := r.Job.Validate(); err != nil {
+		return JobStats{}, err
+	}
+	if len(r.Targets) == 0 {
+		return JobStats{}, fmt.Errorf("cluster: job %s has no targets", r.Job.ID)
+	}
+	start := time.Now()
+	var stats JobStats
+	var wg sync.WaitGroup
+	errc := make(chan error, len(r.Job.Procs))
+	for _, pat := range r.Job.Procs {
+		pat := pat.Normalize()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rpcs, bytes, err := r.runProc(ctx, pat)
+			atomic.AddInt64(&stats.RPCs, rpcs)
+			atomic.AddInt64(&stats.Bytes, bytes)
+			if err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	select {
+	case err := <-errc:
+		return stats, err
+	default:
+		return stats, nil
+	}
+}
+
+// runProc executes one process: sequential RPCs to its own stream with a
+// bounded in-flight window, optionally grouped into bursts separated by
+// idle intervals.
+func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, bytes int64, err error) {
+	if pat.StartDelay > 0 {
+		select {
+		case <-time.After(pat.StartDelay):
+		case <-ctx.Done():
+			return 0, 0, ctx.Err()
+		}
+	}
+	stream := int(streamIDs.Add(1))
+	remaining := pat.RPCs() // 0 = unbounded
+	unbounded := remaining == 0
+	rr := 0
+
+	// issueWindow sends up to n RPCs (all of them if n < 0 and bounded)
+	// respecting the in-flight cap, waits for them all, and returns how
+	// many completed.
+	issueWindow := func(n int64) (int64, error) {
+		sem := make(chan struct{}, pat.MaxInflight)
+		var wg sync.WaitGroup
+		var sent int64
+		var firstErr error
+		var errMu sync.Mutex
+		for (unbounded || remaining > 0) && (n < 0 || sent < n) {
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return sent, ctx.Err()
+			case sem <- struct{}{}:
+			}
+			errMu.Lock()
+			failed := firstErr
+			errMu.Unlock()
+			if failed != nil {
+				<-sem
+				break
+			}
+			target := r.Targets[rr%len(r.Targets)]
+			rr++
+			ch, _, err := target.Do(transport.Request{
+				JobID:  r.Job.ID,
+				Op:     uint8(pat.Op),
+				Bytes:  pat.RPCBytes,
+				Stream: stream,
+			})
+			if err != nil {
+				<-sem
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				break
+			}
+			if !unbounded {
+				remaining--
+			}
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rep := <-ch
+				if rep.Err != "" {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: %s", rep.Err)
+					}
+					errMu.Unlock()
+					return
+				}
+				atomic.AddInt64(&bytes, rep.Bytes)
+				atomic.AddInt64(&rpcs, 1)
+			}()
+		}
+		wg.Wait()
+		errMu.Lock()
+		defer errMu.Unlock()
+		return sent, firstErr
+	}
+
+	if pat.BurstRPCs == 0 {
+		_, err := issueWindow(-1)
+		if unbounded && err == nil {
+			err = ctx.Err()
+		}
+		return rpcs, bytes, err
+	}
+	for unbounded || remaining > 0 {
+		if _, err := issueWindow(int64(pat.BurstRPCs)); err != nil {
+			return rpcs, bytes, err
+		}
+		if !unbounded && remaining == 0 {
+			break
+		}
+		select {
+		case <-time.After(pat.BurstInterval):
+		case <-ctx.Done():
+			return rpcs, bytes, ctx.Err()
+		}
+	}
+	return rpcs, bytes, nil
+}

@@ -1,0 +1,276 @@
+// Package cluster implements the real-time deployment mode: object storage
+// servers (OSS) and client job runners as actual goroutines exchanging
+// RPCs through package transport, with one independent AdapTBF controller
+// per storage target — the decentralized architecture of the paper's
+// Figure 2 running on the wall clock instead of the simulator.
+//
+// The discrete-event simulator (package sim) remains the tool for figure
+// reproduction; this package demonstrates and tests the same components —
+// tbf.Scheduler, jobstats.Tracker, core.Allocator, rules.Daemon,
+// controller.Controller — in a live concurrent system.
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"adaptbf/internal/controller"
+	"adaptbf/internal/core"
+	"adaptbf/internal/device"
+	"adaptbf/internal/jobstats"
+	"adaptbf/internal/rules"
+	"adaptbf/internal/tbf"
+	"adaptbf/internal/transport"
+)
+
+// OSSConfig parameterizes a storage server.
+type OSSConfig struct {
+	// Device models the backing store. Zero value means device.Default().
+	Device device.Params
+	// BucketDepth is the TBF bucket depth (default 3).
+	BucketDepth float64
+	// Speedup divides service times, accelerating demos: a Speedup of 10
+	// makes the modeled device appear 10× faster in wall time. Default 1.
+	Speedup float64
+}
+
+// An OSS is one object storage server hosting one storage target. It
+// serves transport requests through a TBF scheduler and a device model,
+// with a single dispatcher goroutine standing in for the I/O thread pool
+// (the device, not the thread count, bounds throughput — as on a real
+// OST).
+type OSS struct {
+	cfg     OSSConfig
+	dev     *device.Device
+	tracker jobstats.Tracker
+	epoch   time.Time
+
+	mu          sync.Mutex
+	sched       *tbf.Scheduler
+	outstanding map[int]int
+
+	kick chan struct{}
+	done chan struct{}
+
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// NewOSS starts a storage server (its dispatcher goroutine runs until
+// Close).
+func NewOSS(cfg OSSConfig) *OSS {
+	if cfg.Device.BytesPerSec == 0 {
+		cfg.Device = device.Default()
+	}
+	if cfg.BucketDepth <= 0 {
+		cfg.BucketDepth = tbf.DefaultBucketDepth
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+	o := &OSS{
+		cfg:         cfg,
+		dev:         device.New(cfg.Device),
+		epoch:       time.Now(),
+		sched:       tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth}),
+		outstanding: make(map[int]int),
+		kick:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	o.wg.Add(1)
+	go o.dispatch()
+	return o
+}
+
+// Now reports the server's scheduler time: nanoseconds since the OSS
+// started, scaled by Speedup so token rates apply to the accelerated
+// clock.
+func (o *OSS) Now() int64 {
+	return int64(float64(time.Since(o.epoch)) * o.cfg.Speedup)
+}
+
+// Tracker exposes the job stats tracker (the controller's stats source).
+func (o *OSS) Tracker() *jobstats.Tracker { return &o.tracker }
+
+// Handle implements transport.Handler: classify, account, enqueue, and
+// wake the dispatcher. The reply is issued when the device finishes the
+// request.
+func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
+	o.tracker.Observe(req.JobID, req.Bytes)
+	r := &tbf.Request{
+		JobID:    req.JobID,
+		Op:       tbf.Opcode(req.Op),
+		Bytes:    req.Bytes,
+		Stream:   req.Stream,
+		Userdata: reply,
+	}
+	o.mu.Lock()
+	o.outstanding[req.Stream]++
+	o.sched.Enqueue(r, o.Now())
+	o.mu.Unlock()
+	o.wake()
+}
+
+func (o *OSS) wake() {
+	select {
+	case o.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pacingQuantum is how much modeled device time may be owed before the
+// dispatcher actually sleeps. Sleeping once per request would bound
+// throughput by the platform timer floor (~1 ms on many kernels), far
+// below a µs-scale service time; batching the debt keeps the long-run
+// device rate exact while sleeping in chunks the timer can honor.
+const pacingQuantum = 2 * time.Millisecond
+
+// dispatch is the service loop: pull the next eligible request from the
+// TBF gate, charge the device's service time against a virtual
+// device-free clock, reply, repeat. When no queue is eligible it sleeps
+// until the earliest token deadline or the next arrival.
+func (o *OSS) dispatch() {
+	defer o.wg.Done()
+	var deviceFree int64 // OSS-time instant the device finishes queued work
+	for {
+		o.mu.Lock()
+		now := o.Now()
+		req, wakeAt, ok := o.sched.Dequeue(now)
+		var streams int
+		if ok {
+			streams = len(o.outstanding)
+		}
+		o.mu.Unlock()
+
+		if ok {
+			st := o.dev.ServiceTime(req.Bytes, req.Stream, streams)
+			if deviceFree < now {
+				deviceFree = now
+			}
+			deviceFree += int64(st)
+			if debt := time.Duration(float64(deviceFree-o.Now()) / o.cfg.Speedup); debt > pacingQuantum {
+				if !o.sleep(debt) {
+					return
+				}
+			}
+			o.mu.Lock()
+			if n := o.outstanding[req.Stream] - 1; n > 0 {
+				o.outstanding[req.Stream] = n
+			} else {
+				delete(o.outstanding, req.Stream)
+			}
+			o.mu.Unlock()
+			req.Userdata.(func(transport.Reply))(transport.Reply{Bytes: req.Bytes})
+			continue
+		}
+
+		if wakeAt == tbf.InfiniteDeadline {
+			select {
+			case <-o.kick:
+			case <-o.done:
+				return
+			}
+			continue
+		}
+		delay := time.Duration(float64(wakeAt-o.Now()) / o.cfg.Speedup)
+		if delay < 0 {
+			delay = 0
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-o.kick:
+			timer.Stop()
+		case <-o.done:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// sleep waits for d or until the OSS closes, reporting false on close.
+func (o *OSS) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-o.done:
+		return false
+	}
+}
+
+// Close stops the dispatcher. In-queue requests are not replied to;
+// clients see their connections close.
+func (o *OSS) Close() {
+	o.closed.Do(func() { close(o.done) })
+	o.wg.Wait()
+}
+
+// PendingJobs reports queued requests per job (the controller's backlog
+// source).
+func (o *OSS) PendingJobs() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sched.PendingJobs()
+}
+
+// lockedEngine adapts the scheduler's rule interface with the OSS lock
+// and a dispatcher wake after every mutation, since a rate change can make
+// a queue immediately eligible.
+type lockedEngine struct{ o *OSS }
+
+func (e lockedEngine) Rules() []tbf.Rule {
+	e.o.mu.Lock()
+	defer e.o.mu.Unlock()
+	return e.o.sched.Rules()
+}
+
+func (e lockedEngine) StartRule(r tbf.Rule, now int64) error {
+	e.o.mu.Lock()
+	err := e.o.sched.StartRule(r, now)
+	e.o.mu.Unlock()
+	e.o.wake()
+	return err
+}
+
+func (e lockedEngine) ChangeRule(name string, rate float64, order int, now int64) error {
+	e.o.mu.Lock()
+	err := e.o.sched.ChangeRule(name, rate, order, now)
+	e.o.mu.Unlock()
+	e.o.wake()
+	return err
+}
+
+func (e lockedEngine) StopRule(name string, now int64) error {
+	e.o.mu.Lock()
+	err := e.o.sched.StopRule(name, now)
+	e.o.mu.Unlock()
+	e.o.wake()
+	return err
+}
+
+// Engine returns a thread-safe rules.Engine over this OSS's scheduler,
+// for the rule daemon or for installing static/administrative rules.
+func (o *OSS) Engine() rules.Engine { return lockedEngine{o} }
+
+// NewController assembles this OSS's AdapTBF controller: stats from the
+// local tracker, backlog from the local scheduler, rules applied through
+// the local engine — no information leaves the storage server, which is
+// the paper's decentralization property. Run it with go ctrl.Run(ctx).
+func (o *OSS) NewController(nodes controller.NodeMapper, maxRate float64, period time.Duration, opts ...core.Option) *controller.Controller {
+	return controller.New(controller.Config{
+		Stats:  &o.tracker,
+		Nodes:  nodes,
+		Alloc:  core.New(core.Config{MaxRate: maxRate, Period: period}, opts...),
+		Daemon: rules.New(o.Engine(), rules.Config{}),
+		// period is Δt in (possibly accelerated) OSS time; tick faster on
+		// the wall clock by the same factor.
+		TickEvery: time.Duration(float64(period) / o.cfg.Speedup),
+		Backlog:   o.PendingJobs,
+		Clock:     o.Now,
+	})
+}

@@ -1,0 +1,179 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptbf/internal/core"
+	"adaptbf/internal/jobstats"
+	"adaptbf/internal/rules"
+	"adaptbf/internal/tbf"
+)
+
+func testRig(t *testing.T) (*Controller, *jobstats.Tracker, *tbf.Scheduler) {
+	t.Helper()
+	tracker := &jobstats.Tracker{}
+	sched := tbf.NewScheduler(tbf.Config{})
+	alloc := core.New(Config2())
+	c := New(Config{
+		Stats:  tracker,
+		Nodes:  NodeMapperFunc(nodesOf),
+		Alloc:  alloc,
+		Daemon: rules.New(sched, rules.Config{}),
+	})
+	return c, tracker, sched
+}
+
+// Config2 is the standard 1000 tokens/s, 100ms test allocator config.
+func Config2() core.Config {
+	return core.Config{MaxRate: 1000, Period: 100 * time.Millisecond}
+}
+
+func nodesOf(jobID string) int {
+	switch jobID {
+	case "big.h":
+		return 9
+	default:
+		return 1
+	}
+}
+
+func TestTickFullCycle(t *testing.T) {
+	c, tracker, sched := testRig(t)
+	for i := 0; i < 30; i++ {
+		tracker.Observe("big.h", 1<<20)
+	}
+	for i := 0; i < 5; i++ {
+		tracker.Observe("small.h", 1<<20)
+	}
+	rep := c.Tick(0)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Active != 2 || len(rep.Allocations) != 2 {
+		t.Fatalf("active=%d allocations=%d, want 2/2", rep.Active, len(rep.Allocations))
+	}
+	// Rules installed for both jobs.
+	if sched.RuleCount() != 2 {
+		t.Fatalf("rules = %d, want 2", sched.RuleCount())
+	}
+	// Stats cleared for the next observation period (step 9).
+	if tracker.ActiveJobs() != 0 {
+		t.Fatal("stats not cleared after successful tick")
+	}
+	// Priority flows from the node mapper: big.h has 90% of nodes.
+	for _, al := range rep.Allocations {
+		if al.Job == "big.h" && al.Priority != 0.9 {
+			t.Errorf("big.h priority = %v, want 0.9", al.Priority)
+		}
+	}
+}
+
+func TestTickIdlePeriodStopsRules(t *testing.T) {
+	c, tracker, sched := testRig(t)
+	tracker.Observe("j.h", 1)
+	c.Tick(0)
+	if sched.RuleCount() != 1 {
+		t.Fatal("rule not created")
+	}
+	// Nothing observed in the next period: rule must be stopped.
+	rep := c.Tick(int64(100 * time.Millisecond))
+	if rep.Active != 0 || len(rep.Allocations) != 0 {
+		t.Fatalf("idle tick report: %+v", rep)
+	}
+	if sched.RuleCount() != 0 {
+		t.Fatalf("rules after idle tick = %d, want 0", sched.RuleCount())
+	}
+}
+
+func TestTickReportsTimings(t *testing.T) {
+	c, tracker, _ := testRig(t)
+	tracker.Observe("j.h", 1)
+	rep := c.Tick(0)
+	if rep.AllocTime <= 0 || rep.TotalTime < rep.AllocTime {
+		t.Fatalf("timings: alloc=%v total=%v", rep.AllocTime, rep.TotalTime)
+	}
+}
+
+func TestOnTickObserver(t *testing.T) {
+	tracker := &jobstats.Tracker{}
+	sched := tbf.NewScheduler(tbf.Config{})
+	var seen []TickReport
+	c := New(Config{
+		Stats:  tracker,
+		Nodes:  NodeMapperFunc(func(string) int { return 1 }),
+		Alloc:  core.New(Config2()),
+		Daemon: rules.New(sched, rules.Config{}),
+		OnTick: func(r TickReport) { seen = append(seen, r) },
+	})
+	tracker.Observe("a.h", 1)
+	c.Tick(0)
+	c.Tick(1)
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d ticks, want 2", len(seen))
+	}
+}
+
+// failDaemonEngine fails every rule operation, to verify stats are retained
+// when rule application fails.
+type failEngine struct{}
+
+func (failEngine) Rules() []tbf.Rule                            { return nil }
+func (failEngine) StartRule(tbf.Rule, int64) error              { return errors.New("down") }
+func (failEngine) ChangeRule(string, float64, int, int64) error { return errors.New("down") }
+func (failEngine) StopRule(string, int64) error                 { return errors.New("down") }
+
+func TestStatsRetainedOnDaemonFailure(t *testing.T) {
+	tracker := &jobstats.Tracker{}
+	c := New(Config{
+		Stats:  tracker,
+		Nodes:  NodeMapperFunc(func(string) int { return 1 }),
+		Alloc:  core.New(Config2()),
+		Daemon: rules.New(failEngine{}, rules.Config{}),
+	})
+	tracker.Observe("a.h", 1)
+	rep := c.Tick(0)
+	if rep.Err == nil {
+		t.Fatal("tick swallowed the daemon error")
+	}
+	if tracker.ActiveJobs() != 1 {
+		t.Fatal("stats cleared despite rule failure; demand observation lost")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without deps did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestRunTicksUntilCancelled(t *testing.T) {
+	tracker := &jobstats.Tracker{}
+	sched := tbf.NewScheduler(tbf.Config{})
+	var ticks atomic.Int32
+	c := New(Config{
+		Stats:  tracker,
+		Nodes:  NodeMapperFunc(func(string) int { return 1 }),
+		Alloc:  core.New(core.Config{MaxRate: 1000, Period: 5 * time.Millisecond}),
+		Daemon: rules.New(sched, rules.Config{}),
+		OnTick: func(TickReport) { ticks.Add(1) },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx)
+		close(done)
+	}()
+	time.Sleep(60 * time.Millisecond)
+	cancel()
+	<-done
+	if n := ticks.Load(); n < 3 {
+		t.Fatalf("only %d ticks in 60ms at 5ms period", n)
+	}
+}

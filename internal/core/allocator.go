@@ -1,0 +1,513 @@
+// Package core implements the AdapTBF token allocation algorithm — the
+// paper's primary contribution (§III-C).
+//
+// Once per observation period Δt, and independently on every storage
+// target, the algorithm turns the set of active jobs (those that issued
+// RPCs during the period) into integer token allocations for the next
+// period. It runs three sequential steps:
+//
+//  1. Priority-based initial allocation (Eq. 1-2): each active job receives
+//     tokens proportional to its share of allocated compute nodes.
+//  2. Redistribution of surplus tokens (Eq. 3-8): tokens a job is unlikely
+//     to use (allocation above observed demand) are lent to jobs ranked by
+//     a distribution factor combining utilization and priority. Lending
+//     and borrowing are written to per-job records.
+//  3. Re-compensation for borrowed tokens (Eq. 9-20): jobs with positive
+//     records (net lenders) reclaim tokens from jobs with negative records
+//     (net borrowers), bounded by the borrowers' debt, restoring long-term
+//     fairness.
+//
+// Fractional tokens are handled with per-job carried remainders and the
+// largest-remainder method (Eq. 21-25) so that each step's integer total
+// exactly matches its real-valued total and no token is ever leaked or
+// minted.
+//
+// Notation (paper Table I): S_i storage target; T_i max token rate of S_i;
+// Δt observation period; J the active jobs; n_x nodes of job x; p_x
+// priority; r_x record; d_x observed demand (RPCs); u_x utilization score;
+// α_x allocated tokens; ρ_x remainder.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// A JobID identifies a job on a storage target (the paper uses Lustre's
+// jobid, configured as %e.%H).
+type JobID string
+
+// An Activity reports one active job's observed state during the
+// observation period that just ended.
+type Activity struct {
+	Job JobID
+	// Nodes is the number of compute nodes allocated to the job (n_x).
+	// Values below 1 are treated as 1.
+	Nodes int
+	// Demand is the number of RPCs the job issued to this storage target
+	// during the period (d_x). 1 RPC = 1 token. Negative values are
+	// treated as 0.
+	Demand int64
+}
+
+// An Allocation is the algorithm's decision for one job, with every
+// intermediate quantity exposed for tracing, testing, and the paper's
+// Figure 7 record timelines.
+type Allocation struct {
+	Job      JobID
+	Priority float64 // p_x
+	Demand   int64   // d_x, echoed from the input Activity
+
+	Utilization       float64 // u_x  = d_x / α^{t-1}_x
+	FutureUtilization float64 // ū^{t+Δt}_x (only meaningful for lenders)
+
+	Initial             int64   // α_x after step 1
+	AfterRedistribution int64   // α_x,RD after step 2
+	Tokens              int64   // α_x,RC — the final allocation
+	Rate                float64 // Tokens / Δt, in tokens per second
+
+	SurplusYielded         float64 // T^x_s removed from this job in step 2
+	RedistributionReceived float64 // this job's share of T_s in step 2
+	ReclaimPaid            float64 // T^x_R taken from this job in step 3
+	CompensationReceived   float64 // this job's share of T_R in step 3
+
+	Record float64 // r_x after all updates this period
+}
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// MaxRate is T_i, the storage target's maximum token rate in tokens
+	// per second. Must be positive.
+	MaxRate float64
+	// Period is the observation period Δt. Must be positive. The paper
+	// uses 100 ms (§IV-H).
+	Period time.Duration
+}
+
+// A DemandEstimator predicts a job's demand for the next period,
+// d̂^{t+Δt}_x, from its observed demand this period. The paper assumes
+// d̂^{t+Δt} = d^t; richer estimators (the "hints" future work of §IV-E) can
+// be plugged in with WithDemandEstimator.
+type DemandEstimator func(job JobID, observed int64) float64
+
+// An Option tweaks allocator behaviour; the With*/Without* constructors in
+// this package are the supported options (several exist to power the
+// ablation studies in the benchmark suite).
+type Option func(*Allocator)
+
+// WithoutRedistribution disables step 2. The result is priority-only
+// allocation over the active set — an adaptive version of the Static BW
+// baseline. Records never move, so step 3 is implicitly disabled too.
+func WithoutRedistribution() Option { return func(a *Allocator) { a.noRedistribution = true } }
+
+// WithoutRecompensation disables step 3: surplus is still lent, but
+// lenders are never repaid, sacrificing long-term fairness.
+func WithoutRecompensation() Option { return func(a *Allocator) { a.noRecompensation = true } }
+
+// WithoutRemainders replaces the remainder-carrying largest-remainder
+// integerization with naive flooring. Tokens leak every period; the
+// conservation tests quantify how many.
+func WithoutRemainders() Option { return func(a *Allocator) { a.noRemainders = true } }
+
+// WithRecordTTL evicts the record and remainder state of jobs that have
+// been inactive for the given number of consecutive periods. Zero (the
+// default) keeps state forever, as the paper's prototype does.
+func WithRecordTTL(periods int) Option { return func(a *Allocator) { a.recordTTL = periods } }
+
+// WithDemandEstimator installs a custom next-period demand estimator.
+func WithDemandEstimator(e DemandEstimator) Option {
+	return func(a *Allocator) { a.estimate = e }
+}
+
+// An Allocator holds the per-target persistent state of the algorithm: job
+// records, carried remainders, and the previous period's allocations. One
+// Allocator exists per storage target; they never communicate — that is
+// the paper's decentralization argument (§II-B).
+//
+// Allocator is not safe for concurrent use; the controller serializes
+// calls.
+type Allocator struct {
+	maxRate float64
+	period  time.Duration
+
+	noRedistribution bool
+	noRecompensation bool
+	noRemainders     bool
+	recordTTL        int
+	estimate         DemandEstimator
+
+	records    map[JobID]float64 // r_x: >0 lent, <0 borrowed
+	remainders map[JobID]float64 // ρ_x carried across steps and periods
+	prevAlloc  map[JobID]int64   // α^{t-1}_x (final tokens of previous period)
+	lastActive map[JobID]int     // period index of last activity, for TTL
+	poolCarry  float64           // fractional part of T_i·Δt carried across periods
+	periodIdx  int
+}
+
+// New returns an Allocator for one storage target. It panics if the
+// configuration is invalid, since that is always a programming error.
+func New(cfg Config, opts ...Option) *Allocator {
+	if cfg.MaxRate <= 0 {
+		panic(fmt.Sprintf("core: non-positive MaxRate %v", cfg.MaxRate))
+	}
+	if cfg.Period <= 0 {
+		panic(fmt.Sprintf("core: non-positive Period %v", cfg.Period))
+	}
+	a := &Allocator{
+		maxRate:    cfg.MaxRate,
+		period:     cfg.Period,
+		records:    make(map[JobID]float64),
+		remainders: make(map[JobID]float64),
+		prevAlloc:  make(map[JobID]int64),
+		lastActive: make(map[JobID]int),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.estimate == nil {
+		a.estimate = func(_ JobID, observed int64) float64 { return float64(observed) }
+	}
+	return a
+}
+
+// MaxRate reports T_i in tokens per second.
+func (a *Allocator) MaxRate() float64 { return a.maxRate }
+
+// Period reports Δt.
+func (a *Allocator) Period() time.Duration { return a.period }
+
+// TokensPerPeriod reports T_i·Δt, the (real-valued) token pool distributed
+// each period.
+func (a *Allocator) TokensPerPeriod() float64 {
+	return a.maxRate * a.period.Seconds()
+}
+
+// RecordOf reports job x's current record r_x: positive means tokens lent,
+// negative means tokens borrowed.
+func (a *Allocator) RecordOf(job JobID) float64 { return a.records[job] }
+
+// Records returns a copy of all job records.
+func (a *Allocator) Records() map[JobID]float64 {
+	out := make(map[JobID]float64, len(a.records))
+	for k, v := range a.records {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset discards all persistent state (records, remainders, previous
+// allocations), returning the allocator to its initial condition.
+func (a *Allocator) Reset() {
+	clearMap(a.records)
+	clearMap(a.remainders)
+	for k := range a.prevAlloc {
+		delete(a.prevAlloc, k)
+	}
+	for k := range a.lastActive {
+		delete(a.lastActive, k)
+	}
+	a.poolCarry = 0
+	a.periodIdx = 0
+}
+
+func clearMap(m map[JobID]float64) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Allocate runs the three-step algorithm over the active jobs of the
+// period that just ended and returns one Allocation per job, sorted by
+// JobID. Jobs appearing more than once have their demands summed (the
+// first entry's Nodes wins). An empty active set returns nil and leaves
+// records untouched: with nobody to lend to or borrow from, there is
+// nothing to decide.
+func (a *Allocator) Allocate(active []Activity) []Allocation {
+	a.periodIdx++
+	a.evictExpired()
+	if len(active) == 0 {
+		// Nothing to decide. Records, remainders, and last-known
+		// allocations are kept: bursty jobs returning from idle are judged
+		// against their last allocation, not treated as brand new (see
+		// DESIGN.md §3).
+		return nil
+	}
+
+	jobs := mergeActivities(active)
+	n := len(jobs)
+	for i := range jobs {
+		a.lastActive[jobs[i].Job] = a.periodIdx
+	}
+
+	// --- Step 1: priority-based initial allocation (Eq. 1-2). ---
+	totalNodes := 0
+	for _, j := range jobs {
+		totalNodes += j.Nodes
+	}
+	pool := a.TokensPerPeriod() + a.poolCarry
+	target := int64(math.Floor(pool))
+	a.poolCarry = pool - float64(target)
+
+	out := make([]Allocation, n)
+	raw := make([]float64, n)
+	for i, j := range jobs {
+		p := float64(j.Nodes) / float64(totalNodes)
+		out[i] = Allocation{Job: j.Job, Priority: p, Demand: j.Demand}
+		raw[i] = float64(target) * p
+	}
+	initial := a.integerize(jobs, raw, target)
+	for i := range out {
+		out[i].Initial = initial[i]
+	}
+
+	// --- Step 2: redistribution of surplus tokens (Eq. 3-8). ---
+	// Utilization u_x = d_x / α^{t-1}_x, with max(1, ·) guarding the first
+	// active period of a job (see DESIGN.md §3).
+	u := make([]float64, n)
+	df := make([]float64, n)
+	var sumDF float64
+	for i, j := range jobs {
+		prev := a.prevAlloc[j.Job]
+		u[i] = float64(j.Demand) / math.Max(1, float64(prev))
+		out[i].Utilization = u[i]
+		if u[i] > 1 {
+			df[i] = u[i] + u[i]*out[i].Priority
+		} else {
+			df[i] = u[i] * out[i].Priority
+		}
+		sumDF += df[i]
+	}
+
+	rBefore := make([]float64, n) // r^t_x
+	rRD := make([]float64, n)     // r^t_{x,RD}
+	for i, j := range jobs {
+		rBefore[i] = a.records[j.Job]
+		rRD[i] = rBefore[i]
+	}
+
+	afterRD := append([]int64(nil), initial...)
+	if !a.noRedistribution {
+		var totalSurplus float64
+		surplus := make([]float64, n)
+		for i, j := range jobs {
+			if s := float64(initial[i]) - float64(j.Demand); s > 0 {
+				surplus[i] = s
+				totalSurplus += s
+			}
+		}
+		if totalSurplus > 0 && sumDF > 0 {
+			rawRD := make([]float64, n)
+			for i := range jobs {
+				share := df[i] / sumDF * totalSurplus
+				rawRD[i] = float64(initial[i]) - surplus[i] + share
+				out[i].SurplusYielded = surplus[i]
+				out[i].RedistributionReceived = share
+				rRD[i] = rBefore[i] + surplus[i] - share
+			}
+			afterRD = a.integerize(jobs, rawRD, target)
+		}
+	}
+	for i := range out {
+		out[i].AfterRedistribution = afterRD[i]
+	}
+
+	// --- Step 3: re-compensation for borrowed tokens (Eq. 9-20). ---
+	final := append([]int64(nil), afterRD...)
+	rFinal := append([]float64(nil), rRD...)
+	if !a.noRedistribution && !a.noRecompensation {
+		a.recompensate(jobs, out, u, df, rBefore, rRD, afterRD, final, rFinal, target)
+	}
+
+	// Persist state and finish. Entries of inactive jobs stay: α^{t-1} for
+	// a job returning from idle is its last known allocation.
+	sec := a.period.Seconds()
+	for i, j := range jobs {
+		a.records[j.Job] = rFinal[i]
+		a.prevAlloc[j.Job] = final[i]
+		out[i].Tokens = final[i]
+		out[i].Rate = float64(final[i]) / sec
+		out[i].Record = rFinal[i]
+	}
+	return out
+}
+
+// recompensate implements Eq. 9-20 in place over final and rFinal.
+func (a *Allocator) recompensate(jobs []Activity, out []Allocation, u, df, rBefore, rRD []float64, afterRD, final []int64, rFinal []float64, target int64) {
+	n := len(jobs)
+	// J₊ and J₋ membership requires the record sign to persist across the
+	// redistribution step (Eq. 9-10).
+	plus := make([]bool, n)
+	minus := make([]bool, n)
+	hasPlus, hasMinus := false, false
+	for i := range jobs {
+		switch {
+		case rBefore[i] > 0 && rRD[i] > 0:
+			plus[i] = true
+			hasPlus = true
+		case rBefore[i] < 0 && rRD[i] < 0:
+			minus[i] = true
+			hasMinus = true
+		}
+	}
+	if !hasPlus || !hasMinus {
+		return
+	}
+
+	// Reclaim coefficient (Eq. 13): one aggregate portion computed over
+	// J₊, clamped to [0,1] since it scales the borrowers' allocations.
+	var c float64
+	var sumDFPlus float64
+	for i := range jobs {
+		if !plus[i] {
+			continue
+		}
+		future := a.estimate(jobs[i].Job, jobs[i].Demand) / math.Max(1, float64(afterRD[i]))
+		out[i].FutureUtilization = future
+		c += (out[i].Priority*math.Max(1, u[i]) + math.Max(0, 1-future)) / 2
+		sumDFPlus += df[i]
+	}
+	if c > 1 {
+		c = 1
+	}
+	if c <= 0 || sumDFPlus <= 0 {
+		return
+	}
+
+	// Reclaim from borrowers, bounded by their debt (Eq. 14-17).
+	var totalReclaim float64
+	reclaim := make([]float64, n)
+	for i := range jobs {
+		if !minus[i] {
+			continue
+		}
+		reclaim[i] = math.Min(-rRD[i], c*float64(afterRD[i]))
+		totalReclaim += reclaim[i]
+	}
+	if totalReclaim <= 0 {
+		return
+	}
+
+	// Apply to allocations and records (Eq. 15-16, 18-20). The
+	// recompensation factor RF equals DF (Eq. 18).
+	rawRC := make([]float64, n)
+	for i := range jobs {
+		switch {
+		case minus[i]:
+			rawRC[i] = float64(afterRD[i]) - reclaim[i]
+			out[i].ReclaimPaid = reclaim[i]
+			rFinal[i] = rRD[i] + reclaim[i]
+		case plus[i]:
+			share := df[i] / sumDFPlus * totalReclaim
+			rawRC[i] = float64(afterRD[i]) + share
+			out[i].CompensationReceived = share
+			rFinal[i] = rRD[i] - share
+		default:
+			rawRC[i] = float64(afterRD[i])
+		}
+	}
+	for i, v := range a.integerize(jobs, rawRC, target) {
+		final[i] = v
+	}
+}
+
+// integerize floors the raw allocations with per-job carried remainders
+// (Eq. 23-25) and then enforces Σ = target with the largest-remainder
+// method, exactly as §III-C4 prescribes.
+func (a *Allocator) integerize(jobs []Activity, raw []float64, target int64) []int64 {
+	n := len(raw)
+	out := make([]int64, n)
+	if a.noRemainders {
+		for i, v := range raw {
+			if v > 0 {
+				out[i] = int64(math.Floor(v))
+			}
+		}
+		return out
+	}
+	rem := make([]float64, n)
+	var sum int64
+	for i, v := range raw {
+		x := v + a.remainders[jobs[i].Job]
+		if x < 0 {
+			x = 0
+		}
+		f := math.Floor(x)
+		out[i] = int64(f)
+		rem[i] = x - f
+		sum += out[i]
+	}
+	for sum > target {
+		best := -1
+		for i := range out {
+			if out[i] > 0 && (best < 0 || rem[i] > rem[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // nothing left to take; target unreachable (all zero)
+		}
+		out[best]--
+		rem[best]++
+		sum--
+	}
+	for sum < target {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best]--
+		sum++
+	}
+	for i, j := range jobs {
+		a.remainders[j.Job] = rem[i]
+	}
+	return out
+}
+
+// evictExpired drops state of jobs idle beyond the record TTL.
+func (a *Allocator) evictExpired() {
+	if a.recordTTL <= 0 {
+		return
+	}
+	for j, last := range a.lastActive {
+		if a.periodIdx-last > a.recordTTL {
+			delete(a.lastActive, j)
+			delete(a.records, j)
+			delete(a.remainders, j)
+			delete(a.prevAlloc, j)
+		}
+	}
+}
+
+// mergeActivities deduplicates the active set by JobID (summing demands),
+// clamps invalid fields, and sorts by JobID for determinism.
+func mergeActivities(active []Activity) []Activity {
+	byJob := make(map[JobID]*Activity, len(active))
+	order := make([]JobID, 0, len(active))
+	for _, in := range active {
+		if in.Nodes < 1 {
+			in.Nodes = 1
+		}
+		if in.Demand < 0 {
+			in.Demand = 0
+		}
+		if cur, ok := byJob[in.Job]; ok {
+			cur.Demand += in.Demand
+			continue
+		}
+		cp := in
+		byJob[in.Job] = &cp
+		order = append(order, in.Job)
+	}
+	out := make([]Activity, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byJob[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// alloc100 returns an allocator distributing exactly 100 tokens per 100 ms
+// period (T_i = 1000 tokens/s), which keeps expected values easy to read.
+func alloc100(opts ...Option) *Allocator {
+	return New(Config{MaxRate: 1000, Period: 100 * time.Millisecond}, opts...)
+}
+
+func sumTokens(allocs []Allocation) int64 {
+	var s int64
+	for _, a := range allocs {
+		s += a.Tokens
+	}
+	return s
+}
+
+func byJob(allocs []Allocation) map[JobID]Allocation {
+	m := make(map[JobID]Allocation, len(allocs))
+	for _, a := range allocs {
+		m[a.Job] = a
+	}
+	return m
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxRate: 0, Period: time.Second},
+		{MaxRate: -1, Period: time.Second},
+		{MaxRate: 100, Period: 0},
+		{MaxRate: 100, Period: -time.Second},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestEmptyActiveSet(t *testing.T) {
+	a := alloc100()
+	if got := a.Allocate(nil); got != nil {
+		t.Fatalf("Allocate(nil) = %v, want nil", got)
+	}
+	if got := a.Allocate([]Activity{}); got != nil {
+		t.Fatalf("Allocate(empty) = %v, want nil", got)
+	}
+}
+
+func TestInitialAllocationFollowsPriority(t *testing.T) {
+	// Paper §IV-D: priorities 10/10/30/50%. All jobs saturate their demand
+	// so redistribution has no surplus to move.
+	a := alloc100()
+	active := []Activity{
+		{Job: "j1", Nodes: 2, Demand: 1000},
+		{Job: "j2", Nodes: 2, Demand: 1000},
+		{Job: "j3", Nodes: 6, Demand: 1000},
+		{Job: "j4", Nodes: 10, Demand: 1000},
+	}
+	got := byJob(a.Allocate(active))
+	wants := map[JobID]int64{"j1": 10, "j2": 10, "j3": 30, "j4": 50}
+	for job, want := range wants {
+		if got[job].Tokens != want {
+			t.Errorf("%s tokens = %d, want %d", job, got[job].Tokens, want)
+		}
+	}
+	if got["j4"].Priority != 0.5 || got["j1"].Priority != 0.1 {
+		t.Errorf("priorities: j1=%v j4=%v, want 0.1, 0.5", got["j1"].Priority, got["j4"].Priority)
+	}
+}
+
+func TestPriorityRenormalizesOverActiveSet(t *testing.T) {
+	// When j4 finishes, the remaining jobs' priorities renormalize —
+	// that is the adaptation Static BW lacks (Fig. 3(b) vs 3(c)).
+	a := alloc100()
+	all := []Activity{
+		{Job: "j1", Nodes: 1, Demand: 1000},
+		{Job: "j3", Nodes: 3, Demand: 1000},
+		{Job: "j4", Nodes: 6, Demand: 1000},
+	}
+	a.Allocate(all)
+	got := byJob(a.Allocate(all[:2])) // j4 gone
+	if got["j1"].Tokens != 25 || got["j3"].Tokens != 75 {
+		t.Fatalf("renormalized tokens = j1:%d j3:%d, want 25/75",
+			got["j1"].Tokens, got["j3"].Tokens)
+	}
+}
+
+func TestConservationEveryPeriod(t *testing.T) {
+	a := alloc100()
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 3},
+		{Job: "b", Nodes: 2, Demand: 500},
+		{Job: "c", Nodes: 4, Demand: 17},
+	}
+	for i := 0; i < 50; i++ {
+		allocs := a.Allocate(active)
+		if got := sumTokens(allocs); got != 100 {
+			t.Fatalf("period %d: total tokens = %d, want exactly 100", i, got)
+		}
+	}
+}
+
+func TestSurplusFlowsToDemandingJob(t *testing.T) {
+	a := alloc100()
+	active := []Activity{
+		{Job: "idle", Nodes: 9, Demand: 5},     // 90% priority, nearly no demand
+		{Job: "hungry", Nodes: 1, Demand: 500}, // 10% priority, huge demand
+	}
+	got := byJob(a.Allocate(active))
+	if got["hungry"].Tokens <= 50 {
+		t.Fatalf("hungry got %d tokens, want well above its 10-token priority share", got["hungry"].Tokens)
+	}
+	if got["idle"].Tokens >= 50 {
+		t.Fatalf("idle kept %d tokens despite demand 5", got["idle"].Tokens)
+	}
+	// Lending is written to the records.
+	if got["idle"].Record <= 0 {
+		t.Errorf("idle record = %v, want positive (lender)", got["idle"].Record)
+	}
+	if got["hungry"].Record >= 0 {
+		t.Errorf("hungry record = %v, want negative (borrower)", got["hungry"].Record)
+	}
+}
+
+func TestNoSurplusNoRedistribution(t *testing.T) {
+	a := alloc100()
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 500},
+		{Job: "b", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(active)
+	for _, al := range a.Allocate(active) {
+		if al.SurplusYielded != 0 || al.RedistributionReceived != 0 {
+			t.Errorf("%s moved tokens with no surplus: %+v", al.Job, al)
+		}
+		if al.Tokens != al.Initial {
+			t.Errorf("%s tokens %d != initial %d", al.Job, al.Tokens, al.Initial)
+		}
+	}
+}
+
+func TestRecompensationRepaysLender(t *testing.T) {
+	a := alloc100()
+	// Period 1: the lender issues a tiny burst alongside the hungry
+	// borrower and lends its surplus. (Records start at zero, so no
+	// reclaiming can happen yet — J₊ requires r>0 before redistribution.)
+	a.Allocate([]Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	})
+	if a.RecordOf("lender") <= 0 || a.RecordOf("borrower") >= 0 {
+		t.Fatalf("after lending period: lender record %v, borrower %v",
+			a.RecordOf("lender"), a.RecordOf("borrower"))
+	}
+	debt := -a.RecordOf("borrower")
+
+	// Periods 2-4: the lender is idle (inactive); the borrower runs alone
+	// and records must not move — there is nobody to exchange with.
+	for i := 0; i < 3; i++ {
+		a.Allocate([]Activity{{Job: "borrower", Nodes: 1, Demand: 500}})
+	}
+	if got := -a.RecordOf("borrower"); math.Abs(got-debt) > 1e-9 {
+		t.Fatalf("records moved while lender inactive: debt %v -> %v", debt, got)
+	}
+
+	// Period 5: the lender's demand spikes (its continuous process starts,
+	// as Job3's does at t=80s in §IV-F). It must be compensated above its
+	// priority share, and the borrower's debt must shrink.
+	spike := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	got := byJob(a.Allocate(spike))
+	if got["lender"].CompensationReceived <= 0 {
+		t.Fatal("lender received no compensation")
+	}
+	if got["lender"].Tokens <= got["borrower"].Tokens {
+		t.Fatalf("lender (%d tokens) not prioritized over borrower (%d) during repayment",
+			got["lender"].Tokens, got["borrower"].Tokens)
+	}
+	if newDebt := -a.RecordOf("borrower"); newDebt >= debt {
+		t.Fatalf("borrower debt did not shrink: %v -> %v", debt, newDebt)
+	}
+}
+
+func TestRecompensationBoundedByDebt(t *testing.T) {
+	a := alloc100()
+	// One lending period with a small surplus, so the debt is well below
+	// the borrower's future allocation and the min(|r|, C·α) bound binds
+	// on the debt side.
+	a.Allocate([]Activity{
+		{Job: "lender", Nodes: 1, Demand: 40},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	})
+	debt := -a.RecordOf("borrower")
+	if debt <= 0 {
+		t.Fatal("test premise broken: no debt after lending period")
+	}
+	spike := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	got := byJob(a.Allocate(spike))
+	if paid := got["borrower"].ReclaimPaid; paid > debt+1e-9 {
+		t.Fatalf("reclaimed %v exceeds debt %v", paid, debt)
+	}
+	// Records can cross zero only to zero, never overshoot into the
+	// opposite sign, because reclaim is min(|r|, C·α).
+	if a.RecordOf("borrower") > 1e-9 {
+		t.Fatalf("borrower record overshot to %v > 0", a.RecordOf("borrower"))
+	}
+}
+
+func TestRecordsConserved(t *testing.T) {
+	a := alloc100()
+	phases := [][]Activity{
+		{{Job: "a", Nodes: 1, Demand: 2}, {Job: "b", Nodes: 3, Demand: 400}},
+		{{Job: "a", Nodes: 1, Demand: 300}, {Job: "b", Nodes: 3, Demand: 1}},
+		{{Job: "a", Nodes: 1, Demand: 300}, {Job: "b", Nodes: 3, Demand: 300}, {Job: "c", Nodes: 2, Demand: 7}},
+	}
+	for i := 0; i < 60; i++ {
+		a.Allocate(phases[i%len(phases)])
+		var sum float64
+		for _, r := range a.Records() {
+			sum += r
+		}
+		if math.Abs(sum) > 1e-6 {
+			t.Fatalf("period %d: Σ records = %v, want 0 (lend/borrow conservation)", i, sum)
+		}
+	}
+}
+
+func TestRemainderFairnessOverTime(t *testing.T) {
+	// Three equal jobs sharing 100 tokens: 33.33 each. Over three periods
+	// each must receive 100 total — remainders must not be discarded.
+	a := alloc100()
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 1000},
+		{Job: "b", Nodes: 1, Demand: 1000},
+		{Job: "c", Nodes: 1, Demand: 1000},
+	}
+	totals := map[JobID]int64{}
+	for i := 0; i < 3; i++ {
+		for _, al := range a.Allocate(active) {
+			totals[al.Job] += al.Tokens
+		}
+	}
+	for job, tot := range totals {
+		if tot != 100 {
+			t.Errorf("%s total over 3 periods = %d, want 100", job, tot)
+		}
+	}
+}
+
+func TestWithoutRemaindersLeaksTokens(t *testing.T) {
+	a := alloc100(WithoutRemainders())
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 1000},
+		{Job: "b", Nodes: 1, Demand: 1000},
+		{Job: "c", Nodes: 1, Demand: 1000},
+	}
+	allocs := a.Allocate(active)
+	if got := sumTokens(allocs); got >= 100 {
+		t.Fatalf("naive flooring sum = %d, want < 100 (leak the ablation measures)", got)
+	}
+}
+
+func TestWithoutRedistributionIsPriorityOnly(t *testing.T) {
+	a := alloc100(WithoutRedistribution())
+	active := []Activity{
+		{Job: "idle", Nodes: 9, Demand: 1},
+		{Job: "hungry", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(active)
+	got := byJob(a.Allocate(active))
+	if got["hungry"].Tokens != 10 || got["idle"].Tokens != 90 {
+		t.Fatalf("tokens = hungry:%d idle:%d, want strict 10/90", got["hungry"].Tokens, got["idle"].Tokens)
+	}
+	if a.RecordOf("idle") != 0 {
+		t.Errorf("records moved with redistribution disabled: %v", a.RecordOf("idle"))
+	}
+}
+
+func TestWithoutRecompensationNeverRepays(t *testing.T) {
+	a := alloc100(WithoutRecompensation())
+	lendPhase := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	for i := 0; i < 5; i++ {
+		a.Allocate(lendPhase)
+	}
+	debt := -a.RecordOf("borrower")
+	spike := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	got := byJob(a.Allocate(spike))
+	if got["lender"].CompensationReceived != 0 || got["borrower"].ReclaimPaid != 0 {
+		t.Fatal("tokens reclaimed with recompensation disabled")
+	}
+	if newDebt := -a.RecordOf("borrower"); newDebt < debt {
+		t.Fatalf("debt shrank (%v -> %v) without recompensation", debt, newDebt)
+	}
+}
+
+func TestRecordTTLEvicts(t *testing.T) {
+	a := alloc100(WithRecordTTL(2))
+	a.Allocate([]Activity{
+		{Job: "stay", Nodes: 1, Demand: 500},
+		{Job: "leave", Nodes: 1, Demand: 1},
+	})
+	if a.RecordOf("leave") == 0 {
+		t.Fatal("test premise broken: 'leave' never lent")
+	}
+	only := []Activity{{Job: "stay", Nodes: 1, Demand: 500}}
+	for i := 0; i < 3; i++ {
+		a.Allocate(only)
+	}
+	if a.RecordOf("leave") != 0 {
+		t.Fatalf("record of departed job survived TTL: %v", a.RecordOf("leave"))
+	}
+	if a.RecordOf("stay") == 0 {
+		// stay borrowed from leave; with leave evicted its record remains.
+		t.Log("note: stay's record also zero — acceptable only if it never borrowed")
+	}
+}
+
+func TestDuplicateActivitiesMerged(t *testing.T) {
+	a := alloc100()
+	allocs := a.Allocate([]Activity{
+		{Job: "a", Nodes: 1, Demand: 10},
+		{Job: "a", Nodes: 1, Demand: 15},
+		{Job: "b", Nodes: 1, Demand: 500},
+	})
+	if len(allocs) != 2 {
+		t.Fatalf("got %d allocations, want 2 (duplicates merged)", len(allocs))
+	}
+}
+
+func TestInvalidActivityFieldsClamped(t *testing.T) {
+	a := alloc100()
+	allocs := a.Allocate([]Activity{
+		{Job: "a", Nodes: 0, Demand: -5},
+		{Job: "b", Nodes: -3, Demand: 10},
+	})
+	if sumTokens(allocs) != 100 {
+		t.Fatalf("sum = %d, want 100", sumTokens(allocs))
+	}
+	for _, al := range allocs {
+		if al.Priority != 0.5 {
+			t.Errorf("%s priority = %v, want 0.5 (nodes clamped to 1)", al.Job, al.Priority)
+		}
+	}
+}
+
+func TestSingleJobGetsEverything(t *testing.T) {
+	a := alloc100()
+	allocs := a.Allocate([]Activity{{Job: "solo", Nodes: 4, Demand: 70}})
+	if len(allocs) != 1 || allocs[0].Tokens != 100 {
+		t.Fatalf("solo allocation = %+v, want 100 tokens", allocs)
+	}
+	if allocs[0].Rate != 1000 {
+		t.Errorf("rate = %v tokens/s, want 1000", allocs[0].Rate)
+	}
+}
+
+func TestAllocationsSortedByJobID(t *testing.T) {
+	a := alloc100()
+	allocs := a.Allocate([]Activity{
+		{Job: "z", Nodes: 1, Demand: 1},
+		{Job: "a", Nodes: 1, Demand: 1},
+		{Job: "m", Nodes: 1, Demand: 1},
+	})
+	if allocs[0].Job != "a" || allocs[1].Job != "m" || allocs[2].Job != "z" {
+		t.Fatalf("order = %v %v %v, want a m z", allocs[0].Job, allocs[1].Job, allocs[2].Job)
+	}
+}
+
+func TestFractionalPoolCarried(t *testing.T) {
+	// 333 tokens/s over 100ms = 33.3 tokens/period: over 10 periods a
+	// single job must receive exactly 333 tokens.
+	a := New(Config{MaxRate: 333, Period: 100 * time.Millisecond})
+	var total int64
+	for i := 0; i < 10; i++ {
+		total += sumTokens(a.Allocate([]Activity{{Job: "solo", Nodes: 1, Demand: 100}}))
+	}
+	if total != 333 {
+		t.Fatalf("10 periods at 33.3 tokens gave %d, want 333", total)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	a := alloc100()
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 2},
+		{Job: "b", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(active)
+	a.Allocate(active)
+	a.Reset()
+	if len(a.Records()) != 0 {
+		t.Fatal("records survived Reset")
+	}
+	if got := sumTokens(a.Allocate(active)); got != 100 {
+		t.Fatalf("post-Reset allocation sum = %d, want 100", got)
+	}
+}
+
+func TestCustomDemandEstimator(t *testing.T) {
+	// An estimator predicting zero future demand makes lenders reclaim the
+	// maximum (the max(0, 1-ū) term saturates at 1).
+	pessimist := func(_ JobID, _ int64) float64 { return 0 }
+	a := alloc100(WithDemandEstimator(pessimist))
+	lend := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	for i := 0; i < 5; i++ {
+		a.Allocate(lend)
+	}
+	spike := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	got := byJob(a.Allocate(spike))
+	if got["lender"].CompensationReceived <= 0 {
+		t.Fatal("estimator plumbing broken: no compensation")
+	}
+	if got["lender"].FutureUtilization != 0 {
+		t.Fatalf("future utilization = %v, want 0 from custom estimator", got["lender"].FutureUtilization)
+	}
+}
+
+func TestUtilizationUsesPreviousAllocation(t *testing.T) {
+	a := alloc100()
+	active := []Activity{
+		{Job: "a", Nodes: 1, Demand: 50},
+		{Job: "b", Nodes: 1, Demand: 50},
+	}
+	a.Allocate(active) // both get 50
+	got := byJob(a.Allocate(active))
+	for _, j := range []JobID{"a", "b"} {
+		if got[j].Utilization != 1 {
+			t.Errorf("%s utilization = %v, want 1 (demand 50 / prev alloc 50)", j, got[j].Utilization)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sync"
+
+// This file provides demand estimators beyond the paper's baseline
+// assumption d̂(t+Δt) = d(t) (§III-C3). The paper's future-work discussion
+// (§IV-E) suggests pattern hints could make allocations more informed;
+// these estimators are the hook for that, pluggable via
+// WithDemandEstimator.
+
+// EWMAEstimator returns an estimator that exponentially smooths each
+// job's observed demand: d̂ = α·d + (1-α)·d̂_prev. Smoothing damps the
+// re-compensation coefficient's reaction to one-window demand spikes at
+// the cost of slower adaptation. alpha is clamped to (0, 1].
+func EWMAEstimator(alpha float64) DemandEstimator {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	var mu sync.Mutex
+	prev := make(map[JobID]float64)
+	return func(job JobID, observed int64) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		est, ok := prev[job]
+		if !ok {
+			est = float64(observed)
+		}
+		est = alpha*float64(observed) + (1-alpha)*est
+		prev[job] = est
+		return est
+	}
+}
+
+// PeakEstimator returns an estimator that remembers each job's largest
+// demand over the last window observations and predicts it will recur —
+// a conservative hint for strongly periodic burst patterns: a job that
+// recently burst is assumed able to burst again, so lenders reclaim more
+// aggressively on its behalf.
+func PeakEstimator(window int) DemandEstimator {
+	if window < 1 {
+		window = 8
+	}
+	var mu sync.Mutex
+	hist := make(map[JobID][]int64)
+	return func(job JobID, observed int64) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		h := append(hist[job], observed)
+		if len(h) > window {
+			h = h[len(h)-window:]
+		}
+		hist[job] = h
+		peak := int64(0)
+		for _, v := range h {
+			if v > peak {
+				peak = v
+			}
+		}
+		return float64(peak)
+	}
+}

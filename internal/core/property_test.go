@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomScenario drives an allocator through a sequence of windows derived
+// from fuzz input and checks the algorithm's global invariants after every
+// window:
+//
+//	I1. Token conservation: Σ final tokens == the integer pool, whenever at
+//	    least one job is active.
+//	I2. Non-negativity: no job is ever allocated negative tokens.
+//	I3. Record conservation: Σ records == 0 (every token lent was borrowed).
+//	I4. Step totals: initial, post-redistribution, and final allocations
+//	    all sum to the same pool (redistribution and re-compensation move
+//	    tokens, never create or destroy them).
+//	I5. Reclaim bound: no borrower pays back more than its debt.
+func checkInvariants(t *testing.T, maxRate float64, windows [][]Activity) {
+	t.Helper()
+	a := New(Config{MaxRate: maxRate, Period: 100 * time.Millisecond})
+	for w, active := range windows {
+		allocs := a.Allocate(active)
+		if len(active) == 0 {
+			if allocs != nil {
+				t.Fatalf("window %d: allocations for empty active set", w)
+			}
+			continue
+		}
+		var sumInit, sumRD, sumFinal int64
+		for _, al := range allocs {
+			if al.Tokens < 0 || al.Initial < 0 || al.AfterRedistribution < 0 {
+				t.Fatalf("window %d: negative allocation %+v", w, al) // I2
+			}
+			sumInit += al.Initial
+			sumRD += al.AfterRedistribution
+			sumFinal += al.Tokens
+			if al.ReclaimPaid < -1e-9 {
+				t.Fatalf("window %d: negative reclaim %+v", w, al)
+			}
+		}
+		if sumInit != sumRD || sumRD != sumFinal {
+			t.Fatalf("window %d: step totals differ: initial %d, RD %d, final %d",
+				w, sumInit, sumRD, sumFinal) // I4
+		}
+		var sumRec float64
+		for _, r := range a.Records() {
+			sumRec += r
+		}
+		if math.Abs(sumRec) > 1e-6*float64(len(windows)+1) {
+			t.Fatalf("window %d: Σ records = %v, want 0", w, sumRec) // I3
+		}
+	}
+}
+
+// decode turns fuzz bytes into a windowed activity schedule over a fixed
+// job population. Byte pairs select (job liveness, demand scale).
+func decode(data []byte) [][]Activity {
+	jobIDs := []JobID{"a.n1", "b.n2", "c.n3", "d.n4", "e.n5"}
+	nodes := []int{1, 2, 4, 8, 16}
+	var windows [][]Activity
+	for i := 0; i+1 < len(data); i += 2 {
+		live, scale := data[i], data[i+1]
+		var acts []Activity
+		for j := range jobIDs {
+			if live&(1<<uint(j)) == 0 {
+				continue
+			}
+			d := int64(scale) * int64(j+1) % 700
+			acts = append(acts, Activity{Job: jobIDs[j], Nodes: nodes[j], Demand: d})
+		}
+		windows = append(windows, acts)
+	}
+	return windows
+}
+
+func TestAllocatorInvariantsQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		checkInvariants(t, 1000, decode(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorInvariantsAdversarial(t *testing.T) {
+	// Hand-picked schedules that stress specific transitions: churn in and
+	// out of the active set, total idleness, everything-demands-everything,
+	// and a lone job.
+	schedules := [][][]Activity{
+		{
+			{{Job: "x", Nodes: 1, Demand: 1}},
+			nil,
+			{{Job: "x", Nodes: 1, Demand: 900}},
+			nil,
+			nil,
+			{{Job: "x", Nodes: 1, Demand: 1}, {Job: "y", Nodes: 9, Demand: 1}},
+		},
+		{
+			{{Job: "a", Nodes: 3, Demand: 0}, {Job: "b", Nodes: 1, Demand: 0}},
+			{{Job: "a", Nodes: 3, Demand: 1000}, {Job: "b", Nodes: 1, Demand: 1000}},
+		},
+		{
+			{{Job: "a", Nodes: 1, Demand: 50}, {Job: "b", Nodes: 1, Demand: 50}, {Job: "c", Nodes: 1, Demand: 50}},
+			{{Job: "b", Nodes: 1, Demand: 600}},
+			{{Job: "a", Nodes: 1, Demand: 600}, {Job: "c", Nodes: 1, Demand: 3}},
+			{{Job: "a", Nodes: 1, Demand: 3}, {Job: "b", Nodes: 1, Demand: 600}, {Job: "c", Nodes: 1, Demand: 600}},
+		},
+	}
+	for i, s := range schedules {
+		i, s := i, s
+		t.Run(string(rune('A'+i)), func(t *testing.T) {
+			checkInvariants(t, 500, s)
+		})
+	}
+}
+
+// Property: the largest-remainder integerization gives every job either
+// floor or ceil of its raw share in the first window (the "quota rule"),
+// before carried remainders blur the picture.
+func TestQuotaRuleFirstWindow(t *testing.T) {
+	f := func(n1, n2, n3 uint8) bool {
+		a := New(Config{MaxRate: 1000, Period: 100 * time.Millisecond})
+		acts := []Activity{
+			{Job: "a", Nodes: int(n1%50) + 1, Demand: 1000},
+			{Job: "b", Nodes: int(n2%50) + 1, Demand: 1000},
+			{Job: "c", Nodes: int(n3%50) + 1, Demand: 1000},
+		}
+		total := acts[0].Nodes + acts[1].Nodes + acts[2].Nodes
+		for _, al := range a.Allocate(acts) {
+			var nodes int
+			for _, ac := range acts {
+				if ac.Job == al.Job {
+					nodes = ac.Nodes
+				}
+			}
+			raw := 100 * float64(nodes) / float64(total)
+			if float64(al.Initial) < math.Floor(raw)-1e-9 || float64(al.Initial) > math.Ceil(raw)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation is deterministic — the same schedule always yields
+// identical allocations.
+func TestAllocatorDeterministicQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		windows := decode(data)
+		run := func() []Allocation {
+			a := New(Config{MaxRate: 777, Period: 250 * time.Millisecond})
+			var all []Allocation
+			for _, w := range windows {
+				all = append(all, a.Allocate(w)...)
+			}
+			return all
+		}
+		x, y := run(), run()
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: priorities always sum to 1 over the active set and allocations
+// are monotone in nodes — a job with more nodes never receives a smaller
+// initial allocation.
+func TestPriorityMonotoneQuick(t *testing.T) {
+	f := func(n1, n2 uint8, d uint16) bool {
+		a := New(Config{MaxRate: 1000, Period: 100 * time.Millisecond})
+		lo, hi := int(n1%20)+1, int(n1%20)+1+int(n2%20)
+		allocs := a.Allocate([]Activity{
+			{Job: "small", Nodes: lo, Demand: int64(d)},
+			{Job: "large", Nodes: hi, Demand: int64(d)},
+		})
+		var pSum float64
+		m := byJob(allocs)
+		for _, al := range allocs {
+			pSum += al.Priority
+		}
+		if math.Abs(pSum-1) > 1e-9 {
+			return false
+		}
+		return m["large"].Initial >= m["small"].Initial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

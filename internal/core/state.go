@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file adds snapshot/restore of the allocator's persistent state.
+// The paper notes AdapTBF keeps only (jobID, record) in runtime memory
+// (§IV-G); persisting that state across controller restarts preserves the
+// lending/borrowing ledger — without it, a restart would amnesty every
+// borrower.
+
+// stateVersion guards the snapshot format.
+const stateVersion = 1
+
+// snapshot is the serialized allocator state.
+type snapshot struct {
+	Version    int               `json:"version"`
+	MaxRate    float64           `json:"maxRate"`
+	PeriodNs   int64             `json:"periodNs"`
+	PeriodIdx  int               `json:"periodIdx"`
+	PoolCarry  float64           `json:"poolCarry"`
+	Records    map[JobID]float64 `json:"records"`
+	Remainders map[JobID]float64 `json:"remainders"`
+	PrevAlloc  map[JobID]int64   `json:"prevAlloc"`
+	LastActive map[JobID]int     `json:"lastActive"`
+}
+
+// SaveState writes the allocator's persistent state (records, remainders,
+// previous allocations) as JSON.
+func (a *Allocator) SaveState(w io.Writer) error {
+	s := snapshot{
+		Version:    stateVersion,
+		MaxRate:    a.maxRate,
+		PeriodNs:   int64(a.period),
+		PeriodIdx:  a.periodIdx,
+		PoolCarry:  a.poolCarry,
+		Records:    a.records,
+		Remainders: a.remainders,
+		PrevAlloc:  a.prevAlloc,
+		LastActive: a.lastActive,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// LoadState restores state saved by SaveState. The snapshot's MaxRate and
+// Period must match the allocator's configuration: records are
+// denominated in tokens per period, so restoring them into a differently
+// configured allocator would silently rescale every debt.
+func (a *Allocator) LoadState(r io.Reader) error {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("core: decoding state: %w", err)
+	}
+	if s.Version != stateVersion {
+		return fmt.Errorf("core: state version %d, want %d", s.Version, stateVersion)
+	}
+	if s.MaxRate != a.maxRate || time.Duration(s.PeriodNs) != a.period {
+		return fmt.Errorf("core: state for T_i=%v Δt=%v does not match allocator T_i=%v Δt=%v",
+			s.MaxRate, time.Duration(s.PeriodNs), a.maxRate, a.period)
+	}
+	a.periodIdx = s.PeriodIdx
+	a.poolCarry = s.PoolCarry
+	a.records = orEmpty(s.Records)
+	a.remainders = orEmpty(s.Remainders)
+	a.prevAlloc = s.PrevAlloc
+	if a.prevAlloc == nil {
+		a.prevAlloc = make(map[JobID]int64)
+	}
+	a.lastActive = s.LastActive
+	if a.lastActive == nil {
+		a.lastActive = make(map[JobID]int)
+	}
+	return nil
+}
+
+func orEmpty(m map[JobID]float64) map[JobID]float64 {
+	if m == nil {
+		return make(map[JobID]float64)
+	}
+	return m
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := alloc100()
+	lend := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(lend)
+	a.Allocate(lend)
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := alloc100()
+	if err := b.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for job, r := range a.Records() {
+		if got := b.RecordOf(job); math.Abs(got-r) > 1e-12 {
+			t.Errorf("record %s = %v after restore, want %v", job, got, r)
+		}
+	}
+
+	// The restored allocator must continue identically to the original.
+	next := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	wa, wb := a.Allocate(next), b.Allocate(next)
+	if len(wa) != len(wb) {
+		t.Fatal("allocation lengths differ after restore")
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("allocation %d differs: %+v vs %+v", i, wa[i], wb[i])
+		}
+	}
+}
+
+func TestLoadStateRejectsMismatchedConfig(t *testing.T) {
+	a := alloc100()
+	a.Allocate([]Activity{{Job: "j", Nodes: 1, Demand: 10}})
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := New(Config{MaxRate: 999, Period: 100 * time.Millisecond})
+	if err := other.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("state restored into differently configured allocator")
+	}
+	other2 := New(Config{MaxRate: 1000, Period: 200 * time.Millisecond})
+	if err := other2.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("state restored with mismatched period")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	a := alloc100()
+	if err := a.LoadState(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestRestartWithoutStateAmnestiesBorrowers(t *testing.T) {
+	// The scenario persistence exists to prevent: a borrower's debt
+	// vanishes if the controller restarts without restoring records.
+	a := alloc100()
+	lend := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(lend)
+	if a.RecordOf("borrower") >= 0 {
+		t.Fatal("premise: borrower should be in debt")
+	}
+	fresh := alloc100() // "restarted" without LoadState
+	if fresh.RecordOf("borrower") != 0 {
+		t.Fatal("fresh allocator has records")
+	}
+}
+
+func TestEWMAEstimatorSmooths(t *testing.T) {
+	e := EWMAEstimator(0.5)
+	if got := e("j", 100); got != 100 {
+		t.Fatalf("first estimate = %v, want observed 100", got)
+	}
+	if got := e("j", 0); got != 50 {
+		t.Fatalf("after spike to 0: %v, want 50 (half-smoothed)", got)
+	}
+	if got := e("j", 0); got != 25 {
+		t.Fatalf("decay: %v, want 25", got)
+	}
+	// Independent per job.
+	if got := e("other", 10); got != 10 {
+		t.Fatalf("other job polluted: %v", got)
+	}
+}
+
+func TestEWMAEstimatorClampsAlpha(t *testing.T) {
+	for _, alpha := range []float64{-1, 0, 2} {
+		e := EWMAEstimator(alpha)
+		if got := e("j", 100); got != 100 {
+			t.Fatalf("alpha=%v first estimate %v", alpha, got)
+		}
+	}
+}
+
+func TestPeakEstimatorRemembersBursts(t *testing.T) {
+	e := PeakEstimator(3)
+	e("j", 100) // burst
+	e("j", 5)
+	if got := e("j", 5); got != 100 {
+		t.Fatalf("peak within window = %v, want 100", got)
+	}
+	// Burst ages out of the 3-observation window.
+	if got := e("j", 5); got != 5 {
+		t.Fatalf("peak after window = %v, want 5", got)
+	}
+}
+
+func TestPeakEstimatorInAllocator(t *testing.T) {
+	// With the peak estimator, a lender that recently burst reclaims more
+	// aggressively (ū stays high → max(0, 1-ū) contributes less; the
+	// plumbing is what's under test).
+	a := alloc100(WithDemandEstimator(PeakEstimator(4)))
+	lend := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 2},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	a.Allocate(lend)
+	spike := []Activity{
+		{Job: "lender", Nodes: 1, Demand: 500},
+		{Job: "borrower", Nodes: 1, Demand: 500},
+	}
+	got := byJob(a.Allocate(spike))
+	if got["lender"].CompensationReceived <= 0 {
+		t.Fatal("no compensation with peak estimator")
+	}
+}

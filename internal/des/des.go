@@ -1,0 +1,138 @@
+// Package des provides a small deterministic discrete-event simulation
+// kernel: a virtual clock and a time-ordered event loop.
+//
+// All of the paper's experiments (Figures 3-9) are several-minute runs on a
+// real cluster; replaying them under a virtual clock makes the reproduction
+// fast (seconds) and bit-for-bit deterministic. Events scheduled for the
+// same instant fire in scheduling order, so a simulation run is a pure
+// function of the scenario and its random seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// An event is a callback scheduled at a virtual time.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// A Loop is a discrete-event loop with a virtual clock starting at 0
+// nanoseconds. The zero Loop is ready to use. Loop is not safe for
+// concurrent use; a simulation is single-threaded by design.
+type Loop struct {
+	events    eventHeap
+	now       int64
+	seq       uint64
+	processed uint64
+}
+
+// Now reports the current virtual time in nanoseconds.
+func (l *Loop) Now() int64 { return l.now }
+
+// Processed reports how many events have fired so far.
+func (l *Loop) Processed() uint64 { return l.processed }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (or the
+// present, during event processing) panics: it would silently reorder
+// causality, which is always a simulator bug.
+func (l *Loop) At(t int64, fn func()) {
+	if t < l.now {
+		panic(fmt.Sprintf("des: scheduling event at %d before now %d", t, l.now))
+	}
+	l.seq++
+	heap.Push(&l.events, &event{at: t, seq: l.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are clamped to zero.
+func (l *Loop) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	l.At(l.now+int64(d), fn)
+}
+
+// Every schedules fn at period intervals starting at start, until fn
+// returns false.
+func (l *Loop) Every(start int64, period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic("des: Every with non-positive period")
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		if !fn() {
+			return
+		}
+		at += int64(period)
+		l.At(at, tick)
+	}
+	l.At(at, tick)
+}
+
+// NextAt reports the timestamp of the earliest pending event, if any.
+func (l *Loop) NextAt() (int64, bool) {
+	if len(l.events) == 0 {
+		return 0, false
+	}
+	return l.events[0].at, true
+}
+
+// Step fires the next event, advancing the clock to its timestamp, and
+// reports whether an event was processed.
+func (l *Loop) Step() bool {
+	if len(l.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.events).(*event)
+	l.now = e.at
+	l.processed++
+	e.fn()
+	return true
+}
+
+// RunUntil processes events in time order until the clock would pass limit
+// or no events remain. The clock is left at the time of the last processed
+// event (or at limit if the next event lies beyond it).
+func (l *Loop) RunUntil(limit int64) {
+	for len(l.events) > 0 && l.events[0].at <= limit {
+		l.Step()
+	}
+	if l.now < limit {
+		l.now = limit
+	}
+}
+
+// Run processes events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}

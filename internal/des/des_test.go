@@ -1,0 +1,186 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var l Loop
+	var got []int64
+	times := []int64{50, 10, 30, 20, 40, 10}
+	for _, at := range times {
+		at := at
+		l.At(at, func() { got = append(got, at) })
+	}
+	l.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	var l Loop
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(100, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var l Loop
+	var at1, at2 int64
+	l.At(100, func() { at1 = l.Now() })
+	l.After(250, func() { at2 = l.Now() }) // scheduled from t=0
+	l.Run()
+	if at1 != 100 || at2 != 250 {
+		t.Fatalf("observed times %d, %d; want 100, 250", at1, at2)
+	}
+	if l.Now() != 250 {
+		t.Fatalf("final clock %d, want 250", l.Now())
+	}
+}
+
+func TestSchedulingFromWithinEvent(t *testing.T) {
+	var l Loop
+	var got []int64
+	l.At(10, func() {
+		got = append(got, l.Now())
+		l.After(5, func() { got = append(got, l.Now()) })
+	})
+	l.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var l Loop
+	l.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.At(50, func() {})
+	})
+	l.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var l Loop
+	fired := 0
+	for _, at := range []int64{10, 20, 30, 40} {
+		l.At(at, func() { fired++ })
+	}
+	l.RunUntil(25)
+	if fired != 2 {
+		t.Fatalf("fired %d by t=25, want 2", fired)
+	}
+	if l.Now() != 25 {
+		t.Fatalf("clock %d after RunUntil(25), want 25", l.Now())
+	}
+	l.RunUntil(100)
+	if fired != 4 {
+		t.Fatalf("fired %d by t=100, want 4", fired)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var l Loop
+	var ticks []int64
+	l.Every(100, 50*time.Nanosecond, func() bool {
+		ticks = append(ticks, l.Now())
+		return len(ticks) < 4
+	})
+	l.Run()
+	want := []int64{100, 150, 200, 250}
+	if len(ticks) != 4 {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	var l Loop
+	l.Every(0, 0, func() bool { return true })
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	var l Loop
+	ran := false
+	l.After(-5*time.Second, func() { ran = true })
+	l.Run()
+	if !ran || l.Now() != 0 {
+		t.Fatalf("negative After: ran=%v now=%d", ran, l.Now())
+	}
+}
+
+// Property: any batch of randomly-timed events fires in non-decreasing time
+// order and all of them fire.
+func TestOrderingQuick(t *testing.T) {
+	f := func(delays []uint32) bool {
+		var l Loop
+		var got []int64
+		for _, d := range delays {
+			at := int64(d % 1e6)
+			l.At(at, func() { got = append(got, at) })
+		}
+		l.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismUnderLoad(t *testing.T) {
+	run := func() []int64 {
+		var l Loop
+		rng := rand.New(rand.NewSource(99))
+		var got []int64
+		var spawn func()
+		n := 0
+		spawn = func() {
+			got = append(got, l.Now())
+			n++
+			if n < 5000 {
+				l.After(time.Duration(rng.Intn(1000))*time.Microsecond, spawn)
+			}
+		}
+		l.At(0, spawn)
+		l.Run()
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at event %d", i)
+		}
+	}
+}

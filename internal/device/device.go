@@ -1,0 +1,114 @@
+// Package device models an Object Storage Target (OST) backing store.
+//
+// The paper's testbed OSTs are SATA SSDs behind a Lustre OSS (Table II).
+// For reproducing the evaluation's *shape*, only three properties of the
+// device matter:
+//
+//  1. a finite byte rate, so the storage target is the contended resource;
+//  2. a fixed per-RPC cost (request processing, network DMA setup);
+//  3. efficiency that degrades as more independent streams interleave —
+//     the device pays a switch penalty whenever consecutive requests come
+//     from different streams (seek/readahead loss) and a small per-active-
+//     stream penalty (working-set/cache pressure).
+//
+// Property 3 is what makes the paper's Figure 4(a) possible: once
+// high-priority jobs finish early under AdapTBF, the survivors run against
+// a less-interleaved device and aggregate efficiency rises, whereas under
+// No BW every stream stays active until the common end.
+//
+// The device serves one request at a time; aggregate concurrency is
+// represented by the request scheduler feeding it, matching how the number
+// of effective Lustre I/O threads is bounded by the backing disk.
+package device
+
+import "time"
+
+// Params describes a storage target.
+type Params struct {
+	// BytesPerSec is the raw sequential transfer rate.
+	BytesPerSec float64
+	// PerRPCOverhead is a fixed cost added to every request.
+	PerRPCOverhead time.Duration
+	// SwitchPenalty is added when a request's stream differs from the
+	// previously served stream.
+	SwitchPenalty time.Duration
+	// ConcurrencyPenalty is added per concurrently active stream,
+	// modeling cache and seek-locality loss as the working set widens.
+	ConcurrencyPenalty time.Duration
+}
+
+// Default returns parameters for a SATA-SSD-class OST comparable to the
+// paper's testbed, tuned so that with 1 MiB RPCs the sustained rate is
+// ~480 RPC/s under heavy interleaving (64 active streams) and ~510-580
+// RPC/s under light interleaving. The experiments' maximum token rate
+// T_i = 500 tokens/s therefore sits between the two: the token pool is
+// the binding constraint once contention eases, while a fully interleaved
+// FCFS run (the No BW baseline) is device-bound slightly below it —
+// matching the testbed regime the paper's Figure 4(a) reflects.
+//
+// The default keeps SwitchPenalty at zero and charges the average
+// switching cost in PerRPCOverhead instead: with completion-gated clients
+// a FIFO queue self-organizes into long same-stream runs, so a literal
+// last-stream discount would hand the No BW baseline an efficiency edge
+// no real multi-threaded OST has. The per-active-stream penalty carries
+// the interleaving cost.
+func Default() Params {
+	return Params{
+		BytesPerSec:        650 << 20,
+		PerRPCOverhead:     70 * time.Microsecond,
+		ConcurrencyPenalty: 7500 * time.Nanosecond,
+	}
+}
+
+// A Device computes service times for requests against one storage target.
+// It remembers the last stream served so consecutive same-stream requests
+// avoid the switch penalty. The zero Device is unusable; use New.
+type Device struct {
+	p          Params
+	lastStream int
+	hasLast    bool
+
+	served   uint64
+	switches uint64
+	busy     time.Duration
+}
+
+// New returns a Device with the given parameters. A non-positive byte rate
+// panics: a device that cannot move data is always a configuration error.
+func New(p Params) *Device {
+	if p.BytesPerSec <= 0 {
+		panic("device: BytesPerSec must be positive")
+	}
+	return &Device{p: p}
+}
+
+// Params returns the device's parameters.
+func (d *Device) Params() Params { return d.p }
+
+// ServiceTime reports how long the device needs to serve a request of the
+// given size from the given stream while activeStreams distinct streams
+// have work outstanding at the target, and advances the device's stream
+// state. activeStreams below 1 is treated as 1.
+func (d *Device) ServiceTime(bytes int64, stream, activeStreams int) time.Duration {
+	if activeStreams < 1 {
+		activeStreams = 1
+	}
+	t := time.Duration(float64(bytes) / d.p.BytesPerSec * float64(time.Second))
+	t += d.p.PerRPCOverhead
+	if d.hasLast && stream != d.lastStream {
+		t += d.p.SwitchPenalty
+		d.switches++
+	}
+	t += time.Duration(activeStreams-1) * d.p.ConcurrencyPenalty
+	d.lastStream = stream
+	d.hasLast = true
+	d.served++
+	d.busy += t
+	return t
+}
+
+// Stats reports lifetime counters: requests served, stream switches paid,
+// and total busy time.
+func (d *Device) Stats() (served, switches uint64, busy time.Duration) {
+	return d.served, d.switches, d.busy
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/core"
+	"adaptbf/internal/sim"
+)
+
+// syntheticActivities builds n active jobs with varied demands and node
+// counts for overhead measurement.
+func syntheticActivities(n int) []core.Activity {
+	acts := make([]core.Activity, n)
+	for i := range acts {
+		acts[i] = core.Activity{
+			Job:    core.JobID(fmt.Sprintf("job%04d.n%03d", i, i%64)),
+			Nodes:  1 + i%32,
+			Demand: int64(1 + (i*37)%900),
+		}
+	}
+	return acts
+}
+
+// MeasureAllocator reports the average wall time of one full allocation
+// over n active jobs — the §IV-G "time for token allocation" metric. The
+// allocator is warmed for several periods first so records and remainders
+// are populated, as they would be in steady state.
+func MeasureAllocator(n, iterations int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	a := core.New(core.Config{MaxRate: 500 * float64(max(1, n/4)), Period: 100 * time.Millisecond})
+	acts := syntheticActivities(n)
+	for i := 0; i < 3; i++ {
+		a.Allocate(acts)
+	}
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		// Vary demands so no iteration short-circuits.
+		for j := range acts {
+			acts[j].Demand = int64(1 + (i+j*53)%900)
+		}
+		a.Allocate(acts)
+	}
+	return time.Since(start) / time.Duration(iterations)
+}
+
+// DefaultOverheadJobCounts is the §IV-G scaling axis, up to the paper's
+// quoted 1000 active jobs.
+var DefaultOverheadJobCounts = []int{1, 10, 100, 1000}
+
+// RunOverhead reproduces the §IV-G overhead analysis: allocation wall time
+// versus active job count (expect linear scaling, µs-per-job cost), plus
+// the controller's whole-cycle overhead measured inside a live simulation.
+func RunOverhead(jobCounts []int) (*Report, error) {
+	if len(jobCounts) == 0 {
+		jobCounts = DefaultOverheadJobCounts
+	}
+	rep := &Report{ID: "overhead", Title: "Framework overhead (§IV-G)"}
+
+	alloc := Table{Name: "overhead-allocation", Header: []string{"active jobs", "per call", "per job"}}
+	for _, n := range jobCounts {
+		iters := 2000 / n
+		if iters < 5 {
+			iters = 5
+		}
+		per := MeasureAllocator(n, iters)
+		alloc.Rows = append(alloc.Rows, []string{
+			fmt.Sprintf("%d", n),
+			per.String(),
+			(per / time.Duration(n)).String(),
+		})
+	}
+	rep.Tables = append(rep.Tables, alloc)
+
+	// Whole-cycle overhead from a short live run (collect → allocate →
+	// apply rules → clear).
+	p := DefaultParams()
+	p.Scale = 64
+	res, err := sim.Run(configFor(p, JobsAllocation(p), sim.AdapTBF))
+	if err != nil {
+		return nil, err
+	}
+	var tickSum, tickMax, allocSum time.Duration
+	for i, d := range res.TickTimes {
+		tickSum += d
+		if d > tickMax {
+			tickMax = d
+		}
+		allocSum += res.AllocTimes[i]
+	}
+	cycle := Table{Name: "overhead-cycle", Header: []string{"metric", "value"}}
+	if n := len(res.TickTimes); n > 0 {
+		cycle.Rows = append(cycle.Rows,
+			[]string{"controller cycles", fmt.Sprintf("%d", n)},
+			[]string{"mean cycle time", (tickSum / time.Duration(n)).String()},
+			[]string{"max cycle time", tickMax.String()},
+			[]string{"mean allocation time", (allocSum / time.Duration(n)).String()},
+			[]string{"rule operations", fmt.Sprintf("%d", res.RuleOps)},
+		)
+	}
+	rep.Tables = append(rep.Tables, cycle)
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+)
+
+// Render prints the report: its tables, then a sparkline rendition of each
+// policy's timeline (the terminal stand-in for the paper's plots), then any
+// record series.
+func (r *Report) Render(w io.Writer, width int) {
+	fmt.Fprintf(w, "== %s — %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "-- %s --\n", t.Name)
+		metrics.RenderTable(w, t.Header, t.Rows)
+		fmt.Fprintln(w)
+	}
+	for _, pol := range AllPolicies {
+		tl, ok := r.Timelines[pol]
+		if !ok {
+			continue
+		}
+		metrics.RenderTimeline(w, pol.String(), tl, width)
+		fmt.Fprintln(w)
+	}
+	if r.Series != nil {
+		rendered := false
+		for _, name := range r.Series.Names() {
+			if !strings.HasPrefix(name, "record:") {
+				continue
+			}
+			pts := r.Series.Get(name)
+			vals := make([]float64, len(pts))
+			for i, p := range pts {
+				vals[i] = p.V
+			}
+			fmt.Fprintf(w, "  %-18s |%s| final %+.0f tokens\n",
+				name, metrics.Sparkline(vals, width), r.Series.Last(name))
+			rendered = true
+		}
+		if rendered {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteCSVs writes the report's tables, timelines, and series as CSV files
+// under dir, named <id>-<artifact>.csv, and returns the files written.
+func (r *Report) WriteCSVs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	save := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	slug := strings.ReplaceAll(r.ID, "+", "_")
+	for _, t := range r.Tables {
+		t := t
+		name := fmt.Sprintf("%s-%s.csv", slug, sanitize(t.Name))
+		if err := save(name, func(w io.Writer) error {
+			return metrics.WriteCSV(w, t.Header, t.Rows)
+		}); err != nil {
+			return written, err
+		}
+	}
+	for pol, tl := range r.Timelines {
+		tl := tl
+		name := fmt.Sprintf("%s-timeline-%s.csv", slug, sanitize(pol.String()))
+		if err := save(name, func(w io.Writer) error {
+			return metrics.TimelineCSV(w, tl)
+		}); err != nil {
+			return written, err
+		}
+	}
+	if r.Series != nil && len(r.Series.Names()) > 0 {
+		if err := save(slug+"-series.csv", func(w io.Writer) error {
+			return metrics.SeriesCSV(w, r.Series)
+		}); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+	return strings.Trim(s, "-")
+}
+
+// timelineFor is a test helper exposing a policy's timeline.
+func (r *Report) timelineFor(p sim.Policy) *metrics.Timeline { return r.Timelines[p] }

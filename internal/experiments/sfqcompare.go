@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+)
+
+// RunSFQComparison is an extension beyond the paper: the §IV-E
+// redistribution workload under a fourth mechanism, SFQ(D) — the
+// proportional fair-queueing family the paper discusses in §II/§V (vPFS's
+// scheduler) but does not evaluate. It reports the four-way bandwidth
+// summary plus burst-latency percentiles, exposing the structural
+// trade-off: SFQ is work-conserving with no enforceable ceiling and no
+// lending memory; AdapTBF enforces T_i and repays lenders.
+func RunSFQComparison(p Params) (*Report, error) {
+	p = p.normalize()
+	jobs := JobsRedistribution(p)
+	policies := []sim.Policy{sim.NoBW, sim.StaticBW, sim.SFQ, sim.AdapTBF}
+	results, err := runPolicies(p, jobs, policies)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:        "ext-sfq",
+		Title:     "Extension: AdapTBF vs SFQ(D) fair queueing on the §IV-E workload",
+		Timelines: map[sim.Policy]*metrics.Timeline{},
+		Results:   results,
+	}
+	for pol, res := range results {
+		rep.Timelines[pol] = res.Timeline
+	}
+
+	bw := Table{Name: "ext-sfq-bandwidth", Header: []string{"job"}}
+	for _, pol := range policies {
+		bw.Header = append(bw.Header, pol.String()+" (MiB/s)")
+	}
+	sums := map[sim.Policy]metrics.Summary{}
+	for pol, res := range results {
+		sums[pol] = res.Timeline.Summarize()
+	}
+	for _, j := range jobs {
+		row := []string{j.ID}
+		for _, pol := range policies {
+			row = append(row, metrics.FormatMiBps(sums[pol].PerJob[j.ID].AvgMiBps))
+		}
+		bw.Rows = append(bw.Rows, row)
+	}
+	overall := []string{"overall"}
+	for _, pol := range policies {
+		overall = append(overall, metrics.FormatMiBps(sums[pol].OverallMiBps))
+	}
+	bw.Rows = append(bw.Rows, overall)
+	rep.Tables = append(rep.Tables, bw)
+
+	lat := Table{Name: "ext-sfq-burst-p99-latency", Header: []string{"job"}}
+	for _, pol := range policies {
+		lat.Header = append(lat.Header, pol.String()+" p99")
+	}
+	for _, j := range jobs {
+		row := []string{j.ID}
+		for _, pol := range policies {
+			row = append(row, fmt.Sprintf("%v",
+				results[pol].Latencies.Percentile(j.ID, 99).Round(100*time.Microsecond)))
+		}
+		lat.Rows = append(lat.Rows, row)
+	}
+	rep.Tables = append(rep.Tables, lat)
+	return rep, nil
+}

@@ -1,0 +1,173 @@
+// Package gift implements a simplified GIFT controller — the
+// coupon-based throttle-and-reward bandwidth manager (Patel, Garg, Tiwari,
+// FAST'20) that the AdapTBF paper identifies as its closest relative and
+// critiques in §IV-C: GIFT is *centralized* (one controller spanning all
+// storage targets) and *priority-unaware* (every active application gets
+// an equal share), and it reconciles throttling with fairness through
+// coupons rather than through adaptive token records.
+//
+// The essential mechanics reproduced here:
+//
+//   - every epoch, each storage target's bandwidth is split equally among
+//     the applications active on it;
+//   - an application that cannot use its share cedes the surplus to
+//     demanding applications and earns coupons for the ceded amount;
+//   - a demanding application first redeems its own coupons for extra
+//     bandwidth from the spare pool; remaining spare is granted
+//     proportionally to demand (GIFT's "expand" phase), with those grants
+//     paid for by issuing coupons to the ceding applications.
+//
+// Faithful simplifications: coupons here are denominated directly in
+// tokens (GIFT uses normalized bandwidth), and the "reward redemption
+// guarantee" analysis is out of scope — redemption is best-effort from
+// the spare pool, which is the behaviour the AdapTBF comparison needs.
+package gift
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// An Activity is one application's observed demand on one storage target
+// during the epoch (RPCs issued, 1 RPC = 1 token).
+type Activity struct {
+	Job    string
+	Demand int64
+}
+
+// An Allocation is the controller's decision for one application on one
+// storage target.
+type Allocation struct {
+	Job    string
+	Tokens int64   // tokens granted for the next epoch
+	Rate   float64 // Tokens / epoch, in tokens per second
+	// CouponsEarned and CouponsRedeemed report this epoch's coupon flow.
+	CouponsEarned   float64
+	CouponsRedeemed float64
+}
+
+// A Controller is the centralized GIFT decision maker. One Controller
+// serves every storage target in the system — by design, in contrast with
+// AdapTBF's per-target allocators.
+type Controller struct {
+	epoch   time.Duration
+	coupons map[string]float64
+}
+
+// New returns a Controller with the given decision epoch.
+func New(epoch time.Duration) *Controller {
+	if epoch <= 0 {
+		panic("gift: non-positive epoch")
+	}
+	return &Controller{epoch: epoch, coupons: make(map[string]float64)}
+}
+
+// Epoch reports the decision epoch.
+func (c *Controller) Epoch() time.Duration { return c.epoch }
+
+// Coupons reports an application's coupon balance.
+func (c *Controller) Coupons(job string) float64 { return c.coupons[job] }
+
+// Allocate computes one storage target's next-epoch grants from the
+// applications active on it. maxRate is the target's token rate capacity
+// in tokens per second. The coupon bank is global: balances earned on one
+// target are redeemable on any other, which is what makes GIFT
+// centralized.
+func (c *Controller) Allocate(active []Activity, maxRate float64) []Allocation {
+	if len(active) == 0 {
+		return nil
+	}
+	// Deterministic order; merge duplicates.
+	merged := map[string]int64{}
+	for _, a := range active {
+		d := a.Demand
+		if d < 0 {
+			d = 0
+		}
+		merged[a.Job] += d
+	}
+	jobs := make([]string, 0, len(merged))
+	for j := range merged {
+		jobs = append(jobs, j)
+	}
+	sort.Strings(jobs)
+
+	pool := maxRate * c.epoch.Seconds()
+	share := pool / float64(len(jobs))
+
+	out := make([]Allocation, len(jobs))
+	grants := make([]float64, len(jobs))
+	deficit := make([]float64, len(jobs))
+	spare := 0.0
+	var totalDeficit float64
+	for i, j := range jobs {
+		d := float64(merged[j])
+		if d < share {
+			// Cede the surplus; earn coupons for it.
+			grants[i] = d
+			ceded := share - d
+			spare += ceded
+			c.coupons[j] += ceded
+			out[i].CouponsEarned = ceded
+		} else {
+			grants[i] = share
+			deficit[i] = d - share
+			totalDeficit += deficit[i]
+		}
+	}
+
+	// Redemption: demanding applications spend their coupons on spare
+	// bandwidth, highest balance first (GIFT repays its oldest debts
+	// first; balance order is the deterministic stand-in).
+	order := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if deficit[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := c.coupons[jobs[order[a]]], c.coupons[jobs[order[b]]]
+		if ca != cb {
+			return ca > cb
+		}
+		return jobs[order[a]] < jobs[order[b]]
+	})
+	for _, i := range order {
+		if spare <= 0 {
+			break
+		}
+		redeem := math.Min(math.Min(c.coupons[jobs[i]], deficit[i]), spare)
+		if redeem <= 0 {
+			continue
+		}
+		grants[i] += redeem
+		deficit[i] -= redeem
+		totalDeficit -= redeem
+		spare -= redeem
+		c.coupons[jobs[i]] -= redeem
+		out[i].CouponsRedeemed = redeem
+	}
+
+	// Expand: leftover spare goes to remaining deficits proportionally;
+	// recipients pay with freshly owed coupons (implicitly: the ceding
+	// jobs already hold them).
+	if spare > 0 && totalDeficit > 0 {
+		expand := math.Min(spare, totalDeficit)
+		for i := range jobs {
+			if deficit[i] <= 0 {
+				continue
+			}
+			grants[i] += expand * deficit[i] / totalDeficit
+		}
+		spare -= expand
+	}
+
+	sec := c.epoch.Seconds()
+	for i, j := range jobs {
+		out[i].Job = j
+		out[i].Tokens = int64(math.Floor(grants[i]))
+		out[i].Rate = grants[i] / sec
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package jobstats tracks per-job I/O activity on one storage target,
+// standing in for Lustre's job_stats facility that AdapTBF queries on each
+// OST (§III-B of the paper).
+//
+// The tracker counts RPCs and bytes per job ID over an observation period.
+// The System Stats Controller snapshots the counters at each tick, feeds
+// them to the token allocation algorithm, and clears them once the rule
+// daemon has applied the new rates — exactly the collect/allocate/clear
+// cycle of Figure 2.
+//
+// Job IDs follow the paper's configuration jobid_var=nodelocal with
+// jobid_name=%e.%H, i.e. "executable.hostname".
+package jobstats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Stat is one job's observed activity during an observation period.
+type Stat struct {
+	JobID string
+	RPCs  int64 // number of RPCs issued to this storage target (the paper's d_x)
+	Bytes int64 // payload bytes across those RPCs
+}
+
+// A Tracker accumulates per-job counters. It is safe for concurrent use:
+// the real-time OSS observes requests from connection goroutines while the
+// controller snapshots from its ticker goroutine.
+// The zero Tracker is ready to use.
+type Tracker struct {
+	mu    sync.Mutex
+	stats map[string]*Stat
+}
+
+// Observe records one RPC of the given size for the job.
+func (t *Tracker) Observe(jobID string, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats == nil {
+		t.stats = make(map[string]*Stat)
+	}
+	s, ok := t.stats[jobID]
+	if !ok {
+		s = &Stat{JobID: jobID}
+		t.stats[jobID] = s
+	}
+	s.RPCs++
+	s.Bytes += bytes
+}
+
+// Snapshot returns the jobs observed since the last Clear, sorted by job ID
+// for deterministic iteration. The tracker keeps accumulating afterwards;
+// call Clear to start a new observation period.
+func (t *Tracker) Snapshot() []Stat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stat, 0, len(t.stats))
+	for _, s := range t.stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Clear resets all counters, ending the current observation period.
+func (t *Tracker) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.stats {
+		delete(t.stats, k)
+	}
+}
+
+// ActiveJobs reports how many jobs have activity in the current period.
+func (t *Tracker) ActiveJobs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stats)
+}
+
+// JobID composes a job identifier in the paper's %e.%H convention from an
+// executable name and a hostname.
+func JobID(executable, hostname string) string {
+	return executable + "." + hostname
+}
+
+// SplitJobID splits a %e.%H job identifier into executable and hostname.
+// The hostname is everything after the first dot, since executables may
+// not contain dots but hostnames may.
+func SplitJobID(jobID string) (executable, hostname string, err error) {
+	i := strings.IndexByte(jobID, '.')
+	if i <= 0 || i == len(jobID)-1 {
+		return "", "", fmt.Errorf("jobstats: %q is not an %%e.%%H job id", jobID)
+	}
+	return jobID[:i], jobID[i+1:], nil
+}

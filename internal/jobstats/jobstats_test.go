@@ -1,0 +1,98 @@
+package jobstats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestObserveAccumulates(t *testing.T) {
+	var tr Tracker
+	tr.Observe("dd.n1", 1<<20)
+	tr.Observe("dd.n1", 1<<20)
+	tr.Observe("cp.n2", 4096)
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d jobs, want 2", len(snap))
+	}
+	// Sorted by job ID: cp.n2 first.
+	if snap[0].JobID != "cp.n2" || snap[0].RPCs != 1 || snap[0].Bytes != 4096 {
+		t.Errorf("cp.n2 stat = %+v", snap[0])
+	}
+	if snap[1].JobID != "dd.n1" || snap[1].RPCs != 2 || snap[1].Bytes != 2<<20 {
+		t.Errorf("dd.n1 stat = %+v", snap[1])
+	}
+}
+
+func TestClearStartsNewPeriod(t *testing.T) {
+	var tr Tracker
+	tr.Observe("a.h", 1)
+	tr.Clear()
+	if got := tr.ActiveJobs(); got != 0 {
+		t.Fatalf("active after clear = %d, want 0", got)
+	}
+	tr.Observe("a.h", 1)
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].RPCs != 1 {
+		t.Fatalf("stats leaked across Clear: %+v", snap)
+	}
+}
+
+func TestSnapshotDoesNotClear(t *testing.T) {
+	var tr Tracker
+	tr.Observe("a.h", 1)
+	_ = tr.Snapshot()
+	if tr.ActiveJobs() != 1 {
+		t.Fatal("Snapshot cleared the tracker")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var tr Tracker
+	tr.Observe("a.h", 1)
+	snap := tr.Snapshot()
+	snap[0].RPCs = 999
+	if tr.Snapshot()[0].RPCs != 1 {
+		t.Fatal("mutating a snapshot changed the tracker")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var tr Tracker
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Observe("job.h", 10)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if snap[0].RPCs != 8000 || snap[0].Bytes != 80000 {
+		t.Fatalf("concurrent totals = %+v, want 8000 RPCs / 80000 bytes", snap[0])
+	}
+}
+
+func TestJobIDRoundTrip(t *testing.T) {
+	id := JobID("filebench", "c6525-25g-01.cloudlab")
+	if id != "filebench.c6525-25g-01.cloudlab" {
+		t.Fatalf("JobID = %q", id)
+	}
+	exe, host, err := SplitJobID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe != "filebench" || host != "c6525-25g-01.cloudlab" {
+		t.Fatalf("split = (%q, %q)", exe, host)
+	}
+}
+
+func TestSplitJobIDErrors(t *testing.T) {
+	for _, bad := range []string{"", "nodot", ".host", "exe."} {
+		if _, _, err := SplitJobID(bad); err == nil {
+			t.Errorf("SplitJobID(%q) accepted", bad)
+		}
+	}
+}

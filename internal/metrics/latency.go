@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// A LatencyRecorder accumulates per-job request latencies and answers
+// percentile queries. §IV-E's starvation claim is fundamentally a latency
+// claim — bursts queue behind a hog's backlog — so the experiments report
+// it directly. The zero LatencyRecorder is ready to use.
+type LatencyRecorder struct {
+	byJob  map[string][]time.Duration
+	sorted map[string]bool
+}
+
+// Record adds one request latency for the job.
+func (l *LatencyRecorder) Record(job string, d time.Duration) {
+	if l.byJob == nil {
+		l.byJob = make(map[string][]time.Duration)
+		l.sorted = make(map[string]bool)
+	}
+	l.byJob[job] = append(l.byJob[job], d)
+	l.sorted[job] = false
+}
+
+// Jobs returns the recorded job names, sorted.
+func (l *LatencyRecorder) Jobs() []string {
+	out := make([]string, 0, len(l.byJob))
+	for j := range l.byJob {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count reports the number of samples for the job.
+func (l *LatencyRecorder) Count(job string) int { return len(l.byJob[job]) }
+
+func (l *LatencyRecorder) ensureSorted(job string) []time.Duration {
+	s := l.byJob[job]
+	if len(s) > 0 && !l.sorted[job] {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		l.sorted[job] = true
+	}
+	return s
+}
+
+// Percentile reports the p-th percentile latency (p in [0,100]) for the
+// job using nearest-rank, or 0 with no samples.
+func (l *LatencyRecorder) Percentile(job string, p float64) time.Duration {
+	s := l.ensureSorted(job)
+	if len(s) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(p / 100 * float64(len(s)))
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Mean reports the mean latency for the job, or 0 with no samples.
+func (l *LatencyRecorder) Mean(job string) time.Duration {
+	s := l.byJob[job]
+	if len(s) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	return sum / time.Duration(len(s))
+}
+
+// Max reports the maximum latency for the job.
+func (l *LatencyRecorder) Max(job string) time.Duration {
+	s := l.ensureSorted(job)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		l.Record("j", time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{50, 51 * time.Millisecond},
+		{99, 100 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := l.Percentile("j", c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := l.Mean("j"); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+	if got := l.Max("j"); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	if got := l.Count("j"); got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+}
+
+func TestLatencyEmptyJob(t *testing.T) {
+	var l LatencyRecorder
+	if l.Percentile("missing", 50) != 0 || l.Mean("missing") != 0 || l.Max("missing") != 0 {
+		t.Fatal("empty job not zero")
+	}
+	if len(l.Jobs()) != 0 {
+		t.Fatal("jobs not empty")
+	}
+}
+
+func TestLatencyRecordAfterQuery(t *testing.T) {
+	var l LatencyRecorder
+	l.Record("j", 5*time.Millisecond)
+	_ = l.Percentile("j", 50) // sorts
+	l.Record("j", 1*time.Millisecond)
+	if got := l.Percentile("j", 0); got != time.Millisecond {
+		t.Fatalf("min after re-record = %v, want 1ms", got)
+	}
+}
+
+func TestLatencyJobsSorted(t *testing.T) {
+	var l LatencyRecorder
+	l.Record("z", 1)
+	l.Record("a", 1)
+	jobs := l.Jobs()
+	if len(jobs) != 2 || jobs[0] != "a" {
+		t.Fatalf("jobs = %v", jobs)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [min, max].
+func TestLatencyMonotoneQuick(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var l LatencyRecorder
+		for _, v := range vals {
+			l.Record("j", time.Duration(v)*time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			got := l.Percentile("j", p)
+			if got < prev {
+				return false
+			}
+			prev = got
+		}
+		return l.Percentile("j", 0) <= l.Mean("j") && l.Mean("j") <= l.Max("j")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// RenderTable writes an aligned plain-text table. It is used by the
+// benchmark harness to print the same rows the paper's figures plot.
+func RenderTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && utf8.RuneCountInString(c) > widths[i] {
+				widths[i] = utf8.RuneCountInString(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = c + strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c))
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// WriteCSV writes header and rows as CSV.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimelineCSV writes a timeline as CSV: one row per bin with a time column
+// (seconds), one column per job, and an aggregate column.
+func TimelineCSV(w io.Writer, t *Timeline) error {
+	jobs := t.Jobs()
+	header := append([]string{"time_s"}, jobs...)
+	header = append(header, "aggregate")
+	perJob := make([][]float64, len(jobs))
+	for i, j := range jobs {
+		perJob[i] = t.Throughput(j)
+	}
+	agg := t.Aggregate()
+	rows := make([][]string, t.Bins())
+	sec := t.BinWidth().Seconds()
+	for b := 0; b < t.Bins(); b++ {
+		row := make([]string, 0, len(jobs)+2)
+		row = append(row, strconv.FormatFloat(float64(b)*sec, 'f', 3, 64))
+		for i := range jobs {
+			row = append(row, strconv.FormatFloat(perJob[i][b], 'f', 2, 64))
+		}
+		row = append(row, strconv.FormatFloat(agg[b], 'f', 2, 64))
+		rows[b] = row
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// SeriesCSV writes a series set as CSV: time_s, series, value.
+func SeriesCSV(w io.Writer, s *SeriesSet) error {
+	rows := [][]string{}
+	for _, name := range s.Names() {
+		for _, p := range s.Get(name) {
+			rows = append(rows, []string{
+				strconv.FormatFloat(float64(p.T)/1e9, 'f', 3, 64),
+				name,
+				strconv.FormatFloat(p.V, 'f', 3, 64),
+			})
+		}
+	}
+	return WriteCSV(w, []string{"time_s", "series", "value"}, rows)
+}
+
+// RenderTimeline prints one sparkline per job plus the aggregate, each
+// labeled with its average bandwidth — a terminal rendition of the paper's
+// timeline figures.
+func RenderTimeline(w io.Writer, title string, t *Timeline, width int) {
+	fmt.Fprintf(w, "%s (%d bins × %v)\n", title, t.Bins(), t.BinWidth())
+	sum := t.Summarize()
+	for _, job := range t.Jobs() {
+		fmt.Fprintf(w, "  %-12s |%s| avg %7s MiB/s\n",
+			job, Sparkline(t.Throughput(job), width), FormatMiBps(sum.PerJob[job].AvgMiBps))
+	}
+	fmt.Fprintf(w, "  %-12s |%s| avg %7s MiB/s\n",
+		"aggregate", Sparkline(t.Aggregate(), width), FormatMiBps(sum.OverallMiBps))
+}

@@ -1,0 +1,282 @@
+// Package metrics collects and renders the measurements the paper reports:
+// per-job I/O throughput timelines binned at the observation granularity
+// (100 ms in every figure), per-job and aggregate bandwidth summaries,
+// AdapTBF-vs-baseline gain/loss percentages (Figures 4b, 6b, 8b), and
+// sampled series such as the per-job records and demands of Figure 7.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// MiB is 2^20 bytes; the paper reports bandwidth in MiB/s.
+const MiB = 1 << 20
+
+// A Timeline accumulates completed I/O bytes per job into fixed-width time
+// bins. It is the in-memory equivalent of the paper's "observation
+// collected at every 100ms" X axes.
+type Timeline struct {
+	bin   time.Duration
+	bytes map[string][]int64
+	bins  int
+}
+
+// NewTimeline returns a timeline with the given bin width.
+func NewTimeline(bin time.Duration) *Timeline {
+	if bin <= 0 {
+		panic("metrics: non-positive bin width")
+	}
+	return &Timeline{bin: bin, bytes: make(map[string][]int64)}
+}
+
+// BinWidth reports the bin width.
+func (t *Timeline) BinWidth() time.Duration { return t.bin }
+
+// Bins reports the number of bins up to the latest recorded instant.
+func (t *Timeline) Bins() int { return t.bins }
+
+// Record adds bytes completed by job at the given time (nanoseconds).
+func (t *Timeline) Record(job string, at int64, bytes int64) {
+	if at < 0 {
+		at = 0
+	}
+	idx := int(at / int64(t.bin))
+	s := t.bytes[job]
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	s[idx] += bytes
+	t.bytes[job] = s
+	if idx+1 > t.bins {
+		t.bins = idx + 1
+	}
+}
+
+// Jobs returns the recorded job names, sorted.
+func (t *Timeline) Jobs() []string {
+	out := make([]string, 0, len(t.bytes))
+	for j := range t.bytes {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Throughput returns the job's per-bin throughput in MiB/s, padded to
+// Bins() entries.
+func (t *Timeline) Throughput(job string) []float64 {
+	out := make([]float64, t.bins)
+	sec := t.bin.Seconds()
+	for i, b := range t.bytes[job] {
+		out[i] = float64(b) / MiB / sec
+	}
+	return out
+}
+
+// Aggregate returns the per-bin aggregate throughput across all jobs in
+// MiB/s — the paper's "aggregated I/O throughput" series.
+func (t *Timeline) Aggregate() []float64 {
+	out := make([]float64, t.bins)
+	sec := t.bin.Seconds()
+	for _, s := range t.bytes {
+		for i, b := range s {
+			out[i] += float64(b) / MiB / sec
+		}
+	}
+	return out
+}
+
+// TotalBytes reports the job's total completed bytes.
+func (t *Timeline) TotalBytes(job string) int64 {
+	var n int64
+	for _, b := range t.bytes[job] {
+		n += b
+	}
+	return n
+}
+
+// GrandTotalBytes reports total completed bytes across all jobs.
+func (t *Timeline) GrandTotalBytes() int64 {
+	var n int64
+	for j := range t.bytes {
+		n += t.TotalBytes(j)
+	}
+	return n
+}
+
+// A JobSummary condenses one job's timeline.
+type JobSummary struct {
+	Job        string
+	TotalMiB   float64
+	AvgMiBps   float64       // total bytes over the job's active span
+	ActiveSpan time.Duration // first to last bin with traffic
+}
+
+// A Summary condenses a whole run — the numbers behind the bar charts in
+// Figures 4(a), 6(a), and 8(a).
+type Summary struct {
+	PerJob       map[string]JobSummary
+	OverallMiBps float64 // grand total bytes over the makespan
+	Makespan     time.Duration
+}
+
+// Summarize computes per-job and overall average bandwidths. A job's
+// average is taken over its own active span (the paper reports per-job
+// achieved bandwidth); the overall average is taken over the makespan.
+func (t *Timeline) Summarize() Summary {
+	s := Summary{PerJob: make(map[string]JobSummary)}
+	lastAny := -1
+	for job, series := range t.bytes {
+		first, last := -1, -1
+		var total int64
+		for i, b := range series {
+			if b > 0 {
+				if first < 0 {
+					first = i
+				}
+				last = i
+				total += b
+			}
+		}
+		js := JobSummary{Job: job, TotalMiB: float64(total) / MiB}
+		if first >= 0 {
+			js.ActiveSpan = time.Duration(last-first+1) * t.bin
+			js.AvgMiBps = js.TotalMiB / js.ActiveSpan.Seconds()
+			if last > lastAny {
+				lastAny = last
+			}
+		}
+		s.PerJob[job] = js
+	}
+	if lastAny >= 0 {
+		s.Makespan = time.Duration(lastAny+1) * t.bin
+		s.OverallMiBps = float64(t.GrandTotalBytes()) / MiB / s.Makespan.Seconds()
+	}
+	return s
+}
+
+// GainLoss reports the percentage change of each job's average bandwidth
+// in s relative to base, plus an "overall" entry — Figures 4(b), 6(b),
+// 8(b). Jobs absent from base are skipped.
+func GainLoss(s, base Summary) map[string]float64 {
+	out := make(map[string]float64)
+	for job, js := range s.PerJob {
+		bj, ok := base.PerJob[job]
+		if !ok || bj.AvgMiBps == 0 {
+			continue
+		}
+		out[job] = (js.AvgMiBps - bj.AvgMiBps) / bj.AvgMiBps * 100
+	}
+	if base.OverallMiBps > 0 {
+		out["overall"] = (s.OverallMiBps - base.OverallMiBps) / base.OverallMiBps * 100
+	}
+	return out
+}
+
+// A Point is one sample of a named series.
+type Point struct {
+	T int64   // nanoseconds
+	V float64 // value
+}
+
+// A SeriesSet holds named sampled series, such as the per-job record and
+// demand curves of Figure 7.
+type SeriesSet struct {
+	series map[string][]Point
+}
+
+// NewSeriesSet returns an empty series set.
+func NewSeriesSet() *SeriesSet { return &SeriesSet{series: make(map[string][]Point)} }
+
+// Add appends a sample to the named series.
+func (s *SeriesSet) Add(name string, t int64, v float64) {
+	s.series[name] = append(s.series[name], Point{T: t, V: v})
+}
+
+// Names returns the series names, sorted.
+func (s *SeriesSet) Names() []string {
+	out := make([]string, 0, len(s.series))
+	for n := range s.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the named series (nil if absent).
+func (s *SeriesSet) Get(name string) []Point { return s.series[name] }
+
+// Last returns the final value of the named series, or 0.
+func (s *SeriesSet) Last(name string) float64 {
+	ps := s.series[name]
+	if len(ps) == 0 {
+		return 0
+	}
+	return ps[len(ps)-1].V
+}
+
+// Downsample reduces vals to width buckets by averaging, for rendering.
+// It returns vals unchanged when already narrow enough.
+func Downsample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	per := float64(len(vals)) / float64(width)
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		var sum float64
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Sparkline renders values as a unicode block-character strip of at most
+// width cells — the terminal stand-in for the paper's timeline plots.
+func Sparkline(vals []float64, width int) string {
+	vals = Downsample(vals, width)
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > 0 {
+		lo = 0 // throughput plots are zero-based
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if hi == lo {
+			out[i] = blocks[0]
+			continue
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}
+
+// FormatMiBps renders a bandwidth for tables.
+func FormatMiBps(v float64) string { return fmt.Sprintf("%.1f", v) }

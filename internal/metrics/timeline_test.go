@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+func TestRecordBinsCorrectly(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	tl.Record("j", ms(0), MiB)   // bin 0
+	tl.Record("j", ms(99), MiB)  // bin 0
+	tl.Record("j", ms(100), MiB) // bin 1
+	tl.Record("j", ms(250), MiB) // bin 2
+	tp := tl.Throughput("j")
+	if len(tp) != 3 {
+		t.Fatalf("bins = %d, want 3", len(tp))
+	}
+	// 2 MiB in a 100ms bin = 20 MiB/s.
+	if tp[0] != 20 || tp[1] != 10 || tp[2] != 10 {
+		t.Fatalf("throughput = %v, want [20 10 10]", tp)
+	}
+}
+
+func TestAggregateSumsJobs(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	tl.Record("a", ms(50), MiB)
+	tl.Record("b", ms(50), 3*MiB)
+	agg := tl.Aggregate()
+	if agg[0] != 40 {
+		t.Fatalf("aggregate = %v, want 40 MiB/s", agg[0])
+	}
+}
+
+func TestThroughputPadded(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	tl.Record("short", ms(0), MiB)
+	tl.Record("long", ms(500), MiB)
+	if got := len(tl.Throughput("short")); got != tl.Bins() {
+		t.Fatalf("short series len %d != bins %d", got, tl.Bins())
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.Record("a", 0, 10)
+	tl.Record("a", ms(1500), 20)
+	tl.Record("b", 0, 5)
+	if tl.TotalBytes("a") != 30 || tl.GrandTotalBytes() != 35 {
+		t.Fatalf("totals: a=%d grand=%d", tl.TotalBytes("a"), tl.GrandTotalBytes())
+	}
+}
+
+func TestSummarizeActiveSpan(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	// Job active bins 0-9 (1s) writing 100 MiB -> 100 MiB/s.
+	for i := int64(0); i < 10; i++ {
+		tl.Record("early", ms(i*100), 10*MiB)
+	}
+	// Job active only bins 20-29, same volume.
+	for i := int64(20); i < 30; i++ {
+		tl.Record("late", ms(i*100), 10*MiB)
+	}
+	s := tl.Summarize()
+	if got := s.PerJob["early"].AvgMiBps; math.Abs(got-100) > 1e-9 {
+		t.Errorf("early avg = %v, want 100 (active-span based)", got)
+	}
+	if got := s.PerJob["late"].AvgMiBps; math.Abs(got-100) > 1e-9 {
+		t.Errorf("late avg = %v, want 100 (active-span based)", got)
+	}
+	if s.Makespan != 3*time.Second {
+		t.Errorf("makespan = %v, want 3s", s.Makespan)
+	}
+	// Overall: 200 MiB over 3s.
+	if got := s.OverallMiBps; math.Abs(got-200.0/3) > 1e-6 {
+		t.Errorf("overall = %v, want %v", got, 200.0/3)
+	}
+}
+
+func TestGainLoss(t *testing.T) {
+	mk := func(a, b float64) Summary {
+		return Summary{
+			PerJob: map[string]JobSummary{
+				"a": {AvgMiBps: a},
+				"b": {AvgMiBps: b},
+			},
+			OverallMiBps: a + b,
+		}
+	}
+	gl := GainLoss(mk(150, 50), mk(100, 100))
+	if math.Abs(gl["a"]-50) > 1e-9 || math.Abs(gl["b"]+50) > 1e-9 {
+		t.Fatalf("gain/loss = %v, want a:+50%% b:-50%%", gl)
+	}
+	if math.Abs(gl["overall"]-0) > 1e-9 {
+		t.Fatalf("overall gain = %v, want 0", gl["overall"])
+	}
+}
+
+func TestGainLossSkipsUnknownBase(t *testing.T) {
+	gl := GainLoss(
+		Summary{PerJob: map[string]JobSummary{"new": {AvgMiBps: 10}}},
+		Summary{PerJob: map[string]JobSummary{}},
+	)
+	if _, ok := gl["new"]; ok {
+		t.Fatal("gain computed against missing baseline job")
+	}
+}
+
+func TestSeriesSet(t *testing.T) {
+	s := NewSeriesSet()
+	s.Add("rec:j1", 0, 1)
+	s.Add("rec:j1", ms(100), 2.5)
+	s.Add("dem:j1", 0, 7)
+	if names := s.Names(); len(names) != 2 || names[0] != "dem:j1" {
+		t.Fatalf("names = %v", names)
+	}
+	if got := s.Last("rec:j1"); got != 2.5 {
+		t.Fatalf("last = %v, want 2.5", got)
+	}
+	if got := s.Last("missing"); got != 0 {
+		t.Fatalf("last of missing = %v, want 0", got)
+	}
+	if pts := s.Get("rec:j1"); len(pts) != 2 || pts[1].T != ms(100) {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 3, 3, 5, 5, 7, 7}
+	out := Downsample(in, 4)
+	want := []float64{1, 3, 5, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("downsample = %v, want %v", out, want)
+		}
+	}
+	if got := Downsample(in, 100); len(got) != len(in) {
+		t.Fatal("widening downsample changed length")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8}, 100)
+	if utf8len := len([]rune(s)); utf8len != 9 {
+		t.Fatalf("sparkline cells = %d, want 9", utf8len)
+	}
+	if []rune(s)[0] == []rune(s)[8] {
+		t.Fatal("sparkline flat for a rising series")
+	}
+	if got := Sparkline(nil, 10); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 10)
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}
+
+func TestRenderTableAligns(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, []string{"job", "MiB/s"}, [][]string{
+		{"j1", "10.0"},
+		{"longjobname", "7.5"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[3], "longjobname  ") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	tl.Record("a", 0, MiB)
+	tl.Record("b", ms(100), 2*MiB)
+	var buf bytes.Buffer
+	if err := TimelineCSV(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "time_s,a,b,aggregate\n") {
+		t.Fatalf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, "0.000,10.00,0.00,10.00") {
+		t.Fatalf("csv row wrong: %q", got)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeriesSet()
+	s.Add("r", ms(100), 1.5)
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.100,r,1.500") {
+		t.Fatalf("series csv: %q", buf.String())
+	}
+}
+
+func TestRenderTimelineSmoke(t *testing.T) {
+	tl := NewTimeline(100 * time.Millisecond)
+	for i := int64(0); i < 50; i++ {
+		tl.Record("j1", ms(i*100), MiB*(i%5))
+	}
+	var buf bytes.Buffer
+	RenderTimeline(&buf, "test", tl, 40)
+	out := buf.String()
+	if !strings.Contains(out, "j1") || !strings.Contains(out, "aggregate") {
+		t.Fatalf("render missing rows: %q", out)
+	}
+}
+
+func TestNewTimelinePanicsOnBadBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTimeline(0) did not panic")
+		}
+	}()
+	NewTimeline(0)
+}
+
+func TestNegativeTimeClamped(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.Record("j", -5, 10)
+	if tl.TotalBytes("j") != 10 {
+		t.Fatal("negative-time record lost")
+	}
+}

@@ -1,0 +1,234 @@
+// Package rules implements the AdapTBF Rule Management Daemon (§III-D).
+//
+// After each allocation round the daemon reconciles the live TBF rules on a
+// storage target with the allocator's decisions: it creates rules for newly
+// active jobs, changes the token rate of jobs whose allocation moved, stops
+// rules of jobs that went inactive, and orders the rules by job priority so
+// that idle I/O capacity prefers high-priority queues. Jobs without rules
+// never starve: the TBF scheduler serves unmatched requests from its
+// fallback queue.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"adaptbf/internal/core"
+	"adaptbf/internal/tbf"
+)
+
+// An Engine is the slice of the TBF scheduler the daemon drives.
+// *tbf.Scheduler implements it; the real-time OSS wraps it with a lock.
+type Engine interface {
+	Rules() []tbf.Rule
+	StartRule(r tbf.Rule, now int64) error
+	ChangeRule(name string, rate float64, order int, now int64) error
+	StopRule(name string, now int64) error
+}
+
+var _ Engine = (*tbf.Scheduler)(nil)
+
+// An OpKind classifies one reconciliation action.
+type OpKind uint8
+
+// Reconciliation actions.
+const (
+	OpStart OpKind = iota
+	OpChange
+	OpStop
+)
+
+// String returns the action name.
+func (k OpKind) String() string {
+	switch k {
+	case OpStart:
+		return "start"
+	case OpChange:
+		return "change"
+	case OpStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// An Op records one applied action, for tracing and the overhead analysis.
+type Op struct {
+	Kind  OpKind
+	Rule  string
+	Job   core.JobID
+	Rate  float64
+	Order int
+}
+
+// Ops summarizes one reconciliation round.
+type Ops struct {
+	Applied  []Op
+	Duration time.Duration
+}
+
+// Counts reports how many starts, changes, and stops were applied.
+func (o Ops) Counts() (starts, changes, stops int) {
+	for _, op := range o.Applied {
+		switch op.Kind {
+		case OpStart:
+			starts++
+		case OpChange:
+			changes++
+		case OpStop:
+			stops++
+		}
+	}
+	return
+}
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Prefix namespaces the daemon's rules so administrator-installed TBF
+	// rules are never touched. Defaults to "adaptbf_".
+	Prefix string
+	// MinRate is the floor applied to rule rates, in tokens per second.
+	// A zero-token allocation would otherwise install an unserveable
+	// queue. Defaults to 1 token/s.
+	MinRate float64
+}
+
+// A Daemon reconciles allocations into TBF rules on one storage target.
+type Daemon struct {
+	engine  Engine
+	prefix  string
+	minRate float64
+}
+
+// New returns a Daemon driving the given engine.
+func New(engine Engine, cfg Config) *Daemon {
+	if engine == nil {
+		panic("rules: nil engine")
+	}
+	prefix := cfg.Prefix
+	if prefix == "" {
+		prefix = "adaptbf_"
+	}
+	minRate := cfg.MinRate
+	if minRate <= 0 {
+		minRate = 1
+	}
+	return &Daemon{engine: engine, prefix: prefix, minRate: minRate}
+}
+
+// RuleName returns the rule name the daemon uses for a job.
+func (d *Daemon) RuleName(job core.JobID) string { return d.prefix + string(job) }
+
+// jobOf inverts RuleName, reporting whether the rule belongs to the daemon.
+func (d *Daemon) jobOf(ruleName string) (core.JobID, bool) {
+	if !strings.HasPrefix(ruleName, d.prefix) {
+		return "", false
+	}
+	return core.JobID(ruleName[len(d.prefix):]), true
+}
+
+// Apply reconciles the live rules with the allocations at time now.
+// Rules are ordered by priority rank (highest priority first); ranks are
+// assigned positions 1..n so that a deliberately installed order-0
+// administrator rule still outranks the daemon's.
+//
+// Apply is not transactional: on an engine error it returns the ops applied
+// so far along with the error. The next period's reconciliation converges
+// to the desired state regardless, which is how the paper's prototype
+// tolerates transient lctl failures.
+func (d *Daemon) Apply(allocs []core.Allocation, now int64) (Ops, error) {
+	start := time.Now()
+	var out Ops
+
+	// Desired state: one exact-match rule per allocated job.
+	type want struct {
+		rate  float64
+		order int
+	}
+	ranked := append([]core.Allocation(nil), allocs...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Priority != ranked[j].Priority {
+			return ranked[i].Priority > ranked[j].Priority
+		}
+		return ranked[i].Job < ranked[j].Job
+	})
+	desired := make(map[core.JobID]want, len(ranked))
+	for i, al := range ranked {
+		rate := al.Rate
+		if rate < d.minRate {
+			rate = d.minRate
+		}
+		desired[al.Job] = want{rate: rate, order: i + 1}
+	}
+
+	// Existing daemon-owned rules.
+	existing := make(map[core.JobID]tbf.Rule)
+	for _, r := range d.engine.Rules() {
+		if job, ok := d.jobOf(r.Name); ok {
+			existing[job] = r
+		}
+	}
+
+	// Stop rules for inactive jobs first, freeing their names.
+	stale := make([]core.JobID, 0)
+	for job := range existing {
+		if _, ok := desired[job]; !ok {
+			stale = append(stale, job)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, job := range stale {
+		name := d.RuleName(job)
+		if err := d.engine.StopRule(name, now); err != nil {
+			out.Duration = time.Since(start)
+			return out, fmt.Errorf("rules: stop %s: %w", name, err)
+		}
+		out.Applied = append(out.Applied, Op{Kind: OpStop, Rule: name, Job: job})
+	}
+
+	// Create or change rules for active jobs, highest priority first.
+	for _, al := range ranked {
+		w := desired[al.Job]
+		name := d.RuleName(al.Job)
+		if cur, ok := existing[al.Job]; ok {
+			if cur.Rate == w.rate && cur.Order == w.order {
+				continue // already as desired
+			}
+			if err := d.engine.ChangeRule(name, w.rate, w.order, now); err != nil {
+				out.Duration = time.Since(start)
+				return out, fmt.Errorf("rules: change %s: %w", name, err)
+			}
+			out.Applied = append(out.Applied, Op{Kind: OpChange, Rule: name, Job: al.Job, Rate: w.rate, Order: w.order})
+			continue
+		}
+		r := tbf.Rule{
+			Name:  name,
+			Match: tbf.Match{JobIDs: []string{string(al.Job)}},
+			Rate:  w.rate,
+			Order: w.order,
+		}
+		if err := d.engine.StartRule(r, now); err != nil {
+			out.Duration = time.Since(start)
+			return out, fmt.Errorf("rules: start %s: %w", name, err)
+		}
+		out.Applied = append(out.Applied, Op{Kind: OpStart, Rule: name, Job: al.Job, Rate: w.rate, Order: w.order})
+	}
+
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// StopAll removes every daemon-owned rule, used at shutdown.
+func (d *Daemon) StopAll(now int64) error {
+	for _, r := range d.engine.Rules() {
+		if _, ok := d.jobOf(r.Name); !ok {
+			continue
+		}
+		if err := d.engine.StopRule(r.Name, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package rules
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adaptbf/internal/core"
+	"adaptbf/internal/tbf"
+)
+
+func alloc(job core.JobID, rate, prio float64) core.Allocation {
+	return core.Allocation{Job: job, Rate: rate, Priority: prio, Tokens: int64(rate / 10)}
+}
+
+func rulesByName(e Engine) map[string]tbf.Rule {
+	m := map[string]tbf.Rule{}
+	for _, r := range e.Rules() {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func TestApplyCreatesRules(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{})
+	ops, err := d.Apply([]core.Allocation{
+		alloc("j1", 100, 0.1),
+		alloc("j4", 500, 0.5),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts, changes, stops := ops.Counts(); starts != 2 || changes != 0 || stops != 0 {
+		t.Fatalf("ops = %d starts, %d changes, %d stops; want 2/0/0", starts, changes, stops)
+	}
+	m := rulesByName(s)
+	r1, ok1 := m["adaptbf_j1"]
+	r4, ok4 := m["adaptbf_j4"]
+	if !ok1 || !ok4 {
+		t.Fatalf("rules missing: %v", m)
+	}
+	if r1.Rate != 100 || r4.Rate != 500 {
+		t.Errorf("rates = %v, %v; want 100, 500", r1.Rate, r4.Rate)
+	}
+	// Higher priority job gets the lower (better) order.
+	if r4.Order >= r1.Order {
+		t.Errorf("hierarchy wrong: j4 order %d !< j1 order %d", r4.Order, r1.Order)
+	}
+}
+
+func TestApplyChangesOnlyWhenNeeded(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{})
+	allocs := []core.Allocation{alloc("a", 100, 0.4), alloc("b", 200, 0.6)}
+	if _, err := d.Apply(allocs, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Identical allocations: no ops at all.
+	ops, err := d.Apply(allocs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops.Applied) != 0 {
+		t.Fatalf("idempotent Apply produced ops: %+v", ops.Applied)
+	}
+	// Rate moves: exactly one change.
+	allocs[0] = alloc("a", 150, 0.4)
+	ops, err = d.Apply(allocs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts, changes, stops := ops.Counts(); starts != 0 || changes != 1 || stops != 0 {
+		t.Fatalf("ops = %d/%d/%d, want 0/1/0", starts, changes, stops)
+	}
+	if got := rulesByName(s)["adaptbf_a"].Rate; got != 150 {
+		t.Fatalf("rate after change = %v, want 150", got)
+	}
+}
+
+func TestApplyStopsInactiveJobs(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{})
+	d.Apply([]core.Allocation{alloc("a", 100, 0.5), alloc("b", 100, 0.5)}, 0)
+	ops, err := d.Apply([]core.Allocation{alloc("a", 200, 1.0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stops := ops.Counts(); stops != 1 {
+		t.Fatalf("stops = %d, want 1", stops)
+	}
+	if _, ok := rulesByName(s)["adaptbf_b"]; ok {
+		t.Fatal("rule for inactive job b survived")
+	}
+}
+
+func TestApplyPreservesForeignRules(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	admin := tbf.Rule{Name: "admin_cap", Match: tbf.Match{JobIDs: []string{"scratch.*"}}, Rate: 10, Order: 0}
+	if err := s.StartRule(admin, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := New(s, Config{})
+	d.Apply([]core.Allocation{alloc("a", 100, 1.0)}, 0)
+	d.Apply(nil, 1) // everything inactive
+	if _, ok := rulesByName(s)["admin_cap"]; !ok {
+		t.Fatal("administrator rule was removed by the daemon")
+	}
+	if _, ok := rulesByName(s)["adaptbf_a"]; ok {
+		t.Fatal("daemon rule not removed")
+	}
+}
+
+func TestMinRateFloor(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{MinRate: 5})
+	d.Apply([]core.Allocation{{Job: "starved", Rate: 0, Priority: 1}}, 0)
+	if got := rulesByName(s)["adaptbf_starved"].Rate; got != 5 {
+		t.Fatalf("rate = %v, want floor 5", got)
+	}
+}
+
+func TestOrdersAreDeterministicAndRanked(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{})
+	d.Apply([]core.Allocation{
+		alloc("j1", 100, 0.1),
+		alloc("j2", 100, 0.1), // tie with j1: broken by job ID
+		alloc("j3", 300, 0.3),
+		alloc("j4", 500, 0.5),
+	}, 0)
+	m := rulesByName(s)
+	if !(m["adaptbf_j4"].Order < m["adaptbf_j3"].Order &&
+		m["adaptbf_j3"].Order < m["adaptbf_j1"].Order &&
+		m["adaptbf_j1"].Order < m["adaptbf_j2"].Order) {
+		t.Fatalf("orders not ranked by priority: %v", m)
+	}
+	if m["adaptbf_j4"].Order != 1 {
+		t.Fatalf("top order = %d, want 1 (0 reserved for admin rules)", m["adaptbf_j4"].Order)
+	}
+}
+
+func TestStopAll(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	s.StartRule(tbf.Rule{Name: "keep", Rate: 1}, 0)
+	d := New(s, Config{})
+	d.Apply([]core.Allocation{alloc("a", 1, 0.5), alloc("b", 1, 0.5)}, 0)
+	if err := d.StopAll(1); err != nil {
+		t.Fatal(err)
+	}
+	m := rulesByName(s)
+	if len(m) != 1 {
+		t.Fatalf("rules after StopAll = %v, want only 'keep'", m)
+	}
+	if _, ok := m["keep"]; !ok {
+		t.Fatal("foreign rule removed by StopAll")
+	}
+}
+
+// failingEngine wraps a real scheduler but fails the nth call.
+type failingEngine struct {
+	*tbf.Scheduler
+	calls    int
+	failCall int
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *failingEngine) StartRule(r tbf.Rule, now int64) error {
+	f.calls++
+	if f.calls == f.failCall {
+		return errInjected
+	}
+	return f.Scheduler.StartRule(r, now)
+}
+
+func TestApplySurfacesEngineErrorsAndConverges(t *testing.T) {
+	fe := &failingEngine{Scheduler: tbf.NewScheduler(tbf.Config{}), failCall: 2}
+	d := New(fe, Config{})
+	allocs := []core.Allocation{alloc("a", 100, 0.5), alloc("b", 100, 0.5)}
+	ops, err := d.Apply(allocs, 0)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if len(ops.Applied) != 1 {
+		t.Fatalf("partial ops = %d, want 1 (first start succeeded)", len(ops.Applied))
+	}
+	// Next period: reconciliation completes the missing rule.
+	if _, err := d.Apply(allocs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rulesByName(fe.Scheduler)) != 2 {
+		t.Fatal("daemon did not converge after transient failure")
+	}
+}
+
+func TestRuleNameRoundTrip(t *testing.T) {
+	d := New(tbf.NewScheduler(tbf.Config{}), Config{Prefix: "x_"})
+	name := d.RuleName("dd.node-07")
+	if name != "x_dd.node-07" {
+		t.Fatalf("RuleName = %q", name)
+	}
+	job, ok := d.jobOf(name)
+	if !ok || job != "dd.node-07" {
+		t.Fatalf("jobOf(%q) = %q, %v", name, job, ok)
+	}
+	if _, ok := d.jobOf("other_rule"); ok {
+		t.Fatal("foreign rule claimed by daemon")
+	}
+}
+
+func TestNilEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(nil) did not panic")
+		}
+	}()
+	New(nil, Config{})
+}
+
+func TestOpsDuration(t *testing.T) {
+	s := tbf.NewScheduler(tbf.Config{})
+	d := New(s, Config{})
+	ops, _ := d.Apply([]core.Allocation{alloc("a", 1, 1)}, 0)
+	if ops.Duration <= 0 || ops.Duration > time.Second {
+		t.Fatalf("implausible duration %v", ops.Duration)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sfq implements Start-time Fair Queueing with depth, SFQ(D) —
+// the proportional-share I/O scheduler family the paper positions AdapTBF
+// against (§II, §V; Goyal et al.'s SFQ and the SFQ(D) variant vPFS uses).
+//
+// Every job is a flow with a weight. Each arriving request r of cost c is
+// stamped with a start tag S(r) = max(v, F_prev) and a finish tag
+// F(r) = S(r) + c/weight, where F_prev is the flow's previous finish tag
+// and v is the virtual system time, advanced to the start tag of each
+// dispatched request. Dispatch picks the queued request with the smallest
+// start tag; D requests may be in service concurrently.
+//
+// SFQ(D) is work-conserving and weight-proportional, but memoryless: a
+// flow that idles simply loses its share, and nothing is owed back when
+// it returns — exactly the long-term-fairness gap AdapTBF's records close
+// (demonstrated by TestSFQHasNoMemory and the comparison benchmarks).
+package sfq
+
+import (
+	"container/heap"
+
+	"adaptbf/internal/tbf"
+)
+
+// A flow is one job's fair-queueing state.
+type flow struct {
+	weight     float64
+	lastFinish float64
+}
+
+// An entry is a queued request with its tags.
+type entry struct {
+	req    *tbf.Request
+	start  float64
+	finish float64
+	seq    uint64
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// A Scheduler is an SFQ(D) request scheduler. It is not safe for
+// concurrent use (match the tbf.Scheduler contract).
+type Scheduler struct {
+	depth     int
+	weights   func(jobID string) float64
+	flows     map[string]*flow
+	queue     entryHeap
+	v         float64 // virtual system time
+	inService int
+	seq       uint64
+
+	pendingByJob map[string]int
+}
+
+// New returns an SFQ(D) scheduler with the given dispatch depth (D >= 1)
+// and a weight function (jobs default to weight 1 when it returns <= 0 or
+// is nil).
+func New(depth int, weights func(jobID string) float64) *Scheduler {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Scheduler{
+		depth:        depth,
+		weights:      weights,
+		flows:        make(map[string]*flow),
+		pendingByJob: make(map[string]int),
+	}
+}
+
+func (s *Scheduler) flowFor(jobID string) *flow {
+	f, ok := s.flows[jobID]
+	if !ok {
+		w := 1.0
+		if s.weights != nil {
+			if got := s.weights(jobID); got > 0 {
+				w = got
+			}
+		}
+		f = &flow{weight: w}
+		s.flows[jobID] = f
+	}
+	return f
+}
+
+// Enqueue stamps and queues a request. The now parameter is unused (SFQ
+// runs on virtual time) but kept for signature compatibility with the TBF
+// scheduler so both can stand behind the simulator's request gate.
+func (s *Scheduler) Enqueue(req *tbf.Request, now int64) {
+	f := s.flowFor(req.JobID)
+	start := s.v
+	if f.lastFinish > start {
+		start = f.lastFinish
+	}
+	cost := float64(req.Bytes)
+	if cost <= 0 {
+		cost = 1
+	}
+	finish := start + cost/f.weight
+	f.lastFinish = finish
+	s.seq++
+	heap.Push(&s.queue, &entry{req: req, start: start, finish: finish, seq: s.seq})
+	s.pendingByJob[req.JobID]++
+}
+
+// Dequeue dispatches the request with the minimum start tag, if the
+// dispatch depth allows. The int64 return mirrors tbf.Scheduler's wake
+// time: SFQ is work-conserving, so it is always InfiniteDeadline (nothing
+// will become eligible without a new arrival or a completion).
+func (s *Scheduler) Dequeue(now int64) (*tbf.Request, int64, bool) {
+	if len(s.queue) == 0 || s.inService >= s.depth {
+		return nil, tbf.InfiniteDeadline, false
+	}
+	e := heap.Pop(&s.queue).(*entry)
+	s.v = e.start
+	s.inService++
+	if n := s.pendingByJob[e.req.JobID] - 1; n > 0 {
+		s.pendingByJob[e.req.JobID] = n
+	} else {
+		delete(s.pendingByJob, e.req.JobID)
+	}
+	return e.req, 0, true
+}
+
+// Complete signals that a dispatched request finished service, freeing a
+// depth slot.
+func (s *Scheduler) Complete() {
+	if s.inService > 0 {
+		s.inService--
+	}
+}
+
+// Pending reports the number of queued (undispatched) requests.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// PendingForJob reports queued requests for one job.
+func (s *Scheduler) PendingForJob(jobID string) int { return s.pendingByJob[jobID] }
+
+// PendingJobs reports queued request counts per job.
+func (s *Scheduler) PendingJobs() map[string]int {
+	out := make(map[string]int, len(s.pendingByJob))
+	for k, v := range s.pendingByJob {
+		out[k] = v
+	}
+	return out
+}
+
+// VirtualTime reports the current virtual system time (for tests).
+func (s *Scheduler) VirtualTime() float64 { return s.v }

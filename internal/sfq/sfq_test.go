@@ -1,0 +1,203 @@
+package sfq
+
+import (
+	"testing"
+
+	"adaptbf/internal/tbf"
+)
+
+func req(job string, bytes int64) *tbf.Request {
+	return &tbf.Request{JobID: job, Bytes: bytes}
+}
+
+func weights(m map[string]float64) func(string) float64 {
+	return func(job string) float64 { return m[job] }
+}
+
+// drainN dispatches up to n requests, completing each immediately
+// (device-serialized service).
+func drainN(s *Scheduler, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		r, _, ok := s.Dequeue(0)
+		if !ok {
+			break
+		}
+		out = append(out, r.JobID)
+		s.Complete()
+	}
+	return out
+}
+
+func count(ids []string) map[string]int {
+	m := map[string]int{}
+	for _, id := range ids {
+		m[id]++
+	}
+	return m
+}
+
+func TestProportionalSharing(t *testing.T) {
+	// Weights 1:3 with equal-size requests: service should split ~1:3.
+	s := New(1, weights(map[string]float64{"a": 1, "b": 3}))
+	for i := 0; i < 400; i++ {
+		s.Enqueue(req("a", 1000), 0)
+		s.Enqueue(req("b", 1000), 0)
+	}
+	got := count(drainN(s, 400))
+	ratio := float64(got["b"]) / float64(got["a"])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("service ratio b/a = %.2f, want ~3 (weights 1:3); counts %v", ratio, got)
+	}
+}
+
+func TestEqualWeightsFair(t *testing.T) {
+	s := New(1, nil) // default weight 1
+	for i := 0; i < 300; i++ {
+		s.Enqueue(req("x", 1000), 0)
+		s.Enqueue(req("y", 1000), 0)
+	}
+	got := count(drainN(s, 300))
+	if diff := got["x"] - got["y"]; diff < -2 || diff > 2 {
+		t.Fatalf("equal weights served %v, want ~equal", got)
+	}
+}
+
+func TestWorkConserving(t *testing.T) {
+	// Only one flow has work: it gets everything immediately.
+	s := New(1, weights(map[string]float64{"only": 0.1}))
+	for i := 0; i < 10; i++ {
+		s.Enqueue(req("only", 1000), 0)
+	}
+	if got := len(drainN(s, 100)); got != 10 {
+		t.Fatalf("served %d, want all 10 (work conservation)", got)
+	}
+}
+
+func TestDepthBoundsConcurrency(t *testing.T) {
+	s := New(2, nil)
+	for i := 0; i < 5; i++ {
+		s.Enqueue(req("j", 1), 0)
+	}
+	if _, _, ok := s.Dequeue(0); !ok {
+		t.Fatal("first dispatch failed")
+	}
+	if _, _, ok := s.Dequeue(0); !ok {
+		t.Fatal("second dispatch failed")
+	}
+	if _, _, ok := s.Dequeue(0); ok {
+		t.Fatal("third dispatch exceeded depth 2")
+	}
+	s.Complete()
+	if _, _, ok := s.Dequeue(0); !ok {
+		t.Fatal("dispatch after completion failed")
+	}
+}
+
+func TestCostScalesWithBytes(t *testing.T) {
+	// Flow a sends requests twice the size of b at equal weight: b should
+	// get ~twice the request count (equal bytes).
+	s := New(1, nil)
+	for i := 0; i < 300; i++ {
+		s.Enqueue(req("a", 2000), 0)
+		s.Enqueue(req("b", 1000), 0)
+		s.Enqueue(req("b", 1000), 0)
+	}
+	got := count(drainN(s, 600))
+	ratio := float64(got["b"]) / float64(got["a"])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("request ratio b/a = %.2f, want ~2 (byte fairness); %v", ratio, got)
+	}
+}
+
+// TestSFQHasNoMemory demonstrates the property AdapTBF's records fix: a
+// flow that was idle (lending nothing, in AdapTBF terms) returns and gets
+// only its instantaneous weight share — no repayment for the service it
+// ceded while idle.
+func TestSFQHasNoMemory(t *testing.T) {
+	s := New(1, nil)
+	// Phase 1: only "greedy" has work and consumes everything.
+	for i := 0; i < 100; i++ {
+		s.Enqueue(req("greedy", 1000), 0)
+	}
+	drainN(s, 100)
+	// Phase 2: "idle" returns; both backlogged with equal weight.
+	for i := 0; i < 200; i++ {
+		s.Enqueue(req("greedy", 1000), 0)
+		s.Enqueue(req("idle", 1000), 0)
+	}
+	got := count(drainN(s, 200))
+	// Memoryless fairness: ~50/50 despite greedy's 100-request head start.
+	if d := got["idle"] - got["greedy"]; d < -3 || d > 3 {
+		t.Fatalf("phase-2 split %v; SFQ should be memoryless (~equal)", got)
+	}
+}
+
+func TestFCFSWithinFlow(t *testing.T) {
+	s := New(1, nil)
+	for i := 0; i < 20; i++ {
+		r := req("j", 1000)
+		r.Stream = i
+		s.Enqueue(r, 0)
+	}
+	prev := -1
+	for {
+		r, _, ok := s.Dequeue(0)
+		if !ok {
+			break
+		}
+		if r.Stream <= prev {
+			t.Fatalf("within-flow order violated: %d after %d", r.Stream, prev)
+		}
+		prev = r.Stream
+		s.Complete()
+	}
+}
+
+func TestPendingAccounting(t *testing.T) {
+	s := New(1, nil)
+	s.Enqueue(req("a", 1), 0)
+	s.Enqueue(req("a", 1), 0)
+	s.Enqueue(req("b", 1), 0)
+	if s.Pending() != 3 || s.PendingForJob("a") != 2 || s.PendingForJob("b") != 1 {
+		t.Fatalf("pending: %d, a=%d b=%d", s.Pending(), s.PendingForJob("a"), s.PendingForJob("b"))
+	}
+	pj := s.PendingJobs()
+	if pj["a"] != 2 || pj["b"] != 1 {
+		t.Fatalf("PendingJobs = %v", pj)
+	}
+	s.Dequeue(0)
+	if s.Pending() != 2 {
+		t.Fatalf("pending after dispatch = %d, want 2", s.Pending())
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	s := New(1, nil)
+	if r, wake, ok := s.Dequeue(0); ok || r != nil || wake != tbf.InfiniteDeadline {
+		t.Fatalf("empty dequeue = (%v, %v, %v)", r, wake, ok)
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	s := New(1, nil)
+	s.Enqueue(req("a", 1000), 0)
+	s.Enqueue(req("a", 1000), 0)
+	if s.VirtualTime() != 0 {
+		t.Fatal("virtual time moved before dispatch")
+	}
+	s.Dequeue(0)
+	s.Complete()
+	s.Dequeue(0)
+	if s.VirtualTime() != 1000 {
+		t.Fatalf("v = %v after second dispatch, want 1000", s.VirtualTime())
+	}
+}
+
+func TestZeroCostRequestHandled(t *testing.T) {
+	s := New(1, nil)
+	s.Enqueue(req("a", 0), 0)
+	if _, _, ok := s.Dequeue(0); !ok {
+		t.Fatal("zero-byte request not dispatchable")
+	}
+}

@@ -1,0 +1,675 @@
+// Package sim wires every substrate into a deterministic discrete-event
+// simulation of one Lustre-style storage stack: workload processes on
+// clients issue RPCs over a small network delay to object storage servers,
+// where a TBF scheduler (package tbf) gates them into a storage device
+// model (package device), while — under the AdapTBF policy — a controller
+// (package controller) re-allocates token rates every observation period.
+//
+// The three policies of the paper's evaluation (§IV-C) are supported, plus
+// one more from its related work for comparison:
+//
+//   - NoBW:    no TBF rules; pure FCFS from the fallback queue.
+//   - Static:  one rule per job, fixed for the whole run, with rate
+//     proportional to the job's share of all compute nodes in the system.
+//   - AdapTBF: the full adaptive borrowing/lending controller.
+//   - SFQ:     start-time fair queueing with depth (§II/§V's
+//     proportional-share alternative, as vPFS uses), weighted by
+//     compute nodes — work-conserving but memoryless.
+//   - GIFT:    the centralized coupon-based throttle-and-reward manager
+//     (§IV-C's "most comparable" system): one controller spans every
+//     storage target, shares are equal per application (priority-
+//     unaware), and ceded bandwidth earns redeemable coupons.
+//
+// Runs are bit-for-bit deterministic: identical configurations produce
+// identical results.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/controller"
+	"adaptbf/internal/core"
+	"adaptbf/internal/des"
+	"adaptbf/internal/device"
+	"adaptbf/internal/gift"
+	"adaptbf/internal/jobstats"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/rules"
+	"adaptbf/internal/sfq"
+	"adaptbf/internal/tbf"
+	"adaptbf/internal/workload"
+)
+
+// A Policy selects the bandwidth-control mechanism under test.
+type Policy int
+
+// The paper's three evaluation mechanisms, plus the related-work
+// fair-queueing baseline.
+const (
+	NoBW Policy = iota
+	StaticBW
+	AdapTBF
+	SFQ
+	GIFT
+)
+
+// String names the policy as the paper does.
+func (p Policy) String() string {
+	switch p {
+	case NoBW:
+		return "No BW"
+	case StaticBW:
+		return "Static BW"
+	case AdapTBF:
+		return "AdapTBF"
+	case SFQ:
+		return "SFQ(D)"
+	case GIFT:
+		return "GIFT"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes one simulation scenario.
+type Config struct {
+	Policy Policy
+	Jobs   []workload.Job
+
+	// MaxTokenRate is T_i per OST in tokens/s. Defaults to 500
+	// (≈ 500 MiB/s with 1 MiB RPCs, the SSD-class OST of Table II).
+	MaxTokenRate float64
+	// Period is the observation period Δt. Defaults to 100 ms (§IV-H).
+	Period time.Duration
+	// Device parameterizes each OST's backing store. Zero value means
+	// device.Default().
+	Device device.Params
+	// BucketDepth is the TBF bucket depth. Defaults to Lustre's 3.
+	BucketDepth float64
+	// NetDelay is the one-way client↔server latency. Defaults to 100 µs
+	// (25 GbE class).
+	NetDelay time.Duration
+	// OSTs is the number of storage targets; processes stripe their RPCs
+	// round-robin across them. Defaults to 1, as in the paper's
+	// single-OST timelines.
+	OSTs int
+	// Duration caps the simulated time. Required when any process is
+	// unbounded; otherwise defaults to MaxDuration.
+	Duration time.Duration
+	// BinWidth is the metrics bin. Defaults to Period.
+	BinWidth time.Duration
+	// AllocOpts forwards ablation options to the allocator.
+	AllocOpts []core.Option
+	// StaticTotalNodes overrides the node total used for Static BW
+	// priorities ("resources available in the system"). Defaults to the
+	// sum over Jobs.
+	StaticTotalNodes int
+	// SampleRecords enables per-tick record/demand series collection
+	// (Figure 7). Only meaningful under AdapTBF.
+	SampleRecords bool
+	// SFQDepth is the dispatch depth D for the SFQ policy. Defaults to 1
+	// (the device model serves one request at a time).
+	SFQDepth int
+}
+
+// MaxDuration caps bounded scenarios that fail to converge (e.g. a
+// mis-tuned Static BW run); hitting it leaves Result.Done false.
+const MaxDuration = 2 * time.Hour
+
+// A Result carries everything the experiment runners need.
+type Result struct {
+	Policy    Policy
+	Timeline  *metrics.Timeline        // completed bytes per job, all OSTs combined
+	Records   *metrics.SeriesSet       // "record:<job>", "demand:<job>" (AdapTBF only)
+	Latencies *metrics.LatencyRecorder // client-perceived per-RPC latency per job
+
+	// Per-tick controller costs, for the §IV-G overhead analysis.
+	AllocTimes []time.Duration
+	TickTimes  []time.Duration
+	RuleOps    int
+
+	FinishTimes map[string]time.Duration // job → completion time
+	Done        bool                     // every bounded process finished
+	Elapsed     time.Duration            // simulated time at the end
+
+	DeviceBusy []time.Duration // per-OST busy time
+	ServedRPCs uint64          // RPCs served across OSTs
+}
+
+// Utilization reports the fraction of the makespan OST i spent busy.
+func (r *Result) Utilization(i int) float64 {
+	if r.Elapsed <= 0 || i < 0 || i >= len(r.DeviceBusy) {
+		return 0
+	}
+	return float64(r.DeviceBusy[i]) / float64(r.Elapsed)
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if len(out.Jobs) == 0 {
+		return out, fmt.Errorf("sim: no jobs")
+	}
+	for _, j := range out.Jobs {
+		if err := j.Validate(); err != nil {
+			return out, err
+		}
+	}
+	if out.MaxTokenRate == 0 {
+		out.MaxTokenRate = 500
+	}
+	if out.MaxTokenRate < 0 {
+		return out, fmt.Errorf("sim: negative MaxTokenRate")
+	}
+	if out.Period == 0 {
+		out.Period = 100 * time.Millisecond
+	}
+	if out.Period < 0 {
+		return out, fmt.Errorf("sim: negative Period")
+	}
+	if out.Device.BytesPerSec == 0 {
+		out.Device = device.Default()
+	}
+	if out.BucketDepth == 0 {
+		out.BucketDepth = tbf.DefaultBucketDepth
+	}
+	if out.NetDelay == 0 {
+		out.NetDelay = 100 * time.Microsecond
+	}
+	if out.NetDelay < 0 {
+		return out, fmt.Errorf("sim: negative NetDelay")
+	}
+	if out.OSTs == 0 {
+		out.OSTs = 1
+	}
+	if out.OSTs < 0 {
+		return out, fmt.Errorf("sim: negative OSTs")
+	}
+	if out.BinWidth == 0 {
+		out.BinWidth = out.Period
+	}
+	if out.SFQDepth == 0 {
+		out.SFQDepth = 1
+	}
+	if out.SFQDepth < 0 {
+		return out, fmt.Errorf("sim: negative SFQDepth")
+	}
+	unbounded := false
+	for _, j := range out.Jobs {
+		for _, p := range j.Procs {
+			if p.FileBytes == 0 {
+				unbounded = true
+			}
+		}
+	}
+	if out.Duration == 0 {
+		if unbounded {
+			return out, fmt.Errorf("sim: unbounded processes require a Duration")
+		}
+		out.Duration = MaxDuration
+	}
+	return out, nil
+}
+
+// Run executes the scenario and returns its result.
+func Run(cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := newSimulation(c)
+	s.start()
+	// Step events manually rather than RunUntil so that a bounded
+	// workload finishing early leaves the clock at its true makespan
+	// instead of jumping to the duration cap.
+	limit := int64(c.Duration)
+	for {
+		at, ok := s.loop.NextAt()
+		if !ok || at > limit {
+			break
+		}
+		s.loop.Step()
+	}
+	return s.finish(), nil
+}
+
+// simulation is the run-time state behind Run.
+type simulation struct {
+	cfg  Config
+	loop *des.Loop
+	osts []*ostState
+	res  *Result
+
+	procs        []*procState
+	procsByJob   map[string][]*procState
+	nodesByJob   map[string]int
+	unfinished   int // bounded procs still running
+	hasUnbounded bool
+	allDone      bool
+	nextStream   int
+}
+
+// A requestGate is the scheduler standing between arriving requests and
+// the device. *tbf.Scheduler (NoBW/Static/AdapTBF) and a wrapped
+// sfq.Scheduler both implement it.
+type requestGate interface {
+	Enqueue(req *tbf.Request, now int64)
+	Dequeue(now int64) (req *tbf.Request, wake int64, ok bool)
+	Pending() int
+	PendingForJob(jobID string) int
+	PendingJobs() map[string]int
+}
+
+// ostState is one storage target: request gate + device + stats +
+// (optionally) an AdapTBF controller.
+type ostState struct {
+	sim     *simulation
+	idx     int
+	gate    requestGate
+	sched   *tbf.Scheduler // non-nil except under the SFQ policy
+	dev     *device.Device
+	tracker *jobstats.Tracker
+	ctrl    *controller.Controller
+
+	busy        bool
+	wakeAt      int64       // pending wake event time; 0 = none
+	outstanding map[int]int // stream → requests queued or in service here
+}
+
+// rpcTag rides each request's Userdata: which process issued it and when.
+type rpcTag struct {
+	proc     *procState
+	issuedAt int64
+}
+
+// procState executes one workload.Pattern.
+type procState struct {
+	sim       *simulation
+	jobID     string
+	pat       workload.Pattern
+	stream    int
+	rpcsLeft  int64 // -1 = unbounded
+	inflight  int
+	burstLeft int
+	started   bool
+	done      bool
+	ostRR     int
+}
+
+func newSimulation(c Config) *simulation {
+	s := &simulation{
+		cfg:        c,
+		loop:       &des.Loop{},
+		procsByJob: make(map[string][]*procState),
+		nodesByJob: make(map[string]int),
+		res: &Result{
+			Policy:      c.Policy,
+			Timeline:    metrics.NewTimeline(c.BinWidth),
+			Records:     metrics.NewSeriesSet(),
+			Latencies:   &metrics.LatencyRecorder{},
+			FinishTimes: make(map[string]time.Duration),
+		},
+	}
+	for _, job := range c.Jobs {
+		s.nodesByJob[job.ID] = job.Nodes
+	}
+	for i := 0; i < c.OSTs; i++ {
+		o := &ostState{
+			sim:         s,
+			idx:         i,
+			dev:         device.New(c.Device),
+			tracker:     &jobstats.Tracker{},
+			outstanding: make(map[int]int),
+		}
+		if c.Policy == SFQ {
+			o.gate = sfq.New(c.SFQDepth, func(jobID string) float64 {
+				return float64(s.nodesByJob[jobID])
+			})
+		} else {
+			o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: c.BucketDepth})
+			o.gate = o.sched
+		}
+		s.osts = append(s.osts, o)
+	}
+	for _, job := range c.Jobs {
+		for _, pat := range job.Procs {
+			p := &procState{
+				sim:    s,
+				jobID:  job.ID,
+				pat:    pat.Normalize(),
+				stream: s.nextStream,
+			}
+			s.nextStream++
+			if p.pat.FileBytes > 0 {
+				p.rpcsLeft = p.pat.RPCs()
+				s.unfinished++
+			} else {
+				p.rpcsLeft = -1
+				s.hasUnbounded = true
+			}
+			s.procs = append(s.procs, p)
+			s.procsByJob[job.ID] = append(s.procsByJob[job.ID], p)
+		}
+	}
+	return s
+}
+
+// start installs policy machinery and schedules process starts.
+func (s *simulation) start() {
+	switch s.cfg.Policy {
+	case StaticBW:
+		s.installStaticRules()
+	case AdapTBF:
+		s.installControllers()
+	case GIFT:
+		s.installGIFT()
+	}
+	for _, p := range s.procs {
+		p := p
+		s.loop.At(int64(p.pat.StartDelay), func() { p.begin() })
+	}
+}
+
+// installStaticRules applies fixed priority-proportional rules on every
+// OST: rate = T_i · nodes/totalNodes, never adjusted — the paper's Static
+// BW baseline.
+func (s *simulation) installStaticRules() {
+	total := s.cfg.StaticTotalNodes
+	if total <= 0 {
+		for _, j := range s.cfg.Jobs {
+			total += j.Nodes
+		}
+	}
+	// Rank jobs by priority for the rule hierarchy, mirroring the daemon.
+	jobs := append([]workload.Job(nil), s.cfg.Jobs...)
+	for i := 0; i < len(jobs); i++ {
+		for j := i + 1; j < len(jobs); j++ {
+			if jobs[j].Nodes > jobs[i].Nodes || (jobs[j].Nodes == jobs[i].Nodes && jobs[j].ID < jobs[i].ID) {
+				jobs[i], jobs[j] = jobs[j], jobs[i]
+			}
+		}
+	}
+	for _, o := range s.osts {
+		for rank, j := range jobs {
+			rate := s.cfg.MaxTokenRate * float64(j.Nodes) / float64(total)
+			if rate < 1 {
+				rate = 1
+			}
+			r := tbf.Rule{
+				Name:  "static_" + j.ID,
+				Match: tbf.Match{JobIDs: []string{j.ID}},
+				Rate:  rate,
+				Order: rank + 1,
+			}
+			if err := o.sched.StartRule(r, 0); err != nil {
+				panic(err) // job IDs are validated unique upstream
+			}
+		}
+	}
+}
+
+// installControllers builds one independent AdapTBF controller per OST —
+// the decentralized deployment of Figure 2 — and schedules its tick every
+// observation period.
+func (s *simulation) installControllers() {
+	for _, o := range s.osts {
+		o := o
+		alloc := core.New(core.Config{MaxRate: s.cfg.MaxTokenRate, Period: s.cfg.Period}, s.cfg.AllocOpts...)
+		o.ctrl = controller.New(controller.Config{
+			Stats:   o.tracker,
+			Nodes:   controller.NodeMapperFunc(func(jobID string) int { return max(1, s.nodesByJob[jobID]) }),
+			Alloc:   alloc,
+			Daemon:  rules.New(o.sched, rules.Config{}),
+			Backlog: o.sched.PendingJobs,
+			OnTick:  func(rep controller.TickReport) { s.observeTick(o, rep) },
+		})
+		s.loop.Every(int64(s.cfg.Period), s.cfg.Period, func() bool {
+			o.ctrl.Tick(s.loop.Now())
+			o.kick()
+			return !s.allDone
+		})
+	}
+}
+
+// installGIFT builds ONE centralized controller for the whole system —
+// GIFT's design point, in contrast with AdapTBF's per-target
+// decentralization. Each period it walks every storage target with a
+// global coupon bank: balances earned on one target are redeemable on
+// another.
+func (s *simulation) installGIFT() {
+	ctrl := gift.New(s.cfg.Period)
+	daemons := make([]*rules.Daemon, len(s.osts))
+	for i, o := range s.osts {
+		daemons[i] = rules.New(o.sched, rules.Config{Prefix: "gift_"})
+	}
+	s.loop.Every(int64(s.cfg.Period), s.cfg.Period, func() bool {
+		for i, o := range s.osts {
+			pending := o.sched.PendingJobs()
+			var active []gift.Activity
+			for _, st := range o.tracker.Snapshot() {
+				d := st.RPCs
+				if n := int64(pending[st.JobID]); n > d {
+					d = n
+				}
+				delete(pending, st.JobID)
+				active = append(active, gift.Activity{Job: st.JobID, Demand: d})
+			}
+			for job, n := range pending {
+				active = append(active, gift.Activity{Job: job, Demand: int64(n)})
+			}
+			allocs := ctrl.Allocate(active, s.cfg.MaxTokenRate)
+			converted := make([]core.Allocation, len(allocs))
+			for j, al := range allocs {
+				converted[j] = core.Allocation{
+					Job:      core.JobID(al.Job),
+					Tokens:   al.Tokens,
+					Rate:     al.Rate,
+					Priority: 1.0 / float64(len(allocs)), // equal: GIFT is priority-unaware
+				}
+			}
+			if _, err := daemons[i].Apply(converted, s.loop.Now()); err == nil {
+				o.tracker.Clear()
+			}
+			o.kick()
+		}
+		return !s.allDone
+	})
+}
+
+// observeTick records controller outputs into the result.
+func (s *simulation) observeTick(o *ostState, rep controller.TickReport) {
+	s.res.AllocTimes = append(s.res.AllocTimes, rep.AllocTime)
+	s.res.TickTimes = append(s.res.TickTimes, rep.TotalTime)
+	s.res.RuleOps += len(rep.Ops.Applied)
+	if !s.cfg.SampleRecords {
+		return
+	}
+	prefix := ""
+	if len(s.osts) > 1 {
+		prefix = fmt.Sprintf("ost%d/", o.idx)
+	}
+	for _, al := range rep.Allocations {
+		s.res.Records.Add(prefix+"record:"+string(al.Job), rep.Now, al.Record)
+		s.res.Records.Add(prefix+"demand:"+string(al.Job), rep.Now, float64(al.Demand))
+	}
+}
+
+// finish assembles the result after the loop stops.
+func (s *simulation) finish() *Result {
+	s.res.Done = s.unfinished == 0 && !s.hasUnbounded
+	s.res.Elapsed = time.Duration(s.loop.Now())
+	for _, o := range s.osts {
+		_, _, busy := o.dev.Stats()
+		s.res.DeviceBusy = append(s.res.DeviceBusy, busy)
+		served, _, _ := o.devServed()
+		s.res.ServedRPCs += served
+	}
+	return s.res
+}
+
+func (o *ostState) devServed() (uint64, uint64, time.Duration) { return o.dev.Stats() }
+
+// ---- client side ----
+
+// begin starts the process at its scheduled time.
+func (p *procState) begin() {
+	p.started = true
+	if p.pat.BurstRPCs > 0 {
+		p.burstLeft = p.burstSize()
+	}
+	p.fill()
+}
+
+func (p *procState) burstSize() int {
+	n := p.pat.BurstRPCs
+	if p.rpcsLeft >= 0 && int64(n) > p.rpcsLeft {
+		n = int(p.rpcsLeft)
+	}
+	return n
+}
+
+// canIssue reports whether another RPC may be sent right now.
+func (p *procState) canIssue() bool {
+	if p.done || !p.started || p.rpcsLeft == 0 {
+		return false
+	}
+	if p.pat.BurstRPCs > 0 && p.burstLeft == 0 {
+		return false
+	}
+	return p.inflight < p.pat.MaxInflight
+}
+
+// fill issues RPCs until the inflight window or the burst is exhausted.
+func (p *procState) fill() {
+	for p.canIssue() {
+		p.issue()
+	}
+}
+
+// issue sends one RPC toward the next OST in the stripe.
+func (p *procState) issue() {
+	p.inflight++
+	if p.rpcsLeft > 0 {
+		p.rpcsLeft--
+	}
+	if p.pat.BurstRPCs > 0 {
+		p.burstLeft--
+	}
+	o := p.sim.osts[p.ostRR%len(p.sim.osts)]
+	p.ostRR++
+	req := &tbf.Request{
+		JobID:    p.jobID,
+		Op:       p.pat.Op,
+		Bytes:    p.pat.RPCBytes,
+		Stream:   p.stream,
+		Userdata: &rpcTag{proc: p, issuedAt: p.sim.loop.Now()},
+	}
+	p.sim.loop.After(p.sim.cfg.NetDelay, func() { o.arrive(req) })
+}
+
+// onComplete handles an RPC reply.
+func (p *procState) onComplete() {
+	p.inflight--
+	if p.rpcsLeft == 0 && p.inflight == 0 && (p.pat.BurstRPCs == 0 || p.burstLeft == 0) {
+		p.finishProc()
+		return
+	}
+	if p.pat.BurstRPCs > 0 && p.burstLeft == 0 {
+		if p.inflight == 0 && p.rpcsLeft != 0 {
+			// Burst fully drained: rest, then start the next one.
+			p.sim.loop.After(p.pat.BurstInterval, func() {
+				if p.done {
+					return
+				}
+				p.burstLeft = p.burstSize()
+				p.fill()
+			})
+		}
+		return
+	}
+	p.fill()
+}
+
+// finishProc marks the process complete and, when it is the job's last,
+// records the job finish time.
+func (p *procState) finishProc() {
+	if p.done {
+		return
+	}
+	p.done = true
+	if p.pat.FileBytes > 0 {
+		p.sim.unfinished--
+	}
+	for _, q := range p.sim.procsByJob[p.jobID] {
+		if !q.done {
+			return
+		}
+	}
+	p.sim.res.FinishTimes[p.jobID] = time.Duration(p.sim.loop.Now())
+	if p.sim.unfinished == 0 && !p.sim.hasUnbounded {
+		p.sim.allDone = true
+	}
+}
+
+// ---- server side ----
+
+// arrive lands a request at the OST after the network delay.
+func (o *ostState) arrive(req *tbf.Request) {
+	now := o.sim.loop.Now()
+	o.tracker.Observe(req.JobID, req.Bytes)
+	o.outstanding[req.Stream]++
+	o.gate.Enqueue(req, now)
+	o.kick()
+}
+
+// kick advances the service loop: if the device is idle, pull the next
+// eligible request from the TBF gate, or schedule a wake at the next
+// token deadline.
+func (o *ostState) kick() {
+	if o.busy {
+		return
+	}
+	now := o.sim.loop.Now()
+	req, wake, ok := o.gate.Dequeue(now)
+	if !ok {
+		if wake != tbf.InfiniteDeadline && (o.wakeAt == 0 || wake < o.wakeAt || o.wakeAt <= now) {
+			o.wakeAt = wake
+			o.sim.loop.At(wake, func() {
+				o.wakeAt = 0
+				o.kick()
+			})
+		}
+		return
+	}
+	o.busy = true
+	st := o.dev.ServiceTime(req.Bytes, req.Stream, len(o.outstanding))
+	o.sim.loop.After(st, func() { o.complete(req) })
+}
+
+// complete finishes a request: accounts it, replies to the client, and
+// pulls the next one.
+func (o *ostState) complete(req *tbf.Request) {
+	now := o.sim.loop.Now()
+	o.busy = false
+	if c, ok := o.gate.(interface{ Complete() }); ok {
+		c.Complete() // frees the SFQ dispatch slot
+	}
+	o.sim.res.Timeline.Record(req.JobID, now, req.Bytes)
+	if n := o.outstanding[req.Stream] - 1; n > 0 {
+		o.outstanding[req.Stream] = n
+	} else {
+		delete(o.outstanding, req.Stream)
+	}
+	tag := req.Userdata.(*rpcTag)
+	// Client-perceived latency: issue to reply receipt.
+	o.sim.res.Latencies.Record(req.JobID, time.Duration(now+int64(o.sim.cfg.NetDelay)-tag.issuedAt))
+	o.sim.loop.After(o.sim.cfg.NetDelay, tag.proc.onComplete)
+	o.kick()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+// Package tbf implements a Token Bucket Filter (TBF) network request
+// scheduler modeled on the policy of the same name in the Lustre Network
+// Request Scheduler (NRS), as described in §II-A of the AdapTBF paper and in
+// Qian et al., "A configurable rule based classful token bucket filter
+// network request scheduler for the Lustre file system" (SC'17).
+//
+// The scheduler classifies incoming RPC requests into per-rule, per-class
+// queues. Each queue owns a token bucket that accumulates tokens at the
+// rule's rate up to a maximum depth (3 by default, matching Lustre). A
+// request is dequeued only when a token is available; requests within a
+// queue are served first-come first-served. Queues are organized in a binary
+// heap keyed by the deadline at which they will next hold a full token, so
+// the scheduler always considers the queue with the nearest deadline first.
+// Requests that match no rule land in an unregulated fallback queue that is
+// served opportunistically whenever no regulated queue is eligible.
+//
+// All times in this package are int64 nanoseconds on an arbitrary epoch,
+// which lets the same scheduler run under the discrete-event simulator
+// (package des) and under the wall clock (package cluster).
+package tbf
+
+import "math"
+
+// NanosPerSecond is the number of bucket-time nanoseconds per second.
+// Token rates throughout the package are expressed in tokens per second.
+const NanosPerSecond = 1e9
+
+// InfiniteDeadline is returned by Bucket.Deadline when tokens can never
+// accumulate (zero rate) and by Scheduler.Dequeue when no queue will become
+// eligible without further input.
+const InfiniteDeadline = int64(math.MaxInt64)
+
+// A Bucket is a token bucket: it accumulates tokens at Rate tokens per
+// second up to Depth tokens, and tokens are consumed to pay for requests.
+// The zero Bucket is unusable; use NewBucket.
+type Bucket struct {
+	rate   float64 // tokens per second
+	depth  float64 // maximum tokens the bucket may hold
+	tokens float64 // tokens currently available
+	last   int64   // time at which tokens was last brought up to date
+}
+
+// tokenEpsilon absorbs floating-point error when a consume lands exactly on
+// a computed deadline.
+const tokenEpsilon = 1e-9
+
+// NewBucket returns a bucket that starts full (depth tokens) at time now.
+// Starting full matches Lustre, where a freshly created queue may burst up
+// to the bucket depth immediately. Rate and depth must be non-negative.
+func NewBucket(rate, depth float64, now int64) *Bucket {
+	if rate < 0 {
+		rate = 0
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Bucket{rate: rate, depth: depth, tokens: depth, last: now}
+}
+
+// advance accrues tokens earned between b.last and now. Time never moves
+// backward: calls with now <= b.last are no-ops.
+func (b *Bucket) advance(now int64) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += b.rate * float64(now-b.last) / NanosPerSecond
+	if b.tokens > b.depth {
+		b.tokens = b.depth
+	}
+	b.last = now
+}
+
+// Tokens reports the tokens available at time now.
+func (b *Bucket) Tokens(now int64) float64 {
+	b.advance(now)
+	return b.tokens
+}
+
+// Rate reports the bucket's token accumulation rate in tokens per second.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// Depth reports the bucket's capacity in tokens.
+func (b *Bucket) Depth() float64 { return b.depth }
+
+// SetRate changes the accumulation rate at time now. Tokens accrued under
+// the old rate are kept (capped at depth), which is how Lustre applies
+// `tbf change` without resetting buckets.
+func (b *Bucket) SetRate(rate float64, now int64) {
+	b.advance(now)
+	if rate < 0 {
+		rate = 0
+	}
+	b.rate = rate
+}
+
+// SetDepth changes the bucket capacity at time now, discarding any excess
+// tokens above the new depth.
+func (b *Bucket) SetDepth(depth float64, now int64) {
+	b.advance(now)
+	if depth < 0 {
+		depth = 0
+	}
+	b.depth = depth
+	if b.tokens > b.depth {
+		b.tokens = b.depth
+	}
+}
+
+// TryConsume consumes n tokens at time now if at least n are available,
+// reporting whether it did. A tiny epsilon of shortfall is forgiven so that
+// consuming exactly at a deadline computed by Deadline always succeeds.
+func (b *Bucket) TryConsume(n float64, now int64) bool {
+	b.advance(now)
+	if b.tokens+tokenEpsilon < n {
+		return false
+	}
+	b.tokens -= n
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+	return true
+}
+
+// Deadline reports the earliest time at or after now when n tokens will be
+// available, assuming no intervening consumption. If n exceeds the bucket
+// depth or the rate is zero with insufficient tokens, the tokens will never
+// arrive and InfiniteDeadline is returned.
+func (b *Bucket) Deadline(n float64, now int64) int64 {
+	b.advance(now)
+	if b.tokens+tokenEpsilon >= n {
+		return now
+	}
+	if b.rate <= 0 || n > b.depth+tokenEpsilon {
+		return InfiniteDeadline
+	}
+	need := n - b.tokens
+	wait := need / b.rate * NanosPerSecond
+	// Round up so that at the returned instant the tokens really are there.
+	d := now + int64(math.Ceil(wait))
+	if d < now { // overflow guard for absurd rates
+		return InfiniteDeadline
+	}
+	return d
+}

@@ -1,0 +1,123 @@
+package tbf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// An Opcode distinguishes request classes the way Lustre TBF rules can match
+// on RPC opcodes. OpAny matches every opcode.
+type Opcode uint8
+
+// Request opcodes.
+const (
+	OpAny Opcode = iota
+	OpRead
+	OpWrite
+)
+
+// String returns the conventional lowercase name of the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("opcode(%d)", uint8(o))
+	}
+}
+
+// A Match selects the requests a rule applies to, mirroring the expression
+// part of a Lustre TBF rule such as `jobid={dd.0 cat.*}&opcode={ost_write}`.
+type Match struct {
+	// JobIDs lists job-identifier patterns. A pattern is an exact job ID or
+	// may contain '*' wildcards, each matching any (possibly empty) run of
+	// characters. An empty list matches every job ID.
+	JobIDs []string
+	// Op restricts the rule to one opcode; OpAny matches both reads and
+	// writes.
+	Op Opcode
+}
+
+// Matches reports whether the request attributes satisfy the match
+// expression.
+func (m Match) Matches(jobID string, op Opcode) bool {
+	if m.Op != OpAny && op != OpAny && m.Op != op {
+		return false
+	}
+	if len(m.JobIDs) == 0 {
+		return true
+	}
+	for _, pat := range m.JobIDs {
+		if matchPattern(pat, jobID) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern reports whether s matches pat, where '*' in pat matches any
+// run of characters (including none). The implementation is the standard
+// greedy two-pointer wildcard match and runs in O(len(s)·segments).
+func matchPattern(pat, s string) bool {
+	if !strings.ContainsRune(pat, '*') {
+		return pat == s
+	}
+	parts := strings.Split(pat, "*")
+	// First part must be a prefix, last a suffix; middles must appear in
+	// order.
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	if len(s) < len(last) || !strings.HasSuffix(s, last) {
+		return false
+	}
+	s = s[:len(s)-len(last)]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return true
+}
+
+// A Rule pairs a match expression with a token rate. Rules are consulted in
+// Order (ascending); the first rule matching a request claims it, and each
+// distinct job ID matched by a rule gets its own queue and token bucket, as
+// in Lustre.
+type Rule struct {
+	// Name identifies the rule for ChangeRule/StopRule. Must be unique and
+	// non-empty.
+	Name string
+	// Match selects the requests governed by this rule.
+	Match Match
+	// Rate is the token accumulation rate in tokens (RPCs) per second for
+	// each queue created under the rule.
+	Rate float64
+	// Order ranks rules: lower values are matched first and, when several
+	// queues are simultaneously eligible, served first. The AdapTBF rule
+	// daemon assigns orders by job priority, establishing the rule
+	// hierarchy described in §III-D of the paper.
+	Order int
+}
+
+// Validate reports whether the rule is well formed.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("tbf: rule has empty name")
+	}
+	if r.Rate < 0 {
+		return fmt.Errorf("tbf: rule %q has negative rate %v", r.Name, r.Rate)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package tbf
+
+import "testing"
+
+func TestMatchExactJobID(t *testing.T) {
+	m := Match{JobIDs: []string{"dd.n01", "cp.n02"}}
+	if !m.Matches("dd.n01", OpWrite) {
+		t.Error("exact job ID did not match")
+	}
+	if m.Matches("dd.n03", OpWrite) {
+		t.Error("unlisted job ID matched")
+	}
+}
+
+func TestMatchEmptyJobListMatchesAll(t *testing.T) {
+	m := Match{}
+	for _, id := range []string{"", "anything", "a.b.c"} {
+		if !m.Matches(id, OpRead) {
+			t.Errorf("empty match rejected %q", id)
+		}
+	}
+}
+
+func TestMatchOpcode(t *testing.T) {
+	m := Match{Op: OpWrite}
+	if !m.Matches("j", OpWrite) {
+		t.Error("write rule rejected write")
+	}
+	if m.Matches("j", OpRead) {
+		t.Error("write rule matched read")
+	}
+	if !m.Matches("j", OpAny) {
+		t.Error("write rule rejected OpAny request")
+	}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"dd.*", "dd.n01", true},
+		{"dd.*", "cp.n01", false},
+		{"*.n01", "dd.n01", true},
+		{"*.n01", "dd.n02", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "acb", false},
+		{"a*b*c", "abc", true},
+		{"ior*", "ior", true},
+		{"i*r", "ior", true},
+		{"dd.*.out", "dd.n05.out", true},
+		{"dd.*.out", "dd.n05.err", false},
+	}
+	for _, c := range cases {
+		m := Match{JobIDs: []string{c.pat}}
+		if got := m.Matches(c.s, OpAny); got != c.want {
+			t.Errorf("pattern %q vs %q = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	if err := (Rule{Name: "", Rate: 1}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (Rule{Name: "r", Rate: -1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Rule{Name: "r", Rate: 10}).Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpAny.String() != "any" {
+		t.Error("opcode names wrong")
+	}
+	if Opcode(9).String() == "" {
+		t.Error("unknown opcode produced empty string")
+	}
+}

@@ -1,0 +1,422 @@
+package tbf
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// A Request is one RPC submitted to the scheduler. Requests are classified
+// by JobID and Opcode; Bytes and Stream are carried through untouched for
+// the storage device model, and Userdata is an opaque caller payload (the
+// simulator stores its completion callback there).
+type Request struct {
+	JobID    string
+	Op       Opcode
+	Bytes    int64
+	Stream   int // identifies the file/stream the request belongs to
+	Userdata any
+
+	seq     uint64 // arrival order, for FCFS and deterministic tie-breaks
+	arrival int64  // enqueue time
+}
+
+// Arrival reports the time the request was enqueued.
+func (r *Request) Arrival() int64 { return r.arrival }
+
+// A queue holds the FCFS backlog for one (rule, class) pair together with
+// its token bucket and the deadline at which its next request becomes
+// eligible.
+type queue struct {
+	rule     *Rule
+	class    string // the job ID value this queue serves
+	bucket   *Bucket
+	reqs     []*Request
+	head     int
+	deadline int64
+	heapIdx  int // index in the ready heap, -1 if not enqueued
+}
+
+func (q *queue) pending() int { return len(q.reqs) - q.head }
+
+func (q *queue) push(r *Request) { q.reqs = append(q.reqs, r) }
+
+func (q *queue) pop() *Request {
+	r := q.reqs[q.head]
+	q.reqs[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1) pops
+	// without unbounded memory growth.
+	if q.head > 64 && q.head*2 >= len(q.reqs) {
+		n := copy(q.reqs, q.reqs[q.head:])
+		q.reqs = q.reqs[:n]
+		q.head = 0
+	}
+	return r
+}
+
+// readyHeap is a binary heap of queues with pending requests, keyed by
+// (deadline, rule order, arrival seq of the front request). Matching the
+// paper, the scheduler always considers the queue with the nearest deadline
+// first.
+type readyHeap []*queue
+
+func (h readyHeap) Len() int { return len(h) }
+
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	if h[i].rule.Order != h[j].rule.Order {
+		return h[i].rule.Order < h[j].rule.Order
+	}
+	return h[i].reqs[h[i].head].seq < h[j].reqs[h[j].head].seq
+}
+
+func (h readyHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *readyHeap) Push(x any) {
+	q := x.(*queue)
+	q.heapIdx = len(*h)
+	*h = append(*h, q)
+}
+
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	q.heapIdx = -1
+	*h = old[:n-1]
+	return q
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// BucketDepth is the maximum tokens a queue's bucket may hold; Lustre's
+	// default of 3 is used when zero.
+	BucketDepth float64
+}
+
+// DefaultBucketDepth is Lustre's default TBF bucket depth.
+const DefaultBucketDepth = 3
+
+// A Scheduler is the TBF policy engine: it classifies requests into
+// token-bucket-regulated queues and hands them out in deadline order.
+// Scheduler is not safe for concurrent use; the simulator is single
+// threaded and the real-time OSS serializes access with a mutex.
+type Scheduler struct {
+	depth  float64
+	rules  []*Rule // maintained sorted by (Order, Name)
+	byName map[string]*Rule
+	queues map[string]*queue // key: rule name + "\x00" + class
+	ready  readyHeap
+
+	fallback []*Request
+	fbHead   int
+
+	seq uint64
+
+	// counters
+	enqueued uint64
+	served   uint64
+	fbServed uint64
+}
+
+// NewScheduler returns an empty scheduler with no rules: until rules are
+// started, every request is served from the unregulated fallback queue in
+// FCFS order, which is exactly the paper's "No BW" baseline.
+func NewScheduler(cfg Config) *Scheduler {
+	depth := cfg.BucketDepth
+	if depth <= 0 {
+		depth = DefaultBucketDepth
+	}
+	return &Scheduler{
+		depth:  depth,
+		byName: make(map[string]*Rule),
+		queues: make(map[string]*queue),
+	}
+}
+
+// RuleCount reports the number of active rules.
+func (s *Scheduler) RuleCount() int { return len(s.rules) }
+
+// Rules returns a snapshot of the active rules, sorted by order. The rule
+// management daemon uses it to decide which rules to create, change, or
+// stop.
+func (s *Scheduler) Rules() []Rule {
+	out := make([]Rule, len(s.rules))
+	for i, r := range s.rules {
+		out[i] = *r
+	}
+	return out
+}
+
+// RuleByName returns the named rule and whether it exists.
+func (s *Scheduler) RuleByName(name string) (Rule, bool) {
+	r, ok := s.byName[name]
+	if !ok {
+		return Rule{}, false
+	}
+	return *r, true
+}
+
+// StartRule installs a new rule at time now. Requests already queued —
+// including fallback requests — are reclassified so a rule takes effect
+// immediately, matching the intent of dynamic rule creation in Lustre.
+func (s *Scheduler) StartRule(r Rule, now int64) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, ok := s.byName[r.Name]; ok {
+		return fmt.Errorf("tbf: rule %q already exists", r.Name)
+	}
+	rule := r
+	s.byName[r.Name] = &rule
+	s.rules = append(s.rules, &rule)
+	s.sortRules()
+	s.reclassify(now)
+	return nil
+}
+
+// ChangeRule updates the rate and order of the named rule at time now.
+// Existing queues keep their accumulated tokens, as `tbf change` does.
+func (s *Scheduler) ChangeRule(name string, rate float64, order int, now int64) error {
+	r, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("tbf: rule %q does not exist", name)
+	}
+	if rate < 0 {
+		return fmt.Errorf("tbf: rule %q: negative rate %v", name, rate)
+	}
+	r.Rate = rate
+	r.Order = order
+	s.sortRules()
+	for _, q := range s.queues {
+		if q.rule == r {
+			q.bucket.SetRate(rate, now)
+			if q.pending() > 0 {
+				q.deadline = q.bucket.Deadline(1, now)
+				s.fixHeap(q)
+			}
+		}
+	}
+	return nil
+}
+
+// StopRule removes the named rule at time now. Pending requests of its
+// queues are reclassified against the remaining rules (falling back to the
+// unregulated queue when nothing matches), so no request is ever lost.
+func (s *Scheduler) StopRule(name string, now int64) error {
+	r, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("tbf: rule %q does not exist", name)
+	}
+	delete(s.byName, name)
+	for i, rr := range s.rules {
+		if rr == r {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			break
+		}
+	}
+	var orphans []*Request
+	for key, q := range s.queues {
+		if q.rule != r {
+			continue
+		}
+		for q.pending() > 0 {
+			orphans = append(orphans, q.pop())
+		}
+		if q.heapIdx >= 0 {
+			heap.Remove(&s.ready, q.heapIdx)
+		}
+		delete(s.queues, key)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].seq < orphans[j].seq })
+	for _, req := range orphans {
+		s.route(req, now)
+	}
+	return nil
+}
+
+func (s *Scheduler) sortRules() {
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		if s.rules[i].Order != s.rules[j].Order {
+			return s.rules[i].Order < s.rules[j].Order
+		}
+		return s.rules[i].Name < s.rules[j].Name
+	})
+}
+
+// reclassify re-routes every queued request through the current rule list.
+// It is invoked when a rule starts so that backlogged fallback requests
+// come under control immediately.
+func (s *Scheduler) reclassify(now int64) {
+	var all []*Request
+	for key, q := range s.queues {
+		for q.pending() > 0 {
+			all = append(all, q.pop())
+		}
+		if q.heapIdx >= 0 {
+			heap.Remove(&s.ready, q.heapIdx)
+		}
+		delete(s.queues, key)
+	}
+	for i := s.fbHead; i < len(s.fallback); i++ {
+		all = append(all, s.fallback[i])
+	}
+	s.fallback = s.fallback[:0]
+	s.fbHead = 0
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, req := range all {
+		s.route(req, now)
+	}
+}
+
+// Enqueue classifies and queues a request at time now.
+func (s *Scheduler) Enqueue(req *Request, now int64) {
+	s.seq++
+	req.seq = s.seq
+	req.arrival = now
+	s.enqueued++
+	s.route(req, now)
+}
+
+// route places a request (which already has its seq) into the matching
+// queue or the fallback queue.
+func (s *Scheduler) route(req *Request, now int64) {
+	for _, r := range s.rules {
+		if !r.Match.Matches(req.JobID, req.Op) {
+			continue
+		}
+		key := r.Name + "\x00" + req.JobID
+		q, ok := s.queues[key]
+		if !ok {
+			q = &queue{
+				rule:    r,
+				class:   req.JobID,
+				bucket:  NewBucket(r.Rate, s.depth, now),
+				heapIdx: -1,
+			}
+			s.queues[key] = q
+		}
+		q.push(req)
+		if q.pending() == 1 { // was empty: enters the ready heap
+			q.deadline = q.bucket.Deadline(1, now)
+			heap.Push(&s.ready, q)
+		}
+		return
+	}
+	s.fallback = append(s.fallback, req)
+}
+
+func (s *Scheduler) fixHeap(q *queue) {
+	if q.heapIdx >= 0 {
+		heap.Fix(&s.ready, q.heapIdx)
+	}
+}
+
+// fallbackPending reports queued fallback requests.
+func (s *Scheduler) fallbackPending() int { return len(s.fallback) - s.fbHead }
+
+// Pending reports the total number of queued requests (regulated plus
+// fallback).
+func (s *Scheduler) Pending() int {
+	n := s.fallbackPending()
+	for _, q := range s.queues {
+		n += q.pending()
+	}
+	return n
+}
+
+// PendingJobs reports, for every job with at least one queued request, how
+// many of its requests are waiting (regulated queues plus fallback). The
+// AdapTBF controller folds this NRS queue occupancy into each job's demand
+// so that a job draining its backlog keeps its token rule until the
+// backlog is gone.
+func (s *Scheduler) PendingJobs() map[string]int {
+	out := make(map[string]int)
+	for _, q := range s.queues {
+		if n := q.pending(); n > 0 {
+			out[q.class] += n
+		}
+	}
+	for i := s.fbHead; i < len(s.fallback); i++ {
+		out[s.fallback[i].JobID]++
+	}
+	return out
+}
+
+// PendingForJob reports queued requests for one job across all queues.
+func (s *Scheduler) PendingForJob(jobID string) int {
+	n := 0
+	for _, q := range s.queues {
+		if q.class == jobID {
+			n += q.pending()
+		}
+	}
+	for i := s.fbHead; i < len(s.fallback); i++ {
+		if s.fallback[i].JobID == jobID {
+			n++
+		}
+	}
+	return n
+}
+
+// Dequeue hands out the next request to serve at time now.
+//
+// Regulated queues are served in deadline order (earliest first), exactly
+// like Lustre's binary heap of TBF queues: a queue's deadline is the
+// instant its next token became (or becomes) available, so chronically
+// under-served queues carry older deadlines and are never starved by
+// higher-rate ones. Among queues with equal deadlines, the lower-order
+// (higher-priority) rule wins — the rule hierarchy of §III-D. If no
+// regulated queue is eligible, a fallback request is served
+// opportunistically, modeling Lustre's idle I/O threads picking up the
+// fallback queue. If nothing is servable, Dequeue returns wake, the
+// earliest future instant at which a queue becomes eligible
+// (InfiniteDeadline when there is no pending work at all).
+func (s *Scheduler) Dequeue(now int64) (req *Request, wake int64, ok bool) {
+	if len(s.ready) > 0 && s.ready[0].deadline <= now {
+		q := heap.Pop(&s.ready).(*queue)
+		if !q.bucket.TryConsume(1, now) {
+			// Deadline said the token was there; pay up regardless and let
+			// the bucket clamp at zero. This can only trip on float dust.
+			q.bucket.tokens = 0
+		}
+		req = q.pop()
+		if q.pending() > 0 {
+			q.deadline = q.bucket.Deadline(1, now)
+			heap.Push(&s.ready, q)
+		}
+		s.served++
+		return req, 0, true
+	}
+	if s.fallbackPending() > 0 {
+		req = s.fallback[s.fbHead]
+		s.fallback[s.fbHead] = nil
+		s.fbHead++
+		if s.fbHead > 64 && s.fbHead*2 >= len(s.fallback) {
+			n := copy(s.fallback, s.fallback[s.fbHead:])
+			s.fallback = s.fallback[:n]
+			s.fbHead = 0
+		}
+		s.served++
+		s.fbServed++
+		return req, 0, true
+	}
+	if len(s.ready) > 0 {
+		return nil, s.ready[0].deadline, false
+	}
+	return nil, InfiniteDeadline, false
+}
+
+// Stats reports lifetime counters: total requests enqueued, total served,
+// and how many of those were served from the fallback queue.
+func (s *Scheduler) Stats() (enqueued, served, fallbackServed uint64) {
+	return s.enqueued, s.served, s.fbServed
+}

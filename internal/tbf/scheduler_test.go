@@ -1,0 +1,399 @@
+package tbf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func req(job string) *Request { return &Request{JobID: job, Op: OpWrite, Bytes: 1 << 20} }
+
+// drain pulls every request servable at the given instant.
+func drain(s *Scheduler, now int64) []*Request {
+	var out []*Request
+	for {
+		r, _, ok := s.Dequeue(now)
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestNoRulesIsFCFS(t *testing.T) {
+	s := NewScheduler(Config{})
+	for i := 0; i < 5; i++ {
+		s.Enqueue(&Request{JobID: fmt.Sprintf("j%d", i)}, 0)
+	}
+	got := drain(s, 0)
+	if len(got) != 5 {
+		t.Fatalf("served %d, want 5", len(got))
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("j%d", i); r.JobID != want {
+			t.Errorf("position %d served %s, want %s (FCFS violated)", i, r.JobID, want)
+		}
+	}
+	_, _, fb := s.Stats()
+	if fb != 5 {
+		t.Errorf("fallbackServed = %d, want 5", fb)
+	}
+}
+
+func TestRuleLimitsRate(t *testing.T) {
+	s := NewScheduler(Config{BucketDepth: 3})
+	if err := s.StartRule(Rule{Name: "r1", Match: Match{JobIDs: []string{"job"}}, Rate: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Enqueue(req("job"), 0)
+	}
+	// At t=0 the bucket is full (depth 3): exactly 3 may pass.
+	if got := len(drain(s, 0)); got != 3 {
+		t.Fatalf("burst at t=0 served %d, want 3 (bucket depth)", got)
+	}
+	// Over the next second at 10 tokens/s, ~10 more.
+	served := 0
+	for now := int64(0); now <= second; now += second / 1000 {
+		served += len(drain(s, now))
+	}
+	if served < 9 || served > 11 {
+		t.Fatalf("served %d in 1s at rate 10, want ~10", served)
+	}
+}
+
+func TestDequeueReportsWakeTime(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"j"}}, Rate: 10}, 0)
+	for i := 0; i < 5; i++ {
+		s.Enqueue(req("j"), 0)
+	}
+	drain(s, 0) // empties the bucket
+	_, wake, ok := s.Dequeue(0)
+	if ok {
+		t.Fatal("dequeued with empty bucket")
+	}
+	want := second / 10
+	if wake < want-2 || wake > want+2 {
+		t.Fatalf("wake = %v, want ~%v", wake, want)
+	}
+	if r, _, ok := s.Dequeue(wake); !ok || r == nil {
+		t.Fatal("request not servable at reported wake time")
+	}
+}
+
+func TestDequeueIdle(t *testing.T) {
+	s := NewScheduler(Config{})
+	_, wake, ok := s.Dequeue(0)
+	if ok || wake != InfiniteDeadline {
+		t.Fatalf("empty scheduler Dequeue = (%v, %v), want (InfiniteDeadline, false)", wake, ok)
+	}
+}
+
+func TestFallbackServedWhenRegulatedNotReady(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"limited"}}, Rate: 1}, 0)
+	for i := 0; i < 10; i++ {
+		s.Enqueue(req("limited"), 0)
+	}
+	drain(s, 0) // exhaust limited's bucket
+	s.Enqueue(req("free"), 0)
+	r, _, ok := s.Dequeue(0)
+	if !ok || r.JobID != "free" {
+		t.Fatalf("expected opportunistic fallback service of 'free', got %+v ok=%v", r, ok)
+	}
+}
+
+func TestRegulatedPreferredOverFallbackWhenReady(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"limited"}}, Rate: 100}, 0)
+	s.Enqueue(req("free"), 0)
+	s.Enqueue(req("limited"), 0)
+	r, _, ok := s.Dequeue(0)
+	if !ok || r.JobID != "limited" {
+		t.Fatalf("ready regulated queue not preferred; served %+v", r)
+	}
+}
+
+func TestRuleHierarchyPriority(t *testing.T) {
+	// Two queues both eligible at t=0; the lower-order rule must be served
+	// first, per the rule hierarchy the daemon establishes.
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "low", Match: Match{JobIDs: []string{"lowjob"}}, Rate: 100, Order: 20}, 0)
+	s.StartRule(Rule{Name: "high", Match: Match{JobIDs: []string{"highjob"}}, Rate: 100, Order: 10}, 0)
+	s.Enqueue(req("lowjob"), 0)
+	s.Enqueue(req("highjob"), 0)
+	r, _, ok := s.Dequeue(0)
+	if !ok || r.JobID != "highjob" {
+		t.Fatalf("priority hierarchy violated: served %v first", r.JobID)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "a", Match: Match{JobIDs: []string{"dd.*"}}, Rate: 5, Order: 1}, 0)
+	s.StartRule(Rule{Name: "b", Match: Match{JobIDs: []string{"*"}}, Rate: 50, Order: 2}, 0)
+	s.Enqueue(req("dd.n1"), 0)
+	s.Enqueue(req("x.n1"), 0)
+	// dd.n1 must be under rule a (depth 3 tokens), x.n1 under b.
+	got := drain(s, 0)
+	if len(got) != 2 {
+		t.Fatalf("served %d, want 2", len(got))
+	}
+	if s.queues["a\x00dd.n1"] == nil || s.queues["b\x00x.n1"] == nil {
+		t.Fatal("requests not classified to first matching rule")
+	}
+}
+
+func TestPerClassQueues(t *testing.T) {
+	// One wildcard rule: each distinct job ID gets its own queue/bucket.
+	s := NewScheduler(Config{BucketDepth: 3})
+	s.StartRule(Rule{Name: "all", Match: Match{}, Rate: 10}, 0)
+	for i := 0; i < 10; i++ {
+		s.Enqueue(req("j1"), 0)
+		s.Enqueue(req("j2"), 0)
+	}
+	got := drain(s, 0)
+	// Each job's bucket holds 3 tokens: 6 total, not 3.
+	if len(got) != 6 {
+		t.Fatalf("served %d at t=0, want 6 (per-class buckets)", len(got))
+	}
+}
+
+func TestStartRuleReclassifiesBacklog(t *testing.T) {
+	s := NewScheduler(Config{})
+	for i := 0; i < 50; i++ {
+		s.Enqueue(req("noisy"), 0)
+	}
+	if err := s.StartRule(Rule{Name: "cap", Match: Match{JobIDs: []string{"noisy"}}, Rate: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drain(s, 0)); got != 3 {
+		t.Fatalf("after StartRule, served %d at t=0, want 3 (backlog now regulated)", got)
+	}
+}
+
+func TestStopRuleMovesBacklogToFallback(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "cap", Match: Match{JobIDs: []string{"j"}}, Rate: 1}, 0)
+	for i := 0; i < 10; i++ {
+		s.Enqueue(req("j"), 0)
+	}
+	drain(s, 0)
+	if err := s.StopRule("cap", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drain(s, 0)); got != 7 {
+		t.Fatalf("after StopRule, served %d, want 7 (unregulated backlog)", got)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+func TestChangeRuleTakesEffect(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"j"}}, Rate: 1}, 0)
+	for i := 0; i < 200; i++ {
+		s.Enqueue(req("j"), 0)
+	}
+	drain(s, 0)
+	if err := s.ChangeRule("r", 100, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for now := int64(0); now <= second; now += second / 1000 {
+		served += len(drain(s, now))
+	}
+	if served < 95 || served > 105 {
+		t.Fatalf("served %d in 1s after rate change to 100, want ~100", served)
+	}
+	r, _ := s.RuleByName("r")
+	if r.Order != 5 || r.Rate != 100 {
+		t.Fatalf("rule after change = %+v", r)
+	}
+}
+
+func TestRuleOpErrors(t *testing.T) {
+	s := NewScheduler(Config{})
+	if err := s.StartRule(Rule{Name: "r", Rate: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartRule(Rule{Name: "r", Rate: 2}, 0); err == nil {
+		t.Error("duplicate StartRule accepted")
+	}
+	if err := s.ChangeRule("missing", 1, 0, 0); err == nil {
+		t.Error("ChangeRule on missing rule accepted")
+	}
+	if err := s.ChangeRule("r", -1, 0, 0); err == nil {
+		t.Error("ChangeRule with negative rate accepted")
+	}
+	if err := s.StopRule("missing", 0); err == nil {
+		t.Error("StopRule on missing rule accepted")
+	}
+	if err := s.StartRule(Rule{Name: "bad", Rate: -3}, 0); err == nil {
+		t.Error("StartRule with negative rate accepted")
+	}
+}
+
+func TestPendingForJob(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"a"}}, Rate: 1}, 0)
+	for i := 0; i < 4; i++ {
+		s.Enqueue(req("a"), 0)
+	}
+	for i := 0; i < 2; i++ {
+		s.Enqueue(req("b"), 0) // fallback
+	}
+	if got := s.PendingForJob("a"); got != 4 {
+		t.Errorf("PendingForJob(a) = %d, want 4", got)
+	}
+	if got := s.PendingForJob("b"); got != 2 {
+		t.Errorf("PendingForJob(b) = %d, want 2", got)
+	}
+	if got := s.Pending(); got != 6 {
+		t.Errorf("Pending = %d, want 6", got)
+	}
+}
+
+func TestFCFSWithinQueue(t *testing.T) {
+	s := NewScheduler(Config{BucketDepth: 100})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"j"}}, Rate: 1000}, 0)
+	var want []int
+	for i := 0; i < 50; i++ {
+		r := req("j")
+		r.Stream = i
+		want = append(want, i)
+		s.Enqueue(r, 0)
+	}
+	got := drain(s, 0)
+	for i, r := range got {
+		if r.Stream != want[i] {
+			t.Fatalf("FCFS violated at %d: got stream %d", i, r.Stream)
+		}
+	}
+}
+
+// TestRateEnforcementLongRun drives two competing queues for a simulated
+// ten seconds and verifies each is held to its configured rate within the
+// burst tolerance.
+func TestRateEnforcementLongRun(t *testing.T) {
+	s := NewScheduler(Config{BucketDepth: 3})
+	s.StartRule(Rule{Name: "fast", Match: Match{JobIDs: []string{"fast"}}, Rate: 200}, 0)
+	s.StartRule(Rule{Name: "slow", Match: Match{JobIDs: []string{"slow"}}, Rate: 50}, 0)
+	counts := map[string]int{}
+	step := second / 2000 // 0.5ms polling
+	for now := int64(0); now < 10*second; now += step {
+		// Keep both queues backlogged.
+		if s.PendingForJob("fast") < 5 {
+			s.Enqueue(req("fast"), now)
+		}
+		if s.PendingForJob("slow") < 5 {
+			s.Enqueue(req("slow"), now)
+		}
+		for _, r := range drain(s, now) {
+			counts[r.JobID]++
+		}
+	}
+	if f := counts["fast"]; f < 1990 || f > 2010 {
+		t.Errorf("fast served %d in 10s at 200/s, want ~2000", f)
+	}
+	if sl := counts["slow"]; sl < 490 || sl > 510 {
+		t.Errorf("slow served %d in 10s at 50/s, want ~500", sl)
+	}
+}
+
+// TestSchedulerDeterminism feeds an identical random workload to two
+// schedulers and requires identical service order.
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		rng := rand.New(rand.NewSource(42))
+		s := NewScheduler(Config{})
+		s.StartRule(Rule{Name: "a", Match: Match{JobIDs: []string{"a"}}, Rate: 120}, 0)
+		s.StartRule(Rule{Name: "b", Match: Match{JobIDs: []string{"b"}}, Rate: 80}, 0)
+		var order []uint64
+		now := int64(0)
+		for i := 0; i < 2000; i++ {
+			now += int64(rng.Intn(1e6))
+			job := "a"
+			if rng.Intn(2) == 0 {
+				job = "b"
+			}
+			s.Enqueue(req(job), now)
+			for _, r := range drain(s, now) {
+				order = append(order, r.seq)
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("service order diverges at %d", i)
+		}
+	}
+}
+
+// TestNoRequestLostAcrossRuleChurn hammers rule start/stop/change while
+// enqueuing and verifies conservation: everything enqueued is eventually
+// served exactly once.
+func TestNoRequestLostAcrossRuleChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewScheduler(Config{})
+	jobs := []string{"j0", "j1", "j2", "j3"}
+	enqueued, served := 0, 0
+	seen := map[uint64]bool{}
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		now += int64(rng.Intn(2e6))
+		switch rng.Intn(10) {
+		case 0:
+			name := fmt.Sprintf("r%d", rng.Intn(4))
+			if _, ok := s.RuleByName(name); !ok {
+				s.StartRule(Rule{Name: name, Match: Match{JobIDs: []string{jobs[rng.Intn(4)]}}, Rate: float64(10 + rng.Intn(200)), Order: rng.Intn(5)}, now)
+			}
+		case 1:
+			name := fmt.Sprintf("r%d", rng.Intn(4))
+			if _, ok := s.RuleByName(name); ok {
+				s.StopRule(name, now)
+			}
+		case 2:
+			name := fmt.Sprintf("r%d", rng.Intn(4))
+			if _, ok := s.RuleByName(name); ok {
+				s.ChangeRule(name, float64(10+rng.Intn(200)), rng.Intn(5), now)
+			}
+		default:
+			s.Enqueue(req(jobs[rng.Intn(4)]), now)
+			enqueued++
+		}
+		for _, r := range drain(s, now) {
+			if seen[r.seq] {
+				t.Fatalf("request %d served twice", r.seq)
+			}
+			seen[r.seq] = true
+			served++
+		}
+	}
+	// Drain the remainder with time marching forward.
+	for s.Pending() > 0 {
+		r, wake, ok := s.Dequeue(now)
+		if ok {
+			if seen[r.seq] {
+				t.Fatalf("request %d served twice", r.seq)
+			}
+			seen[r.seq] = true
+			served++
+			continue
+		}
+		if wake == InfiniteDeadline {
+			t.Fatalf("pending %d but scheduler reports idle forever", s.Pending())
+		}
+		now = wake
+	}
+	if served != enqueued {
+		t.Fatalf("served %d != enqueued %d", served, enqueued)
+	}
+}

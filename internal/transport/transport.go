@@ -1,0 +1,240 @@
+// Package transport provides the wire protocol for the real-time cluster
+// mode: a minimal asynchronous RPC layer carrying storage requests from
+// client processes to object storage servers, framed with encoding/gob
+// over any net.Conn (TCP for multi-process runs, net.Pipe in tests).
+//
+// The protocol is deliberately Lustre-shaped: a request carries the JobID
+// the server classifies on, an opcode, a payload size, and a stream
+// identifier; the reply carries only the sequence number and outcome —
+// payload movement is represented by the server's service time, not by
+// shipping gigabytes through the test harness.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// A Request is one RPC from a client process to a storage server.
+type Request struct {
+	Seq    uint64 // client-assigned; echoed in the reply
+	JobID  string // %e.%H job identifier, the classification key
+	Op     uint8  // tbf.Opcode value
+	Bytes  int64  // payload size the server should account and "transfer"
+	Stream int    // file/stream identifier for the device model
+}
+
+// A Reply reports the outcome of one Request.
+type Reply struct {
+	Seq   uint64
+	Bytes int64  // bytes transferred
+	Err   string // empty on success
+}
+
+// envelope is the single wire message type, so one gob stream carries both
+// directions' traffic uniformly.
+type envelope struct {
+	Req *Request
+	Rep *Reply
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("transport: connection closed")
+
+// A Client issues asynchronous requests over one connection. It is safe
+// for concurrent use: many goroutines may Do at once, one internal loop
+// dispatches replies.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	encM sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan Reply
+	seq     uint64
+	err     error
+	closed  bool
+}
+
+// NewClient wraps an established connection. The caller owns nothing
+// afterwards; Close tears the connection down.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan Reply),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// Dial connects to a storage server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// recvLoop dispatches replies to their waiting channels until the
+// connection dies, then fails all outstanding calls.
+func (c *Client) recvLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			c.fail(err)
+			return
+		}
+		if env.Rep == nil {
+			continue // ignore stray traffic
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.Rep.Seq]
+		delete(c.pending, env.Rep.Seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- *env.Rep
+		}
+	}
+}
+
+// fail poisons the client and unblocks every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		if c.closed {
+			err = ErrClosed
+		}
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		ch <- Reply{Seq: seq, Err: c.err.Error()}
+	}
+}
+
+// Do sends a request and returns a channel that will receive exactly one
+// Reply. The request's Seq is assigned by the client and returned for
+// correlation.
+func (c *Client) Do(req Request) (<-chan Reply, uint64, error) {
+	ch := make(chan Reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	c.seq++
+	req.Seq = c.seq
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.encM.Lock()
+	err := c.enc.Encode(envelope{Req: &req})
+	c.encM.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("transport: send: %w", err)
+	}
+	return ch, req.Seq, nil
+}
+
+// Call sends a request and waits for its reply.
+func (c *Client) Call(req Request) (Reply, error) {
+	ch, _, err := c.Do(req)
+	if err != nil {
+		return Reply{}, err
+	}
+	rep := <-ch
+	if rep.Err != "" {
+		return rep, errors.New(rep.Err)
+	}
+	return rep, nil
+}
+
+// Close tears down the connection; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// A Handler serves requests. reply must be called exactly once per
+// request, from any goroutine — the server serializes writes.
+type Handler interface {
+	Handle(req Request, reply func(Reply))
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req Request, reply func(Reply))
+
+// Handle calls f.
+func (f HandlerFunc) Handle(req Request, reply func(Reply)) { f(req, reply) }
+
+// ServeConn reads requests from conn and hands them to h until the
+// connection closes. It returns the read error that ended the loop
+// (io.EOF for a clean shutdown is reported as nil).
+func ServeConn(conn net.Conn, h Handler) error {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encM sync.Mutex
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if env.Req == nil {
+			continue
+		}
+		req := *env.Req
+		h.Handle(req, func(rep Reply) {
+			rep.Seq = req.Seq
+			encM.Lock()
+			defer encM.Unlock()
+			// A dead connection surfaces on the read side; drop the error.
+			_ = enc.Encode(envelope{Rep: &rep})
+		})
+	}
+}
+
+// Serve accepts connections from l and serves each in its own goroutine
+// until the listener closes.
+func Serve(l net.Listener, h Handler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = ServeConn(conn, h)
+		}()
+	}
+}
+
+// Pipe returns a connected in-process client and the server side of the
+// pipe, for tests and single-process demos.
+func Pipe(h Handler) *Client {
+	cs, ss := net.Pipe()
+	go func() {
+		defer ss.Close()
+		_ = ServeConn(ss, h)
+	}()
+	return NewClient(cs)
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoHandler replies immediately with the request's byte count.
+var echoHandler = HandlerFunc(func(req Request, reply func(Reply)) {
+	reply(Reply{Bytes: req.Bytes})
+})
+
+func TestCallOverPipe(t *testing.T) {
+	c := Pipe(echoHandler)
+	defer c.Close()
+	rep, err := c.Call(Request{JobID: "dd.n1", Bytes: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != 42 {
+		t.Fatalf("reply bytes = %d, want 42", rep.Bytes)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	var served atomic.Int64
+	c := Pipe(HandlerFunc(func(req Request, reply func(Reply)) {
+		served.Add(1)
+		go reply(Reply{Bytes: req.Bytes}) // reply from another goroutine
+	}))
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep, err := c.Call(Request{JobID: "j", Bytes: int64(g*100 + i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Bytes != int64(g*100+i) {
+					t.Errorf("reply mismatch: %d", rep.Bytes)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if served.Load() != 16*50 {
+		t.Fatalf("served %d, want %d", served.Load(), 16*50)
+	}
+}
+
+func TestAsyncDoPreservesCorrelation(t *testing.T) {
+	// Replies arrive out of order; each channel must still get its own.
+	var mu sync.Mutex
+	var held []func(Reply)
+	c := Pipe(HandlerFunc(func(req Request, reply func(Reply)) {
+		mu.Lock()
+		defer mu.Unlock()
+		held = append(held, func(r Reply) { reply(Reply{Bytes: req.Bytes}) })
+		if len(held) == 3 {
+			for i := len(held) - 1; i >= 0; i-- { // reverse order
+				held[i](Reply{})
+			}
+			held = nil
+		}
+	}))
+	defer c.Close()
+	type out struct {
+		ch  <-chan Reply
+		val int64
+	}
+	var outs []out
+	for i := int64(1); i <= 3; i++ {
+		ch, _, err := c.Do(Request{JobID: "j", Bytes: i * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out{ch, i * 10})
+	}
+	for _, o := range outs {
+		rep := <-o.ch
+		if rep.Bytes != o.val {
+			t.Fatalf("correlation broken: got %d want %d", rep.Bytes, o.val)
+		}
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, echoHandler)
+
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		rep, err := c.Call(Request{JobID: "tcp.n1", Bytes: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bytes != int64(i) {
+			t.Fatalf("bytes = %d, want %d", rep.Bytes, i)
+		}
+	}
+}
+
+func TestMultipleClientsOneServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, echoHandler)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 25; j++ {
+				if _, err := c.Call(Request{JobID: "j", Bytes: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseFailsOutstanding(t *testing.T) {
+	block := make(chan struct{})
+	c := Pipe(HandlerFunc(func(req Request, reply func(Reply)) {
+		<-block // never replies during the test
+	}))
+	ch, _, err := c.Do(Request{JobID: "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	select {
+	case rep := <-ch:
+		if rep.Err == "" {
+			t.Fatal("outstanding call succeeded after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("outstanding call not failed after close")
+	}
+	if _, _, err := c.Do(Request{JobID: "j"}); err == nil {
+		t.Fatal("Do on closed client accepted")
+	}
+	close(block)
+}
+
+func TestServerSurvivesClientDisconnect(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, echoHandler)
+	// First client connects and vanishes.
+	c1, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Call(Request{JobID: "a", Bytes: 1})
+	c1.Close()
+	// Second client still works.
+	c2, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Call(Request{JobID: "b", Bytes: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrPropagates(t *testing.T) {
+	c := Pipe(HandlerFunc(func(req Request, reply func(Reply)) {
+		reply(Reply{Err: "quota exceeded"})
+	}))
+	defer c.Close()
+	_, err := c.Call(Request{JobID: "j"})
+	if err == nil || err.Error() != "quota exceeded" {
+		t.Fatalf("err = %v, want quota exceeded", err)
+	}
+}

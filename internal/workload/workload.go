@@ -1,0 +1,180 @@
+// Package workload describes synthetic I/O workloads equivalent to the
+// Filebench personalities used in the paper's evaluation (§IV).
+//
+// Every experiment job in the paper runs some number of processes, each
+// performing sequential I/O to its own file ("file-per-process"), with one
+// of three arrival shapes:
+//
+//   - continuous: the process keeps MaxInflight RPCs outstanding until its
+//     file is fully written;
+//   - periodic bursts: the process issues BurstRPCs requests, waits for
+//     them to complete, sleeps BurstInterval, and repeats;
+//   - delayed: either shape, starting StartDelay after the run begins
+//     (Job1-3's second processes in §IV-F start at 20/50/80 s).
+//
+// A Pattern describes one process; a Job is a named, prioritized set of
+// processes. The simulator (package sim) and the real-time cluster client
+// (package cluster) both execute these descriptions.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/tbf"
+)
+
+// Defaults match the paper's setup: 1 MiB RPCs (1 RPC = 1 token) and
+// Lustre's default of 8 RPCs in flight per process.
+const (
+	DefaultRPCBytes    = 1 << 20
+	DefaultMaxInflight = 8
+)
+
+// A Pattern describes the I/O behaviour of one process.
+type Pattern struct {
+	// StartDelay postpones the process's first request.
+	StartDelay time.Duration
+	// FileBytes is the total amount the process writes; once written the
+	// process completes. Zero means unbounded (runs until the scenario
+	// ends).
+	FileBytes int64
+	// RPCBytes is the payload of each request. Defaults to 1 MiB.
+	RPCBytes int64
+	// MaxInflight bounds the process's outstanding RPCs. Defaults to 8.
+	MaxInflight int
+	// BurstRPCs, when positive, makes the process issue its requests in
+	// bursts of this many RPCs. Zero means continuous issue.
+	BurstRPCs int
+	// BurstInterval is the idle gap after a burst completes before the
+	// next burst starts. Only meaningful with BurstRPCs > 0.
+	BurstInterval time.Duration
+	// Op is the request opcode. Defaults to write, as in the paper's
+	// sequential-write workloads.
+	Op tbf.Opcode
+}
+
+// Normalize fills defaults and returns the completed pattern.
+func (p Pattern) Normalize() Pattern {
+	if p.RPCBytes <= 0 {
+		p.RPCBytes = DefaultRPCBytes
+	}
+	if p.MaxInflight <= 0 {
+		p.MaxInflight = DefaultMaxInflight
+	}
+	if p.Op == tbf.OpAny {
+		p.Op = tbf.OpWrite
+	}
+	return p
+}
+
+// Validate reports whether the pattern is self-consistent.
+func (p Pattern) Validate() error {
+	if p.StartDelay < 0 {
+		return fmt.Errorf("workload: negative StartDelay %v", p.StartDelay)
+	}
+	if p.FileBytes < 0 {
+		return fmt.Errorf("workload: negative FileBytes %d", p.FileBytes)
+	}
+	if p.BurstRPCs < 0 {
+		return fmt.Errorf("workload: negative BurstRPCs %d", p.BurstRPCs)
+	}
+	if p.BurstInterval < 0 {
+		return fmt.Errorf("workload: negative BurstInterval %v", p.BurstInterval)
+	}
+	if p.BurstRPCs > 0 && p.BurstInterval == 0 {
+		return fmt.Errorf("workload: bursty pattern needs a BurstInterval")
+	}
+	return nil
+}
+
+// RPCs reports how many requests the normalized pattern will issue, or 0
+// if unbounded.
+func (p Pattern) RPCs() int64 {
+	p = p.Normalize()
+	if p.FileBytes == 0 {
+		return 0
+	}
+	return (p.FileBytes + p.RPCBytes - 1) / p.RPCBytes
+}
+
+// A Job is a named set of processes sharing a job ID and a compute-node
+// allocation (which determines its AdapTBF priority).
+type Job struct {
+	// ID is the job identifier in the %e.%H convention.
+	ID string
+	// Nodes is the job's compute-node allocation n_x.
+	Nodes int
+	// Procs are the job's processes. Each gets a distinct stream (file).
+	Procs []Pattern
+}
+
+// Validate reports whether the job is well formed.
+func (j Job) Validate() error {
+	if j.ID == "" {
+		return fmt.Errorf("workload: job with empty ID")
+	}
+	if j.Nodes < 1 {
+		return fmt.Errorf("workload: job %s has %d nodes, want >= 1", j.ID, j.Nodes)
+	}
+	if len(j.Procs) == 0 {
+		return fmt.Errorf("workload: job %s has no processes", j.ID)
+	}
+	for i, p := range j.Procs {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("job %s proc %d: %w", j.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalBytes reports the job's total I/O volume, or 0 if any process is
+// unbounded.
+func (j Job) TotalBytes() int64 {
+	var total int64
+	for _, p := range j.Procs {
+		if p.FileBytes == 0 {
+			return 0
+		}
+		total += p.FileBytes
+	}
+	return total
+}
+
+// Replicate returns n copies of the pattern — the paper's file-per-process
+// jobs run N identical processes against N files.
+func Replicate(p Pattern, n int) []Pattern {
+	out := make([]Pattern, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// Continuous builds a job of procs identical continuous sequential writers,
+// fileBytes each — the paper's baseline I/O-intensive personality (e.g.
+// each §IV-D job: 16 processes × 1 GiB).
+func Continuous(id string, nodes, procs int, fileBytes int64) Job {
+	return Job{
+		ID:    id,
+		Nodes: nodes,
+		Procs: Replicate(Pattern{FileBytes: fileBytes}, procs),
+	}
+}
+
+// Bursty builds a job of procs identical periodic-burst writers — the
+// §IV-E high-priority personality. burst is the RPCs per burst and
+// interval the gap between bursts.
+func Bursty(id string, nodes, procs int, fileBytes int64, burst int, interval time.Duration) Job {
+	return Job{
+		ID:    id,
+		Nodes: nodes,
+		Procs: Replicate(Pattern{FileBytes: fileBytes, BurstRPCs: burst, BurstInterval: interval}, procs),
+	}
+}
+
+// Delayed returns a copy of the pattern with its start postponed by d.
+func Delayed(p Pattern, d time.Duration) Pattern {
+	p.StartDelay = d
+	return p
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"adaptbf/internal/tbf"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Pattern{}.Normalize()
+	if p.RPCBytes != 1<<20 {
+		t.Errorf("RPCBytes = %d, want 1 MiB", p.RPCBytes)
+	}
+	if p.MaxInflight != 8 {
+		t.Errorf("MaxInflight = %d, want 8", p.MaxInflight)
+	}
+	if p.Op != tbf.OpWrite {
+		t.Errorf("Op = %v, want write", p.Op)
+	}
+}
+
+func TestNormalizeKeepsExplicitValues(t *testing.T) {
+	p := Pattern{RPCBytes: 4096, MaxInflight: 2, Op: tbf.OpRead}.Normalize()
+	if p.RPCBytes != 4096 || p.MaxInflight != 2 || p.Op != tbf.OpRead {
+		t.Errorf("explicit values overwritten: %+v", p)
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	good := []Pattern{
+		{},
+		{FileBytes: 1 << 30},
+		{BurstRPCs: 10, BurstInterval: time.Second},
+		{StartDelay: time.Minute, FileBytes: 1 << 20},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good pattern %d rejected: %v", i, err)
+		}
+	}
+	bad := []Pattern{
+		{StartDelay: -1},
+		{FileBytes: -1},
+		{BurstRPCs: -1},
+		{BurstInterval: -1},
+		{BurstRPCs: 5}, // bursty without interval
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pattern %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPatternRPCs(t *testing.T) {
+	if got := (Pattern{FileBytes: 1 << 30}).RPCs(); got != 1024 {
+		t.Errorf("1 GiB at 1 MiB RPCs = %d, want 1024", got)
+	}
+	if got := (Pattern{FileBytes: 1<<20 + 1}).RPCs(); got != 2 {
+		t.Errorf("partial trailing RPC not counted: %d, want 2", got)
+	}
+	if got := (Pattern{}).RPCs(); got != 0 {
+		t.Errorf("unbounded pattern RPCs = %d, want 0", got)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := (Job{ID: "j", Nodes: 1, Procs: []Pattern{{}}}).Validate(); err != nil {
+		t.Errorf("minimal job rejected: %v", err)
+	}
+	bad := []Job{
+		{ID: "", Nodes: 1, Procs: []Pattern{{}}},
+		{ID: "j", Nodes: 0, Procs: []Pattern{{}}},
+		{ID: "j", Nodes: 1},
+		{ID: "j", Nodes: 1, Procs: []Pattern{{StartDelay: -1}}},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	j := Continuous("j.h", 2, 16, 1<<30)
+	if got := j.TotalBytes(); got != 16<<30 {
+		t.Errorf("TotalBytes = %d, want 16 GiB", got)
+	}
+	unbounded := Job{ID: "u", Nodes: 1, Procs: []Pattern{{FileBytes: 1}, {}}}
+	if got := unbounded.TotalBytes(); got != 0 {
+		t.Errorf("unbounded TotalBytes = %d, want 0", got)
+	}
+}
+
+func TestReplicateIndependence(t *testing.T) {
+	ps := Replicate(Pattern{FileBytes: 10}, 3)
+	ps[0].FileBytes = 99
+	if ps[1].FileBytes != 10 {
+		t.Error("Replicate shares state between copies")
+	}
+	if len(ps) != 3 {
+		t.Errorf("len = %d, want 3", len(ps))
+	}
+}
+
+func TestPresets(t *testing.T) {
+	c := Continuous("ior.n1", 4, 16, 1<<30)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Procs) != 16 || c.Procs[0].BurstRPCs != 0 {
+		t.Errorf("Continuous preset wrong: %+v", c.Procs[0])
+	}
+	b := Bursty("fb.n2", 6, 2, 1<<30, 100, 5*time.Second)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Procs[1].BurstRPCs != 100 || b.Procs[1].BurstInterval != 5*time.Second {
+		t.Errorf("Bursty preset wrong: %+v", b.Procs[1])
+	}
+	d := Delayed(Pattern{FileBytes: 1}, 20*time.Second)
+	if d.StartDelay != 20*time.Second || d.FileBytes != 1 {
+		t.Errorf("Delayed wrong: %+v", d)
+	}
+}
