@@ -9,6 +9,7 @@ import (
 	"adaptbf/internal/core"
 	"adaptbf/internal/device"
 	"adaptbf/internal/experiments"
+	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/transport"
@@ -82,6 +83,25 @@ func DelayedPattern(p Pattern, delay time.Duration) Pattern {
 	return workload.Delayed(p, delay)
 }
 
+// StripedJob builds a job of continuous writers whose files are each
+// striped across `stripes` storage targets (0 = all) — the multi-OSS
+// Lustre deployment shape of the paper's testbed.
+func StripedJob(id string, nodes, procs int, fileBytes int64, stripes int) Job {
+	return workload.StripedSequential(id, nodes, procs, fileBytes, stripes)
+}
+
+// MixedReadWriteJob builds a job mixing continuous readers and writers —
+// the read/write interference workload.
+func MixedReadWriteJob(id string, nodes, readers, writers int, fileBytes int64) Job {
+	return workload.MixedReadWrite(id, nodes, readers, writers, fileBytes)
+}
+
+// StaggeredBurstJob builds a job of burst writers whose processes arrive
+// staggered — a fan-in wave stressing redistribution and re-compensation.
+func StaggeredBurstJob(id string, nodes, procs int, fileBytes int64, burst int, interval, stagger time.Duration) Job {
+	return workload.StaggeredBurst(id, nodes, procs, fileBytes, burst, interval, stagger)
+}
+
 // DefaultDevice returns the SSD-class storage target model used by the
 // paper reproduction.
 func DefaultDevice() DeviceParams { return device.Default() }
@@ -112,6 +132,32 @@ var (
 	RunSFQComparison            = experiments.RunSFQComparison  // extension: vs SFQ(D)
 	RunGIFTComparison           = experiments.RunGIFTComparison // extension: vs GIFT
 )
+
+// Scenario-matrix engine: declare a matrix (scenario × policy × scale ×
+// OSS count × seed), fan the cells out over a bounded worker pool, and
+// merge the results deterministically (see internal/harness).
+type (
+	// ScenarioMatrix declares the cross product of runs.
+	ScenarioMatrix = harness.Matrix
+	// MatrixScenario names a workload family for the matrix.
+	MatrixScenario = harness.Scenario
+	// MatrixCellParams is a scenario generator's view of one cell.
+	MatrixCellParams = harness.CellParams
+	// MatrixOptions tunes a matrix run (worker count, progress hook).
+	MatrixOptions = harness.Options
+	// MatrixResult holds every cell's outcome in canonical order.
+	MatrixResult = harness.MatrixResult
+)
+
+// RunMatrix executes every cell of the matrix concurrently; the merged
+// result is identical whatever the worker count.
+func RunMatrix(m ScenarioMatrix, opt MatrixOptions) (*MatrixResult, error) {
+	return harness.Run(m, opt)
+}
+
+// BuiltinScenarios returns the harness's scenario library: striped
+// sequential, mixed read/write interference, and staggered fan-in bursts.
+func BuiltinScenarios() []MatrixScenario { return harness.BuiltinScenarios() }
 
 // Live-cluster mode: real goroutine storage servers and job runners over
 // the gob RPC transport, one decentralized AdapTBF controller per target.

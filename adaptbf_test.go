@@ -102,6 +102,30 @@ func TestFacadeLiveCluster(t *testing.T) {
 	}
 }
 
+func TestFacadeMatrix(t *testing.T) {
+	res, err := adaptbf.RunMatrix(adaptbf.ScenarioMatrix{
+		Scenarios: adaptbf.BuiltinScenarios(),
+		Policies:  []adaptbf.Policy{adaptbf.PolicyNoBW, adaptbf.PolicyAdapTBF},
+		Scales:    []int64{256},
+		OSSes:     []int{2},
+	}, adaptbf.MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(res.Cells))
+	}
+	for _, cr := range res.Cells {
+		if !cr.Result.Done {
+			t.Fatalf("cell %v did not finish", cr.Cell)
+		}
+	}
+	rep := res.Report()
+	if len(rep.Tables) < 2 || len(rep.Tables[0].Rows) != 6 {
+		t.Fatalf("merged report malformed: %+v", rep.Tables)
+	}
+}
+
 func TestFacadeHelpers(t *testing.T) {
 	p := adaptbf.DelayedPattern(adaptbf.Pattern{FileBytes: 1}, 5*time.Second)
 	if p.StartDelay != 5*time.Second {

@@ -11,6 +11,7 @@
 package adaptbf_test
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"adaptbf"
 	"adaptbf/internal/core"
 	"adaptbf/internal/experiments"
+	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/tbf"
@@ -335,6 +337,58 @@ func BenchmarkAblationBucketDepth(b *testing.B) {
 	b.ReportMetric(results[0], "depth1_MiB/s")
 	b.ReportMetric(results[1], "depth3_MiB/s")
 	b.ReportMetric(results[3], "depth64_MiB/s")
+}
+
+// --- Scenario-matrix engine: the same 24-cell grid the acceptance
+// criteria name (3 scenarios × 4 policies × 2 OSS counts), sequential vs
+// worker-pool. The parallel/sequential wall-clock ratio is the speedup
+// the engine buys the figure suite. ---
+
+func benchMatrix() harness.Matrix {
+	return harness.Matrix{
+		Scenarios: harness.BuiltinScenarios(),
+		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ},
+		Scales:    []int64{64},
+		OSSes:     []int{1, 2},
+	}
+}
+
+func benchMatrixRun(b *testing.B, workers int) {
+	var cells int
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(benchMatrix(), harness.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(res.Cells)
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkMatrixSequential(b *testing.B) { benchMatrixRun(b, 1) }
+
+func BenchmarkMatrixParallel(b *testing.B) { benchMatrixRun(b, runtime.NumCPU()) }
+
+// BenchmarkMatrixMultiOSS scales the OSS axis alone: one scenario, one
+// policy, stacks of 1/2/4/8 striped OSSes per cell.
+func BenchmarkMatrixMultiOSS(b *testing.B) {
+	m := harness.Matrix{
+		Scenarios: []harness.Scenario{harness.StripedSequentialScenario()},
+		Policies:  []sim.Policy{sim.AdapTBF},
+		Scales:    []int64{64},
+		OSSes:     []int{1, 2, 4, 8},
+	}
+	var bw1, bw8 float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(m, harness.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw1 = res.Cells[0].Result.Timeline.Summarize().OverallMiBps
+		bw8 = res.Cells[3].Result.Timeline.Summarize().OverallMiBps
+	}
+	b.ReportMetric(bw1, "oss1_MiB/s")
+	b.ReportMetric(bw8, "oss8_MiB/s")
 }
 
 // BenchmarkExtGIFTComparison regenerates the GIFT extension table: the

@@ -25,7 +25,17 @@
 //     figure of the paper's evaluation (internal/des, internal/sim,
 //     internal/experiments, internal/metrics);
 //   - a live goroutine/RPC cluster mode (internal/transport,
-//     internal/cluster).
+//     internal/cluster);
+//   - a concurrent scenario-matrix engine (internal/harness) that fans a
+//     declarative grid — scenario × policy × scale × OSS count × seed —
+//     out over a worker pool and merges the results deterministically.
+//
+// Beyond the paper's single-target timelines, a simulation can model a
+// multi-OSS stack with striped files: sim.Config.OSTs sets the stack
+// width and workload.Pattern.StripeCount the per-file stripe width, with
+// round-robin first-stripe placement and per-OSS TBF schedulers and
+// controllers, as on the paper's (and GIFT's) multi-server Lustre
+// testbeds.
 //
 // This package is the public façade: it re-exports the types needed to
 // define scenarios, run simulations under the paper's three policies
@@ -41,6 +51,21 @@
 //	        adaptbf.ContinuousJob("large.n02", 3, 4, 256<<20),
 //	    },
 //	})
+//
+// # Scenario matrices
+//
+// To sweep many configurations at once, declare a matrix and let the
+// harness run the cells as fast as the cores allow (the merged report is
+// identical whatever the worker count):
+//
+//	res, err := adaptbf.RunMatrix(adaptbf.ScenarioMatrix{
+//	    Scenarios: adaptbf.BuiltinScenarios(),
+//	    OSSes:     []int{1, 2, 4},
+//	    Scales:    []int64{64},
+//	}, adaptbf.MatrixOptions{})
+//	rep := res.Report()
+//
+// Or from the command line: go run ./cmd/adaptbf-matrix -verify.
 //
 // See examples/quickstart for the complete program and DESIGN.md for the
 // system inventory and the per-experiment index.

@@ -1,0 +1,3 @@
+module adaptbf
+
+go 1.24

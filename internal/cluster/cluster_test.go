@@ -103,6 +103,37 @@ func TestJobRunnerBounded(t *testing.T) {
 	}
 }
 
+func TestJobRunnerStripeCountPinsFiles(t *testing.T) {
+	// Two single-striped files over two OSSes: round-robin placement puts
+	// one file on each server, and every RPC of a file stays on its
+	// server — the live-cluster mirror of the simulator's stripe layout.
+	o1, o2 := testOSS(t), testOSS(t)
+	c1, c2 := transport.Pipe(o1), transport.Pipe(o2)
+	defer c1.Close()
+	defer c2.Close()
+	runner := &JobRunner{
+		Job: workload.Job{
+			ID:    "pin.n1",
+			Nodes: 1,
+			Procs: workload.Replicate(workload.Pattern{FileBytes: 32 * kib64, RPCBytes: kib64, StripeCount: 1}, 2),
+		},
+		Targets: []*transport.Client{c1, c2},
+	}
+	stats, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RPCs != 64 {
+		t.Fatalf("RPCs = %d, want 64", stats.RPCs)
+	}
+	for i, o := range []*OSS{o1, o2} {
+		snap := o.Tracker().Snapshot()
+		if len(snap) != 1 || snap[0].RPCs != 32 {
+			t.Fatalf("OSS %d snapshot %+v, want exactly one 32-RPC file", i, snap)
+		}
+	}
+}
+
 func TestJobRunnerUnboundedStopsOnCancel(t *testing.T) {
 	o := testOSS(t)
 	c := transport.Pipe(o)

@@ -85,6 +85,14 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 	stream := int(streamIDs.Add(1))
 	remaining := pat.RPCs() // 0 = unbounded
 	unbounded := remaining == 0
+	// Stripe layout mirrors the simulator: the file's first stripe lands on
+	// a per-file round-robin base and the file spans StripeCount targets
+	// from there (0 = all targets).
+	stripes := pat.StripeCount
+	if stripes <= 0 || stripes > len(r.Targets) {
+		stripes = len(r.Targets)
+	}
+	base := stream % len(r.Targets)
 	rr := 0
 
 	// issueWindow sends up to n RPCs (all of them if n < 0 and bounded)
@@ -110,7 +118,7 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 				<-sem
 				break
 			}
-			target := r.Targets[rr%len(r.Targets)]
+			target := r.Targets[(base+rr%stripes)%len(r.Targets)]
 			rr++
 			ch, _, err := target.Do(transport.Request{
 				JobID:  r.Job.ID,

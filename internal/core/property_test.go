@@ -179,6 +179,136 @@ func TestAllocatorDeterministicQuick(t *testing.T) {
 	}
 }
 
+// TestScenarioMatrixInvariants mirrors the run-level scenario matrix
+// (internal/harness) at the allocator layer: every cell of a small
+// demand-shape × scale × seed grid — the shapes the five policies' test
+// workloads induce (continuous saturation, alternating bursts, staggered
+// fan-in, mixed read/write phases, and idle churn) — must preserve token
+// conservation (I1–I5 via checkInvariants) and first-window
+// proportionality. The policy axis itself lives in the harness tests,
+// where full simulations run all five policies over these same shapes.
+func TestScenarioMatrixInvariants(t *testing.T) {
+	jobIDs := []JobID{"a.n1", "b.n2", "c.n3", "d.n4"}
+	nodes := []int{1, 2, 4, 8}
+	// mix deterministically derives a demand from (seed, window, job) —
+	// the allocator-layer stand-in for the harness's seeded jitter.
+	mix := func(seed int64, w, j int) int64 {
+		x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(w)*0xbf58476d1ce4e5b9 + uint64(j)*0x94d049bb133111eb
+		x ^= x >> 29
+		return int64(x % 900)
+	}
+	shapes := []struct {
+		name string
+		gen  func(scale, seed int64) [][]Activity
+	}{
+		{"continuous", func(scale, seed int64) [][]Activity {
+			var ws [][]Activity
+			for w := 0; w < 6; w++ {
+				var acts []Activity
+				for j := range jobIDs {
+					acts = append(acts, Activity{Job: jobIDs[j], Nodes: nodes[j], Demand: 1000 * scale})
+				}
+				ws = append(ws, acts)
+			}
+			return ws
+		}},
+		{"bursty", func(scale, seed int64) [][]Activity {
+			var ws [][]Activity
+			for w := 0; w < 8; w++ {
+				var acts []Activity
+				for j := range jobIDs {
+					d := int64(0)
+					if (w+j)%2 == 0 {
+						d = (100 + mix(seed, w, j)) * scale
+					}
+					acts = append(acts, Activity{Job: jobIDs[j], Nodes: nodes[j], Demand: d})
+				}
+				ws = append(ws, acts)
+			}
+			return ws
+		}},
+		{"staggered", func(scale, seed int64) [][]Activity {
+			var ws [][]Activity
+			for w := 0; w < 8; w++ {
+				var acts []Activity
+				for j := range jobIDs {
+					if w < j { // job j joins at window j: the fan-in wave
+						continue
+					}
+					acts = append(acts, Activity{Job: jobIDs[j], Nodes: nodes[j], Demand: (50 + mix(seed, w, j)) * scale})
+				}
+				ws = append(ws, acts)
+			}
+			return ws
+		}},
+		{"churn", func(scale, seed int64) [][]Activity {
+			var ws [][]Activity
+			for w := 0; w < 10; w++ {
+				var acts []Activity
+				for j := range jobIDs {
+					if mix(seed, w, j)%3 == 0 { // in and out of the active set
+						continue
+					}
+					acts = append(acts, Activity{Job: jobIDs[j], Nodes: nodes[j], Demand: mix(seed, w, j) * scale})
+				}
+				ws = append(ws, acts)
+			}
+			return ws
+		}},
+	}
+	for _, shape := range shapes {
+		for _, scale := range []int64{1, 16} {
+			for _, seed := range []int64{1, 7, 42} {
+				windows := shape.gen(scale, seed)
+				checkInvariants(t, 500, windows)
+				checkFirstWindowProportional(t, 500, windows)
+			}
+		}
+	}
+}
+
+// checkFirstWindowProportional asserts the proportionality half of the
+// matrix invariants: in the first window where every active job's demand
+// saturates its share, each initial allocation is within one token of the
+// node-proportional split (largest-remainder integerization).
+func checkFirstWindowProportional(t *testing.T, maxRate float64, windows [][]Activity) {
+	t.Helper()
+	// Only the first window is checkable — compensation records from it
+	// blur every later one — so a fresh allocator sees windows[0] alone.
+	if len(windows) == 0 || len(windows[0]) == 0 {
+		return
+	}
+	a := New(Config{MaxRate: maxRate, Period: 100 * time.Millisecond})
+	active := windows[0]
+	allocs := a.Allocate(active)
+	var pool int64
+	total := 0
+	saturated := true
+	for _, al := range allocs {
+		pool += al.Initial
+	}
+	byID := make(map[JobID]Activity, len(active))
+	for _, ac := range active {
+		total += ac.Nodes
+		byID[ac.Job] = ac
+	}
+	for _, al := range allocs {
+		if byID[al.Job].Demand < pool {
+			saturated = false
+		}
+	}
+	if !saturated {
+		return
+	}
+	for _, al := range allocs {
+		raw := float64(pool) * float64(byID[al.Job].Nodes) / float64(total)
+		if math.Abs(float64(al.Initial)-raw) > 1+1e-9 {
+			t.Fatalf("window 0: job %s initial %d not within 1 of proportional share %.2f (pool %d)",
+				al.Job, al.Initial, raw, pool)
+		}
+	}
+}
+
 // Property: priorities always sum to 1 over the active set and allocations
 // are monotone in nodes — a job with more nodes never receives a smaller
 // initial allocation.

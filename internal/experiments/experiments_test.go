@@ -217,6 +217,9 @@ func TestFrequencySweepShape(t *testing.T) {
 }
 
 func TestOverheadLinearAndFast(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock overhead bounds do not hold under the race detector's slowdown")
+	}
 	rep, err := RunOverhead([]int{10, 1000})
 	if err != nil {
 		t.Fatal(err)

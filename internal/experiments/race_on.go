@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// overhead measurements (§IV-G) are meaningless under its ~10× slowdown,
+// so timing-sensitive tests consult this to skip themselves.
+const raceEnabled = true

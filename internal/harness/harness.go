@@ -1,0 +1,424 @@
+// Package harness is the concurrent scenario-matrix engine: it takes a
+// declarative matrix (workload scenario × policy × scale × OSS count ×
+// seed), fans the independent deterministic simulations out over a
+// bounded worker pool, and merges the per-cell results into aggregate
+// report tables whose content is identical no matter how many workers ran
+// or in what order cells finished.
+//
+// The paper evaluates AdapTBF one storage target and one workload at a
+// time; its testbed — like GIFT's — is a multi-server Lustre deployment
+// with files striped across OSSes. The harness closes both gaps at once:
+// every cell can model N OSSes with striped files (sim.Config.OSTs plus
+// workload.Pattern.StripeCount), and the whole figure suite runs as fast
+// as the cores allow instead of strictly sequentially.
+//
+// Determinism contract: each cell is a pure function of its CellParams
+// (sim.Run is bit-for-bit deterministic and Scenario.Jobs must be a pure
+// function of its argument), results land in a slice indexed by cell, and
+// merging walks cells in index order. Hence Run with Workers=1 and
+// Workers=NumCPU produce identical MatrixResults — a property the tests
+// and the race detector both hold the engine to.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptbf/internal/experiments"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/workload"
+)
+
+// CellParams is what a scenario generator sees: the cell's position on
+// the non-policy axes. Generators must be pure functions of this value —
+// that is the whole determinism story.
+type CellParams struct {
+	// Scale divides the scenario's I/O volumes (1 = paper scale).
+	Scale int64
+	// OSSes is the number of object storage servers in the cell's stack.
+	OSSes int
+	// Seed drives deterministic jitter (start delays, burst phasing).
+	Seed int64
+}
+
+// A Scenario names a workload family and builds its job set for a cell.
+type Scenario struct {
+	Name string
+	Jobs func(p CellParams) []workload.Job
+}
+
+// A Matrix declares the full cross product of runs.
+type Matrix struct {
+	Scenarios []Scenario
+	// Policies defaults to the four decentral-comparison policies:
+	// NoBW, StaticBW, AdapTBF, SFQ.
+	Policies []sim.Policy
+	// Scales defaults to {1}.
+	Scales []int64
+	// OSSes defaults to {1}.
+	OSSes []int
+	// Seeds defaults to {1}.
+	Seeds []int64
+
+	// MaxTokenRate is T_i per OSS in tokens/s. Defaults to 500.
+	MaxTokenRate float64
+	// Period is the controller observation period Δt. Defaults to 100 ms.
+	Period time.Duration
+	// Duration caps each cell's simulated time. Defaults to 30 minutes.
+	Duration time.Duration
+	// SFQDepth is the dispatch depth for SFQ cells. Defaults to 1.
+	SFQDepth int
+}
+
+// DefaultPolicies is the policy axis used when Matrix.Policies is empty.
+var DefaultPolicies = []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ}
+
+func (m Matrix) normalize() (Matrix, error) {
+	if len(m.Scenarios) == 0 {
+		return m, errors.New("harness: matrix has no scenarios")
+	}
+	seen := make(map[string]bool, len(m.Scenarios))
+	for _, sc := range m.Scenarios {
+		if sc.Name == "" || sc.Jobs == nil {
+			return m, errors.New("harness: scenario needs a Name and a Jobs func")
+		}
+		if seen[sc.Name] {
+			return m, fmt.Errorf("harness: duplicate scenario %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	if len(m.Policies) == 0 {
+		m.Policies = append([]sim.Policy(nil), DefaultPolicies...)
+	}
+	if len(m.Scales) == 0 {
+		m.Scales = []int64{1}
+	}
+	for _, s := range m.Scales {
+		if s < 1 {
+			return m, fmt.Errorf("harness: scale %d < 1", s)
+		}
+	}
+	if len(m.OSSes) == 0 {
+		m.OSSes = []int{1}
+	}
+	for _, n := range m.OSSes {
+		if n < 1 {
+			return m, fmt.Errorf("harness: OSS count %d < 1", n)
+		}
+	}
+	if len(m.Seeds) == 0 {
+		m.Seeds = []int64{1}
+	}
+	if m.MaxTokenRate == 0 {
+		m.MaxTokenRate = 500
+	}
+	if m.Period == 0 {
+		m.Period = 100 * time.Millisecond
+	}
+	if m.Duration == 0 {
+		m.Duration = 30 * time.Minute
+	}
+	return m, nil
+}
+
+// A Cell is one point of the expanded matrix.
+type Cell struct {
+	Index    int
+	Scenario string
+	Policy   sim.Policy
+	Scale    int64
+	OSSes    int
+	Seed     int64
+}
+
+// Params extracts the scenario-generator view of the cell.
+func (c Cell) Params() CellParams {
+	return CellParams{Scale: c.Scale, OSSes: c.OSSes, Seed: c.Seed}
+}
+
+// String renders the cell's coordinates for logs and table rows.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%v/scale%d/oss%d/seed%d", c.Scenario, c.Policy, c.Scale, c.OSSes, c.Seed)
+}
+
+// Cells expands the matrix in its canonical order: scenario, then policy,
+// then scale, then OSS count, then seed. Merging and reporting follow this
+// order, never completion order.
+func (m Matrix) Cells() ([]Cell, error) {
+	n, err := m.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return n.cells(), nil
+}
+
+// cells expands an already-normalized matrix.
+func (m Matrix) cells() []Cell {
+	var cells []Cell
+	for _, sc := range m.Scenarios {
+		for _, pol := range m.Policies {
+			for _, scale := range m.Scales {
+				for _, osses := range m.OSSes {
+					for _, seed := range m.Seeds {
+						cells = append(cells, Cell{
+							Index:    len(cells),
+							Scenario: sc.Name,
+							Policy:   pol,
+							Scale:    scale,
+							OSSes:    osses,
+							Seed:     seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// A CellResult pairs a cell with its finished simulation (or its error).
+type CellResult struct {
+	Cell   Cell
+	Result *sim.Result
+	Err    error
+}
+
+// A MatrixResult holds every cell's outcome in canonical cell order.
+// Elapsed is wall-clock engine time and is deliberately excluded from
+// Report and Fingerprint, which must not depend on worker count.
+type MatrixResult struct {
+	Cells   []CellResult
+	Workers int
+	Elapsed time.Duration
+}
+
+// Options tunes an engine run.
+type Options struct {
+	// Workers bounds the worker pool. ≤0 means runtime.NumCPU().
+	Workers int
+	// OnCell, when set, observes each finished cell. Calls are serialized
+	// but arrive in completion order, not cell order.
+	OnCell func(CellResult)
+}
+
+// Run executes every cell of the matrix over a bounded worker pool and
+// returns the merged result. The returned error joins all per-cell
+// failures (the MatrixResult is still returned alongside it).
+func Run(m Matrix, opt Options) (*MatrixResult, error) {
+	norm, err := m.normalize()
+	if err != nil {
+		return nil, err
+	}
+	cells := norm.cells()
+	byName := make(map[string]Scenario, len(norm.Scenarios))
+	for _, sc := range norm.Scenarios {
+		byName[sc.Name] = sc
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	start := time.Now()
+	out := &MatrixResult{Cells: make([]CellResult, len(cells)), Workers: workers}
+
+	var observe func(CellResult)
+	if opt.OnCell != nil {
+		var mu sync.Mutex
+		observe = func(cr CellResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			opt.OnCell(cr)
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cr := runCell(norm, byName[cells[i].Scenario], cells[i])
+				out.Cells[i] = cr
+				if observe != nil {
+					observe(cr)
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+
+	var errs []error
+	for _, cr := range out.Cells {
+		if cr.Err != nil {
+			errs = append(errs, fmt.Errorf("cell %v: %w", cr.Cell, cr.Err))
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// runCell executes one cell: build the scenario's jobs, assemble the
+// simulator config, run.
+func runCell(m Matrix, sc Scenario, c Cell) CellResult {
+	cfg := sim.Config{
+		Policy:       c.Policy,
+		Jobs:         sc.Jobs(c.Params()),
+		MaxTokenRate: m.MaxTokenRate,
+		Period:       m.Period,
+		Duration:     m.Duration,
+		OSTs:         c.OSSes,
+		SFQDepth:     m.SFQDepth,
+	}
+	res, err := sim.Run(cfg)
+	return CellResult{Cell: c, Result: res, Err: err}
+}
+
+// ---- deterministic merging ----
+
+// Report merges the per-cell results into experiment tables: one row per
+// cell, then per-scenario policy means with AdapTBF-style gain columns.
+// The output is a pure function of the cells in canonical order.
+func (r *MatrixResult) Report() *experiments.Report {
+	rep := &experiments.Report{
+		ID:    "matrix",
+		Title: fmt.Sprintf("Scenario matrix (%d cells)", len(r.Cells)),
+	}
+	// Summarize walks every timeline bin of every job; do it once per cell
+	// and share the summaries between the two tables.
+	sums := make([]metrics.Summary, len(r.Cells))
+	for i, cr := range r.Cells {
+		if cr.Err == nil {
+			sums[i] = cr.Result.Timeline.Summarize()
+		}
+	}
+	rep.Tables = append(rep.Tables, r.cellTable(sums), r.policyMeansTable(sums))
+	return rep
+}
+
+func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
+	t := experiments.Table{
+		Name:   "matrix-cells",
+		Header: []string{"scenario", "policy", "scale", "OSSes", "seed", "overall MiB/s", "makespan (s)", "done", "RPCs"},
+	}
+	for i, cr := range r.Cells {
+		c := cr.Cell
+		row := []string{c.Scenario, c.Policy.String(),
+			fmt.Sprintf("%d", c.Scale), fmt.Sprintf("%d", c.OSSes), fmt.Sprintf("%d", c.Seed)}
+		if cr.Err != nil {
+			row = append(row, "ERROR: "+cr.Err.Error(), "-", "-", "-")
+		} else {
+			row = append(row,
+				metrics.FormatMiBps(sums[i].OverallMiBps),
+				fmt.Sprintf("%.1f", cr.Result.Elapsed.Seconds()),
+				fmt.Sprintf("%v", cr.Result.Done),
+				fmt.Sprintf("%d", cr.Result.ServedRPCs),
+			)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// policyMeansTable averages each scenario×policy group's overall bandwidth
+// and makespan over the scale, OSS, and seed axes, and reports the
+// percentage delta against the group's NoBW mean when one exists.
+func (r *MatrixResult) policyMeansTable(sums []metrics.Summary) experiments.Table {
+	t := experiments.Table{
+		Name:   "matrix-policy-means",
+		Header: []string{"scenario", "policy", "mean MiB/s", "mean makespan (s)", "vs No BW (%)"},
+	}
+	type key struct {
+		scenario string
+		policy   sim.Policy
+	}
+	type agg struct {
+		bw, makespan float64
+		n            int
+	}
+	groups := make(map[key]*agg)
+	var order []key // first-appearance order == canonical matrix order
+	for i, cr := range r.Cells {
+		if cr.Err != nil {
+			continue
+		}
+		k := key{cr.Cell.Scenario, cr.Cell.Policy}
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.bw += sums[i].OverallMiBps
+		g.makespan += cr.Result.Elapsed.Seconds()
+		g.n++
+	}
+	for _, k := range order {
+		g := groups[k]
+		mean := g.bw / float64(g.n)
+		delta := "-"
+		if base, ok := groups[key{k.scenario, sim.NoBW}]; ok && base.bw > 0 && k.policy != sim.NoBW {
+			delta = fmt.Sprintf("%+.1f", (mean-base.bw/float64(base.n))/(base.bw/float64(base.n))*100)
+		}
+		t.Rows = append(t.Rows, []string{
+			k.scenario, k.policy.String(),
+			metrics.FormatMiBps(mean),
+			fmt.Sprintf("%.1f", g.makespan/float64(g.n)),
+			delta,
+		})
+	}
+	return t
+}
+
+// Fingerprint digests every cell's raw outcome — per-job byte totals and
+// finish times, served RPCs, makespan, per-OSS busy time — in canonical
+// cell order. Two runs of the same matrix must produce identical
+// fingerprints regardless of worker count; the determinism tests assert
+// exactly that.
+func (r *MatrixResult) Fingerprint() string {
+	h := sha256.New()
+	var b strings.Builder
+	for _, cr := range r.Cells {
+		b.Reset()
+		fmt.Fprintf(&b, "%v|", cr.Cell)
+		if cr.Err != nil {
+			fmt.Fprintf(&b, "err=%v", cr.Err)
+			h.Write([]byte(b.String()))
+			continue
+		}
+		res := cr.Result
+		fmt.Fprintf(&b, "elapsed=%d|done=%v|rpcs=%d|", res.Elapsed, res.Done, res.ServedRPCs)
+		jobs := res.Timeline.Jobs()
+		for _, j := range jobs {
+			fmt.Fprintf(&b, "job=%s:%d|", j, res.Timeline.TotalBytes(j))
+		}
+		finish := make([]string, 0, len(res.FinishTimes))
+		for j := range res.FinishTimes {
+			finish = append(finish, j)
+		}
+		sort.Strings(finish)
+		for _, j := range finish {
+			fmt.Fprintf(&b, "finish=%s:%d|", j, res.FinishTimes[j])
+		}
+		for i, d := range res.DeviceBusy {
+			fmt.Fprintf(&b, "busy%d=%d|", i, d)
+		}
+		h.Write([]byte(b.String()))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adaptbf/internal/workload"
+)
+
+// The builtin scenarios scale the paper's 1 GiB-per-process volumes the
+// same way package experiments does.
+const (
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+)
+
+func scaledBytes(bytes, scale int64) int64 {
+	b := bytes / scale
+	if b < mib {
+		b = mib
+	}
+	return b
+}
+
+// rng is a splitmix64 stream: tiny, deterministic, and plenty for
+// seed-axis jitter. (math/rand would also be deterministic, but a local
+// generator keeps the scenario library free of global state.)
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng { return &rng{s: uint64(seed)*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// dur returns a deterministic duration in [lo, hi).
+func (r *rng) dur(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.next()%uint64(hi-lo))
+}
+
+// jitterStarts offsets every process start by a small seed-derived delay,
+// so different seeds explore different arrival phasings of the same
+// workload. Jobs and procs are walked in order, keeping it deterministic.
+func jitterStarts(jobs []workload.Job, seed int64, spread time.Duration) []workload.Job {
+	r := newRNG(seed)
+	out := make([]workload.Job, len(jobs))
+	for i, j := range jobs {
+		j.Procs = append([]workload.Pattern(nil), j.Procs...)
+		for k := range j.Procs {
+			j.Procs[k].StartDelay += r.dur(0, spread)
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// StripedSequentialScenario models the paper's real deployment shape:
+// three jobs with a 1:3:6 priority ratio whose files are striped across
+// the cell's OSSes at different widths — narrow (1), medium (half), and
+// full — so per-OSS controllers see overlapping but distinct job mixes.
+func StripedSequentialScenario() Scenario {
+	return Scenario{
+		Name: "striped-seq",
+		Jobs: func(p CellParams) []workload.Job {
+			fb := scaledBytes(1*gib, p.Scale)
+			half := p.OSSes / 2
+			if half < 1 {
+				half = 1
+			}
+			jobs := []workload.Job{
+				workload.StripedSequential("narrow.n01", 1, 4, fb, 1),
+				workload.StripedSequential("medium.n03", 3, 4, fb, half),
+				workload.StripedSequential("wide.n06", 6, 4, fb, 0), // full width
+			}
+			return jitterStarts(jobs, p.Seed, 200*time.Millisecond)
+		},
+	}
+}
+
+// MixedReadWriteScenario stresses opcode interference: a read-heavy
+// analysis job against a write-heavy producer, plus a small mixed job,
+// all striped full-width.
+func MixedReadWriteScenario() Scenario {
+	return Scenario{
+		Name: "mixed-rw",
+		Jobs: func(p CellParams) []workload.Job {
+			fb := scaledBytes(1*gib, p.Scale)
+			jobs := []workload.Job{
+				workload.MixedReadWrite("readers.n04", 4, 6, 0, fb),
+				workload.MixedReadWrite("writers.n04", 4, 0, 6, fb),
+				workload.MixedReadWrite("mixed.n02", 2, 2, 2, fb),
+			}
+			return jitterStarts(jobs, p.Seed, 150*time.Millisecond)
+		},
+	}
+}
+
+// StaggeredBurstScenario is the fan-in wave: a high-priority job whose
+// burst processes arrive staggered (the stagger drawn from the seed)
+// against a low-priority continuous hog — redistribution and
+// re-compensation both fire on every arrival.
+func StaggeredBurstScenario() Scenario {
+	return Scenario{
+		Name: "staggered-burst",
+		Jobs: func(p CellParams) []workload.Job {
+			fb := scaledBytes(1*gib, p.Scale)
+			r := newRNG(p.Seed)
+			stagger := r.dur(300*time.Millisecond, 900*time.Millisecond)
+			interval := r.dur(1500*time.Millisecond, 2500*time.Millisecond)
+			return []workload.Job{
+				workload.StaggeredBurst("wave.n06", 6, 4, fb, 32, interval, stagger),
+				workload.Continuous("hog.n02", 2, 8, fb),
+			}
+		},
+	}
+}
+
+// BuiltinScenarios returns the scenario library in canonical order.
+func BuiltinScenarios() []Scenario {
+	return []Scenario{
+		StripedSequentialScenario(),
+		MixedReadWriteScenario(),
+		StaggeredBurstScenario(),
+	}
+}
+
+// ScenarioNames lists the builtin scenario names, sorted.
+func ScenarioNames() []string {
+	scs := BuiltinScenarios()
+	out := make([]string, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScenariosByName resolves names against the builtin library, in the
+// order given.
+func ScenariosByName(names []string) ([]Scenario, error) {
+	byName := make(map[string]Scenario)
+	for _, sc := range BuiltinScenarios() {
+		byName[sc.Name] = sc
+	}
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		sc, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scenario %q (have %v)", n, ScenarioNames())
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptbf/internal/workload"
+)
+
+// fingerprint digests everything deterministic about a Result: per-job
+// per-bin timelines, finish times, latency percentiles, served RPCs,
+// per-OST busy times, and the makespan. AllocTimes/TickTimes are the
+// §IV-G *wall-clock* overhead measurements and are deliberately excluded
+// — they are the only Result fields allowed to vary between runs.
+func fingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%v done=%v elapsed=%d rpcs=%d ruleops=%d\n",
+		r.Policy, r.Done, r.Elapsed, r.ServedRPCs, r.RuleOps)
+	for _, job := range r.Timeline.Jobs() {
+		fmt.Fprintf(&b, "tl %s:", job)
+		for _, v := range r.Timeline.Throughput(job) {
+			fmt.Fprintf(&b, " %.6f", v)
+		}
+		fmt.Fprintf(&b, "\nlat %s: n=%d p50=%d p99=%d\n", job,
+			r.Latencies.Count(job), r.Latencies.Percentile(job, 50), r.Latencies.Percentile(job, 99))
+	}
+	jobs := make([]string, 0, len(r.FinishTimes))
+	for j := range r.FinishTimes {
+		jobs = append(jobs, j)
+	}
+	sort.Strings(jobs)
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "finish %s=%d\n", j, r.FinishTimes[j])
+	}
+	for i, d := range r.DeviceBusy {
+		fmt.Fprintf(&b, "busy %d=%d\n", i, d)
+	}
+	for _, n := range r.Records.Names() {
+		fmt.Fprintf(&b, "series %s:", n)
+		for _, pt := range r.Records.Get(n) {
+			fmt.Fprintf(&b, " %d/%.6f", pt.T, pt.V)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestResultBitIdentical is the determinism regression gate: the same
+// Config run twice yields a bit-identical Result (modulo the wall-clock
+// overhead samples), for every policy, on a multi-OSS stack with striped,
+// mixed, and staggered workloads all in play.
+func TestResultBitIdentical(t *testing.T) {
+	jobs := []workload.Job{
+		workload.StripedSequential("striped.n02", 2, 3, 8*mib, 1),
+		workload.MixedReadWrite("mixed.n03", 3, 2, 2, 8*mib),
+		workload.StaggeredBurst("wave.n04", 4, 2, 8*mib, 16, 2*time.Second, 700*time.Millisecond),
+	}
+	for _, pol := range []Policy{NoBW, StaticBW, AdapTBF, SFQ, GIFT} {
+		cfg := Config{
+			Policy:        pol,
+			Jobs:          jobs,
+			OSTs:          3,
+			SampleRecords: pol == AdapTBF,
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		fa, fb := fingerprint(a), fingerprint(b)
+		if fa != fb {
+			t.Errorf("%v: two runs of the same config diverge:\n--- run 1\n%s\n--- run 2\n%s", pol, fa, fb)
+		}
+	}
+}
+
+// TestStripeCountHonored: a 2-wide stripe on a 4-OST stack serves each
+// file from exactly 2 OSTs; total work still conserves.
+func TestStripeCountHonored(t *testing.T) {
+	res, err := Run(Config{
+		Policy: NoBW,
+		OSTs:   4,
+		Jobs:   []workload.Job{workload.StripedSequential("s.n01", 1, 1, 16*mib, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("striped run did not finish")
+	}
+	active := 0
+	for _, d := range res.DeviceBusy {
+		if d > 0 {
+			active++
+		}
+	}
+	if active != 2 {
+		t.Fatalf("single 2-striped file touched %d OSTs, want exactly 2", active)
+	}
+	if got := res.Timeline.GrandTotalBytes(); got != 16*mib {
+		t.Fatalf("served %d bytes, want %d", got, 16*mib)
+	}
+}
+
+// TestMixedReadWriteServesBothOps: reads and writes both flow through the
+// gate and conserve bytes under an adaptive controller.
+func TestMixedReadWriteServesBothOps(t *testing.T) {
+	res, err := Run(Config{
+		Policy: AdapTBF,
+		Jobs: []workload.Job{
+			workload.MixedReadWrite("rw.n02", 2, 3, 3, 16*mib),
+			workload.Continuous("w.n01", 1, 4, 16*mib),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("mixed run did not finish")
+	}
+	want := int64((3+3)*16*mib + 4*16*mib)
+	if got := res.Timeline.GrandTotalBytes(); got != want {
+		t.Fatalf("served %d bytes, want %d", got, want)
+	}
+}
+
+// TestStaggeredBurstStaggers: later procs stay silent until their
+// staggered start.
+func TestStaggeredBurstStaggers(t *testing.T) {
+	res, err := Run(Config{
+		Policy: NoBW,
+		Jobs: []workload.Job{
+			workload.StaggeredBurst("wave.n01", 1, 3, 8*mib, 8, time.Second, 2*time.Second),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("staggered run did not finish")
+	}
+	// The job cannot finish before the last proc's 4 s start delay.
+	if res.FinishTimes["wave.n01"] < 4*time.Second {
+		t.Fatalf("job finished at %v, before the last stagger at 4s", res.FinishTimes["wave.n01"])
+	}
+}

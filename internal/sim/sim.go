@@ -293,7 +293,12 @@ type procState struct {
 	burstLeft int
 	started   bool
 	done      bool
-	ostRR     int
+
+	// Stripe layout: the process's file occupies stripeCount consecutive
+	// OSTs starting at stripeBase; ostRR round-robins its RPCs over them.
+	stripeBase  int
+	stripeCount int
+	ostRR       int
 }
 
 func newSimulation(c Config) *simulation {
@@ -340,6 +345,14 @@ func newSimulation(c Config) *simulation {
 				stream: s.nextStream,
 			}
 			s.nextStream++
+			// Stripe placement: each file's first stripe lands on the next
+			// OST in round-robin order (Lustre's default allocator), and the
+			// file spans StripeCount targets from there (0 = all).
+			p.stripeCount = p.pat.StripeCount
+			if p.stripeCount <= 0 || p.stripeCount > c.OSTs {
+				p.stripeCount = c.OSTs
+			}
+			p.stripeBase = p.stream % c.OSTs
 			if p.pat.FileBytes > 0 {
 				p.rpcsLeft = p.pat.RPCs()
 				s.unfinished++
@@ -555,7 +568,9 @@ func (p *procState) issue() {
 	if p.pat.BurstRPCs > 0 {
 		p.burstLeft--
 	}
-	o := p.sim.osts[p.ostRR%len(p.sim.osts)]
+	// Fan the file's RPCs out round-robin over its stripe targets; replies
+	// fan back in through onComplete regardless of which OST served them.
+	o := p.sim.osts[(p.stripeBase+p.ostRR%p.stripeCount)%len(p.sim.osts)]
 	p.ostRR++
 	req := &tbf.Request{
 		JobID:    p.jobID,

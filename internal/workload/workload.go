@@ -52,6 +52,12 @@ type Pattern struct {
 	// Op is the request opcode. Defaults to write, as in the paper's
 	// sequential-write workloads.
 	Op tbf.Opcode
+	// StripeCount is how many storage targets the process's file is
+	// striped across. Zero means all targets (full-width striping, the
+	// historical behaviour); a positive count narrows the file to that
+	// many targets, starting from a placement chosen per file the way
+	// Lustre's round-robin allocator spreads first stripes.
+	StripeCount int
 }
 
 // Normalize fills defaults and returns the completed pattern.
@@ -84,6 +90,9 @@ func (p Pattern) Validate() error {
 	}
 	if p.BurstRPCs > 0 && p.BurstInterval == 0 {
 		return fmt.Errorf("workload: bursty pattern needs a BurstInterval")
+	}
+	if p.StripeCount < 0 {
+		return fmt.Errorf("workload: negative StripeCount %d", p.StripeCount)
 	}
 	return nil
 }
@@ -177,4 +186,52 @@ func Bursty(id string, nodes, procs int, fileBytes int64, burst int, interval ti
 func Delayed(p Pattern, d time.Duration) Pattern {
 	p.StartDelay = d
 	return p
+}
+
+// StripedSequential builds a job of procs continuous sequential writers
+// whose files are each striped across `stripes` storage targets — the
+// multi-OSS Lustre deployment shape of the paper's testbed (files striped
+// over OSTs, every stripe gated by that target's own TBF scheduler).
+// stripes ≤ 0 stripes over every target.
+func StripedSequential(id string, nodes, procs int, fileBytes int64, stripes int) Job {
+	if stripes < 0 {
+		stripes = 0
+	}
+	return Job{
+		ID:    id,
+		Nodes: nodes,
+		Procs: Replicate(Pattern{FileBytes: fileBytes, StripeCount: stripes}, procs),
+	}
+}
+
+// MixedReadWrite builds a job mixing continuous sequential readers and
+// writers against separate files — the read/write interference workload:
+// reads contend with writes in the same TBF queues (rules match both ops),
+// so control must hold across opcode mixes.
+func MixedReadWrite(id string, nodes, readers, writers int, fileBytes int64) Job {
+	procs := make([]Pattern, 0, readers+writers)
+	for i := 0; i < readers; i++ {
+		procs = append(procs, Pattern{FileBytes: fileBytes, Op: tbf.OpRead})
+	}
+	for i := 0; i < writers; i++ {
+		procs = append(procs, Pattern{FileBytes: fileBytes, Op: tbf.OpWrite})
+	}
+	return Job{ID: id, Nodes: nodes, Procs: procs}
+}
+
+// StaggeredBurst builds a job of procs periodic-burst writers where
+// process i starts i·stagger after the run begins: a fan-in wave in which
+// each new arrival lands mid-burst-cycle of the previous ones, stressing
+// redistribution and re-compensation at every controller period.
+func StaggeredBurst(id string, nodes, procs int, fileBytes int64, burst int, interval, stagger time.Duration) Job {
+	ps := make([]Pattern, procs)
+	for i := range ps {
+		ps[i] = Pattern{
+			FileBytes:     fileBytes,
+			BurstRPCs:     burst,
+			BurstInterval: interval,
+			StartDelay:    time.Duration(i) * stagger,
+		}
+	}
+	return Job{ID: id, Nodes: nodes, Procs: ps}
 }

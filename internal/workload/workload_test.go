@@ -45,6 +45,7 @@ func TestPatternValidate(t *testing.T) {
 		{BurstRPCs: -1},
 		{BurstInterval: -1},
 		{BurstRPCs: 5}, // bursty without interval
+		{StripeCount: -1},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -122,5 +123,54 @@ func TestPresets(t *testing.T) {
 	d := Delayed(Pattern{FileBytes: 1}, 20*time.Second)
 	if d.StartDelay != 20*time.Second || d.FileBytes != 1 {
 		t.Errorf("Delayed wrong: %+v", d)
+	}
+}
+
+func TestStripedSequentialPreset(t *testing.T) {
+	j := StripedSequential("s.n1", 2, 4, 1<<30, 2)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Procs) != 4 || j.Procs[3].StripeCount != 2 {
+		t.Errorf("StripedSequential preset wrong: %+v", j.Procs)
+	}
+	// Negative stripes clamp to full-width.
+	if got := StripedSequential("s.n1", 2, 1, 1<<20, -5).Procs[0].StripeCount; got != 0 {
+		t.Errorf("negative stripes → StripeCount %d, want 0 (full width)", got)
+	}
+}
+
+func TestMixedReadWritePreset(t *testing.T) {
+	j := MixedReadWrite("m.n1", 3, 2, 5, 1<<30)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for _, p := range j.Procs {
+		switch p.Op {
+		case tbf.OpRead:
+			reads++
+		case tbf.OpWrite:
+			writes++
+		}
+	}
+	if reads != 2 || writes != 5 {
+		t.Errorf("op mix %d reads / %d writes, want 2/5", reads, writes)
+	}
+}
+
+func TestStaggeredBurstPreset(t *testing.T) {
+	j := StaggeredBurst("w.n1", 4, 3, 1<<30, 32, 2*time.Second, 500*time.Millisecond)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range j.Procs {
+		want := time.Duration(i) * 500 * time.Millisecond
+		if p.StartDelay != want {
+			t.Errorf("proc %d StartDelay %v, want %v", i, p.StartDelay, want)
+		}
+		if p.BurstRPCs != 32 || p.BurstInterval != 2*time.Second {
+			t.Errorf("proc %d burst shape wrong: %+v", i, p)
+		}
 	}
 }
