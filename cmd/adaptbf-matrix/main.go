@@ -14,13 +14,25 @@
 //	               [-scales 64] [-osses 1,2] [-seeds 1]
 //	               [-workers 0] [-rate 500] [-period 100ms]
 //	               [-duration 30m] [-verify] [-quiet]
+//	               [-bench-json BENCH_matrix.json]
+//	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//
+// With -bench-json the run is measured — wall time, heap allocations, and
+// DES events processed — and a per-cell record (ns/cell, allocs/cell,
+// events/sec) is written to the given file, so the simulator's performance
+// trajectory can be tracked run over run (see BENCH_matrix.json at the
+// repository root for the tracked history). -cpuprofile and -memprofile
+// write standard pprof profiles of the same run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +42,22 @@ import (
 	"adaptbf/internal/metrics"
 	"adaptbf/internal/sim"
 )
+
+// benchRecord is one measured matrix run, the unit BENCH_matrix.json
+// tracks.
+type benchRecord struct {
+	Grid         string  `json:"grid"`
+	Cells        int     `json:"cells"`
+	Workers      int     `json:"workers"`
+	WallNS       int64   `json:"wall_ns"`
+	NSPerCell    float64 `json:"ns_per_cell"`
+	AllocsPerOp  float64 `json:"allocs_per_cell"`
+	BytesPerOp   float64 `json:"bytes_per_cell"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	Fingerprint  string  `json:"fingerprint"`
+}
 
 func splitList(s string) []string {
 	var out []string
@@ -85,6 +113,9 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Minute, "simulated time cap per cell")
 	verify := flag.Bool("verify", false, "re-run with workers=1 and check the merged output is identical")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	benchJSON := flag.String("bench-json", "", "write a benchRecord (ns/cell, allocs/cell, events/sec) of this run to the given file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to the given file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the matrix run to the given file")
 	flag.Parse()
 
 	scs, err := harness.ScenariosByName(splitList(*scenarios))
@@ -143,6 +174,12 @@ func main() {
 	fmt.Printf("matrix: %d cells (%d scenarios × %d policies × %d scales × %d OSS counts × %d seeds)\n",
 		len(cells), len(scs), len(pols), len(scaleVals), len(ossVals), len(seedVals))
 
+	if *benchJSON != "" && !*quiet {
+		// Progress printing inside the measurement window would skew the
+		// tracked wall time and allocation counts.
+		fmt.Println("bench-json: forcing -quiet so the measurement excludes progress output")
+		*quiet = true
+	}
 	opt := harness.Options{Workers: *workers}
 	if !*quiet {
 		done := 0
@@ -155,11 +192,81 @@ func main() {
 			fmt.Printf("  [%3d/%3d] %-45v %s\n", done, len(cells), cr.Cell, status)
 		}
 	}
+	var stopProfile func()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	var statsBefore runtime.MemStats
+	if *benchJSON != "" {
+		runtime.ReadMemStats(&statsBefore)
+	}
 	res, err := harness.Run(m, opt)
+	// Stop (and flush) the CPU profile right here: it covers exactly the
+	// matrix run, not the report rendering or the -verify re-run, and a
+	// failed run still leaves a readable profile behind.
+	if stopProfile != nil {
+		stopProfile()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nran %d cells in %v with %d workers\n\n", len(res.Cells), res.Elapsed.Round(time.Millisecond), res.Workers)
+	if *benchJSON != "" {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		var events uint64
+		for _, cr := range res.Cells {
+			if cr.Err == nil {
+				events += cr.Result.Events
+			}
+		}
+		n := float64(len(res.Cells))
+		sec := res.Elapsed.Seconds()
+		rec := benchRecord{
+			Grid: fmt.Sprintf("%d scenarios × %d policies × %d scales × %d OSS counts × %d seeds",
+				len(scs), len(pols), len(scaleVals), len(ossVals), len(seedVals)),
+			Cells:        len(res.Cells),
+			Workers:      res.Workers,
+			WallNS:       res.Elapsed.Nanoseconds(),
+			NSPerCell:    float64(res.Elapsed.Nanoseconds()) / n,
+			AllocsPerOp:  float64(after.Mallocs-statsBefore.Mallocs) / n,
+			BytesPerOp:   float64(after.TotalAlloc-statsBefore.TotalAlloc) / n,
+			Events:       events,
+			EventsPerSec: float64(events) / sec,
+			CellsPerSec:  n / sec,
+			Fingerprint:  res.Fingerprint(),
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bench: %.0f ns/cell, %.0f allocs/cell, %.0f events/s → %s\n\n",
+			rec.NSPerCell, rec.AllocsPerOp, rec.EventsPerSec, *benchJSON)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	rep := res.Report()
 	for _, t := range rep.Tables {

@@ -67,6 +67,46 @@
 //
 // Or from the command line: go run ./cmd/adaptbf-matrix -verify.
 //
+// # Performance
+//
+// The simulator's per-RPC path is (near-)zero-allocation in steady state,
+// which is what lets the matrix engine sweep large GIFT-vs-AdapTBF grids
+// at millions of DES events per second on one core:
+//
+//   - Interned job IDs. Every job ID is interned to a dense integer index
+//     at configuration time; tbf.Request carries the index, and the TBF
+//     scheduler (route cache), SFQ flows, jobstats counters, and the
+//     metrics timeline/latency recorders all account by slice index. The
+//     string names survive only at the reporting boundary (tables,
+//     fingerprints, the live cluster mode).
+//   - Pooled events and requests. internal/des stores events by value in
+//     a slot arena behind a 4-ary heap and recycles slots through a free
+//     list; recurring callbacks are scheduled through pre-bound AtCall
+//     closures built once per run. Each RPC's tbf.Request + client tag
+//     ride one pooled token for the RPC's whole lifetime.
+//   - Suppressed stale wakes. An OST arms at most one wake timer; a
+//     generation counter strands superseded wakes so Dequeue misses never
+//     pile up redundant events (pinned by TestNoRedundantWakeEvents).
+//   - Reused periodic scratch. The controller's backlog map, the rule
+//     daemon's reconciliation state, and the allocator's intermediate
+//     vectors are all reused across observation periods, and a harness
+//     worker reuses one sim.Scratch (event arena + token pool) across
+//     matrix cells.
+//
+// The invariants are enforced, not aspirational: testing.AllocsPerRun
+// tests pin the steady-state budgets (≤2 allocs/RPC under NoBW and SFQ —
+// in practice 0 — and ≤4 under AdapTBF), and a golden-fingerprint test
+// proves the refactored hot path produces bit-identical results to the
+// pre-refactor simulator on the full default matrix grid. The tracked
+// numbers live in BENCH_matrix.json at the repository root, a curated
+// history — don't overwrite it; measure a fresh run with
+//
+//	go run ./cmd/adaptbf-matrix -quiet -bench-json BENCH_cli.json
+//
+// (also accepts -cpuprofile/-memprofile for pprof profiles of the run)
+// and fold the numbers into BENCH_matrix.json's history array by hand,
+// alongside the benchmark command recorded in its how_to_refresh field.
+//
 // See examples/quickstart for the complete program and DESIGN.md for the
 // system inventory and the per-experiment index.
 package adaptbf

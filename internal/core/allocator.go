@@ -144,6 +144,31 @@ type Allocator struct {
 	lastActive map[JobID]int     // period index of last activity, for TTL
 	poolCarry  float64           // fractional part of T_i·Δt carried across periods
 	periodIdx  int
+
+	// Per-Allocate scratch, reused every period so that the steady-state
+	// control cycle allocates only its returned []Allocation. Each buffer
+	// maps to one intermediate of the three-step algorithm.
+	scr struct {
+		merged                  []Activity
+		raw, u, df              []float64
+		rBefore, rRD, rFinal    []float64
+		surplus, rawRD, rem     []float64
+		reclaim, rawRC          []float64
+		initial, afterRD, final []int64
+		plus, minus             []bool
+		order                   []int
+	}
+}
+
+// sbuf resizes a scratch buffer to n zeroed entries, reusing capacity.
+func sbuf[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	} else {
+		*buf = (*buf)[:n]
+		clear(*buf)
+	}
+	return *buf
 }
 
 // New returns an Allocator for one storage target. It panics if the
@@ -235,7 +260,7 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 		return nil
 	}
 
-	jobs := mergeActivities(active)
+	jobs := a.mergeActivities(active)
 	n := len(jobs)
 	for i := range jobs {
 		a.lastActive[jobs[i].Job] = a.periodIdx
@@ -250,14 +275,14 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 	target := int64(math.Floor(pool))
 	a.poolCarry = pool - float64(target)
 
-	out := make([]Allocation, n)
-	raw := make([]float64, n)
+	out := make([]Allocation, n) // escapes into the TickReport; not pooled
+	raw := sbuf(&a.scr.raw, n)
 	for i, j := range jobs {
 		p := float64(j.Nodes) / float64(totalNodes)
 		out[i] = Allocation{Job: j.Job, Priority: p, Demand: j.Demand}
 		raw[i] = float64(target) * p
 	}
-	initial := a.integerize(jobs, raw, target)
+	initial := a.integerize(sbuf(&a.scr.initial, n), jobs, raw, target)
 	for i := range out {
 		out[i].Initial = initial[i]
 	}
@@ -265,8 +290,8 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 	// --- Step 2: redistribution of surplus tokens (Eq. 3-8). ---
 	// Utilization u_x = d_x / α^{t-1}_x, with max(1, ·) guarding the first
 	// active period of a job (see DESIGN.md §3).
-	u := make([]float64, n)
-	df := make([]float64, n)
+	u := sbuf(&a.scr.u, n)
+	df := sbuf(&a.scr.df, n)
 	var sumDF float64
 	for i, j := range jobs {
 		prev := a.prevAlloc[j.Job]
@@ -280,17 +305,18 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 		sumDF += df[i]
 	}
 
-	rBefore := make([]float64, n) // r^t_x
-	rRD := make([]float64, n)     // r^t_{x,RD}
+	rBefore := sbuf(&a.scr.rBefore, n) // r^t_x
+	rRD := sbuf(&a.scr.rRD, n)         // r^t_{x,RD}
 	for i, j := range jobs {
 		rBefore[i] = a.records[j.Job]
 		rRD[i] = rBefore[i]
 	}
 
-	afterRD := append([]int64(nil), initial...)
+	afterRD := append(a.scr.afterRD[:0], initial...)
+	a.scr.afterRD = afterRD
 	if !a.noRedistribution {
 		var totalSurplus float64
-		surplus := make([]float64, n)
+		surplus := sbuf(&a.scr.surplus, n)
 		for i, j := range jobs {
 			if s := float64(initial[i]) - float64(j.Demand); s > 0 {
 				surplus[i] = s
@@ -298,7 +324,7 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 			}
 		}
 		if totalSurplus > 0 && sumDF > 0 {
-			rawRD := make([]float64, n)
+			rawRD := sbuf(&a.scr.rawRD, n)
 			for i := range jobs {
 				share := df[i] / sumDF * totalSurplus
 				rawRD[i] = float64(initial[i]) - surplus[i] + share
@@ -306,7 +332,7 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 				out[i].RedistributionReceived = share
 				rRD[i] = rBefore[i] + surplus[i] - share
 			}
-			afterRD = a.integerize(jobs, rawRD, target)
+			afterRD = a.integerize(afterRD, jobs, rawRD, target)
 		}
 	}
 	for i := range out {
@@ -314,8 +340,10 @@ func (a *Allocator) Allocate(active []Activity) []Allocation {
 	}
 
 	// --- Step 3: re-compensation for borrowed tokens (Eq. 9-20). ---
-	final := append([]int64(nil), afterRD...)
-	rFinal := append([]float64(nil), rRD...)
+	final := append(a.scr.final[:0], afterRD...)
+	a.scr.final = final
+	rFinal := append(a.scr.rFinal[:0], rRD...)
+	a.scr.rFinal = rFinal
 	if !a.noRedistribution && !a.noRecompensation {
 		a.recompensate(jobs, out, u, df, rBefore, rRD, afterRD, final, rFinal, target)
 	}
@@ -338,8 +366,8 @@ func (a *Allocator) recompensate(jobs []Activity, out []Allocation, u, df, rBefo
 	n := len(jobs)
 	// J₊ and J₋ membership requires the record sign to persist across the
 	// redistribution step (Eq. 9-10).
-	plus := make([]bool, n)
-	minus := make([]bool, n)
+	plus := sbuf(&a.scr.plus, n)
+	minus := sbuf(&a.scr.minus, n)
 	hasPlus, hasMinus := false, false
 	for i := range jobs {
 		switch {
@@ -377,7 +405,7 @@ func (a *Allocator) recompensate(jobs []Activity, out []Allocation, u, df, rBefo
 
 	// Reclaim from borrowers, bounded by their debt (Eq. 14-17).
 	var totalReclaim float64
-	reclaim := make([]float64, n)
+	reclaim := sbuf(&a.scr.reclaim, n)
 	for i := range jobs {
 		if !minus[i] {
 			continue
@@ -391,7 +419,7 @@ func (a *Allocator) recompensate(jobs []Activity, out []Allocation, u, df, rBefo
 
 	// Apply to allocations and records (Eq. 15-16, 18-20). The
 	// recompensation factor RF equals DF (Eq. 18).
-	rawRC := make([]float64, n)
+	rawRC := sbuf(&a.scr.rawRC, n)
 	for i := range jobs {
 		switch {
 		case minus[i]:
@@ -407,26 +435,26 @@ func (a *Allocator) recompensate(jobs []Activity, out []Allocation, u, df, rBefo
 			rawRC[i] = float64(afterRD[i])
 		}
 	}
-	for i, v := range a.integerize(jobs, rawRC, target) {
-		final[i] = v
-	}
+	a.integerize(final, jobs, rawRC, target)
 }
 
 // integerize floors the raw allocations with per-job carried remainders
 // (Eq. 23-25) and then enforces Σ = target with the largest-remainder
-// method, exactly as §III-C4 prescribes.
-func (a *Allocator) integerize(jobs []Activity, raw []float64, target int64) []int64 {
+// method, exactly as §III-C4 prescribes. The result is written into out
+// (len(raw) entries, every index assigned), which is also returned.
+func (a *Allocator) integerize(out []int64, jobs []Activity, raw []float64, target int64) []int64 {
 	n := len(raw)
-	out := make([]int64, n)
 	if a.noRemainders {
 		for i, v := range raw {
 			if v > 0 {
 				out[i] = int64(math.Floor(v))
+			} else {
+				out[i] = 0
 			}
 		}
 		return out
 	}
-	rem := make([]float64, n)
+	rem := sbuf(&a.scr.rem, n)
 	var sum int64
 	for i, v := range raw {
 		x := v + a.remainders[jobs[i].Job]
@@ -438,30 +466,64 @@ func (a *Allocator) integerize(jobs []Activity, raw []float64, target int64) []i
 		rem[i] = x - f
 		sum += out[i]
 	}
-	for sum > target {
-		best := -1
-		for i := range out {
-			if out[i] > 0 && (best < 0 || rem[i] > rem[best]) {
-				best = i
+	// Largest-remainder correction. A naive argmax scan per unit is O(n)
+	// per correction and quadratic overall — visible at the paper's 1000
+	// active jobs (§IV-G expects linear scaling). The scan's pick order is
+	// in fact fully determined up front, so one sort replays the exact
+	// same sequence of ±1 adjustments:
+	//
+	//   - taking (sum > target): the picked job's remainder jumps above 1
+	//     and stays maximal while its tokens last, so the scan drains jobs
+	//     whole, in descending (remainder, then lowest index) order;
+	//   - giving (sum < target): a picked remainder drops below 0 while
+	//     untouched ones stay strictly within [0, 1), so the scan's first
+	//     n picks walk the descending order exactly once; the (degenerate)
+	//     deficit beyond one full round keeps the naive scan.
+	//
+	// The per-unit rem updates are kept as repeated ±1 float operations in
+	// the original pick order, so the carried remainders stay bit-for-bit
+	// identical to the naive loop's.
+	if sum != target {
+		order := a.scr.order[:0]
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		a.scr.order = order
+		sort.Slice(order, func(x, y int) bool {
+			if rem[order[x]] != rem[order[y]] {
+				return rem[order[x]] > rem[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		for _, i := range order {
+			if sum <= target {
+				break
+			}
+			for out[i] > 0 && sum > target {
+				out[i]--
+				rem[i]++
+				sum--
 			}
 		}
-		if best < 0 {
-			break // nothing left to take; target unreachable (all zero)
-		}
-		out[best]--
-		rem[best]++
-		sum--
-	}
-	for sum < target {
-		best := 0
-		for i := 1; i < n; i++ {
-			if rem[i] > rem[best] {
-				best = i
+		for _, i := range order {
+			if sum >= target {
+				break
 			}
+			out[i]++
+			rem[i]--
+			sum++
 		}
-		out[best]++
-		rem[best]--
-		sum++
+		for sum < target { // deficit beyond one full round: exact naive scan
+			best := 0
+			for i := 1; i < n; i++ {
+				if rem[i] > rem[best] {
+					best = i
+				}
+			}
+			out[best]++
+			rem[best]--
+			sum++
+		}
 	}
 	for i, j := range jobs {
 		a.remainders[j.Job] = rem[i]
@@ -484,30 +546,31 @@ func (a *Allocator) evictExpired() {
 	}
 }
 
-// mergeActivities deduplicates the active set by JobID (summing demands),
-// clamps invalid fields, and sorts by JobID for determinism.
-func mergeActivities(active []Activity) []Activity {
-	byJob := make(map[JobID]*Activity, len(active))
-	order := make([]JobID, 0, len(active))
-	for _, in := range active {
-		if in.Nodes < 1 {
-			in.Nodes = 1
+// mergeActivities deduplicates the active set by JobID (summing demands;
+// the first entry's Nodes wins), clamps invalid fields, and sorts by JobID
+// for determinism. The result lives in the allocator's reused scratch and
+// is valid until the next Allocate.
+func (a *Allocator) mergeActivities(active []Activity) []Activity {
+	buf := append(a.scr.merged[:0], active...)
+	a.scr.merged = buf
+	for i := range buf {
+		if buf[i].Nodes < 1 {
+			buf[i].Nodes = 1
 		}
-		if in.Demand < 0 {
-			in.Demand = 0
+		if buf[i].Demand < 0 {
+			buf[i].Demand = 0
 		}
-		if cur, ok := byJob[in.Job]; ok {
-			cur.Demand += in.Demand
+	}
+	// A stable sort keeps duplicates in input order, so the run's first
+	// element carries the first entry's Nodes.
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].Job < buf[j].Job })
+	out := buf[:0]
+	for _, in := range buf {
+		if n := len(out); n > 0 && out[n-1].Job == in.Job {
+			out[n-1].Demand += in.Demand
 			continue
 		}
-		cp := in
-		byJob[in.Job] = &cp
-		order = append(order, in.Job)
+		out = append(out, in)
 	}
-	out := make([]Activity, 0, len(order))
-	for _, id := range order {
-		out = append(out, *byJob[id])
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
 	return out
 }

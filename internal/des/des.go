@@ -6,46 +6,54 @@
 // fast (seconds) and bit-for-bit deterministic. Events scheduled for the
 // same instant fire in scheduling order, so a simulation run is a pure
 // function of the scenario and its random seed.
+//
+// The kernel is allocation-free in steady state: events live by value in a
+// slot arena recycled through a free list, the priority queue is a 4-ary
+// heap of slot indices (shallower than a binary heap, and sifting moves
+// 4-byte indices instead of events), and the AtCall/AfterCall entry points
+// let callers schedule pre-bound callbacks — one closure built at set-up
+// time, reused for millions of events — instead of capturing a fresh
+// closure per event.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// An event is a callback scheduled at a virtual time.
+// An event is a callback scheduled at a virtual time. Exactly one of fn and
+// call is set: fn is the ad-hoc closure path (At/After/Every), call+arg+n
+// the pre-bound path (AtCall/AfterCall). The ordering key lives in the
+// heap node, not here, so sifting never chases arena pointers.
 type event struct {
+	fn   func()
+	call func(arg any, n int64)
+	arg  any
+	n    int64
+}
+
+// A node is one heap entry: the ordering key (at, seq) plus the arena slot
+// of its payload. Keeping the key inline makes every heap comparison two
+// local loads.
+type node struct {
 	at  int64
 	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	idx int32
 }
 
 // A Loop is a discrete-event loop with a virtual clock starting at 0
 // nanoseconds. The zero Loop is ready to use. Loop is not safe for
 // concurrent use; a simulation is single-threaded by design.
+//
+// Storage layout: arena holds events by value, free lists recycled arena
+// slots, and heap orders live slots by (at, seq). Step clears a slot before
+// invoking its callback, so steady-state scheduling never touches the
+// garbage collector once the arena has grown to the simulation's peak
+// concurrency.
 type Loop struct {
-	events    eventHeap
+	arena     []event
+	free      []int32
+	heap      []node
 	now       int64
 	seq       uint64
 	processed uint64
@@ -58,17 +66,114 @@ func (l *Loop) Now() int64 { return l.now }
 func (l *Loop) Processed() uint64 { return l.processed }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (l *Loop) Pending() int { return len(l.events) }
+func (l *Loop) Pending() int { return len(l.heap) }
+
+// Reset returns the loop to its zero state while keeping the arena, free
+// list, and heap capacity, so a worker can replay many simulations without
+// re-growing the event storage. Pending events are dropped and their
+// payloads released.
+func (l *Loop) Reset() {
+	clear(l.arena) // release closure/arg references held by dropped events
+	l.arena = l.arena[:0]
+	l.free = l.free[:0]
+	l.heap = l.heap[:0]
+	l.now = 0
+	l.seq = 0
+	l.processed = 0
+}
+
+// alloc takes a slot from the free list (or grows the arena).
+func (l *Loop) alloc(t int64) int32 {
+	if t < l.now {
+		panic(fmt.Sprintf("des: scheduling event at %d before now %d", t, l.now))
+	}
+	var idx int32
+	if n := len(l.free); n > 0 {
+		idx = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		idx = int32(len(l.arena))
+		l.arena = append(l.arena, event{})
+	}
+	return idx
+}
+
+func less(a, b node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an arena slot into the 4-ary heap.
+func (l *Loop) push(t int64, idx int32) {
+	l.seq++
+	l.heap = append(l.heap, node{at: t, seq: l.seq, idx: idx})
+	h := l.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest node from the 4-ary heap.
+func (l *Loop) pop() node {
+	h := l.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	l.heap = h[:n]
+	h = l.heap
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !less(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past (or the
 // present, during event processing) panics: it would silently reorder
 // causality, which is always a simulator bug.
 func (l *Loop) At(t int64, fn func()) {
-	if t < l.now {
-		panic(fmt.Sprintf("des: scheduling event at %d before now %d", t, l.now))
-	}
-	l.seq++
-	heap.Push(&l.events, &event{at: t, seq: l.seq, fn: fn})
+	idx := l.alloc(t)
+	l.arena[idx].fn = fn
+	l.push(t, idx)
+}
+
+// AtCall schedules the pre-bound callback fn(arg, n) at virtual time t.
+// Unlike At, it captures no closure: a caller binds fn once at set-up time
+// and threads per-event context through arg (a pointer payload) and n (an
+// integer payload), so scheduling allocates nothing in steady state.
+func (l *Loop) AtCall(t int64, fn func(arg any, n int64), arg any, n int64) {
+	idx := l.alloc(t)
+	e := &l.arena[idx]
+	e.call = fn
+	e.arg = arg
+	e.n = n
+	l.push(t, idx)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -78,6 +183,15 @@ func (l *Loop) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	l.At(l.now+int64(d), fn)
+}
+
+// AfterCall schedules the pre-bound callback fn(arg, n) to run d after the
+// current virtual time. Negative durations are clamped to zero.
+func (l *Loop) AfterCall(d time.Duration, fn func(arg any, n int64), arg any, n int64) {
+	if d < 0 {
+		d = 0
+	}
+	l.AtCall(l.now+int64(d), fn, arg, n)
 }
 
 // Every schedules fn at period intervals starting at start, until fn
@@ -100,22 +214,32 @@ func (l *Loop) Every(start int64, period time.Duration, fn func() bool) {
 
 // NextAt reports the timestamp of the earliest pending event, if any.
 func (l *Loop) NextAt() (int64, bool) {
-	if len(l.events) == 0 {
+	if len(l.heap) == 0 {
 		return 0, false
 	}
-	return l.events[0].at, true
+	return l.heap[0].at, true
 }
 
 // Step fires the next event, advancing the clock to its timestamp, and
 // reports whether an event was processed.
 func (l *Loop) Step() bool {
-	if len(l.events) == 0 {
+	if len(l.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&l.events).(*event)
-	l.now = e.at
+	nd := l.pop()
+	e := &l.arena[nd.idx]
+	l.now = nd.at
 	l.processed++
-	e.fn()
+	// Copy the callback out and recycle the slot before invoking: the
+	// callback may schedule new events that reuse it.
+	fn, call, arg, n := e.fn, e.call, e.arg, e.n
+	*e = event{}
+	l.free = append(l.free, nd.idx)
+	if fn != nil {
+		fn()
+	} else {
+		call(arg, n)
+	}
 	return true
 }
 
@@ -123,7 +247,7 @@ func (l *Loop) Step() bool {
 // or no events remain. The clock is left at the time of the last processed
 // event (or at limit if the next event lies beyond it).
 func (l *Loop) RunUntil(limit int64) {
-	for len(l.events) > 0 && l.events[0].at <= limit {
+	for len(l.heap) > 0 && l.heap[0].at <= limit {
 		l.Step()
 	}
 	if l.now < limit {

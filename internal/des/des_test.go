@@ -184,3 +184,83 @@ func TestDeterminismUnderLoad(t *testing.T) {
 		}
 	}
 }
+
+func TestAtCallThreadsPayload(t *testing.T) {
+	var l Loop
+	type payload struct{ hits []int64 }
+	p := &payload{}
+	fn := func(arg any, n int64) {
+		arg.(*payload).hits = append(arg.(*payload).hits, n)
+	}
+	l.AtCall(30, fn, p, 3)
+	l.AtCall(10, fn, p, 1)
+	l.AfterCall(20*time.Nanosecond, fn, p, 2)
+	l.Run()
+	if len(p.hits) != 3 || p.hits[0] != 1 || p.hits[1] != 2 || p.hits[2] != 3 {
+		t.Fatalf("pre-bound callbacks fired %v, want [1 2 3]", p.hits)
+	}
+}
+
+func TestAtCallAndAtShareOrdering(t *testing.T) {
+	// Mixed At/AtCall events at the same instant fire in scheduling order.
+	var l Loop
+	var got []int
+	fn := func(arg any, n int64) { got = append(got, int(n)) }
+	l.At(5, func() { got = append(got, 0) })
+	l.AtCall(5, fn, nil, 1)
+	l.At(5, func() { got = append(got, 2) })
+	l.AtCall(5, fn, nil, 3)
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	var l Loop
+	n := 0
+	for i := 0; i < 100; i++ {
+		l.At(int64(i), func() { n++ })
+	}
+	l.RunUntil(50) // leave events pending
+	l.Reset()
+	if l.Now() != 0 || l.Pending() != 0 || l.Processed() != 0 {
+		t.Fatalf("Reset left now=%d pending=%d processed=%d", l.Now(), l.Pending(), l.Processed())
+	}
+	// The loop is fully reusable and the dropped events never fire.
+	before := n
+	l.At(7, func() { n++ })
+	l.Run()
+	if n != before+1 {
+		t.Fatalf("after Reset fired %d extra events, want 1", n-before)
+	}
+	if l.Now() != 7 {
+		t.Fatalf("clock %d after post-Reset run, want 7", l.Now())
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate pins the zero-allocation
+// contract of the pre-bound path: once the arena has grown, a
+// schedule/fire cycle costs no heap allocations.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	var l Loop
+	var ping func(arg any, n int64)
+	ping = func(arg any, n int64) {
+		if n > 0 {
+			l.AfterCall(time.Nanosecond, ping, nil, n-1)
+		}
+	}
+	l.AtCall(1, ping, nil, 100)
+	l.Run() // warm the arena
+	avg := testing.AllocsPerRun(10, func() {
+		l.AtCall(l.Now()+1, ping, nil, 1000)
+		l.Run()
+	})
+	// 1000 chained events per run; allow a whisper of slack for the heap
+	// slice doubling while the arena settles.
+	if avg > 1 {
+		t.Fatalf("steady-state scheduling allocated %.1f times per 1000 events", avg)
+	}
+}

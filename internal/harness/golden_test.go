@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"adaptbf/internal/sim"
+)
+
+// goldenFingerprint is the SHA-256 matrix fingerprint of the default
+// acceptance grid — 3 scenarios × all 5 policies (NoBW, Static, AdapTBF,
+// SFQ, GIFT) × scale 64 × OSS {1, 2} × seed 1 — captured on the simulator
+// BEFORE the zero-allocation hot-path refactor (pooled DES events,
+// interned job IDs, request pooling, wake suppression, allocator/daemon
+// scratch). The refactor is required to be behaviour-preserving down to
+// the bit: per-job byte totals, finish times, makespans, served RPCs, and
+// per-OSS busy times all feed this hash.
+//
+// If an intentional semantic change to the simulator ever invalidates it,
+// re-capture with:
+//
+//	go test ./internal/harness -run TestGoldenFingerprint -v
+//
+// and update the constant in the same commit that explains the change.
+const goldenFingerprint = "42f59d6a9f896c80dc29f171f826b2028fc263c4c468567a19ecc2657d2c6f37"
+
+func goldenMatrix() Matrix {
+	return Matrix{
+		Scenarios: BuiltinScenarios(),
+		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT},
+		Scales:    []int64{64},
+		OSSes:     []int{1, 2},
+		Seeds:     []int64{1},
+		Duration:  30 * time.Minute,
+	}
+}
+
+// TestGoldenFingerprint locks pre/post-refactor simulation equivalence on
+// the full default grid: striped, mixed read/write, and staggered-burst
+// workloads over 1- and 2-OSS stacks under every policy.
+func TestGoldenFingerprint(t *testing.T) {
+	res, err := Run(goldenMatrix(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Fingerprint(); got != goldenFingerprint {
+		t.Fatalf("matrix fingerprint drifted from the pre-refactor golden value:\n got %s\nwant %s\n"+
+			"The simulator's observable behaviour changed; see the constant's comment.", got, goldenFingerprint)
+	}
+}
+
+// TestGoldenFingerprintScratchInvariant proves result equivalence is
+// independent of scratch reuse: a worker replaying cells on one Scratch
+// and fresh per-cell runs hash identically (Run already exercises the
+// per-worker Scratch; this pins the workers=1 sequential path too).
+func TestGoldenFingerprintScratchInvariant(t *testing.T) {
+	seq, err := Run(goldenMatrix(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Fingerprint(); got != goldenFingerprint {
+		t.Fatalf("workers=1 fingerprint drifted: %s", got)
+	}
+}

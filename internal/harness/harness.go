@@ -248,8 +248,13 @@ func Run(m Matrix, opt Options) (*MatrixResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker: the DES event arena and RPC token
+			// pool grow to the largest cell once and are then reused for
+			// every subsequent cell, keeping the per-cell allocation cost
+			// near the size of its Result rather than its event volume.
+			scratch := sim.NewScratch()
 			for i := range idx {
-				cr := runCell(norm, byName[cells[i].Scenario], cells[i])
+				cr := runCell(norm, byName[cells[i].Scenario], cells[i], scratch)
 				out.Cells[i] = cr
 				if observe != nil {
 					observe(cr)
@@ -274,8 +279,8 @@ func Run(m Matrix, opt Options) (*MatrixResult, error) {
 }
 
 // runCell executes one cell: build the scenario's jobs, assemble the
-// simulator config, run.
-func runCell(m Matrix, sc Scenario, c Cell) CellResult {
+// simulator config, run on the worker's reusable scratch.
+func runCell(m Matrix, sc Scenario, c Cell, scratch *sim.Scratch) CellResult {
 	cfg := sim.Config{
 		Policy:       c.Policy,
 		Jobs:         sc.Jobs(c.Params()),
@@ -285,7 +290,7 @@ func runCell(m Matrix, sc Scenario, c Cell) CellResult {
 		OSTs:         c.OSSes,
 		SFQDepth:     m.SFQDepth,
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunScratch(cfg, scratch)
 	return CellResult{Cell: c, Result: res, Err: err}
 }
 

@@ -8,6 +8,12 @@
 // daemon has applied the new rates — exactly the collect/allocate/clear
 // cycle of Figure 2.
 //
+// Counters live in a dense slice indexed by an interned job index, so the
+// per-RPC Observe path is two integer adds; the string-keyed API interns
+// on first sight and stays available for the live cluster. The simulator
+// pre-interns its whole job table with SetJobs and uses ObserveIdx
+// directly.
+//
 // Job IDs follow the paper's configuration jobid_var=nodelocal with
 // jobid_name=%e.%H, i.e. "executable.hostname".
 package jobstats
@@ -31,21 +37,56 @@ type Stat struct {
 // controller snapshots from its ticker goroutine.
 // The zero Tracker is ready to use.
 type Tracker struct {
-	mu    sync.Mutex
-	stats map[string]*Stat
+	mu     sync.Mutex
+	index  map[string]int
+	stats  []Stat // dense by interned index; JobID filled at intern time
+	active int    // jobs with RPCs > 0 in the current period
 }
 
-// Observe records one RPC of the given size for the job.
+// SetJobs pre-interns the job table so that jobs[i] maps to index i for
+// ObserveIdx. It must be called before any Observe, typically once at
+// configuration time.
+func (t *Tracker) SetJobs(jobs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.index = make(map[string]int, len(jobs))
+	t.stats = make([]Stat, len(jobs))
+	t.active = 0
+	for i, id := range jobs {
+		t.index[id] = i
+		t.stats[i].JobID = id
+	}
+}
+
+// Observe records one RPC of the given size for the job, interning the job
+// ID on first sight.
 func (t *Tracker) Observe(jobID string, bytes int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.stats == nil {
-		t.stats = make(map[string]*Stat)
+	if t.index == nil {
+		t.index = make(map[string]int)
 	}
-	s, ok := t.stats[jobID]
+	i, ok := t.index[jobID]
 	if !ok {
-		s = &Stat{JobID: jobID}
-		t.stats[jobID] = s
+		i = len(t.stats)
+		t.index[jobID] = i
+		t.stats = append(t.stats, Stat{JobID: jobID})
+	}
+	t.observeLocked(i, bytes)
+}
+
+// ObserveIdx records one RPC of the given size for the job at the given
+// SetJobs index — the simulator's per-RPC path, free of string hashing.
+func (t *Tracker) ObserveIdx(idx int, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observeLocked(idx, bytes)
+}
+
+func (t *Tracker) observeLocked(idx int, bytes int64) {
+	s := &t.stats[idx]
+	if s.RPCs == 0 {
+		t.active++
 	}
 	s.RPCs++
 	s.Bytes += bytes
@@ -55,30 +96,43 @@ func (t *Tracker) Observe(jobID string, bytes int64) {
 // for deterministic iteration. The tracker keeps accumulating afterwards;
 // call Clear to start a new observation period.
 func (t *Tracker) Snapshot() []Stat {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]Stat, 0, len(t.stats))
-	for _, s := range t.stats {
-		out = append(out, *s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
-	return out
+	return t.SnapshotAppend(nil)
 }
 
-// Clear resets all counters, ending the current observation period.
+// SnapshotAppend appends the Snapshot stats to dst and returns the
+// extended slice, so a periodic caller can reuse one buffer (dst[:0])
+// instead of allocating a fresh slice every observation period.
+func (t *Tracker) SnapshotAppend(dst []Stat) []Stat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := len(dst)
+	for _, s := range t.stats {
+		if s.RPCs > 0 {
+			dst = append(dst, s)
+		}
+	}
+	out := dst[base:]
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return dst
+}
+
+// Clear resets all counters, ending the current observation period. The
+// interned job table is kept.
 func (t *Tracker) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for k := range t.stats {
-		delete(t.stats, k)
+	for i := range t.stats {
+		t.stats[i].RPCs = 0
+		t.stats[i].Bytes = 0
 	}
+	t.active = 0
 }
 
 // ActiveJobs reports how many jobs have activity in the current period.
 func (t *Tracker) ActiveJobs() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.stats)
+	return t.active
 }
 
 // JobID composes a job identifier in the paper's %e.%H convention from an

@@ -96,3 +96,53 @@ func TestSplitJobIDErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSetJobsIdxPath(t *testing.T) {
+	var tr Tracker
+	tr.SetJobs([]string{"b.h", "a.h"})
+	tr.ObserveIdx(0, 100)
+	tr.ObserveIdx(0, 50)
+	tr.ObserveIdx(1, 7)
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d jobs, want 2", len(snap))
+	}
+	// Sorted by job ID regardless of index order.
+	if snap[0].JobID != "a.h" || snap[0].RPCs != 1 || snap[0].Bytes != 7 {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].JobID != "b.h" || snap[1].RPCs != 2 || snap[1].Bytes != 150 {
+		t.Fatalf("snap[1] = %+v", snap[1])
+	}
+	if tr.ActiveJobs() != 2 {
+		t.Fatalf("ActiveJobs = %d, want 2", tr.ActiveJobs())
+	}
+	tr.Clear()
+	if tr.ActiveJobs() != 0 || len(tr.Snapshot()) != 0 {
+		t.Fatal("Clear did not reset counters")
+	}
+	// The interned table survives Clear; string and index paths agree.
+	tr.Observe("a.h", 9)
+	tr.ObserveIdx(1, 1)
+	if got := tr.Snapshot(); len(got) != 1 || got[0].RPCs != 2 || got[0].Bytes != 10 {
+		t.Fatalf("post-Clear snapshot = %+v", got)
+	}
+}
+
+func TestSnapshotAppendReusesBuffer(t *testing.T) {
+	var tr Tracker
+	tr.SetJobs([]string{"a.h", "b.h"})
+	tr.ObserveIdx(0, 1)
+	buf := tr.SnapshotAppend(nil)
+	if len(buf) != 1 {
+		t.Fatalf("first snapshot len %d, want 1", len(buf))
+	}
+	tr.ObserveIdx(1, 2)
+	buf2 := tr.SnapshotAppend(buf[:0])
+	if len(buf2) != 2 || cap(buf2) < 2 {
+		t.Fatalf("reused snapshot = %v", buf2)
+	}
+	if buf2[0].JobID != "a.h" || buf2[1].JobID != "b.h" {
+		t.Fatalf("reused snapshot order = %v", buf2)
+	}
+}

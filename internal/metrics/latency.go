@@ -8,40 +8,88 @@ import (
 // A LatencyRecorder accumulates per-job request latencies and answers
 // percentile queries. §IV-E's starvation claim is fundamentally a latency
 // claim — bursts queue behind a hog's backlog — so the experiments report
-// it directly. The zero LatencyRecorder is ready to use.
+// it directly. Samples live in dense slices indexed by an interned job
+// index (see JobIndex/RecordIdx), so the per-RPC path is a slice append.
+// The zero LatencyRecorder is ready to use.
 type LatencyRecorder struct {
-	byJob  map[string][]time.Duration
-	sorted map[string]bool
+	index  map[string]int
+	names  []string
+	byJob  [][]time.Duration
+	sorted []bool
+}
+
+// JobIndex interns a job name, returning its dense index for RecordIdx.
+func (l *LatencyRecorder) JobIndex(job string) int {
+	if l.index == nil {
+		l.index = make(map[string]int)
+	}
+	idx, ok := l.index[job]
+	if !ok {
+		idx = len(l.names)
+		l.index[job] = idx
+		l.names = append(l.names, job)
+		l.byJob = append(l.byJob, nil)
+		l.sorted = append(l.sorted, false)
+	}
+	return idx
+}
+
+// Reserve pre-allocates capacity for n samples for the job interned at
+// idx, so a caller that knows its total request count up front (the
+// simulator: bounded workloads declare their RPC totals) pays one
+// allocation instead of a doubling series.
+func (l *LatencyRecorder) Reserve(idx, n int) {
+	if n > cap(l.byJob[idx]) {
+		s := make([]time.Duration, len(l.byJob[idx]), n)
+		copy(s, l.byJob[idx])
+		l.byJob[idx] = s
+	}
 }
 
 // Record adds one request latency for the job.
 func (l *LatencyRecorder) Record(job string, d time.Duration) {
-	if l.byJob == nil {
-		l.byJob = make(map[string][]time.Duration)
-		l.sorted = make(map[string]bool)
-	}
-	l.byJob[job] = append(l.byJob[job], d)
-	l.sorted[job] = false
+	l.RecordIdx(l.JobIndex(job), d)
 }
 
-// Jobs returns the recorded job names, sorted.
+// RecordIdx adds one request latency for the job interned at idx — the
+// per-RPC path, an amortized slice append.
+func (l *LatencyRecorder) RecordIdx(idx int, d time.Duration) {
+	l.byJob[idx] = append(l.byJob[idx], d)
+	l.sorted[idx] = false
+}
+
+// Jobs returns the recorded job names, sorted. Jobs interned but never
+// recorded do not appear.
 func (l *LatencyRecorder) Jobs() []string {
-	out := make([]string, 0, len(l.byJob))
-	for j := range l.byJob {
-		out = append(out, j)
+	out := make([]string, 0, len(l.names))
+	for i, name := range l.names {
+		if len(l.byJob[i]) > 0 {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
+func (l *LatencyRecorder) samplesOf(job string) []time.Duration {
+	if idx, ok := l.index[job]; ok {
+		return l.byJob[idx]
+	}
+	return nil
+}
+
 // Count reports the number of samples for the job.
-func (l *LatencyRecorder) Count(job string) int { return len(l.byJob[job]) }
+func (l *LatencyRecorder) Count(job string) int { return len(l.samplesOf(job)) }
 
 func (l *LatencyRecorder) ensureSorted(job string) []time.Duration {
-	s := l.byJob[job]
-	if len(s) > 0 && !l.sorted[job] {
+	idx, ok := l.index[job]
+	if !ok {
+		return nil
+	}
+	s := l.byJob[idx]
+	if len(s) > 0 && !l.sorted[idx] {
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		l.sorted[job] = true
+		l.sorted[idx] = true
 	}
 	return s
 }
@@ -68,7 +116,7 @@ func (l *LatencyRecorder) Percentile(job string, p float64) time.Duration {
 
 // Mean reports the mean latency for the job, or 0 with no samples.
 func (l *LatencyRecorder) Mean(job string) time.Duration {
-	s := l.byJob[job]
+	s := l.samplesOf(job)
 	if len(s) == 0 {
 		return 0
 	}

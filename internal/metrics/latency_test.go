@@ -90,3 +90,30 @@ func TestLatencyMonotoneQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLatencyIdxPathAndReserve(t *testing.T) {
+	var a, b LatencyRecorder
+	idx := b.JobIndex("j")
+	b.Reserve(idx, 128)
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*37%50) * time.Millisecond
+		a.Record("j", d)
+		b.RecordIdx(idx, d)
+	}
+	if a.Count("j") != b.Count("j") {
+		t.Fatal("counts diverge")
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if a.Percentile("j", p) != b.Percentile("j", p) {
+			t.Fatalf("p%v diverges", p)
+		}
+	}
+	if a.Mean("j") != b.Mean("j") || a.Max("j") != b.Max("j") {
+		t.Fatal("mean/max diverge")
+	}
+	// An interned-but-empty job stays hidden.
+	b.JobIndex("ghost")
+	if got := b.Jobs(); len(got) != 1 || got[0] != "j" {
+		t.Fatalf("Jobs = %v", got)
+	}
+}

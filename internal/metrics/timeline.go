@@ -3,6 +3,11 @@
 // (100 ms in every figure), per-job and aggregate bandwidth summaries,
 // AdapTBF-vs-baseline gain/loss percentages (Figures 4b, 6b, 8b), and
 // sampled series such as the per-job records and demands of Figure 7.
+//
+// The recording hot paths are index-based: a caller interns each job name
+// once with JobIndex and then records by dense slice index, so per-RPC
+// accounting never hashes a string. The string-keyed methods survive as
+// the reporting boundary and for callers that do not intern.
 package metrics
 
 import (
@@ -19,9 +24,12 @@ const MiB = 1 << 20
 // bins. It is the in-memory equivalent of the paper's "observation
 // collected at every 100ms" X axes.
 type Timeline struct {
-	bin   time.Duration
-	bytes map[string][]int64
-	bins  int
+	bin     time.Duration
+	index   map[string]int
+	names   []string
+	series  [][]int64
+	touched []bool // jobs with at least one recorded sample
+	bins    int
 }
 
 // NewTimeline returns a timeline with the given bin width.
@@ -29,7 +37,7 @@ func NewTimeline(bin time.Duration) *Timeline {
 	if bin <= 0 {
 		panic("metrics: non-positive bin width")
 	}
-	return &Timeline{bin: bin, bytes: make(map[string][]int64)}
+	return &Timeline{bin: bin, index: make(map[string]int)}
 }
 
 // BinWidth reports the bin width.
@@ -38,31 +46,76 @@ func (t *Timeline) BinWidth() time.Duration { return t.bin }
 // Bins reports the number of bins up to the latest recorded instant.
 func (t *Timeline) Bins() int { return t.bins }
 
+// JobIndex interns a job name, returning its dense index for RecordIdx.
+// Interning a job does not make it appear in Jobs() or Summarize(); only
+// recorded samples do.
+func (t *Timeline) JobIndex(job string) int {
+	idx, ok := t.index[job]
+	if !ok {
+		idx = len(t.names)
+		t.index[job] = idx
+		t.names = append(t.names, job)
+		t.series = append(t.series, nil)
+		t.touched = append(t.touched, false)
+	}
+	return idx
+}
+
 // Record adds bytes completed by job at the given time (nanoseconds).
 func (t *Timeline) Record(job string, at int64, bytes int64) {
+	t.RecordIdx(t.JobIndex(job), at, bytes)
+}
+
+// RecordIdx adds bytes completed at the given time (nanoseconds) for the
+// job interned at idx — the per-RPC path, a bounds check and two adds.
+func (t *Timeline) RecordIdx(idx int, at int64, bytes int64) {
 	if at < 0 {
 		at = 0
 	}
-	idx := int(at / int64(t.bin))
-	s := t.bytes[job]
-	for len(s) <= idx {
-		s = append(s, 0)
+	bin := int(at / int64(t.bin))
+	s := t.series[idx]
+	if bin >= len(s) {
+		if bin < cap(s) {
+			s = s[:bin+1] // storage beyond len is zeroed (make-backed)
+		} else {
+			want := 2 * cap(s)
+			if want < bin+1 {
+				want = bin + 1
+			}
+			if want < 64 {
+				want = 64
+			}
+			grown := make([]int64, bin+1, want)
+			copy(grown, s)
+			s = grown
+		}
 	}
-	s[idx] += bytes
-	t.bytes[job] = s
-	if idx+1 > t.bins {
-		t.bins = idx + 1
+	s[bin] += bytes
+	t.series[idx] = s
+	t.touched[idx] = true
+	if bin+1 > t.bins {
+		t.bins = bin + 1
 	}
 }
 
-// Jobs returns the recorded job names, sorted.
+// Jobs returns the recorded job names, sorted. Jobs that were interned but
+// never recorded do not appear.
 func (t *Timeline) Jobs() []string {
-	out := make([]string, 0, len(t.bytes))
-	for j := range t.bytes {
-		out = append(out, j)
+	out := make([]string, 0, len(t.names))
+	for i, name := range t.names {
+		if t.touched[i] {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+func (t *Timeline) seriesOf(job string) []int64 {
+	if idx, ok := t.index[job]; ok {
+		return t.series[idx]
+	}
+	return nil
 }
 
 // Throughput returns the job's per-bin throughput in MiB/s, padded to
@@ -70,7 +123,7 @@ func (t *Timeline) Jobs() []string {
 func (t *Timeline) Throughput(job string) []float64 {
 	out := make([]float64, t.bins)
 	sec := t.bin.Seconds()
-	for i, b := range t.bytes[job] {
+	for i, b := range t.seriesOf(job) {
 		out[i] = float64(b) / MiB / sec
 	}
 	return out
@@ -81,7 +134,7 @@ func (t *Timeline) Throughput(job string) []float64 {
 func (t *Timeline) Aggregate() []float64 {
 	out := make([]float64, t.bins)
 	sec := t.bin.Seconds()
-	for _, s := range t.bytes {
+	for _, s := range t.series {
 		for i, b := range s {
 			out[i] += float64(b) / MiB / sec
 		}
@@ -92,7 +145,7 @@ func (t *Timeline) Aggregate() []float64 {
 // TotalBytes reports the job's total completed bytes.
 func (t *Timeline) TotalBytes(job string) int64 {
 	var n int64
-	for _, b := range t.bytes[job] {
+	for _, b := range t.seriesOf(job) {
 		n += b
 	}
 	return n
@@ -101,8 +154,10 @@ func (t *Timeline) TotalBytes(job string) int64 {
 // GrandTotalBytes reports total completed bytes across all jobs.
 func (t *Timeline) GrandTotalBytes() int64 {
 	var n int64
-	for j := range t.bytes {
-		n += t.TotalBytes(j)
+	for _, s := range t.series {
+		for _, b := range s {
+			n += b
+		}
 	}
 	return n
 }
@@ -129,7 +184,10 @@ type Summary struct {
 func (t *Timeline) Summarize() Summary {
 	s := Summary{PerJob: make(map[string]JobSummary)}
 	lastAny := -1
-	for job, series := range t.bytes {
+	for idx, series := range t.series {
+		if !t.touched[idx] {
+			continue
+		}
 		first, last := -1, -1
 		var total int64
 		for i, b := range series {
@@ -141,7 +199,7 @@ func (t *Timeline) Summarize() Summary {
 				total += b
 			}
 		}
-		js := JobSummary{Job: job, TotalMiB: float64(total) / MiB}
+		js := JobSummary{Job: t.names[idx], TotalMiB: float64(total) / MiB}
 		if first >= 0 {
 			js.ActiveSpan = time.Duration(last-first+1) * t.bin
 			js.AvgMiBps = js.TotalMiB / js.ActiveSpan.Seconds()
@@ -149,7 +207,7 @@ func (t *Timeline) Summarize() Summary {
 				lastAny = last
 			}
 		}
-		s.PerJob[job] = js
+		s.PerJob[t.names[idx]] = js
 	}
 	if lastAny >= 0 {
 		s.Makespan = time.Duration(lastAny+1) * t.bin
@@ -183,7 +241,9 @@ type Point struct {
 }
 
 // A SeriesSet holds named sampled series, such as the per-job record and
-// demand curves of Figure 7.
+// demand curves of Figure 7. The read accessors are nil-receiver safe, so
+// reporting code can consume a Result whose sampling was disabled without
+// guarding every call.
 type SeriesSet struct {
 	series map[string][]Point
 }
@@ -196,8 +256,11 @@ func (s *SeriesSet) Add(name string, t int64, v float64) {
 	s.series[name] = append(s.series[name], Point{T: t, V: v})
 }
 
-// Names returns the series names, sorted.
+// Names returns the series names, sorted. A nil SeriesSet has none.
 func (s *SeriesSet) Names() []string {
+	if s == nil {
+		return nil
+	}
 	out := make([]string, 0, len(s.series))
 	for n := range s.series {
 		out = append(out, n)
@@ -206,11 +269,19 @@ func (s *SeriesSet) Names() []string {
 	return out
 }
 
-// Get returns the named series (nil if absent).
-func (s *SeriesSet) Get(name string) []Point { return s.series[name] }
+// Get returns the named series (nil if absent or s is nil).
+func (s *SeriesSet) Get(name string) []Point {
+	if s == nil {
+		return nil
+	}
+	return s.series[name]
+}
 
 // Last returns the final value of the named series, or 0.
 func (s *SeriesSet) Last(name string) float64 {
+	if s == nil {
+		return 0
+	}
 	ps := s.series[name]
 	if len(ps) == 0 {
 		return 0

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -231,5 +232,58 @@ func TestNegativeTimeClamped(t *testing.T) {
 	tl.Record("j", -5, 10)
 	if tl.TotalBytes("j") != 10 {
 		t.Fatal("negative-time record lost")
+	}
+}
+
+func TestNilSeriesSetAccessorsAreSafe(t *testing.T) {
+	var s *SeriesSet
+	if s.Names() != nil {
+		t.Error("nil SeriesSet.Names() != nil")
+	}
+	if s.Get("x") != nil {
+		t.Error("nil SeriesSet.Get() != nil")
+	}
+	if s.Last("x") != 0 {
+		t.Error("nil SeriesSet.Last() != 0")
+	}
+}
+
+func TestTimelineIdxPathMatchesStringPath(t *testing.T) {
+	a := NewTimeline(100 * time.Millisecond)
+	b := NewTimeline(100 * time.Millisecond)
+	ja := b.JobIndex("a")
+	jb := b.JobIndex("b")
+	for i := int64(0); i < 50; i++ {
+		at := i * int64(37*time.Millisecond)
+		a.Record("a", at, 1000)
+		b.RecordIdx(ja, at, 1000)
+		if i%3 == 0 {
+			a.Record("b", at, 500)
+			b.RecordIdx(jb, at, 500)
+		}
+	}
+	if got, want := fmt.Sprint(a.Jobs()), fmt.Sprint(b.Jobs()); got != want {
+		t.Fatalf("Jobs %s vs %s", want, got)
+	}
+	for _, job := range a.Jobs() {
+		if got, want := fmt.Sprint(b.Throughput(job)), fmt.Sprint(a.Throughput(job)); got != want {
+			t.Fatalf("Throughput(%s) diverges", job)
+		}
+		if a.TotalBytes(job) != b.TotalBytes(job) {
+			t.Fatalf("TotalBytes(%s) diverges", job)
+		}
+	}
+}
+
+func TestTimelineInternedButUnrecordedJobHidden(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.JobIndex("ghost")
+	idx := tl.JobIndex("real")
+	tl.RecordIdx(idx, 0, 42)
+	if got := tl.Jobs(); len(got) != 1 || got[0] != "real" {
+		t.Fatalf("Jobs = %v, want [real]", got)
+	}
+	if _, ok := tl.Summarize().PerJob["ghost"]; ok {
+		t.Fatal("unrecorded interned job leaked into Summarize")
 	}
 }

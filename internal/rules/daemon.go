@@ -100,6 +100,21 @@ type Daemon struct {
 	engine  Engine
 	prefix  string
 	minRate float64
+
+	// Per-Apply scratch, reused every observation period so the periodic
+	// reconciliation allocates nothing in steady state. names memoizes
+	// RuleName's prefix+job concatenation per job.
+	names    map[core.JobID]string
+	ranked   []core.Allocation
+	desired  map[core.JobID]want
+	existing map[core.JobID]tbf.Rule
+	stale    []core.JobID
+}
+
+// want is one job's desired rule state for the period.
+type want struct {
+	rate  float64
+	order int
 }
 
 // New returns a Daemon driving the given engine.
@@ -115,11 +130,26 @@ func New(engine Engine, cfg Config) *Daemon {
 	if minRate <= 0 {
 		minRate = 1
 	}
-	return &Daemon{engine: engine, prefix: prefix, minRate: minRate}
+	return &Daemon{
+		engine:   engine,
+		prefix:   prefix,
+		minRate:  minRate,
+		names:    make(map[core.JobID]string),
+		desired:  make(map[core.JobID]want),
+		existing: make(map[core.JobID]tbf.Rule),
+	}
 }
 
-// RuleName returns the rule name the daemon uses for a job.
-func (d *Daemon) RuleName(job core.JobID) string { return d.prefix + string(job) }
+// RuleName returns the rule name the daemon uses for a job. Names are
+// memoized so the periodic reconciliation does not re-concatenate them.
+func (d *Daemon) RuleName(job core.JobID) string {
+	if name, ok := d.names[job]; ok {
+		return name
+	}
+	name := d.prefix + string(job)
+	d.names[job] = name
+	return name
+}
 
 // jobOf inverts RuleName, reporting whether the rule belongs to the daemon.
 func (d *Daemon) jobOf(ruleName string) (core.JobID, bool) {
@@ -142,19 +172,18 @@ func (d *Daemon) Apply(allocs []core.Allocation, now int64) (Ops, error) {
 	start := time.Now()
 	var out Ops
 
-	// Desired state: one exact-match rule per allocated job.
-	type want struct {
-		rate  float64
-		order int
-	}
-	ranked := append([]core.Allocation(nil), allocs...)
+	// Desired state: one exact-match rule per allocated job. The scratch
+	// maps and slices are reused across periods.
+	ranked := append(d.ranked[:0], allocs...)
+	d.ranked = ranked
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].Priority != ranked[j].Priority {
 			return ranked[i].Priority > ranked[j].Priority
 		}
 		return ranked[i].Job < ranked[j].Job
 	})
-	desired := make(map[core.JobID]want, len(ranked))
+	desired := d.desired
+	clear(desired)
 	for i, al := range ranked {
 		rate := al.Rate
 		if rate < d.minRate {
@@ -164,7 +193,8 @@ func (d *Daemon) Apply(allocs []core.Allocation, now int64) (Ops, error) {
 	}
 
 	// Existing daemon-owned rules.
-	existing := make(map[core.JobID]tbf.Rule)
+	existing := d.existing
+	clear(existing)
 	for _, r := range d.engine.Rules() {
 		if job, ok := d.jobOf(r.Name); ok {
 			existing[job] = r
@@ -172,12 +202,13 @@ func (d *Daemon) Apply(allocs []core.Allocation, now int64) (Ops, error) {
 	}
 
 	// Stop rules for inactive jobs first, freeing their names.
-	stale := make([]core.JobID, 0)
+	stale := d.stale[:0]
 	for job := range existing {
 		if _, ok := desired[job]; !ok {
 			stale = append(stale, job)
 		}
 	}
+	d.stale = stale
 	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
 	for _, job := range stale {
 		name := d.RuleName(job)
@@ -185,6 +216,10 @@ func (d *Daemon) Apply(allocs []core.Allocation, now int64) (Ops, error) {
 			out.Duration = time.Since(start)
 			return out, fmt.Errorf("rules: stop %s: %w", name, err)
 		}
+		// Evict the memoized name with the rule, so a long-lived daemon
+		// (the wall-clock cluster mode) does not accumulate one entry per
+		// job ID ever seen.
+		delete(d.names, job)
 		out.Applied = append(out.Applied, Op{Kind: OpStop, Rule: name, Job: job})
 	}
 

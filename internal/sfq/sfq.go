@@ -13,11 +13,14 @@
 // flow that idles simply loses its share, and nothing is owed back when
 // it returns — exactly the long-term-fairness gap AdapTBF's records close
 // (demonstrated by TestSFQHasNoMemory and the comparison benchmarks).
+//
+// The hot path is allocation-free in steady state: flows are interned to
+// dense indices (pre-seeded via SetJobs on the simulator path, on demand
+// otherwise), per-flow pending counts live in a slice, and the request
+// queue is a value-based binary heap rather than a heap of boxed entries.
 package sfq
 
 import (
-	"container/heap"
-
 	"adaptbf/internal/tbf"
 )
 
@@ -27,7 +30,8 @@ type flow struct {
 	lastFinish float64
 }
 
-// An entry is a queued request with its tags.
+// An entry is a queued request with its tags. Entries live by value in the
+// scheduler's heap slice.
 type entry struct {
 	req    *tbf.Request
 	start  float64
@@ -35,41 +39,23 @@ type entry struct {
 	seq    uint64
 }
 
-type entryHeap []*entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].start != h[j].start {
-		return h[i].start < h[j].start
-	}
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
-	}
-	return h[i].seq < h[j].seq
-}
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // A Scheduler is an SFQ(D) request scheduler. It is not safe for
 // concurrent use (match the tbf.Scheduler contract).
 type Scheduler struct {
-	depth     int
-	weights   func(jobID string) float64
-	flows     map[string]*flow
-	queue     entryHeap
+	depth   int
+	weights func(jobID string) float64
+
+	names   []string
+	index   map[string]int
+	flows   []flow
+	pending []int // queued (undispatched) requests per flow
+	queued  int
+	indexed bool // SetJobs called: trust Request.Job as the flow index
+
+	queue     []entry // value-based binary heap on (start, finish, seq)
 	v         float64 // virtual system time
 	inService int
 	seq       uint64
-
-	pendingByJob map[string]int
 }
 
 // New returns an SFQ(D) scheduler with the given dispatch depth (D >= 1)
@@ -80,33 +66,111 @@ func New(depth int, weights func(jobID string) float64) *Scheduler {
 		depth = 1
 	}
 	return &Scheduler{
-		depth:        depth,
-		weights:      weights,
-		flows:        make(map[string]*flow),
-		pendingByJob: make(map[string]int),
+		depth:   depth,
+		weights: weights,
+		index:   make(map[string]int),
 	}
 }
 
-func (s *Scheduler) flowFor(jobID string) *flow {
-	f, ok := s.flows[jobID]
-	if !ok {
-		w := 1.0
-		if s.weights != nil {
-			if got := s.weights(jobID); got > 0 {
-				w = got
-			}
-		}
-		f = &flow{weight: w}
-		s.flows[jobID] = f
+// SetJobs pre-interns the job table: jobs[i] becomes flow index i, and the
+// caller promises every subsequent Request carries its flow index in
+// Request.Job. The simulator interns its job IDs at config time and calls
+// this once per scheduler, removing all string hashing from the per-RPC
+// path; callers that skip it intern flows on first arrival instead.
+func (s *Scheduler) SetJobs(jobs []string) {
+	s.names = append(s.names[:0], jobs...)
+	s.flows = make([]flow, len(jobs))
+	s.pending = make([]int, len(jobs))
+	clear(s.index)
+	for i, id := range jobs {
+		s.index[id] = i
+		s.flows[i] = flow{weight: s.weightOf(id)}
 	}
-	return f
+	s.indexed = true
+}
+
+func (s *Scheduler) weightOf(jobID string) float64 {
+	w := 1.0
+	if s.weights != nil {
+		if got := s.weights(jobID); got > 0 {
+			w = got
+		}
+	}
+	return w
+}
+
+// flowIdx resolves a request to its dense flow index, interning on demand
+// for non-indexed callers.
+func (s *Scheduler) flowIdx(req *tbf.Request) int {
+	if s.indexed && req.Job >= 0 && int(req.Job) < len(s.flows) {
+		return int(req.Job)
+	}
+	i, ok := s.index[req.JobID]
+	if !ok {
+		i = len(s.flows)
+		s.index[req.JobID] = i
+		s.names = append(s.names, req.JobID)
+		s.flows = append(s.flows, flow{weight: s.weightOf(req.JobID)})
+		s.pending = append(s.pending, 0)
+	}
+	return i
+}
+
+// heapLess orders queued entries by (start, finish, seq).
+func heapLess(a, b *entry) bool {
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) heapPush(e entry) {
+	s.queue = append(s.queue, e)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(&s.queue[i], &s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) heapPop() entry {
+	top := s.queue[0]
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n] = entry{} // drop the request reference
+	s.queue = s.queue[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && heapLess(&s.queue[r], &s.queue[l]) {
+			c = r
+		}
+		if !heapLess(&s.queue[c], &s.queue[i]) {
+			break
+		}
+		s.queue[i], s.queue[c] = s.queue[c], s.queue[i]
+		i = c
+	}
+	return top
 }
 
 // Enqueue stamps and queues a request. The now parameter is unused (SFQ
 // runs on virtual time) but kept for signature compatibility with the TBF
 // scheduler so both can stand behind the simulator's request gate.
 func (s *Scheduler) Enqueue(req *tbf.Request, now int64) {
-	f := s.flowFor(req.JobID)
+	fi := s.flowIdx(req)
+	f := &s.flows[fi]
 	start := s.v
 	if f.lastFinish > start {
 		start = f.lastFinish
@@ -118,8 +182,9 @@ func (s *Scheduler) Enqueue(req *tbf.Request, now int64) {
 	finish := start + cost/f.weight
 	f.lastFinish = finish
 	s.seq++
-	heap.Push(&s.queue, &entry{req: req, start: start, finish: finish, seq: s.seq})
-	s.pendingByJob[req.JobID]++
+	s.heapPush(entry{req: req, start: start, finish: finish, seq: s.seq})
+	s.pending[fi]++
+	s.queued++
 }
 
 // Dequeue dispatches the request with the minimum start tag, if the
@@ -130,14 +195,11 @@ func (s *Scheduler) Dequeue(now int64) (*tbf.Request, int64, bool) {
 	if len(s.queue) == 0 || s.inService >= s.depth {
 		return nil, tbf.InfiniteDeadline, false
 	}
-	e := heap.Pop(&s.queue).(*entry)
+	e := s.heapPop()
 	s.v = e.start
 	s.inService++
-	if n := s.pendingByJob[e.req.JobID] - 1; n > 0 {
-		s.pendingByJob[e.req.JobID] = n
-	} else {
-		delete(s.pendingByJob, e.req.JobID)
-	}
+	s.pending[s.flowIdx(e.req)]--
+	s.queued--
 	return e.req, 0, true
 }
 
@@ -150,18 +212,32 @@ func (s *Scheduler) Complete() {
 }
 
 // Pending reports the number of queued (undispatched) requests.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return s.queued }
 
 // PendingForJob reports queued requests for one job.
-func (s *Scheduler) PendingForJob(jobID string) int { return s.pendingByJob[jobID] }
+func (s *Scheduler) PendingForJob(jobID string) int {
+	if i, ok := s.index[jobID]; ok {
+		return s.pending[i]
+	}
+	return 0
+}
 
 // PendingJobs reports queued request counts per job.
 func (s *Scheduler) PendingJobs() map[string]int {
-	out := make(map[string]int, len(s.pendingByJob))
-	for k, v := range s.pendingByJob {
-		out[k] = v
-	}
+	out := make(map[string]int)
+	s.PendingJobsInto(out)
 	return out
+}
+
+// PendingJobsInto adds the PendingJobs counts into dst, so a periodic
+// caller can clear and reuse one map instead of allocating one per
+// observation period. dst is not cleared first.
+func (s *Scheduler) PendingJobsInto(dst map[string]int) {
+	for i, n := range s.pending {
+		if n > 0 {
+			dst[s.names[i]] += n
+		}
+	}
 }
 
 // VirtualTime reports the current virtual system time (for tests).

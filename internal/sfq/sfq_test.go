@@ -201,3 +201,70 @@ func TestZeroCostRequestHandled(t *testing.T) {
 		t.Fatal("zero-byte request not dispatchable")
 	}
 }
+
+// TestSetJobsIndexedPathMatchesStringPath: dispatch order and pending
+// accounting are identical whether flows are resolved by interned index or
+// by job-ID string.
+func TestSetJobsIndexedPathMatchesStringPath(t *testing.T) {
+	jobs := []string{"a.h", "b.h", "c.h"}
+	weights := func(id string) float64 {
+		switch id {
+		case "a.h":
+			return 1
+		case "b.h":
+			return 3
+		default:
+			return 6
+		}
+	}
+	run := func(indexed bool) []string {
+		s := New(1, weights)
+		if indexed {
+			s.SetJobs(jobs)
+		}
+		var served []string
+		for round := 0; round < 8; round++ {
+			for i, id := range jobs {
+				r := &tbf.Request{JobID: id, Bytes: 1 << 20}
+				if indexed {
+					r.Job = int32(i)
+				}
+				s.Enqueue(r, 0)
+			}
+			for {
+				r, _, ok := s.Dequeue(0)
+				if !ok {
+					break
+				}
+				served = append(served, r.JobID)
+				s.Complete()
+			}
+		}
+		return served
+	}
+	plain, indexed := run(false), run(true)
+	if len(plain) != len(indexed) {
+		t.Fatalf("served %d vs %d", len(plain), len(indexed))
+	}
+	for i := range plain {
+		if plain[i] != indexed[i] {
+			t.Fatalf("dispatch order diverges at %d: %q vs %q", i, plain[i], indexed[i])
+		}
+	}
+}
+
+func TestPendingJobsInto(t *testing.T) {
+	s := New(1, nil)
+	s.SetJobs([]string{"a.h", "b.h"})
+	s.Enqueue(&tbf.Request{JobID: "a.h", Job: 0, Bytes: 1}, 0)
+	s.Enqueue(&tbf.Request{JobID: "a.h", Job: 0, Bytes: 1}, 0)
+	s.Enqueue(&tbf.Request{JobID: "b.h", Job: 1, Bytes: 1}, 0)
+	buf := make(map[string]int)
+	s.PendingJobsInto(buf)
+	if len(buf) != 2 || buf["a.h"] != 2 || buf["b.h"] != 1 {
+		t.Fatalf("PendingJobsInto = %v", buf)
+	}
+	if s.PendingForJob("a.h") != 2 || s.Pending() != 3 {
+		t.Fatalf("PendingForJob/Pending mismatch")
+	}
+}

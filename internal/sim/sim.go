@@ -22,10 +22,21 @@
 //
 // Runs are bit-for-bit deterministic: identical configurations produce
 // identical results.
+//
+// The per-RPC path is (near-)zero-allocation in steady state: job IDs are
+// interned to dense indices at config time (string names survive at the
+// reporting boundary only), each RPC's request+tag rides one pooled
+// rpcToken for its whole lifetime, every recurring event is scheduled
+// through a pre-bound callback (see des.AtCall), per-stream accounting is
+// a dense slice, and superseded OST wake events are suppressed by a
+// generation counter instead of firing no-op kicks. A harness worker can
+// additionally reuse one Scratch across many runs to share the event
+// arena and token pool between matrix cells.
 package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"adaptbf/internal/controller"
@@ -106,7 +117,8 @@ type Config struct {
 	// sum over Jobs.
 	StaticTotalNodes int
 	// SampleRecords enables per-tick record/demand series collection
-	// (Figure 7). Only meaningful under AdapTBF.
+	// (Figure 7). Only meaningful under AdapTBF. When false,
+	// Result.Records stays nil (its accessors are nil-safe).
 	SampleRecords bool
 	// SFQDepth is the dispatch depth D for the SFQ policy. Defaults to 1
 	// (the device model serves one request at a time).
@@ -121,7 +133,7 @@ const MaxDuration = 2 * time.Hour
 type Result struct {
 	Policy    Policy
 	Timeline  *metrics.Timeline        // completed bytes per job, all OSTs combined
-	Records   *metrics.SeriesSet       // "record:<job>", "demand:<job>" (AdapTBF only)
+	Records   *metrics.SeriesSet       // "record:<job>", "demand:<job>" (AdapTBF with SampleRecords only; nil otherwise)
 	Latencies *metrics.LatencyRecorder // client-perceived per-RPC latency per job
 
 	// Per-tick controller costs, for the §IV-G overhead analysis.
@@ -135,6 +147,7 @@ type Result struct {
 
 	DeviceBusy []time.Duration // per-OST busy time
 	ServedRPCs uint64          // RPCs served across OSTs
+	Events     uint64          // DES events processed (perf tracking, not part of any fingerprint)
 }
 
 // Utilization reports the fraction of the makespan OST i spent busy.
@@ -211,13 +224,38 @@ func (c *Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
+// A Scratch holds the reusable run-time storage of a simulation: the DES
+// event arena and the RPC token pool. Passing the same Scratch to
+// successive RunScratch calls (one Scratch per worker goroutine — it is
+// not safe for concurrent use) lets a matrix worker replay thousands of
+// cells without re-growing either structure, which is where most of a
+// small cell's allocations otherwise go. Scratch never leaks state between
+// runs: results are independent of whether (and which) Scratch was used.
+type Scratch struct {
+	loop   des.Loop
+	tokens []*rpcToken
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Run executes the scenario and returns its result.
 func Run(cfg Config) (*Result, error) {
+	return RunScratch(cfg, nil)
+}
+
+// RunScratch executes the scenario reusing the given scratch storage (nil
+// behaves like Run). The result is bit-for-bit identical either way.
+func RunScratch(cfg Config, scratch *Scratch) (*Result, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	s := newSimulation(c)
+	if scratch == nil {
+		scratch = NewScratch()
+	}
+	scratch.loop.Reset()
+	s := newSimulation(c, scratch)
 	s.start()
 	// Step events manually rather than RunUntil so that a bounded
 	// workload finishing early leaves the clock at its true makespan
@@ -235,57 +273,101 @@ func Run(cfg Config) (*Result, error) {
 
 // simulation is the run-time state behind Run.
 type simulation struct {
-	cfg  Config
-	loop *des.Loop
-	osts []*ostState
-	res  *Result
+	cfg     Config
+	loop    *des.Loop
+	scratch *Scratch
+	osts    []*ostState
+	res     *Result
 
-	procs        []*procState
-	procsByJob   map[string][]*procState
-	nodesByJob   map[string]int
+	jobIDs     []string       // interned job table: index ↔ cfg.Jobs order
+	nodesByJob map[string]int // string lookups at the controller boundary
+	procs      []*procState
+	procsByJob [][]*procState // by job index
+
 	unfinished   int // bounded procs still running
 	hasUnbounded bool
 	allDone      bool
-	nextStream   int
+
+	// Pre-bound event callbacks (see des.AtCall): one closure each per
+	// run, shared by every RPC.
+	beginFn    func(arg any, n int64)
+	arriveFn   func(arg any, n int64)
+	serveFn    func(arg any, n int64)
+	replyFn    func(arg any, n int64)
+	wakeFn     func(arg any, n int64)
+	burstFn    func(arg any, n int64)
+	giftActive []gift.Activity   // per-tick scratch (GIFT)
+	giftAllocs []core.Allocation // per-tick scratch (GIFT)
 }
 
 // A requestGate is the scheduler standing between arriving requests and
-// the device. *tbf.Scheduler (NoBW/Static/AdapTBF) and a wrapped
-// sfq.Scheduler both implement it.
+// the device. *tbf.Scheduler (NoBW/Static/AdapTBF) and *sfq.Scheduler
+// both implement it.
 type requestGate interface {
 	Enqueue(req *tbf.Request, now int64)
 	Dequeue(now int64) (req *tbf.Request, wake int64, ok bool)
 	Pending() int
 	PendingForJob(jobID string) int
-	PendingJobs() map[string]int
+	PendingJobsInto(dst map[string]int)
 }
 
 // ostState is one storage target: request gate + device + stats +
 // (optionally) an AdapTBF controller.
 type ostState struct {
-	sim     *simulation
-	idx     int
-	gate    requestGate
-	sched   *tbf.Scheduler // non-nil except under the SFQ policy
-	dev     *device.Device
-	tracker *jobstats.Tracker
-	ctrl    *controller.Controller
+	sim      *simulation
+	idx      int
+	gate     requestGate
+	sched    *tbf.Scheduler // non-nil except under the SFQ policy
+	onServed func()         // SFQ dispatch-slot release; nil elsewhere
+	dev      device.Device
+	tracker  jobstats.Tracker
+	ctrl     *controller.Controller
 
-	busy        bool
-	wakeAt      int64       // pending wake event time; 0 = none
-	outstanding map[int]int // stream → requests queued or in service here
+	busy bool
+	// Wake bookkeeping: at most one wake event is live per OST. wakeAt is
+	// its timestamp (0 = none armed) and wakeGen stamps each scheduled
+	// wake; bumping the generation strands any queued-but-superseded wake
+	// as a no-op, so redundant Dequeue misses and gone-busy devices never
+	// pile up extra events (see ostState.kick).
+	wakeAt  int64
+	wakeGen int64
+
+	outstanding   []int // per-stream requests queued or in service here
+	activeStreams int   // streams with outstanding > 0 (= len of the old map)
+
+	backlogBuf map[string]int // reused per tick for controller backlog / GIFT pending
 }
 
-// rpcTag rides each request's Userdata: which process issued it and when.
-type rpcTag struct {
+// rpcToken carries one RPC through its whole lifetime: the request
+// submitted to the gate plus the client-side tag (which process issued it
+// and when). Tokens are pooled on the Scratch, so the steady-state RPC
+// path performs no allocation at all.
+type rpcToken struct {
+	req      tbf.Request
 	proc     *procState
 	issuedAt int64
+}
+
+func (s *simulation) getToken() *rpcToken {
+	if n := len(s.scratch.tokens); n > 0 {
+		tok := s.scratch.tokens[n-1]
+		s.scratch.tokens = s.scratch.tokens[:n-1]
+		return tok
+	}
+	return &rpcToken{}
+}
+
+func (s *simulation) putToken(tok *rpcToken) {
+	tok.proc = nil
+	tok.req = tbf.Request{}
+	s.scratch.tokens = append(s.scratch.tokens, tok)
 }
 
 // procState executes one workload.Pattern.
 type procState struct {
 	sim       *simulation
 	jobID     string
+	job       int32 // interned job index
 	pat       workload.Pattern
 	stream    int
 	rpcsLeft  int64 // -1 = unbounded
@@ -301,50 +383,73 @@ type procState struct {
 	ostRR       int
 }
 
-func newSimulation(c Config) *simulation {
+func newSimulation(c Config, scratch *Scratch) *simulation {
 	s := &simulation{
 		cfg:        c,
-		loop:       &des.Loop{},
-		procsByJob: make(map[string][]*procState),
-		nodesByJob: make(map[string]int),
+		loop:       &scratch.loop,
+		scratch:    scratch,
+		nodesByJob: make(map[string]int, len(c.Jobs)),
 		res: &Result{
 			Policy:      c.Policy,
 			Timeline:    metrics.NewTimeline(c.BinWidth),
-			Records:     metrics.NewSeriesSet(),
 			Latencies:   &metrics.LatencyRecorder{},
 			FinishTimes: make(map[string]time.Duration),
 		},
 	}
-	for _, job := range c.Jobs {
-		s.nodesByJob[job.ID] = job.Nodes
+	if c.SampleRecords {
+		s.res.Records = metrics.NewSeriesSet()
 	}
-	for i := 0; i < c.OSTs; i++ {
-		o := &ostState{
-			sim:         s,
-			idx:         i,
-			dev:         device.New(c.Device),
-			tracker:     &jobstats.Tracker{},
-			outstanding: make(map[int]int),
-		}
+	// Intern the job table. Job index i is cfg.Jobs[i]'s position, and the
+	// Timeline and LatencyRecorder intern the same names in the same order
+	// so every component shares one index space.
+	s.jobIDs = make([]string, len(c.Jobs))
+	s.procsByJob = make([][]*procState, len(c.Jobs))
+	for i, job := range c.Jobs {
+		s.jobIDs[i] = job.ID
+		s.nodesByJob[job.ID] = job.Nodes
+		s.res.Timeline.JobIndex(job.ID)
+		s.res.Latencies.JobIndex(job.ID)
+	}
+	// OST and process states live in two slabs: one allocation each for
+	// the whole stack instead of one per object.
+	ostSlab := make([]ostState, c.OSTs)
+	s.osts = make([]*ostState, c.OSTs)
+	for i := range ostSlab {
+		o := &ostSlab[i]
+		o.sim = s
+		o.idx = i
+		o.dev = *device.New(c.Device)
+		o.backlogBuf = make(map[string]int)
+		o.tracker.SetJobs(s.jobIDs)
 		if c.Policy == SFQ {
-			o.gate = sfq.New(c.SFQDepth, func(jobID string) float64 {
+			q := sfq.New(c.SFQDepth, func(jobID string) float64 {
 				return float64(s.nodesByJob[jobID])
 			})
+			q.SetJobs(s.jobIDs)
+			o.gate = q
+			o.onServed = q.Complete
 		} else {
 			o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: c.BucketDepth})
+			o.sched.SetJobCount(len(s.jobIDs))
 			o.gate = o.sched
 		}
-		s.osts = append(s.osts, o)
+		s.osts[i] = o
 	}
+	nprocs := 0
 	for _, job := range c.Jobs {
+		nprocs += len(job.Procs)
+	}
+	procSlab := make([]procState, 0, nprocs)
+	for jobIdx, job := range c.Jobs {
 		for _, pat := range job.Procs {
-			p := &procState{
+			procSlab = append(procSlab, procState{
 				sim:    s,
 				jobID:  job.ID,
+				job:    int32(jobIdx),
 				pat:    pat.Normalize(),
-				stream: s.nextStream,
-			}
-			s.nextStream++
+				stream: len(procSlab),
+			})
+			p := &procSlab[len(procSlab)-1]
 			// Stripe placement: each file's first stripe lands on the next
 			// OST in round-robin order (Lustre's default allocator), and the
 			// file spans StripeCount targets from there (0 = all).
@@ -361,10 +466,54 @@ func newSimulation(c Config) *simulation {
 				s.hasUnbounded = true
 			}
 			s.procs = append(s.procs, p)
-			s.procsByJob[job.ID] = append(s.procsByJob[job.ID], p)
+			s.procsByJob[jobIdx] = append(s.procsByJob[jobIdx], p)
 		}
 	}
+	// One outstanding-counter slab across all OSTs, and latency capacity
+	// for every bounded job's known RPC total.
+	outSlab := make([]int, c.OSTs*nprocs)
+	for i, o := range s.osts {
+		o.outstanding = outSlab[i*nprocs : (i+1)*nprocs : (i+1)*nprocs]
+	}
+	for jobIdx, job := range c.Jobs {
+		var total int64
+		for _, pat := range job.Procs {
+			if pat.FileBytes > 0 {
+				total += pat.Normalize().RPCs()
+			}
+		}
+		if total > 0 {
+			s.res.Latencies.Reserve(jobIdx, int(total))
+		}
+	}
+	s.bindCallbacks()
 	return s
+}
+
+// bindCallbacks builds the per-run pre-bound event callbacks. Everything
+// scheduled per-RPC goes through these; the only closures captured per
+// event are the recurring controller ticks (one per period, not per RPC).
+func (s *simulation) bindCallbacks() {
+	s.beginFn = func(arg any, _ int64) { arg.(*procState).begin() }
+	s.arriveFn = func(arg any, ost int64) { s.osts[ost].arrive(&arg.(*rpcToken).req) }
+	s.serveFn = func(arg any, ost int64) { s.osts[ost].complete(arg.(*rpcToken)) }
+	s.replyFn = func(arg any, _ int64) { arg.(*procState).onComplete() }
+	s.wakeFn = func(arg any, gen int64) {
+		o := arg.(*ostState)
+		if gen != o.wakeGen {
+			return // superseded: an earlier wake or a dispatch made this moot
+		}
+		o.wakeAt = 0
+		o.kick()
+	}
+	s.burstFn = func(arg any, _ int64) {
+		p := arg.(*procState)
+		if p.done {
+			return
+		}
+		p.burstLeft = p.burstSize()
+		p.fill()
+	}
 }
 
 // start installs policy machinery and schedules process starts.
@@ -378,8 +527,7 @@ func (s *simulation) start() {
 		s.installGIFT()
 	}
 	for _, p := range s.procs {
-		p := p
-		s.loop.At(int64(p.pat.StartDelay), func() { p.begin() })
+		s.loop.AtCall(int64(p.pat.StartDelay), s.beginFn, p, 0)
 	}
 }
 
@@ -395,13 +543,12 @@ func (s *simulation) installStaticRules() {
 	}
 	// Rank jobs by priority for the rule hierarchy, mirroring the daemon.
 	jobs := append([]workload.Job(nil), s.cfg.Jobs...)
-	for i := 0; i < len(jobs); i++ {
-		for j := i + 1; j < len(jobs); j++ {
-			if jobs[j].Nodes > jobs[i].Nodes || (jobs[j].Nodes == jobs[i].Nodes && jobs[j].ID < jobs[i].ID) {
-				jobs[i], jobs[j] = jobs[j], jobs[i]
-			}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].Nodes != jobs[j].Nodes {
+			return jobs[i].Nodes > jobs[j].Nodes
 		}
-	}
+		return jobs[i].ID < jobs[j].ID
+	})
 	for _, o := range s.osts {
 		for rank, j := range jobs {
 			rate := s.cfg.MaxTokenRate * float64(j.Nodes) / float64(total)
@@ -421,6 +568,15 @@ func (s *simulation) installStaticRules() {
 	}
 }
 
+// backlog reports the OST's queued requests per job into its reused
+// buffer — the controller's Backlog source, one map per OST for the whole
+// run instead of one per observation period.
+func (o *ostState) backlog() map[string]int {
+	clear(o.backlogBuf)
+	o.gate.PendingJobsInto(o.backlogBuf)
+	return o.backlogBuf
+}
+
 // installControllers builds one independent AdapTBF controller per OST —
 // the decentralized deployment of Figure 2 — and schedules its tick every
 // observation period.
@@ -429,11 +585,11 @@ func (s *simulation) installControllers() {
 		o := o
 		alloc := core.New(core.Config{MaxRate: s.cfg.MaxTokenRate, Period: s.cfg.Period}, s.cfg.AllocOpts...)
 		o.ctrl = controller.New(controller.Config{
-			Stats:   o.tracker,
+			Stats:   &o.tracker,
 			Nodes:   controller.NodeMapperFunc(func(jobID string) int { return max(1, s.nodesByJob[jobID]) }),
 			Alloc:   alloc,
 			Daemon:  rules.New(o.sched, rules.Config{}),
-			Backlog: o.sched.PendingJobs,
+			Backlog: o.backlog,
 			OnTick:  func(rep controller.TickReport) { s.observeTick(o, rep) },
 		})
 		s.loop.Every(int64(s.cfg.Period), s.cfg.Period, func() bool {
@@ -455,11 +611,13 @@ func (s *simulation) installGIFT() {
 	for i, o := range s.osts {
 		daemons[i] = rules.New(o.sched, rules.Config{Prefix: "gift_"})
 	}
+	var snapBuf []jobstats.Stat
 	s.loop.Every(int64(s.cfg.Period), s.cfg.Period, func() bool {
 		for i, o := range s.osts {
-			pending := o.sched.PendingJobs()
-			var active []gift.Activity
-			for _, st := range o.tracker.Snapshot() {
+			pending := o.backlog()
+			snapBuf = o.tracker.SnapshotAppend(snapBuf[:0])
+			active := s.giftActive[:0]
+			for _, st := range snapBuf {
 				d := st.RPCs
 				if n := int64(pending[st.JobID]); n > d {
 					d = n
@@ -470,16 +628,18 @@ func (s *simulation) installGIFT() {
 			for job, n := range pending {
 				active = append(active, gift.Activity{Job: job, Demand: int64(n)})
 			}
+			s.giftActive = active
 			allocs := ctrl.Allocate(active, s.cfg.MaxTokenRate)
-			converted := make([]core.Allocation, len(allocs))
-			for j, al := range allocs {
-				converted[j] = core.Allocation{
+			converted := s.giftAllocs[:0]
+			for _, al := range allocs {
+				converted = append(converted, core.Allocation{
 					Job:      core.JobID(al.Job),
 					Tokens:   al.Tokens,
 					Rate:     al.Rate,
 					Priority: 1.0 / float64(len(allocs)), // equal: GIFT is priority-unaware
-				}
+				})
 			}
+			s.giftAllocs = converted
 			if _, err := daemons[i].Apply(converted, s.loop.Now()); err == nil {
 				o.tracker.Clear()
 			}
@@ -511,16 +671,14 @@ func (s *simulation) observeTick(o *ostState, rep controller.TickReport) {
 func (s *simulation) finish() *Result {
 	s.res.Done = s.unfinished == 0 && !s.hasUnbounded
 	s.res.Elapsed = time.Duration(s.loop.Now())
+	s.res.Events = s.loop.Processed()
 	for _, o := range s.osts {
-		_, _, busy := o.dev.Stats()
+		served, _, busy := o.dev.Stats()
 		s.res.DeviceBusy = append(s.res.DeviceBusy, busy)
-		served, _, _ := o.devServed()
 		s.res.ServedRPCs += served
 	}
 	return s.res
 }
-
-func (o *ostState) devServed() (uint64, uint64, time.Duration) { return o.dev.Stats() }
 
 // ---- client side ----
 
@@ -570,16 +728,21 @@ func (p *procState) issue() {
 	}
 	// Fan the file's RPCs out round-robin over its stripe targets; replies
 	// fan back in through onComplete regardless of which OST served them.
-	o := p.sim.osts[(p.stripeBase+p.ostRR%p.stripeCount)%len(p.sim.osts)]
+	s := p.sim
+	ost := (p.stripeBase + p.ostRR%p.stripeCount) % len(s.osts)
 	p.ostRR++
-	req := &tbf.Request{
+	tok := s.getToken()
+	tok.proc = p
+	tok.issuedAt = s.loop.Now()
+	tok.req = tbf.Request{
 		JobID:    p.jobID,
+		Job:      p.job,
 		Op:       p.pat.Op,
 		Bytes:    p.pat.RPCBytes,
 		Stream:   p.stream,
-		Userdata: &rpcTag{proc: p, issuedAt: p.sim.loop.Now()},
+		Userdata: tok,
 	}
-	p.sim.loop.After(p.sim.cfg.NetDelay, func() { o.arrive(req) })
+	s.loop.AfterCall(s.cfg.NetDelay, s.arriveFn, tok, int64(ost))
 }
 
 // onComplete handles an RPC reply.
@@ -592,13 +755,7 @@ func (p *procState) onComplete() {
 	if p.pat.BurstRPCs > 0 && p.burstLeft == 0 {
 		if p.inflight == 0 && p.rpcsLeft != 0 {
 			// Burst fully drained: rest, then start the next one.
-			p.sim.loop.After(p.pat.BurstInterval, func() {
-				if p.done {
-					return
-				}
-				p.burstLeft = p.burstSize()
-				p.fill()
-			})
+			p.sim.loop.AfterCall(p.pat.BurstInterval, p.sim.burstFn, p, 0)
 		}
 		return
 	}
@@ -615,7 +772,7 @@ func (p *procState) finishProc() {
 	if p.pat.FileBytes > 0 {
 		p.sim.unfinished--
 	}
-	for _, q := range p.sim.procsByJob[p.jobID] {
+	for _, q := range p.sim.procsByJob[p.job] {
 		if !q.done {
 			return
 		}
@@ -631,15 +788,21 @@ func (p *procState) finishProc() {
 // arrive lands a request at the OST after the network delay.
 func (o *ostState) arrive(req *tbf.Request) {
 	now := o.sim.loop.Now()
-	o.tracker.Observe(req.JobID, req.Bytes)
+	o.tracker.ObserveIdx(int(req.Job), req.Bytes)
+	if o.outstanding[req.Stream] == 0 {
+		o.activeStreams++
+	}
 	o.outstanding[req.Stream]++
 	o.gate.Enqueue(req, now)
 	o.kick()
 }
 
 // kick advances the service loop: if the device is idle, pull the next
-// eligible request from the TBF gate, or schedule a wake at the next
-// token deadline.
+// eligible request from the TBF gate, or arm a wake at the next token
+// deadline. At most one wake is ever armed: a miss that would fire no
+// earlier than the armed wake schedules nothing, and dispatching bumps the
+// wake generation so an already-queued wake for a now-busy device fizzles
+// instead of firing a redundant kick.
 func (o *ostState) kick() {
 	if o.busy {
 		return
@@ -647,38 +810,47 @@ func (o *ostState) kick() {
 	now := o.sim.loop.Now()
 	req, wake, ok := o.gate.Dequeue(now)
 	if !ok {
-		if wake != tbf.InfiniteDeadline && (o.wakeAt == 0 || wake < o.wakeAt || o.wakeAt <= now) {
-			o.wakeAt = wake
-			o.sim.loop.At(wake, func() {
-				o.wakeAt = 0
-				o.kick()
-			})
+		if wake == tbf.InfiniteDeadline {
+			return
 		}
+		if o.wakeAt != 0 && o.wakeAt <= wake && o.wakeAt > now {
+			return // an earlier (still pending) wake already covers this
+		}
+		o.wakeGen++
+		o.wakeAt = wake
+		o.sim.loop.AtCall(wake, o.sim.wakeFn, o, o.wakeGen)
 		return
 	}
+	if o.wakeAt != 0 {
+		o.wakeGen++ // strand the armed wake; completion will re-kick
+		o.wakeAt = 0
+	}
 	o.busy = true
-	st := o.dev.ServiceTime(req.Bytes, req.Stream, len(o.outstanding))
-	o.sim.loop.After(st, func() { o.complete(req) })
+	st := o.dev.ServiceTime(req.Bytes, req.Stream, o.activeStreams)
+	o.sim.loop.AfterCall(st, o.sim.serveFn, req.Userdata.(*rpcToken), int64(o.idx))
 }
 
 // complete finishes a request: accounts it, replies to the client, and
-// pulls the next one.
-func (o *ostState) complete(req *tbf.Request) {
-	now := o.sim.loop.Now()
+// pulls the next one. The token is recycled once the reply is scheduled.
+func (o *ostState) complete(tok *rpcToken) {
+	s := o.sim
+	now := s.loop.Now()
 	o.busy = false
-	if c, ok := o.gate.(interface{ Complete() }); ok {
-		c.Complete() // frees the SFQ dispatch slot
+	if o.onServed != nil {
+		o.onServed() // frees the SFQ dispatch slot
 	}
-	o.sim.res.Timeline.Record(req.JobID, now, req.Bytes)
-	if n := o.outstanding[req.Stream] - 1; n > 0 {
-		o.outstanding[req.Stream] = n
-	} else {
-		delete(o.outstanding, req.Stream)
+	job := int(tok.req.Job)
+	s.res.Timeline.RecordIdx(job, now, tok.req.Bytes)
+	if n := o.outstanding[tok.req.Stream] - 1; n >= 0 {
+		o.outstanding[tok.req.Stream] = n
+		if n == 0 {
+			o.activeStreams--
+		}
 	}
-	tag := req.Userdata.(*rpcTag)
 	// Client-perceived latency: issue to reply receipt.
-	o.sim.res.Latencies.Record(req.JobID, time.Duration(now+int64(o.sim.cfg.NetDelay)-tag.issuedAt))
-	o.sim.loop.After(o.sim.cfg.NetDelay, tag.proc.onComplete)
+	s.res.Latencies.RecordIdx(job, time.Duration(now+int64(s.cfg.NetDelay)-tok.issuedAt))
+	s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
+	s.putToken(tok)
 	o.kick()
 }
 

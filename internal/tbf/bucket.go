@@ -48,13 +48,22 @@ const tokenEpsilon = 1e-9
 // Starting full matches Lustre, where a freshly created queue may burst up
 // to the bucket depth immediately. Rate and depth must be non-negative.
 func NewBucket(rate, depth float64, now int64) *Bucket {
+	b := &Bucket{}
+	b.Reset(rate, depth, now)
+	return b
+}
+
+// Reset re-initializes the bucket in place to a full bucket at time now,
+// exactly as NewBucket would, letting callers embed buckets by value and
+// recycle them.
+func (b *Bucket) Reset(rate, depth float64, now int64) {
 	if rate < 0 {
 		rate = 0
 	}
 	if depth < 0 {
 		depth = 0
 	}
-	return &Bucket{rate: rate, depth: depth, tokens: depth, last: now}
+	*b = Bucket{rate: rate, depth: depth, tokens: depth, last: now}
 }
 
 // advance accrues tokens earned between b.last and now. Time never moves

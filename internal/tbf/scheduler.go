@@ -11,7 +11,12 @@ import (
 // the storage device model, and Userdata is an opaque caller payload (the
 // simulator stores its completion callback there).
 type Request struct {
-	JobID    string
+	JobID string
+	// Job is the caller-interned index of JobID, valid only on schedulers
+	// that were told the job table size via SetJobCount. Callers that do
+	// not intern (the live cluster) leave it zero and the scheduler
+	// classifies by JobID alone.
+	Job      int32
 	Op       Opcode
 	Bytes    int64
 	Stream   int // identifies the file/stream the request belongs to
@@ -30,7 +35,7 @@ func (r *Request) Arrival() int64 { return r.arrival }
 type queue struct {
 	rule     *Rule
 	class    string // the job ID value this queue serves
-	bucket   *Bucket
+	bucket   Bucket
 	reqs     []*Request
 	head     int
 	deadline int64
@@ -53,6 +58,41 @@ func (q *queue) pop() *Request {
 		q.head = 0
 	}
 	return r
+}
+
+// queueKey identifies one (rule, class) queue. A comparable struct key
+// avoids the string concatenation a composite string key would allocate on
+// every routing decision.
+type queueKey struct {
+	rule  *Rule
+	class string
+}
+
+// newQueue takes a recycled queue (or allocates one) and initializes it
+// for a (rule, class) pair at time now.
+func (s *Scheduler) newQueue(r *Rule, class string, now int64) *queue {
+	var q *queue
+	if n := len(s.freeQueues); n > 0 {
+		q = s.freeQueues[n-1]
+		s.freeQueues = s.freeQueues[:n-1]
+	} else {
+		q = &queue{}
+	}
+	q.rule = r
+	q.class = class
+	q.bucket.Reset(r.Rate, s.depth, now)
+	q.reqs = q.reqs[:0]
+	q.head = 0
+	q.deadline = 0
+	q.heapIdx = -1
+	return q
+}
+
+// releaseQueue returns a drained, de-heaped queue to the free list.
+func (s *Scheduler) releaseQueue(q *queue) {
+	q.rule = nil
+	q.class = ""
+	s.freeQueues = append(s.freeQueues, q)
 }
 
 // readyHeap is a binary heap of queues with pending requests, keyed by
@@ -105,6 +145,18 @@ type Config struct {
 // DefaultBucketDepth is Lustre's default TBF bucket depth.
 const DefaultBucketDepth = 3
 
+// routeOps is the number of distinct request opcodes the route cache
+// discriminates (OpAny, OpRead, OpWrite).
+const routeOps = 3
+
+// A routeEntry memoizes where requests of one (job, opcode) class routed
+// under one rule-set version.
+type routeEntry struct {
+	version  uint64
+	q        *queue // nil when the class routes to the fallback queue
+	fallback bool
+}
+
 // A Scheduler is the TBF policy engine: it classifies requests into
 // token-bucket-regulated queues and hands them out in deadline order.
 // Scheduler is not safe for concurrent use; the simulator is single
@@ -113,13 +165,27 @@ type Scheduler struct {
 	depth  float64
 	rules  []*Rule // maintained sorted by (Order, Name)
 	byName map[string]*Rule
-	queues map[string]*queue // key: rule name + "\x00" + class
+	queues map[queueKey]*queue
 	ready  readyHeap
 
 	fallback []*Request
 	fbHead   int
 
 	seq uint64
+
+	// Route cache: for interned requests (SetJobCount called, Request.Job
+	// set), routing is one slice load per request instead of walking the
+	// rule list and wildcard-matching strings. version is bumped whenever
+	// the rule set changes, invalidating every entry at once.
+	njobs   int
+	version uint64
+	cache   [routeOps][]routeEntry
+
+	// freeQueues recycles queue objects (and their request-slice capacity)
+	// across the start/stop churn of dynamic rule management, so a
+	// controller reshuffling rules every observation period stops paying a
+	// queue allocation per (rule, class) per period.
+	freeQueues []*queue
 
 	// counters
 	enqueued uint64
@@ -136,9 +202,23 @@ func NewScheduler(cfg Config) *Scheduler {
 		depth = DefaultBucketDepth
 	}
 	return &Scheduler{
-		depth:  depth,
-		byName: make(map[string]*Rule),
-		queues: make(map[string]*queue),
+		depth:   depth,
+		byName:  make(map[string]*Rule),
+		queues:  make(map[queueKey]*queue),
+		version: 1,
+	}
+}
+
+// SetJobCount enables the interned fast path: the caller promises that
+// every subsequent Request carries a stable Job index in [0, n). The
+// simulator interns its job IDs at config time and calls this once per
+// scheduler; callers that skip it (the live cluster) keep the string
+// classification path.
+func (s *Scheduler) SetJobCount(n int) {
+	s.njobs = n
+	backing := make([]routeEntry, routeOps*n)
+	for op := range s.cache {
+		s.cache[op] = backing[op*n : (op+1)*n : (op+1)*n]
 	}
 }
 
@@ -179,6 +259,7 @@ func (s *Scheduler) StartRule(r Rule, now int64) error {
 	s.byName[r.Name] = &rule
 	s.rules = append(s.rules, &rule)
 	s.sortRules()
+	s.version++
 	s.reclassify(now)
 	return nil
 }
@@ -196,6 +277,7 @@ func (s *Scheduler) ChangeRule(name string, rate float64, order int, now int64) 
 	r.Rate = rate
 	r.Order = order
 	s.sortRules()
+	s.version++ // a new rule order can change which rule matches first
 	for _, q := range s.queues {
 		if q.rule == r {
 			q.bucket.SetRate(rate, now)
@@ -223,6 +305,7 @@ func (s *Scheduler) StopRule(name string, now int64) error {
 			break
 		}
 	}
+	s.version++
 	var orphans []*Request
 	for key, q := range s.queues {
 		if q.rule != r {
@@ -235,6 +318,7 @@ func (s *Scheduler) StopRule(name string, now int64) error {
 			heap.Remove(&s.ready, q.heapIdx)
 		}
 		delete(s.queues, key)
+		s.releaseQueue(q)
 	}
 	sort.Slice(orphans, func(i, j int) bool { return orphans[i].seq < orphans[j].seq })
 	for _, req := range orphans {
@@ -265,6 +349,7 @@ func (s *Scheduler) reclassify(now int64) {
 			heap.Remove(&s.ready, q.heapIdx)
 		}
 		delete(s.queues, key)
+		s.releaseQueue(q)
 	}
 	for i := s.fbHead; i < len(s.fallback); i++ {
 		all = append(all, s.fallback[i])
@@ -286,30 +371,50 @@ func (s *Scheduler) Enqueue(req *Request, now int64) {
 	s.route(req, now)
 }
 
+// enqueueTo places a request in a regulated queue, arming the ready heap
+// when the queue was empty.
+func (s *Scheduler) enqueueTo(q *queue, req *Request, now int64) {
+	q.push(req)
+	if q.pending() == 1 { // was empty: enters the ready heap
+		q.deadline = q.bucket.Deadline(1, now)
+		heap.Push(&s.ready, q)
+	}
+}
+
 // route places a request (which already has its seq) into the matching
-// queue or the fallback queue.
+// queue or the fallback queue. For interned requests the decision is
+// memoized per (job, opcode) until the rule set changes.
 func (s *Scheduler) route(req *Request, now int64) {
+	cached := req.Job >= 0 && int(req.Job) < s.njobs && req.Op < routeOps
+	if cached {
+		e := &s.cache[req.Op][req.Job]
+		if e.version == s.version {
+			if e.fallback {
+				s.fallback = append(s.fallback, req)
+			} else {
+				s.enqueueTo(e.q, req, now)
+			}
+			return
+		}
+	}
 	for _, r := range s.rules {
 		if !r.Match.Matches(req.JobID, req.Op) {
 			continue
 		}
-		key := r.Name + "\x00" + req.JobID
+		key := queueKey{rule: r, class: req.JobID}
 		q, ok := s.queues[key]
 		if !ok {
-			q = &queue{
-				rule:    r,
-				class:   req.JobID,
-				bucket:  NewBucket(r.Rate, s.depth, now),
-				heapIdx: -1,
-			}
+			q = s.newQueue(r, req.JobID, now)
 			s.queues[key] = q
 		}
-		q.push(req)
-		if q.pending() == 1 { // was empty: enters the ready heap
-			q.deadline = q.bucket.Deadline(1, now)
-			heap.Push(&s.ready, q)
+		if cached {
+			s.cache[req.Op][req.Job] = routeEntry{version: s.version, q: q}
 		}
+		s.enqueueTo(q, req, now)
 		return
+	}
+	if cached {
+		s.cache[req.Op][req.Job] = routeEntry{version: s.version, fallback: true}
 	}
 	s.fallback = append(s.fallback, req)
 }
@@ -340,15 +445,22 @@ func (s *Scheduler) Pending() int {
 // backlog is gone.
 func (s *Scheduler) PendingJobs() map[string]int {
 	out := make(map[string]int)
+	s.PendingJobsInto(out)
+	return out
+}
+
+// PendingJobsInto adds the PendingJobs counts into dst, so a periodic
+// caller can clear and reuse one map instead of allocating one per
+// observation period. dst is not cleared first.
+func (s *Scheduler) PendingJobsInto(dst map[string]int) {
 	for _, q := range s.queues {
 		if n := q.pending(); n > 0 {
-			out[q.class] += n
+			dst[q.class] += n
 		}
 	}
 	for i := s.fbHead; i < len(s.fallback); i++ {
-		out[s.fallback[i].JobID]++
+		dst[s.fallback[i].JobID]++
 	}
-	return out
 }
 
 // PendingForJob reports queued requests for one job across all queues.

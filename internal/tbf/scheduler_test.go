@@ -140,7 +140,8 @@ func TestFirstMatchingRuleWins(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("served %d, want 2", len(got))
 	}
-	if s.queues["a\x00dd.n1"] == nil || s.queues["b\x00x.n1"] == nil {
+	if s.queues[queueKey{rule: s.byName["a"], class: "dd.n1"}] == nil ||
+		s.queues[queueKey{rule: s.byName["b"], class: "x.n1"}] == nil {
 		t.Fatal("requests not classified to first matching rule")
 	}
 }
@@ -395,5 +396,131 @@ func TestNoRequestLostAcrossRuleChurn(t *testing.T) {
 	}
 	if served != enqueued {
 		t.Fatalf("served %d != enqueued %d", served, enqueued)
+	}
+}
+
+// interned returns a request carrying its caller-interned job index, as
+// the simulator issues them once SetJobCount is in effect.
+func interned(jobID string, job int32) *Request {
+	return &Request{JobID: jobID, Job: job, Bytes: 1 << 20}
+}
+
+// TestRouteCacheMatchesStringPath: with the interned fast path enabled,
+// classification decisions are identical to the wildcard string path.
+func TestRouteCacheMatchesStringPath(t *testing.T) {
+	jobs := []string{"dd.n1", "dd.n2", "cp.n1", "x.n9"}
+	mk := func(intern bool) []string {
+		s := NewScheduler(Config{})
+		if intern {
+			s.SetJobCount(len(jobs))
+		}
+		s.StartRule(Rule{Name: "dd", Match: Match{JobIDs: []string{"dd.*"}}, Rate: 1e9, Order: 1}, 0)
+		s.StartRule(Rule{Name: "cp", Match: Match{JobIDs: []string{"cp.*"}}, Rate: 1e9, Order: 2}, 0)
+		var served []string
+		for round := 0; round < 3; round++ {
+			for i, id := range jobs {
+				req := &Request{JobID: id, Bytes: 1 << 20}
+				if intern {
+					req.Job = int32(i)
+				}
+				s.Enqueue(req, int64(round))
+			}
+			if round == 1 { // invalidate the cache mid-stream
+				s.ChangeRule("dd", 5e8, 3, int64(round))
+			}
+			for {
+				r, _, ok := s.Dequeue(int64(round))
+				if !ok {
+					break
+				}
+				served = append(served, r.JobID)
+			}
+		}
+		return served
+	}
+	plain, cached := mk(false), mk(true)
+	if len(plain) != len(cached) {
+		t.Fatalf("served %d vs %d requests", len(plain), len(cached))
+	}
+	for i := range plain {
+		if plain[i] != cached[i] {
+			t.Fatalf("service order diverges at %d: %q vs %q", i, plain[i], cached[i])
+		}
+	}
+}
+
+// TestRouteCacheInvalidatedByRuleChurn: a started/stopped rule must
+// re-route interned requests immediately.
+func TestRouteCacheInvalidatedByRuleChurn(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetJobCount(1)
+	s.Enqueue(interned("dd.n1", 0), 0)
+	if _, _, ok := s.Dequeue(0); !ok {
+		t.Fatal("fallback dequeue failed")
+	}
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"dd.n1"}}, Rate: 50, Order: 1}, 0)
+	s.Enqueue(interned("dd.n1", 0), 0)
+	if s.PendingForJob("dd.n1") != 1 || s.fallbackPending() != 0 {
+		t.Fatal("interned request did not route to the new rule")
+	}
+	if err := s.StopRule("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.fallbackPending() != 1 {
+		t.Fatal("stopping the rule did not return the request to fallback")
+	}
+	s.Enqueue(interned("dd.n1", 0), 0)
+	if s.fallbackPending() != 2 {
+		t.Fatal("post-stop interned request used a stale cache entry")
+	}
+}
+
+func TestPendingJobsInto(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"a.h"}}, Rate: 1, Order: 1}, 0)
+	for i := 0; i < 3; i++ {
+		s.Enqueue(&Request{JobID: "a.h", Bytes: 1}, 0)
+	}
+	s.Enqueue(&Request{JobID: "b.h", Bytes: 1}, 0)
+	buf := map[string]int{"stale": 9}
+	clear(buf)
+	s.PendingJobsInto(buf)
+	if len(buf) != 2 || buf["a.h"] != 3 || buf["b.h"] != 1 {
+		t.Fatalf("PendingJobsInto = %v", buf)
+	}
+	if got := s.PendingJobs(); got["a.h"] != 3 || got["b.h"] != 1 {
+		t.Fatalf("PendingJobs = %v", got)
+	}
+}
+
+// TestQueueRecyclingKeepsBucketSemantics: a queue recreated after rule
+// churn must start with a full bucket, exactly like a fresh one.
+func TestQueueRecyclingKeepsBucketSemantics(t *testing.T) {
+	s := NewScheduler(Config{BucketDepth: 3})
+	for round := 0; round < 4; round++ {
+		now := int64(round * 1e9)
+		s.StartRule(Rule{Name: "r", Match: Match{JobIDs: []string{"j.h"}}, Rate: 1, Order: 1}, now)
+		for i := 0; i < 5; i++ {
+			s.Enqueue(&Request{JobID: "j.h", Bytes: 1}, now)
+		}
+		served := 0
+		for {
+			if _, _, ok := s.Dequeue(now); !ok {
+				break
+			}
+			served++
+		}
+		// Fresh full bucket of depth 3 every round, rate too low for more.
+		if served != 3 {
+			t.Fatalf("round %d: served %d at t=now, want 3 (full fresh bucket)", round, served)
+		}
+		if err := s.StopRule("r", now); err != nil {
+			t.Fatal(err)
+		}
+		for { // drain the reclassified fallback backlog
+			if _, _, ok := s.Dequeue(now); !ok {
+				break
+			}
+		}
 	}
 }
