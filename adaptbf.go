@@ -11,7 +11,9 @@ import (
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/report"
 	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
 	"adaptbf/internal/transport"
 	"adaptbf/internal/workload"
 )
@@ -158,6 +160,56 @@ func RunMatrix(m ScenarioMatrix, opt MatrixOptions) (*MatrixResult, error) {
 // BuiltinScenarios returns the harness's scenario library: striped
 // sequential, mixed read/write interference, and staggered fan-in bursts.
 func BuiltinScenarios() []MatrixScenario { return harness.BuiltinScenarios() }
+
+// Matrix analytics & export (internal/stats, internal/report): streaming
+// moment accumulators with Student-t confidence intervals over the seed
+// axis, mergeable fixed-bucket latency digests captured per cell, and
+// versioned machine-readable documents for every merged matrix run.
+type (
+	// Moments is a streaming Welford mean/variance/min/max accumulator
+	// with Student-t interval queries.
+	Moments = stats.Moments
+	// LatencyDigest is a mergeable log-bucket latency histogram with
+	// nearest-rank quantile estimates.
+	LatencyDigest = stats.Digest
+	// MatrixDocument is the schema-versioned JSON form of a merged
+	// matrix run (grid axes, per-cell summaries + digests, policy means
+	// with confidence intervals).
+	MatrixDocument = report.Document
+	// MatrixDocumentOptions tunes document construction (CI level,
+	// bucket embedding).
+	MatrixDocumentOptions = report.Options
+	// GIFTScaleStudyOptions parameterizes the built-in
+	// centralization-overhead scale study.
+	GIFTScaleStudyOptions = report.ScaleStudyOptions
+	// GIFTScaleStudyResult is a finished scale study: raw matrix, JSON
+	// document, and renderable/CSV-exportable report.
+	GIFTScaleStudyResult = report.ScaleStudy
+)
+
+// MatrixDocumentSchemaVersion is the version stamped into every
+// MatrixDocument.
+const MatrixDocumentSchemaVersion = report.SchemaVersion
+
+// NewMatrixDocument builds the machine-readable document for a merged
+// matrix run.
+func NewMatrixDocument(res *MatrixResult, opt MatrixDocumentOptions) *MatrixDocument {
+	return report.FromMatrix(res, opt)
+}
+
+// RunGIFTScaleStudy sweeps GIFT (centralized coupon controller) vs
+// AdapTBF (decentralized per-target controllers) vs the NoBW floor
+// across OSS counts with seed replication, quantifying the paper's
+// centralization-overhead argument with confidence intervals. The zero
+// options run the acceptance grid: OSS {1,2,4,8} × seeds {1..5}.
+func RunGIFTScaleStudy(opt GIFTScaleStudyOptions) (*GIFTScaleStudyResult, error) {
+	return report.RunGIFTScaleStudy(opt)
+}
+
+// TQuantile exposes the Student-t quantile the interval columns use
+// (p-quantile at df degrees of freedom), for callers building their own
+// seed-axis statistics.
+func TQuantile(p float64, df int) float64 { return stats.TQuantile(p, df) }
 
 // Live-cluster mode: real goroutine storage servers and job runners over
 // the gob RPC transport, one decentralized AdapTBF controller per target.

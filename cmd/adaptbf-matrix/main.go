@@ -14,8 +14,18 @@
 //	               [-scales 64] [-osses 1,2] [-seeds 1]
 //	               [-workers 0] [-rate 500] [-period 100ms]
 //	               [-duration 30m] [-verify] [-quiet]
+//	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
+//	               [-study gift-scale]
 //	               [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//
+// -json writes the merged result as a schema-versioned machine-readable
+// document (grid axes, per-cell summaries with latency digests, policy
+// means with Student-t confidence intervals at -ci-level); -csv-dir
+// exports every report table as CSV. -study gift-scale ignores the grid
+// flags and runs the built-in GIFT-vs-AdapTBF centralization-overhead
+// scale study (OSS {1,2,4,8} × 5 seeds by default, with -osses/-seeds/
+// -scales/-duration overriding its axes).
 //
 // With -bench-json the run is measured — wall time, heap allocations, and
 // DES events processed — and a per-cell record (ns/cell, allocs/cell,
@@ -38,8 +48,10 @@ import (
 	"time"
 
 	"adaptbf/internal/config"
+	"adaptbf/internal/experiments"
 	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/report"
 	"adaptbf/internal/sim"
 )
 
@@ -93,6 +105,25 @@ func parseInt64s(s string) ([]int64, error) {
 	return out, nil
 }
 
+// writeArtifacts persists the machine-readable outputs: the versioned
+// JSON document (when doc is non-nil and jsonOut set) and per-table CSVs
+// (when csvDir is set).
+func writeArtifacts(doc *report.Document, rep *experiments.Report, jsonOut, csvDir string) {
+	if jsonOut != "" && doc != nil {
+		if err := doc.WriteJSON(jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote JSON document (schema v%d) → %s\n", doc.SchemaVersion, jsonOut)
+	}
+	if csvDir != "" {
+		files, err := rep.WriteCSVs(csvDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d CSV tables → %s\n", len(files), csvDir)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptbf-matrix: ")
@@ -113,6 +144,10 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Minute, "simulated time cap per cell")
 	verify := flag.Bool("verify", false, "re-run with workers=1 and check the merged output is identical")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	jsonOut := flag.String("json", "", "write the merged result as a schema-versioned JSON document to the given file")
+	csvDir := flag.String("csv-dir", "", "export every report table as CSV under the given directory")
+	ciLevel := flag.Float64("ci-level", harness.DefaultCILevel, "confidence level for the Student-t interval columns (0 < level < 1)")
+	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale)")
 	benchJSON := flag.String("bench-json", "", "write a benchRecord (ns/cell, allocs/cell, events/sec) of this run to the given file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to the given file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the matrix run to the given file")
@@ -142,6 +177,65 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -seeds: %v", err)
 	}
+	if *ciLevel <= 0 || *ciLevel >= 1 {
+		log.Fatalf("bad -ci-level %v: need 0 < level < 1", *ciLevel)
+	}
+
+	if *study != "" {
+		// A study supplies its own grid; only explicitly-set axis flags
+		// override its defaults.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if *study != report.GIFTScaleStudyName {
+			log.Fatalf("unknown -study %q (available: %s)", *study, report.GIFTScaleStudyName)
+		}
+		for _, ignored := range []string{"verify", "bench-json", "cpuprofile", "memprofile", "scenarios", "policies", "rate", "period"} {
+			if set[ignored] {
+				log.Fatalf("-%s is not supported in -study mode (the study fixes its own grid and measurement)", ignored)
+			}
+		}
+		opt := report.ScaleStudyOptions{Workers: *workers, CILevel: *ciLevel}
+		if set["osses"] {
+			opt.OSSes = ossVals
+		}
+		if set["seeds"] {
+			opt.Seeds = seedVals
+		}
+		if set["scales"] && len(scaleVals) > 0 {
+			if len(scaleVals) > 1 {
+				log.Fatalf("-study mode sweeps one scale; got -scales %v", scaleVals)
+			}
+			opt.Scale = scaleVals[0]
+		}
+		if set["duration"] {
+			opt.Duration = *duration
+		}
+		if !*quiet {
+			done := 0
+			opt.OnCell = func(cr harness.CellResult) {
+				done++
+				status := "ok"
+				if cr.Err != nil {
+					status = "ERROR: " + cr.Err.Error()
+				}
+				fmt.Printf("  [%3d] %-45v %s\n", done, cr.Cell, status)
+			}
+		}
+		st, err := report.RunGIFTScaleStudy(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("study %s: %d cells in %v with %d workers\n\n",
+			*study, len(st.Matrix.Cells), st.Matrix.Elapsed.Round(time.Millisecond), st.Matrix.Workers)
+		for _, t := range st.Report.Tables {
+			fmt.Printf("-- %s --\n", t.Name)
+			metrics.RenderTable(os.Stdout, t.Header, t.Rows)
+			fmt.Println()
+		}
+		writeArtifacts(st.Document, st.Report, *jsonOut, *csvDir)
+		return
+	}
+
 	// Fill the same defaults harness.Run would, so the cell-count banner
 	// below reports the axes actually swept even when a flag was emptied.
 	if len(pols) == 0 {
@@ -268,12 +362,17 @@ func main() {
 		}
 	}
 
-	rep := res.Report()
+	rep := res.ReportCI(*ciLevel)
 	for _, t := range rep.Tables {
 		fmt.Printf("-- %s --\n", t.Name)
 		metrics.RenderTable(os.Stdout, t.Header, t.Rows)
 		fmt.Println()
 	}
+	var doc *report.Document
+	if *jsonOut != "" {
+		doc = report.FromMatrix(res, report.Options{CILevel: *ciLevel})
+	}
+	writeArtifacts(doc, rep, *jsonOut, *csvDir)
 
 	if *verify {
 		seq, err := harness.Run(m, harness.Options{Workers: 1})

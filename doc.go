@@ -28,7 +28,11 @@
 //     internal/cluster);
 //   - a concurrent scenario-matrix engine (internal/harness) that fans a
 //     declarative grid — scenario × policy × scale × OSS count × seed —
-//     out over a worker pool and merges the results deterministically.
+//     out over a worker pool and merges the results deterministically;
+//   - a matrix analytics & export subsystem (internal/stats,
+//     internal/report): streaming statistics, seed-axis confidence
+//     intervals, per-cell latency digests, versioned JSON/CSV artifacts,
+//     and the GIFT-vs-AdapTBF centralization-overhead scale study.
 //
 // Beyond the paper's single-target timelines, a simulation can model a
 // multi-OSS stack with striped files: sim.Config.OSTs sets the stack
@@ -66,6 +70,39 @@
 //	rep := res.Report()
 //
 // Or from the command line: go run ./cmd/adaptbf-matrix -verify.
+//
+// # Matrix analytics and export
+//
+// A merged matrix is statistically summarized, not just tabulated. Each
+// cell captures a latency digest (stats.Digest: a fixed-size log-bucket
+// histogram with exact count/sum/min/max and nearest-rank quantile
+// estimates) as it finishes, so per-cell latency distributions survive
+// the merge without retaining raw samples; digests merge associatively,
+// and the matrix fingerprint covers them. Policy-mean tables carry
+// Student-t confidence intervals over the cells of each scenario×policy
+// group (the seed axis, in a replicated sweep), computed by streaming
+// Welford accumulators (stats.Moments).
+//
+// Every merged run exports as machine-readable artifacts: a
+// schema-versioned JSON document (MatrixDocument — grid axes, per-cell
+// summaries with digests, policy means ± CI; see
+// MatrixDocumentSchemaVersion) and per-table CSVs. From the CLI:
+//
+//	go run ./cmd/adaptbf-matrix -seeds 1,2,3,4,5 -json report.json -csv-dir out/
+//
+// RunGIFTScaleStudy (CLI: -study gift-scale) is the built-in study
+// reproducing the paper's decentralization claim at scale: GIFT's one
+// centralized controller walks every OSS serially each epoch and keeps a
+// global coupon bank, while AdapTBF runs an independent controller per
+// OSS. The study sweeps both (plus the NoBW floor) over OSS counts
+// {1,2,4,8} with ≥5 seeds and reports per-OSS-count coordination cost,
+// priority fairness (node-normalized Jain index), and utilization with
+// confidence intervals, plus seed-paired GIFT-minus-AdapTBF gap rows.
+//
+// To add a study: build a harness.Matrix, run it, derive per-cell
+// scalars from the cells (pure functions of CellResult), fold them into
+// stats.Moments groups, and emit a Study section plus experiments.Table
+// rows — see internal/report/study.go for the template.
 //
 // # Performance
 //

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -328,5 +329,85 @@ func TestSFQComparisonShape(t *testing.T) {
 	}
 	if len(rep.Tables) < 2 {
 		t.Fatalf("tables = %d, want bandwidth + latency", len(rep.Tables))
+	}
+}
+
+// TestWriteCSVsCollisions: tables whose names sanitize to the same slug
+// must not overwrite each other, and a name that sanitizes to nothing is
+// an error instead of a file called "<id>-.csv".
+func TestWriteCSVsCollisions(t *testing.T) {
+	rep := &Report{
+		ID: "dup",
+		Tables: []Table{
+			{Name: "same name!", Header: []string{"a"}, Rows: [][]string{{"first"}}},
+			{Name: "same-name?", Header: []string{"a"}, Rows: [][]string{{"second"}}},
+			{Name: "same_name", Header: []string{"a"}, Rows: [][]string{{"third"}}},
+		},
+	}
+	dir := t.TempDir()
+	files, err := rep.WriteCSVs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("wrote %d files for 3 colliding tables: %v", len(files), files)
+	}
+	seen := map[string]bool{}
+	contents := map[string]bool{}
+	for _, f := range files {
+		if seen[f] {
+			t.Fatalf("duplicate path %s", f)
+		}
+		seen[f] = true
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents[strings.TrimSpace(string(buf))] = true
+	}
+	if len(contents) != 3 {
+		t.Fatalf("tables overwrote each other; distinct contents: %d", len(contents))
+	}
+	empty := &Report{ID: "bad", Tables: []Table{{Name: "???", Header: []string{"a"}}}}
+	if _, err := empty.WriteCSVs(t.TempDir()); err == nil {
+		t.Fatal("empty sanitized name must error")
+	}
+}
+
+// TestReportJSON: the machine-readable sibling of WriteCSVs carries the
+// schema version and every table verbatim.
+func TestReportJSON(t *testing.T) {
+	rep := &Report{
+		ID:    "js",
+		Title: "json smoke",
+		Tables: []Table{
+			{Name: "t1", Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SchemaVersion int    `json:"schema_version"`
+		ID            string `json:"id"`
+		Tables        []struct {
+			Name   string     `json:"name"`
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != TableSchemaVersion || doc.ID != "js" {
+		t.Fatalf("bad document header: %+v", doc)
+	}
+	if len(doc.Tables) != 1 || doc.Tables[0].Name != "t1" || doc.Tables[0].Rows[0][1] != "2" {
+		t.Fatalf("tables not preserved: %+v", doc.Tables)
 	}
 }

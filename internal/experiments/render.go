@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -71,9 +72,22 @@ func (r *Report) WriteCSVs(dir string) ([]string, error) {
 		return nil
 	}
 	slug := strings.ReplaceAll(r.ID, "+", "_")
+	// Sanitized table names can collide (distinct names mapping to the
+	// same slug would silently overwrite each other); dedupe with a
+	// numeric suffix, and refuse names that sanitize to nothing.
+	used := make(map[string]bool, len(r.Tables))
 	for _, t := range r.Tables {
 		t := t
-		name := fmt.Sprintf("%s-%s.csv", slug, sanitize(t.Name))
+		base := sanitize(t.Name)
+		if base == "" {
+			return written, fmt.Errorf("experiments: table name %q sanitizes to an empty file name", t.Name)
+		}
+		unique := base
+		for n := 2; used[unique]; n++ {
+			unique = fmt.Sprintf("%s-%d", base, n)
+		}
+		used[unique] = true
+		name := fmt.Sprintf("%s-%s.csv", slug, unique)
 		if err := save(name, func(w io.Writer) error {
 			return metrics.WriteCSV(w, t.Header, t.Rows)
 		}); err != nil {
@@ -97,6 +111,54 @@ func (r *Report) WriteCSVs(dir string) ([]string, error) {
 		}
 	}
 	return written, nil
+}
+
+// TableSchemaVersion versions the machine-readable table document that
+// WriteJSON emits (and that internal/report embeds in its matrix
+// documents). Bump it whenever the JSON field layout changes shape.
+const TableSchemaVersion = 1
+
+// reportJSON is the versioned machine-readable form of a Report's
+// tables: enough for scripting (plotting, regression diffing) without
+// re-parsing the fixed-width text rendering.
+type reportJSON struct {
+	SchemaVersion int         `json:"schema_version"`
+	Generator     string      `json:"generator"`
+	ID            string      `json:"id"`
+	Title         string      `json:"title"`
+	Tables        []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name   string     `json:"name"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// JSON marshals the report's tables as a versioned, indented JSON
+// document.
+func (r *Report) JSON() ([]byte, error) {
+	doc := reportJSON{
+		SchemaVersion: TableSchemaVersion,
+		Generator:     "adaptbf",
+		ID:            r.ID,
+		Title:         r.Title,
+		Tables:        make([]tableJSON, 0, len(r.Tables)),
+	}
+	for _, t := range r.Tables {
+		doc.Tables = append(doc.Tables, tableJSON{Name: t.Name, Header: t.Header, Rows: t.Rows})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteJSON writes the JSON document to path — the machine-readable
+// sibling of WriteCSVs.
+func (r *Report) WriteJSON(path string) error {
+	buf, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func sanitize(s string) string {

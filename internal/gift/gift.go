@@ -69,6 +69,39 @@ func (c *Controller) Epoch() time.Duration { return c.epoch }
 // Coupons reports an application's coupon balance.
 func (c *Controller) Coupons(job string) float64 { return c.coupons[job] }
 
+// BankEntries reports how many applications currently hold a non-zero
+// coupon balance — the size of the global state the centralized
+// controller must keep consistent across every storage target. AdapTBF's
+// per-target records need no such shared bank, which is the
+// centralization-overhead argument the scale study quantifies.
+func (c *Controller) BankEntries() int {
+	n := 0
+	for _, v := range c.coupons {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OutstandingCoupons reports the total coupon balance across all
+// applications — the bandwidth debt the centralized bank still owes.
+// Summation runs in sorted-key order: float addition is not associative,
+// so map-order iteration would make the value differ bit-for-bit between
+// identical runs.
+func (c *Controller) OutstandingCoupons() float64 {
+	keys := make([]string, 0, len(c.coupons))
+	for j := range c.coupons {
+		keys = append(keys, j)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, j := range keys {
+		sum += c.coupons[j]
+	}
+	return sum
+}
+
 // Allocate computes one storage target's next-epoch grants from the
 // applications active on it. maxRate is the target's token rate capacity
 // in tokens per second. The coupon bank is global: balances earned on one

@@ -34,6 +34,7 @@ import (
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/metrics"
 	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
 	"adaptbf/internal/workload"
 )
 
@@ -185,10 +186,14 @@ func (m Matrix) cells() []Cell {
 }
 
 // A CellResult pairs a cell with its finished simulation (or its error).
+// LatencyDigest condenses every RPC latency of the cell (all jobs) into a
+// fixed-size mergeable histogram, captured as the cell finishes so the
+// distribution survives the merge without retaining raw samples.
 type CellResult struct {
-	Cell   Cell
-	Result *sim.Result
-	Err    error
+	Cell          Cell
+	Result        *sim.Result
+	LatencyDigest *stats.Digest
+	Err           error
 }
 
 // A MatrixResult holds every cell's outcome in canonical cell order.
@@ -291,48 +296,71 @@ func runCell(m Matrix, sc Scenario, c Cell, scratch *sim.Scratch) CellResult {
 		SFQDepth:     m.SFQDepth,
 	}
 	res, err := sim.RunScratch(cfg, scratch)
-	return CellResult{Cell: c, Result: res, Err: err}
+	cr := CellResult{Cell: c, Result: res, Err: err}
+	if err == nil {
+		cr.LatencyDigest = stats.NewDigest()
+		res.Latencies.FeedDigest(cr.LatencyDigest)
+	}
+	return cr
 }
 
 // ---- deterministic merging ----
 
+// DefaultCILevel is the confidence level Report uses for the policy-mean
+// interval columns.
+const DefaultCILevel = 0.95
+
 // Report merges the per-cell results into experiment tables: one row per
-// cell, then per-scenario policy means with AdapTBF-style gain columns.
+// cell, then per-scenario policy means with Student-t confidence
+// intervals at the default 95% level and AdapTBF-style gain columns.
 // The output is a pure function of the cells in canonical order.
 func (r *MatrixResult) Report() *experiments.Report {
+	return r.ReportCI(DefaultCILevel)
+}
+
+// ReportCI is Report with an explicit confidence level in (0,1) for the
+// policy-mean interval columns.
+func (r *MatrixResult) ReportCI(level float64) *experiments.Report {
+	// Summarize walks every timeline bin of every job; do it once per cell
+	// and share the summaries between the two tables.
+	return r.ReportCIWith(r.Summaries(), level)
+}
+
+// ReportCIWith is ReportCI over precomputed per-cell summaries (from
+// Summaries), for callers producing several views of the same matrix.
+func (r *MatrixResult) ReportCIWith(sums []metrics.Summary, level float64) *experiments.Report {
 	rep := &experiments.Report{
 		ID:    "matrix",
 		Title: fmt.Sprintf("Scenario matrix (%d cells)", len(r.Cells)),
 	}
-	// Summarize walks every timeline bin of every job; do it once per cell
-	// and share the summaries between the two tables.
-	sums := make([]metrics.Summary, len(r.Cells))
-	for i, cr := range r.Cells {
-		if cr.Err == nil {
-			sums[i] = cr.Result.Timeline.Summarize()
-		}
-	}
-	rep.Tables = append(rep.Tables, r.cellTable(sums), r.policyMeansTable(sums))
+	rep.Tables = append(rep.Tables, r.cellTable(sums), r.policyMeansTable(sums, level))
 	return rep
 }
 
 func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
 	t := experiments.Table{
 		Name:   "matrix-cells",
-		Header: []string{"scenario", "policy", "scale", "OSSes", "seed", "overall MiB/s", "makespan (s)", "done", "RPCs"},
+		Header: []string{"scenario", "policy", "scale", "OSSes", "seed", "overall MiB/s", "makespan (s)", "done", "RPCs", "lat p50/p99"},
 	}
 	for i, cr := range r.Cells {
 		c := cr.Cell
 		row := []string{c.Scenario, c.Policy.String(),
 			fmt.Sprintf("%d", c.Scale), fmt.Sprintf("%d", c.OSSes), fmt.Sprintf("%d", c.Seed)}
 		if cr.Err != nil {
-			row = append(row, "ERROR: "+cr.Err.Error(), "-", "-", "-")
+			row = append(row, "ERROR: "+cr.Err.Error(), "-", "-", "-", "-")
 		} else {
+			lat := "-"
+			if d := cr.LatencyDigest; d != nil && d.N() > 0 {
+				lat = fmt.Sprintf("%v / %v",
+					d.Quantile(50).Round(100*time.Microsecond),
+					d.Quantile(99).Round(100*time.Microsecond))
+			}
 			row = append(row,
 				metrics.FormatMiBps(sums[i].OverallMiBps),
 				fmt.Sprintf("%.1f", cr.Result.Elapsed.Seconds()),
 				fmt.Sprintf("%v", cr.Result.Done),
 				fmt.Sprintf("%d", cr.Result.ServedRPCs),
+				lat,
 			)
 		}
 		t.Rows = append(t.Rows, row)
@@ -341,60 +369,117 @@ func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
 }
 
 // policyMeansTable averages each scenario×policy group's overall bandwidth
-// and makespan over the scale, OSS, and seed axes, and reports the
+// and makespan over the scale, OSS, and seed axes — with Student-t
+// confidence-interval half-widths at the given level (the seed axis is
+// what populates the groups in a replicated sweep) — and reports the
 // percentage delta against the group's NoBW mean when one exists.
-func (r *MatrixResult) policyMeansTable(sums []metrics.Summary) experiments.Table {
+func (r *MatrixResult) policyMeansTable(sums []metrics.Summary, level float64) experiments.Table {
+	pct := fmt.Sprintf("%g", level*100)
 	t := experiments.Table{
-		Name:   "matrix-policy-means",
-		Header: []string{"scenario", "policy", "mean MiB/s", "mean makespan (s)", "vs No BW (%)"},
+		Name: "matrix-policy-means",
+		Header: []string{"scenario", "policy", "n",
+			"mean MiB/s", "±" + pct + "% CI",
+			"mean makespan (s)", "±" + pct + "% CI",
+			"vs No BW (%)"},
 	}
-	type key struct {
-		scenario string
-		policy   sim.Policy
-	}
-	type agg struct {
-		bw, makespan float64
-		n            int
-	}
-	groups := make(map[key]*agg)
-	var order []key // first-appearance order == canonical matrix order
-	for i, cr := range r.Cells {
-		if cr.Err != nil {
-			continue
-		}
-		k := key{cr.Cell.Scenario, cr.Cell.Policy}
-		g, ok := groups[k]
-		if !ok {
-			g = &agg{}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.bw += sums[i].OverallMiBps
-		g.makespan += cr.Result.Elapsed.Seconds()
-		g.n++
-	}
-	for _, k := range order {
-		g := groups[k]
-		mean := g.bw / float64(g.n)
+	groups := r.PolicyGroups(sums)
+	for i := range groups {
+		g := &groups[i]
+		mean := g.BW.Mean()
 		delta := "-"
-		if base, ok := groups[key{k.scenario, sim.NoBW}]; ok && base.bw > 0 && k.policy != sim.NoBW {
-			delta = fmt.Sprintf("%+.1f", (mean-base.bw/float64(base.n))/(base.bw/float64(base.n))*100)
+		if base := NoBWBaseline(groups, g.Scenario); base != nil && base.BW.Mean() > 0 && g.Policy != sim.NoBW {
+			delta = fmt.Sprintf("%+.1f", (mean-base.BW.Mean())/base.BW.Mean()*100)
+		}
+		ci := func(m *stats.Moments) string {
+			if m.N() < 2 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", m.CIHalfWidth(level))
 		}
 		t.Rows = append(t.Rows, []string{
-			k.scenario, k.policy.String(),
-			metrics.FormatMiBps(mean),
-			fmt.Sprintf("%.1f", g.makespan/float64(g.n)),
+			g.Scenario, g.Policy.String(),
+			fmt.Sprintf("%d", g.BW.N()),
+			metrics.FormatMiBps(mean), ci(&g.BW),
+			fmt.Sprintf("%.1f", g.Makespan.Mean()), ci(&g.Makespan),
 			delta,
 		})
 	}
 	return t
 }
 
+// A PolicyGroup is one scenario×policy aggregate of a merged matrix:
+// streaming moments of the group's per-cell overall bandwidth and
+// makespan over the scale, OSS, and seed axes. It is the single
+// canonical fold behind both the rendered policy-means table and the
+// JSON document's policy_means section, so the two can never disagree.
+type PolicyGroup struct {
+	Scenario string
+	Policy   sim.Policy
+	BW       stats.Moments // per-cell overall MiB/s
+	Makespan stats.Moments // per-cell makespan, seconds
+}
+
+// Summaries computes each cell's timeline summary in cell order (zero
+// value for errored cells). Summarize walks every timeline bin of every
+// job, so callers producing several views of the same matrix should
+// compute this once and share it.
+func (r *MatrixResult) Summaries() []metrics.Summary {
+	sums := make([]metrics.Summary, len(r.Cells))
+	for i, cr := range r.Cells {
+		if cr.Err == nil {
+			sums[i] = cr.Result.Timeline.Summarize()
+		}
+	}
+	return sums
+}
+
+// PolicyGroups folds the non-failed cells into scenario×policy moment
+// accumulators in first-appearance (canonical) order. sums must be the
+// result of Summaries (pass nil to have it computed here).
+func (r *MatrixResult) PolicyGroups(sums []metrics.Summary) []PolicyGroup {
+	if sums == nil {
+		sums = r.Summaries()
+	}
+	type key struct {
+		scenario string
+		policy   sim.Policy
+	}
+	index := make(map[key]int)
+	var groups []PolicyGroup
+	for i, cr := range r.Cells {
+		if cr.Err != nil {
+			continue
+		}
+		k := key{cr.Cell.Scenario, cr.Cell.Policy}
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, PolicyGroup{Scenario: k.scenario, Policy: k.policy})
+		}
+		groups[gi].BW.Add(sums[i].OverallMiBps)
+		groups[gi].Makespan.Add(cr.Result.Elapsed.Seconds())
+	}
+	return groups
+}
+
+// NoBWBaseline finds the scenario's NoBW group in groups, for the
+// vs-NoBW delta columns (nil when the scenario has no NoBW cells).
+func NoBWBaseline(groups []PolicyGroup, scenario string) *PolicyGroup {
+	for i := range groups {
+		if groups[i].Scenario == scenario && groups[i].Policy == sim.NoBW {
+			return &groups[i]
+		}
+	}
+	return nil
+}
+
 // Fingerprint digests every cell's raw outcome — per-job byte totals and
-// finish times, served RPCs, makespan, per-OSS busy time — in canonical
-// cell order. Two runs of the same matrix must produce identical
-// fingerprints regardless of worker count; the determinism tests assert
-// exactly that.
+// finish times, served RPCs, makespan, per-OSS busy time, and the cell's
+// latency digest (count, sum, min, max, every non-empty bucket) — in
+// canonical cell order. Two runs of the same matrix must produce
+// identical fingerprints regardless of worker count; the determinism
+// tests assert exactly that.
 func (r *MatrixResult) Fingerprint() string {
 	h := sha256.New()
 	var b strings.Builder
@@ -422,6 +507,10 @@ func (r *MatrixResult) Fingerprint() string {
 		}
 		for i, d := range res.DeviceBusy {
 			fmt.Fprintf(&b, "busy%d=%d|", i, d)
+		}
+		if cr.LatencyDigest != nil {
+			cr.LatencyDigest.WriteFingerprint(&b)
+			b.WriteByte('|')
 		}
 		h.Write([]byte(b.String()))
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptbf/internal/experiments"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/workload"
 )
@@ -269,5 +270,69 @@ func TestScenariosByName(t *testing.T) {
 	}
 	if _, err := ScenariosByName([]string{"nope"}); err == nil {
 		t.Fatal("unknown scenario name accepted")
+	}
+}
+
+// TestPolicyMeansCIColumns: a seed-replicated matrix must produce
+// policy-mean rows with sample counts and Student-t interval columns,
+// and the digest-driven latency column must populate the cell table.
+func TestPolicyMeansCIColumns(t *testing.T) {
+	m := Matrix{
+		Scenarios: []Scenario{StripedSequentialScenario()},
+		Policies:  []sim.Policy{sim.NoBW, sim.AdapTBF},
+		Scales:    []int64{512},
+		OSSes:     []int{1},
+		Seeds:     []int64{1, 2, 3, 4, 5},
+	}
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.ReportCI(0.95)
+	var means, cells *experiments.Table
+	for i := range rep.Tables {
+		switch rep.Tables[i].Name {
+		case "matrix-policy-means":
+			means = &rep.Tables[i]
+		case "matrix-cells":
+			cells = &rep.Tables[i]
+		}
+	}
+	if means == nil || cells == nil {
+		t.Fatal("report tables missing")
+	}
+	wantHeader := []string{"scenario", "policy", "n", "mean MiB/s", "±95% CI",
+		"mean makespan (s)", "±95% CI", "vs No BW (%)"}
+	if !reflect.DeepEqual(means.Header, wantHeader) {
+		t.Fatalf("policy-means header = %v", means.Header)
+	}
+	if len(means.Rows) != 2 {
+		t.Fatalf("want 2 policy groups, got %d", len(means.Rows))
+	}
+	for _, row := range means.Rows {
+		if row[2] != "5" {
+			t.Fatalf("group n = %q, want 5 (one per seed)", row[2])
+		}
+		if row[4] == "-" || row[6] == "-" {
+			t.Fatalf("CI columns empty for a 5-seed group: %v", row)
+		}
+	}
+	latCol := len(cells.Header) - 1
+	if cells.Header[latCol] != "lat p50/p99" {
+		t.Fatalf("cell table missing latency column: %v", cells.Header)
+	}
+	for _, row := range cells.Rows {
+		if row[latCol] == "-" || row[latCol] == "" {
+			t.Fatalf("cell row missing digest latency: %v", row)
+		}
+	}
+	for _, cr := range res.Cells {
+		if cr.LatencyDigest == nil || cr.LatencyDigest.N() == 0 {
+			t.Fatalf("cell %v missing latency digest", cr.Cell)
+		}
+		if cr.LatencyDigest.N() != int64(cr.Result.ServedRPCs) {
+			t.Fatalf("cell %v digest n=%d != served RPCs %d",
+				cr.Cell, cr.LatencyDigest.N(), cr.Result.ServedRPCs)
+		}
 	}
 }

@@ -3,6 +3,8 @@ package metrics
 import (
 	"sort"
 	"time"
+
+	"adaptbf/internal/stats"
 )
 
 // A LatencyRecorder accumulates per-job request latencies and answers
@@ -95,7 +97,15 @@ func (l *LatencyRecorder) ensureSorted(job string) []time.Duration {
 }
 
 // Percentile reports the p-th percentile latency (p in [0,100]) for the
-// job using nearest-rank, or 0 with no samples.
+// job using the nearest-rank convention, or 0 with no samples.
+//
+// Nearest-rank here means the returned value is always one of the
+// recorded samples: the element at zero-based rank ⌊p/100·n⌋ of the
+// sorted sample slice (clamped to the last element). p=50 over four
+// samples returns the third-smallest, not an interpolated midpoint; p=0
+// is the minimum and p=100 the maximum. stats.Digest.Quantile follows
+// the same convention, which is what lets its bucketized estimates be
+// tested to land in the exact percentile's bucket.
 func (l *LatencyRecorder) Percentile(job string, p float64) time.Duration {
 	s := l.ensureSorted(job)
 	if len(s) == 0 {
@@ -134,4 +144,24 @@ func (l *LatencyRecorder) Max(job string) time.Duration {
 		return 0
 	}
 	return s[len(s)-1]
+}
+
+// FeedDigest folds every recorded sample — all jobs — into d. This is
+// the bridge between the raw per-RPC recorder and the mergeable
+// fixed-size digests the matrix analytics keep per cell: the harness
+// calls it once per finished cell, after which the raw samples can be
+// dropped while quantile queries survive the merge.
+func (l *LatencyRecorder) FeedDigest(d *stats.Digest) {
+	for _, samples := range l.byJob {
+		for _, v := range samples {
+			d.Add(v)
+		}
+	}
+}
+
+// FeedDigestJob folds only the named job's samples into d.
+func (l *LatencyRecorder) FeedDigestJob(d *stats.Digest, job string) {
+	for _, v := range l.samplesOf(job) {
+		d.Add(v)
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"adaptbf/internal/stats"
 )
 
 func TestLatencyPercentiles(t *testing.T) {
@@ -115,5 +117,37 @@ func TestLatencyIdxPathAndReserve(t *testing.T) {
 	b.JobIndex("ghost")
 	if got := b.Jobs(); len(got) != 1 || got[0] != "j" {
 		t.Fatalf("Jobs = %v", got)
+	}
+}
+
+// TestFeedDigest: the digest bridge must carry every sample of every job
+// (and only the named job's for the per-job variant), preserving count,
+// extremes, and quantile-bucket agreement.
+func TestFeedDigest(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 50; i++ {
+		l.Record("a", time.Duration(i)*time.Millisecond)
+		l.Record("b", time.Duration(i)*time.Microsecond)
+	}
+	d := stats.NewDigest()
+	l.FeedDigest(d)
+	if d.N() != 100 {
+		t.Fatalf("digest carries %d samples, want 100", d.N())
+	}
+	if d.Min() != time.Microsecond || d.Max() != 50*time.Millisecond {
+		t.Fatalf("digest extremes %v/%v", d.Min(), d.Max())
+	}
+	dj := stats.NewDigest()
+	l.FeedDigestJob(dj, "b")
+	if dj.N() != 50 || dj.Max() != 50*time.Microsecond {
+		t.Fatalf("per-job digest wrong: n=%d max=%v", dj.N(), dj.Max())
+	}
+	if est, exact := dj.Quantile(50), l.Percentile("b", 50); est < exact {
+		t.Fatalf("digest p50 %v undershoots exact %v", est, exact)
+	}
+	ghost := stats.NewDigest()
+	l.FeedDigestJob(ghost, "missing")
+	if ghost.N() != 0 {
+		t.Fatal("unknown job fed samples")
 	}
 }

@@ -1,0 +1,275 @@
+// Package report turns merged matrix results into versioned
+// machine-readable artifacts — a JSON document carrying the grid axes,
+// per-cell summaries with latency digests, and per-group policy means
+// with Student-t confidence intervals — and hosts the built-in studies
+// (GIFTScaleStudy) that package the paper-level comparisons as one
+// callable unit. CSV export reuses experiments.Report.WriteCSVs, so every
+// table a study renders is also a file a plotting script can load.
+//
+// The JSON schema is versioned by SchemaVersion; consumers should refuse
+// documents with a version they do not know. The document is a pure
+// function of the MatrixResult (plus options), so two runs of the same
+// matrix marshal byte-identical documents apart from wall-clock-derived
+// overhead fields, which are reporting-only by contract.
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"adaptbf/internal/harness"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
+)
+
+// SchemaVersion is the version stamped into every Document. Bump it
+// whenever a field changes meaning or shape, and say why in ROADMAP.md.
+const SchemaVersion = 1
+
+// A Document is the machine-readable form of a merged matrix run.
+type Document struct {
+	SchemaVersion int     `json:"schema_version"`
+	Generator     string  `json:"generator"`
+	Kind          string  `json:"kind"` // "matrix" or a study name
+	Title         string  `json:"title"`
+	CILevel       float64 `json:"ci_level"`
+	Workers       int     `json:"workers"`
+	Fingerprint   string  `json:"fingerprint"`
+
+	Grid        Grid         `json:"grid"`
+	Cells       []Cell       `json:"cells"`
+	PolicyMeans []PolicyMean `json:"policy_means"`
+	Study       *Study       `json:"study,omitempty"`
+}
+
+// Grid records the swept axes in canonical order, recovered from the
+// cells themselves so the document is self-describing.
+type Grid struct {
+	Scenarios []string `json:"scenarios"`
+	Policies  []string `json:"policies"`
+	Scales    []int64  `json:"scales"`
+	OSSes     []int    `json:"osses"`
+	Seeds     []int64  `json:"seeds"`
+}
+
+// A Cell is one matrix point's summary.
+type Cell struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	Scale    int64  `json:"scale"`
+	OSSes    int    `json:"osses"`
+	Seed     int64  `json:"seed"`
+	Error    string `json:"error,omitempty"`
+
+	Done            bool    `json:"done,omitempty"`
+	OverallMiBps    float64 `json:"overall_mibps,omitempty"`
+	MakespanS       float64 `json:"makespan_s,omitempty"`
+	ServedRPCs      uint64  `json:"served_rpcs,omitempty"`
+	UtilizationMean float64 `json:"utilization_mean,omitempty"`
+
+	Latency *Latency `json:"latency,omitempty"`
+}
+
+// Latency condenses a cell's digest: count, extremes, mean, and
+// nearest-rank quantile estimates, all in microseconds. Buckets carries
+// the non-empty histogram buckets when Options.IncludeBuckets asks for
+// the full distribution.
+type Latency struct {
+	N       int64           `json:"n"`
+	MinUS   float64         `json:"min_us"`
+	MeanUS  float64         `json:"mean_us"`
+	MaxUS   float64         `json:"max_us"`
+	P50US   float64         `json:"p50_us"`
+	P90US   float64         `json:"p90_us"`
+	P99US   float64         `json:"p99_us"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// A LatencyBucket is one non-empty digest bucket: [LoUS, HiUS) holding
+// Count samples.
+type LatencyBucket struct {
+	LoUS  float64 `json:"lo_us"`
+	HiUS  float64 `json:"hi_us"`
+	Count int64   `json:"count"`
+}
+
+// A PolicyMean is one scenario×policy group's seed-axis statistics. CI
+// fields are Student-t half-widths at the document's CILevel; they are 0
+// when N < 2 (no interval exists).
+type PolicyMean struct {
+	Scenario      string   `json:"scenario"`
+	Policy        string   `json:"policy"`
+	N             int64    `json:"n"`
+	MeanMiBps     float64  `json:"mean_mibps"`
+	CIMiBps       float64  `json:"ci_mibps"`
+	MeanMakespanS float64  `json:"mean_makespan_s"`
+	CIMakespanS   float64  `json:"ci_makespan_s"`
+	VsNoBWPct     *float64 `json:"vs_nobw_pct,omitempty"`
+}
+
+// Options tunes document construction.
+type Options struct {
+	// CILevel is the confidence level for every interval in the
+	// document. 0 means harness.DefaultCILevel (0.95).
+	CILevel float64
+	// Title overrides the default document title.
+	Title string
+	// IncludeBuckets embeds each cell's full latency histogram (the
+	// non-empty buckets) instead of just its quantile summary.
+	IncludeBuckets bool
+}
+
+func (o Options) normalize() Options {
+	if o.CILevel <= 0 || o.CILevel >= 1 {
+		o.CILevel = harness.DefaultCILevel
+	}
+	return o
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// FromMatrix builds the Document for a merged matrix run.
+func FromMatrix(res *harness.MatrixResult, opt Options) *Document {
+	return fromMatrix(res, res.Summaries(), opt)
+}
+
+// fromMatrix is FromMatrix over precomputed per-cell summaries, so the
+// study path can share one Summaries pass across document, study fold,
+// and rendered report.
+func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) *Document {
+	opt = opt.normalize()
+	doc := &Document{
+		SchemaVersion: SchemaVersion,
+		Generator:     "adaptbf",
+		Kind:          "matrix",
+		Title:         opt.Title,
+		CILevel:       opt.CILevel,
+		Workers:       res.Workers,
+		Fingerprint:   res.Fingerprint(),
+		Grid:          gridOf(res),
+		Cells:         make([]Cell, 0, len(res.Cells)),
+	}
+	if doc.Title == "" {
+		doc.Title = "Scenario matrix"
+	}
+
+	for i, cr := range res.Cells {
+		c := Cell{
+			Scenario: cr.Cell.Scenario,
+			Policy:   cr.Cell.Policy.String(),
+			Scale:    cr.Cell.Scale,
+			OSSes:    cr.Cell.OSSes,
+			Seed:     cr.Cell.Seed,
+		}
+		if cr.Err != nil {
+			c.Error = cr.Err.Error()
+			doc.Cells = append(doc.Cells, c)
+			continue
+		}
+		c.Done = cr.Result.Done
+		c.OverallMiBps = sums[i].OverallMiBps
+		c.MakespanS = cr.Result.Elapsed.Seconds()
+		c.ServedRPCs = cr.Result.ServedRPCs
+		var util float64
+		for i := range cr.Result.DeviceBusy {
+			util += cr.Result.Utilization(i)
+		}
+		if n := len(cr.Result.DeviceBusy); n > 0 {
+			c.UtilizationMean = util / float64(n)
+		}
+		c.Latency = latencyOf(cr.LatencyDigest, opt.IncludeBuckets)
+		doc.Cells = append(doc.Cells, c)
+	}
+
+	// The same harness fold that feeds the rendered matrix-policy-means
+	// table feeds the JSON section, so table and document cannot drift.
+	groups := res.PolicyGroups(sums)
+	for i := range groups {
+		g := &groups[i]
+		pm := PolicyMean{
+			Scenario:      g.Scenario,
+			Policy:        g.Policy.String(),
+			N:             g.BW.N(),
+			MeanMiBps:     g.BW.Mean(),
+			CIMiBps:       g.BW.CIHalfWidth(opt.CILevel),
+			MeanMakespanS: g.Makespan.Mean(),
+			CIMakespanS:   g.Makespan.CIHalfWidth(opt.CILevel),
+		}
+		if base := harness.NoBWBaseline(groups, g.Scenario); base != nil && g.Policy != sim.NoBW && base.BW.Mean() > 0 {
+			d := (pm.MeanMiBps - base.BW.Mean()) / base.BW.Mean() * 100
+			pm.VsNoBWPct = &d
+		}
+		doc.PolicyMeans = append(doc.PolicyMeans, pm)
+	}
+	return doc
+}
+
+func latencyOf(d *stats.Digest, includeBuckets bool) *Latency {
+	if d == nil || d.N() == 0 {
+		return nil
+	}
+	l := &Latency{
+		N:      d.N(),
+		MinUS:  us(d.Min()),
+		MeanUS: us(d.Mean()),
+		MaxUS:  us(d.Max()),
+		P50US:  us(d.Quantile(50)),
+		P90US:  us(d.Quantile(90)),
+		P99US:  us(d.Quantile(99)),
+	}
+	if includeBuckets {
+		for _, b := range d.Buckets() {
+			l.Buckets = append(l.Buckets, LatencyBucket{LoUS: us(b.Lo), HiUS: us(b.Hi), Count: b.Count})
+		}
+	}
+	return l
+}
+
+// gridOf recovers the swept axes from the cells in first-appearance
+// (canonical) order.
+func gridOf(res *harness.MatrixResult) Grid {
+	var g Grid
+	seenSc := map[string]bool{}
+	seenPol := map[string]bool{}
+	seenScale := map[int64]bool{}
+	seenOSS := map[int]bool{}
+	seenSeed := map[int64]bool{}
+	for _, cr := range res.Cells {
+		c := cr.Cell
+		if !seenSc[c.Scenario] {
+			seenSc[c.Scenario] = true
+			g.Scenarios = append(g.Scenarios, c.Scenario)
+		}
+		if p := c.Policy.String(); !seenPol[p] {
+			seenPol[p] = true
+			g.Policies = append(g.Policies, p)
+		}
+		if !seenScale[c.Scale] {
+			seenScale[c.Scale] = true
+			g.Scales = append(g.Scales, c.Scale)
+		}
+		if !seenOSS[c.OSSes] {
+			seenOSS[c.OSSes] = true
+			g.OSSes = append(g.OSSes, c.OSSes)
+		}
+		if !seenSeed[c.Seed] {
+			seenSeed[c.Seed] = true
+			g.Seeds = append(g.Seeds, c.Seed)
+		}
+	}
+	return g
+}
+
+// JSON marshals the document, indented.
+func (d *Document) JSON() ([]byte, error) { return json.MarshalIndent(d, "", "  ") }
+
+// WriteJSON writes the document to path.
+func (d *Document) WriteJSON(path string) error {
+	buf, err := d.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

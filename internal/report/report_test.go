@@ -1,0 +1,227 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptbf/internal/harness"
+	"adaptbf/internal/sim"
+)
+
+// testMatrix is a small replicated grid: 1 scenario × 2 policies ×
+// 2 OSS counts × 3 seeds = 12 cells, fast at scale 512.
+func testMatrix() harness.Matrix {
+	return harness.Matrix{
+		Scenarios: []harness.Scenario{harness.StripedSequentialScenario()},
+		Policies:  []sim.Policy{sim.NoBW, sim.AdapTBF},
+		Scales:    []int64{512},
+		OSSes:     []int{1, 2},
+		Seeds:     []int64{1, 2, 3},
+		Duration:  30 * time.Minute,
+	}
+}
+
+func TestFromMatrixDocument(t *testing.T) {
+	res, err := harness.Run(testMatrix(), harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromMatrix(res, Options{})
+	if doc.SchemaVersion != SchemaVersion || doc.Kind != "matrix" {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if doc.CILevel != harness.DefaultCILevel {
+		t.Fatalf("CI level defaulted to %v", doc.CILevel)
+	}
+	if len(doc.Cells) != 12 {
+		t.Fatalf("document has %d cells, want 12", len(doc.Cells))
+	}
+	if g := doc.Grid; len(g.Scenarios) != 1 || len(g.Policies) != 2 || len(g.OSSes) != 2 || len(g.Seeds) != 3 {
+		t.Fatalf("grid axes wrong: %+v", g)
+	}
+	for _, c := range doc.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell errored: %+v", c)
+		}
+		if c.OverallMiBps <= 0 || c.MakespanS <= 0 {
+			t.Fatalf("cell summary empty: %+v", c)
+		}
+		if c.Latency == nil || c.Latency.N == 0 || c.Latency.P99US < c.Latency.P50US {
+			t.Fatalf("cell latency digest missing or inconsistent: %+v", c.Latency)
+		}
+		if c.Latency.Buckets != nil {
+			t.Fatal("buckets included without IncludeBuckets")
+		}
+	}
+	// Each scenario×policy group pools 2 OSS × 3 seeds = 6 cells → a CI
+	// must exist, and the non-NoBW row must carry the delta.
+	if len(doc.PolicyMeans) != 2 {
+		t.Fatalf("want 2 policy-mean groups, got %d", len(doc.PolicyMeans))
+	}
+	sawCI := false
+	for _, pm := range doc.PolicyMeans {
+		if pm.N != 6 {
+			t.Fatalf("group n = %d, want 6: %+v", pm.N, pm)
+		}
+		// A zero half-width is a valid CI when every seed produced the
+		// same quantized value; at least one metric must show spread.
+		if pm.CIMiBps < 0 || pm.CIMakespanS < 0 {
+			t.Fatalf("negative CI: %+v", pm)
+		}
+		if pm.CIMiBps > 0 || pm.CIMakespanS > 0 {
+			sawCI = true
+		}
+		if pm.Policy == sim.NoBW.String() && pm.VsNoBWPct != nil {
+			t.Fatal("NoBW row must not carry a vs-NoBW delta")
+		}
+		if pm.Policy == sim.AdapTBF.String() && pm.VsNoBWPct == nil {
+			t.Fatal("AdapTBF row missing vs-NoBW delta")
+		}
+	}
+	if !sawCI {
+		t.Fatal("no policy-mean group showed any seed-axis spread")
+	}
+	if doc.Fingerprint != res.Fingerprint() {
+		t.Fatal("document fingerprint drifted")
+	}
+
+	// Buckets appear on request.
+	withBuckets := FromMatrix(res, Options{IncludeBuckets: true})
+	if len(withBuckets.Cells[0].Latency.Buckets) == 0 {
+		t.Fatal("IncludeBuckets produced no buckets")
+	}
+}
+
+// TestDocumentDeterminism: two runs of the same matrix must marshal
+// byte-identical documents (wall-clock fields are excluded from the plain
+// matrix document by construction).
+func TestDocumentDeterminism(t *testing.T) {
+	a, err := harness.Run(testMatrix(), harness.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := harness.Run(testMatrix(), harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := FromMatrix(a, Options{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := FromMatrix(b, Options{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers differs between the two documents by design; normalize it.
+	var da, db Document
+	if err := json.Unmarshal(ja, &da); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(jb, &db); err != nil {
+		t.Fatal(err)
+	}
+	da.Workers, db.Workers = 0, 0
+	na, _ := json.Marshal(da)
+	nb, _ := json.Marshal(db)
+	if !bytes.Equal(na, nb) {
+		t.Fatal("documents differ between workers=1 and parallel runs")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	res, err := harness.Run(testMatrix(), harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := FromMatrix(res, Options{CILevel: 0.99}).WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != SchemaVersion || doc.CILevel != 0.99 {
+		t.Fatalf("round trip lost header: %+v", doc)
+	}
+}
+
+// TestGIFTScaleStudy runs a shrunken study (2 OSS counts × 5 seeds at
+// scale 512) and checks the acceptance-shaped invariants: every study
+// row carries a CI over ≥5 seeds and the gap table covers every OSS
+// count.
+func TestGIFTScaleStudy(t *testing.T) {
+	st, err := RunGIFTScaleStudy(ScaleStudyOptions{
+		OSSes: []int{1, 2},
+		Scale: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := st.Document
+	if doc.Kind != GIFTScaleStudyName || doc.Study == nil {
+		t.Fatalf("study document malformed: kind=%q study=%v", doc.Kind, doc.Study != nil)
+	}
+	if len(doc.Study.Rows) != 2*3 { // 2 OSS counts × 3 policies
+		t.Fatalf("want 6 study rows, got %d", len(doc.Study.Rows))
+	}
+	for _, r := range doc.Study.Rows {
+		if r.Seeds < 5 {
+			t.Fatalf("row %s/oss%d has %d seeds, want ≥5", r.Policy, r.OSSes, r.Seeds)
+		}
+		if r.CIMiBps < 0 {
+			t.Fatalf("row %s/oss%d negative throughput CI", r.Policy, r.OSSes)
+		}
+		if r.FairnessMean <= 0 || r.FairnessMean > 1.0000001 {
+			t.Fatalf("row %s/oss%d fairness out of range: %v", r.Policy, r.OSSes, r.FairnessMean)
+		}
+		switch r.Policy {
+		case sim.NoBW.String():
+			if r.CoordUSPerEpochMean != 0 || r.RuleOpsPerEpoch != 0 {
+				t.Fatalf("NoBW must have zero coordination cost: %+v", r)
+			}
+		default:
+			if r.CoordUSPerEpochMean <= 0 {
+				t.Fatalf("row %s/oss%d has no coordination cost", r.Policy, r.OSSes)
+			}
+		}
+		if r.Policy == sim.GIFT.String() && r.CouponBankEntries <= 0 {
+			t.Fatalf("GIFT row oss%d has empty coupon bank", r.OSSes)
+		}
+	}
+	if len(doc.Study.Gaps) != 2 {
+		t.Fatalf("want a gap row per OSS count, got %d", len(doc.Study.Gaps))
+	}
+	for _, g := range doc.Study.Gaps {
+		if g.Seeds < 5 {
+			t.Fatalf("gap oss%d paired only %d seeds", g.OSSes, g.Seeds)
+		}
+		if g.CoordRatioMean <= 0 {
+			t.Fatalf("gap oss%d has no coordination ratio", g.OSSes)
+		}
+	}
+	// The renderable report must carry both study tables plus the matrix
+	// tables, and every table must survive CSV export without collision.
+	names := map[string]bool{}
+	for _, tb := range st.Report.Tables {
+		names[tb.Name] = true
+	}
+	if !names["gift-scale-overhead"] || !names["gift-scale-gap"] || !names["matrix-policy-means"] {
+		t.Fatalf("study report tables missing: %v", names)
+	}
+	files, err := st.Report.WriteCSVs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("study CSV export wrote only %d files", len(files))
+	}
+}

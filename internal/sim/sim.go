@@ -136,10 +136,21 @@ type Result struct {
 	Records   *metrics.SeriesSet       // "record:<job>", "demand:<job>" (AdapTBF with SampleRecords only; nil otherwise)
 	Latencies *metrics.LatencyRecorder // client-perceived per-RPC latency per job
 
-	// Per-tick controller costs, for the §IV-G overhead analysis.
+	// Per-tick controller costs, for the §IV-G overhead analysis. Under
+	// AdapTBF one entry per OSS-controller tick; under GIFT one entry per
+	// storage target the centralized controller walks each epoch (the
+	// walk is serial by design — that seriality is the coordination cost
+	// the scale study measures). Wall-clock values: reporting-only, never
+	// part of any fingerprint.
 	AllocTimes []time.Duration
 	TickTimes  []time.Duration
 	RuleOps    int
+
+	// GIFT centralization state at the end of the run: applications with
+	// a non-zero balance in the global coupon bank and the total balance
+	// outstanding. Zero under every other policy.
+	GIFTBankEntries        int
+	GIFTCouponsOutstanding float64
 
 	FinishTimes map[string]time.Duration // job → completion time
 	Done        bool                     // every bounded process finished
@@ -298,6 +309,7 @@ type simulation struct {
 	burstFn    func(arg any, n int64)
 	giftActive []gift.Activity   // per-tick scratch (GIFT)
 	giftAllocs []core.Allocation // per-tick scratch (GIFT)
+	giftCtrl   *gift.Controller  // the one centralized controller (GIFT)
 }
 
 // A requestGate is the scheduler standing between arriving requests and
@@ -607,6 +619,7 @@ func (s *simulation) installControllers() {
 // another.
 func (s *simulation) installGIFT() {
 	ctrl := gift.New(s.cfg.Period)
+	s.giftCtrl = ctrl
 	daemons := make([]*rules.Daemon, len(s.osts))
 	for i, o := range s.osts {
 		daemons[i] = rules.New(o.sched, rules.Config{Prefix: "gift_"})
@@ -614,6 +627,11 @@ func (s *simulation) installGIFT() {
 	var snapBuf []jobstats.Stat
 	s.loop.Every(int64(s.cfg.Period), s.cfg.Period, func() bool {
 		for i, o := range s.osts {
+			// Time each target's walk: under GIFT every decision runs
+			// through the one central controller, so the per-epoch
+			// coordination cost is the sum of these serial walks — the
+			// quantity the GIFT-vs-AdapTBF scale study reports.
+			walkStart := time.Now()
 			pending := o.backlog()
 			snapBuf = o.tracker.SnapshotAppend(snapBuf[:0])
 			active := s.giftActive[:0]
@@ -629,7 +647,9 @@ func (s *simulation) installGIFT() {
 				active = append(active, gift.Activity{Job: job, Demand: int64(n)})
 			}
 			s.giftActive = active
+			allocStart := time.Now()
 			allocs := ctrl.Allocate(active, s.cfg.MaxTokenRate)
+			allocTime := time.Since(allocStart)
 			converted := s.giftAllocs[:0]
 			for _, al := range allocs {
 				converted = append(converted, core.Allocation{
@@ -640,9 +660,12 @@ func (s *simulation) installGIFT() {
 				})
 			}
 			s.giftAllocs = converted
-			if _, err := daemons[i].Apply(converted, s.loop.Now()); err == nil {
+			if ops, err := daemons[i].Apply(converted, s.loop.Now()); err == nil {
 				o.tracker.Clear()
+				s.res.RuleOps += len(ops.Applied)
 			}
+			s.res.AllocTimes = append(s.res.AllocTimes, allocTime)
+			s.res.TickTimes = append(s.res.TickTimes, time.Since(walkStart))
 			o.kick()
 		}
 		return !s.allDone
@@ -672,6 +695,10 @@ func (s *simulation) finish() *Result {
 	s.res.Done = s.unfinished == 0 && !s.hasUnbounded
 	s.res.Elapsed = time.Duration(s.loop.Now())
 	s.res.Events = s.loop.Processed()
+	if s.giftCtrl != nil {
+		s.res.GIFTBankEntries = s.giftCtrl.BankEntries()
+		s.res.GIFTCouponsOutstanding = s.giftCtrl.OutstandingCoupons()
+	}
 	for _, o := range s.osts {
 		served, _, busy := o.dev.Stats()
 		s.res.DeviceBusy = append(s.res.DeviceBusy, busy)

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Digest bucket geometry: one underflow bucket below digestMinNS, then
+// digestDecades decades of digestBucketsPerDecade log-spaced buckets each
+// (≈7.5% relative width), spanning 1µs to 100,000s (~28h) — beyond the
+// simulator's 2h MaxDuration cap and any plausible explicit -duration, so
+// a reachable latency always lands in a bounded bucket. Values beyond the
+// top still clamp into the last (open-ended) bucket, whose quantile
+// estimate is the exact tracked max rather than a fabricated bound.
+const (
+	digestMinNS            = int64(1000) // 1µs
+	digestBucketsPerDecade = 32
+	digestDecades          = 11
+	digestBuckets          = 1 + digestDecades*digestBucketsPerDecade
+)
+
+// digestBounds[i] is the exclusive upper bound (ns) of bucket i; the last
+// bucket's bound is the clamp threshold. Built once, strictly increasing.
+var digestBounds = func() [digestBuckets]int64 {
+	var b [digestBuckets]int64
+	b[0] = digestMinNS
+	for i := 1; i < digestBuckets; i++ {
+		v := int64(float64(digestMinNS) * math.Pow(10, float64(i)/digestBucketsPerDecade))
+		if v <= b[i-1] {
+			v = b[i-1] + 1
+		}
+		b[i] = v
+	}
+	return b
+}()
+
+// A Digest is a fixed-size log-spaced latency histogram: O(1) insertion,
+// exact count/sum/min/max, and nearest-rank quantile estimates that land
+// in the same bucket as the exact sample-based percentile. Two digests
+// merge by adding counts, and merging is associative and commutative —
+// per-cell digests can be combined along any axis of a scenario matrix
+// and the result is identical to a single-pass digest over all samples.
+// The zero Digest is ready to use.
+type Digest struct {
+	counts   [digestBuckets]int64
+	n        int64
+	min, max int64 // ns, exact
+	sum      int64 // ns, exact
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{} }
+
+// bucketOf returns the bucket index holding a latency of ns nanoseconds.
+func bucketOf(ns int64) int {
+	if ns < digestMinNS {
+		return 0
+	}
+	// Smallest i with ns < digestBounds[i]; values past the top clamp.
+	i := sort.Search(digestBuckets, func(i int) bool { return ns < digestBounds[i] })
+	if i >= digestBuckets {
+		return digestBuckets - 1
+	}
+	return i
+}
+
+// Add folds one latency sample into the digest.
+func (d *Digest) Add(v time.Duration) {
+	ns := int64(v)
+	if ns < 0 {
+		ns = 0
+	}
+	if d.n == 0 {
+		d.min, d.max = ns, ns
+	} else {
+		if ns < d.min {
+			d.min = ns
+		}
+		if ns > d.max {
+			d.max = ns
+		}
+	}
+	d.n++
+	d.sum += ns
+	d.counts[bucketOf(ns)]++
+}
+
+// Merge folds another digest into this one.
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if d.n == 0 {
+		*d = *o
+		return
+	}
+	if o.min < d.min {
+		d.min = o.min
+	}
+	if o.max > d.max {
+		d.max = o.max
+	}
+	d.n += o.n
+	d.sum += o.sum
+	for i := range d.counts {
+		d.counts[i] += o.counts[i]
+	}
+}
+
+// Reset empties the digest for reuse.
+func (d *Digest) Reset() { *d = Digest{} }
+
+// N reports the number of samples.
+func (d *Digest) N() int64 { return d.n }
+
+// Min reports the exact smallest sample, or 0 when empty.
+func (d *Digest) Min() time.Duration { return time.Duration(d.min) }
+
+// Max reports the exact largest sample, or 0 when empty.
+func (d *Digest) Max() time.Duration { return time.Duration(d.max) }
+
+// Mean reports the exact mean sample, or 0 when empty.
+func (d *Digest) Mean() time.Duration {
+	if d.n == 0 {
+		return 0
+	}
+	return time.Duration(d.sum / d.n)
+}
+
+// Quantile estimates the p-th percentile (p in [0,100]) with the same
+// nearest-rank convention as metrics.LatencyRecorder.Percentile: the
+// estimate is the inclusive upper bound of the bucket holding the
+// rank-⌊p/100·n⌋ sample (clamped to the exact min/max), so it lands in
+// the same bucket as the exact percentile and never undershoots it by
+// more than the bucket width.
+func (d *Digest) Quantile(p float64) time.Duration {
+	if d.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return time.Duration(d.min)
+	}
+	if p >= 100 {
+		return time.Duration(d.max)
+	}
+	rank := int64(p / 100 * float64(d.n))
+	if rank >= d.n {
+		rank = d.n - 1
+	}
+	var cum int64
+	for i, c := range d.counts {
+		cum += c
+		if cum > rank {
+			if i == digestBuckets-1 {
+				// The top bucket is open-ended (overflow clamps here), so
+				// its only honest upper bound is the exact tracked max.
+				return time.Duration(d.max)
+			}
+			est := digestBounds[i] - 1
+			if est > d.max {
+				est = d.max
+			}
+			if est < d.min {
+				est = d.min
+			}
+			return time.Duration(est)
+		}
+	}
+	return time.Duration(d.max)
+}
+
+// A Bucket is one non-empty digest bucket for export: latencies in
+// [Lo, Hi) with Count samples.
+type Bucket struct {
+	Lo, Hi time.Duration
+	Count  int64
+}
+
+// Buckets returns the non-empty buckets in ascending latency order.
+func (d *Digest) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = digestBounds[i-1]
+		}
+		out = append(out, Bucket{Lo: time.Duration(lo), Hi: time.Duration(digestBounds[i]), Count: c})
+	}
+	return out
+}
+
+// WriteFingerprint writes a canonical textual form of the digest —
+// count, sum, min, max, and every non-empty bucket — so a digest can
+// contribute to a deterministic matrix fingerprint.
+func (d *Digest) WriteFingerprint(w io.Writer) {
+	fmt.Fprintf(w, "lat{n=%d,sum=%d,min=%d,max=%d", d.n, d.sum, d.min, d.max)
+	for i, c := range d.counts {
+		if c != 0 {
+			fmt.Fprintf(w, ",b%d=%d", i, c)
+		}
+	}
+	io.WriteString(w, "}")
+}

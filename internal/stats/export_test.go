@@ -1,0 +1,6 @@
+package stats
+
+// BucketOf exposes the digest bucket index to the external test package,
+// which asserts that quantile estimates land in the exact percentile's
+// bucket.
+func BucketOf(ns int64) int { return bucketOf(ns) }

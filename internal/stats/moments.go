@@ -1,0 +1,111 @@
+// Package stats provides the streaming statistics the matrix analytics
+// subsystem is built on: Welford moment accumulators, Student-t
+// confidence intervals for the seed axis of a scenario matrix, and a
+// fixed-bucket log-spaced latency digest whose quantile estimates survive
+// deterministic merging without retaining raw samples.
+//
+// Everything here is allocation-free after construction and bit-for-bit
+// deterministic for a given sequence of inputs, which is what lets the
+// harness fold digests into its golden fingerprint.
+package stats
+
+import "math"
+
+// Moments is a streaming mean/variance/min/max accumulator using
+// Welford's algorithm: numerically stable, O(1) per sample, and mergeable
+// (Chan et al.'s parallel update), so per-cell accumulators can be
+// combined across the seed axis in any grouping the reports need. The
+// zero Moments is ready to use.
+type Moments struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// Merge folds another accumulator into this one; the result is the same
+// as if every sample of both had been Added to a single accumulator (up
+// to floating-point associativity).
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	n := float64(m.n + o.n)
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/n
+	m.mean += d * float64(o.n) / n
+	m.n += o.n
+}
+
+// N reports the number of samples.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Min reports the smallest sample, or 0 with no samples.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (m *Moments) Max() float64 { return m.max }
+
+// Variance reports the unbiased sample variance (n-1 denominator), or 0
+// with fewer than two samples.
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// CIHalfWidth reports the half-width of the two-sided Student-t
+// confidence interval for the mean at the given confidence level
+// (e.g. 0.95). With fewer than two samples no interval exists and the
+// half-width is 0 — callers should consult N() before claiming a CI.
+func (m *Moments) CIHalfWidth(level float64) float64 {
+	if m.n < 2 || level <= 0 || level >= 1 {
+		return 0
+	}
+	t := TQuantile(1-(1-level)/2, int(m.n-1))
+	return t * m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// MeanCI reports the two-sided Student-t confidence interval for the
+// mean at the given level. ok is false with fewer than two samples.
+func (m *Moments) MeanCI(level float64) (lo, hi float64, ok bool) {
+	if m.n < 2 {
+		return m.mean, m.mean, false
+	}
+	h := m.CIHalfWidth(level)
+	return m.mean - h, m.mean + h, true
+}

@@ -1,0 +1,322 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/stats"
+)
+
+// prng is the same splitmix64 the harness scenarios use: deterministic
+// test inputs without global rand state.
+type prng struct{ s uint64 }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *prng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// normal draws a standard normal via Box-Muller.
+func (r *prng) normal() float64 {
+	u1, u2 := r.float(), r.float()
+	if u1 < 1e-18 {
+		u1 = 1e-18
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func TestMomentsBasics(t *testing.T) {
+	var m stats.Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if got := m.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if got := m.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v", got)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsMergeEqualsSinglePass(t *testing.T) {
+	r := &prng{s: 7}
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 100 + 15*r.normal()
+	}
+	var whole stats.Moments
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, split := range []int{1, 137, 500, 999} {
+		var a, b stats.Moments
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() || math.Abs(a.Mean()-whole.Mean()) > 1e-9 ||
+			math.Abs(a.Variance()-whole.Variance()) > 1e-6 ||
+			a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Fatalf("split %d: merged (n=%d mean=%v var=%v) != single-pass (n=%d mean=%v var=%v)",
+				split, a.N(), a.Mean(), a.Variance(), whole.N(), whole.Mean(), whole.Variance())
+		}
+	}
+}
+
+// TestTQuantileKnownValues checks the Student-t inverse against standard
+// table values (two-sided 95% → p = 0.975).
+func TestTQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 2, 4.303},
+		{0.975, 4, 2.776},
+		{0.975, 9, 2.262},
+		{0.975, 30, 2.042},
+		{0.95, 9, 1.833},
+		{0.995, 9, 3.250},
+		{0.975, 1000, 1.962},
+	}
+	for _, tc := range cases {
+		got := stats.TQuantile(tc.p, tc.df)
+		if math.Abs(got-tc.want) > 0.005*tc.want {
+			t.Errorf("stats.TQuantile(%v, %d) = %v, want ≈ %v", tc.p, tc.df, got, tc.want)
+		}
+		if neg := stats.TQuantile(1-tc.p, tc.df); math.Abs(neg+got) > 1e-9 {
+			t.Errorf("TQuantile symmetry broken at p=%v df=%d: %v vs %v", tc.p, tc.df, neg, got)
+		}
+	}
+	if !math.IsNaN(stats.TQuantile(0.975, 0)) || !math.IsNaN(stats.TQuantile(0, 5)) || !math.IsNaN(stats.TQuantile(1, 5)) {
+		t.Error("invalid arguments should return NaN")
+	}
+	if stats.TQuantile(0.5, 7) != 0 {
+		t.Error("median of t is 0")
+	}
+}
+
+// TestNormalQuantileKnownValues pins the Acklam inverse-normal
+// approximation against standard table values, and checks it agrees
+// with the exact-CDF t quantile in the large-df limit.
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+		{0.025, -1.959964},
+		{0.001, -3.090232},
+	}
+	for _, tc := range cases {
+		if got := stats.NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(stats.NormalQuantile(0)) || !math.IsNaN(stats.NormalQuantile(1)) {
+		t.Error("out-of-range p should return NaN")
+	}
+	// Student-t converges to the normal as df grows.
+	if n, tq := stats.NormalQuantile(0.975), stats.TQuantile(0.975, 100000); math.Abs(n-tq) > 1e-4 {
+		t.Errorf("t(df=1e5) %v should approach normal %v", tq, n)
+	}
+}
+
+// TestCIHalfWidthShrinksAsRootN is the seed-axis property the matrix
+// reports rely on: quadrupling the sample count roughly halves the CI
+// half-width (t_{n-1}·s/√n with s stable). The draws come from one fixed
+// distribution, so s is stable and the ratio must sit near √4 = 2.
+func TestCIHalfWidthShrinksAsRootN(t *testing.T) {
+	r := &prng{s: 42}
+	widthAt := func(n int) float64 {
+		var m stats.Moments
+		for i := 0; i < n; i++ {
+			m.Add(50 + 10*r.normal())
+		}
+		w := m.CIHalfWidth(0.95)
+		if w <= 0 {
+			t.Fatalf("n=%d: non-positive half-width %v", n, w)
+		}
+		return w
+	}
+	for _, n := range []int{64, 256, 1024} {
+		w1, w4 := widthAt(n), widthAt(4*n)
+		ratio := w1 / w4
+		// t-quantile and sampled s wobble the exact factor; 1.5–2.7 brackets
+		// the √4 law while failing both no-shrink and 1/n-shrink behaviour.
+		if ratio < 1.5 || ratio > 2.7 {
+			t.Errorf("n=%d→%d: half-width ratio %.3f, want ≈ 2 (1/√n scaling)", n, 4*n, ratio)
+		}
+	}
+	var tiny stats.Moments
+	tiny.Add(1)
+	if tiny.CIHalfWidth(0.95) != 0 {
+		t.Error("n=1 has no CI; half-width must be 0")
+	}
+	if _, _, ok := tiny.MeanCI(0.95); ok {
+		t.Error("MeanCI must report ok=false with one sample")
+	}
+}
+
+// digestSamples draws a heavy-tailed latency-like distribution spanning
+// several digest decades.
+func digestSamples(seed uint64, n int) []time.Duration {
+	r := &prng{s: seed}
+	out := make([]time.Duration, n)
+	for i := range out {
+		// Log-uniform over ~[2µs, 2s] with occasional sub-µs underflow.
+		e := 3.3 + 6*r.float()
+		if r.next()%97 == 0 {
+			e = 2.5
+		}
+		out[i] = time.Duration(math.Pow(10, e))
+	}
+	return out
+}
+
+// TestDigestMergeAssociativity: merging per-chunk digests — in any
+// grouping — must equal the single-pass digest bit for bit.
+func TestDigestMergeAssociativity(t *testing.T) {
+	samples := digestSamples(11, 4096)
+	whole := stats.NewDigest()
+	for _, s := range samples {
+		whole.Add(s)
+	}
+	chunks := make([]*stats.Digest, 8)
+	per := len(samples) / len(chunks)
+	for i := range chunks {
+		chunks[i] = stats.NewDigest()
+		for _, s := range samples[i*per : (i+1)*per] {
+			chunks[i].Add(s)
+		}
+	}
+	// Left fold and a balanced tree fold.
+	left := stats.NewDigest()
+	for _, c := range chunks {
+		left.Merge(c)
+	}
+	tree := func(ds []*stats.Digest) *stats.Digest {
+		acc := stats.NewDigest()
+		for len(ds) > 1 {
+			var next []*stats.Digest
+			for i := 0; i+1 < len(ds); i += 2 {
+				m := stats.NewDigest()
+				m.Merge(ds[i])
+				m.Merge(ds[i+1])
+				next = append(next, m)
+			}
+			if len(ds)%2 == 1 {
+				next = append(next, ds[len(ds)-1])
+			}
+			ds = next
+		}
+		acc.Merge(ds[0])
+		return acc
+	}(chunks)
+	fp := func(d *stats.Digest) string {
+		var b strings.Builder
+		d.WriteFingerprint(&b)
+		return b.String()
+	}
+	if fp(left) != fp(whole) {
+		t.Fatalf("left-fold merge differs from single pass:\n%s\n%s", fp(left), fp(whole))
+	}
+	if fp(tree) != fp(whole) {
+		t.Fatalf("tree merge differs from single pass:\n%s\n%s", fp(tree), fp(whole))
+	}
+	if left.Mean() != whole.Mean() || left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged digest summary stats drifted")
+	}
+}
+
+// TestDigestQuantileBracketsExact: for every probed percentile the digest
+// estimate must land in the same bucket as the exact nearest-rank
+// percentile from metrics.LatencyRecorder, and never undershoot it.
+func TestDigestQuantileBracketsExact(t *testing.T) {
+	samples := digestSamples(23, 5000)
+	d := stats.NewDigest()
+	var rec metrics.LatencyRecorder
+	for _, s := range samples {
+		d.Add(s)
+		rec.Record("job", s)
+	}
+	for _, p := range []float64{0, 1, 10, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+		exact := rec.Percentile("job", p)
+		est := d.Quantile(p)
+		if est < exact {
+			t.Errorf("p%v: estimate %v undershoots exact %v", p, est, exact)
+		}
+		if be, bx := stats.BucketOf(int64(est)), stats.BucketOf(int64(exact)); be != bx {
+			t.Errorf("p%v: estimate %v in bucket %d, exact %v in bucket %d", p, est, be, exact, bx)
+		}
+	}
+	if d.Quantile(0) != rec.Percentile("job", 0) || d.Quantile(100) != rec.Percentile("job", 100) {
+		t.Error("extremes must be exact (tracked min/max)")
+	}
+}
+
+func TestDigestEmptyAndEdgeValues(t *testing.T) {
+	d := stats.NewDigest()
+	if d.N() != 0 || d.Quantile(50) != 0 || d.Mean() != 0 {
+		t.Fatal("empty digest must report zeros")
+	}
+	d.Add(-5 * time.Second) // clamps to 0
+	d.Add(40 * time.Hour)   // beyond the top decade (100,000s): clamps into the open last bucket
+	if d.N() != 2 || d.Min() != 0 || d.Max() != 40*time.Hour {
+		t.Fatalf("edge samples mishandled: n=%d min=%v max=%v", d.N(), d.Min(), d.Max())
+	}
+	if got := d.Quantile(100); got != 40*time.Hour {
+		t.Fatalf("overflow max lost: %v", got)
+	}
+	// A rank landing in the open top bucket must report the exact max,
+	// never a fabricated bucket bound that understates the tail.
+	over := stats.NewDigest()
+	for i := 1; i <= 10; i++ {
+		over.Add(time.Duration(i) * 50 * time.Hour)
+	}
+	if got := over.Quantile(99); got != over.Max() {
+		t.Fatalf("open-bucket quantile %v understates max %v", got, over.Max())
+	}
+	var b strings.Builder
+	d.WriteFingerprint(&b)
+	if !strings.Contains(b.String(), "n=2") {
+		t.Fatalf("fingerprint missing counts: %s", b.String())
+	}
+}
+
+func TestDigestBuckets(t *testing.T) {
+	d := stats.NewDigest()
+	d.Add(500 * time.Nanosecond)
+	d.Add(3 * time.Millisecond)
+	d.Add(3 * time.Millisecond)
+	bs := d.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("want 2 non-empty buckets, got %d", len(bs))
+	}
+	if bs[0].Lo != 0 || bs[0].Count != 1 {
+		t.Fatalf("underflow bucket wrong: %+v", bs[0])
+	}
+	if bs[1].Count != 2 || bs[1].Lo > 3*time.Millisecond || bs[1].Hi <= 3*time.Millisecond {
+		t.Fatalf("3ms bucket wrong: %+v", bs[1])
+	}
+}

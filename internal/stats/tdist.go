@@ -1,0 +1,154 @@
+package stats
+
+import "math"
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom: the t such that P(T <= t) = p. It inverts the exact
+// CDF (regularized incomplete beta) by bisection — reporting-time code,
+// so robustness beats speed. df < 1 or p outside (0,1) returns NaN.
+func TQuantile(p float64, df int) float64 {
+	if df < 1 || p <= 0 || p >= 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	// Bracket the quantile: the t CDF is continuous and strictly
+	// increasing, so double the upper bound until it covers p.
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 { // p astronomically close to 1; give up gracefully
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns P(T <= t) for Student's t distribution with df degrees of
+// freedom, via the regularized incomplete beta function.
+func TCDF(t float64, df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	v := float64(df)
+	x := v / (v + t*t)
+	p := 0.5 * incompleteBeta(v/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution (Acklam's rational approximation, |error| < 1.15e-9).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// incompleteBeta is the regularized incomplete beta function I_x(a, b),
+// computed by the continued-fraction expansion (Lentz's method, the
+// Numerical Recipes formulation).
+func incompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	bt := math.Exp(lab - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betaCF(a, b, x) / a
+	}
+	return 1 - bt*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		mf := float64(m)
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
