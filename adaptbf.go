@@ -1,6 +1,7 @@
 package adaptbf
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -136,8 +137,9 @@ var (
 )
 
 // Scenario-matrix engine: declare a matrix (scenario × policy × scale ×
-// OSS count × seed), fan the cells out over a bounded worker pool, and
-// merge the results deterministically (see internal/harness).
+// OSS count × seed), fan the cells out over a bounded worker pool on a
+// pluggable execution backend, and merge the results deterministically
+// (see internal/harness).
 type (
 	// ScenarioMatrix declares the cross product of runs.
 	ScenarioMatrix = harness.Matrix
@@ -146,15 +148,64 @@ type (
 	// MatrixCellParams is a scenario generator's view of one cell.
 	MatrixCellParams = harness.CellParams
 	// MatrixOptions tunes a matrix run (worker count, progress hook).
+	//
+	// Deprecated: use MatrixRunOption values with RunMatrixCtx.
 	MatrixOptions = harness.Options
 	// MatrixResult holds every cell's outcome in canonical order.
 	MatrixResult = harness.MatrixResult
+	// MatrixCellResult is one cell's outcome (result, digests, backend).
+	MatrixCellResult = harness.CellResult
+
+	// MatrixRunOption is a functional option for RunMatrixCtx.
+	MatrixRunOption = harness.RunOption
+	// MatrixBackend executes matrix cells on some substrate; SimBackend
+	// and ClusterBackend are the built-in implementations.
+	MatrixBackend = harness.Backend
+	// MatrixCellSpec is what a backend receives per cell.
+	MatrixCellSpec = harness.CellSpec
+	// MatrixCellOutcome is what a backend returns per cell.
+	MatrixCellOutcome = harness.CellOutcome
+	// SimBackend runs cells on the deterministic discrete-event
+	// simulator (the default backend).
+	SimBackend = harness.SimBackend
+	// ClusterBackend runs cells as live in-process storage servers and
+	// job runners on the wall clock.
+	ClusterBackend = harness.ClusterBackend
 )
+
+// Matrix run options, re-exported for RunMatrixCtx.
+var (
+	// WithMatrixWorkers bounds the worker pool (≤0 = NumCPU).
+	WithMatrixWorkers = harness.WithWorkers
+	// WithMatrixBackend selects the execution backend for every cell.
+	WithMatrixBackend = harness.WithBackend
+	// WithMatrixProgress observes each finished cell.
+	WithMatrixProgress = harness.WithProgress
+	// WithMatrixCellTimeout bounds each cell's execution.
+	WithMatrixCellTimeout = harness.WithCellTimeout
+	// WithMatrixDigests enables per-job latency digest capture.
+	WithMatrixDigests = harness.WithDigests
+	// WithMatrixFailFast aborts dispatch after the first failed cell.
+	WithMatrixFailFast = harness.WithFailFast
+)
+
+// RunMatrixCtx executes every cell of the matrix concurrently on the
+// configured backend (the deterministic simulator by default; pass
+// WithMatrixBackend(&ClusterBackend{...}) for live wall-clock cells).
+// Canceling ctx stops dispatch and drains the pool cleanly. With the
+// default backend the merged result is identical whatever the worker
+// count.
+func RunMatrixCtx(ctx context.Context, m ScenarioMatrix, opts ...MatrixRunOption) (*MatrixResult, error) {
+	return harness.Run(ctx, m, opts...)
+}
 
 // RunMatrix executes every cell of the matrix concurrently; the merged
 // result is identical whatever the worker count.
+//
+// Deprecated: use RunMatrixCtx with functional options; RunMatrix keeps
+// the pre-context signature working for one release.
 func RunMatrix(m ScenarioMatrix, opt MatrixOptions) (*MatrixResult, error) {
-	return harness.Run(m, opt)
+	return harness.RunOptions(m, opt)
 }
 
 // BuiltinScenarios returns the harness's scenario library: striped

@@ -126,6 +126,54 @@ func TestFacadeMatrix(t *testing.T) {
 	}
 }
 
+func TestFacadeMatrixCtx(t *testing.T) {
+	// The context-aware entry point with functional options, on both
+	// backends: sim cells stay deterministic, live cells run real
+	// goroutine servers and are labeled as such.
+	m := adaptbf.ScenarioMatrix{
+		Scenarios: []adaptbf.MatrixScenario{{
+			Name: "tiny",
+			Jobs: func(p adaptbf.MatrixCellParams) []adaptbf.Job {
+				return []adaptbf.Job{adaptbf.ContinuousJob("t.n01", 1, 2, 4*mib)}
+			},
+		}},
+		Policies: []adaptbf.Policy{adaptbf.PolicyNoBW, adaptbf.PolicyAdapTBF},
+		OSSes:    []int{2},
+		Duration: 30 * time.Second,
+	}
+	simRes, err := adaptbf.RunMatrixCtx(context.Background(), m,
+		adaptbf.WithMatrixWorkers(2), adaptbf.WithMatrixDigests(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range simRes.Cells {
+		if cr.Backend != "sim" || len(cr.JobDigests) != 1 {
+			t.Fatalf("sim cell malformed: backend=%q jobDigests=%d", cr.Backend, len(cr.JobDigests))
+		}
+	}
+	liveRes, err := adaptbf.RunMatrixCtx(context.Background(), m,
+		adaptbf.WithMatrixBackend(&adaptbf.ClusterBackend{Speedup: 8}),
+		adaptbf.WithMatrixCellTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range liveRes.Cells {
+		if cr.Backend != "live" {
+			t.Fatalf("live cell labeled %q", cr.Backend)
+		}
+		if !cr.Result.Done || cr.Result.ServedRPCs != 8 {
+			t.Fatalf("live cell %v: done=%v rpcs=%d", cr.Cell, cr.Result.Done, cr.Result.ServedRPCs)
+		}
+	}
+	// Live cells in the exported document carry their backend.
+	doc := adaptbf.NewMatrixDocument(liveRes, adaptbf.MatrixDocumentOptions{})
+	for _, c := range doc.Cells {
+		if c.Backend != "live" {
+			t.Fatalf("document cell backend = %q", c.Backend)
+		}
+	}
+}
+
 func TestFacadeHelpers(t *testing.T) {
 	p := adaptbf.DelayedPattern(adaptbf.Pattern{FileBytes: 1}, 5*time.Second)
 	if p.StartDelay != 5*time.Second {

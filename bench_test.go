@@ -11,6 +11,7 @@
 package adaptbf_test
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -356,7 +357,7 @@ func benchMatrix() harness.Matrix {
 func benchMatrixRun(b *testing.B, workers int) {
 	var cells int
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Run(benchMatrix(), harness.Options{Workers: workers})
+		res, err := harness.Run(context.Background(), benchMatrix(), harness.WithWorkers(workers))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -380,7 +381,7 @@ func BenchmarkMatrixMultiOSS(b *testing.B) {
 	}
 	var bw1, bw8 float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Run(m, harness.Options{})
+		res, err := harness.Run(context.Background(), m)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -14,10 +14,25 @@
 //	               [-scales 64] [-osses 1,2] [-seeds 1]
 //	               [-workers 0] [-rate 500] [-period 100ms]
 //	               [-duration 30m] [-verify] [-quiet]
+//	               [-backend sim|live] [-cell-timeout 0]
+//	               [-speedup 1] [-per-job-digests]
 //	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
-//	               [-study gift-scale]
+//	               [-study gift-scale] [-gate BENCH_matrix.json]
 //	               [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//
+// -backend selects the execution substrate for every cell: "sim" (the
+// default deterministic discrete-event simulator) or "live" (real
+// in-process storage servers and job runners on the wall clock — the
+// report marks such cells backend:"live"; -speedup accelerates their
+// modeled device so long workloads finish in reasonable wall time).
+// -cell-timeout bounds each cell's execution; a cell exceeding it fails
+// with a deadline error (live cells are torn down the moment it fires;
+// sim cells are not preemptible and fail on completion instead).
+// -gate loads the tracked per-policy p99 intervals from the given JSON
+// file (BENCH_matrix.json's regression_gate section) and fails the run
+// if any policy's merged p99 drifted outside its interval; it checks
+// the default grid only, so it rejects explicit axis flags.
 //
 // -json writes the merged result as a schema-versioned machine-readable
 // document (grid axes, per-cell summaries with latency digests, policy
@@ -36,6 +51,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -144,6 +160,11 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Minute, "simulated time cap per cell")
 	verify := flag.Bool("verify", false, "re-run with workers=1 and check the merged output is identical")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	backend := flag.String("backend", "sim", "cell execution backend: sim (deterministic simulator) or live (wall-clock in-process cluster)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound (0 = none); a cell exceeding it fails with a deadline error (live cells torn down immediately, sim cells on completion)")
+	speedup := flag.Float64("speedup", 1, "live backend only: device/controller clock acceleration factor")
+	perJobDigests := flag.Bool("per-job-digests", false, "capture per-job latency digests and export them in the JSON document")
+	gate := flag.String("gate", "", "check the run against the regression_gate intervals in the given JSON file (fails on drift)")
 	jsonOut := flag.String("json", "", "write the merged result as a schema-versioned JSON document to the given file")
 	csvDir := flag.String("csv-dir", "", "export every report table as CSV under the given directory")
 	ciLevel := flag.Float64("ci-level", harness.DefaultCILevel, "confidence level for the Student-t interval columns (0 < level < 1)")
@@ -180,6 +201,41 @@ func main() {
 	if *ciLevel <= 0 || *ciLevel >= 1 {
 		log.Fatalf("bad -ci-level %v: need 0 < level < 1", *ciLevel)
 	}
+	var be harness.Backend
+	switch *backend {
+	case "sim":
+		be = harness.NewSimBackend()
+	case "live":
+		be = &harness.ClusterBackend{Speedup: *speedup}
+	default:
+		log.Fatalf("unknown -backend %q (available: sim, live)", *backend)
+	}
+	if *backend == "live" {
+		// Live cells are wall-clock: nothing about them is deterministic
+		// or comparable to the tracked sim baselines.
+		for flagName, set := range map[string]bool{
+			"verify":     *verify,
+			"bench-json": *benchJSON != "",
+			"gate":       *gate != "",
+		} {
+			if set {
+				log.Fatalf("-%s requires -backend sim (live cells are wall-clock, not deterministic)", flagName)
+			}
+		}
+	} else if *speedup != 1 {
+		log.Fatal("-speedup only applies to -backend live (the simulator's clock is virtual)")
+	}
+	if *gate != "" {
+		// The tracked intervals are captured on the default grid; gating
+		// a different grid would compare unrelated measurements.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, axis := range []string{"scenarios", "policies", "scales", "osses", "seeds", "rate", "period", "duration"} {
+			if set[axis] {
+				log.Fatalf("-gate checks the tracked default grid; -%s is not supported with it (re-capture the regression_gate intervals instead if the grid should change)", axis)
+			}
+		}
+	}
 
 	if *study != "" {
 		// A study supplies its own grid; only explicitly-set axis flags
@@ -189,7 +245,8 @@ func main() {
 		if *study != report.GIFTScaleStudyName {
 			log.Fatalf("unknown -study %q (available: %s)", *study, report.GIFTScaleStudyName)
 		}
-		for _, ignored := range []string{"verify", "bench-json", "cpuprofile", "memprofile", "scenarios", "policies", "rate", "period"} {
+		for _, ignored := range []string{"verify", "bench-json", "cpuprofile", "memprofile", "scenarios", "policies", "rate", "period",
+			"backend", "cell-timeout", "speedup", "per-job-digests", "gate"} {
 			if set[ignored] {
 				log.Fatalf("-%s is not supported in -study mode (the study fixes its own grid and measurement)", ignored)
 			}
@@ -274,17 +331,22 @@ func main() {
 		fmt.Println("bench-json: forcing -quiet so the measurement excludes progress output")
 		*quiet = true
 	}
-	opt := harness.Options{Workers: *workers}
+	opts := []harness.RunOption{
+		harness.WithWorkers(*workers),
+		harness.WithBackend(be),
+		harness.WithCellTimeout(*cellTimeout),
+		harness.WithDigests(*perJobDigests),
+	}
 	if !*quiet {
 		done := 0
-		opt.OnCell = func(cr harness.CellResult) {
+		opts = append(opts, harness.WithProgress(func(cr harness.CellResult) {
 			done++
 			status := "ok"
 			if cr.Err != nil {
 				status = "ERROR: " + cr.Err.Error()
 			}
 			fmt.Printf("  [%3d/%3d] %-45v %s\n", done, len(cells), cr.Cell, status)
-		}
+		}))
 	}
 	var stopProfile func()
 	if *cpuprofile != "" {
@@ -304,7 +366,7 @@ func main() {
 	if *benchJSON != "" {
 		runtime.ReadMemStats(&statsBefore)
 	}
-	res, err := harness.Run(m, opt)
+	res, err := harness.Run(context.Background(), m, opts...)
 	// Stop (and flush) the CPU profile right here: it covers exactly the
 	// matrix run, not the report rendering or the -verify re-run, and a
 	// failed run still leaves a readable profile behind.
@@ -370,12 +432,27 @@ func main() {
 	}
 	var doc *report.Document
 	if *jsonOut != "" {
-		doc = report.FromMatrix(res, report.Options{CILevel: *ciLevel})
+		doc = report.FromMatrix(res, report.Options{CILevel: *ciLevel, PerJobDigests: *perJobDigests})
 	}
 	writeArtifacts(doc, rep, *jsonOut, *csvDir)
 
+	if *gate != "" {
+		spec, err := report.LoadGate(*gate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pols, p99s := report.PolicyP99s(res)
+		for _, p := range pols {
+			fmt.Printf("gate: %-10s merged p99 = %.1fµs\n", p, p99s[p])
+		}
+		if err := report.CheckGate(res, spec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gate: every tracked policy's p99 inside its interval (%s)\n", *gate)
+	}
+
 	if *verify {
-		seq, err := harness.Run(m, harness.Options{Workers: 1})
+		seq, err := harness.Run(context.Background(), m, harness.WithWorkers(1))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,7 +28,9 @@
 //     internal/cluster);
 //   - a concurrent scenario-matrix engine (internal/harness) that fans a
 //     declarative grid — scenario × policy × scale × OSS count × seed —
-//     out over a worker pool and merges the results deterministically;
+//     out over a worker pool and merges the results deterministically,
+//     with pluggable execution backends: the deterministic simulator or
+//     live wall-clock cluster cells behind the same Matrix;
 //   - a matrix analytics & export subsystem (internal/stats,
 //     internal/report): streaming statistics, seed-axis confidence
 //     intervals, per-cell latency digests, versioned JSON/CSV artifacts,
@@ -56,20 +58,48 @@
 //	    },
 //	})
 //
-// # Scenario matrices
+// # Running a matrix
 //
 // To sweep many configurations at once, declare a matrix and let the
-// harness run the cells as fast as the cores allow (the merged report is
-// identical whatever the worker count):
+// harness run the cells as fast as the cores allow. The entry point is
+// context-aware and configured with functional options; canceling the
+// context stops dispatch and drains the worker pool cleanly:
 //
-//	res, err := adaptbf.RunMatrix(adaptbf.ScenarioMatrix{
+//	res, err := adaptbf.RunMatrixCtx(ctx, adaptbf.ScenarioMatrix{
 //	    Scenarios: adaptbf.BuiltinScenarios(),
 //	    OSSes:     []int{1, 2, 4},
 //	    Scales:    []int64{64},
-//	}, adaptbf.MatrixOptions{})
+//	},
+//	    adaptbf.WithMatrixWorkers(8),            // ≤0 = NumCPU
+//	    adaptbf.WithMatrixCellTimeout(time.Minute),
+//	    adaptbf.WithMatrixDigests(true),         // per-job latency digests
+//	)
 //	rep := res.Report()
 //
-// Or from the command line: go run ./cmd/adaptbf-matrix -verify.
+// Every cell executes on a pluggable backend (MatrixBackend). The
+// default SimBackend runs the deterministic simulator: the merged report
+// and Fingerprint are identical whatever the worker count. Passing
+// WithMatrixBackend(&ClusterBackend{...}) instead runs every cell as a
+// live wall-clock deployment — real in-process storage servers
+// (cluster.OSS goroutines), job runners issuing RPCs over the gob
+// transport, and one independent AdapTBF controller per OSS — with each
+// cell's CellResult.Backend (and the JSON document's per-cell backend
+// field) set to "live". Live cells support the NoBW, StaticBW, and
+// AdapTBF policies, honor the matrix Duration as an OSS-time cap, and
+// report OSS-time metrics (wall-clock × ClusterBackend.Speedup); being
+// measured rather than simulated, they are excluded from all determinism
+// and fingerprint claims.
+//
+// Migration note: the pre-backend API — RunMatrix(m, MatrixOptions{
+// Workers: n, OnCell: fn}) — survives one release as a deprecated shim
+// for harness compatibility. It is exactly RunMatrixCtx(context.
+// Background(), m, WithMatrixWorkers(n), WithMatrixProgress(fn)); new
+// code should call RunMatrixCtx, which is the only path offering backend
+// selection, cancellation, per-cell timeouts, per-job digests, and
+// fail-fast dispatch (WithMatrixFailFast).
+//
+// From the command line: go run ./cmd/adaptbf-matrix -verify, or
+// -backend live -cell-timeout 2m for a wall-clock sweep.
 //
 // # Matrix analytics and export
 //
@@ -85,10 +115,17 @@
 //
 // Every merged run exports as machine-readable artifacts: a
 // schema-versioned JSON document (MatrixDocument — grid axes, per-cell
-// summaries with digests, policy means ± CI; see
-// MatrixDocumentSchemaVersion) and per-table CSVs. From the CLI:
+// summaries with digests and the executing backend, policy means ± CI,
+// and opt-in per-job digests via MatrixDocumentOptions.PerJobDigests;
+// see MatrixDocumentSchemaVersion) and per-table CSVs. From the CLI:
 //
 //	go run ./cmd/adaptbf-matrix -seeds 1,2,3,4,5 -json report.json -csv-dir out/
+//
+// The per-policy p99 latencies of the default grid are regression-gated:
+// BENCH_matrix.json's regression_gate section tracks each policy's
+// interval, and `adaptbf-matrix -gate BENCH_matrix.json` (run in CI)
+// fails when a merged p99 drifts outside it — the simulator is
+// deterministic, so any excursion is a real behavioural change.
 //
 // RunGIFTScaleStudy (CLI: -study gift-scale) is the built-in study
 // reproducing the paper's decentralization claim at scale: GIFT's one
@@ -126,9 +163,9 @@
 //     pile up redundant events (pinned by TestNoRedundantWakeEvents).
 //   - Reused periodic scratch. The controller's backlog map, the rule
 //     daemon's reconciliation state, and the allocator's intermediate
-//     vectors are all reused across observation periods, and a harness
-//     worker reuses one sim.Scratch (event arena + token pool) across
-//     matrix cells.
+//     vectors are all reused across observation periods, and the matrix
+//     engine's SimBackend pools sim.Scratch (event arena + token pool)
+//     instances across cells and across runs.
 //
 // The invariants are enforced, not aspirational: testing.AllocsPerRun
 // tests pin the steady-state budgets (≤2 allocs/RPC under NoBW and SFQ —

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -350,6 +351,63 @@ func TestJobRunnerSurvivesServerShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("runner hung after server shutdown")
+	}
+}
+
+func TestJobRunnerObserveHook(t *testing.T) {
+	// Every successful RPC reports its bytes and a positive latency to
+	// the observer exactly once — the feed the matrix harness's live
+	// backend builds timelines and digests from.
+	o := testOSS(t)
+	c := transport.Pipe(o)
+	defer c.Close()
+	var mu sync.Mutex
+	var calls int
+	var bytes int64
+	runner := &JobRunner{
+		Job: workload.Job{
+			ID:    "obs.n1",
+			Nodes: 1,
+			Procs: workload.Replicate(workload.Pattern{FileBytes: 16 * kib64, RPCBytes: kib64}, 2),
+		},
+		Targets: []*transport.Client{c},
+		Observe: func(b int64, lat time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			bytes += b
+			if lat <= 0 {
+				t.Errorf("non-positive observed latency %v", lat)
+			}
+		},
+	}
+	stats, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(calls) != stats.RPCs || calls != 32 {
+		t.Fatalf("observer saw %d RPCs, runner counted %d (want 32)", calls, stats.RPCs)
+	}
+	if bytes != stats.Bytes {
+		t.Fatalf("observer saw %d bytes, runner counted %d", bytes, stats.Bytes)
+	}
+}
+
+func TestDeviceStatsAfterClose(t *testing.T) {
+	o := NewOSS(OSSConfig{Device: fastDevice()})
+	c := transport.Pipe(o)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Call(transport.Request{JobID: "d.n1", Bytes: kib64, Stream: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	o.Close()
+	served, busy := o.DeviceStats()
+	if served != 8 || busy <= 0 {
+		t.Fatalf("DeviceStats = %d served, %v busy; want 8 served and positive busy", served, busy)
 	}
 }
 

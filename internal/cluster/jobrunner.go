@@ -29,6 +29,14 @@ type JobStats struct {
 type JobRunner struct {
 	Job     workload.Job
 	Targets []*transport.Client
+
+	// Observe, when set, is called once per successfully completed RPC
+	// with the bytes transferred and the client-perceived latency (issue
+	// to reply receipt). Calls come from per-RPC goroutines and may be
+	// concurrent; the observer must be safe for concurrent use. This is
+	// how the matrix harness's live backend assembles timelines and
+	// latency digests from a wall-clock run.
+	Observe func(bytes int64, latency time.Duration)
 }
 
 // Run executes every process to completion (or until ctx is cancelled —
@@ -120,6 +128,7 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 			}
 			target := r.Targets[(base+rr%stripes)%len(r.Targets)]
 			rr++
+			issued := time.Now()
 			ch, _, err := target.Do(transport.Request{
 				JobID:  r.Job.ID,
 				Op:     uint8(pat.Op),
@@ -154,6 +163,9 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 				}
 				atomic.AddInt64(&bytes, rep.Bytes)
 				atomic.AddInt64(&rpcs, 1)
+				if r.Observe != nil {
+					r.Observe(rep.Bytes, time.Since(issued))
+				}
 			}()
 		}
 		wg.Wait()

@@ -210,6 +210,15 @@ func (o *OSS) Close() {
 	o.wg.Wait()
 }
 
+// DeviceStats reports the backing device's lifetime counters: requests
+// served and total (OSS-time) busy duration. The device is owned by the
+// dispatcher goroutine, so DeviceStats is only safe after Close has
+// returned — which is when the matrix harness's live backend reads it.
+func (o *OSS) DeviceStats() (served uint64, busy time.Duration) {
+	served, _, busy = o.dev.Stats()
+	return served, busy
+}
+
 // PendingJobs reports queued requests per job (the controller's backlog
 // source).
 func (o *OSS) PendingJobs() map[string]int {

@@ -101,6 +101,10 @@ func RunOverhead(jobCounts []int) (*Report, error) {
 			[]string{"max cycle time", tickMax.String()},
 			[]string{"mean allocation time", (allocSum / time.Duration(n)).String()},
 			[]string{"rule operations", fmt.Sprintf("%d", res.RuleOps)},
+			// Deterministic coordination traffic (2 per cycle + 1 per
+			// rule op), the wall-clock-free twin of the cycle times.
+			[]string{"controller messages", fmt.Sprintf("%d", res.CtrlMsgs)},
+			[]string{"messages per cycle", fmt.Sprintf("%.1f", float64(res.CtrlMsgs)/float64(n))},
 		)
 	}
 	rep.Tables = append(rep.Tables, cycle)

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
+)
+
+// A CellSpec is everything a backend needs to execute one matrix cell: the
+// cell's coordinates, its scenario (whose Jobs function the backend calls
+// with the cell's params), and the matrix-level knobs that apply to every
+// cell. Specs are built by Run from a normalized Matrix, so the defaults
+// are already filled in.
+type CellSpec struct {
+	Cell     Cell
+	Scenario Scenario
+
+	// Matrix-level knobs (see Matrix for semantics and defaults).
+	MaxTokenRate float64
+	Period       time.Duration
+	Duration     time.Duration
+	SFQDepth     int
+
+	// PerJobDigests asks the backend to capture one latency digest per
+	// job in addition to the always-on per-cell digest (WithDigests).
+	PerJobDigests bool
+}
+
+// A CellOutcome is a backend's finished cell: the raw result plus the
+// latency digests condensed from it. Result fields that a backend cannot
+// measure (e.g. controller tick times on a backend without one) may be
+// zero; the merge and report layers treat them as absent.
+type CellOutcome struct {
+	Result        *sim.Result
+	LatencyDigest *stats.Digest
+	JobDigests    []JobDigest
+}
+
+// A JobDigest pairs one job with its per-job latency digest, in
+// deterministic (sorted job name) order. Per-job digests are reporting
+// artifacts: they are never folded into the matrix fingerprint, so
+// enabling them cannot change a golden hash.
+type JobDigest struct {
+	Job    string
+	Digest *stats.Digest
+}
+
+// A Backend executes matrix cells on some substrate. The harness ships
+// two: SimBackend (the deterministic discrete-event simulator — the
+// default) and ClusterBackend (live in-process storage servers and job
+// runners on the wall clock). RunCell must be safe for concurrent use by
+// the worker pool, honor ctx cancellation, and — for deterministic
+// backends — be a pure function of the spec so worker-count invariance
+// holds.
+type Backend interface {
+	// Name labels results produced by this backend ("sim", "live");
+	// it is stamped into CellResult.Backend and report documents.
+	Name() string
+	// RunCell executes one cell to completion or ctx expiry.
+	RunCell(ctx context.Context, spec CellSpec) (CellOutcome, error)
+}
+
+// SimBackend runs cells on the deterministic discrete-event simulator
+// (sim.RunScratch). It is the default backend and the only fingerprint-
+// stable one: identical specs produce bit-identical outcomes regardless
+// of worker count or scratch reuse. The zero value is ready to use; a
+// single SimBackend may serve any number of concurrent Run calls (scratch
+// storage is pooled per goroutine under the hood).
+type SimBackend struct {
+	scratch sync.Pool // of *sim.Scratch
+}
+
+// NewSimBackend returns a SimBackend.
+func NewSimBackend() *SimBackend { return &SimBackend{} }
+
+// Name reports "sim".
+func (b *SimBackend) Name() string { return "sim" }
+
+// RunCell executes the cell's simulation. The simulator itself is not
+// preemptible, so cancellation is honored at cell boundaries: a ctx
+// already expired when the cell is picked up fails fast, and a ctx that
+// expires while the simulation runs fails the cell on completion (its
+// result is discarded) — an over-budget cell therefore always reports
+// its deadline error, it just cannot be cut short mid-simulation the way
+// a live cell can.
+func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err
+	}
+	scratch, _ := b.scratch.Get().(*sim.Scratch)
+	if scratch == nil {
+		scratch = sim.NewScratch()
+	}
+	defer b.scratch.Put(scratch)
+
+	cfg := sim.Config{
+		Policy:       spec.Cell.Policy,
+		Jobs:         spec.Scenario.Jobs(spec.Cell.Params()),
+		MaxTokenRate: spec.MaxTokenRate,
+		Period:       spec.Period,
+		Duration:     spec.Duration,
+		OSTs:         spec.Cell.OSSes,
+		SFQDepth:     spec.SFQDepth,
+	}
+	res, err := sim.RunScratch(cfg, scratch)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err // deadline/cancel fired mid-simulation
+	}
+	return outcomeOf(res, spec.PerJobDigests), nil
+}
+
+// outcomeOf condenses a finished result into a CellOutcome: always the
+// per-cell digest, plus per-job digests when asked. Shared by both
+// builtin backends so digest semantics cannot drift between substrates.
+func outcomeOf(res *sim.Result, perJob bool) CellOutcome {
+	out := CellOutcome{Result: res, LatencyDigest: stats.NewDigest()}
+	res.Latencies.FeedDigest(out.LatencyDigest)
+	if perJob {
+		for _, job := range res.Latencies.Jobs() {
+			d := stats.NewDigest()
+			res.Latencies.FeedDigestJob(d, job)
+			out.JobDigests = append(out.JobDigests, JobDigest{Job: job, Digest: d})
+		}
+	}
+	return out
+}

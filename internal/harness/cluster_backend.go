@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adaptbf/internal/cluster"
+	"adaptbf/internal/controller"
+	"adaptbf/internal/device"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/transport"
+	"adaptbf/internal/workload"
+)
+
+// ClusterBackend runs cells as live wall-clock deployments: per cell it
+// stands up Cell.OSSes in-process storage servers (cluster.OSS, each with
+// its own dispatcher goroutine, TBF scheduler, and — under AdapTBF — its
+// own independent controller), connects one cluster.JobRunner per job
+// over transport.Pipe, and executes the scenario's workload as real
+// concurrent RPC traffic. This is the paper's Figure 2 deployment driving
+// the same Matrix the simulator sweeps.
+//
+// Results are reported in OSS time — wall-clock scaled by Speedup — so an
+// accelerated run's makespans, latencies, and MiB/s stay commensurate
+// with the configured token rates and with simulator cells. Live cells
+// are inherently nondeterministic (scheduling, timers): they never
+// partake in golden fingerprints, and CellResult.Backend = "live" marks
+// them in every report.
+//
+// Supported policies: NoBW (FCFS), StaticBW (fixed priority-proportional
+// rules installed at start), and AdapTBF (one controller per OSS). SFQ
+// and GIFT have no live implementation and fail the cell with a clear
+// error.
+//
+// A cell ends when every bounded job finishes, when the matrix Duration
+// elapses in OSS time (Done stays false, like the simulator hitting its
+// cap — this is also how unbounded workloads are bounded), or when ctx is
+// canceled (the cell fails with ctx.Err()).
+type ClusterBackend struct {
+	// Device parameterizes each OSS's backing store. Zero means
+	// device.Default() — the same SSD-class target simulator cells use.
+	Device device.Params
+	// Speedup accelerates the modeled device and controller clocks
+	// (cluster.OSSConfig.Speedup): a Speedup of 50 runs a 30-minute
+	// workload in ~36 wall seconds. Default 1.
+	Speedup float64
+	// BucketDepth is the per-rule TBF bucket depth. Wall-clock runs need
+	// token deadlines well above Go timer jitter or depth-capped buckets
+	// discard tokens on every oversleep; the default of 16 (vs the
+	// simulator's Lustre-default 3) absorbs that jitter.
+	BucketDepth float64
+}
+
+// liveDefaultBucketDepth absorbs wall-clock timer jitter (see
+// ClusterBackend.BucketDepth).
+const liveDefaultBucketDepth = 16
+
+// Name reports "live".
+func (b *ClusterBackend) Name() string { return "live" }
+
+// liveRecorder assembles simulator-shaped metrics from concurrent live
+// RPC completions. One per cell; the mutex serializes observers from
+// every runner goroutine.
+type liveRecorder struct {
+	mu        sync.Mutex
+	epoch     time.Time
+	speedup   float64
+	timeline  *metrics.Timeline
+	latencies *metrics.LatencyRecorder
+}
+
+// now reports OSS time since the cell epoch.
+func (r *liveRecorder) now() time.Duration {
+	return time.Duration(float64(time.Since(r.epoch)) * r.speedup)
+}
+
+// observer returns the JobRunner.Observe hook for one job.
+func (r *liveRecorder) observer(jobID string) func(bytes int64, latency time.Duration) {
+	idx := r.timeline.JobIndex(jobID)
+	lidx := r.latencies.JobIndex(jobID)
+	return func(bytes int64, latency time.Duration) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.timeline.RecordIdx(idx, int64(r.now()), bytes)
+		r.latencies.RecordIdx(lidx, time.Duration(float64(latency)*r.speedup))
+	}
+}
+
+// RunCell executes one live cell.
+func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err
+	}
+	switch spec.Cell.Policy {
+	case sim.NoBW, sim.StaticBW, sim.AdapTBF:
+	default:
+		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF)", spec.Cell.Policy)
+	}
+	jobs := spec.Scenario.Jobs(spec.Cell.Params())
+	if len(jobs) == 0 {
+		return CellOutcome{}, fmt.Errorf("harness: scenario %s produced no jobs", spec.Cell.Scenario)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return CellOutcome{}, err
+		}
+	}
+	speedup := b.Speedup
+	if speedup <= 0 {
+		speedup = 1
+	}
+	depth := b.BucketDepth
+	if depth <= 0 {
+		depth = liveDefaultBucketDepth
+	}
+
+	// Stand the stack up: one OSS per target, all torn down before any
+	// device counter is read (DeviceStats requires a closed OSS).
+	osses := make([]*cluster.OSS, spec.Cell.OSSes)
+	for i := range osses {
+		osses[i] = cluster.NewOSS(cluster.OSSConfig{
+			Device:      b.Device,
+			BucketDepth: depth,
+			Speedup:     speedup,
+		})
+	}
+	defer func() {
+		for _, o := range osses {
+			o.Close()
+		}
+	}()
+
+	nodesOf := make(map[string]int, len(jobs))
+	for _, j := range jobs {
+		nodesOf[j.ID] = j.Nodes
+	}
+	switch spec.Cell.Policy {
+	case sim.StaticBW:
+		if err := installLiveStaticRules(osses, jobs, spec.MaxTokenRate); err != nil {
+			return CellOutcome{}, err
+		}
+	case sim.AdapTBF:
+		// One independent controller per storage server — the paper's
+		// decentralization property, live. Controllers stop when the cell
+		// context ends (runner completion, duration cap, or cancel).
+		nodes := controller.NodeMapperFunc(func(jobID string) int {
+			if n := nodesOf[jobID]; n > 0 {
+				return n
+			}
+			return 1
+		})
+		ctlCtx, stopCtls := context.WithCancel(context.Background())
+		defer stopCtls()
+		for _, o := range osses {
+			go o.NewController(nodes, spec.MaxTokenRate, spec.Period).Run(ctlCtx)
+		}
+	}
+
+	// The matrix Duration is OSS time; the wall-clock bound divides out
+	// the speedup. Hitting it mirrors the simulator's duration cap: the
+	// cell completes with Done=false rather than failing.
+	wallCap := time.Duration(float64(spec.Duration) / speedup)
+	runCtx, cancelRun := context.WithTimeout(ctx, wallCap)
+	defer cancelRun()
+
+	rec := &liveRecorder{
+		epoch:     time.Now(),
+		speedup:   speedup,
+		timeline:  metrics.NewTimeline(spec.Period),
+		latencies: &metrics.LatencyRecorder{},
+	}
+	type jobOutcome struct {
+		stats      cluster.JobStats
+		err        error
+		finishedAt time.Duration // OSS time; valid when err == nil
+	}
+	outcomes := make([]jobOutcome, len(jobs))
+	var wg sync.WaitGroup
+	clients := make([]*transport.Client, 0, len(jobs)*len(osses))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for ji, job := range jobs {
+		targets := make([]*transport.Client, len(osses))
+		for i, o := range osses {
+			targets[i] = transport.Pipe(o)
+		}
+		clients = append(clients, targets...)
+		runner := &cluster.JobRunner{Job: job, Targets: targets, Observe: rec.observer(job.ID)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := runner.Run(runCtx)
+			outcomes[ji] = jobOutcome{stats: stats, err: err, finishedAt: rec.now()}
+		}()
+	}
+	wg.Wait()
+	elapsed := rec.now()
+	cancelRun()
+
+	// A cancel from above (the run's ctx or the per-cell timeout) fails
+	// the cell; our own duration cap does not.
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err
+	}
+
+	res := &sim.Result{
+		Policy:      spec.Cell.Policy,
+		Timeline:    rec.timeline,
+		Latencies:   rec.latencies,
+		FinishTimes: make(map[string]time.Duration, len(jobs)),
+		Elapsed:     elapsed,
+		Done:        true,
+	}
+	var firstErr error
+	for i, jo := range outcomes {
+		res.ServedRPCs += uint64(jo.stats.RPCs)
+		switch {
+		case jo.err == nil:
+			if jobs[i].TotalBytes() > 0 {
+				res.FinishTimes[jobs[i].ID] = jo.finishedAt
+			} else {
+				res.Done = false // unbounded job: ran to the duration cap
+			}
+		case errors.Is(jo.err, context.DeadlineExceeded) || errors.Is(jo.err, context.Canceled):
+			res.Done = false // duration cap expired under this job
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("job %s: %w", jobs[i].ID, jo.err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return CellOutcome{}, firstErr
+	}
+
+	// Close the servers before reading device counters (the dispatcher
+	// goroutine owns them); the deferred Close calls then no-op.
+	for _, o := range osses {
+		o.Close()
+	}
+	for _, o := range osses {
+		_, busy := o.DeviceStats()
+		res.DeviceBusy = append(res.DeviceBusy, busy)
+	}
+	return outcomeOf(res, spec.PerJobDigests), nil
+}
+
+// installLiveStaticRules applies the Static BW baseline to live servers:
+// the same workload.StaticRules the simulator installs, started through
+// each OSS's thread-safe engine, so the baseline cannot drift between
+// the two backends.
+func installLiveStaticRules(osses []*cluster.OSS, jobs []workload.Job, maxRate float64) error {
+	rules := workload.StaticRules(jobs, maxRate, 0)
+	for _, o := range osses {
+		eng := o.Engine()
+		for _, r := range rules {
+			if err := eng.StartRule(r, o.Now()); err != nil {
+				return fmt.Errorf("harness: static rule %s: %w", r.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func goldenMatrix() Matrix {
 // a single worker — per-cell digest capture happens on worker goroutines,
 // and this is the guard that it stayed a pure function of the cell.
 func TestGoldenFingerprint(t *testing.T) {
-	res, err := Run(goldenMatrix(), Options{})
+	res, err := Run(context.Background(), goldenMatrix())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +70,14 @@ func TestGoldenFingerprint(t *testing.T) {
 // and fresh per-cell runs hash identically (Run already exercises the
 // per-worker Scratch; this pins the workers=1 sequential path too).
 func TestGoldenFingerprintScratchInvariant(t *testing.T) {
-	seq, err := Run(goldenMatrix(), Options{Workers: 1})
+	seq, err := Run(context.Background(), goldenMatrix(), WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := seq.Fingerprint(); got != goldenFingerprint {
 		t.Fatalf("workers=1 fingerprint drifted: %s", got)
 	}
-	par, err := Run(goldenMatrix(), Options{Workers: runtime.NumCPU()})
+	par, err := Run(context.Background(), goldenMatrix(), WithWorkers(runtime.NumCPU()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -185,14 +186,20 @@ func (m Matrix) cells() []Cell {
 	return cells
 }
 
-// A CellResult pairs a cell with its finished simulation (or its error).
+// A CellResult pairs a cell with its finished execution (or its error).
 // LatencyDigest condenses every RPC latency of the cell (all jobs) into a
 // fixed-size mergeable histogram, captured as the cell finishes so the
 // distribution survives the merge without retaining raw samples.
+// JobDigests holds one digest per job when the run asked for them
+// (WithDigests); Backend names the substrate that ran the cell. Both are
+// reporting-only: neither feeds Fingerprint, so the golden hash is a
+// property of the results alone.
 type CellResult struct {
 	Cell          Cell
+	Backend       string
 	Result        *sim.Result
 	LatencyDigest *stats.Digest
+	JobDigests    []JobDigest
 	Err           error
 }
 
@@ -205,7 +212,71 @@ type MatrixResult struct {
 	Elapsed time.Duration
 }
 
+// runConfig is the resolved option set of one Run call.
+type runConfig struct {
+	workers       int
+	backend       Backend
+	progress      func(CellResult)
+	cellTimeout   time.Duration
+	perJobDigests bool
+	failFast      bool
+}
+
+// A RunOption tunes an engine run (see Run).
+type RunOption func(*runConfig)
+
+// WithWorkers bounds the worker pool. n ≤ 0 (and the default) means
+// runtime.NumCPU().
+func WithWorkers(n int) RunOption { return func(c *runConfig) { c.workers = n } }
+
+// WithBackend selects the execution substrate for every cell. The
+// default is a shared SimBackend; pass a ClusterBackend for live
+// wall-clock cells.
+func WithBackend(b Backend) RunOption { return func(c *runConfig) { c.backend = b } }
+
+// WithProgress observes each finished cell. Calls are serialized but
+// arrive in completion order, not cell order.
+func WithProgress(fn func(CellResult)) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
+// WithCellTimeout bounds each cell's execution: a cell still running
+// after d fails with context.DeadlineExceeded. A live cell is torn down
+// the moment the deadline fires; a sim cell is not preemptible, so it
+// fails (result discarded) when the simulation returns. 0 (the default)
+// means no per-cell bound — only the run's own context limits a cell.
+func WithCellTimeout(d time.Duration) RunOption {
+	return func(c *runConfig) { c.cellTimeout = d }
+}
+
+// WithDigests tunes digest capture. The per-cell latency digest is
+// always captured (it is part of the fingerprint); WithDigests(true)
+// additionally captures one digest per job per cell
+// (CellResult.JobDigests) for starvation-tail analysis. Per-job digests
+// are reporting-only and never change the fingerprint.
+func WithDigests(perJob bool) RunOption {
+	return func(c *runConfig) { c.perJobDigests = perJob }
+}
+
+// WithFailFast aborts dispatch after the first failed cell: in-flight
+// cells finish, cells not yet dispatched are marked with ErrCellSkipped,
+// and the first failure is surfaced in the joined error. With a single
+// worker the abort point is fully deterministic.
+func WithFailFast() RunOption { return func(c *runConfig) { c.failFast = true } }
+
+// ErrCellSkipped marks cells that were never dispatched because the run
+// was canceled or aborted early (WithFailFast) before they were reached.
+var ErrCellSkipped = errors.New("harness: cell skipped before dispatch")
+
+// defaultBackend is the SimBackend shared by every Run that does not
+// select one, so scratch storage pooled across runs keeps being reused.
+var defaultBackend = NewSimBackend()
+
 // Options tunes an engine run.
+//
+// Deprecated: Options is the pre-context configuration struct. New code
+// should call Run(ctx, m, opts...) with functional options (WithWorkers,
+// WithProgress, ...); RunOptions adapts an existing Options value.
 type Options struct {
 	// Workers bounds the worker pool. ≤0 means runtime.NumCPU().
 	Workers int
@@ -214,20 +285,46 @@ type Options struct {
 	OnCell func(CellResult)
 }
 
-// Run executes every cell of the matrix over a bounded worker pool and
-// returns the merged result. The returned error joins all per-cell
-// failures (the MatrixResult is still returned alongside it).
-func Run(m Matrix, opt Options) (*MatrixResult, error) {
+// RunOptions executes the matrix with the deprecated Options struct. It
+// is Run(context.Background(), m, WithWorkers(...), WithProgress(...)).
+//
+// Deprecated: use Run with functional options.
+func RunOptions(m Matrix, opt Options) (*MatrixResult, error) {
+	return Run(context.Background(), m, WithWorkers(opt.Workers), WithProgress(opt.OnCell))
+}
+
+// Run executes every cell of the matrix over a bounded worker pool on
+// the configured backend (the deterministic SimBackend unless
+// WithBackend says otherwise) and returns the merged result.
+//
+// Cancellation: when ctx is canceled mid-run, no further cells are
+// dispatched, in-flight cells are wound down (the sim backend at cell
+// boundaries, the live backend immediately), every worker goroutine
+// exits before Run returns, and the error is ctx.Err(). Cells that never
+// ran are marked with ErrCellSkipped in the partial result.
+//
+// Otherwise the returned error joins all per-cell failures (the
+// MatrixResult is still returned alongside it).
+func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error) {
 	norm, err := m.normalize()
 	if err != nil {
 		return nil, err
+	}
+	cfg := runConfig{backend: defaultBackend}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if cfg.backend == nil {
+		cfg.backend = defaultBackend
 	}
 	cells := norm.cells()
 	byName := make(map[string]Scenario, len(norm.Scenarios))
 	for _, sc := range norm.Scenarios {
 		byName[sc.Name] = sc
 	}
-	workers := opt.Workers
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -235,17 +332,32 @@ func Run(m Matrix, opt Options) (*MatrixResult, error) {
 		workers = len(cells)
 	}
 	start := time.Now()
+	backendName := cfg.backend.Name()
 	out := &MatrixResult{Cells: make([]CellResult, len(cells)), Workers: workers}
+	// Pre-mark every cell as skipped; cells that actually run overwrite
+	// their slot, so a canceled or fail-fast run leaves an honest partial
+	// result instead of zero-valued cells.
+	for i := range cells {
+		out.Cells[i] = CellResult{Cell: cells[i], Backend: backendName, Err: ErrCellSkipped}
+	}
 
 	var observe func(CellResult)
-	if opt.OnCell != nil {
+	if cfg.progress != nil {
 		var mu sync.Mutex
 		observe = func(cr CellResult) {
 			mu.Lock()
 			defer mu.Unlock()
-			opt.OnCell(cr)
+			cfg.progress(cr)
 		}
 	}
+
+	// dispatchCtx controls dispatch only: the caller's ctx, plus an
+	// internal trigger for fail-fast aborts. Cells themselves run under
+	// the caller's ctx (not dispatchCtx), so a fail-fast abort stops
+	// further dispatch while letting in-flight cells finish — only a
+	// real caller cancel tears running cells down.
+	dispatchCtx, stopDispatch := context.WithCancel(ctx)
+	defer stopDispatch()
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -253,55 +365,76 @@ func Run(m Matrix, opt Options) (*MatrixResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One scratch per worker: the DES event arena and RPC token
-			// pool grow to the largest cell once and are then reused for
-			// every subsequent cell, keeping the per-cell allocation cost
-			// near the size of its Result rather than its event volume.
-			scratch := sim.NewScratch()
 			for i := range idx {
-				cr := runCell(norm, byName[cells[i].Scenario], cells[i], scratch)
+				if dispatchCtx.Err() != nil {
+					continue // drained after cancel/abort: stays ErrCellSkipped
+				}
+				c := cells[i]
+				spec := CellSpec{
+					Cell:          c,
+					Scenario:      byName[c.Scenario],
+					MaxTokenRate:  norm.MaxTokenRate,
+					Period:        norm.Period,
+					Duration:      norm.Duration,
+					SFQDepth:      norm.SFQDepth,
+					PerJobDigests: cfg.perJobDigests,
+				}
+				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
+				if cfg.cellTimeout > 0 {
+					cellCtx, cancelCell = context.WithTimeout(ctx, cfg.cellTimeout)
+				}
+				outcome, err := cfg.backend.RunCell(cellCtx, spec)
+				if cancelCell != nil {
+					cancelCell()
+				}
+				cr := CellResult{
+					Cell:          c,
+					Backend:       backendName,
+					Result:        outcome.Result,
+					LatencyDigest: outcome.LatencyDigest,
+					JobDigests:    outcome.JobDigests,
+					Err:           err,
+				}
 				out.Cells[i] = cr
+				if err != nil && cfg.failFast {
+					stopDispatch()
+				}
 				if observe != nil {
 					observe(cr)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := range cells {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-dispatchCtx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	out.Elapsed = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	var errs []error
+	skipped := 0
 	for _, cr := range out.Cells {
-		if cr.Err != nil {
+		switch {
+		case cr.Err == nil:
+		case errors.Is(cr.Err, ErrCellSkipped):
+			skipped++
+		default:
 			errs = append(errs, fmt.Errorf("cell %v: %w", cr.Cell, cr.Err))
 		}
 	}
+	if skipped > 0 {
+		errs = append(errs, fmt.Errorf("%w (%d cells undispatched after abort)", ErrCellSkipped, skipped))
+	}
 	return out, errors.Join(errs...)
-}
-
-// runCell executes one cell: build the scenario's jobs, assemble the
-// simulator config, run on the worker's reusable scratch.
-func runCell(m Matrix, sc Scenario, c Cell, scratch *sim.Scratch) CellResult {
-	cfg := sim.Config{
-		Policy:       c.Policy,
-		Jobs:         sc.Jobs(c.Params()),
-		MaxTokenRate: m.MaxTokenRate,
-		Period:       m.Period,
-		Duration:     m.Duration,
-		OSTs:         c.OSSes,
-		SFQDepth:     m.SFQDepth,
-	}
-	res, err := sim.RunScratch(cfg, scratch)
-	cr := CellResult{Cell: c, Result: res, Err: err}
-	if err == nil {
-		cr.LatencyDigest = stats.NewDigest()
-		res.Latencies.FeedDigest(cr.LatencyDigest)
-	}
-	return cr
 }
 
 // ---- deterministic merging ----

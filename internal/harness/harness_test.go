@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -56,7 +57,7 @@ func TestCellsCanonicalOrder(t *testing.T) {
 // them. Run under -race this also exercises the pool for data races.
 func TestWorkerCountInvariance(t *testing.T) {
 	m := acceptanceMatrix()
-	seq, err := Run(m, Options{Workers: 1})
+	seq, err := Run(context.Background(), m, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 	if workers < 2 {
 		workers = 2
 	}
-	par, err := Run(m, Options{Workers: workers})
+	par, err := Run(context.Background(), m, WithWorkers(workers))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAllPoliciesInvariants(t *testing.T) {
 		OSSes:     []int{1, 3},
 		Seeds:     []int64{1, 7},
 	}
-	res, err := Run(m, Options{})
+	res, err := Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +145,11 @@ func TestSeedAxisMatters(t *testing.T) {
 	a.Seeds = []int64{1}
 	b := base
 	b.Seeds = []int64{2}
-	ra, err := Run(a, Options{})
+	ra, err := Run(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Run(b, Options{})
+	rb, err := Run(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestStripeNarrowerThanStack(t *testing.T) {
 		Policies: []sim.Policy{sim.NoBW},
 		OSSes:    []int{4},
 	}
-	res, err := Run(m, Options{})
+	res, err := Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestRunSurfacesCellErrors(t *testing.T) {
 		},
 		Policies: []sim.Policy{sim.NoBW},
 	}
-	res, err := Run(m, Options{})
+	res, err := Run(context.Background(), m)
 	if err == nil {
 		t.Fatal("invalid scenario produced no error")
 	}
@@ -232,7 +233,7 @@ func TestMatrixValidation(t *testing.T) {
 		{Scenarios: BuiltinScenarios(), OSSes: []int{0}},
 	}
 	for i, m := range bad {
-		if _, err := Run(m, Options{}); err == nil {
+		if _, err := Run(context.Background(), m); err == nil {
 			t.Errorf("bad matrix %d accepted", i)
 		}
 	}
@@ -245,8 +246,10 @@ func TestOnCellObservesEveryCell(t *testing.T) {
 		Scales:    []int64{256},
 		OSSes:     []int{1, 2},
 	}
+	// The deprecated Options shim must keep working for one release:
+	// exercise it here rather than the functional options.
 	seen := map[int]bool{}
-	_, err := Run(m, Options{Workers: 4, OnCell: func(cr CellResult) {
+	_, err := RunOptions(m, Options{Workers: 4, OnCell: func(cr CellResult) {
 		if seen[cr.Cell.Index] {
 			t.Errorf("cell %d observed twice", cr.Cell.Index)
 		}
@@ -284,7 +287,7 @@ func TestPolicyMeansCIColumns(t *testing.T) {
 		OSSes:     []int{1},
 		Seeds:     []int64{1, 2, 3, 4, 5},
 	}
-	res, err := Run(m, Options{})
+	res, err := Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}

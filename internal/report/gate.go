@@ -1,0 +1,110 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"adaptbf/internal/harness"
+	"adaptbf/internal/stats"
+)
+
+// A GateSpec is a digest-based regression gate: for each policy, the
+// interval its p99 RPC latency (µs, merged over every cell the policy
+// ran in the gated grid) must fall inside. The tracked intervals live in
+// BENCH_matrix.json at the repository root under "regression_gate",
+// captured from the deterministic default grid — the simulator is
+// bit-reproducible, so any excursion is a real behavioural change, and
+// the interval width only buys tolerance against intentional small
+// retunings, not noise.
+type GateSpec struct {
+	// Grid documents the grid the intervals were captured on.
+	Grid string `json:"grid,omitempty"`
+	// Policies maps a policy name (sim.Policy.String()) to its bounds.
+	Policies map[string]GateInterval `json:"policies"`
+}
+
+// A GateInterval bounds one policy's merged p99 latency in microseconds.
+type GateInterval struct {
+	P99USMin float64 `json:"p99_us_min"`
+	P99USMax float64 `json:"p99_us_max"`
+}
+
+// LoadGate reads a GateSpec from a JSON file carrying a top-level
+// "regression_gate" field (BENCH_matrix.json's layout). A file without
+// the field is an error: a gate that silently checks nothing would pass
+// forever.
+func LoadGate(path string) (GateSpec, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return GateSpec{}, err
+	}
+	var wrapper struct {
+		RegressionGate *GateSpec `json:"regression_gate"`
+	}
+	if err := json.Unmarshal(buf, &wrapper); err != nil {
+		return GateSpec{}, fmt.Errorf("report: parsing gate file %s: %w", path, err)
+	}
+	if wrapper.RegressionGate == nil || len(wrapper.RegressionGate.Policies) == 0 {
+		return GateSpec{}, fmt.Errorf("report: %s carries no regression_gate.policies section", path)
+	}
+	return *wrapper.RegressionGate, nil
+}
+
+// PolicyP99s merges every non-failed cell's latency digest by policy and
+// reports each policy's p99 in microseconds — the quantity CheckGate
+// gates on, exported so a re-capture can print the values to track.
+// Policies appear in first-appearance (canonical cell) order.
+func PolicyP99s(res *harness.MatrixResult) (policies []string, p99us map[string]float64) {
+	merged := map[string]*stats.Digest{}
+	for _, cr := range res.Cells {
+		if cr.Err != nil || cr.LatencyDigest == nil {
+			continue
+		}
+		name := cr.Cell.Policy.String()
+		d, ok := merged[name]
+		if !ok {
+			d = stats.NewDigest()
+			merged[name] = d
+			policies = append(policies, name)
+		}
+		d.Merge(cr.LatencyDigest)
+	}
+	p99us = make(map[string]float64, len(merged))
+	for name, d := range merged {
+		if d.N() > 0 {
+			p99us[name] = us(d.Quantile(99))
+		}
+	}
+	return policies, p99us
+}
+
+// CheckGate verifies a merged matrix against the tracked intervals: it
+// fails if any gated policy's merged p99 falls outside its interval, or
+// if a gated policy did not run at all (a gate that cannot observe its
+// policy must fail loudly, not pass vacuously). Policies the run swept
+// but the spec does not track are ignored. All violations are joined.
+func CheckGate(res *harness.MatrixResult, spec GateSpec) error {
+	_, p99s := PolicyP99s(res)
+	names := make([]string, 0, len(spec.Policies))
+	for name := range spec.Policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		iv := spec.Policies[name]
+		got, ok := p99s[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("report: gated policy %q produced no latency samples in this run", name))
+			continue
+		}
+		if got < iv.P99USMin || got > iv.P99USMax {
+			errs = append(errs, fmt.Errorf("report: policy %q p99 = %.1fµs outside tracked interval [%.1f, %.1f]µs",
+				name, got, iv.P99USMin, iv.P99USMax))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -26,7 +26,12 @@ import (
 
 // SchemaVersion is the version stamped into every Document. Bump it
 // whenever a field changes meaning or shape, and say why in ROADMAP.md.
-const SchemaVersion = 1
+//
+// v2 (backend-agnostic execution): each cell carries the backend that
+// ran it ("sim" or "live" — live cells are wall-clock and excluded from
+// determinism claims) and, when captured and requested, per-job latency
+// digests under per_job_digests. v1 documents predate both fields.
+const SchemaVersion = 2
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -54,13 +59,17 @@ type Grid struct {
 	Seeds     []int64  `json:"seeds"`
 }
 
-// A Cell is one matrix point's summary.
+// A Cell is one matrix point's summary. Backend names the substrate
+// that executed the cell ("sim" for the deterministic simulator, "live"
+// for wall-clock cluster cells — live metrics are measured, not
+// simulated, and are excluded from determinism claims).
 type Cell struct {
 	Scenario string `json:"scenario"`
 	Policy   string `json:"policy"`
 	Scale    int64  `json:"scale"`
 	OSSes    int    `json:"osses"`
 	Seed     int64  `json:"seed"`
+	Backend  string `json:"backend,omitempty"`
 	Error    string `json:"error,omitempty"`
 
 	Done            bool    `json:"done,omitempty"`
@@ -70,6 +79,10 @@ type Cell struct {
 	UtilizationMean float64 `json:"utilization_mean,omitempty"`
 
 	Latency *Latency `json:"latency,omitempty"`
+	// PerJobDigests holds each job's own latency summary, present only
+	// when the run captured per-job digests (harness.WithDigests) and
+	// Options.PerJobDigests asked for them — the starvation-tail view.
+	PerJobDigests map[string]*Latency `json:"per_job_digests,omitempty"`
 }
 
 // Latency condenses a cell's digest: count, extremes, mean, and
@@ -119,6 +132,10 @@ type Options struct {
 	// IncludeBuckets embeds each cell's full latency histogram (the
 	// non-empty buckets) instead of just its quantile summary.
 	IncludeBuckets bool
+	// PerJobDigests exports each cell's per-job latency digests (when
+	// the run captured them via harness.WithDigests) under
+	// per_job_digests.
+	PerJobDigests bool
 }
 
 func (o Options) normalize() Options {
@@ -162,6 +179,7 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 			Scale:    cr.Cell.Scale,
 			OSSes:    cr.Cell.OSSes,
 			Seed:     cr.Cell.Seed,
+			Backend:  cr.Backend,
 		}
 		if cr.Err != nil {
 			c.Error = cr.Err.Error()
@@ -180,6 +198,14 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 			c.UtilizationMean = util / float64(n)
 		}
 		c.Latency = latencyOf(cr.LatencyDigest, opt.IncludeBuckets)
+		if opt.PerJobDigests && len(cr.JobDigests) > 0 {
+			c.PerJobDigests = make(map[string]*Latency, len(cr.JobDigests))
+			for _, jd := range cr.JobDigests {
+				if l := latencyOf(jd.Digest, opt.IncludeBuckets); l != nil {
+					c.PerJobDigests[jd.Job] = l
+				}
+			}
+		}
 		doc.Cells = append(doc.Cells, c)
 	}
 

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func testMatrix() harness.Matrix {
 }
 
 func TestFromMatrixDocument(t *testing.T) {
-	res, err := harness.Run(testMatrix(), harness.Options{})
+	res, err := harness.Run(context.Background(), testMatrix())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,17 +95,63 @@ func TestFromMatrixDocument(t *testing.T) {
 	if len(withBuckets.Cells[0].Latency.Buckets) == 0 {
 		t.Fatal("IncludeBuckets produced no buckets")
 	}
+	// Every simulator cell is stamped with its backend.
+	for _, c := range doc.Cells {
+		if c.Backend != "sim" {
+			t.Fatalf("cell backend = %q, want sim", c.Backend)
+		}
+	}
+}
+
+// TestPerJobDigestExport: per-job digests captured by the run surface in
+// the document only when Options.PerJobDigests asks, keyed by job with
+// consistent sample counts.
+func TestPerJobDigestExport(t *testing.T) {
+	res, err := harness.Run(context.Background(), testMatrix(), harness.WithDigests(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := FromMatrix(res, Options{})
+	for _, c := range plain.Cells {
+		if c.PerJobDigests != nil {
+			t.Fatal("per_job_digests exported without Options.PerJobDigests")
+		}
+	}
+	doc := FromMatrix(res, Options{PerJobDigests: true})
+	for _, c := range doc.Cells {
+		if len(c.PerJobDigests) != 3 {
+			t.Fatalf("cell %s/%s carries %d per-job digests, want 3", c.Scenario, c.Policy, len(c.PerJobDigests))
+		}
+		var total int64
+		for job, l := range c.PerJobDigests {
+			if l.N == 0 || l.P99US < l.P50US {
+				t.Fatalf("job %s latency malformed: %+v", job, l)
+			}
+			total += l.N
+		}
+		if total != c.Latency.N {
+			t.Fatalf("per-job digests hold %d samples, cell %d", total, c.Latency.N)
+		}
+	}
+	// Without capture at run time, the option has nothing to export.
+	bare, err := harness.Run(context.Background(), testMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := FromMatrix(bare, Options{PerJobDigests: true}); doc.Cells[0].PerJobDigests != nil {
+		t.Fatal("per_job_digests fabricated without captured digests")
+	}
 }
 
 // TestDocumentDeterminism: two runs of the same matrix must marshal
 // byte-identical documents (wall-clock fields are excluded from the plain
 // matrix document by construction).
 func TestDocumentDeterminism(t *testing.T) {
-	a, err := harness.Run(testMatrix(), harness.Options{Workers: 1})
+	a, err := harness.Run(context.Background(), testMatrix(), harness.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := harness.Run(testMatrix(), harness.Options{})
+	b, err := harness.Run(context.Background(), testMatrix())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +180,7 @@ func TestDocumentDeterminism(t *testing.T) {
 }
 
 func TestWriteJSONRoundTrip(t *testing.T) {
-	res, err := harness.Run(testMatrix(), harness.Options{})
+	res, err := harness.Run(context.Background(), testMatrix())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,6 +244,29 @@ func TestGIFTScaleStudy(t *testing.T) {
 			t.Fatalf("GIFT row oss%d has empty coupon bank", r.OSSes)
 		}
 	}
+	// The deterministic coordination counters populate alongside the
+	// wall-clock ones: GIFT's serial walk counts more messages per epoch
+	// than AdapTBF's per-target mean once there is more than one OSS.
+	msgsOf := map[string]map[int]float64{}
+	for _, r := range doc.Study.Rows {
+		switch r.Policy {
+		case sim.NoBW.String():
+			if r.CtrlMsgsPerEpochMean != 0 {
+				t.Fatalf("NoBW row counts %v controller messages", r.CtrlMsgsPerEpochMean)
+			}
+		default:
+			if r.CtrlMsgsPerEpochMean <= 0 {
+				t.Fatalf("row %s/oss%d counts no controller messages", r.Policy, r.OSSes)
+			}
+		}
+		if msgsOf[r.Policy] == nil {
+			msgsOf[r.Policy] = map[int]float64{}
+		}
+		msgsOf[r.Policy][r.OSSes] = r.CtrlMsgsPerEpochMean
+	}
+	if g, a := msgsOf[sim.GIFT.String()][2], msgsOf[sim.AdapTBF.String()][2]; g <= a {
+		t.Fatalf("at 2 OSSes GIFT's serial msgs/epoch (%v) should exceed AdapTBF's per-target mean (%v)", g, a)
+	}
 	if len(doc.Study.Gaps) != 2 {
 		t.Fatalf("want a gap row per OSS count, got %d", len(doc.Study.Gaps))
 	}
@@ -206,6 +276,21 @@ func TestGIFTScaleStudy(t *testing.T) {
 		}
 		if g.CoordRatioMean <= 0 {
 			t.Fatalf("gap oss%d has no coordination ratio", g.OSSes)
+		}
+		if g.MsgRatioN == 0 || g.MsgRatioMean <= 0 {
+			t.Fatalf("gap oss%d missing deterministic msg ratio: %+v", g.OSSes, g)
+		}
+	}
+	// The msg-ratio gap is a pure function of the cells: a second run of
+	// the same study must reproduce it bit-for-bit.
+	again, err := RunGIFTScaleStudy(ScaleStudyOptions{OSSes: []int{1, 2}, Scale: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range doc.Study.Gaps {
+		h := again.Document.Study.Gaps[i]
+		if g.MsgRatioMean != h.MsgRatioMean || g.MsgRatioCI != h.MsgRatioCI || g.MsgRatioN != h.MsgRatioN {
+			t.Fatalf("msg ratio not fingerprint-stable at oss%d: %+v vs %+v", g.OSSes, g, h)
 		}
 	}
 	// The renderable report must carry both study tables plus the matrix

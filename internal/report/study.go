@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,6 +59,16 @@ type StudyRow struct {
 	// measure (every op is a control-plane mutation on a storage target).
 	RuleOpsPerEpoch float64 `json:"rule_ops_per_epoch"`
 
+	// CtrlMsgsPerEpoch is the deterministic controller-message count at
+	// the policy's coordination point per epoch (sim.Result.CtrlMsgs:
+	// two messages per controller cycle per target plus one per rule
+	// op), split the same way as CoordUSPerEpoch — GIFT's whole serial
+	// walk vs AdapTBF's per-target mean. Being a pure function of the
+	// simulation, it is the fingerprint-stable twin of the wall-clock
+	// coordination columns.
+	CtrlMsgsPerEpochMean float64 `json:"ctrl_msgs_per_epoch_mean"`
+	CtrlMsgsPerEpochCI   float64 `json:"ctrl_msgs_per_epoch_ci"`
+
 	// CouponBankEntries is the mean end-of-run size of GIFT's global
 	// coupon bank (jobs with non-zero balance), and CouponsOutstanding
 	// the mean total balance (tokens) still owed — centralized state
@@ -96,6 +107,14 @@ type GapRow struct {
 	CoordRatioMean float64 `json:"coord_ratio_mean"`
 	CoordRatioCI   float64 `json:"coord_ratio_ci"`
 	CoordRatioN    int64   `json:"coord_ratio_n"`
+
+	// MsgRatio is the deterministic counterpart of CoordRatio: GIFT's
+	// per-epoch serial controller messages over AdapTBF's per-target
+	// mean. It is a pure function of the matrix cells, so — unlike the
+	// wall-clock ratio — identical runs report identical gap values.
+	MsgRatioMean float64 `json:"msg_ratio_mean"`
+	MsgRatioCI   float64 `json:"msg_ratio_ci"`
+	MsgRatioN    int64   `json:"msg_ratio_n"`
 }
 
 // ScaleStudyOptions parameterizes RunGIFTScaleStudy. The zero value runs
@@ -167,7 +186,8 @@ func RunGIFTScaleStudy(opt ScaleStudyOptions) (*ScaleStudy, error) {
 		Seeds:     opt.Seeds,
 		Duration:  opt.Duration,
 	}
-	res, err := harness.Run(m, harness.Options{Workers: opt.Workers, OnCell: opt.OnCell})
+	res, err := harness.Run(context.Background(), m,
+		harness.WithWorkers(opt.Workers), harness.WithProgress(opt.OnCell))
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +218,7 @@ type cellMetrics struct {
 	util     float64
 	coordUS  float64
 	ruleOps  float64
+	msgs     float64
 	bank     float64
 	coupons  float64
 }
@@ -246,12 +267,15 @@ func metricsOf(cr harness.CellResult, sc harness.Scenario, sum metrics.Summary) 
 		switch res.Policy {
 		case sim.GIFT:
 			// One controller does every walk serially: per-epoch serial
-			// cost is the whole sweep.
+			// cost is the whole sweep. Same split for the deterministic
+			// message counter.
 			cm.coordUS = float64(total.Microseconds()) / epochs
+			cm.msgs = float64(res.CtrlMsgs) / epochs
 		default:
 			// Decentralized: each target's controller works alone, so the
 			// per-epoch serial cost is the mean per-target tick.
 			cm.coordUS = float64(total.Microseconds()) / float64(ticks)
+			cm.msgs = float64(res.CtrlMsgs) / float64(ticks)
 		}
 		cm.ruleOps = float64(res.RuleOps) / epochs
 	}
@@ -268,8 +292,8 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 		policy sim.Policy
 	}
 	type agg struct {
-		mibps, fairness, util, coord, ruleOps, bank, coupons stats.Moments
-		byseed                                               map[int64]cellMetrics
+		mibps, fairness, util, coord, ruleOps, msgs, bank, coupons stats.Moments
+		byseed                                                     map[int64]cellMetrics
 	}
 	groups := make(map[key]*agg)
 	for i, cr := range res.Cells {
@@ -288,6 +312,7 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 		g.util.Add(cm.util)
 		g.coord.Add(cm.coordUS)
 		g.ruleOps.Add(cm.ruleOps)
+		g.msgs.Add(cm.msgs)
 		g.bank.Add(cm.bank)
 		g.coupons.Add(cm.coupons)
 		g.byseed[cr.Cell.Seed] = cm
@@ -305,12 +330,12 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 		Name: "gift-scale-overhead",
 		Header: []string{"OSSes", "policy", "seeds", "mean MiB/s", "±CI",
 			"fairness", "±CI", "utilization", "±CI",
-			"coord µs/epoch", "±CI", "rule ops/epoch", "coupon bank"},
+			"coord µs/epoch", "±CI", "ctrl msgs/epoch", "rule ops/epoch", "coupon bank"},
 	}
 	gapT := experiments.Table{
 		Name: "gift-scale-gap",
 		Header: []string{"OSSes", "seeds", "GIFT vs AdapTBF MiB/s (%)", "±CI",
-			"fairness Δ", "±CI", "coord ratio", "±CI"},
+			"fairness Δ", "±CI", "coord ratio", "±CI", "msg ratio", "±CI"},
 	}
 
 	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
@@ -322,20 +347,22 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 				continue
 			}
 			row := StudyRow{
-				OSSes:               osses,
-				Policy:              pol.String(),
-				Seeds:               g.mibps.N(),
-				MeanMiBps:           g.mibps.Mean(),
-				CIMiBps:             g.mibps.CIHalfWidth(level),
-				FairnessMean:        g.fairness.Mean(),
-				FairnessCI:          g.fairness.CIHalfWidth(level),
-				UtilizationMean:     g.util.Mean(),
-				UtilizationCI:       g.util.CIHalfWidth(level),
-				CoordUSPerEpochMean: g.coord.Mean(),
-				CoordUSPerEpochCI:   g.coord.CIHalfWidth(level),
-				RuleOpsPerEpoch:     g.ruleOps.Mean(),
-				CouponBankEntries:   g.bank.Mean(),
-				CouponsOutstanding:  g.coupons.Mean(),
+				OSSes:                osses,
+				Policy:               pol.String(),
+				Seeds:                g.mibps.N(),
+				MeanMiBps:            g.mibps.Mean(),
+				CIMiBps:              g.mibps.CIHalfWidth(level),
+				FairnessMean:         g.fairness.Mean(),
+				FairnessCI:           g.fairness.CIHalfWidth(level),
+				UtilizationMean:      g.util.Mean(),
+				UtilizationCI:        g.util.CIHalfWidth(level),
+				CoordUSPerEpochMean:  g.coord.Mean(),
+				CoordUSPerEpochCI:    g.coord.CIHalfWidth(level),
+				RuleOpsPerEpoch:      g.ruleOps.Mean(),
+				CtrlMsgsPerEpochMean: g.msgs.Mean(),
+				CtrlMsgsPerEpochCI:   g.msgs.CIHalfWidth(level),
+				CouponBankEntries:    g.bank.Mean(),
+				CouponsOutstanding:   g.coupons.Mean(),
 			}
 			study.Rows = append(study.Rows, row)
 			overhead.Rows = append(overhead.Rows, []string{
@@ -344,6 +371,7 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 				f3(row.FairnessMean), f3(row.FairnessCI),
 				f3(row.UtilizationMean), f3(row.UtilizationCI),
 				f1(row.CoordUSPerEpochMean), f1(row.CoordUSPerEpochCI),
+				f1(row.CtrlMsgsPerEpochMean),
 				f1(row.RuleOpsPerEpoch), f1(row.CouponBankEntries),
 			})
 		}
@@ -353,7 +381,7 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 		if !okG || !okA {
 			continue
 		}
-		var dThr, dFair, rCoord stats.Moments
+		var dThr, dFair, rCoord, rMsgs stats.Moments
 		var pairs int64
 		// Walk seeds in declaration order, not map order: the fold must be
 		// deterministic so identical runs emit identical documents.
@@ -371,6 +399,9 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 			if am.coordUS > 0 {
 				rCoord.Add(gm.coordUS / am.coordUS)
 			}
+			if am.msgs > 0 {
+				rMsgs.Add(gm.msgs / am.msgs)
+			}
 		}
 		gap := GapRow{
 			OSSes:             osses,
@@ -383,6 +414,9 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 			CoordRatioMean:    rCoord.Mean(),
 			CoordRatioCI:      rCoord.CIHalfWidth(level),
 			CoordRatioN:       rCoord.N(),
+			MsgRatioMean:      rMsgs.Mean(),
+			MsgRatioCI:        rMsgs.CIHalfWidth(level),
+			MsgRatioN:         rMsgs.N(),
 		}
 		study.Gaps = append(study.Gaps, gap)
 		// Render unavailable statistics as "-", never as a numeric 0.
@@ -394,11 +428,16 @@ func buildScaleStudy(res *harness.MatrixResult, sums []metrics.Summary, opt Scal
 		if gap.CoordRatioN > 0 {
 			coord, coordCI = fmt.Sprintf("%.2f", gap.CoordRatioMean), fmt.Sprintf("%.2f", gap.CoordRatioCI)
 		}
+		msg, msgCI := "-", "-"
+		if gap.MsgRatioN > 0 {
+			msg, msgCI = fmt.Sprintf("%.2f", gap.MsgRatioMean), fmt.Sprintf("%.2f", gap.MsgRatioCI)
+		}
 		gapT.Rows = append(gapT.Rows, []string{
 			fmt.Sprintf("%d", osses), fmt.Sprintf("%d", gap.Seeds),
 			thr, thrCI,
 			fmt.Sprintf("%+.3f", gap.FairnessDeltaMean), f3(gap.FairnessDeltaCI),
 			coord, coordCI,
+			msg, msgCI,
 		})
 	}
 	return study, []experiments.Table{overhead, gapT}

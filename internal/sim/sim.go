@@ -36,7 +36,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"adaptbf/internal/controller"
@@ -145,6 +144,17 @@ type Result struct {
 	AllocTimes []time.Duration
 	TickTimes  []time.Duration
 	RuleOps    int
+
+	// CtrlMsgs counts coordination messages at the policy's control
+	// point, deterministically: every controller cycle on a storage
+	// target costs two messages (collect stats/backlog, install the
+	// allocation) plus one per TBF rule operation applied. Under AdapTBF
+	// the messages stay node-local (each target's controller is
+	// co-resident); under GIFT every one of them crosses to the single
+	// central controller. Unlike TickTimes this is a pure function of
+	// the simulation — the scale study's fingerprint-stable coordination
+	// measure. Zero under NoBW/Static/SFQ (no periodic controller).
+	CtrlMsgs int64
 
 	// GIFT centralization state at the end of the run: applications with
 	// a non-zero balance in the global coupon bank and the total balance
@@ -545,34 +555,11 @@ func (s *simulation) start() {
 
 // installStaticRules applies fixed priority-proportional rules on every
 // OST: rate = T_i · nodes/totalNodes, never adjusted — the paper's Static
-// BW baseline.
+// BW baseline (workload.StaticRules, shared with the live backend).
 func (s *simulation) installStaticRules() {
-	total := s.cfg.StaticTotalNodes
-	if total <= 0 {
-		for _, j := range s.cfg.Jobs {
-			total += j.Nodes
-		}
-	}
-	// Rank jobs by priority for the rule hierarchy, mirroring the daemon.
-	jobs := append([]workload.Job(nil), s.cfg.Jobs...)
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].Nodes != jobs[j].Nodes {
-			return jobs[i].Nodes > jobs[j].Nodes
-		}
-		return jobs[i].ID < jobs[j].ID
-	})
+	rules := workload.StaticRules(s.cfg.Jobs, s.cfg.MaxTokenRate, s.cfg.StaticTotalNodes)
 	for _, o := range s.osts {
-		for rank, j := range jobs {
-			rate := s.cfg.MaxTokenRate * float64(j.Nodes) / float64(total)
-			if rate < 1 {
-				rate = 1
-			}
-			r := tbf.Rule{
-				Name:  "static_" + j.ID,
-				Match: tbf.Match{JobIDs: []string{j.ID}},
-				Rate:  rate,
-				Order: rank + 1,
-			}
+		for _, r := range rules {
 			if err := o.sched.StartRule(r, 0); err != nil {
 				panic(err) // job IDs are validated unique upstream
 			}
@@ -660,9 +647,11 @@ func (s *simulation) installGIFT() {
 				})
 			}
 			s.giftAllocs = converted
+			s.res.CtrlMsgs += 2
 			if ops, err := daemons[i].Apply(converted, s.loop.Now()); err == nil {
 				o.tracker.Clear()
 				s.res.RuleOps += len(ops.Applied)
+				s.res.CtrlMsgs += int64(len(ops.Applied))
 			}
 			s.res.AllocTimes = append(s.res.AllocTimes, allocTime)
 			s.res.TickTimes = append(s.res.TickTimes, time.Since(walkStart))
@@ -677,6 +666,7 @@ func (s *simulation) observeTick(o *ostState, rep controller.TickReport) {
 	s.res.AllocTimes = append(s.res.AllocTimes, rep.AllocTime)
 	s.res.TickTimes = append(s.res.TickTimes, rep.TotalTime)
 	s.res.RuleOps += len(rep.Ops.Applied)
+	s.res.CtrlMsgs += 2 + int64(len(rep.Ops.Applied))
 	if !s.cfg.SampleRecords {
 		return
 	}

@@ -19,6 +19,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"adaptbf/internal/tbf"
@@ -148,6 +149,45 @@ func (j Job) TotalBytes() int64 {
 		total += p.FileBytes
 	}
 	return total
+}
+
+// StaticRules builds the Static BW baseline's fixed TBF rules for one
+// storage target: one rule per job, rate proportional to the job's share
+// of totalNodes (≤0 means the sum over jobs, the paper's "resources
+// available in the system"), clamped to at least 1 token/s, ranked by
+// priority (node count, then ID) into the rule hierarchy. Both the
+// simulator and the live cluster backend install exactly these rules, so
+// the baseline cannot drift between substrates.
+func StaticRules(jobs []Job, maxRate float64, totalNodes int) []tbf.Rule {
+	if totalNodes <= 0 {
+		for _, j := range jobs {
+			totalNodes += j.Nodes
+		}
+	}
+	if totalNodes <= 0 {
+		totalNodes = 1
+	}
+	ranked := append([]Job(nil), jobs...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Nodes != ranked[j].Nodes {
+			return ranked[i].Nodes > ranked[j].Nodes
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	rules := make([]tbf.Rule, len(ranked))
+	for rank, j := range ranked {
+		rate := maxRate * float64(j.Nodes) / float64(totalNodes)
+		if rate < 1 {
+			rate = 1
+		}
+		rules[rank] = tbf.Rule{
+			Name:  "static_" + j.ID,
+			Match: tbf.Match{JobIDs: []string{j.ID}},
+			Rate:  rate,
+			Order: rank + 1,
+		}
+	}
+	return rules
 }
 
 // Replicate returns n copies of the pattern — the paper's file-per-process
