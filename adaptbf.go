@@ -236,6 +236,13 @@ type (
 	// GIFTScaleStudyResult is a finished scale study: raw matrix, JSON
 	// document, and renderable/CSV-exportable report.
 	GIFTScaleStudyResult = report.ScaleStudy
+	// CalibrationStudyOptions parameterizes the built-in live-vs-sim
+	// calibration study.
+	CalibrationStudyOptions = report.CalibrationStudyOptions
+	// CalibrationStudyResult is a finished calibration study: both
+	// merged matrices, the schema-v3 JSON document (with its divergence
+	// section), and the renderable/CSV-exportable report.
+	CalibrationStudyResult = report.CalibrationStudy
 )
 
 // MatrixDocumentSchemaVersion is the version stamped into every
@@ -255,6 +262,17 @@ func NewMatrixDocument(res *MatrixResult, opt MatrixDocumentOptions) *MatrixDocu
 // options run the acceptance grid: OSS {1,2,4,8} × seeds {1..5}.
 func RunGIFTScaleStudy(opt GIFTScaleStudyOptions) (*GIFTScaleStudyResult, error) {
 	return report.RunGIFTScaleStudy(opt)
+}
+
+// RunCalibrationStudy executes the same grid on the deterministic
+// simulator and the live cluster backend (all five policies by default)
+// and quantifies the per-policy divergence of throughput, priority
+// fairness, and tail latency between the two substrates with
+// cell-paired confidence intervals — the sim-to-deployment credibility
+// check. Rows drifting beyond OutlierPct are flagged. CLI:
+// adaptbf-matrix -study calibration.
+func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudyResult, error) {
+	return report.RunCalibrationStudy(opt)
 }
 
 // TQuantile exposes the Student-t quantile the interval columns use
@@ -277,10 +295,27 @@ type (
 	NodeMapper = controller.NodeMapper
 	// NodeMapperFunc adapts a function to NodeMapper.
 	NodeMapperFunc = controller.NodeMapperFunc
+	// SFQOSSConfig swaps a live server's TBF scheduler for a weighted
+	// SFQ(D) gate (OSSConfig.SFQ) — the related-work baseline, live.
+	SFQOSSConfig = cluster.SFQConfig
+	// GIFTCoordinator is the live centralized GIFT coupon-bank service:
+	// one per system, consulted by every OSS's GIFTAgent over the
+	// transport each epoch.
+	GIFTCoordinator = cluster.GIFTCoordinator
+	// GIFTAgent is one OSS's coordinator-facing GIFT client
+	// (OSS.NewGIFTAgent).
+	GIFTAgent = cluster.GIFTAgent
 )
 
 // NewOSS starts a live storage server.
 func NewOSS(cfg OSSConfig) *OSS { return cluster.NewOSS(cfg) }
+
+// NewGIFTCoordinator starts the centralized GIFT decision maker with the
+// given epoch; serve it with PipeOSS-style transport plumbing
+// (transport.Pipe / transport.Serve) and point each OSS's agent at it.
+func NewGIFTCoordinator(epoch time.Duration) *GIFTCoordinator {
+	return cluster.NewGIFTCoordinator(epoch)
+}
 
 // An RPCClient issues requests to a live storage server.
 type RPCClient = transport.Client

@@ -17,7 +17,7 @@
 //	               [-backend sim|live] [-cell-timeout 0]
 //	               [-speedup 1] [-per-job-digests]
 //	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
-//	               [-study gift-scale] [-gate BENCH_matrix.json]
+//	               [-study gift-scale|calibration] [-gate BENCH_matrix.json]
 //	               [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //
@@ -40,7 +40,11 @@
 // exports every report table as CSV. -study gift-scale ignores the grid
 // flags and runs the built-in GIFT-vs-AdapTBF centralization-overhead
 // scale study (OSS {1,2,4,8} × 5 seeds by default, with -osses/-seeds/
-// -scales/-duration overriding its axes).
+// -scales/-duration overriding its axes). -study calibration executes
+// the same grid on the simulator AND the live cluster backend and
+// reports the per-policy per-metric divergence between them (overriding
+// axes: -policies/-osses/-seeds/-scales/-duration/-speedup/
+// -cell-timeout; -speedup 1 runs the live cells unaccelerated).
 //
 // With -bench-json the run is measured — wall time, heap allocations, and
 // DES events processed — and a per-cell record (ns/cell, allocs/cell,
@@ -119,6 +123,63 @@ func parseInt64s(s string) ([]int64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// studyRejectedFlags lists, per built-in study, the flags that cannot be
+// combined with it (each study fixes its own grid and measurement; only
+// the listed axes override its defaults).
+var studyRejectedFlags = map[string][]string{
+	report.GIFTScaleStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
+		"scenarios", "policies", "rate", "period",
+		"backend", "cell-timeout", "speedup", "per-job-digests", "gate"},
+	// Calibration runs both backends itself, so -backend is meaningless;
+	// -speedup/-cell-timeout/-policies tune its live half.
+	report.CalibrationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
+		"scenarios", "rate", "period",
+		"backend", "per-job-digests", "gate"},
+}
+
+// validateGridFlags checks the flag combinations of a plain (non-study)
+// grid run: backend is the -backend value and set reports which flags
+// were given explicitly. It returns the first offending combination.
+func validateGridFlags(backend string, set map[string]bool) error {
+	switch backend {
+	case "sim", "live":
+	default:
+		return fmt.Errorf("unknown -backend %q (available: sim, live)", backend)
+	}
+	if backend == "live" {
+		// Live cells are wall-clock: nothing about them is deterministic
+		// or comparable to the tracked sim baselines. In particular
+		// -verify proves parallel ≡ sequential merging, which is a
+		// simulator-determinism property — on live cells the re-run would
+		// always differ, so the flag must be rejected, not ignored.
+		for _, f := range []string{"verify", "bench-json", "gate"} {
+			if set[f] {
+				return fmt.Errorf("-%s requires -backend sim (live cells are wall-clock, not deterministic)", f)
+			}
+		}
+	} else if set["speedup"] {
+		return fmt.Errorf("-speedup only applies to -backend live (the simulator's clock is virtual)")
+	}
+	if set["gate"] {
+		// The tracked intervals are captured on the default grid; gating
+		// a different grid would compare unrelated measurements.
+		for _, axis := range []string{"scenarios", "policies", "scales", "osses", "seeds", "rate", "period", "duration"} {
+			if set[axis] {
+				return fmt.Errorf("-gate checks the tracked default grid; -%s is not supported with it (re-capture the regression_gate intervals instead if the grid should change)", axis)
+			}
+		}
+	}
+	return nil
+}
+
+// setFlags reports which flags were given explicitly on the command
+// line.
+func setFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
 }
 
 // writeArtifacts persists the machine-readable outputs: the versioned
@@ -201,96 +262,114 @@ func main() {
 	if *ciLevel <= 0 || *ciLevel >= 1 {
 		log.Fatalf("bad -ci-level %v: need 0 < level < 1", *ciLevel)
 	}
-	var be harness.Backend
-	switch *backend {
-	case "sim":
-		be = harness.NewSimBackend()
-	case "live":
-		be = &harness.ClusterBackend{Speedup: *speedup}
-	default:
-		log.Fatalf("unknown -backend %q (available: sim, live)", *backend)
-	}
-	if *backend == "live" {
-		// Live cells are wall-clock: nothing about them is deterministic
-		// or comparable to the tracked sim baselines.
-		for flagName, set := range map[string]bool{
-			"verify":     *verify,
-			"bench-json": *benchJSON != "",
-			"gate":       *gate != "",
-		} {
-			if set {
-				log.Fatalf("-%s requires -backend sim (live cells are wall-clock, not deterministic)", flagName)
-			}
-		}
-	} else if *speedup != 1 {
-		log.Fatal("-speedup only applies to -backend live (the simulator's clock is virtual)")
-	}
-	if *gate != "" {
-		// The tracked intervals are captured on the default grid; gating
-		// a different grid would compare unrelated measurements.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		for _, axis := range []string{"scenarios", "policies", "scales", "osses", "seeds", "rate", "period", "duration"} {
-			if set[axis] {
-				log.Fatalf("-gate checks the tracked default grid; -%s is not supported with it (re-capture the regression_gate intervals instead if the grid should change)", axis)
-			}
-		}
-	}
-
 	if *study != "" {
 		// A study supplies its own grid; only explicitly-set axis flags
 		// override its defaults.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if *study != report.GIFTScaleStudyName {
-			log.Fatalf("unknown -study %q (available: %s)", *study, report.GIFTScaleStudyName)
+		set := setFlags()
+		rejected, known := studyRejectedFlags[*study]
+		if !known {
+			log.Fatalf("unknown -study %q (available: %s, %s)",
+				*study, report.GIFTScaleStudyName, report.CalibrationStudyName)
 		}
-		for _, ignored := range []string{"verify", "bench-json", "cpuprofile", "memprofile", "scenarios", "policies", "rate", "period",
-			"backend", "cell-timeout", "speedup", "per-job-digests", "gate"} {
-			if set[ignored] {
-				log.Fatalf("-%s is not supported in -study mode (the study fixes its own grid and measurement)", ignored)
+		for _, r := range rejected {
+			if set[r] {
+				log.Fatalf("-%s is not supported in -study %s mode (the study fixes its own grid and measurement)", r, *study)
 			}
 		}
-		opt := report.ScaleStudyOptions{Workers: *workers, CILevel: *ciLevel}
-		if set["osses"] {
-			opt.OSSes = ossVals
+		if set["scales"] && len(scaleVals) > 1 {
+			log.Fatalf("-study mode sweeps one scale; got -scales %v", scaleVals)
 		}
-		if set["seeds"] {
-			opt.Seeds = seedVals
-		}
-		if set["scales"] && len(scaleVals) > 0 {
-			if len(scaleVals) > 1 {
-				log.Fatalf("-study mode sweeps one scale; got -scales %v", scaleVals)
-			}
-			opt.Scale = scaleVals[0]
-		}
-		if set["duration"] {
-			opt.Duration = *duration
-		}
+		var onCell func(harness.CellResult)
 		if !*quiet {
 			done := 0
-			opt.OnCell = func(cr harness.CellResult) {
+			onCell = func(cr harness.CellResult) {
 				done++
 				status := "ok"
 				if cr.Err != nil {
 					status = "ERROR: " + cr.Err.Error()
 				}
-				fmt.Printf("  [%3d] %-45v %s\n", done, cr.Cell, status)
+				fmt.Printf("  [%3d] %-45v (%s) %s\n", done, cr.Cell, cr.Backend, status)
 			}
 		}
-		st, err := report.RunGIFTScaleStudy(opt)
-		if err != nil {
-			log.Fatal(err)
+
+		var doc *report.Document
+		var rep *experiments.Report
+		switch *study {
+		case report.GIFTScaleStudyName:
+			opt := report.ScaleStudyOptions{Workers: *workers, CILevel: *ciLevel, OnCell: onCell}
+			if set["osses"] {
+				opt.OSSes = ossVals
+			}
+			if set["seeds"] {
+				opt.Seeds = seedVals
+			}
+			if set["scales"] && len(scaleVals) > 0 {
+				opt.Scale = scaleVals[0]
+			}
+			if set["duration"] {
+				opt.Duration = *duration
+			}
+			st, err := report.RunGIFTScaleStudy(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("study %s: %d cells in %v with %d workers\n\n",
+				*study, len(st.Matrix.Cells), st.Matrix.Elapsed.Round(time.Millisecond), st.Matrix.Workers)
+			doc, rep = st.Document, st.Report
+		case report.CalibrationStudyName:
+			opt := report.CalibrationStudyOptions{Workers: *workers, CILevel: *ciLevel, OnCell: onCell}
+			if set["policies"] {
+				opt.Policies = pols
+			}
+			if set["osses"] {
+				opt.OSSes = ossVals
+			}
+			if set["seeds"] {
+				opt.Seeds = seedVals
+			}
+			if set["scales"] && len(scaleVals) > 0 {
+				opt.Scale = scaleVals[0]
+			}
+			if set["duration"] {
+				opt.Duration = *duration
+			}
+			if set["speedup"] {
+				opt.Speedup = *speedup
+			}
+			if set["cell-timeout"] {
+				opt.CellTimeout = *cellTimeout
+			}
+			st, err := report.RunCalibrationStudy(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("study %s: %d sim + %d live cells (sim %v, live %v)\n",
+				*study, len(st.Sim.Cells), len(st.Live.Cells),
+				st.Sim.Elapsed.Round(time.Millisecond), st.Live.Elapsed.Round(time.Millisecond))
+			if c := st.Document.Calibration; c.SimFailedCells > 0 || c.LiveFailedCells > 0 {
+				fmt.Printf("WARNING: %d sim / %d live cells failed and were excluded from pairing (see the cell errors in the JSON document)\n",
+					c.SimFailedCells, c.LiveFailedCells)
+			}
+			fmt.Println()
+			doc, rep = st.Document, st.Report
 		}
-		fmt.Printf("study %s: %d cells in %v with %d workers\n\n",
-			*study, len(st.Matrix.Cells), st.Matrix.Elapsed.Round(time.Millisecond), st.Matrix.Workers)
-		for _, t := range st.Report.Tables {
+		for _, t := range rep.Tables {
 			fmt.Printf("-- %s --\n", t.Name)
 			metrics.RenderTable(os.Stdout, t.Header, t.Rows)
 			fmt.Println()
 		}
-		writeArtifacts(st.Document, st.Report, *jsonOut, *csvDir)
+		writeArtifacts(doc, rep, *jsonOut, *csvDir)
 		return
+	}
+
+	if err := validateGridFlags(*backend, setFlags()); err != nil {
+		log.Fatal(err)
+	}
+	var be harness.Backend
+	if *backend == "live" {
+		be = &harness.ClusterBackend{Speedup: *speedup}
+	} else {
+		be = harness.NewSimBackend()
 	}
 
 	// Fill the same defaults harness.Run would, so the cell-count banner

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateGridFlagsRejectsVerifyOnLive pins the guard the live
+// backend depends on: -verify proves parallel ≡ sequential merging,
+// which only the deterministic simulator can satisfy, so combining it
+// with -backend live must fail with a clear error instead of being
+// silently meaningless on wall-clock cells.
+func TestValidateGridFlagsRejectsVerifyOnLive(t *testing.T) {
+	err := validateGridFlags("live", map[string]bool{"backend": true, "verify": true})
+	if err == nil {
+		t.Fatal("-verify with -backend live accepted")
+	}
+	for _, want := range []string{"-verify", "-backend sim", "not deterministic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestValidateGridFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		backend string
+		set     []string
+		wantErr string // substring; "" means valid
+	}{
+		{"plain sim", "sim", nil, ""},
+		{"plain live", "live", []string{"backend", "speedup", "cell-timeout"}, ""},
+		{"unknown backend", "cloud", nil, "unknown -backend"},
+		{"bench-json on live", "live", []string{"backend", "bench-json"}, "-bench-json requires -backend sim"},
+		{"gate on live", "live", []string{"backend", "gate"}, "-gate requires -backend sim"},
+		{"speedup on sim", "sim", []string{"speedup"}, "-speedup only applies to -backend live"},
+		{"gate with axis flag", "sim", []string{"gate", "seeds"}, "tracked default grid"},
+		{"gate on default grid", "sim", []string{"gate"}, ""},
+	}
+	for _, tc := range cases {
+		set := map[string]bool{}
+		for _, f := range tc.set {
+			set[f] = true
+		}
+		err := validateGridFlags(tc.backend, set)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && (err == nil || !strings.Contains(err.Error(), tc.wantErr)):
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestStudyRejectedFlags pins the per-study flag contracts: every study
+// rejects -verify and -gate (neither determinism verification nor the
+// sim-grid gate is meaningful there), gift-scale stays sim-only, and
+// calibration allows the live-half tuning flags it documents.
+func TestStudyRejectedFlags(t *testing.T) {
+	for study, rejected := range studyRejectedFlags {
+		has := map[string]bool{}
+		for _, f := range rejected {
+			has[f] = true
+		}
+		for _, must := range []string{"verify", "gate", "backend", "bench-json"} {
+			if !has[must] {
+				t.Errorf("study %s does not reject -%s", study, must)
+			}
+		}
+		if study == "calibration" {
+			for _, allowed := range []string{"speedup", "cell-timeout", "policies", "osses", "seeds", "scales", "duration"} {
+				if has[allowed] {
+					t.Errorf("calibration rejects -%s, which it documents as an override", allowed)
+				}
+			}
+		}
+	}
+}

@@ -25,7 +25,8 @@
 //     figure of the paper's evaluation (internal/des, internal/sim,
 //     internal/experiments, internal/metrics);
 //   - a live goroutine/RPC cluster mode (internal/transport,
-//     internal/cluster);
+//     internal/cluster) running all five policies on the wall clock,
+//     including a central GIFT coupon-bank coordinator service;
 //   - a concurrent scenario-matrix engine (internal/harness) that fans a
 //     declarative grid — scenario × policy × scale × OSS count × seed —
 //     out over a worker pool and merges the results deterministically,
@@ -76,20 +77,6 @@
 //	)
 //	rep := res.Report()
 //
-// Every cell executes on a pluggable backend (MatrixBackend). The
-// default SimBackend runs the deterministic simulator: the merged report
-// and Fingerprint are identical whatever the worker count. Passing
-// WithMatrixBackend(&ClusterBackend{...}) instead runs every cell as a
-// live wall-clock deployment — real in-process storage servers
-// (cluster.OSS goroutines), job runners issuing RPCs over the gob
-// transport, and one independent AdapTBF controller per OSS — with each
-// cell's CellResult.Backend (and the JSON document's per-cell backend
-// field) set to "live". Live cells support the NoBW, StaticBW, and
-// AdapTBF policies, honor the matrix Duration as an OSS-time cap, and
-// report OSS-time metrics (wall-clock × ClusterBackend.Speedup); being
-// measured rather than simulated, they are excluded from all determinism
-// and fingerprint claims.
-//
 // Migration note: the pre-backend API — RunMatrix(m, MatrixOptions{
 // Workers: n, OnCell: fn}) — survives one release as a deprecated shim
 // for harness compatibility. It is exactly RunMatrixCtx(context.
@@ -100,6 +87,67 @@
 //
 // From the command line: go run ./cmd/adaptbf-matrix -verify, or
 // -backend live -cell-timeout 2m for a wall-clock sweep.
+//
+// # Backends
+//
+// Every cell executes on a pluggable backend (MatrixBackend). The
+// default SimBackend runs the deterministic simulator: the merged report
+// and Fingerprint are identical whatever the worker count. Passing
+// WithMatrixBackend(&ClusterBackend{...}) instead runs every cell as a
+// live wall-clock deployment — real in-process storage servers
+// (cluster.OSS goroutines) and job runners issuing RPCs over the gob
+// transport — with each cell's CellResult.Backend (and the JSON
+// document's per-cell backend field) set to "live". Live cells honor
+// the matrix Duration as an OSS-time cap and report OSS-time metrics
+// (wall-clock × ClusterBackend.Speedup); being measured rather than
+// simulated, they are excluded from all determinism and fingerprint
+// claims.
+//
+// The FULL five-policy axis runs live, each mechanism deployed the way
+// its paper describes it:
+//
+//   - NoBW: no rules; FCFS from the TBF fallback queue.
+//   - StaticBW: fixed priority-proportional rules (workload.StaticRules
+//     — the same rule set the simulator installs, so the baseline
+//     cannot drift between substrates).
+//   - SFQ(D): the OSS's request gate is a node-weighted sfq.Scheduler
+//     (cluster.OSSConfig.SFQ) instead of the TBF scheduler; such a
+//     server has no rule engine (ErrNoRuleEngine) and no controller.
+//   - AdapTBF: one independent controller per OSS (OSS.NewController) —
+//     the paper's decentralization property, live.
+//   - GIFT: one central coupon-bank coordinator per cell
+//     (cluster.GIFTCoordinator) that every OSS's agent
+//     (OSS.NewGIFTAgent) consults over the transport each epoch. The
+//     coordinator serializes walks behind its bank mutex — GIFT's
+//     serial central walk reproduced as actual RPCs, so its
+//     coordination cost (Result.TickTimes: per-walk round-trips;
+//     CtrlMsgs, RuleOps) is measured on the wire, not modeled.
+//
+// To add a live policy: give cluster.OSS whatever per-server gate or
+// rule machinery the mechanism needs (SFQ shows the gate seam,
+// requestGate; GIFT shows the coordinator-service pattern over
+// transport.Request.Payload), wire a policy arm into
+// harness.ClusterBackend.RunCell that stands the machinery up and folds
+// its accounting into sim.Result, and extend the five-policy live smoke
+// in CI. Anything deterministic belongs in the simulator; anything
+// wall-clock belongs here.
+//
+// How far apart the two substrates are is itself measured:
+// RunCalibrationStudy (CLI: -study calibration) executes the same grid
+// on both backends and reports per-policy divergence of throughput,
+// node-normalized Jain fairness, and p50/p99 latency with cell-paired
+// confidence intervals, flagging rows whose mean divergence exceeds
+// CalibrationStudyOptions.OutlierPct. The sim half sweeps in parallel;
+// the live half runs serially by default (LiveWorkers = 1) so
+// concurrent wall-clock cells cannot contaminate each other's timers —
+// that serialization is what the measurement's validity rests on. Per-
+// cell failures are tolerated: a flaky live cell is excluded from
+// pairing and counted (sim_failed_cells / live_failed_cells) instead of
+// destroying the artifact. The JSON document (schema v3)
+// carries the rows and the live grid's cells in a "calibration"
+// section; CI smokes a small accelerated grid on every push, and the
+// nightly workflow runs the full grid unaccelerated (-speedup 1) so
+// slow drift between backends is caught without taxing every push.
 //
 // # Matrix analytics and export
 //

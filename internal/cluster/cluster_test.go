@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -420,6 +422,135 @@ func TestJobRunnerValidates(t *testing.T) {
 	if _, err := r2.Run(context.Background()); err == nil {
 		t.Fatal("job without targets accepted")
 	}
+}
+
+// sfqOSS stands up an SFQ-gated server with the given flow weights.
+func sfqOSS(t *testing.T, weights map[string]float64) *OSS {
+	t.Helper()
+	o := NewOSS(OSSConfig{
+		Device: fastDevice(),
+		SFQ:    &SFQConfig{Weights: func(jobID string) float64 { return weights[jobID] }},
+	})
+	t.Cleanup(o.Close)
+	return o
+}
+
+// TestLiveSFQWeightedSharing: two saturating jobs with a 1:4 weight
+// ratio against one SFQ-gated OSS. Start-tag ordering must hand the
+// heavy flow a clearly larger byte share — the live counterpart of the
+// simulator's SFQ proportional-sharing property.
+func TestLiveSFQWeightedSharing(t *testing.T) {
+	o := sfqOSS(t, map[string]float64{"heavy.n04": 4, "light.n01": 1})
+	runCtx, cancel := context.WithTimeout(context.Background(), 600*time.Millisecond)
+	defer cancel()
+	type out struct {
+		id    string
+		stats JobStats
+	}
+	results := make(chan out, 2)
+	for _, id := range []string{"heavy.n04", "light.n01"} {
+		id := id
+		go func() {
+			c := transport.Pipe(o)
+			defer c.Close()
+			runner := &JobRunner{
+				Job: workload.Job{
+					ID:    id,
+					Nodes: 1,
+					Procs: workload.Replicate(workload.Pattern{RPCBytes: kib64, MaxInflight: 16}, 4),
+				},
+				Targets: []*transport.Client{c},
+			}
+			stats, _ := runner.Run(runCtx)
+			results <- out{id, stats}
+		}()
+	}
+	got := map[string]JobStats{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		got[r.id] = r.stats
+	}
+	heavy, light := got["heavy.n04"].Bytes, got["light.n01"].Bytes
+	if heavy == 0 || light == 0 {
+		t.Fatalf("a flow starved outright: heavy=%d light=%d", heavy, light)
+	}
+	if ratio := float64(heavy) / float64(light); ratio < 1.7 {
+		t.Fatalf("heavy/light byte ratio %.2f under 1:4 SFQ weights, want > 1.7", ratio)
+	}
+}
+
+// TestLiveSFQTagOrderingUnderConcurrency floods an SFQ-gated OSS from
+// many concurrent equal-weight runners (the -race workload for the
+// gate's locking) and checks the work-conserving contract: every issued
+// request is served exactly once, and no equal-weight flow is starved
+// relative to another by more than the tag-ordering window allows.
+func TestLiveSFQTagOrderingUnderConcurrency(t *testing.T) {
+	o := sfqOSS(t, nil) // all flows weight 1
+	const jobs = 4
+	var wg sync.WaitGroup
+	stats := make([]JobStats, jobs)
+	for j := 0; j < jobs; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := transport.Pipe(o)
+			defer c.Close()
+			runner := &JobRunner{
+				Job: workload.Job{
+					ID:    fmt.Sprintf("flow%d.n01", j),
+					Nodes: 1,
+					Procs: workload.Replicate(workload.Pattern{FileBytes: 24 * kib64, RPCBytes: kib64, MaxInflight: 8}, 2),
+				},
+				Targets: []*transport.Client{c},
+			}
+			st, err := runner.Run(context.Background())
+			if err != nil {
+				t.Errorf("flow %d: %v", j, err)
+			}
+			stats[j] = st
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for j, st := range stats {
+		if st.RPCs != 48 { // 2 procs × 24 RPCs, each served exactly once
+			t.Fatalf("flow %d served %d RPCs, want 48", j, st.RPCs)
+		}
+		total += st.Bytes
+	}
+	if total != jobs*48*kib64 {
+		t.Fatalf("total bytes %d, want %d", total, jobs*48*kib64)
+	}
+	if o.PendingJobs() != nil && len(o.PendingJobs()) != 0 {
+		t.Fatalf("requests still pending after every flow finished: %v", o.PendingJobs())
+	}
+}
+
+// TestSFQOSSHasNoRuleEngine: rule operations on an SFQ-gated OSS fail
+// with ErrNoRuleEngine, and building an AdapTBF controller (or a GIFT
+// agent) on one panics — there are no token rules to drive.
+func TestSFQOSSHasNoRuleEngine(t *testing.T) {
+	o := sfqOSS(t, nil)
+	eng := o.Engine()
+	if err := eng.StartRule(ruleFor("x.n1", 10), o.Now()); !errors.Is(err, ErrNoRuleEngine) {
+		t.Fatalf("StartRule err = %v, want ErrNoRuleEngine", err)
+	}
+	if err := eng.ChangeRule("r", 1, 1, o.Now()); !errors.Is(err, ErrNoRuleEngine) {
+		t.Fatalf("ChangeRule err = %v, want ErrNoRuleEngine", err)
+	}
+	if err := eng.StopRule("r", o.Now()); !errors.Is(err, ErrNoRuleEngine) {
+		t.Fatalf("StopRule err = %v, want ErrNoRuleEngine", err)
+	}
+	if rules := eng.Rules(); len(rules) != 0 {
+		t.Fatalf("SFQ engine reports rules: %v", rules)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewController on an SFQ-gated OSS did not panic")
+		}
+	}()
+	o.NewController(controller.NodeMapperFunc(func(string) int { return 1 }), 100, 20*time.Millisecond)
 }
 
 func TestOSSStaticRulesViaEngine(t *testing.T) {

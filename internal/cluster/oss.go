@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -19,9 +20,26 @@ import (
 	"adaptbf/internal/device"
 	"adaptbf/internal/jobstats"
 	"adaptbf/internal/rules"
+	"adaptbf/internal/sfq"
 	"adaptbf/internal/tbf"
 	"adaptbf/internal/transport"
 )
+
+// SFQConfig selects Start-time Fair Queueing for an OSS: the server's
+// request gate becomes an sfq.Scheduler instead of the TBF scheduler, so
+// dispatch order follows per-flow start tags (weighted proportional
+// sharing) rather than token-bucket rules. An SFQ-gated OSS has no rule
+// engine and no AdapTBF controller — SFQ is the memoryless related-work
+// baseline, live.
+type SFQConfig struct {
+	// Depth is the dispatch depth D (requests in service concurrently).
+	// The single dispatcher serves one request at a time, so depths above
+	// 1 only widen the reorder window. Default 1.
+	Depth int
+	// Weights maps a job to its flow weight. Nil (or a non-positive
+	// return) means weight 1.
+	Weights func(jobID string) float64
+}
 
 // OSSConfig parameterizes a storage server.
 type OSSConfig struct {
@@ -32,6 +50,18 @@ type OSSConfig struct {
 	// Speedup divides service times, accelerating demos: a Speedup of 10
 	// makes the modeled device appear 10× faster in wall time. Default 1.
 	Speedup float64
+	// SFQ, when non-nil, gates requests through Start-time Fair Queueing
+	// instead of the TBF scheduler (see SFQConfig).
+	SFQ *SFQConfig
+}
+
+// requestGate is the scheduler standing between arriving requests and the
+// dispatcher — the live twin of the simulator's gate seam. *tbf.Scheduler
+// and *sfq.Scheduler both implement it.
+type requestGate interface {
+	Enqueue(req *tbf.Request, now int64)
+	Dequeue(now int64) (req *tbf.Request, wake int64, ok bool)
+	PendingJobs() map[string]int
 }
 
 // An OSS is one object storage server hosting one storage target. It
@@ -46,7 +76,9 @@ type OSS struct {
 	epoch   time.Time
 
 	mu          sync.Mutex
-	sched       *tbf.Scheduler
+	gate        requestGate
+	sched       *tbf.Scheduler // nil when the gate is SFQ
+	onServed    func()         // SFQ dispatch-slot release; nil under TBF
 	outstanding map[int]int
 
 	kick chan struct{}
@@ -72,10 +104,17 @@ func NewOSS(cfg OSSConfig) *OSS {
 		cfg:         cfg,
 		dev:         device.New(cfg.Device),
 		epoch:       time.Now(),
-		sched:       tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth}),
 		outstanding: make(map[int]int),
 		kick:        make(chan struct{}, 1),
 		done:        make(chan struct{}),
+	}
+	if cfg.SFQ != nil {
+		q := sfq.New(cfg.SFQ.Depth, cfg.SFQ.Weights)
+		o.gate = q
+		o.onServed = q.Complete
+	} else {
+		o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth})
+		o.gate = o.sched
 	}
 	o.wg.Add(1)
 	go o.dispatch()
@@ -106,7 +145,7 @@ func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
 	}
 	o.mu.Lock()
 	o.outstanding[req.Stream]++
-	o.sched.Enqueue(r, o.Now())
+	o.gate.Enqueue(r, o.Now())
 	o.mu.Unlock()
 	o.wake()
 }
@@ -135,7 +174,7 @@ func (o *OSS) dispatch() {
 	for {
 		o.mu.Lock()
 		now := o.Now()
-		req, wakeAt, ok := o.sched.Dequeue(now)
+		req, wakeAt, ok := o.gate.Dequeue(now)
 		var streams int
 		if ok {
 			streams = len(o.outstanding)
@@ -158,6 +197,9 @@ func (o *OSS) dispatch() {
 				o.outstanding[req.Stream] = n
 			} else {
 				delete(o.outstanding, req.Stream)
+			}
+			if o.onServed != nil {
+				o.onServed() // frees the SFQ dispatch slot
 			}
 			o.mu.Unlock()
 			req.Userdata.(func(transport.Reply))(transport.Reply{Bytes: req.Bytes})
@@ -224,7 +266,7 @@ func (o *OSS) DeviceStats() (served uint64, busy time.Duration) {
 func (o *OSS) PendingJobs() map[string]int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.sched.PendingJobs()
+	return o.gate.PendingJobs()
 }
 
 // lockedEngine adapts the scheduler's rule interface with the OSS lock
@@ -262,15 +304,38 @@ func (e lockedEngine) StopRule(name string, now int64) error {
 	return err
 }
 
+// ErrNoRuleEngine is returned by rule operations on an SFQ-gated OSS:
+// SFQ dispatches by start tag, not token rules, so there is nothing for
+// a rule to act on.
+var ErrNoRuleEngine = errors.New("cluster: SFQ-gated OSS has no TBF rule engine")
+
+// noRuleEngine is the Engine of an SFQ-gated OSS: every mutation fails
+// with ErrNoRuleEngine instead of silently disappearing.
+type noRuleEngine struct{}
+
+func (noRuleEngine) Rules() []tbf.Rule                            { return nil }
+func (noRuleEngine) StartRule(tbf.Rule, int64) error              { return ErrNoRuleEngine }
+func (noRuleEngine) ChangeRule(string, float64, int, int64) error { return ErrNoRuleEngine }
+func (noRuleEngine) StopRule(string, int64) error                 { return ErrNoRuleEngine }
+
 // Engine returns a thread-safe rules.Engine over this OSS's scheduler,
-// for the rule daemon or for installing static/administrative rules.
-func (o *OSS) Engine() rules.Engine { return lockedEngine{o} }
+// for the rule daemon or for installing static/administrative rules. On
+// an SFQ-gated OSS every mutation fails with ErrNoRuleEngine.
+func (o *OSS) Engine() rules.Engine {
+	if o.sched == nil {
+		return noRuleEngine{}
+	}
+	return lockedEngine{o}
+}
 
 // NewController assembles this OSS's AdapTBF controller: stats from the
 // local tracker, backlog from the local scheduler, rules applied through
 // the local engine — no information leaves the storage server, which is
 // the paper's decentralization property. Run it with go ctrl.Run(ctx).
 func (o *OSS) NewController(nodes controller.NodeMapper, maxRate float64, period time.Duration, opts ...core.Option) *controller.Controller {
+	if o.sched == nil {
+		panic("cluster: an SFQ-gated OSS has no TBF rules for a controller to drive")
+	}
 	return controller.New(controller.Config{
 		Stats:  &o.tracker,
 		Nodes:  nodes,

@@ -244,14 +244,14 @@ func liveScenario() Scenario {
 	}
 }
 
-// TestClusterBackendGrid is the live acceptance shape: a ≥2-cell,
-// ≥2-OSS grid (3 policies × 2 OSSes here) runs end to end on real
+// TestClusterBackendGrid is the live acceptance shape: the FULL policy
+// axis (all five policies) × 2 OSSes runs end to end on real
 // storage-server goroutines, every cell completes with served RPCs,
 // per-OSS device stats, latency digests, and the "live" backend label.
 func TestClusterBackendGrid(t *testing.T) {
 	m := Matrix{
 		Scenarios:    []Scenario{liveScenario()},
-		Policies:     []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF},
+		Policies:     []sim.Policy{sim.NoBW, sim.StaticBW, sim.SFQ, sim.AdapTBF, sim.GIFT},
 		OSSes:        []int{2},
 		MaxTokenRate: 4000,
 		Period:       20 * time.Millisecond,
@@ -263,8 +263,8 @@ func TestClusterBackendGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cells) != 3 {
-		t.Fatalf("ran %d cells, want 3", len(res.Cells))
+	if len(res.Cells) != 5 {
+		t.Fatalf("ran %d cells, want 5", len(res.Cells))
 	}
 	for _, cr := range res.Cells {
 		if cr.Backend != "live" {
@@ -295,28 +295,70 @@ func TestClusterBackendGrid(t *testing.T) {
 	}
 	// The merged report renders live cells like any others.
 	rep := res.Report()
-	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != 3 {
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != 5 {
 		t.Fatalf("live report malformed: %+v", rep.Tables)
 	}
 }
 
-// TestClusterBackendRejectsUnsupportedPolicies: SFQ and GIFT have no
-// live implementation and must fail the cell with a clear error, not
-// silently fall back to FCFS.
-func TestClusterBackendRejectsUnsupportedPolicies(t *testing.T) {
+// TestClusterBackendRejectsUnknownPolicy: a policy value outside the
+// implemented set fails the cell with a clear error, not a silent FCFS
+// fallback.
+func TestClusterBackendRejectsUnknownPolicy(t *testing.T) {
 	m := Matrix{
 		Scenarios: []Scenario{liveScenario()},
-		Policies:  []sim.Policy{sim.SFQ, sim.GIFT},
+		Policies:  []sim.Policy{sim.Policy(99)},
 		Duration:  5 * time.Second,
 	}
 	res, err := Run(context.Background(), m, WithBackend(&ClusterBackend{Device: liveDevice()}))
 	if err == nil {
-		t.Fatal("unsupported live policies produced no error")
+		t.Fatal("unknown live policy produced no error")
 	}
 	for _, cr := range res.Cells {
 		if cr.Err == nil {
 			t.Fatalf("cell %v accepted", cr.Cell)
 		}
+	}
+}
+
+// TestClusterBackendLiveGIFTCoordination: a live GIFT cell long enough
+// to span several epochs actually exercises the central coordinator —
+// walk round-trips land in TickTimes, the deterministic message counter
+// advances, and rule operations reach the storage servers.
+func TestClusterBackendLiveGIFTCoordination(t *testing.T) {
+	m := Matrix{
+		Scenarios: []Scenario{{
+			Name: "gift-live",
+			Jobs: func(CellParams) []workload.Job {
+				// Unbounded writers with unequal demand: coupon flow every
+				// epoch until the duration cap.
+				return []workload.Job{
+					{ID: "greedy.n01", Nodes: 1, Procs: workload.Replicate(workload.Pattern{RPCBytes: 64 << 10, MaxInflight: 16}, 4)},
+					{ID: "meek.n01", Nodes: 1, Procs: []workload.Pattern{{RPCBytes: 64 << 10, MaxInflight: 1}}},
+				}
+			},
+		}},
+		Policies:     []sim.Policy{sim.GIFT},
+		OSSes:        []int{2},
+		MaxTokenRate: 2000,
+		Period:       20 * time.Millisecond,
+		Duration:     400 * time.Millisecond,
+	}
+	res, err := Run(context.Background(), m, WithBackend(&ClusterBackend{Device: liveDevice()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Cells[0].Result
+	if r.Done {
+		t.Fatal("unbounded GIFT cell reported Done")
+	}
+	if len(r.TickTimes) == 0 {
+		t.Fatal("no coordinator walks recorded in TickTimes")
+	}
+	if r.CtrlMsgs < 2*int64(len(r.TickTimes)) {
+		t.Fatalf("CtrlMsgs = %d for %d walks, want >= 2 per walk", r.CtrlMsgs, len(r.TickTimes))
+	}
+	if r.RuleOps == 0 {
+		t.Fatal("no TBF rule operations reached the storage servers")
 	}
 }
 

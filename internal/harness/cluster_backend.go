@@ -31,10 +31,13 @@ import (
 // partake in golden fingerprints, and CellResult.Backend = "live" marks
 // them in every report.
 //
-// Supported policies: NoBW (FCFS), StaticBW (fixed priority-proportional
-// rules installed at start), and AdapTBF (one controller per OSS). SFQ
-// and GIFT have no live implementation and fail the cell with a clear
-// error.
+// All five policies run live. NoBW is FCFS; StaticBW installs fixed
+// priority-proportional rules at start; AdapTBF runs one independent
+// controller per OSS; SFQ gates each OSS through a node-weighted
+// sfq.Scheduler (cluster.SFQConfig); GIFT stands up one central
+// coupon-bank coordinator (cluster.GIFTCoordinator) that every OSS's
+// agent consults over the transport each epoch — the serial central walk
+// as actual RPCs, its cost measured on the wire.
 //
 // A cell ends when every bounded job finishes, when the matrix Duration
 // elapses in OSS time (Done stays false, like the simulator hitting its
@@ -96,9 +99,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		return CellOutcome{}, err
 	}
 	switch spec.Cell.Policy {
-	case sim.NoBW, sim.StaticBW, sim.AdapTBF:
+	case sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT:
 	default:
-		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF)", spec.Cell.Policy)
+		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF, SFQ(D), GIFT)", spec.Cell.Policy)
 	}
 	jobs := spec.Scenario.Jobs(spec.Cell.Params())
 	if len(jobs) == 0 {
@@ -118,15 +121,54 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		depth = liveDefaultBucketDepth
 	}
 
+	// Workload time parameters are OSS time, but JobRunner sleeps them on
+	// the raw wall clock: divide them by Speedup so an accelerated cell
+	// runs the same OSS-time workload the simulator runs (otherwise a
+	// calibration pairing would partly measure the -speedup knob, not the
+	// substrate). Patterns are copied — Scenario.Jobs may share slices.
+	if speedup != 1 {
+		scale := func(d time.Duration) time.Duration {
+			if d <= 0 {
+				return d
+			}
+			if s := time.Duration(float64(d) / speedup); s > 0 {
+				return s
+			}
+			return 1 // keep positive so Pattern validation semantics hold
+		}
+		for ji := range jobs {
+			procs := append([]workload.Pattern(nil), jobs[ji].Procs...)
+			for pi := range procs {
+				procs[pi].StartDelay = scale(procs[pi].StartDelay)
+				procs[pi].BurstInterval = scale(procs[pi].BurstInterval)
+			}
+			jobs[ji].Procs = procs
+		}
+	}
+
+	nodesOf := make(map[string]int, len(jobs))
+	for _, j := range jobs {
+		nodesOf[j.ID] = j.Nodes
+	}
+
 	// Stand the stack up: one OSS per target, all torn down before any
-	// device counter is read (DeviceStats requires a closed OSS).
+	// device counter is read (DeviceStats requires a closed OSS). SFQ
+	// cells swap the TBF scheduler for a node-weighted SFQ(D) gate — the
+	// same weights the simulator's SFQ policy uses.
+	cfg := cluster.OSSConfig{
+		Device:      b.Device,
+		BucketDepth: depth,
+		Speedup:     speedup,
+	}
+	if spec.Cell.Policy == sim.SFQ {
+		cfg.SFQ = &cluster.SFQConfig{
+			Depth:   spec.SFQDepth,
+			Weights: func(jobID string) float64 { return float64(nodesOf[jobID]) },
+		}
+	}
 	osses := make([]*cluster.OSS, spec.Cell.OSSes)
 	for i := range osses {
-		osses[i] = cluster.NewOSS(cluster.OSSConfig{
-			Device:      b.Device,
-			BucketDepth: depth,
-			Speedup:     speedup,
-		})
+		osses[i] = cluster.NewOSS(cfg)
 	}
 	defer func() {
 		for _, o := range osses {
@@ -134,10 +176,21 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		}
 	}()
 
-	nodesOf := make(map[string]int, len(jobs))
-	for _, j := range jobs {
-		nodesOf[j.ID] = j.Nodes
+	// Policy machinery that outlives individual RPCs stops when the cell
+	// context ends (runner completion, duration cap, or cancel). The
+	// WaitGroup is what makes the stop a real quiesce: cancellation alone
+	// would let an in-flight controller tick or coordinator walk land
+	// after the stats fold (or after RunCell returned, against a closed
+	// OSS).
+	ctlCtx, stopCtls := context.WithCancel(context.Background())
+	var ctlWG sync.WaitGroup
+	quiesceCtls := func() {
+		stopCtls()
+		ctlWG.Wait()
 	}
+	defer quiesceCtls()
+	var giftCoord *cluster.GIFTCoordinator
+	var giftAgents []*cluster.GIFTAgent
 	switch spec.Cell.Policy {
 	case sim.StaticBW:
 		if err := installLiveStaticRules(osses, jobs, spec.MaxTokenRate); err != nil {
@@ -145,18 +198,37 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		}
 	case sim.AdapTBF:
 		// One independent controller per storage server — the paper's
-		// decentralization property, live. Controllers stop when the cell
-		// context ends (runner completion, duration cap, or cancel).
+		// decentralization property, live.
 		nodes := controller.NodeMapperFunc(func(jobID string) int {
 			if n := nodesOf[jobID]; n > 0 {
 				return n
 			}
 			return 1
 		})
-		ctlCtx, stopCtls := context.WithCancel(context.Background())
-		defer stopCtls()
 		for _, o := range osses {
-			go o.NewController(nodes, spec.MaxTokenRate, spec.Period).Run(ctlCtx)
+			ctl := o.NewController(nodes, spec.MaxTokenRate, spec.Period)
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				ctl.Run(ctlCtx)
+			}()
+		}
+	case sim.GIFT:
+		// One central coupon-bank coordinator for the whole cell — GIFT's
+		// design point. Every OSS's agent consults it over the transport
+		// each epoch, so the serial central walk happens as real RPCs.
+		giftCoord = cluster.NewGIFTCoordinator(spec.Period)
+		coordClient := transport.Pipe(giftCoord)
+		defer coordClient.Close()
+		giftAgents = make([]*cluster.GIFTAgent, len(osses))
+		for i, o := range osses {
+			ag := o.NewGIFTAgent(coordClient, spec.MaxTokenRate, spec.Period)
+			giftAgents[i] = ag
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				ag.Run(ctlCtx)
+			}()
 		}
 	}
 
@@ -186,13 +258,20 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 			c.Close()
 		}
 	}()
+	// Intern every job's recorder indices before any runner starts:
+	// observer construction mutates the recorders' intern tables, which
+	// must not race with an earlier job's in-flight observations.
+	observers := make([]func(bytes int64, latency time.Duration), len(jobs))
+	for ji, job := range jobs {
+		observers[ji] = rec.observer(job.ID)
+	}
 	for ji, job := range jobs {
 		targets := make([]*transport.Client, len(osses))
 		for i, o := range osses {
 			targets[i] = transport.Pipe(o)
 		}
 		clients = append(clients, targets...)
-		runner := &cluster.JobRunner{Job: job, Targets: targets, Observe: rec.observer(job.ID)}
+		runner := &cluster.JobRunner{Job: job, Targets: targets, Observe: observers[ji]}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -203,6 +282,7 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	wg.Wait()
 	elapsed := rec.now()
 	cancelRun()
+	quiesceCtls() // stop AND await controllers/agents before reading their stats
 
 	// A cancel from above (the run's ctx or the per-cell timeout) fails
 	// the cell; our own duration cap does not.
@@ -238,6 +318,23 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	}
 	if firstErr != nil {
 		return CellOutcome{}, firstErr
+	}
+
+	// Fold the live GIFT coordination cost into the result the same way
+	// the simulator does: TickTimes holds one entry per target walk per
+	// epoch (here the wall-clock coordinator round-trip, measured on the
+	// wire and deliberately unscaled by Speedup), CtrlMsgs/RuleOps the
+	// deterministic message and rule-op counters, and the bank fields the
+	// coordinator's end-of-run centralized state.
+	if giftCoord != nil {
+		for _, ag := range giftAgents {
+			st := ag.Stats()
+			res.TickTimes = append(res.TickTimes, st.WalkTimes...)
+			res.RuleOps += st.RuleOps
+			res.CtrlMsgs += st.CtrlMsgs
+		}
+		res.GIFTBankEntries = giftCoord.BankEntries()
+		res.GIFTCouponsOutstanding = giftCoord.OutstandingCoupons()
 	}
 
 	// Close the servers before reading device counters (the dispatcher

@@ -116,6 +116,56 @@ func (t *Tracker) SnapshotAppend(dst []Stat) []Stat {
 	return dst
 }
 
+// Drain appends the Snapshot stats to dst and clears the counters in
+// one critical section: the returned stats are the ended period's
+// complete activity and the new period starts empty, so no concurrently
+// observed RPC can fall between the snapshot and the clear. Callers
+// that fail to act on the drained demand should Merge it back rather
+// than lose it.
+func (t *Tracker) Drain(dst []Stat) []Stat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := len(dst)
+	for i := range t.stats {
+		if t.stats[i].RPCs > 0 {
+			dst = append(dst, t.stats[i])
+			t.stats[i].RPCs = 0
+			t.stats[i].Bytes = 0
+		}
+	}
+	t.active = 0
+	out := dst[base:]
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return dst
+}
+
+// Merge folds the given stats back into the current period (interning
+// unseen job IDs), the undo of a Drain whose consumer failed: the
+// demand rejoins whatever accumulated since and feeds the next period.
+func (t *Tracker) Merge(stats []Stat) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.index == nil {
+		t.index = make(map[string]int)
+	}
+	for _, s := range stats {
+		if s.RPCs <= 0 {
+			continue
+		}
+		i, ok := t.index[s.JobID]
+		if !ok {
+			i = len(t.stats)
+			t.index[s.JobID] = i
+			t.stats = append(t.stats, Stat{JobID: s.JobID})
+		}
+		if t.stats[i].RPCs == 0 {
+			t.active++
+		}
+		t.stats[i].RPCs += s.RPCs
+		t.stats[i].Bytes += s.Bytes
+	}
+}
+
 // Clear resets all counters, ending the current observation period. The
 // interned job table is kept.
 func (t *Tracker) Clear() {

@@ -146,3 +146,49 @@ func TestSnapshotAppendReusesBuffer(t *testing.T) {
 		t.Fatalf("reused snapshot order = %v", buf2)
 	}
 }
+
+func TestDrainIsAtomicSnapshotAndClear(t *testing.T) {
+	var tr Tracker
+	tr.Observe("a.n1", 100)
+	tr.Observe("a.n1", 100)
+	tr.Observe("b.n2", 50)
+	snap := tr.Drain(nil)
+	if len(snap) != 2 || snap[0].JobID != "a.n1" || snap[0].RPCs != 2 || snap[1].RPCs != 1 {
+		t.Fatalf("drained %+v", snap)
+	}
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("counters survive a drain: %+v", got)
+	}
+	if tr.ActiveJobs() != 0 {
+		t.Fatal("active count survives a drain")
+	}
+	// The new period accumulates independently.
+	tr.Observe("a.n1", 100)
+	if got := tr.Snapshot(); len(got) != 1 || got[0].RPCs != 1 {
+		t.Fatalf("post-drain period %+v", got)
+	}
+}
+
+func TestMergeRestoresDrainedDemand(t *testing.T) {
+	var tr Tracker
+	tr.Observe("a.n1", 100)
+	tr.Observe("a.n1", 100)
+	snap := tr.Drain(nil)
+	// Demand observed while the drained stats were in flight.
+	tr.Observe("a.n1", 100)
+	tr.Observe("new.n9", 7)
+	tr.Merge(snap) // consumer failed: nothing may be lost
+	got := tr.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("merged snapshot %+v", got)
+	}
+	if got[0].JobID != "a.n1" || got[0].RPCs != 3 || got[0].Bytes != 300 {
+		t.Fatalf("a.n1 after merge: %+v", got[0])
+	}
+	if got[1].JobID != "new.n9" || got[1].RPCs != 1 {
+		t.Fatalf("new.n9 after merge: %+v", got[1])
+	}
+	if tr.ActiveJobs() != 2 {
+		t.Fatalf("active = %d, want 2", tr.ActiveJobs())
+	}
+}

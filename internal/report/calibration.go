@@ -1,0 +1,359 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adaptbf/internal/device"
+	"adaptbf/internal/experiments"
+	"adaptbf/internal/harness"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
+)
+
+// CalibrationStudyName is the Study kind of the built-in live-vs-sim
+// calibration study, and the value the CLI's -study flag accepts.
+const CalibrationStudyName = "calibration"
+
+// The per-cell metrics the calibration compares between backends, in
+// report order.
+const (
+	MetricThroughput = "throughput_mibps"
+	MetricFairness   = "fairness"
+	MetricP50        = "p50_us"
+	MetricP99        = "p99_us"
+)
+
+var calibrationMetrics = []string{MetricThroughput, MetricFairness, MetricP50, MetricP99}
+
+// A CalibrationRow is one policy × metric comparison between the
+// deterministic simulator and the live cluster backend over the same
+// grid. Sim/Live means and CIs are seed-axis statistics (Student-t
+// half-widths at the document's CILevel); divergence statistics are
+// cell-paired — each (OSS count, seed) cell that ran on both backends
+// contributes one (live−sim)/sim percentage — so the CI is over the
+// paired deltas, not the pooled populations. DivergencePctN can be
+// smaller than Pairs when a cell's sim value was zero (no percentage
+// exists); 0 means the divergence is unavailable, not zero.
+type CalibrationRow struct {
+	Policy string `json:"policy"`
+	Metric string `json:"metric"`
+	Pairs  int64  `json:"pairs"`
+
+	SimMean  float64 `json:"sim_mean"`
+	SimCI    float64 `json:"sim_ci"`
+	LiveMean float64 `json:"live_mean"`
+	LiveCI   float64 `json:"live_ci"`
+
+	DivergencePctMean float64 `json:"divergence_pct_mean"`
+	DivergencePctCI   float64 `json:"divergence_pct_ci"`
+	DivergencePctN    int64   `json:"divergence_pct_n"`
+
+	// Outlier flags a divergence whose mean magnitude exceeds the
+	// study's OutlierPct threshold — the cells a drift investigation
+	// should start from.
+	Outlier bool `json:"outlier,omitempty"`
+}
+
+// A Calibration is the sim-vs-live section of a calibration-study
+// document (schema v3): the divergence rows plus the live grid's cells
+// in the same per-cell form as the document's (simulator) Cells.
+type Calibration struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Speedup     float64 `json:"speedup"`
+	OutlierPct  float64 `json:"outlier_pct"`
+
+	// SimFailedCells and LiveFailedCells count cells that errored on
+	// each backend. Failed cells are excluded from every row's pairing
+	// (their coordinates still appear in Cells/LiveCells with the error
+	// recorded), so a flaky live cell shrinks the statistics instead of
+	// destroying the whole study's artifact.
+	SimFailedCells  int `json:"sim_failed_cells,omitempty"`
+	LiveFailedCells int `json:"live_failed_cells,omitempty"`
+
+	Rows      []CalibrationRow `json:"rows"`
+	LiveCells []Cell           `json:"live_cells"`
+}
+
+// CalibrationStudyOptions parameterizes RunCalibrationStudy. The zero
+// value runs the acceptance configuration: striped-seq × all five
+// policies × OSS {1,2} × seeds {1,2,3} at scale 512, 60 simulated
+// seconds per cell, live cells accelerated 8×.
+type CalibrationStudyOptions struct {
+	Scenario harness.Scenario // default harness.StripedSequentialScenario()
+	Policies []sim.Policy     // default all five policies
+	OSSes    []int            // default {1, 2}
+	Seeds    []int64          // default {1, 2, 3}
+	Scale    int64            // default 512
+	Duration time.Duration    // default 60 s (per-cell cap, OSS time)
+
+	// Speedup accelerates the live cells' device/controller clocks
+	// (harness.ClusterBackend.Speedup). Default 8; pass 1 for an
+	// unaccelerated run (the nightly configuration).
+	Speedup float64
+	// Device parameterizes the live backend's storage targets. Zero
+	// means device.Default() — the same SSD-class target the simulator
+	// models, which is what makes the comparison a calibration.
+	Device device.Params
+	// CellTimeout bounds each live cell's wall-clock execution.
+	// Default 5 minutes.
+	CellTimeout time.Duration
+
+	// Workers bounds the sim half's worker pool. Default NumCPU — the
+	// simulator is a pure function of the spec, so parallelism is free.
+	Workers int
+	// LiveWorkers bounds the live half's worker pool. Wall-clock cells
+	// measure real timers and scheduling: cells running concurrently
+	// would contaminate each other's latencies with cross-cell Go
+	// scheduler and timer contention that exists in neither substrate
+	// being compared. Default 1 (serial), which is what the nightly's
+	// "true magnitudes" claim rests on.
+	LiveWorkers int
+	CILevel     float64 // default harness.DefaultCILevel
+	// OutlierPct is the |divergence| threshold (percent) above which a
+	// row is flagged. Default 25.
+	OutlierPct float64
+
+	// IncludeBuckets forwards to Options.IncludeBuckets for the JSON
+	// document.
+	IncludeBuckets bool
+	// OnCell observes every finished cell of both backends (live cells
+	// carry Backend "live").
+	OnCell func(harness.CellResult)
+}
+
+func (o CalibrationStudyOptions) normalize() CalibrationStudyOptions {
+	if o.Scenario.Jobs == nil {
+		o.Scenario = harness.StripedSequentialScenario()
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []sim.Policy{sim.NoBW, sim.StaticBW, sim.SFQ, sim.AdapTBF, sim.GIFT}
+	}
+	if len(o.OSSes) == 0 {
+		o.OSSes = []int{1, 2}
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2, 3}
+	}
+	if o.Scale < 1 {
+		o.Scale = 512
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Minute
+	}
+	if o.Speedup <= 0 {
+		o.Speedup = 8
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 5 * time.Minute
+	}
+	if o.LiveWorkers <= 0 {
+		o.LiveWorkers = 1
+	}
+	if o.CILevel <= 0 || o.CILevel >= 1 {
+		o.CILevel = harness.DefaultCILevel
+	}
+	if o.OutlierPct <= 0 {
+		o.OutlierPct = 25
+	}
+	return o
+}
+
+// A CalibrationStudy is a finished live-vs-sim calibration: both merged
+// matrices, the schema-v3 JSON document (Calibration section filled, the
+// simulator grid as the document's Cells so its fingerprint stays
+// golden), and a renderable/CSV-exportable report.
+type CalibrationStudy struct {
+	Sim      *harness.MatrixResult
+	Live     *harness.MatrixResult
+	Document *Document
+	Report   *experiments.Report
+}
+
+// RunCalibrationStudy executes the same grid on the deterministic
+// simulator and on the live cluster backend, then quantifies how far the
+// wall-clock substrate diverges from the simulator per policy and metric
+// (overall throughput, node-normalized Jain fairness, p50 and p99 RPC
+// latency) with cell-paired confidence intervals — the sim-to-deployment
+// credibility check the congestion-control literature demands. Rows
+// whose mean divergence magnitude exceeds OutlierPct are flagged.
+func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error) {
+	opt = opt.normalize()
+	m := harness.Matrix{
+		Scenarios: []harness.Scenario{opt.Scenario},
+		Policies:  opt.Policies,
+		Scales:    []int64{opt.Scale},
+		OSSes:     opt.OSSes,
+		Seeds:     opt.Seeds,
+		Duration:  opt.Duration,
+	}
+	// Per-cell failures (a flaky live cell, a timeout) are tolerated:
+	// the failed cell is excluded from pairing and counted in the
+	// calibration section, so the nightly's divergence artifact survives
+	// a straggler. Only a run that produced no matrix at all — or, at
+	// the end, no usable cell pair — aborts the study.
+	simRes, simErr := harness.Run(context.Background(), m,
+		harness.WithWorkers(opt.Workers), harness.WithProgress(opt.OnCell))
+	if simRes == nil {
+		return nil, fmt.Errorf("calibration: sim grid: %w", simErr)
+	}
+	liveRes, liveErr := harness.Run(context.Background(), m,
+		harness.WithWorkers(opt.LiveWorkers), harness.WithProgress(opt.OnCell),
+		harness.WithBackend(&harness.ClusterBackend{Speedup: opt.Speedup, Device: opt.Device}),
+		harness.WithCellTimeout(opt.CellTimeout))
+	if liveRes == nil {
+		return nil, fmt.Errorf("calibration: live grid: %w", liveErr)
+	}
+
+	simSums := simRes.Summaries()
+	liveSums := liveRes.Summaries()
+	docOpt := Options{
+		CILevel:        opt.CILevel,
+		Title:          "Live-vs-sim calibration study",
+		IncludeBuckets: opt.IncludeBuckets,
+	}
+	doc := fromMatrix(simRes, simSums, docOpt)
+	doc.Kind = CalibrationStudyName
+
+	cal, table := buildCalibration(simRes, simSums, liveRes, liveSums, opt)
+	for _, cr := range simRes.Cells {
+		if cr.Err != nil {
+			cal.SimFailedCells++
+		}
+	}
+	for i, cr := range liveRes.Cells {
+		if cr.Err != nil {
+			cal.LiveFailedCells++
+		}
+		cal.LiveCells = append(cal.LiveCells, cellOf(cr, liveSums[i], docOpt.normalize()))
+	}
+	if len(cal.Rows) == 0 {
+		return nil, fmt.Errorf("calibration: no cell completed on both backends (sim: %v, live: %v)", simErr, liveErr)
+	}
+	doc.Calibration = cal
+
+	rep := simRes.ReportCIWith(simSums, opt.CILevel)
+	rep.ID = CalibrationStudyName
+	rep.Title = doc.Title
+	liveRep := liveRes.ReportCIWith(liveSums, opt.CILevel)
+	for i := range liveRep.Tables {
+		liveRep.Tables[i].Name = "live-" + liveRep.Tables[i].Name
+	}
+	rep.Tables = append(rep.Tables, liveRep.Tables...)
+	rep.Tables = append(rep.Tables, table)
+	return &CalibrationStudy{Sim: simRes, Live: liveRes, Document: doc, Report: rep}, nil
+}
+
+// isOutlier is the flagging rule: a divergence with at least one pair
+// whose mean magnitude exceeds the threshold (percent).
+func isOutlier(meanPct float64, n int64, thresholdPct float64) bool {
+	return n > 0 && (meanPct > thresholdPct || meanPct < -thresholdPct)
+}
+
+// calCellMetrics are one cell's calibration scalars, in
+// calibrationMetrics order.
+type calCellMetrics [4]float64
+
+func calMetricsOf(cr harness.CellResult, sc harness.Scenario, sum metrics.Summary) calCellMetrics {
+	var cm calCellMetrics
+	cm[0] = sum.OverallMiBps
+	cm[1] = priorityFairness(sc, cr, sum)
+	if d := cr.LatencyDigest; d != nil && d.N() > 0 {
+		cm[2] = float64(d.Quantile(50).Nanoseconds()) / 1e3
+		cm[3] = float64(d.Quantile(99).Nanoseconds()) / 1e3
+	}
+	return cm
+}
+
+// buildCalibration folds both matrices — cell i of one is cell i of the
+// other, since they ran the identical grid — into per-policy per-metric
+// divergence rows and their renderable table.
+func buildCalibration(simRes *harness.MatrixResult, simSums []metrics.Summary,
+	liveRes *harness.MatrixResult, liveSums []metrics.Summary,
+	opt CalibrationStudyOptions) (*Calibration, experiments.Table) {
+	type agg struct {
+		sim, live, div [4]stats.Moments
+		pairs          int64
+	}
+	byPolicy := make(map[sim.Policy]*agg, len(opt.Policies))
+	for i, sc := range simRes.Cells {
+		lc := liveRes.Cells[i]
+		if sc.Err != nil || lc.Err != nil {
+			continue
+		}
+		sm := calMetricsOf(sc, opt.Scenario, simSums[i])
+		lm := calMetricsOf(lc, opt.Scenario, liveSums[i])
+		g, ok := byPolicy[sc.Cell.Policy]
+		if !ok {
+			g = &agg{}
+			byPolicy[sc.Cell.Policy] = g
+		}
+		g.pairs++
+		for k := range calibrationMetrics {
+			g.sim[k].Add(sm[k])
+			g.live[k].Add(lm[k])
+			if sm[k] > 0 {
+				g.div[k].Add((lm[k] - sm[k]) / sm[k] * 100)
+			}
+		}
+	}
+
+	level := opt.CILevel
+	cal := &Calibration{
+		Name: CalibrationStudyName,
+		Description: "Same grid executed on the deterministic simulator and the live cluster " +
+			"backend; rows report per-policy seed-axis statistics of each metric on both " +
+			"substrates and the cell-paired (live-sim)/sim divergence with confidence " +
+			"intervals. Rows whose mean divergence magnitude exceeds outlier_pct are flagged.",
+		Speedup:    opt.Speedup,
+		OutlierPct: opt.OutlierPct,
+	}
+	table := experiments.Table{
+		Name: "calibration-divergence",
+		Header: []string{"policy", "metric", "pairs",
+			"sim mean", "±CI", "live mean", "±CI",
+			"divergence (%)", "±CI", "outlier"},
+	}
+	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	// Walk policies in grid order, never map order: the document must be
+	// deterministic given the two matrices.
+	for _, pol := range opt.Policies {
+		g, ok := byPolicy[pol]
+		if !ok {
+			continue
+		}
+		for k, metric := range calibrationMetrics {
+			row := CalibrationRow{
+				Policy:            pol.String(),
+				Metric:            metric,
+				Pairs:             g.pairs,
+				SimMean:           g.sim[k].Mean(),
+				SimCI:             g.sim[k].CIHalfWidth(level),
+				LiveMean:          g.live[k].Mean(),
+				LiveCI:            g.live[k].CIHalfWidth(level),
+				DivergencePctMean: g.div[k].Mean(),
+				DivergencePctCI:   g.div[k].CIHalfWidth(level),
+				DivergencePctN:    g.div[k].N(),
+			}
+			row.Outlier = isOutlier(row.DivergencePctMean, row.DivergencePctN, opt.OutlierPct)
+			cal.Rows = append(cal.Rows, row)
+			div, divCI, flag := "-", "-", ""
+			if row.DivergencePctN > 0 {
+				div, divCI = fmt.Sprintf("%+.1f", row.DivergencePctMean), f1(row.DivergencePctCI)
+				if row.Outlier {
+					flag = "OUTLIER"
+				}
+			}
+			table.Rows = append(table.Rows, []string{
+				row.Policy, row.Metric, fmt.Sprintf("%d", row.Pairs),
+				f1(row.SimMean), f1(row.SimCI),
+				f1(row.LiveMean), f1(row.LiveCI),
+				div, divCI, flag,
+			})
+		}
+	}
+	return cal, table
+}

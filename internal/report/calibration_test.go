@@ -1,0 +1,200 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"adaptbf/internal/device"
+	"adaptbf/internal/harness"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/workload"
+)
+
+// calTestScenario is a tiny two-job workload sized for wall-clock cells:
+// 2 jobs × 2 procs × 8 RPCs of 64 KiB each.
+func calTestScenario() harness.Scenario {
+	return harness.Scenario{
+		Name: "cal-smoke",
+		Jobs: func(p harness.CellParams) []workload.Job {
+			procs := workload.Replicate(workload.Pattern{FileBytes: 8 * 64 << 10, RPCBytes: 64 << 10}, 2)
+			return []workload.Job{
+				{ID: "small.n01", Nodes: 1, Procs: procs},
+				{ID: "big.n04", Nodes: 4, Procs: procs},
+			}
+		},
+	}
+}
+
+func calTestOptions() CalibrationStudyOptions {
+	return CalibrationStudyOptions{
+		Scenario: calTestScenario(),
+		Policies: []sim.Policy{sim.NoBW, sim.StaticBW, sim.SFQ, sim.AdapTBF, sim.GIFT},
+		OSSes:    []int{2},
+		Seeds:    []int64{1, 2},
+		Scale:    1,
+		Duration: 30 * time.Second,
+		Speedup:  1,
+		Device: device.Params{
+			BytesPerSec:        4 << 30,
+			PerRPCOverhead:     5 * time.Microsecond,
+			ConcurrencyPenalty: 200 * time.Nanosecond,
+		},
+		Workers: 4,
+	}
+}
+
+// TestCalibrationStudyEndToEnd runs the full five-policy calibration on
+// a tiny grid: both backends complete every cell, the document carries
+// the schema-v3 calibration section with one row per policy×metric, the
+// live grid's cells are exported with the "live" backend label, and the
+// document's fingerprint is the (deterministic) sim grid's.
+func TestCalibrationStudyEndToEnd(t *testing.T) {
+	st, err := RunCalibrationStudy(calTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Sim.Cells); n != 10 || len(st.Live.Cells) != 10 {
+		t.Fatalf("grids hold %d sim / %d live cells, want 10 each", n, len(st.Live.Cells))
+	}
+	for _, cr := range st.Live.Cells {
+		if cr.Err != nil {
+			t.Fatalf("live cell %v failed: %v", cr.Cell, cr.Err)
+		}
+		if cr.Backend != "live" {
+			t.Fatalf("live cell %v backend = %q", cr.Cell, cr.Backend)
+		}
+	}
+
+	doc := st.Document
+	if doc.SchemaVersion != 3 || doc.Kind != CalibrationStudyName {
+		t.Fatalf("document schema v%d kind %q", doc.SchemaVersion, doc.Kind)
+	}
+	if doc.Fingerprint != st.Sim.Fingerprint() {
+		t.Fatal("document fingerprint is not the sim grid's")
+	}
+	cal := doc.Calibration
+	if cal == nil {
+		t.Fatal("document has no calibration section")
+	}
+	if want := 5 * len(calibrationMetrics); len(cal.Rows) != want {
+		t.Fatalf("calibration has %d rows, want %d (5 policies × %d metrics)",
+			len(cal.Rows), want, len(calibrationMetrics))
+	}
+	for _, row := range cal.Rows {
+		if row.Pairs != 2 {
+			t.Fatalf("row %s/%s paired %d cells, want 2", row.Policy, row.Metric, row.Pairs)
+		}
+		if row.SimMean <= 0 || row.LiveMean <= 0 {
+			t.Fatalf("row %s/%s has non-positive means: sim %.3f live %.3f",
+				row.Policy, row.Metric, row.SimMean, row.LiveMean)
+		}
+		if row.DivergencePctN == 0 {
+			t.Fatalf("row %s/%s has no divergence pairs", row.Policy, row.Metric)
+		}
+	}
+	if len(cal.LiveCells) != 10 {
+		t.Fatalf("calibration exports %d live cells, want 10", len(cal.LiveCells))
+	}
+	for _, c := range cal.LiveCells {
+		if c.Backend != "live" || c.Error != "" {
+			t.Fatalf("exported live cell %+v", c)
+		}
+	}
+
+	// The divergence table renders one row per policy×metric and the
+	// live tables ride along under distinct names.
+	names := map[string]bool{}
+	for _, tb := range st.Report.Tables {
+		names[tb.Name] = true
+	}
+	for _, want := range []string{"matrix-cells", "live-matrix-cells", "calibration-divergence"} {
+		if !names[want] {
+			t.Fatalf("report is missing table %q (have %v)", want, names)
+		}
+	}
+
+	// The document marshals (schema v3 round-trips its new section).
+	buf, err := doc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Calibration == nil || len(back.Calibration.Rows) != len(cal.Rows) {
+		t.Fatal("calibration section did not survive the JSON round trip")
+	}
+}
+
+// TestCalibrationOutlierFlag pins the production flagging rule
+// (isOutlier, the one buildCalibration applies): |mean divergence|
+// above the threshold flags the row; inside the threshold, a missing
+// pair count, or an exact threshold hit does not.
+func TestCalibrationOutlierFlag(t *testing.T) {
+	cases := []struct {
+		mean float64
+		n    int64
+		want bool
+	}{
+		{35, 2, true},   // above threshold
+		{0, 2, false},   // no divergence
+		{10, 2, false},  // inside threshold
+		{-60, 2, true},  // negative beyond -threshold
+		{-10, 2, false}, // negative inside threshold
+		{25, 2, false},  // exactly at threshold: not flagged
+		{100, 0, false}, // no pairs: divergence unavailable, never flagged
+	}
+	for _, tc := range cases {
+		if got := isOutlier(tc.mean, tc.n, 25); got != tc.want {
+			t.Errorf("isOutlier(%v, %d, 25) = %v, want %v", tc.mean, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestCalibrationToleratesLiveCellFailures: a policy with no live
+// implementation fails its live cells; the study still completes with
+// rows for the healthy policies, counts the failures, and exports the
+// failed cells with their errors.
+func TestCalibrationToleratesLiveCellFailures(t *testing.T) {
+	opt := calTestOptions()
+	// sim runs an unknown policy as plain FCFS; the live backend rejects
+	// it — a deterministic stand-in for a flaky live cell.
+	opt.Policies = []sim.Policy{sim.NoBW, sim.Policy(99)}
+	st, err := RunCalibrationStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := st.Document.Calibration
+	if cal.LiveFailedCells != 2 || cal.SimFailedCells != 0 {
+		t.Fatalf("failed-cell counts: sim %d live %d, want 0/2", cal.SimFailedCells, cal.LiveFailedCells)
+	}
+	if want := len(calibrationMetrics); len(cal.Rows) != want {
+		t.Fatalf("rows = %d, want %d (NoBW only; the failed policy pairs nothing)", len(cal.Rows), want)
+	}
+	for _, row := range cal.Rows {
+		if row.Policy != sim.NoBW.String() {
+			t.Fatalf("unexpected row for policy %q", row.Policy)
+		}
+	}
+	failed := 0
+	for _, c := range cal.LiveCells {
+		if c.Error != "" {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("exported live cells carry %d errors, want 2", failed)
+	}
+}
+
+// TestCalibrationFailsWhenNothingPairs: when no cell completes on both
+// backends the study aborts instead of emitting an empty report.
+func TestCalibrationFailsWhenNothingPairs(t *testing.T) {
+	opt := calTestOptions()
+	opt.Policies = []sim.Policy{sim.Policy(99)}
+	if _, err := RunCalibrationStudy(opt); err == nil {
+		t.Fatal("study with zero usable pairs succeeded")
+	}
+}

@@ -31,7 +31,13 @@ import (
 // ran it ("sim" or "live" — live cells are wall-clock and excluded from
 // determinism claims) and, when captured and requested, per-job latency
 // digests under per_job_digests. v1 documents predate both fields.
-const SchemaVersion = 2
+//
+// v3 (live-vs-sim calibration): calibration-study documents carry a
+// "calibration" section — per-policy per-metric sim-vs-live divergence
+// rows with paired confidence intervals and outlier flags, plus the
+// live grid's cells under live_cells. Plain matrix documents are
+// unchanged apart from the version stamp.
+const SchemaVersion = 3
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -47,6 +53,7 @@ type Document struct {
 	Cells       []Cell       `json:"cells"`
 	PolicyMeans []PolicyMean `json:"policy_means"`
 	Study       *Study       `json:"study,omitempty"`
+	Calibration *Calibration `json:"calibration,omitempty"`
 }
 
 // Grid records the swept axes in canonical order, recovered from the
@@ -173,40 +180,7 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 	}
 
 	for i, cr := range res.Cells {
-		c := Cell{
-			Scenario: cr.Cell.Scenario,
-			Policy:   cr.Cell.Policy.String(),
-			Scale:    cr.Cell.Scale,
-			OSSes:    cr.Cell.OSSes,
-			Seed:     cr.Cell.Seed,
-			Backend:  cr.Backend,
-		}
-		if cr.Err != nil {
-			c.Error = cr.Err.Error()
-			doc.Cells = append(doc.Cells, c)
-			continue
-		}
-		c.Done = cr.Result.Done
-		c.OverallMiBps = sums[i].OverallMiBps
-		c.MakespanS = cr.Result.Elapsed.Seconds()
-		c.ServedRPCs = cr.Result.ServedRPCs
-		var util float64
-		for i := range cr.Result.DeviceBusy {
-			util += cr.Result.Utilization(i)
-		}
-		if n := len(cr.Result.DeviceBusy); n > 0 {
-			c.UtilizationMean = util / float64(n)
-		}
-		c.Latency = latencyOf(cr.LatencyDigest, opt.IncludeBuckets)
-		if opt.PerJobDigests && len(cr.JobDigests) > 0 {
-			c.PerJobDigests = make(map[string]*Latency, len(cr.JobDigests))
-			for _, jd := range cr.JobDigests {
-				if l := latencyOf(jd.Digest, opt.IncludeBuckets); l != nil {
-					c.PerJobDigests[jd.Job] = l
-				}
-			}
-		}
-		doc.Cells = append(doc.Cells, c)
+		doc.Cells = append(doc.Cells, cellOf(cr, sums[i], opt))
 	}
 
 	// The same harness fold that feeds the rendered matrix-policy-means
@@ -230,6 +204,45 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 		doc.PolicyMeans = append(doc.PolicyMeans, pm)
 	}
 	return doc
+}
+
+// cellOf condenses one finished (or failed) matrix cell into its
+// document form. Shared by the plain matrix path and the calibration
+// study's live-cell export, so the two can never diverge.
+func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
+	c := Cell{
+		Scenario: cr.Cell.Scenario,
+		Policy:   cr.Cell.Policy.String(),
+		Scale:    cr.Cell.Scale,
+		OSSes:    cr.Cell.OSSes,
+		Seed:     cr.Cell.Seed,
+		Backend:  cr.Backend,
+	}
+	if cr.Err != nil {
+		c.Error = cr.Err.Error()
+		return c
+	}
+	c.Done = cr.Result.Done
+	c.OverallMiBps = sum.OverallMiBps
+	c.MakespanS = cr.Result.Elapsed.Seconds()
+	c.ServedRPCs = cr.Result.ServedRPCs
+	var util float64
+	for i := range cr.Result.DeviceBusy {
+		util += cr.Result.Utilization(i)
+	}
+	if n := len(cr.Result.DeviceBusy); n > 0 {
+		c.UtilizationMean = util / float64(n)
+	}
+	c.Latency = latencyOf(cr.LatencyDigest, opt.IncludeBuckets)
+	if opt.PerJobDigests && len(cr.JobDigests) > 0 {
+		c.PerJobDigests = make(map[string]*Latency, len(cr.JobDigests))
+		for _, jd := range cr.JobDigests {
+			if l := latencyOf(jd.Digest, opt.IncludeBuckets); l != nil {
+				c.PerJobDigests[jd.Job] = l
+			}
+		}
+	}
+	return c
 }
 
 func latencyOf(d *stats.Digest, includeBuckets bool) *Latency {

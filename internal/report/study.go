@@ -230,23 +230,7 @@ func metricsOf(cr harness.CellResult, sc harness.Scenario, sum metrics.Summary) 
 	var cm cellMetrics
 	cm.mibps = sum.OverallMiBps
 
-	// Priority-normalized Jain fairness: x_j = bandwidth_j / nodes_j.
-	jobs := sc.Jobs(cr.Cell.Params())
-	var sx, sxx float64
-	n := 0
-	for _, j := range jobs {
-		nodes := j.Nodes
-		if nodes < 1 {
-			nodes = 1
-		}
-		x := sum.PerJob[j.ID].AvgMiBps / float64(nodes)
-		sx += x
-		sxx += x * x
-		n++
-	}
-	if n > 0 && sxx > 0 {
-		cm.fairness = sx * sx / (float64(n) * sxx)
-	}
+	cm.fairness = priorityFairness(sc, cr, sum)
 
 	var util float64
 	for i := range res.DeviceBusy {
@@ -282,6 +266,30 @@ func metricsOf(cr harness.CellResult, sc harness.Scenario, sum metrics.Summary) 
 	cm.bank = float64(res.GIFTBankEntries)
 	cm.coupons = res.GIFTCouponsOutstanding
 	return cm
+}
+
+// priorityFairness computes one cell's node-normalized Jain fairness
+// index: x_j = bandwidth_j / nodes_j, so 1.0 means every job received
+// exactly its compute-priority-proportional share. Shared by the scale
+// and calibration studies.
+func priorityFairness(sc harness.Scenario, cr harness.CellResult, sum metrics.Summary) float64 {
+	jobs := sc.Jobs(cr.Cell.Params())
+	var sx, sxx float64
+	n := 0
+	for _, j := range jobs {
+		nodes := j.Nodes
+		if nodes < 1 {
+			nodes = 1
+		}
+		x := sum.PerJob[j.ID].AvgMiBps / float64(nodes)
+		sx += x
+		sxx += x * x
+		n++
+	}
+	if n == 0 || sxx == 0 {
+		return 0
+	}
+	return sx * sx / (float64(n) * sxx)
 }
 
 // buildScaleStudy folds the matrix cells into the study rows, gap rows,

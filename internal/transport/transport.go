@@ -26,6 +26,12 @@ type Request struct {
 	Op     uint8  // tbf.Opcode value
 	Bytes  int64  // payload size the server should account and "transfer"
 	Stream int    // file/stream identifier for the device model
+
+	// Payload carries an opaque control-plane message for coordination
+	// services that share this transport (e.g. the live GIFT coordinator's
+	// per-epoch walk). Storage RPCs leave it nil — data movement stays
+	// represented by service time, never by shipping bytes.
+	Payload []byte
 }
 
 // A Reply reports the outcome of one Request.
@@ -33,6 +39,10 @@ type Reply struct {
 	Seq   uint64
 	Bytes int64  // bytes transferred
 	Err   string // empty on success
+
+	// Payload is the control-plane response counterpart of
+	// Request.Payload (nil on storage RPCs).
+	Payload []byte
 }
 
 // envelope is the single wire message type, so one gob stream carries both

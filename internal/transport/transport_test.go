@@ -204,3 +204,30 @@ func TestHandlerErrPropagates(t *testing.T) {
 		t.Fatalf("err = %v, want quota exceeded", err)
 	}
 }
+
+// TestPayloadRoundTrip: the opaque control-plane payload survives the
+// wire in both directions — the contract coordination services (the
+// live GIFT coordinator) build on.
+func TestPayloadRoundTrip(t *testing.T) {
+	echo := HandlerFunc(func(req Request, reply func(Reply)) {
+		out := append([]byte("re:"), req.Payload...)
+		reply(Reply{Payload: out})
+	})
+	c := Pipe(echo)
+	defer c.Close()
+	rep, err := c.Call(Request{Op: 0xF0, Payload: []byte("walk-1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Payload) != "re:walk-1" {
+		t.Fatalf("payload round-tripped as %q", rep.Payload)
+	}
+	// Storage-shaped requests keep working with a nil payload.
+	rep, err = c.Call(Request{JobID: "dd.n1", Bytes: 4096, Payload: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Payload == nil || string(rep.Payload) != "re:" {
+		t.Fatalf("nil-payload request replied %q", rep.Payload)
+	}
+}
