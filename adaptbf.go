@@ -320,6 +320,27 @@ func NewGIFTCoordinator(epoch time.Duration) *GIFTCoordinator {
 // An RPCClient issues requests to a live storage server.
 type RPCClient = transport.Client
 
+// A Caller is any RPC endpoint a JobRunner or GIFT agent can target: an
+// RPCClient over one connection, or a Redialer that reconnects across
+// server restarts.
+type Caller = transport.Caller
+
+// A Redialer is a reconnecting Caller: a poisoned connection is redialed
+// on the next call, with bounded backoff retry per call.
+type Redialer = transport.Redialer
+
+// A Fault is an injected network-misbehaviour profile (latency, jitter,
+// loss, bandwidth cap) for one side of a transport connection.
+type Fault = transport.Fault
+
+// ParseFault parses "latency=2ms,jitter=1ms,loss=0.1,bw=64MiB".
+func ParseFault(s string) (Fault, error) { return transport.ParseFault(s) }
+
+// FaultedConn wraps conn with deterministic, seed-keyed fault injection.
+func FaultedConn(conn net.Conn, f Fault, seed uint64) net.Conn {
+	return transport.FaultedConn(conn, f, seed)
+}
+
 // DialOSS connects to a storage server listening on the given address.
 func DialOSS(network, addr string) (*RPCClient, error) {
 	return transport.Dial(network, addr)

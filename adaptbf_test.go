@@ -91,7 +91,7 @@ func TestFacadeLiveCluster(t *testing.T) {
 	defer c.Close()
 	runner := &adaptbf.JobRunner{
 		Job:     adaptbf.ContinuousJob("live.n01", 1, 1, 4*mib),
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	stats, err := runner.Run(context.Background())
 	if err != nil {
@@ -192,7 +192,7 @@ func TestFacadePipeAndServe(t *testing.T) {
 	defer pc.Close()
 	runner := &adaptbf.JobRunner{
 		Job:     adaptbf.ContinuousJob("pipe.n01", 1, 1, 2*mib),
-		Targets: []*adaptbf.RPCClient{pc},
+		Targets: []adaptbf.Caller{pc},
 	}
 	if stats, err := runner.Run(context.Background()); err != nil || stats.RPCs != 2 {
 		t.Fatalf("pipe run: %v %+v", err, stats)
@@ -211,7 +211,7 @@ func TestFacadePipeAndServe(t *testing.T) {
 	defer tc.Close()
 	runner2 := &adaptbf.JobRunner{
 		Job:     adaptbf.ContinuousJob("tcp.n01", 1, 1, 2*mib),
-		Targets: []*adaptbf.RPCClient{tc},
+		Targets: []adaptbf.Caller{tc},
 	}
 	if stats, err := runner2.Run(context.Background()); err != nil || stats.RPCs != 2 {
 		t.Fatalf("tcp run: %v %+v", err, stats)

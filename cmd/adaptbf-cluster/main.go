@@ -144,7 +144,7 @@ func runCmd(args []string) {
 		job.Procs = append(job.Procs, pat)
 	}
 
-	var clients []*adaptbf.RPCClient
+	var clients []adaptbf.Caller
 	for _, addr := range strings.Split(*targets, ",") {
 		c, err := adaptbf.DialOSS("tcp", strings.TrimSpace(addr))
 		if err != nil {
@@ -166,6 +166,10 @@ func runCmd(args []string) {
 		log.Fatal(err)
 	}
 	mib := float64(stats.Bytes) / (1 << 20)
+	rate := 0.0
+	if s := stats.Elapsed.Seconds(); s > 0 {
+		rate = mib / s // guard: a run cancelled before any elapsed time is 0 MiB/s, not +Inf
+	}
 	fmt.Printf("%s: %d RPCs, %.1f MiB in %.2fs (%.1f MiB/s) across %d target(s)\n",
-		*jobID, stats.RPCs, mib, stats.Elapsed.Seconds(), mib/stats.Elapsed.Seconds(), len(clients))
+		*jobID, stats.RPCs, mib, stats.Elapsed.Seconds(), rate, len(clients))
 }

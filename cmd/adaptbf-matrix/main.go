@@ -14,21 +14,33 @@
 //	               [-scales 64] [-osses 1,2] [-seeds 1]
 //	               [-workers 0] [-rate 500] [-period 100ms]
 //	               [-duration 30m] [-verify] [-quiet]
-//	               [-backend sim|live] [-cell-timeout 0]
+//	               [-backend sim|live|remote] [-cell-timeout 0]
 //	               [-speedup 1] [-per-job-digests]
+//	               [-faults latency=2ms,jitter=1ms,loss=0.1]
+//	               [-node-bin path/to/adaptbf-node] [-remote]
 //	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
 //	               [-study gift-scale|calibration] [-gate BENCH_matrix.json]
 //	               [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //
 // -backend selects the execution substrate for every cell: "sim" (the
-// default deterministic discrete-event simulator) or "live" (real
+// default deterministic discrete-event simulator), "live" (real
 // in-process storage servers and job runners on the wall clock — the
 // report marks such cells backend:"live"; -speedup accelerates their
-// modeled device so long workloads finish in reasonable wall time).
+// modeled device so long workloads finish in reasonable wall time), or
+// "remote" (every OSS is its own adaptbf-node process reached over
+// loopback TCP, plus a coordinator process for GIFT cells — the paper's
+// deployment claim crossing a real process boundary; -node-bin points
+// at a prebuilt daemon binary, otherwise one is built from the module).
 // -cell-timeout bounds each cell's execution; a cell exceeding it fails
 // with a deadline error (live cells are torn down the moment it fires;
 // sim cells are not preemptible and fail on completion instead).
+// -faults injects a deterministic fault profile into every cell:
+// network faults (latency=, jitter=, loss=, bw=) apply on -backend live
+// and remote, while the process faults — crash[=when] (SIGKILL the
+// first OSS node mid-run), restart=after (respawn it on the same
+// address), straggler=k (slow the first OSS's device k×) — require
+// -backend remote, the only substrate with processes to kill.
 // -gate loads the tracked per-policy p99 intervals from the given JSON
 // file (BENCH_matrix.json's regression_gate section) and fails the run
 // if any policy's merged p99 drifted outside its interval; it checks
@@ -44,7 +56,11 @@
 // the same grid on the simulator AND the live cluster backend and
 // reports the per-policy per-metric divergence between them (overriding
 // axes: -policies/-osses/-seeds/-scales/-duration/-speedup/
-// -cell-timeout; -speedup 1 runs the live cells unaccelerated).
+// -cell-timeout; -speedup 1 runs the live cells unaccelerated). With
+// -remote the calibration adds a third grid run on the remote
+// process-per-OSS backend — growing each divergence row by a
+// remote-vs-sim column — and -faults then injects its profile into that
+// remote half only (schema v4 records it in the document).
 //
 // With -bench-json the run is measured — wall time, heap allocations, and
 // DES events processed — and a per-cell record (ns/cell, allocs/cell,
@@ -131,36 +147,52 @@ func parseInt64s(s string) ([]int64, error) {
 var studyRejectedFlags = map[string][]string{
 	report.GIFTScaleStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "policies", "rate", "period",
-		"backend", "cell-timeout", "speedup", "per-job-digests", "gate"},
-	// Calibration runs both backends itself, so -backend is meaningless;
-	// -speedup/-cell-timeout/-policies tune its live half.
+		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
+		"faults", "node-bin", "remote"},
+	// Calibration runs its backends itself, so -backend is meaningless;
+	// -speedup/-cell-timeout/-policies tune its live half, and
+	// -remote/-node-bin/-faults add and tune its remote half.
 	report.CalibrationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "rate", "period",
 		"backend", "per-job-digests", "gate"},
 }
 
 // validateGridFlags checks the flag combinations of a plain (non-study)
-// grid run: backend is the -backend value and set reports which flags
-// were given explicitly. It returns the first offending combination.
-func validateGridFlags(backend string, set map[string]bool) error {
+// grid run: backend is the -backend value, faults the parsed -faults
+// profile, and set reports which flags were given explicitly. It returns
+// the first offending combination.
+func validateGridFlags(backend string, faults harness.FaultProfile, set map[string]bool) error {
 	switch backend {
-	case "sim", "live":
+	case "sim", "live", "remote":
 	default:
-		return fmt.Errorf("unknown -backend %q (available: sim, live)", backend)
+		return fmt.Errorf("unknown -backend %q (available: sim, live, remote)", backend)
 	}
-	if backend == "live" {
-		// Live cells are wall-clock: nothing about them is deterministic
-		// or comparable to the tracked sim baselines. In particular
-		// -verify proves parallel ≡ sequential merging, which is a
-		// simulator-determinism property — on live cells the re-run would
-		// always differ, so the flag must be rejected, not ignored.
+	if backend != "sim" {
+		// Live and remote cells are wall-clock: nothing about them is
+		// deterministic or comparable to the tracked sim baselines. In
+		// particular -verify proves parallel ≡ sequential merging, which
+		// is a simulator-determinism property — on wall-clock cells the
+		// re-run would always differ, so the flag must be rejected, not
+		// ignored.
 		for _, f := range []string{"verify", "bench-json", "gate"} {
 			if set[f] {
-				return fmt.Errorf("-%s requires -backend sim (live cells are wall-clock, not deterministic)", f)
+				return fmt.Errorf("-%s requires -backend sim (%s cells are wall-clock, not deterministic)", f, backend)
 			}
 		}
 	} else if set["speedup"] {
-		return fmt.Errorf("-speedup only applies to -backend live (the simulator's clock is virtual)")
+		return fmt.Errorf("-speedup only applies to -backend live or remote (the simulator's clock is virtual)")
+	}
+	if set["faults"] && backend == "sim" {
+		return fmt.Errorf("-faults requires -backend live or remote (the simulator is deterministic; it has no network to degrade)")
+	}
+	if faults.CrashOSS && backend == "live" {
+		return fmt.Errorf("-faults crash/restart modes require -backend remote (only a separate OSS process can be killed)")
+	}
+	if set["node-bin"] && backend != "remote" {
+		return fmt.Errorf("-node-bin only applies to -backend remote")
+	}
+	if set["remote"] {
+		return fmt.Errorf("-remote is a -study calibration flag; use -backend remote for a grid run")
 	}
 	if set["gate"] {
 		// The tracked intervals are captured on the default grid; gating
@@ -221,9 +253,12 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Minute, "simulated time cap per cell")
 	verify := flag.Bool("verify", false, "re-run with workers=1 and check the merged output is identical")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
-	backend := flag.String("backend", "sim", "cell execution backend: sim (deterministic simulator) or live (wall-clock in-process cluster)")
+	backend := flag.String("backend", "sim", "cell execution backend: sim (deterministic simulator), live (wall-clock in-process cluster), or remote (one adaptbf-node process per OSS over TCP)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound (0 = none); a cell exceeding it fails with a deadline error (live cells torn down immediately, sim cells on completion)")
-	speedup := flag.Float64("speedup", 1, "live backend only: device/controller clock acceleration factor")
+	speedup := flag.Float64("speedup", 1, "live/remote backends only: device/controller clock acceleration factor")
+	faults := flag.String("faults", "", "fault profile for live/remote cells, e.g. latency=2ms,jitter=1ms,loss=0.1,crash=5s,restart=2s,straggler=4 (crash/restart need -backend remote)")
+	nodeBin := flag.String("node-bin", "", "remote backend: prebuilt adaptbf-node binary (empty = build one from the module)")
+	remote := flag.Bool("remote", false, "calibration study: add a third grid run on the remote process-per-OSS backend (remote-vs-sim divergence column)")
 	perJobDigests := flag.Bool("per-job-digests", false, "capture per-job latency digests and export them in the JSON document")
 	gate := flag.String("gate", "", "check the run against the regression_gate intervals in the given JSON file (fails on drift)")
 	jsonOut := flag.String("json", "", "write the merged result as a schema-versioned JSON document to the given file")
@@ -261,6 +296,10 @@ func main() {
 	}
 	if *ciLevel <= 0 || *ciLevel >= 1 {
 		log.Fatalf("bad -ci-level %v: need 0 < level < 1", *ciLevel)
+	}
+	faultProfile, err := harness.ParseFaultProfile(*faults)
+	if err != nil {
+		log.Fatalf("bad -faults: %v", err)
 	}
 	if *study != "" {
 		// A study supplies its own grid; only explicitly-set axis flags
@@ -339,6 +378,9 @@ func main() {
 			if set["cell-timeout"] {
 				opt.CellTimeout = *cellTimeout
 			}
+			opt.Remote = *remote
+			opt.NodeBin = *nodeBin
+			opt.Faults = faultProfile
 			st, err := report.RunCalibrationStudy(opt)
 			if err != nil {
 				log.Fatal(err)
@@ -346,9 +388,13 @@ func main() {
 			fmt.Printf("study %s: %d sim + %d live cells (sim %v, live %v)\n",
 				*study, len(st.Sim.Cells), len(st.Live.Cells),
 				st.Sim.Elapsed.Round(time.Millisecond), st.Live.Elapsed.Round(time.Millisecond))
-			if c := st.Document.Calibration; c.SimFailedCells > 0 || c.LiveFailedCells > 0 {
-				fmt.Printf("WARNING: %d sim / %d live cells failed and were excluded from pairing (see the cell errors in the JSON document)\n",
-					c.SimFailedCells, c.LiveFailedCells)
+			if st.Remote != nil {
+				fmt.Printf("  + %d remote cells in %v (faults: %s)\n",
+					len(st.Remote.Cells), st.Remote.Elapsed.Round(time.Millisecond), faultProfile)
+			}
+			if c := st.Document.Calibration; c.SimFailedCells > 0 || c.LiveFailedCells > 0 || c.RemoteFailedCells > 0 {
+				fmt.Printf("WARNING: %d sim / %d live / %d remote cells failed and were excluded from pairing (see the cell errors in the JSON document)\n",
+					c.SimFailedCells, c.LiveFailedCells, c.RemoteFailedCells)
 			}
 			fmt.Println()
 			doc, rep = st.Document, st.Report
@@ -362,13 +408,16 @@ func main() {
 		return
 	}
 
-	if err := validateGridFlags(*backend, setFlags()); err != nil {
+	if err := validateGridFlags(*backend, faultProfile, setFlags()); err != nil {
 		log.Fatal(err)
 	}
 	var be harness.Backend
-	if *backend == "live" {
+	switch *backend {
+	case "live":
 		be = &harness.ClusterBackend{Speedup: *speedup}
-	} else {
+	case "remote":
+		be = &harness.RemoteBackend{Speedup: *speedup, NodeBin: *nodeBin}
+	default:
 		be = harness.NewSimBackend()
 	}
 
@@ -396,6 +445,7 @@ func main() {
 		MaxTokenRate: *rate,
 		Period:       *period,
 		Duration:     *duration,
+		Faults:       faultProfile,
 	}
 	cells, err := m.Cells()
 	if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"adaptbf/internal/harness"
 )
 
 // TestValidateGridFlagsRejectsVerifyOnLive pins the guard the live
@@ -11,7 +13,7 @@ import (
 // with -backend live must fail with a clear error instead of being
 // silently meaningless on wall-clock cells.
 func TestValidateGridFlagsRejectsVerifyOnLive(t *testing.T) {
-	err := validateGridFlags("live", map[string]bool{"backend": true, "verify": true})
+	err := validateGridFlags("live", harness.FaultProfile{}, map[string]bool{"backend": true, "verify": true})
 	if err == nil {
 		t.Fatal("-verify with -backend live accepted")
 	}
@@ -23,27 +25,44 @@ func TestValidateGridFlagsRejectsVerifyOnLive(t *testing.T) {
 }
 
 func TestValidateGridFlags(t *testing.T) {
+	mustProfile := func(s string) harness.FaultProfile {
+		f, err := harness.ParseFaultProfile(s)
+		if err != nil {
+			t.Fatalf("ParseFaultProfile(%q): %v", s, err)
+		}
+		return f
+	}
 	cases := []struct {
 		name    string
 		backend string
+		faults  string
 		set     []string
 		wantErr string // substring; "" means valid
 	}{
-		{"plain sim", "sim", nil, ""},
-		{"plain live", "live", []string{"backend", "speedup", "cell-timeout"}, ""},
-		{"unknown backend", "cloud", nil, "unknown -backend"},
-		{"bench-json on live", "live", []string{"backend", "bench-json"}, "-bench-json requires -backend sim"},
-		{"gate on live", "live", []string{"backend", "gate"}, "-gate requires -backend sim"},
-		{"speedup on sim", "sim", []string{"speedup"}, "-speedup only applies to -backend live"},
-		{"gate with axis flag", "sim", []string{"gate", "seeds"}, "tracked default grid"},
-		{"gate on default grid", "sim", []string{"gate"}, ""},
+		{"plain sim", "sim", "", nil, ""},
+		{"plain live", "live", "", []string{"backend", "speedup", "cell-timeout"}, ""},
+		{"plain remote", "remote", "", []string{"backend", "speedup", "node-bin"}, ""},
+		{"unknown backend", "cloud", "", nil, "unknown -backend"},
+		{"bench-json on live", "live", "", []string{"backend", "bench-json"}, "-bench-json requires -backend sim"},
+		{"gate on live", "live", "", []string{"backend", "gate"}, "-gate requires -backend sim"},
+		{"verify on remote", "remote", "", []string{"backend", "verify"}, "-verify requires -backend sim"},
+		{"speedup on sim", "sim", "", []string{"speedup"}, "-speedup only applies to -backend live or remote"},
+		{"faults on sim", "sim", "latency=1ms", []string{"faults"}, "-faults requires -backend live or remote"},
+		{"net faults on live", "live", "latency=1ms,loss=0.1", []string{"backend", "faults"}, ""},
+		{"straggler on live", "live", "straggler=4", []string{"backend", "faults"}, ""},
+		{"crash on live", "live", "crash=1s,restart=1s", []string{"backend", "faults"}, "require -backend remote"},
+		{"crash on remote", "remote", "crash=1s,restart=1s", []string{"backend", "faults"}, ""},
+		{"node-bin on live", "live", "", []string{"backend", "node-bin"}, "-node-bin only applies to -backend remote"},
+		{"remote flag on grid run", "remote", "", []string{"backend", "remote"}, "-study calibration flag"},
+		{"gate with axis flag", "sim", "", []string{"gate", "seeds"}, "tracked default grid"},
+		{"gate on default grid", "sim", "", []string{"gate"}, ""},
 	}
 	for _, tc := range cases {
 		set := map[string]bool{}
 		for _, f := range tc.set {
 			set[f] = true
 		}
-		err := validateGridFlags(tc.backend, set)
+		err := validateGridFlags(tc.backend, mustProfile(tc.faults), set)
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -69,9 +88,17 @@ func TestStudyRejectedFlags(t *testing.T) {
 			}
 		}
 		if study == "calibration" {
-			for _, allowed := range []string{"speedup", "cell-timeout", "policies", "osses", "seeds", "scales", "duration"} {
+			for _, allowed := range []string{"speedup", "cell-timeout", "policies", "osses", "seeds", "scales", "duration",
+				"remote", "node-bin", "faults"} {
 				if has[allowed] {
 					t.Errorf("calibration rejects -%s, which it documents as an override", allowed)
+				}
+			}
+		}
+		if study == "gift-scale" {
+			for _, must := range []string{"remote", "node-bin", "faults"} {
+				if !has[must] {
+					t.Errorf("study %s does not reject -%s (it is sim-only)", study, must)
 				}
 			}
 		}

@@ -27,6 +27,11 @@
 //   - a live goroutine/RPC cluster mode (internal/transport,
 //     internal/cluster) running all five policies on the wall clock,
 //     including a central GIFT coupon-bank coordinator service;
+//   - a deployable node daemon (cmd/adaptbf-node, cluster.Node) serving
+//     an OSS or GIFT coordinator over TCP with graceful drain, plus a
+//     deterministic fault-injection layer (transport.Fault,
+//     harness.FaultProfile) and a remote process-per-OSS matrix backend
+//     (harness.RemoteBackend);
 //   - a concurrent scenario-matrix engine (internal/harness) that fans a
 //     declarative grid — scenario × policy × scale × OSS count × seed —
 //     out over a worker pool and merges the results deterministically,
@@ -143,11 +148,48 @@
 // that serialization is what the measurement's validity rests on. Per-
 // cell failures are tolerated: a flaky live cell is excluded from
 // pairing and counted (sim_failed_cells / live_failed_cells) instead of
-// destroying the artifact. The JSON document (schema v3)
+// destroying the artifact. The JSON document (schema v4)
 // carries the rows and the live grid's cells in a "calibration"
 // section; CI smokes a small accelerated grid on every push, and the
 // nightly workflow runs the full grid unaccelerated (-speedup 1) so
 // slow drift between backends is caught without taxing every push.
+// With CalibrationStudyOptions.Remote (CLI: -remote) the study runs the
+// grid a third time on the remote backend and each row grows a
+// remote-vs-sim divergence column; an optional fault profile applies to
+// that remote half only and is recorded in the document.
+//
+// # Remote backend & fault injection
+//
+// The third backend crosses the process boundary: harness.RemoteBackend
+// (CLI: -backend remote) runs every cell as separate OS processes
+// communicating over loopback TCP — one cmd/adaptbf-node daemon per
+// OSS, plus one coordinator daemon for GIFT cells — which makes the
+// paper's deployment claim literal: the decentralization property holds
+// across real process isolation and a real (if local) network. Each
+// node prints a machine-parseable ADDR line at startup, answers a
+// health opcode, and on SIGTERM drains gracefully — stops accepting,
+// bounds open connections, stops its policy machinery — then emits a
+// final STATS JSON line from which the backend folds device-busy
+// counters and GIFT bank state into the cell result. Job runners drive
+// the workload from the harness process through reconnecting clients
+// (transport.Redialer) with per-RPC deadlines and a bounded retry
+// budget, so no transport failure can hang a cell.
+//
+// Faults are injected deterministically, keyed by cell seed and
+// connection index. The network layer (transport.Fault, parsed from
+// "latency=2ms,jitter=1ms,loss=0.1,bw=64MiB") delays, jitters, and
+// rate-limits writes on the node side of every connection, with loss
+// modeled as bounded RTO-style retransmit penalties. The process layer
+// (harness.FaultProfile, CLI -faults) adds crash[=when] — SIGKILL the
+// first OSS node mid-run — restart=after (respawn it on the same
+// address, which reconnecting clients ride out), and straggler=k (the
+// first OSS's device runs k× slower — on the remote and live backends
+// both). The sim backend rejects any fault profile, and crash/restart
+// require the remote backend: only a real process can be killed. Under
+// every profile the transport's contract holds — each RPC completes or
+// fails within its deadline, never blocks forever — pinned by the
+// fault-path tests in internal/transport and the crash/restart smoke in
+// internal/harness.
 //
 // # Matrix analytics and export
 //

@@ -85,7 +85,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var targets []*adaptbf.RPCClient
+			var targets []adaptbf.Caller
 			for _, addr := range addrs {
 				c, err := adaptbf.DialOSS("tcp", addr)
 				if err != nil {

@@ -68,7 +68,7 @@ func TestOSSEnforcesRuleRate(t *testing.T) {
 			Nodes: 1,
 			Procs: []workload.Pattern{{FileBytes: 60 * kib64, RPCBytes: kib64}},
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	start := time.Now()
 	stats, err := runner.Run(context.Background())
@@ -95,7 +95,7 @@ func TestJobRunnerBounded(t *testing.T) {
 			Nodes: 1,
 			Procs: workload.Replicate(workload.Pattern{FileBytes: 32 * kib64, RPCBytes: kib64}, 3),
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	stats, err := runner.Run(context.Background())
 	if err != nil {
@@ -120,7 +120,7 @@ func TestJobRunnerStripeCountPinsFiles(t *testing.T) {
 			Nodes: 1,
 			Procs: workload.Replicate(workload.Pattern{FileBytes: 32 * kib64, RPCBytes: kib64, StripeCount: 1}, 2),
 		},
-		Targets: []*transport.Client{c1, c2},
+		Targets: []transport.Caller{c1, c2},
 	}
 	stats, err := runner.Run(context.Background())
 	if err != nil {
@@ -149,7 +149,7 @@ func TestJobRunnerUnboundedStopsOnCancel(t *testing.T) {
 			Nodes: 1,
 			Procs: []workload.Pattern{{RPCBytes: kib64}},
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	stats, err := runner.Run(ctx)
 	if err == nil {
@@ -175,7 +175,7 @@ func TestJobRunnerBurstPacing(t *testing.T) {
 				BurstInterval: 100 * time.Millisecond,
 			}},
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	start := time.Now()
 	stats, err := runner.Run(context.Background())
@@ -231,7 +231,7 @@ func TestControllerAdaptsLiveCluster(t *testing.T) {
 					Nodes: 1, // ignored; mapper supplies priorities
 					Procs: workload.Replicate(workload.Pattern{RPCBytes: kib64, MaxInflight: 16}, 4),
 				},
-				Targets: []*transport.Client{c},
+				Targets: []transport.Caller{c},
 			}
 			stats, _ := runner.Run(runCtx)
 			results <- out{id, stats}
@@ -272,7 +272,7 @@ func TestDecentralizedControllersPerOST(t *testing.T) {
 			Nodes: 1,
 			Procs: workload.Replicate(workload.Pattern{FileBytes: 64 * kib64, RPCBytes: kib64}, 2),
 		},
-		Targets: []*transport.Client{c1, c2},
+		Targets: []transport.Caller{c1, c2},
 	}
 	stats, err := runner.Run(context.Background())
 	if err != nil {
@@ -336,7 +336,7 @@ func TestJobRunnerSurvivesServerShutdown(t *testing.T) {
 			Nodes: 1,
 			Procs: []workload.Pattern{{RPCBytes: kib64}}, // unbounded
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 	}
 	done := make(chan error, 1)
 	go func() {
@@ -372,7 +372,7 @@ func TestJobRunnerObserveHook(t *testing.T) {
 			Nodes: 1,
 			Procs: workload.Replicate(workload.Pattern{FileBytes: 16 * kib64, RPCBytes: kib64}, 2),
 		},
-		Targets: []*transport.Client{c},
+		Targets: []transport.Caller{c},
 		Observe: func(b int64, lat time.Duration) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -459,7 +459,7 @@ func TestLiveSFQWeightedSharing(t *testing.T) {
 					Nodes: 1,
 					Procs: workload.Replicate(workload.Pattern{RPCBytes: kib64, MaxInflight: 16}, 4),
 				},
-				Targets: []*transport.Client{c},
+				Targets: []transport.Caller{c},
 			}
 			stats, _ := runner.Run(runCtx)
 			results <- out{id, stats}
@@ -502,7 +502,7 @@ func TestLiveSFQTagOrderingUnderConcurrency(t *testing.T) {
 					Nodes: 1,
 					Procs: workload.Replicate(workload.Pattern{FileBytes: 24 * kib64, RPCBytes: kib64, MaxInflight: 8}, 2),
 				},
-				Targets: []*transport.Client{c},
+				Targets: []transport.Caller{c},
 			}
 			st, err := runner.Run(context.Background())
 			if err != nil {

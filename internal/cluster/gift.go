@@ -135,7 +135,7 @@ type GIFTAgentStats struct {
 // the only shared state — which is exactly GIFT's centralization.
 type GIFTAgent struct {
 	oss     *OSS
-	coord   *transport.Client
+	coord   transport.Caller
 	daemon  *rules.Daemon
 	maxRate float64
 	period  time.Duration
@@ -144,12 +144,14 @@ type GIFTAgent struct {
 	stats GIFTAgentStats
 }
 
-// NewGIFTAgent builds this OSS's coordinator-facing agent. maxRate is
-// the target's token capacity in tokens/s and period the decision epoch
-// in (possibly accelerated) OSS time; like the AdapTBF controller, the
+// NewGIFTAgent builds this OSS's coordinator-facing agent. coord is any
+// transport.Caller — an in-process pipe client or a reconnecting
+// Redialer for a coordinator in another OS process. maxRate is the
+// target's token capacity in tokens/s and period the decision epoch in
+// (possibly accelerated) OSS time; like the AdapTBF controller, the
 // agent ticks faster on the wall clock by the Speedup factor so the
 // logical epoch matches. Run it with go agent.Run(ctx).
-func (o *OSS) NewGIFTAgent(coord *transport.Client, maxRate float64, period time.Duration) *GIFTAgent {
+func (o *OSS) NewGIFTAgent(coord transport.Caller, maxRate float64, period time.Duration) *GIFTAgent {
 	if o.sched == nil {
 		panic("cluster: an SFQ-gated OSS has no TBF rules for a GIFT agent to drive")
 	}
@@ -217,7 +219,16 @@ func (a *GIFTAgent) walk() {
 		a.oss.tracker.Merge(snap)
 		return
 	}
-	rep, err := a.coord.Call(transport.Request{JobID: "gift-walk", Op: OpGIFTWalk, Payload: buf.Bytes()})
+	// Bound the walk: a dead or unreachable coordinator costs a few
+	// epochs of waiting, not a wedged agent. The drained demand merges
+	// back on failure, so nothing observed is lost.
+	wt := 4 * time.Duration(float64(a.period)/a.oss.cfg.Speedup)
+	if wt < time.Second {
+		wt = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wt)
+	rep, err := a.coord.CallCtx(ctx, transport.Request{JobID: "gift-walk", Op: OpGIFTWalk, Payload: buf.Bytes()})
+	cancel()
 	if err != nil {
 		a.oss.tracker.Merge(snap)
 		return

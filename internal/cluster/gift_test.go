@@ -148,7 +148,7 @@ func TestLiveGIFTAgentsDriveRules(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			clients := []*transport.Client{transport.Pipe(osses[0]), transport.Pipe(osses[1])}
+			clients := []transport.Caller{transport.Pipe(osses[0]), transport.Pipe(osses[1])}
 			defer clients[0].Close()
 			defer clients[1].Close()
 			runner := &JobRunner{

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,15 +28,32 @@ type JobStats struct {
 // stripe their requests round-robin across targets, like a Lustre client
 // striping a file over OSTs.
 type JobRunner struct {
-	Job     workload.Job
-	Targets []*transport.Client
+	Job workload.Job
+	// Targets are the storage endpoints: in-process *transport.Client
+	// pipes for the live backend, *transport.Redialer reconnecting
+	// clients for the remote one.
+	Targets []transport.Caller
+
+	// RPCTimeout bounds each RPC attempt. 0 means no per-attempt
+	// deadline beyond the run context — fine in-process, where a
+	// stalled OSS means a broken test, but remote runs should set it so
+	// a wedged or crashed node fails calls instead of wedging the run.
+	RPCTimeout time.Duration
+	// Retries is how many extra attempts a transport-level failure gets
+	// (0 = none). Server-reported errors are never retried: the request
+	// arrived. The storage RPCs here are accounting events, so an
+	// at-least-once replay is safe by construction.
+	Retries int
+	// RetryBackoff is the initial inter-attempt sleep (default 25ms),
+	// doubling per retry.
+	RetryBackoff time.Duration
 
 	// Observe, when set, is called once per successfully completed RPC
 	// with the bytes transferred and the client-perceived latency (issue
-	// to reply receipt). Calls come from per-RPC goroutines and may be
-	// concurrent; the observer must be safe for concurrent use. This is
-	// how the matrix harness's live backend assembles timelines and
-	// latency digests from a wall-clock run.
+	// to reply receipt, retries included). Calls come from per-RPC
+	// goroutines and may be concurrent; the observer must be safe for
+	// concurrent use. This is how the matrix harness's live backend
+	// assembles timelines and latency digests from a wall-clock run.
 	Observe func(bytes int64, latency time.Duration)
 }
 
@@ -79,6 +97,46 @@ func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
 	}
 }
 
+// call issues one RPC with the runner's per-attempt deadline and
+// bounded backoff retry. Transport-level failures retry (the request may
+// never have arrived); server-reported errors and run-context expiry do
+// not.
+func (r *JobRunner) call(ctx context.Context, target transport.Caller, req transport.Request) (transport.Reply, error) {
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var rep transport.Reply
+	var err error
+	for try := 0; try <= r.Retries; try++ {
+		if try > 0 {
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if r.RPCTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, r.RPCTimeout)
+		}
+		rep, err = target.CallCtx(attemptCtx, req)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return rep, nil
+		}
+		var remote *transport.RemoteError
+		if errors.As(err, &remote) || ctx.Err() != nil {
+			return rep, err
+		}
+	}
+	return rep, err
+}
+
 // runProc executes one process: sequential RPCs to its own stream with a
 // bounded in-flight window, optionally grouped into bursts separated by
 // idle intervals.
@@ -105,7 +163,9 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 
 	// issueWindow sends up to n RPCs (all of them if n < 0 and bounded)
 	// respecting the in-flight cap, waits for them all, and returns how
-	// many completed.
+	// many were issued. Each RPC runs in its own goroutine under CallCtx,
+	// so cancelling ctx bounds in-flight calls too — a wedged target
+	// fails its calls at the deadline instead of hanging the window.
 	issueWindow := func(n int64) (int64, error) {
 		sem := make(chan struct{}, pat.MaxInflight)
 		var wg sync.WaitGroup
@@ -128,37 +188,31 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 			}
 			target := r.Targets[(base+rr%stripes)%len(r.Targets)]
 			rr++
-			issued := time.Now()
-			ch, _, err := target.Do(transport.Request{
-				JobID:  r.Job.ID,
-				Op:     uint8(pat.Op),
-				Bytes:  pat.RPCBytes,
-				Stream: stream,
-			})
-			if err != nil {
-				<-sem
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				break
-			}
 			if !unbounded {
 				remaining--
 			}
 			sent++
+			issued := time.Now()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				rep := <-ch
-				if rep.Err != "" {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("cluster: %s", rep.Err)
+				rep, err := r.call(ctx, target, transport.Request{
+					JobID:  r.Job.ID,
+					Op:     uint8(pat.Op),
+					Bytes:  pat.RPCBytes,
+					Stream: stream,
+				})
+				if err != nil {
+					// A call cut short by the run ending is not a job
+					// failure — the issue loop reports ctx.Err() itself.
+					if ctx.Err() == nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("cluster: %w", err)
+						}
+						errMu.Unlock()
 					}
-					errMu.Unlock()
 					return
 				}
 				atomic.AddInt64(&bytes, rep.Bytes)

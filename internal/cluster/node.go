@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"adaptbf/internal/controller"
+	"adaptbf/internal/transport"
+	"adaptbf/internal/workload"
+)
+
+// Control-plane opcodes a Node answers itself, in the same far-out range
+// as OpGIFTWalk so they can never collide with storage traffic.
+const (
+	// OpNodeHealth is the readiness probe: the reply payload carries the
+	// node's role and policy, so a spawner can verify it addressed the
+	// process it meant to.
+	OpNodeHealth uint8 = 0xF8
+	// OpNodeStats returns a NodeStats JSON snapshot of what is safely
+	// observable while the node is serving (device counters only appear
+	// in the final drain snapshot — they require a closed OSS).
+	OpNodeStats uint8 = 0xF9
+)
+
+// A NodeConfig describes one adaptbf-node process: a storage server (or
+// GIFT coordinator) plus its policy machinery, served over TCP with
+// optional fault injection on every accepted connection.
+type NodeConfig struct {
+	// Role is "oss" (default) or "coord" (a GIFT coordinator only).
+	Role string
+	// Listen is the TCP listen address. Default "127.0.0.1:0".
+	Listen string
+
+	// OSS configures the storage server ("oss" role). For the "sfq"
+	// policy the node installs the SFQ gate itself from SFQDepth and
+	// Nodes — leave OSS.SFQ nil.
+	OSS OSSConfig
+	// Policy names the bandwidth-control machinery beside the OSS:
+	// "nobw" (default), "static", "adaptbf", "sfq", or "gift".
+	Policy string
+	// MaxRate is the target's token capacity in tokens/s (static,
+	// adaptbf, gift) and the coordinator's per-walk capacity hint.
+	MaxRate float64
+	// Period is the controller/coordinator decision epoch in OSS time.
+	Period time.Duration
+	// SFQDepth is the SFQ(D) dispatch depth (sfq policy).
+	SFQDepth int
+	// Nodes maps each job ID to its compute-node count — what static
+	// rules, the AdapTBF node mapper, and SFQ weights are derived from.
+	// Jobs not listed count as 1 node.
+	Nodes map[string]int
+	// CoordAddr is the GIFT coordinator's address (gift policy).
+	CoordAddr string
+
+	// Fault, when nonzero, wraps every accepted connection so each
+	// message this node sends pays the profile's delays, seeded by
+	// FaultSeed plus a per-connection offset.
+	Fault     transport.Fault
+	FaultSeed uint64
+
+	// DrainTimeout bounds the graceful drain: connections still open
+	// that long after Close are force-closed. Default 5s.
+	DrainTimeout time.Duration
+}
+
+// NodeStats is a node's observable state: served live via OpNodeStats
+// (device fields zero — they require a closed OSS) and printed as the
+// final drain snapshot by cmd/adaptbf-node.
+type NodeStats struct {
+	Role   string `json:"role"`
+	Policy string `json:"policy"`
+	Addr   string `json:"addr"`
+
+	Conns       int     `json:"conns"`
+	PendingRPCs int     `json:"pending_rpcs"`
+	ServedRPCs  uint64  `json:"served_rpcs,omitempty"`
+	BusySeconds float64 `json:"busy_seconds,omitempty"`
+
+	Walks              int64   `json:"walks,omitempty"`
+	BankEntries        int     `json:"bank_entries,omitempty"`
+	CouponsOutstanding float64 `json:"coupons_outstanding,omitempty"`
+}
+
+// MarshalLine renders the stats as one compact JSON object — the
+// daemon's STATS drain line, which spawners parse back with
+// ParseNodeStats.
+func (s NodeStats) MarshalLine() ([]byte, error) { return json.Marshal(s) }
+
+// ParseNodeStats decodes a STATS drain line's JSON object.
+func ParseNodeStats(line []byte) (NodeStats, error) {
+	var s NodeStats
+	err := json.Unmarshal(line, &s)
+	return s, err
+}
+
+// A Node is one adaptbf-node process's core: a listener, the served OSS
+// or GIFT coordinator, and the policy machinery running beside it. Start
+// with StartNode; stop with Close (graceful drain).
+type Node struct {
+	cfg    NodeConfig
+	ln     net.Listener
+	oss    *OSS
+	coord  *GIFTCoordinator
+	agent  *GIFTAgent
+	acoord *transport.Redialer
+
+	stopCtls  context.CancelFunc
+	ctlWG     sync.WaitGroup
+	acceptWG  sync.WaitGroup
+	connWG    sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	connSeq   uint64
+	closing   bool
+	closeOnce sync.Once
+	final     NodeStats
+}
+
+// StartNode validates the config, binds the listener, stands up the role
+// and policy machinery, and starts accepting connections.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Role == "" {
+		cfg.Role = "oss"
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "nobw"
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Role {
+	case "oss", "coord":
+	default:
+		return nil, fmt.Errorf("cluster: unknown node role %q (want oss or coord)", cfg.Role)
+	}
+
+	n := &Node{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	ctlCtx, stopCtls := context.WithCancel(context.Background())
+	n.stopCtls = stopCtls
+
+	switch cfg.Role {
+	case "coord":
+		if cfg.Policy != "gift" && cfg.Policy != "nobw" {
+			return nil, fmt.Errorf("cluster: the coord role serves GIFT only (policy %q)", cfg.Policy)
+		}
+		n.coord = NewGIFTCoordinator(cfg.Period)
+	case "oss":
+		ocfg := cfg.OSS
+		if cfg.Policy == "sfq" {
+			nodes := cfg.Nodes
+			ocfg.SFQ = &SFQConfig{
+				Depth: cfg.SFQDepth,
+				Weights: func(jobID string) float64 {
+					if k := nodes[jobID]; k > 0 {
+						return float64(k)
+					}
+					return 1
+				},
+			}
+		}
+		n.oss = NewOSS(ocfg)
+		if err := n.startOSSPolicy(ctlCtx); err != nil {
+			n.oss.Close()
+			stopCtls()
+			return nil, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		n.teardownRole()
+		stopCtls()
+		return nil, err
+	}
+	n.ln = ln
+	n.acceptWG.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// startOSSPolicy stands up the policy machinery beside the OSS.
+func (n *Node) startOSSPolicy(ctlCtx context.Context) error {
+	cfg := n.cfg
+	switch cfg.Policy {
+	case "nobw", "sfq":
+		// nobw is FCFS; sfq's gate was installed at NewOSS.
+	case "static":
+		jobs := make([]workload.Job, 0, len(cfg.Nodes))
+		for id, k := range cfg.Nodes {
+			jobs = append(jobs, workload.Job{ID: id, Nodes: k})
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+		eng := n.oss.Engine()
+		for _, r := range workload.StaticRules(jobs, cfg.MaxRate, 0) {
+			if err := eng.StartRule(r, n.oss.Now()); err != nil {
+				return fmt.Errorf("cluster: node static rule %s: %w", r.Name, err)
+			}
+		}
+	case "adaptbf":
+		nodes := cfg.Nodes
+		mapper := controller.NodeMapperFunc(func(jobID string) int {
+			if k := nodes[jobID]; k > 0 {
+				return k
+			}
+			return 1
+		})
+		ctl := n.oss.NewController(mapper, cfg.MaxRate, cfg.Period)
+		n.ctlWG.Add(1)
+		go func() {
+			defer n.ctlWG.Done()
+			ctl.Run(ctlCtx)
+		}()
+	case "gift":
+		if cfg.CoordAddr == "" {
+			return fmt.Errorf("cluster: gift policy needs a coordinator address")
+		}
+		// A Redialer, not a single client: the coordinator process may
+		// restart (or simply start second), and the agent's idempotent
+		// walks tolerate the replays reconnection implies.
+		n.acoord = &transport.Redialer{Network: "tcp", Addr: cfg.CoordAddr}
+		n.agent = n.oss.NewGIFTAgent(n.acoord, cfg.MaxRate, cfg.Period)
+		n.ctlWG.Add(1)
+		go func() {
+			defer n.ctlWG.Done()
+			n.agent.Run(ctlCtx)
+		}()
+	default:
+		return fmt.Errorf("cluster: unknown node policy %q", cfg.Policy)
+	}
+	return nil
+}
+
+// Addr reports the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+func (n *Node) acceptLoop() {
+	defer n.acceptWG.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closing {
+			n.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		n.connSeq++
+		fc := transport.FaultedConn(conn, n.cfg.Fault, n.cfg.FaultSeed+n.connSeq*0x9e3779b97f4a7c15)
+		n.conns[fc] = struct{}{}
+		n.mu.Unlock()
+		n.connWG.Add(1)
+		go func() {
+			defer n.connWG.Done()
+			_ = transport.ServeConn(fc, n)
+			fc.Close()
+			n.mu.Lock()
+			delete(n.conns, fc)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// Handle implements transport.Handler: node control opcodes are answered
+// here, GIFT walks route to the coordinator, everything else is storage
+// traffic for the OSS.
+func (n *Node) Handle(req transport.Request, reply func(transport.Reply)) {
+	switch {
+	case req.Op == OpNodeHealth:
+		reply(transport.Reply{Payload: []byte(n.cfg.Role + "/" + n.cfg.Policy)})
+	case req.Op == OpNodeStats:
+		buf, err := json.Marshal(n.liveStats())
+		if err != nil {
+			reply(transport.Reply{Err: "node: stats: " + err.Error()})
+			return
+		}
+		reply(transport.Reply{Payload: buf})
+	case req.Op == OpGIFTWalk && n.coord != nil:
+		n.coord.Handle(req, reply)
+	case req.Op >= 0xF0:
+		reply(transport.Reply{Err: fmt.Sprintf("node: no handler for control opcode %#x in role %s", req.Op, n.cfg.Role)})
+	case n.oss != nil:
+		n.oss.Handle(req, reply)
+	default:
+		reply(transport.Reply{Err: "node: coordinator serves control traffic only"})
+	}
+}
+
+// liveStats snapshots what is observable while serving (no device
+// counters — those require a closed OSS and appear in Close's snapshot).
+func (n *Node) liveStats() NodeStats {
+	st := NodeStats{Role: n.cfg.Role, Policy: n.cfg.Policy, Addr: n.Addr()}
+	n.mu.Lock()
+	st.Conns = len(n.conns)
+	n.mu.Unlock()
+	if n.oss != nil {
+		for _, k := range n.oss.PendingJobs() {
+			st.PendingRPCs += k
+		}
+	}
+	if n.coord != nil {
+		st.Walks = n.coord.Walks()
+		st.BankEntries = n.coord.BankEntries()
+		st.CouponsOutstanding = n.coord.OutstandingCoupons()
+	}
+	return st
+}
+
+// teardownRole stops the served OSS (reading its final device counters
+// into the drain snapshot) or coordinator.
+func (n *Node) teardownRole() {
+	n.final = NodeStats{Role: n.cfg.Role, Policy: n.cfg.Policy}
+	if n.ln != nil {
+		n.final.Addr = n.ln.Addr().String()
+	}
+	if n.oss != nil {
+		n.oss.Close()
+		served, busy := n.oss.DeviceStats()
+		n.final.ServedRPCs = served
+		n.final.BusySeconds = busy.Seconds()
+	}
+	if n.coord != nil {
+		n.final.Walks = n.coord.Walks()
+		n.final.BankEntries = n.coord.BankEntries()
+		n.final.CouponsOutstanding = n.coord.OutstandingCoupons()
+	}
+	if n.acoord != nil {
+		n.acoord.Close()
+	}
+}
+
+// Close gracefully drains the node: stop accepting, give open
+// connections DrainTimeout to finish (then force-close them), stop the
+// policy machinery, close the OSS, and return the final stats snapshot —
+// including the device counters only a closed OSS can report.
+func (n *Node) Close() NodeStats {
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		n.closing = true
+		n.mu.Unlock()
+		n.ln.Close()
+		n.acceptWG.Wait()
+
+		drained := make(chan struct{})
+		go func() {
+			n.connWG.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(n.cfg.DrainTimeout):
+			n.mu.Lock()
+			for c := range n.conns {
+				c.Close()
+			}
+			n.mu.Unlock()
+			<-drained
+		}
+
+		n.stopCtls()
+		n.ctlWG.Wait()
+		n.teardownRole()
+	})
+	return n.final
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,6 +28,12 @@ type CellSpec struct {
 	// PerJobDigests asks the backend to capture one latency digest per
 	// job in addition to the always-on per-cell digest (WithDigests).
 	PerJobDigests bool
+
+	// Faults is the matrix's fault-injection axis. Backends that cannot
+	// realize a requested fault must fail the cell rather than silently
+	// run it clean (SimBackend rejects any fault; ClusterBackend rejects
+	// crash/restart, which need a process to kill).
+	Faults FaultProfile
 }
 
 // A CellOutcome is a backend's finished cell: the raw result plus the
@@ -89,6 +96,11 @@ func (b *SimBackend) Name() string { return "sim" }
 func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, error) {
 	if err := ctx.Err(); err != nil {
 		return CellOutcome{}, err
+	}
+	if !spec.Faults.IsZero() {
+		// The simulator's network is a model, not a substrate: refusing
+		// beats silently running a clean cell that claims a fault profile.
+		return CellOutcome{}, fmt.Errorf("harness: the sim backend cannot inject faults (%s); use -backend live or remote", spec.Faults)
 	}
 	scratch, _ := b.scratch.Get().(*sim.Scratch)
 	if scratch == nil {

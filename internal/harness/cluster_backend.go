@@ -103,6 +103,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	default:
 		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF, SFQ(D), GIFT)", spec.Cell.Policy)
 	}
+	if spec.Faults.CrashOSS {
+		return CellOutcome{}, fmt.Errorf("harness: the in-process live backend has no OSS process to crash; use -backend remote for crash/restart faults")
+	}
 	jobs := spec.Scenario.Jobs(spec.Cell.Params())
 	if len(jobs) == 0 {
 		return CellOutcome{}, fmt.Errorf("harness: scenario %s produced no jobs", spec.Cell.Scenario)
@@ -121,30 +124,7 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		depth = liveDefaultBucketDepth
 	}
 
-	// Workload time parameters are OSS time, but JobRunner sleeps them on
-	// the raw wall clock: divide them by Speedup so an accelerated cell
-	// runs the same OSS-time workload the simulator runs (otherwise a
-	// calibration pairing would partly measure the -speedup knob, not the
-	// substrate). Patterns are copied — Scenario.Jobs may share slices.
-	if speedup != 1 {
-		scale := func(d time.Duration) time.Duration {
-			if d <= 0 {
-				return d
-			}
-			if s := time.Duration(float64(d) / speedup); s > 0 {
-				return s
-			}
-			return 1 // keep positive so Pattern validation semantics hold
-		}
-		for ji := range jobs {
-			procs := append([]workload.Pattern(nil), jobs[ji].Procs...)
-			for pi := range procs {
-				procs[pi].StartDelay = scale(procs[pi].StartDelay)
-				procs[pi].BurstInterval = scale(procs[pi].BurstInterval)
-			}
-			jobs[ji].Procs = procs
-		}
-	}
+	scaleWorkloadTimes(jobs, speedup)
 
 	nodesOf := make(map[string]int, len(jobs))
 	for _, j := range jobs {
@@ -168,7 +148,22 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	}
 	osses := make([]*cluster.OSS, spec.Cell.OSSes)
 	for i := range osses {
-		osses[i] = cluster.NewOSS(cfg)
+		ocfg := cfg
+		if i == 0 && spec.Faults.StragglerFactor > 1 {
+			// The straggler mode: the first OSS's device runs k× slower —
+			// lower streaming rate, higher per-RPC costs — the slow-node
+			// scenario the borrowing policies are supposed to route around.
+			k := spec.Faults.StragglerFactor
+			d := ocfg.Device
+			if d == (device.Params{}) {
+				d = device.Default()
+			}
+			d.BytesPerSec = d.BytesPerSec / k
+			d.PerRPCOverhead = time.Duration(float64(d.PerRPCOverhead) * k)
+			d.ConcurrencyPenalty = time.Duration(float64(d.ConcurrencyPenalty) * k)
+			ocfg.Device = d
+		}
+		osses[i] = cluster.NewOSS(ocfg)
 	}
 	defer func() {
 		for _, o := range osses {
@@ -218,7 +213,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		// design point. Every OSS's agent consults it over the transport
 		// each epoch, so the serial central walk happens as real RPCs.
 		giftCoord = cluster.NewGIFTCoordinator(spec.Period)
-		coordClient := transport.Pipe(giftCoord)
+		// The coordinator pipe is part of the faulted network: GIFT's
+		// central walk pays the injected delays like any other RPC.
+		coordClient := transport.PipeFault(giftCoord, spec.Faults.Net, faultSeed(spec.Cell.Seed, 0))
 		defer coordClient.Close()
 		giftAgents = make([]*cluster.GIFTAgent, len(osses))
 		for i, o := range osses {
@@ -245,14 +242,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		timeline:  metrics.NewTimeline(spec.Period),
 		latencies: &metrics.LatencyRecorder{},
 	}
-	type jobOutcome struct {
-		stats      cluster.JobStats
-		err        error
-		finishedAt time.Duration // OSS time; valid when err == nil
-	}
-	outcomes := make([]jobOutcome, len(jobs))
+	outcomes := make([]liveJobOutcome, len(jobs))
 	var wg sync.WaitGroup
-	clients := make([]*transport.Client, 0, len(jobs)*len(osses))
+	clients := make([]transport.Caller, 0, len(jobs)*len(osses))
 	defer func() {
 		for _, c := range clients {
 			c.Close()
@@ -265,10 +257,12 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	for ji, job := range jobs {
 		observers[ji] = rec.observer(job.ID)
 	}
+	conn := 1 // fault-seed connection index; 0 is the GIFT coordinator pipe
 	for ji, job := range jobs {
-		targets := make([]*transport.Client, len(osses))
+		targets := make([]transport.Caller, len(osses))
 		for i, o := range osses {
-			targets[i] = transport.Pipe(o)
+			targets[i] = transport.PipeFault(o, spec.Faults.Net, faultSeed(spec.Cell.Seed, conn))
+			conn++
 		}
 		clients = append(clients, targets...)
 		runner := &cluster.JobRunner{Job: job, Targets: targets, Observe: observers[ji]}
@@ -276,7 +270,7 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		go func() {
 			defer wg.Done()
 			stats, err := runner.Run(runCtx)
-			outcomes[ji] = jobOutcome{stats: stats, err: err, finishedAt: rec.now()}
+			outcomes[ji] = liveJobOutcome{stats: stats, err: err, finishedAt: rec.now()}
 		}()
 	}
 	wg.Wait()
@@ -290,34 +284,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		return CellOutcome{}, err
 	}
 
-	res := &sim.Result{
-		Policy:      spec.Cell.Policy,
-		Timeline:    rec.timeline,
-		Latencies:   rec.latencies,
-		FinishTimes: make(map[string]time.Duration, len(jobs)),
-		Elapsed:     elapsed,
-		Done:        true,
-	}
-	var firstErr error
-	for i, jo := range outcomes {
-		res.ServedRPCs += uint64(jo.stats.RPCs)
-		switch {
-		case jo.err == nil:
-			if jobs[i].TotalBytes() > 0 {
-				res.FinishTimes[jobs[i].ID] = jo.finishedAt
-			} else {
-				res.Done = false // unbounded job: ran to the duration cap
-			}
-		case errors.Is(jo.err, context.DeadlineExceeded) || errors.Is(jo.err, context.Canceled):
-			res.Done = false // duration cap expired under this job
-		default:
-			if firstErr == nil {
-				firstErr = fmt.Errorf("job %s: %w", jobs[i].ID, jo.err)
-			}
-		}
-	}
-	if firstErr != nil {
-		return CellOutcome{}, firstErr
+	res, err := foldLiveResult(spec, jobs, outcomes, rec, elapsed)
+	if err != nil {
+		return CellOutcome{}, err
 	}
 
 	// Fold the live GIFT coordination cost into the result the same way
@@ -347,6 +316,79 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		res.DeviceBusy = append(res.DeviceBusy, busy)
 	}
 	return outcomeOf(res, spec.PerJobDigests), nil
+}
+
+// A liveJobOutcome is one job's end state on a wall-clock backend.
+type liveJobOutcome struct {
+	stats      cluster.JobStats
+	err        error
+	finishedAt time.Duration // OSS time; valid when err == nil
+}
+
+// scaleWorkloadTimes divides workload time parameters by the clock
+// acceleration. They are OSS time, but JobRunner sleeps them on the raw
+// wall clock: scaling makes an accelerated cell run the same OSS-time
+// workload the simulator runs (otherwise a calibration pairing would
+// partly measure the -speedup knob, not the substrate). Patterns are
+// copied in place — Scenario.Jobs may share slices.
+func scaleWorkloadTimes(jobs []workload.Job, speedup float64) {
+	if speedup == 1 {
+		return
+	}
+	scale := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return d
+		}
+		if s := time.Duration(float64(d) / speedup); s > 0 {
+			return s
+		}
+		return 1 // keep positive so Pattern validation semantics hold
+	}
+	for ji := range jobs {
+		procs := append([]workload.Pattern(nil), jobs[ji].Procs...)
+		for pi := range procs {
+			procs[pi].StartDelay = scale(procs[pi].StartDelay)
+			procs[pi].BurstInterval = scale(procs[pi].BurstInterval)
+		}
+		jobs[ji].Procs = procs
+	}
+}
+
+// foldLiveResult turns per-job outcomes from a wall-clock backend into
+// the simulator-shaped result both live backends report. Shared between
+// ClusterBackend and RemoteBackend so cell semantics (Done, finish
+// times, cancellation vs failure) cannot drift between substrates.
+func foldLiveResult(spec CellSpec, jobs []workload.Job, outcomes []liveJobOutcome, rec *liveRecorder, elapsed time.Duration) (*sim.Result, error) {
+	res := &sim.Result{
+		Policy:      spec.Cell.Policy,
+		Timeline:    rec.timeline,
+		Latencies:   rec.latencies,
+		FinishTimes: make(map[string]time.Duration, len(jobs)),
+		Elapsed:     elapsed,
+		Done:        true,
+	}
+	var firstErr error
+	for i, jo := range outcomes {
+		res.ServedRPCs += uint64(jo.stats.RPCs)
+		switch {
+		case jo.err == nil:
+			if jobs[i].TotalBytes() > 0 {
+				res.FinishTimes[jobs[i].ID] = jo.finishedAt
+			} else {
+				res.Done = false // unbounded job: ran to the duration cap
+			}
+		case errors.Is(jo.err, context.DeadlineExceeded) || errors.Is(jo.err, context.Canceled):
+			res.Done = false // duration cap expired under this job
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("job %s: %w", jobs[i].ID, jo.err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
 }
 
 // installLiveStaticRules applies the Static BW baseline to live servers:

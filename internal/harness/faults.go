@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"adaptbf/internal/transport"
+)
+
+// A FaultProfile is the matrix's fault-injection axis: network
+// misbehaviour plus process-level failures, applied uniformly to every
+// cell a matrix runs. The zero profile injects nothing.
+//
+// Backends differ in what they can fault. The simulator refuses any
+// profile — its network is a model, not a substrate. The in-process
+// live backend injects Net (on every job↔OSS pipe and the GIFT
+// coordinator pipe) and Straggler; Crash and Restart need a process to
+// kill, so they require the remote backend.
+type FaultProfile struct {
+	// Net is injected on the server side of every transport connection,
+	// seed-keyed per cell and per connection, so each RPC round-trip
+	// pays one traversal deterministically.
+	Net transport.Fault
+	// CrashOSS kills the first OSS node process mid-run (remote backend
+	// only).
+	CrashOSS bool
+	// CrashAfter is the wall-clock delay before the crash. 0 means a
+	// quarter of the cell's wall-clock duration cap.
+	CrashAfter time.Duration
+	// RestartAfter, when nonzero, respawns the crashed node on the same
+	// address that long after the crash — the recovery half of the
+	// crash/restart fault.
+	RestartAfter time.Duration
+	// StragglerFactor > 1 slows the first OSS's device by that factor —
+	// the slow-node mode. 0 (or 1) means no straggler.
+	StragglerFactor float64
+}
+
+// IsZero reports whether the profile injects nothing.
+func (f FaultProfile) IsZero() bool {
+	return f.Net.IsZero() && !f.CrashOSS && f.StragglerFactor == 0
+}
+
+// Validate rejects malformed profiles.
+func (f FaultProfile) Validate() error {
+	if err := f.Net.Validate(); err != nil {
+		return err
+	}
+	if f.CrashAfter < 0 || f.RestartAfter < 0 {
+		return fmt.Errorf("harness: negative crash/restart delay in fault profile")
+	}
+	if (f.CrashAfter > 0 || f.RestartAfter > 0) && !f.CrashOSS {
+		return fmt.Errorf("harness: crash/restart delays need the crash fault itself (add \"crash\")")
+	}
+	if f.StragglerFactor != 0 && f.StragglerFactor < 1 {
+		return fmt.Errorf("harness: straggler factor %v must be >= 1", f.StragglerFactor)
+	}
+	return nil
+}
+
+// String renders the profile in ParseFaultProfile's syntax ("none" when
+// zero), so reports can stamp the axis verbatim.
+func (f FaultProfile) String() string {
+	if f.IsZero() {
+		return "none"
+	}
+	var parts []string
+	if !f.Net.IsZero() {
+		parts = append(parts, f.Net.String())
+	}
+	if f.CrashOSS {
+		if f.CrashAfter > 0 {
+			parts = append(parts, "crash="+f.CrashAfter.String())
+		} else {
+			parts = append(parts, "crash")
+		}
+		if f.RestartAfter > 0 {
+			parts = append(parts, "restart="+f.RestartAfter.String())
+		}
+	}
+	if f.StragglerFactor > 0 {
+		parts = append(parts, "straggler="+strconv.FormatFloat(f.StragglerFactor, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultProfile parses the CLI fault axis:
+//
+//	latency=2ms,jitter=1ms,loss=0.1,bw=64MiB,crash=5s,restart=2s,straggler=4
+//
+// Network keys (latency, jitter, loss, bw) follow transport.ParseFault.
+// "crash" (optionally =delay) kills the first OSS process mid-run;
+// "restart=d" respawns it d after the crash; "straggler=k" slows the
+// first OSS's device by k×. The empty string is the zero profile.
+func ParseFaultProfile(s string) (FaultProfile, error) {
+	var f FaultProfile
+	var netFields []string
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		switch key {
+		case "crash":
+			f.CrashOSS = true
+			if hasVal {
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return FaultProfile{}, fmt.Errorf("harness: bad crash delay %q: %w", val, err)
+				}
+				f.CrashAfter = d
+			}
+		case "restart":
+			if !hasVal {
+				return FaultProfile{}, fmt.Errorf("harness: restart needs a delay (restart=2s)")
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return FaultProfile{}, fmt.Errorf("harness: bad restart delay %q: %w", val, err)
+			}
+			f.RestartAfter = d
+		case "straggler":
+			if !hasVal {
+				return FaultProfile{}, fmt.Errorf("harness: straggler needs a factor (straggler=4)")
+			}
+			k, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return FaultProfile{}, fmt.Errorf("harness: bad straggler factor %q: %w", val, err)
+			}
+			f.StragglerFactor = k
+		default:
+			netFields = append(netFields, field)
+		}
+	}
+	if len(netFields) > 0 {
+		net, err := transport.ParseFault(strings.Join(netFields, ","))
+		if err != nil {
+			return FaultProfile{}, err
+		}
+		f.Net = net
+	}
+	if f.RestartAfter > 0 && !f.CrashOSS {
+		return FaultProfile{}, fmt.Errorf("harness: restart without crash makes no sense (add \"crash\")")
+	}
+	return f, f.Validate()
+}
+
+// faultSeed derives the deterministic per-connection fault RNG seed
+// from the cell seed and a connection index, mixed so adjacent indices
+// start far apart in the splitmix64 stream.
+func faultSeed(cellSeed int64, conn int) uint64 {
+	return uint64(cellSeed)*0x9e3779b97f4a7c15 + uint64(conn)*0xbf58476d1ce4e5b9 + 1
+}

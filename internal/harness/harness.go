@@ -78,6 +78,11 @@ type Matrix struct {
 	Duration time.Duration
 	// SFQDepth is the dispatch depth for SFQ cells. Defaults to 1.
 	SFQDepth int
+
+	// Faults is the fault-injection axis, applied to every cell. Only
+	// fault-capable backends accept it (the sim backend rejects any
+	// profile; crash/restart need the remote backend).
+	Faults FaultProfile
 }
 
 // DefaultPolicies is the policy axis used when Matrix.Policies is empty.
@@ -127,6 +132,9 @@ func (m Matrix) normalize() (Matrix, error) {
 	}
 	if m.Duration == 0 {
 		m.Duration = 30 * time.Minute
+	}
+	if err := m.Faults.Validate(); err != nil {
+		return m, err
 	}
 	return m, nil
 }
@@ -378,6 +386,7 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					Duration:      norm.Duration,
 					SFQDepth:      norm.SFQDepth,
 					PerJobDigests: cfg.perJobDigests,
+					Faults:        norm.Faults,
 				}
 				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
 				if cfg.cellTimeout > 0 {

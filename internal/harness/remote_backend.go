@@ -1,0 +1,519 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptbf/internal/cluster"
+	"adaptbf/internal/device"
+	"adaptbf/internal/metrics"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/transport"
+)
+
+// RemoteBackend runs cells as separate OS processes over TCP: per cell
+// it spawns one adaptbf-node process per OSS (plus one coordinator
+// process for GIFT), waits for each to answer its health probe, and
+// drives the scenario's workload from in-harness job runners whose
+// targets are reconnecting clients — so an OSS process crash mid-run is
+// a transport error with a retry budget, not a wedged cell. This is the
+// paper's deployment claim made literal: the decentralization property
+// crosses a real process boundary and a real (if loopback) network.
+//
+// The node binary is built once per backend (go build adaptbf/cmd/
+// adaptbf-node, resolved via the module root) unless NodeBin points at a
+// prebuilt one. Faults apply on the node side of every connection
+// (CellSpec.Faults.Net), and the crash/restart and straggler modes are
+// realized here — a SIGKILLed node process and a respawn on the same
+// address, a k×-slowed device on the first OSS.
+//
+// Like ClusterBackend, results are OSS time (wall-clock × Speedup),
+// inherently nondeterministic, and never fingerprinted. Device counters
+// come from each node's STATS drain line — the only moment a node can
+// report them — so a crashed-and-not-restarted node contributes zero
+// device busy time.
+type RemoteBackend struct {
+	// NodeBin is a prebuilt adaptbf-node binary. Empty means build one
+	// (cached per backend) from the enclosing module.
+	NodeBin string
+	// Device parameterizes each node's backing store. Zero means
+	// device.Default().
+	Device device.Params
+	// Speedup accelerates modeled device and controller clocks. Default 1.
+	Speedup float64
+	// BucketDepth is the per-rule TBF bucket depth (default 16, as live).
+	BucketDepth float64
+	// RPCTimeout bounds each RPC attempt against a node (default 15s).
+	RPCTimeout time.Duration
+	// Retries is the per-RPC transport-failure retry budget (default 2;
+	// raised automatically to cover a crash/restart gap).
+	Retries int
+
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+}
+
+// Name reports "remote".
+func (b *RemoteBackend) Name() string { return "remote" }
+
+// remoteReadyTimeout bounds how long a spawned node gets to print its
+// ADDR line and answer its first health probe.
+const remoteReadyTimeout = 15 * time.Second
+
+// nodePolicyFlag maps a matrix policy to the daemon's -policy value.
+func nodePolicyFlag(p sim.Policy) (string, error) {
+	switch p {
+	case sim.NoBW:
+		return "nobw", nil
+	case sim.StaticBW:
+		return "static", nil
+	case sim.AdapTBF:
+		return "adaptbf", nil
+	case sim.SFQ:
+		return "sfq", nil
+	case sim.GIFT:
+		return "gift", nil
+	}
+	return "", fmt.Errorf("harness: policy %v has no remote implementation", p)
+}
+
+// bin resolves the node binary, building it once if needed.
+func (b *RemoteBackend) bin() (string, error) {
+	if b.NodeBin != "" {
+		return b.NodeBin, nil
+	}
+	b.buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			b.buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "adaptbf-node-")
+		if err != nil {
+			b.buildErr = err
+			return
+		}
+		out := filepath.Join(dir, "adaptbf-node")
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/adaptbf-node")
+		cmd.Dir = root
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			b.buildErr = fmt.Errorf("harness: building adaptbf-node: %v\n%s", err, msg)
+			return
+		}
+		b.builtBin = out
+	})
+	if b.buildErr != nil {
+		return "", b.buildErr
+	}
+	return b.builtBin, nil
+}
+
+// moduleRoot locates the enclosing Go module (where ./cmd/adaptbf-node
+// resolves) from the process working directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("harness: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("harness: not inside a Go module; set RemoteBackend.NodeBin to a prebuilt adaptbf-node")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// A nodeProc is one spawned adaptbf-node process and its parsed stdout.
+type nodeProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stats  chan cluster.NodeStats // buffered 1; fed by the STATS drain line
+	exited chan struct{}          // closed when the process is reaped
+	stderr bytes.Buffer
+}
+
+// spawnNode starts the binary, parses the ADDR line, and health-checks
+// the node before returning it.
+func spawnNode(bin string, args []string) (*nodeProc, error) {
+	p := &nodeProc{
+		cmd:    exec.Command(bin, args...),
+		stats:  make(chan cluster.NodeStats, 1),
+		exited: make(chan struct{}),
+	}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, "ADDR "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			} else if s, ok := strings.CutPrefix(line, "STATS "); ok {
+				if st, err := cluster.ParseNodeStats([]byte(s)); err == nil {
+					select {
+					case p.stats <- st:
+					default:
+					}
+				}
+			}
+		}
+		p.cmd.Wait()
+		close(p.exited)
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-p.exited:
+		return nil, fmt.Errorf("harness: adaptbf-node exited at startup: %s", p.stderr.String())
+	case <-time.After(remoteReadyTimeout):
+		p.kill()
+		return nil, fmt.Errorf("harness: adaptbf-node printed no ADDR line within %v", remoteReadyTimeout)
+	}
+	if err := waitHealthy(p.addr); err != nil {
+		p.kill()
+		return nil, err
+	}
+	return p, nil
+}
+
+// waitHealthy probes the node's health opcode until it answers.
+func waitHealthy(addr string) error {
+	deadline := time.Now().Add(remoteReadyTimeout)
+	r := &transport.Redialer{Network: "tcp", Addr: addr, Attempts: 1}
+	defer r.Close()
+	var lastErr error
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, lastErr = r.CallCtx(ctx, transport.Request{Op: cluster.OpNodeHealth})
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("harness: node %s never became healthy: %v", addr, lastErr)
+}
+
+// terminate SIGTERMs the node (triggering its graceful drain), waits for
+// its STATS snapshot, and reaps it — escalating to SIGKILL if the drain
+// exceeds its bound.
+func (p *nodeProc) terminate(drainBound time.Duration) (cluster.NodeStats, bool) {
+	p.cmd.Process.Signal(os.Interrupt)
+	var st cluster.NodeStats
+	got := false
+	select {
+	case st = <-p.stats:
+		got = true
+	case <-p.exited:
+		// Exited without draining (crashed, or killed earlier) — but a
+		// STATS line scanned just before EOF still counts.
+		select {
+		case st = <-p.stats:
+			got = true
+		default:
+		}
+	case <-time.After(drainBound):
+	}
+	select {
+	case <-p.exited:
+	case <-time.After(2 * time.Second):
+		p.kill()
+	}
+	return st, got
+}
+
+func (p *nodeProc) kill() {
+	p.cmd.Process.Kill()
+	<-p.exited
+}
+
+// RunCell executes one cell as separate node processes over TCP.
+func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err
+	}
+	policy, err := nodePolicyFlag(spec.Cell.Policy)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	jobs := spec.Scenario.Jobs(spec.Cell.Params())
+	if len(jobs) == 0 {
+		return CellOutcome{}, fmt.Errorf("harness: scenario %s produced no jobs", spec.Cell.Scenario)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return CellOutcome{}, err
+		}
+	}
+	bin, err := b.bin()
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	speedup := b.Speedup
+	if speedup <= 0 {
+		speedup = 1
+	}
+	depth := b.BucketDepth
+	if depth <= 0 {
+		depth = liveDefaultBucketDepth
+	}
+	rpcTimeout := b.RPCTimeout
+	if rpcTimeout <= 0 {
+		rpcTimeout = 15 * time.Second
+	}
+	scaleWorkloadTimes(jobs, speedup)
+
+	nodesFlag := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		nodesFlag = append(nodesFlag, j.ID+"="+strconv.Itoa(j.Nodes))
+	}
+	wallCap := time.Duration(float64(spec.Duration) / speedup)
+
+	// Spawn the cell's processes: the GIFT coordinator first (agents dial
+	// it at startup), then one OSS node per target.
+	commonArgs := func(role string, faultConn int) []string {
+		args := []string{
+			"-role", role,
+			"-listen", "127.0.0.1:0",
+			"-rate", strconv.FormatFloat(spec.MaxTokenRate, 'g', -1, 64),
+			"-period", spec.Period.String(),
+			"-drain", "5s",
+		}
+		if !spec.Faults.Net.IsZero() {
+			args = append(args,
+				"-faults", spec.Faults.Net.String(),
+				"-fault-seed", strconv.FormatUint(faultSeed(spec.Cell.Seed, faultConn), 10))
+		}
+		return args
+	}
+	deviceArgs := func(straggler bool) []string {
+		d := b.Device
+		if d == (device.Params{}) {
+			d = device.Default()
+		}
+		if straggler {
+			k := spec.Faults.StragglerFactor
+			d.BytesPerSec /= k
+			d.PerRPCOverhead = time.Duration(float64(d.PerRPCOverhead) * k)
+			d.ConcurrencyPenalty = time.Duration(float64(d.ConcurrencyPenalty) * k)
+		}
+		return []string{
+			"-dev-bps", strconv.FormatFloat(d.BytesPerSec, 'g', -1, 64),
+			"-dev-overhead", d.PerRPCOverhead.String(),
+			"-dev-penalty", d.ConcurrencyPenalty.String(),
+		}
+	}
+
+	var procs []*nodeProc // every process ever spawned, for teardown reaping
+	var coordProc *nodeProc
+	defer func() {
+		for _, p := range procs {
+			select {
+			case <-p.exited:
+			default:
+				p.kill()
+			}
+		}
+	}()
+
+	if spec.Cell.Policy == sim.GIFT {
+		coordProc, err = spawnNode(bin, commonArgs("coord", 0))
+		if err != nil {
+			return CellOutcome{}, err
+		}
+		procs = append(procs, coordProc)
+	}
+	ossArgs := func(i int) []string {
+		args := append(commonArgs("oss", 1+i),
+			"-policy", policy,
+			"-depth", strconv.FormatFloat(depth, 'g', -1, 64),
+			"-speedup", strconv.FormatFloat(speedup, 'g', -1, 64),
+			"-sfq-depth", strconv.Itoa(spec.SFQDepth),
+		)
+		if len(nodesFlag) > 0 {
+			args = append(args, "-nodes", strings.Join(nodesFlag, ","))
+		}
+		if coordProc != nil {
+			args = append(args, "-coord", coordProc.addr)
+		}
+		args = append(args, deviceArgs(i == 0 && spec.Faults.StragglerFactor > 1)...)
+		return args
+	}
+	ossProcs := make([]*nodeProc, spec.Cell.OSSes)
+	for i := range ossProcs {
+		p, err := spawnNode(bin, ossArgs(i))
+		if err != nil {
+			return CellOutcome{}, err
+		}
+		ossProcs[i] = p
+		procs = append(procs, p)
+	}
+
+	// The crash/restart fault: SIGKILL the first OSS node mid-run (no
+	// drain, no STATS — a crash), optionally respawning it on the same
+	// address so reconnecting clients recover.
+	crashCtx, stopCrash := context.WithCancel(context.Background())
+	var crashWG sync.WaitGroup
+	defer func() {
+		stopCrash()
+		crashWG.Wait()
+	}()
+	var restartMu sync.Mutex // guards ossProcs[0] and procs during the respawn
+	if spec.Faults.CrashOSS {
+		crashAfter := spec.Faults.CrashAfter
+		if crashAfter <= 0 {
+			crashAfter = wallCap / 4
+		}
+		crashWG.Add(1)
+		go func() {
+			defer crashWG.Done()
+			select {
+			case <-crashCtx.Done():
+				return
+			case <-time.After(crashAfter):
+			}
+			victim := ossProcs[0]
+			victim.kill()
+			if spec.Faults.RestartAfter <= 0 {
+				return
+			}
+			select {
+			case <-crashCtx.Done():
+				return
+			case <-time.After(spec.Faults.RestartAfter):
+			}
+			args := ossArgs(0)
+			for i := range args { // pin the respawn to the crashed node's address
+				if args[i] == "-listen" {
+					args[i+1] = victim.addr
+				}
+			}
+			p, err := spawnNode(bin, args)
+			if err != nil {
+				return // clients keep failing against the dead addr; the cell reports it
+			}
+			restartMu.Lock()
+			ossProcs[0] = p
+			procs = append(procs, p)
+			restartMu.Unlock()
+		}()
+	}
+
+	// Per-RPC retry budget. A crash/restart cell needs the backoff window
+	// to span the dead gap, or every in-flight job fails before the
+	// respawn comes up.
+	retries := b.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	retryBackoff := 25 * time.Millisecond
+	if spec.Faults.CrashOSS && spec.Faults.RestartAfter > 0 {
+		need := spec.Faults.RestartAfter + 2*time.Second
+		retryBackoff = 250 * time.Millisecond
+		for window := retryBackoff * ((1 << retries) - 1); window < need && retries < 10; retries++ {
+			window = retryBackoff * ((1 << (retries + 1)) - 1)
+		}
+	}
+
+	runCtx, cancelRun := context.WithTimeout(ctx, wallCap)
+	defer cancelRun()
+	rec := &liveRecorder{
+		epoch:     time.Now(),
+		speedup:   speedup,
+		timeline:  metrics.NewTimeline(spec.Period),
+		latencies: &metrics.LatencyRecorder{},
+	}
+	observers := make([]func(bytes int64, latency time.Duration), len(jobs))
+	for ji, job := range jobs {
+		observers[ji] = rec.observer(job.ID)
+	}
+	outcomes := make([]liveJobOutcome, len(jobs))
+	var clients []transport.Caller
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for ji, job := range jobs {
+		targets := make([]transport.Caller, len(ossProcs))
+		for i, p := range ossProcs {
+			// Redialers reconnect across node restarts; the per-call retry
+			// budget lives in the runner, so internal attempts stay at 1.
+			targets[i] = &transport.Redialer{Network: "tcp", Addr: p.addr, Attempts: 1}
+		}
+		clients = append(clients, targets...)
+		runner := &cluster.JobRunner{
+			Job:          job,
+			Targets:      targets,
+			RPCTimeout:   rpcTimeout,
+			Retries:      retries,
+			RetryBackoff: retryBackoff,
+			Observe:      observers[ji],
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := runner.Run(runCtx)
+			outcomes[ji] = liveJobOutcome{stats: stats, err: err, finishedAt: rec.now()}
+		}()
+	}
+	wg.Wait()
+	elapsed := rec.now()
+	cancelRun()
+	stopCrash()
+	crashWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return CellOutcome{}, err
+	}
+	res, err := foldLiveResult(spec, jobs, outcomes, rec, elapsed)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+
+	// Teardown: drain every node and fold its final snapshot. Device
+	// counters exist only in these STATS lines; a crashed node never
+	// prints one and contributes zeros.
+	restartMu.Lock()
+	finalOSS := append([]*nodeProc(nil), ossProcs...)
+	restartMu.Unlock()
+	for _, p := range finalOSS {
+		st, ok := p.terminate(8 * time.Second)
+		if !ok {
+			res.DeviceBusy = append(res.DeviceBusy, 0)
+			continue
+		}
+		res.DeviceBusy = append(res.DeviceBusy, time.Duration(st.BusySeconds*float64(time.Second)))
+	}
+	if coordProc != nil {
+		if st, ok := coordProc.terminate(8 * time.Second); ok {
+			// The coordination cost observable from outside the node
+			// processes: the centralized walk count (two control messages
+			// per walk, as the simulator counts them) and the bank's final
+			// centralized state.
+			res.CtrlMsgs += 2 * st.Walks
+			res.GIFTBankEntries = st.BankEntries
+			res.GIFTCouponsOutstanding = st.CouponsOutstanding
+		}
+	}
+	return outcomeOf(res, spec.PerJobDigests), nil
+}

@@ -37,6 +37,12 @@ var calibrationMetrics = []string{MetricThroughput, MetricFairness, MetricP50, M
 // paired deltas, not the pooled populations. DivergencePctN can be
 // smaller than Pairs when a cell's sim value was zero (no percentage
 // exists); 0 means the divergence is unavailable, not zero.
+//
+// When the study also ran the remote (process-per-OSS over TCP)
+// backend, the Remote* fields carry the third column: remote-grid
+// seed-axis statistics and the cell-paired (remote−sim)/sim divergence.
+// RemotePairs 0 means the remote half did not run (schema v3 documents)
+// or paired nothing.
 type CalibrationRow struct {
 	Policy string `json:"policy"`
 	Metric string `json:"metric"`
@@ -51,31 +57,47 @@ type CalibrationRow struct {
 	DivergencePctCI   float64 `json:"divergence_pct_ci"`
 	DivergencePctN    int64   `json:"divergence_pct_n"`
 
+	RemotePairs             int64   `json:"remote_pairs,omitempty"`
+	RemoteMean              float64 `json:"remote_mean,omitempty"`
+	RemoteCI                float64 `json:"remote_ci,omitempty"`
+	RemoteDivergencePctMean float64 `json:"remote_divergence_pct_mean,omitempty"`
+	RemoteDivergencePctCI   float64 `json:"remote_divergence_pct_ci,omitempty"`
+	RemoteDivergencePctN    int64   `json:"remote_divergence_pct_n,omitempty"`
+
 	// Outlier flags a divergence whose mean magnitude exceeds the
 	// study's OutlierPct threshold — the cells a drift investigation
-	// should start from.
-	Outlier bool `json:"outlier,omitempty"`
+	// should start from. RemoteOutlier is the same rule applied to the
+	// remote column.
+	Outlier       bool `json:"outlier,omitempty"`
+	RemoteOutlier bool `json:"remote_outlier,omitempty"`
 }
 
-// A Calibration is the sim-vs-live section of a calibration-study
-// document (schema v3): the divergence rows plus the live grid's cells
-// in the same per-cell form as the document's (simulator) Cells.
+// A Calibration is the sim-vs-live(-vs-remote) section of a
+// calibration-study document (schema v4): the divergence rows plus the
+// live grid's cells — and, when the remote half ran, the remote grid's
+// cells — in the same per-cell form as the document's (simulator) Cells.
 type Calibration struct {
 	Name        string  `json:"name"`
 	Description string  `json:"description"`
 	Speedup     float64 `json:"speedup"`
 	OutlierPct  float64 `json:"outlier_pct"`
+	// Faults is the fault profile injected into the remote half
+	// (harness.FaultProfile syntax); empty when none or when the remote
+	// half did not run.
+	Faults string `json:"faults,omitempty"`
 
-	// SimFailedCells and LiveFailedCells count cells that errored on
-	// each backend. Failed cells are excluded from every row's pairing
-	// (their coordinates still appear in Cells/LiveCells with the error
-	// recorded), so a flaky live cell shrinks the statistics instead of
-	// destroying the whole study's artifact.
-	SimFailedCells  int `json:"sim_failed_cells,omitempty"`
-	LiveFailedCells int `json:"live_failed_cells,omitempty"`
+	// SimFailedCells, LiveFailedCells, and RemoteFailedCells count cells
+	// that errored on each backend. Failed cells are excluded from every
+	// row's pairing (their coordinates still appear in Cells/LiveCells/
+	// RemoteCells with the error recorded), so a flaky live cell shrinks
+	// the statistics instead of destroying the whole study's artifact.
+	SimFailedCells    int `json:"sim_failed_cells,omitempty"`
+	LiveFailedCells   int `json:"live_failed_cells,omitempty"`
+	RemoteFailedCells int `json:"remote_failed_cells,omitempty"`
 
-	Rows      []CalibrationRow `json:"rows"`
-	LiveCells []Cell           `json:"live_cells"`
+	Rows        []CalibrationRow `json:"rows"`
+	LiveCells   []Cell           `json:"live_cells"`
+	RemoteCells []Cell           `json:"remote_cells,omitempty"`
 }
 
 // CalibrationStudyOptions parameterizes RunCalibrationStudy. The zero
@@ -101,6 +123,22 @@ type CalibrationStudyOptions struct {
 	// CellTimeout bounds each live cell's wall-clock execution.
 	// Default 5 minutes.
 	CellTimeout time.Duration
+
+	// Remote additionally executes the grid on harness.RemoteBackend —
+	// every OSS its own adaptbf-node process reached over loopback TCP —
+	// growing each row by a third column of remote-vs-sim divergence.
+	// The remote half runs serially like the live half, after it.
+	Remote bool
+	// NodeBin forwards to RemoteBackend.NodeBin: a prebuilt adaptbf-node
+	// binary. Empty builds one from the enclosing module.
+	NodeBin string
+	// Faults is injected into the remote half's matrix (network faults
+	// on every node connection; crash/restart and straggler modes as
+	// RemoteBackend realizes them), so the divergence rows quantify what
+	// the fault profile costs relative to the fault-free simulator.
+	// Requires Remote — the sim and live halves stay fault-free by
+	// construction.
+	Faults harness.FaultProfile
 
 	// Workers bounds the sim half's worker pool. Default NumCPU — the
 	// simulator is a pure function of the spec, so parallelism is free.
@@ -162,13 +200,15 @@ func (o CalibrationStudyOptions) normalize() CalibrationStudyOptions {
 	return o
 }
 
-// A CalibrationStudy is a finished live-vs-sim calibration: both merged
-// matrices, the schema-v3 JSON document (Calibration section filled, the
-// simulator grid as the document's Cells so its fingerprint stays
-// golden), and a renderable/CSV-exportable report.
+// A CalibrationStudy is a finished live-vs-sim calibration: the merged
+// matrices (Remote is nil unless Options.Remote was set), the schema-v4
+// JSON document (Calibration section filled, the simulator grid as the
+// document's Cells so its fingerprint stays golden), and a renderable/
+// CSV-exportable report.
 type CalibrationStudy struct {
 	Sim      *harness.MatrixResult
 	Live     *harness.MatrixResult
+	Remote   *harness.MatrixResult
 	Document *Document
 	Report   *experiments.Report
 }
@@ -182,6 +222,9 @@ type CalibrationStudy struct {
 // whose mean divergence magnitude exceeds OutlierPct are flagged.
 func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error) {
 	opt = opt.normalize()
+	if !opt.Faults.IsZero() && !opt.Remote {
+		return nil, fmt.Errorf("calibration: a fault profile (%s) requires the remote half (set Remote); the sim and live halves are fault-free by construction", opt.Faults)
+	}
 	m := harness.Matrix{
 		Scenarios: []harness.Scenario{opt.Scenario},
 		Policies:  opt.Policies,
@@ -207,6 +250,21 @@ func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error)
 	if liveRes == nil {
 		return nil, fmt.Errorf("calibration: live grid: %w", liveErr)
 	}
+	var remoteRes *harness.MatrixResult
+	var remoteSums []metrics.Summary
+	if opt.Remote {
+		rm := m
+		rm.Faults = opt.Faults
+		var remoteErr error
+		remoteRes, remoteErr = harness.Run(context.Background(), rm,
+			harness.WithWorkers(opt.LiveWorkers), harness.WithProgress(opt.OnCell),
+			harness.WithBackend(&harness.RemoteBackend{Speedup: opt.Speedup, Device: opt.Device, NodeBin: opt.NodeBin}),
+			harness.WithCellTimeout(opt.CellTimeout))
+		if remoteRes == nil {
+			return nil, fmt.Errorf("calibration: remote grid: %w", remoteErr)
+		}
+		remoteSums = remoteRes.Summaries()
+	}
 
 	simSums := simRes.Summaries()
 	liveSums := liveRes.Summaries()
@@ -218,7 +276,7 @@ func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error)
 	doc := fromMatrix(simRes, simSums, docOpt)
 	doc.Kind = CalibrationStudyName
 
-	cal, table := buildCalibration(simRes, simSums, liveRes, liveSums, opt)
+	cal, table := buildCalibration(simRes, simSums, liveRes, liveSums, remoteRes, remoteSums, opt)
 	for _, cr := range simRes.Cells {
 		if cr.Err != nil {
 			cal.SimFailedCells++
@@ -229,6 +287,17 @@ func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error)
 			cal.LiveFailedCells++
 		}
 		cal.LiveCells = append(cal.LiveCells, cellOf(cr, liveSums[i], docOpt.normalize()))
+	}
+	if remoteRes != nil {
+		for i, cr := range remoteRes.Cells {
+			if cr.Err != nil {
+				cal.RemoteFailedCells++
+			}
+			cal.RemoteCells = append(cal.RemoteCells, cellOf(cr, remoteSums[i], docOpt.normalize()))
+		}
+		if !opt.Faults.IsZero() {
+			cal.Faults = opt.Faults.String()
+		}
 	}
 	if len(cal.Rows) == 0 {
 		return nil, fmt.Errorf("calibration: no cell completed on both backends (sim: %v, live: %v)", simErr, liveErr)
@@ -243,8 +312,15 @@ func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error)
 		liveRep.Tables[i].Name = "live-" + liveRep.Tables[i].Name
 	}
 	rep.Tables = append(rep.Tables, liveRep.Tables...)
+	if remoteRes != nil {
+		remoteRep := remoteRes.ReportCIWith(remoteSums, opt.CILevel)
+		for i := range remoteRep.Tables {
+			remoteRep.Tables[i].Name = "remote-" + remoteRep.Tables[i].Name
+		}
+		rep.Tables = append(rep.Tables, remoteRep.Tables...)
+	}
 	rep.Tables = append(rep.Tables, table)
-	return &CalibrationStudy{Sim: simRes, Live: liveRes, Document: doc, Report: rep}, nil
+	return &CalibrationStudy{Sim: simRes, Live: liveRes, Remote: remoteRes, Document: doc, Report: rep}, nil
 }
 
 // isOutlier is the flagging rule: a divergence with at least one pair
@@ -268,35 +344,52 @@ func calMetricsOf(cr harness.CellResult, sc harness.Scenario, sum metrics.Summar
 	return cm
 }
 
-// buildCalibration folds both matrices — cell i of one is cell i of the
-// other, since they ran the identical grid — into per-policy per-metric
-// divergence rows and their renderable table.
+// buildCalibration folds the matrices — cell i of one is cell i of the
+// others, since they ran the identical grid — into per-policy per-metric
+// divergence rows and their renderable table. remoteRes may be nil (no
+// remote half); its column then stays absent from rows and table alike.
 func buildCalibration(simRes *harness.MatrixResult, simSums []metrics.Summary,
 	liveRes *harness.MatrixResult, liveSums []metrics.Summary,
+	remoteRes *harness.MatrixResult, remoteSums []metrics.Summary,
 	opt CalibrationStudyOptions) (*Calibration, experiments.Table) {
 	type agg struct {
-		sim, live, div [4]stats.Moments
-		pairs          int64
+		sim, live, div    [4]stats.Moments
+		remote, remoteDiv [4]stats.Moments
+		pairs             int64
+		remotePairs       int64
 	}
 	byPolicy := make(map[sim.Policy]*agg, len(opt.Policies))
 	for i, sc := range simRes.Cells {
-		lc := liveRes.Cells[i]
-		if sc.Err != nil || lc.Err != nil {
+		if sc.Err != nil {
 			continue
 		}
 		sm := calMetricsOf(sc, opt.Scenario, simSums[i])
-		lm := calMetricsOf(lc, opt.Scenario, liveSums[i])
 		g, ok := byPolicy[sc.Cell.Policy]
 		if !ok {
 			g = &agg{}
 			byPolicy[sc.Cell.Policy] = g
 		}
-		g.pairs++
-		for k := range calibrationMetrics {
-			g.sim[k].Add(sm[k])
-			g.live[k].Add(lm[k])
-			if sm[k] > 0 {
-				g.div[k].Add((lm[k] - sm[k]) / sm[k] * 100)
+		if lc := liveRes.Cells[i]; lc.Err == nil {
+			lm := calMetricsOf(lc, opt.Scenario, liveSums[i])
+			g.pairs++
+			for k := range calibrationMetrics {
+				g.sim[k].Add(sm[k])
+				g.live[k].Add(lm[k])
+				if sm[k] > 0 {
+					g.div[k].Add((lm[k] - sm[k]) / sm[k] * 100)
+				}
+			}
+		}
+		if remoteRes != nil {
+			if rc := remoteRes.Cells[i]; rc.Err == nil {
+				rm := calMetricsOf(rc, opt.Scenario, remoteSums[i])
+				g.remotePairs++
+				for k := range calibrationMetrics {
+					g.remote[k].Add(rm[k])
+					if sm[k] > 0 {
+						g.remoteDiv[k].Add((rm[k] - sm[k]) / sm[k] * 100)
+					}
+				}
 			}
 		}
 	}
@@ -305,24 +398,27 @@ func buildCalibration(simRes *harness.MatrixResult, simSums []metrics.Summary,
 	cal := &Calibration{
 		Name: CalibrationStudyName,
 		Description: "Same grid executed on the deterministic simulator and the live cluster " +
-			"backend; rows report per-policy seed-axis statistics of each metric on both " +
-			"substrates and the cell-paired (live-sim)/sim divergence with confidence " +
-			"intervals. Rows whose mean divergence magnitude exceeds outlier_pct are flagged.",
+			"backend (and, when remote_cells is present, on the process-per-OSS remote " +
+			"backend over TCP, under the recorded fault profile); rows report per-policy " +
+			"seed-axis statistics of each metric per substrate and the cell-paired " +
+			"(live-sim)/sim and (remote-sim)/sim divergences with confidence intervals. " +
+			"Rows whose mean divergence magnitude exceeds outlier_pct are flagged.",
 		Speedup:    opt.Speedup,
 		OutlierPct: opt.OutlierPct,
 	}
-	table := experiments.Table{
-		Name: "calibration-divergence",
-		Header: []string{"policy", "metric", "pairs",
-			"sim mean", "±CI", "live mean", "±CI",
-			"divergence (%)", "±CI", "outlier"},
+	header := []string{"policy", "metric", "pairs",
+		"sim mean", "±CI", "live mean", "±CI",
+		"divergence (%)", "±CI", "outlier"}
+	if remoteRes != nil {
+		header = append(header, "remote mean", "±CI", "remote div (%)", "±CI", "remote outlier")
 	}
+	table := experiments.Table{Name: "calibration-divergence", Header: header}
 	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
 	// Walk policies in grid order, never map order: the document must be
-	// deterministic given the two matrices.
+	// deterministic given the matrices.
 	for _, pol := range opt.Policies {
 		g, ok := byPolicy[pol]
-		if !ok {
+		if !ok || (g.pairs == 0 && g.remotePairs == 0) {
 			continue
 		}
 		for k, metric := range calibrationMetrics {
@@ -339,6 +435,15 @@ func buildCalibration(simRes *harness.MatrixResult, simSums []metrics.Summary,
 				DivergencePctN:    g.div[k].N(),
 			}
 			row.Outlier = isOutlier(row.DivergencePctMean, row.DivergencePctN, opt.OutlierPct)
+			if g.remotePairs > 0 {
+				row.RemotePairs = g.remotePairs
+				row.RemoteMean = g.remote[k].Mean()
+				row.RemoteCI = g.remote[k].CIHalfWidth(level)
+				row.RemoteDivergencePctMean = g.remoteDiv[k].Mean()
+				row.RemoteDivergencePctCI = g.remoteDiv[k].CIHalfWidth(level)
+				row.RemoteDivergencePctN = g.remoteDiv[k].N()
+				row.RemoteOutlier = isOutlier(row.RemoteDivergencePctMean, row.RemoteDivergencePctN, opt.OutlierPct)
+			}
 			cal.Rows = append(cal.Rows, row)
 			div, divCI, flag := "-", "-", ""
 			if row.DivergencePctN > 0 {
@@ -347,12 +452,23 @@ func buildCalibration(simRes *harness.MatrixResult, simSums []metrics.Summary,
 					flag = "OUTLIER"
 				}
 			}
-			table.Rows = append(table.Rows, []string{
+			cols := []string{
 				row.Policy, row.Metric, fmt.Sprintf("%d", row.Pairs),
 				f1(row.SimMean), f1(row.SimCI),
 				f1(row.LiveMean), f1(row.LiveCI),
 				div, divCI, flag,
-			})
+			}
+			if remoteRes != nil {
+				rdiv, rdivCI, rflag := "-", "-", ""
+				if row.RemoteDivergencePctN > 0 {
+					rdiv, rdivCI = fmt.Sprintf("%+.1f", row.RemoteDivergencePctMean), f1(row.RemoteDivergencePctCI)
+					if row.RemoteOutlier {
+						rflag = "OUTLIER"
+					}
+				}
+				cols = append(cols, f1(row.RemoteMean), f1(row.RemoteCI), rdiv, rdivCI, rflag)
+			}
+			table.Rows = append(table.Rows, cols)
 		}
 	}
 	return cal, table

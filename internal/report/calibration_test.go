@@ -46,7 +46,7 @@ func calTestOptions() CalibrationStudyOptions {
 
 // TestCalibrationStudyEndToEnd runs the full five-policy calibration on
 // a tiny grid: both backends complete every cell, the document carries
-// the schema-v3 calibration section with one row per policy×metric, the
+// the versioned calibration section with one row per policy×metric, the
 // live grid's cells are exported with the "live" backend label, and the
 // document's fingerprint is the (deterministic) sim grid's.
 func TestCalibrationStudyEndToEnd(t *testing.T) {
@@ -67,8 +67,11 @@ func TestCalibrationStudyEndToEnd(t *testing.T) {
 	}
 
 	doc := st.Document
-	if doc.SchemaVersion != 3 || doc.Kind != CalibrationStudyName {
+	if doc.SchemaVersion != SchemaVersion || doc.Kind != CalibrationStudyName {
 		t.Fatalf("document schema v%d kind %q", doc.SchemaVersion, doc.Kind)
+	}
+	if st.Remote != nil || doc.Calibration.RemoteCells != nil {
+		t.Fatal("remote half ran without being requested")
 	}
 	if doc.Fingerprint != st.Sim.Fingerprint() {
 		t.Fatal("document fingerprint is not the sim grid's")
@@ -114,7 +117,7 @@ func TestCalibrationStudyEndToEnd(t *testing.T) {
 		}
 	}
 
-	// The document marshals (schema v3 round-trips its new section).
+	// The document marshals (the calibration section round-trips).
 	buf, err := doc.JSON()
 	if err != nil {
 		t.Fatal(err)
@@ -196,5 +199,80 @@ func TestCalibrationFailsWhenNothingPairs(t *testing.T) {
 	opt.Policies = []sim.Policy{sim.Policy(99)}
 	if _, err := RunCalibrationStudy(opt); err == nil {
 		t.Fatal("study with zero usable pairs succeeded")
+	}
+}
+
+// TestCalibrationRejectsFaultsWithoutRemote: the fault profile only
+// applies to the remote half, so requesting one without it is a
+// configuration error, not a silent no-op.
+func TestCalibrationRejectsFaultsWithoutRemote(t *testing.T) {
+	opt := calTestOptions()
+	f, err := harness.ParseFaultProfile("latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = f
+	if _, err := RunCalibrationStudy(opt); err == nil {
+		t.Fatal("faults without the remote half accepted")
+	}
+}
+
+// TestCalibrationStudyRemote runs the three-substrate study on a minimal
+// grid: the document's calibration section grows the remote column —
+// remote cells exported with the "remote" backend label, rows carrying
+// remote means and (remote−sim)/sim divergence, and the injected fault
+// profile recorded.
+func TestCalibrationStudyRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns node processes")
+	}
+	opt := calTestOptions()
+	opt.Policies = []sim.Policy{sim.NoBW, sim.AdapTBF}
+	opt.Seeds = []int64{1}
+	opt.Remote = true
+	f, err := harness.ParseFaultProfile("latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = f
+	st, err := RunCalibrationStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Remote == nil || len(st.Remote.Cells) != 2 {
+		t.Fatalf("remote grid: %+v", st.Remote)
+	}
+	cal := st.Document.Calibration
+	if cal.Faults != "latency=1ms" {
+		t.Fatalf("calibration records faults %q", cal.Faults)
+	}
+	if len(cal.RemoteCells) != 2 || cal.RemoteFailedCells != 0 {
+		t.Fatalf("remote cells: %d exported, %d failed", len(cal.RemoteCells), cal.RemoteFailedCells)
+	}
+	for _, c := range cal.RemoteCells {
+		if c.Backend != "remote" || c.Error != "" {
+			t.Fatalf("exported remote cell %+v", c)
+		}
+	}
+	if want := 2 * len(calibrationMetrics); len(cal.Rows) != want {
+		t.Fatalf("calibration has %d rows, want %d", len(cal.Rows), want)
+	}
+	for _, row := range cal.Rows {
+		if row.RemotePairs != 1 {
+			t.Fatalf("row %s/%s remote pairs = %d, want 1", row.Policy, row.Metric, row.RemotePairs)
+		}
+		if row.RemoteMean <= 0 {
+			t.Fatalf("row %s/%s remote mean %.3f", row.Policy, row.Metric, row.RemoteMean)
+		}
+	}
+	names := map[string]bool{}
+	for _, tb := range st.Report.Tables {
+		names[tb.Name] = true
+		if tb.Name == "calibration-divergence" && len(tb.Header) != 15 {
+			t.Fatalf("divergence table header %v lacks the remote columns", tb.Header)
+		}
+	}
+	if !names["remote-matrix-cells"] {
+		t.Fatalf("report is missing the remote tables (have %v)", names)
 	}
 }

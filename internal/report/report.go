@@ -37,7 +37,15 @@ import (
 // rows with paired confidence intervals and outlier flags, plus the
 // live grid's cells under live_cells. Plain matrix documents are
 // unchanged apart from the version stamp.
-const SchemaVersion = 3
+//
+// v4 (remote backend & fault axis): cells may carry backend "remote"
+// (every OSS its own OS process over TCP); calibration rows grow an
+// optional third column — remote_mean/remote_ci and the cell-paired
+// (remote−sim)/sim divergence under remote_divergence_pct_* — with the
+// remote grid's cells under remote_cells and the injected fault profile
+// under faults. Plain matrix documents are unchanged apart from the
+// version stamp.
+const SchemaVersion = 4
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {

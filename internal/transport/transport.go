@@ -8,15 +8,27 @@
 // identifier; the reply carries only the sequence number and outcome —
 // payload movement is represented by the server's service time, not by
 // shipping gigabytes through the test harness.
+//
+// Every call path is bounded: CallCtx/DoCtx honor context deadlines and
+// cancellation (a server that accepts a request but never replies fails
+// the call at its deadline instead of hanging the caller forever), the
+// bare Call caps itself at DefaultCallTimeout, and a server whose write
+// side has died poisons its connection so the peer's pending calls fail
+// fast. For multi-process deployments, Redialer adds reconnect-on-dial
+// with bounded backoff retry, and Fault/FaultedConn inject deterministic
+// network misbehaviour (latency, jitter, loss, bandwidth caps) on either
+// side of a connection.
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // A Request is one RPC from a client process to a storage server.
@@ -43,6 +55,14 @@ type Reply struct {
 	// Payload is the control-plane response counterpart of
 	// Request.Payload (nil on storage RPCs).
 	Payload []byte
+
+	// failure carries the client-side error that produced this reply
+	// (connection death, context expiry) so Call/CallCtx can return the
+	// typed sentinel — errors.Is(err, ErrClosed) and
+	// errors.Is(err, context.DeadlineExceeded) both work — instead of a
+	// stringified copy. Unexported: gob ignores it, so the wire format is
+	// unchanged and a genuine server-sent error arrives with failure nil.
+	failure error
 }
 
 // envelope is the single wire message type, so one gob stream carries both
@@ -55,6 +75,45 @@ type envelope struct {
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("transport: connection closed")
 
+// DefaultCallTimeout caps the bare Call (no context) so a server that
+// accepts a request and never replies cannot hang its caller forever.
+// Callers needing a different bound should use CallCtx. A variable, not a
+// constant, so tests can shrink it; production code must treat it as
+// fixed.
+var DefaultCallTimeout = 2 * time.Minute
+
+// A RemoteError is an error string sent by the server in Reply.Err —
+// the failure happened on the far side, not in the transport. Its
+// message round-trips verbatim.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// A Caller issues request/reply RPCs. *Client (one connection) and
+// *Redialer (reconnect-on-dial) both implement it; the cluster layer's
+// job runners and GIFT agents accept either.
+type Caller interface {
+	// CallCtx sends a request and waits for its reply, failing at ctx's
+	// deadline or cancellation.
+	CallCtx(ctx context.Context, req Request) (Reply, error)
+	// Close releases the underlying connection(s).
+	Close() error
+}
+
+// pendingCall is one in-flight request's delivery slot. Exactly one
+// goroutine delivers: whoever removes the entry from the pending map
+// (recvLoop on reply, fail on connection death, the DoCtx watchdog on
+// context expiry) sends on ch and closes settled.
+type pendingCall struct {
+	ch      chan Reply
+	settled chan struct{}
+}
+
+func (p *pendingCall) deliver(rep Reply) {
+	p.ch <- rep // buffered 1, never blocks
+	close(p.settled)
+}
+
 // A Client issues asynchronous requests over one connection. It is safe
 // for concurrent use: many goroutines may Do at once, one internal loop
 // dispatches replies.
@@ -64,7 +123,7 @@ type Client struct {
 	encM sync.Mutex
 
 	mu      sync.Mutex
-	pending map[uint64]chan Reply
+	pending map[uint64]*pendingCall
 	seq     uint64
 	err     error
 	closed  bool
@@ -76,7 +135,7 @@ func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
-		pending: make(map[uint64]chan Reply),
+		pending: make(map[uint64]*pendingCall),
 	}
 	go c.recvLoop()
 	return c
@@ -91,8 +150,31 @@ func Dial(network, addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// Err reports the client's terminal error: nil while the connection is
+// healthy, ErrClosed after Close, the transport error that killed the
+// connection otherwise. A non-nil Err means every future call fails —
+// the signal Redialer uses to reconnect.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// take removes and returns seq's pending slot, or nil if it was already
+// delivered (or never existed). The caller that gets a non-nil slot owns
+// its delivery.
+func (c *Client) take(seq uint64) *pendingCall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pending[seq]
+	delete(c.pending, seq)
+	return p
+}
+
 // recvLoop dispatches replies to their waiting channels until the
-// connection dies, then fails all outstanding calls.
+// connection dies, then fails all outstanding calls. A reply whose seq
+// has no pending slot — already failed, already timed out, or a
+// duplicate reply for an earlier seq — is dropped.
 func (c *Client) recvLoop() {
 	dec := gob.NewDecoder(c.conn)
 	for {
@@ -104,37 +186,53 @@ func (c *Client) recvLoop() {
 		if env.Rep == nil {
 			continue // ignore stray traffic
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[env.Rep.Seq]
-		delete(c.pending, env.Rep.Seq)
-		c.mu.Unlock()
-		if ok {
-			ch <- *env.Rep
+		if p := c.take(env.Rep.Seq); p != nil {
+			p.deliver(*env.Rep)
 		}
 	}
 }
 
-// fail poisons the client and unblocks every waiter.
+// fail poisons the client and unblocks every waiter with the typed
+// terminal error.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.err == nil {
 		if c.closed {
 			err = ErrClosed
 		}
 		c.err = err
 	}
-	for seq, ch := range c.pending {
+	err = c.err
+	var stale []*pendingCall
+	var seqs []uint64
+	for seq, p := range c.pending {
 		delete(c.pending, seq)
-		ch <- Reply{Seq: seq, Err: c.err.Error()}
+		stale = append(stale, p)
+		seqs = append(seqs, seq)
+	}
+	c.mu.Unlock()
+	for i, p := range stale {
+		p.deliver(Reply{Seq: seqs[i], Err: err.Error(), failure: err})
 	}
 }
 
 // Do sends a request and returns a channel that will receive exactly one
 // Reply. The request's Seq is assigned by the client and returned for
-// correlation.
+// correlation. The reply channel is unbounded in time — use DoCtx to
+// attach a deadline.
 func (c *Client) Do(req Request) (<-chan Reply, uint64, error) {
-	ch := make(chan Reply, 1)
+	return c.DoCtx(context.Background(), req)
+}
+
+// DoCtx is Do with a context: if ctx expires before the reply arrives,
+// the channel receives a Reply carrying ctx.Err() (typed — the eventual
+// CallCtx error satisfies errors.Is(err, context.DeadlineExceeded) or
+// context.Canceled) and any late genuine reply is dropped.
+func (c *Client) DoCtx(ctx context.Context, req Request) (<-chan Reply, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	p := &pendingCall{ch: make(chan Reply, 1), settled: make(chan struct{})}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -143,32 +241,65 @@ func (c *Client) Do(req Request) (<-chan Reply, uint64, error) {
 	}
 	c.seq++
 	req.Seq = c.seq
-	c.pending[req.Seq] = ch
+	c.pending[req.Seq] = p
 	c.mu.Unlock()
 
 	c.encM.Lock()
 	err := c.enc.Encode(envelope{Req: &req})
 	c.encM.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.Seq)
-		c.mu.Unlock()
+		// fail() may have delivered concurrently; only the goroutine that
+		// takes the slot owns it, so a double delivery cannot happen.
+		c.take(req.Seq)
 		return nil, 0, fmt.Errorf("transport: send: %w", err)
 	}
-	return ch, req.Seq, nil
+	if ctx.Done() != nil {
+		go func(seq uint64) {
+			select {
+			case <-p.settled:
+			case <-ctx.Done():
+				if q := c.take(seq); q != nil {
+					q.deliver(Reply{Seq: seq, Err: ctx.Err().Error(), failure: ctx.Err()})
+				}
+			}
+		}(req.Seq)
+	}
+	return p.ch, req.Seq, nil
 }
 
-// Call sends a request and waits for its reply.
+// replyError extracts the call error from a delivered reply: the typed
+// client-side failure when one happened here, a *RemoteError when the
+// server reported one, nil on success.
+func replyError(rep Reply) error {
+	if rep.failure != nil {
+		return rep.failure
+	}
+	if rep.Err != "" {
+		return &RemoteError{Msg: rep.Err}
+	}
+	return nil
+}
+
+// Call sends a request and waits for its reply, capped at
+// DefaultCallTimeout — a stalled server fails the call instead of
+// hanging it forever.
 func (c *Client) Call(req Request) (Reply, error) {
-	ch, _, err := c.Do(req)
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultCallTimeout)
+	defer cancel()
+	return c.CallCtx(ctx, req)
+}
+
+// CallCtx sends a request and waits for its reply or ctx's end,
+// whichever comes first. Client-side failures keep their identity:
+// errors.Is(err, ErrClosed) and errors.Is(err, context.DeadlineExceeded)
+// both work; server-reported failures arrive as *RemoteError.
+func (c *Client) CallCtx(ctx context.Context, req Request) (Reply, error) {
+	ch, _, err := c.DoCtx(ctx, req)
 	if err != nil {
 		return Reply{}, err
 	}
 	rep := <-ch
-	if rep.Err != "" {
-		return rep, errors.New(rep.Err)
-	}
-	return rep, nil
+	return rep, replyError(rep)
 }
 
 // Close tears down the connection; outstanding calls fail with ErrClosed.
@@ -194,6 +325,11 @@ func (f HandlerFunc) Handle(req Request, reply func(Reply)) { f(req, reply) }
 // ServeConn reads requests from conn and hands them to h until the
 // connection closes. It returns the read error that ended the loop
 // (io.EOF for a clean shutdown is reported as nil).
+//
+// A failed reply write poisons the connection: the conn is closed so
+// this read loop exits and the peer's pending calls fail fast, instead
+// of a half-dead connection silently accepting and "serving" requests
+// whose replies all vanish.
 func ServeConn(conn net.Conn, h Handler) error {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -214,8 +350,11 @@ func ServeConn(conn net.Conn, h Handler) error {
 			rep.Seq = req.Seq
 			encM.Lock()
 			defer encM.Unlock()
-			// A dead connection surfaces on the read side; drop the error.
-			_ = enc.Encode(envelope{Rep: &rep})
+			if err := enc.Encode(envelope{Rep: &rep}); err != nil {
+				// The write side is dead: poison the whole connection so
+				// the decode loop above exits instead of serving on.
+				conn.Close()
+			}
 		})
 	}
 }
@@ -245,6 +384,21 @@ func Pipe(h Handler) *Client {
 	go func() {
 		defer ss.Close()
 		_ = ServeConn(ss, h)
+	}()
+	return NewClient(cs)
+}
+
+// PipeFault is Pipe with fault injection on the server side of the
+// in-process connection: every message the server sends pays the
+// profile's delays, exactly like a remote node wrapping its accepted
+// conns, so each RPC round-trip pays one traversal. seed keys the
+// profile's deterministic RNG.
+func PipeFault(h Handler, f Fault, seed uint64) *Client {
+	cs, ss := net.Pipe()
+	go func() {
+		fc := FaultedConn(ss, f, seed)
+		defer fc.Close()
+		_ = ServeConn(fc, h)
 	}()
 	return NewClient(cs)
 }
