@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/cluster"
 	"adaptbf/internal/controller"
 	"adaptbf/internal/core"
@@ -212,6 +213,26 @@ func RunMatrix(m ScenarioMatrix, opt MatrixOptions) (*MatrixResult, error) {
 // sequential, mixed read/write interference, and staggered fan-in bursts.
 func BuiltinScenarios() []MatrixScenario { return harness.BuiltinScenarios() }
 
+// SaturationRampScenario returns the overload workload behind the
+// capacity-at-SLO saturation study. Unlike the builtin scenarios, its
+// Scale is an offered-load multiplier (more concurrent processes), not
+// a volume divisor, so sweeping the scale axis walks the cell into
+// saturation.
+func SaturationRampScenario() MatrixScenario { return harness.SaturationRampScenario() }
+
+// A MatrixFaultProfile is one entry of the matrix's fault axis: a
+// deterministic fault-injection profile (network half on the live and
+// remote backends, process half — crash/restart/straggler — on remote
+// only). The zero profile is fault-free.
+type MatrixFaultProfile = harness.FaultProfile
+
+// ParseFaultProfiles parses a ";"-separated fault-profile axis; "none"
+// or an empty entry is the fault-free profile, and the empty string is
+// the single-entry fault-free axis.
+func ParseFaultProfiles(s string) ([]MatrixFaultProfile, error) {
+	return harness.ParseFaultProfiles(s)
+}
+
 // Matrix analytics & export (internal/stats, internal/report): streaming
 // moment accumulators with Student-t confidence intervals over the seed
 // axis, mergeable fixed-bucket latency digests captured per cell, and
@@ -273,6 +294,54 @@ func RunGIFTScaleStudy(opt GIFTScaleStudyOptions) (*GIFTScaleStudyResult, error)
 // adaptbf-matrix -study calibration.
 func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudyResult, error) {
 	return report.RunCalibrationStudy(opt)
+}
+
+// Admission control & overload protection (internal/admission): a
+// policy seam in front of every storage server — on all three backends
+// — that decides, per RPC, whether work enters the scheduler at all.
+type (
+	// AdmissionConfig declares an admission policy; the zero value is
+	// always-admit and is bit-identical to running without the layer.
+	AdmissionConfig = admission.Config
+	// Admitter is the per-OSS admission decision seam.
+	Admitter = admission.Admitter
+)
+
+// The admission policies: pass-through, byte-budget refusal, and
+// bounded queueing with deadline shedding.
+const (
+	AdmitAlways        = admission.PolicyAlways
+	AdmitTokenBucket   = admission.PolicyTokenBucket
+	AdmitDeadlineQueue = admission.PolicyDeadlineQueue
+)
+
+// ParseAdmission parses one admission policy, e.g.
+// "token-bucket:cap=64MiB,refill=256MiB" (empty = always-admit).
+func ParseAdmission(s string) (AdmissionConfig, error) { return admission.Parse(s) }
+
+// ParseAdmissionList parses a ";"-separated admission-policy list, as
+// the saturation study's comparison axis takes it.
+func ParseAdmissionList(s string) ([]AdmissionConfig, error) { return admission.ParseList(s) }
+
+// Saturation (capacity-at-SLO) study types.
+type (
+	// SaturationStudyOptions parameterizes the built-in capacity-at-SLO
+	// saturation study.
+	SaturationStudyOptions = report.SaturationStudyOptions
+	// SaturationStudyResult is a finished saturation study: the
+	// schema-versioned JSON document (with its saturation section) and
+	// the renderable/CSV-exportable report.
+	SaturationStudyResult = report.SaturationStudy
+)
+
+// RunSaturationStudy finds, per admission policy, the capacity-at-SLO
+// knee: the largest offered-load multiple of the saturation-ramp
+// scenario at which the seed-mean p99 still meets the SLO, bisected by
+// exponential ramp + binary search, with seed-axis confidence intervals
+// and the goodput/rejected split at the knee. CLI: adaptbf-matrix
+// -study saturation.
+func RunSaturationStudy(opt SaturationStudyOptions) (*SaturationStudyResult, error) {
+	return report.RunSaturationStudy(opt)
 }
 
 // TQuantile exposes the Student-t quantile the interval columns use

@@ -16,11 +16,12 @@
 //	               [-duration 30m] [-verify] [-quiet]
 //	               [-backend sim|live|remote] [-cell-timeout 0]
 //	               [-speedup 1] [-per-job-digests]
-//	               [-faults latency=2ms,jitter=1ms,loss=0.1]
+//	               [-faults "none;latency=2ms,jitter=1ms,loss=0.1"]
+//	               [-admission token-bucket:cap=64MiB,refill=256MiB]
 //	               [-node-bin path/to/adaptbf-node] [-remote]
 //	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
-//	               [-study gift-scale|calibration] [-gate BENCH_matrix.json]
-//	               [-bench-json BENCH_matrix.json]
+//	               [-study gift-scale|calibration|saturation] [-slo-p99 100ms]
+//	               [-gate BENCH_matrix.json] [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //
 // -backend selects the execution substrate for every cell: "sim" (the
@@ -35,12 +36,24 @@
 // -cell-timeout bounds each cell's execution; a cell exceeding it fails
 // with a deadline error (live cells are torn down the moment it fires;
 // sim cells are not preemptible and fail on completion instead).
-// -faults injects a deterministic fault profile into every cell:
+// -faults is a first-class matrix axis: a ";"-separated list of fault
+// profiles ("none" or the empty entry is the fault-free profile), each
+// swept against every other axis like a scenario or seed, so clean and
+// degraded runs of the same cell land in one report. Within a profile,
 // network faults (latency=, jitter=, loss=, bw=) apply on -backend live
 // and remote, while the process faults — crash[=when] (SIGKILL the
 // first OSS node mid-run), restart=after (respawn it on the same
 // address), straggler=k (slow the first OSS's device k×) — require
 // -backend remote, the only substrate with processes to kill.
+// -admission puts an admission controller in front of every OSS on any
+// backend: "always" (the default pass-through), "token-bucket" (refuse
+// work beyond a byte budget; cost is the payload size, so big jobs
+// can't hide behind a per-request count), or "deadline-queue" (queue
+// up to a limit and shed work that waited past its deadline). Refused
+// and shed RPCs are excluded from the latency digests and throughput
+// but counted against offered bytes, and every table that reports a
+// latency also reports the goodput percentage and rejected/shed counts
+// beside it.
 // -gate loads the tracked per-policy p99 intervals from the given JSON
 // file (BENCH_matrix.json's regression_gate section) and fails the run
 // if any policy's merged p99 drifted outside its interval; it checks
@@ -60,7 +73,14 @@
 // -remote the calibration adds a third grid run on the remote
 // process-per-OSS backend — growing each divergence row by a
 // remote-vs-sim column — and -faults then injects its profile into that
-// remote half only (schema v4 records it in the document).
+// remote half only (the document records it). -study saturation runs
+// the capacity-at-SLO study: per -admission policy (a ";"-separated
+// list; default always, token-bucket, deadline-queue), the
+// saturation-ramp scenario's offered load is doubled and then bisected
+// for the knee — the largest load multiple whose seed-mean p99 still
+// meets the -slo-p99 target — reporting capacity-at-SLO with seed-axis
+// confidence intervals and the goodput/rejected split at the knee
+// (overriding axes: -seeds/-osses/-duration; -scales caps the ramp).
 //
 // With -bench-json the run is measured — wall time, heap allocations, and
 // DES events processed — and a per-cell record (ns/cell, allocs/cell,
@@ -83,6 +103,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/config"
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/harness"
@@ -148,24 +169,34 @@ var studyRejectedFlags = map[string][]string{
 	report.GIFTScaleStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "policies", "rate", "period",
 		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
-		"faults", "node-bin", "remote"},
+		"faults", "node-bin", "remote", "admission", "slo-p99"},
 	// Calibration runs its backends itself, so -backend is meaningless;
 	// -speedup/-cell-timeout/-policies tune its live half, and
 	// -remote/-node-bin/-faults add and tune its remote half.
 	report.CalibrationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "rate", "period",
-		"backend", "per-job-digests", "gate"},
+		"backend", "per-job-digests", "gate", "admission", "slo-p99"},
+	// Saturation fixes its scenario and ramps the scale axis itself;
+	// -admission (a ";"-list of the policies to compare), -slo-p99,
+	// -seeds, -osses, -scales (the ramp ceiling), and -duration tune it.
+	report.SaturationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
+		"scenarios", "policies", "rate", "period",
+		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
+		"faults", "node-bin", "remote"},
 }
 
 // validateGridFlags checks the flag combinations of a plain (non-study)
 // grid run: backend is the -backend value, faults the parsed -faults
-// profile, and set reports which flags were given explicitly. It returns
+// axis, and set reports which flags were given explicitly. It returns
 // the first offending combination.
-func validateGridFlags(backend string, faults harness.FaultProfile, set map[string]bool) error {
+func validateGridFlags(backend string, faults []harness.FaultProfile, set map[string]bool) error {
 	switch backend {
 	case "sim", "live", "remote":
 	default:
 		return fmt.Errorf("unknown -backend %q (available: sim, live, remote)", backend)
+	}
+	if set["slo-p99"] {
+		return fmt.Errorf("-slo-p99 is a -study saturation flag")
 	}
 	if backend != "sim" {
 		// Live and remote cells are wall-clock: nothing about them is
@@ -182,11 +213,16 @@ func validateGridFlags(backend string, faults harness.FaultProfile, set map[stri
 	} else if set["speedup"] {
 		return fmt.Errorf("-speedup only applies to -backend live or remote (the simulator's clock is virtual)")
 	}
-	if set["faults"] && backend == "sim" {
-		return fmt.Errorf("-faults requires -backend live or remote (the simulator is deterministic; it has no network to degrade)")
-	}
-	if faults.CrashOSS && backend == "live" {
-		return fmt.Errorf("-faults crash/restart modes require -backend remote (only a separate OSS process can be killed)")
+	for _, f := range faults {
+		if f.IsZero() {
+			continue
+		}
+		if backend == "sim" {
+			return fmt.Errorf("-faults requires -backend live or remote (the simulator is deterministic; it has no network to degrade)")
+		}
+		if f.CrashOSS && backend == "live" {
+			return fmt.Errorf("-faults crash/restart modes require -backend remote (only a separate OSS process can be killed)")
+		}
 	}
 	if set["node-bin"] && backend != "remote" {
 		return fmt.Errorf("-node-bin only applies to -backend remote")
@@ -256,7 +292,9 @@ func main() {
 	backend := flag.String("backend", "sim", "cell execution backend: sim (deterministic simulator), live (wall-clock in-process cluster), or remote (one adaptbf-node process per OSS over TCP)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound (0 = none); a cell exceeding it fails with a deadline error (live cells torn down immediately, sim cells on completion)")
 	speedup := flag.Float64("speedup", 1, "live/remote backends only: device/controller clock acceleration factor")
-	faults := flag.String("faults", "", "fault profile for live/remote cells, e.g. latency=2ms,jitter=1ms,loss=0.1,crash=5s,restart=2s,straggler=4 (crash/restart need -backend remote)")
+	faults := flag.String("faults", "", "fault-profile axis for live/remote cells: a \";\"-separated list swept as a matrix axis, e.g. \"none;latency=2ms,loss=0.1\" (each entry latency=,jitter=,loss=,bw=,crash=,restart=,straggler=; crash/restart need -backend remote)")
+	admissionFlag := flag.String("admission", "", "admission policy in front of every OSS: always, token-bucket[:cap=N,refill=N], or deadline-queue[:limit=N,deadline=D] (empty = always-admit); -study saturation takes a \";\"-separated list of policies to compare")
+	sloP99 := flag.Duration("slo-p99", 0, "saturation study: the p99 latency SLO the capacity bisection targets (0 = study default 100ms)")
 	nodeBin := flag.String("node-bin", "", "remote backend: prebuilt adaptbf-node binary (empty = build one from the module)")
 	remote := flag.Bool("remote", false, "calibration study: add a third grid run on the remote process-per-OSS backend (remote-vs-sim divergence column)")
 	perJobDigests := flag.Bool("per-job-digests", false, "capture per-job latency digests and export them in the JSON document")
@@ -264,7 +302,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the merged result as a schema-versioned JSON document to the given file")
 	csvDir := flag.String("csv-dir", "", "export every report table as CSV under the given directory")
 	ciLevel := flag.Float64("ci-level", harness.DefaultCILevel, "confidence level for the Student-t interval columns (0 < level < 1)")
-	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale)")
+	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale, calibration, saturation)")
 	benchJSON := flag.String("bench-json", "", "write a benchRecord (ns/cell, allocs/cell, events/sec) of this run to the given file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to the given file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the matrix run to the given file")
@@ -297,7 +335,7 @@ func main() {
 	if *ciLevel <= 0 || *ciLevel >= 1 {
 		log.Fatalf("bad -ci-level %v: need 0 < level < 1", *ciLevel)
 	}
-	faultProfile, err := harness.ParseFaultProfile(*faults)
+	faultProfiles, err := harness.ParseFaultProfiles(*faults)
 	if err != nil {
 		log.Fatalf("bad -faults: %v", err)
 	}
@@ -307,8 +345,8 @@ func main() {
 		set := setFlags()
 		rejected, known := studyRejectedFlags[*study]
 		if !known {
-			log.Fatalf("unknown -study %q (available: %s, %s)",
-				*study, report.GIFTScaleStudyName, report.CalibrationStudyName)
+			log.Fatalf("unknown -study %q (available: %s, %s, %s)",
+				*study, report.GIFTScaleStudyName, report.CalibrationStudyName, report.SaturationStudyName)
 		}
 		for _, r := range rejected {
 			if set[r] {
@@ -380,7 +418,10 @@ func main() {
 			}
 			opt.Remote = *remote
 			opt.NodeBin = *nodeBin
-			opt.Faults = faultProfile
+			if len(faultProfiles) > 1 {
+				log.Fatalf("-study calibration injects a single fault profile into its remote half; got a %d-entry -faults list", len(faultProfiles))
+			}
+			opt.Faults = faultProfiles[0]
 			st, err := report.RunCalibrationStudy(opt)
 			if err != nil {
 				log.Fatal(err)
@@ -390,11 +431,49 @@ func main() {
 				st.Sim.Elapsed.Round(time.Millisecond), st.Live.Elapsed.Round(time.Millisecond))
 			if st.Remote != nil {
 				fmt.Printf("  + %d remote cells in %v (faults: %s)\n",
-					len(st.Remote.Cells), st.Remote.Elapsed.Round(time.Millisecond), faultProfile)
+					len(st.Remote.Cells), st.Remote.Elapsed.Round(time.Millisecond), faultProfiles[0])
 			}
 			if c := st.Document.Calibration; c.SimFailedCells > 0 || c.LiveFailedCells > 0 || c.RemoteFailedCells > 0 {
 				fmt.Printf("WARNING: %d sim / %d live / %d remote cells failed and were excluded from pairing (see the cell errors in the JSON document)\n",
 					c.SimFailedCells, c.LiveFailedCells, c.RemoteFailedCells)
+			}
+			fmt.Println()
+			doc, rep = st.Document, st.Report
+		case report.SaturationStudyName:
+			opt := report.SaturationStudyOptions{Workers: *workers, CILevel: *ciLevel, OnCell: onCell}
+			if set["admission"] {
+				cfgs, err := admission.ParseList(*admissionFlag)
+				if err != nil {
+					log.Fatalf("bad -admission: %v", err)
+				}
+				opt.Admissions = cfgs
+			}
+			if set["seeds"] {
+				opt.Seeds = seedVals
+			}
+			if set["osses"] && len(ossVals) > 0 {
+				opt.OSSes = ossVals[0]
+			}
+			if set["scales"] && len(scaleVals) > 0 {
+				// In this study the scale axis is the offered-load ramp;
+				// -scales sets its ceiling.
+				opt.MaxScale = scaleVals[0]
+			}
+			if set["duration"] {
+				opt.Duration = *duration
+			}
+			opt.SLOP99 = *sloP99
+			st, err := report.RunSaturationStudy(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range st.Document.Saturation.Policies {
+				cap := fmt.Sprintf("capacity scale %d", p.CapacityScale)
+				if p.Censored {
+					cap += " (censored at ramp ceiling)"
+				}
+				fmt.Printf("study %s: %-40s %s over %d probes\n",
+					*study, p.Admission, cap, len(p.Probes))
 			}
 			fmt.Println()
 			doc, rep = st.Document, st.Report
@@ -408,8 +487,12 @@ func main() {
 		return
 	}
 
-	if err := validateGridFlags(*backend, faultProfile, setFlags()); err != nil {
+	if err := validateGridFlags(*backend, faultProfiles, setFlags()); err != nil {
 		log.Fatal(err)
+	}
+	admCfg, err := admission.Parse(*admissionFlag)
+	if err != nil {
+		log.Fatalf("bad -admission: %v", err)
 	}
 	var be harness.Backend
 	switch *backend {
@@ -445,14 +528,22 @@ func main() {
 		MaxTokenRate: *rate,
 		Period:       *period,
 		Duration:     *duration,
-		Faults:       faultProfile,
+		Faults:       faultProfiles,
+		Admission:    admCfg,
 	}
 	cells, err := m.Cells()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("matrix: %d cells (%d scenarios × %d policies × %d scales × %d OSS counts × %d seeds)\n",
-		len(cells), len(scs), len(pols), len(scaleVals), len(ossVals), len(seedVals))
+	axes := fmt.Sprintf("%d scenarios × %d policies × %d scales × %d OSS counts × %d seeds",
+		len(scs), len(pols), len(scaleVals), len(ossVals), len(seedVals))
+	if len(faultProfiles) > 1 {
+		axes += fmt.Sprintf(" × %d fault profiles", len(faultProfiles))
+	}
+	fmt.Printf("matrix: %d cells (%s)\n", len(cells), axes)
+	if !admCfg.IsAlways() {
+		fmt.Printf("admission: %s in front of every OSS\n", admCfg)
+	}
 
 	if *benchJSON != "" && !*quiet {
 		// Progress printing inside the measurement window would skew the
@@ -561,7 +652,12 @@ func main() {
 	}
 	var doc *report.Document
 	if *jsonOut != "" {
-		doc = report.FromMatrix(res, report.Options{CILevel: *ciLevel, PerJobDigests: *perJobDigests})
+		ropt := report.Options{CILevel: *ciLevel, PerJobDigests: *perJobDigests}
+		if !admCfg.IsAlways() {
+			// Always-admit grids keep the pre-admission document shape.
+			ropt.Admission = admCfg.String()
+		}
+		doc = report.FromMatrix(res, ropt)
 	}
 	writeArtifacts(doc, rep, *jsonOut, *csvDir)
 

@@ -13,7 +13,7 @@ import (
 // with -backend live must fail with a clear error instead of being
 // silently meaningless on wall-clock cells.
 func TestValidateGridFlagsRejectsVerifyOnLive(t *testing.T) {
-	err := validateGridFlags("live", harness.FaultProfile{}, map[string]bool{"backend": true, "verify": true})
+	err := validateGridFlags("live", nil, map[string]bool{"backend": true, "verify": true})
 	if err == nil {
 		t.Fatal("-verify with -backend live accepted")
 	}
@@ -25,10 +25,10 @@ func TestValidateGridFlagsRejectsVerifyOnLive(t *testing.T) {
 }
 
 func TestValidateGridFlags(t *testing.T) {
-	mustProfile := func(s string) harness.FaultProfile {
-		f, err := harness.ParseFaultProfile(s)
+	mustProfiles := func(s string) []harness.FaultProfile {
+		f, err := harness.ParseFaultProfiles(s)
 		if err != nil {
-			t.Fatalf("ParseFaultProfile(%q): %v", s, err)
+			t.Fatalf("ParseFaultProfiles(%q): %v", s, err)
 		}
 		return f
 	}
@@ -49,6 +49,9 @@ func TestValidateGridFlags(t *testing.T) {
 		{"speedup on sim", "sim", "", []string{"speedup"}, "-speedup only applies to -backend live or remote"},
 		{"faults on sim", "sim", "latency=1ms", []string{"faults"}, "-faults requires -backend live or remote"},
 		{"net faults on live", "live", "latency=1ms,loss=0.1", []string{"backend", "faults"}, ""},
+		{"fault axis on live", "live", "none;latency=1ms;latency=5ms,loss=0.2", []string{"backend", "faults"}, ""},
+		{"fault axis on sim", "sim", "none;latency=1ms", []string{"faults"}, "-faults requires -backend live or remote"},
+		{"slo-p99 on grid run", "sim", "", []string{"slo-p99"}, "-study saturation flag"},
 		{"straggler on live", "live", "straggler=4", []string{"backend", "faults"}, ""},
 		{"crash on live", "live", "crash=1s,restart=1s", []string{"backend", "faults"}, "require -backend remote"},
 		{"crash on remote", "remote", "crash=1s,restart=1s", []string{"backend", "faults"}, ""},
@@ -62,7 +65,7 @@ func TestValidateGridFlags(t *testing.T) {
 		for _, f := range tc.set {
 			set[f] = true
 		}
-		err := validateGridFlags(tc.backend, mustProfile(tc.faults), set)
+		err := validateGridFlags(tc.backend, mustProfiles(tc.faults), set)
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error %v", tc.name, err)

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/cluster"
 	"adaptbf/internal/device"
 	"adaptbf/internal/transport"
@@ -56,6 +57,7 @@ func main() {
 		speedup  = flag.Float64("speedup", 1, "clock acceleration factor")
 		nodes    = flag.String("nodes", "", "job compute-node counts, e.g. dd.n1=4,ior.n2=8")
 		coord    = flag.String("coord", "", "GIFT coordinator address (gift policy)")
+		admit    = flag.String("admission", "", "admission policy in front of the OSS: always (default), token-bucket[:cap=64MiB,refill=256MiB], or deadline-queue[:limit=512,deadline=250ms]")
 		faults   = flag.String("faults", "", "fault profile injected on accepted conns, e.g. latency=2ms,jitter=1ms,loss=0.1")
 		seed     = flag.Uint64("fault-seed", 1, "seed for the fault profile's deterministic RNG")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown")
@@ -73,6 +75,10 @@ func main() {
 	nodeMap, err := parseNodes(*nodes)
 	if err != nil {
 		log.Fatalf("adaptbf-node: %v", err)
+	}
+	admCfg, err := admission.Parse(*admit)
+	if err != nil {
+		log.Fatalf("adaptbf-node: bad -admission: %v", err)
 	}
 	dev := device.Default()
 	if *devBPS > 0 {
@@ -99,6 +105,7 @@ func main() {
 		SFQDepth:     *sfqDepth,
 		Nodes:        nodeMap,
 		CoordAddr:    *coord,
+		Admission:    admCfg,
 		Fault:        fault,
 		FaultSeed:    *seed,
 		DrainTimeout: *drain,

@@ -148,7 +148,7 @@
 // that serialization is what the measurement's validity rests on. Per-
 // cell failures are tolerated: a flaky live cell is excluded from
 // pairing and counted (sim_failed_cells / live_failed_cells) instead of
-// destroying the artifact. The JSON document (schema v4)
+// destroying the artifact. The JSON document
 // carries the rows and the live grid's cells in a "calibration"
 // section; CI smokes a small accelerated grid on every push, and the
 // nightly workflow runs the full grid unaccelerated (-speedup 1) so
@@ -190,6 +190,58 @@
 // fails within its deadline, never blocks forever — pinned by the
 // fault-path tests in internal/transport and the crash/restart smoke in
 // internal/harness.
+//
+// Fault profiles are a first-class matrix axis: ScenarioMatrix.Faults
+// takes a list of MatrixFaultProfile values (CLI: a ";"-separated
+// -faults list, parsed by ParseFaultProfiles) and sweeps each against
+// every other axis, so clean and degraded variants of the same cell
+// land side by side in one merged report, keyed by the profile in the
+// cell name, the cell table, and the per-fault policy-mean rows. An
+// empty axis is the single fault-free profile, and fault-free cells
+// keep their pre-axis names and document shape.
+//
+// # Admission control & overload
+//
+// In front of every storage server — on all three backends — sits an
+// admission seam (AdmissionConfig, internal/admission) that decides per
+// RPC whether work enters the scheduler at all. Three policies:
+//
+//   - always (the zero value): pass-through, bit-identical to running
+//     without the layer — the golden fingerprint pins this.
+//   - token-bucket: refuse arrivals beyond a byte budget
+//     (cap/refill). The cost of a request is its payload size, never a
+//     flat per-request unit, so a large job cannot smuggle more bytes
+//     through the same request count.
+//   - deadline-queue: admit into a bounded FIFO and shed, at dispatch,
+//     work that already waited past its deadline (refuse outright when
+//     the queue is full).
+//
+// A refused or shed RPC fails fast with a typed transport rejection
+// (transport.RejectedError) that job runners never retry — retrying an
+// overload signal is how retry storms start — and the issuing process
+// moves on. The accounting follows one rule everywhere: rejected and
+// shed RPCs are excluded from latency digests, the throughput timeline,
+// and goodput bytes, but their payloads still count as offered bytes.
+// Goodput (served/offered) therefore drops the moment admission refuses
+// work, and every table or document row that reports a latency reports
+// goodput and rejected/shed counts beside it — a policy cannot "meet" a
+// latency target by silently refusing the workload (the trap the H5
+// frequency-sweep analysis documented for per-request token costs).
+//
+// RunSaturationStudy (CLI: -study saturation) turns that into a
+// capacity claim: per admission policy, the saturation-ramp scenario's
+// offered load (its Scale axis is a load multiplier, not a volume
+// divisor) is doubled and then bisected for the knee — the largest load
+// multiple whose seed-mean p99 still meets the SLO (-slo-p99). The
+// schema-v5 document's "saturation" section carries, per policy, the
+// capacity-at-SLO (censored when the ramp ceiling never breached), the
+// p99/goodput/rejected statistics at the knee with seed-axis confidence
+// intervals, and every probe of the bisection, so the whole
+// p99-vs-load curve ships with its knee. Per-cell documents also carry
+// a starvation-tail section when per-job digests were captured: the
+// median/p99/max of per-job p99 latencies and the count of jobs whose
+// tail sits more than StarvationK× over the median — the
+// fairness-under-overload view a cell-wide digest hides.
 //
 // # Matrix analytics and export
 //

@@ -1,0 +1,359 @@
+// Package admission implements the overload-protection layer that sits
+// in front of every OSS: a small, synchronous decision seam that is
+// consulted once per arriving RPC, before the request touches the
+// scheduler, and decides whether the server takes the work at all.
+//
+// AdapTBF (and every other bandwidth policy in this module) shapes work
+// the server has already accepted. Admission is the orthogonal axis:
+// when offered load exceeds capacity, an unprotected server just piles
+// unbounded backlog onto its request gate and the only "degradation
+// mode" is an exploding p99. The three policies here give the server a
+// choice about that moment:
+//
+//   - always (the default): admit everything — bit-identical to a server
+//     without an admission layer. The zero Config means always.
+//   - token-bucket: a byte-denominated token bucket. Each request costs
+//     its payload size in bytes; a request that doesn't fit the current
+//     level is rejected immediately. The cost function is deliberate:
+//     inference-sim's H5 finding showed a per-REQUEST token cost lets a
+//     policy "improve" p99 56× by silently shedding 96% of the offered
+//     bytes — charging per byte keeps the admitted fraction proportional
+//     to real work, and the harness reports goodput/rejected beside
+//     every latency figure so shedding can never masquerade as a win.
+//   - deadline-queue: a bounded FIFO with per-request queueing
+//     deadlines. Arrivals beyond the queue bound are rejected; admitted
+//     requests that wait past their deadline are shed at dispatch time
+//     instead of being served late — graceful degradation rather than
+//     unbounded backlog.
+//
+// An Admitter is deliberately not goroutine-safe: the simulator is
+// single-threaded per cell and the live OSS already serializes arrivals
+// behind its mutex, so the seam stays allocation- and lock-free.
+package admission
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is the admission verdict for one arriving request.
+type Action uint8
+
+const (
+	// Accept admits the request unconditionally.
+	Accept Action = iota
+	// Reject refuses the request immediately; it never enters the queue.
+	Reject
+	// Enqueue admits the request with a queueing deadline: if it is
+	// still queued when Decision.Deadline passes, the dispatcher must
+	// shed it instead of serving it.
+	Enqueue
+)
+
+// Request is the admission-relevant view of one arriving RPC.
+type Request struct {
+	// Job is the owning job's ID (reporting only; no policy keys on it).
+	Job string
+	// Bytes is the request's payload size — the token-bucket cost.
+	Bytes int64
+	// Queued is the number of requests currently waiting in the
+	// server's gate, the deadline-queue bound input.
+	Queued int
+}
+
+// Decision is the admitter's verdict. Deadline is meaningful only for
+// Enqueue: the absolute time (same clock as Admit's now) past which the
+// request must be shed rather than served.
+type Decision struct {
+	Action   Action
+	Deadline int64
+}
+
+// Admitter decides, per arriving request, whether the server takes the
+// work. now is the server's clock in nanoseconds (virtual time in the
+// simulator, OSS time on the live backends); calls must be
+// monotonically ordered by the caller, which also provides any locking.
+type Admitter interface {
+	Admit(req Request, now int64) Decision
+}
+
+// Policy names accepted by Config/Parse.
+const (
+	PolicyAlways        = "always"
+	PolicyTokenBucket   = "token-bucket"
+	PolicyDeadlineQueue = "deadline-queue"
+)
+
+// Defaults applied by Parse when a parameter is omitted.
+const (
+	DefaultCapacityBytes     = 64 << 20  // token-bucket: 64 MiB burst
+	DefaultRefillBytesPerSec = 256 << 20 // token-bucket: 256 MiB/s sustained
+	DefaultQueueLimit        = 512       // deadline-queue: bounded FIFO depth
+	DefaultDeadline          = 250 * time.Millisecond
+)
+
+// Config selects and parameterizes an admission policy. The zero Config
+// is the always-admit policy, byte-identical to having no admission
+// layer at all.
+type Config struct {
+	// Policy is "", "always", "token-bucket", or "deadline-queue".
+	Policy string
+	// CapacityBytes is the token-bucket burst capacity in bytes.
+	CapacityBytes int64
+	// RefillBytesPerSec is the token-bucket refill rate in bytes/s.
+	RefillBytesPerSec int64
+	// QueueLimit bounds the deadline-queue backlog (requests).
+	QueueLimit int
+	// Deadline is the deadline-queue per-request queueing bound.
+	Deadline time.Duration
+}
+
+// IsAlways reports whether the config is the always-admit policy (the
+// default), for which New returns nil and callers skip the seam
+// entirely.
+func (c Config) IsAlways() bool {
+	return c.Policy == "" || c.Policy == PolicyAlways
+}
+
+// Validate checks policy name and parameter ranges.
+func (c Config) Validate() error {
+	switch c.Policy {
+	case "", PolicyAlways:
+		return nil
+	case PolicyTokenBucket:
+		if c.CapacityBytes <= 0 {
+			return fmt.Errorf("admission: token-bucket cap must be positive, got %d", c.CapacityBytes)
+		}
+		if c.RefillBytesPerSec <= 0 {
+			return fmt.Errorf("admission: token-bucket refill must be positive, got %d", c.RefillBytesPerSec)
+		}
+		return nil
+	case PolicyDeadlineQueue:
+		if c.QueueLimit <= 0 {
+			return fmt.Errorf("admission: deadline-queue limit must be positive, got %d", c.QueueLimit)
+		}
+		if c.Deadline <= 0 {
+			return fmt.Errorf("admission: deadline-queue deadline must be positive, got %v", c.Deadline)
+		}
+		return nil
+	default:
+		return fmt.Errorf("admission: unknown policy %q (available: %s, %s, %s)",
+			c.Policy, PolicyAlways, PolicyTokenBucket, PolicyDeadlineQueue)
+	}
+}
+
+// New builds the admitter for the config, or nil for always-admit so
+// the hot path can skip the seam with one nil check.
+func (c Config) New() Admitter {
+	switch c.Policy {
+	case PolicyTokenBucket:
+		return &tokenBucket{capacity: c.CapacityBytes, refill: c.RefillBytesPerSec}
+	case PolicyDeadlineQueue:
+		return &deadlineQueue{limit: c.QueueLimit, deadline: int64(c.Deadline)}
+	default:
+		return nil
+	}
+}
+
+// String renders the config in the syntax Parse accepts, so a config
+// round-trips through process boundaries (the adaptbf-node -admission
+// flag). The always-admit config renders as "always".
+func (c Config) String() string {
+	switch c.Policy {
+	case PolicyTokenBucket:
+		return fmt.Sprintf("%s:cap=%s,refill=%s",
+			PolicyTokenBucket, formatBytes(c.CapacityBytes), formatBytes(c.RefillBytesPerSec))
+	case PolicyDeadlineQueue:
+		return fmt.Sprintf("%s:limit=%d,deadline=%s", PolicyDeadlineQueue, c.QueueLimit, c.Deadline)
+	default:
+		return PolicyAlways
+	}
+}
+
+// Parse parses an admission spec:
+//
+//	always
+//	token-bucket[:cap=64MiB,refill=256MiB]
+//	deadline-queue[:limit=512,deadline=250ms]
+//
+// The policy name may stand alone; omitted parameters take the package
+// defaults. Byte sizes accept KiB/MiB/GiB suffixes; refill is per
+// second. An empty spec is always-admit.
+func Parse(s string) (Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Config{}, nil
+	}
+	name, params, _ := strings.Cut(s, ":")
+	c := Config{Policy: strings.TrimSpace(name)}
+	switch c.Policy {
+	case PolicyAlways:
+		if params != "" {
+			return Config{}, fmt.Errorf("admission: %s takes no parameters, got %q", PolicyAlways, params)
+		}
+		return c, nil
+	case PolicyTokenBucket:
+		c.CapacityBytes = DefaultCapacityBytes
+		c.RefillBytesPerSec = DefaultRefillBytesPerSec
+	case PolicyDeadlineQueue:
+		c.QueueLimit = DefaultQueueLimit
+		c.Deadline = DefaultDeadline
+	default:
+		return Config{}, fmt.Errorf("admission: unknown policy %q (available: %s, %s, %s)",
+			c.Policy, PolicyAlways, PolicyTokenBucket, PolicyDeadlineQueue)
+	}
+	if params == "" {
+		return c, nil
+	}
+	for _, field := range strings.Split(params, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("admission: bad parameter %q (want key=value)", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch {
+		case c.Policy == PolicyTokenBucket && key == "cap":
+			c.CapacityBytes, err = parseBytes(val)
+		case c.Policy == PolicyTokenBucket && key == "refill":
+			c.RefillBytesPerSec, err = parseBytes(val)
+		case c.Policy == PolicyDeadlineQueue && key == "limit":
+			c.QueueLimit, err = strconv.Atoi(val)
+		case c.Policy == PolicyDeadlineQueue && key == "deadline":
+			c.Deadline, err = time.ParseDuration(val)
+		default:
+			return Config{}, fmt.Errorf("admission: unknown %s parameter %q", c.Policy, key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("admission: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// ParseList parses a semicolon-separated list of admission specs (the
+// -study saturation policy axis), deduplicating nothing: the caller
+// gets the policies in the order written.
+func ParseList(s string) ([]Config, error) {
+	var out []Config
+	for _, field := range strings.Split(s, ";") {
+		if strings.TrimSpace(field) == "" {
+			continue
+		}
+		c, err := Parse(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+var byteSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"GiB", 1 << 30},
+	{"MiB", 1 << 20},
+	{"KiB", 1 << 10},
+	{"B", 1},
+}
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	for _, sfx := range byteSuffixes {
+		if strings.HasSuffix(s, sfx.suffix) {
+			mult = sfx.mult
+			num = strings.TrimSpace(strings.TrimSuffix(s, sfx.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func formatBytes(b int64) string {
+	for _, sfx := range byteSuffixes[:3] {
+		if b >= sfx.mult && b%sfx.mult == 0 {
+			return strconv.FormatInt(b/sfx.mult, 10) + sfx.suffix
+		}
+	}
+	return strconv.FormatInt(b, 10) + "B"
+}
+
+// ListString renders a config list in ParseList syntax.
+func ListString(cfgs []Config) string {
+	parts := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// tokenBucket admits while the byte-denominated bucket holds the
+// request's full payload. Refill is continuous: level rises at refill
+// bytes/s up to capacity. The first Admit call initializes the bucket
+// full at that call's now, so a cold server always takes the first
+// burst up to capacity.
+type tokenBucket struct {
+	capacity int64
+	refill   int64
+	level    float64
+	last     int64
+	started  bool
+}
+
+func (tb *tokenBucket) Admit(req Request, now int64) Decision {
+	if !tb.started {
+		tb.level = float64(tb.capacity)
+		tb.last = now
+		tb.started = true
+	}
+	if now > tb.last {
+		tb.level += float64(now-tb.last) * float64(tb.refill) / 1e9
+		if tb.level > float64(tb.capacity) {
+			tb.level = float64(tb.capacity)
+		}
+		tb.last = now
+	}
+	// Cost = payload bytes, NOT one token per request: a per-request
+	// cost would make shedding look free for large requests (the H5
+	// trap) — the bucket must drain in proportion to the work admitted.
+	if float64(req.Bytes) > tb.level {
+		return Decision{Action: Reject}
+	}
+	tb.level -= float64(req.Bytes)
+	return Decision{Action: Accept}
+}
+
+// deadlineQueue bounds the backlog two ways: arrivals beyond limit are
+// rejected outright, and admitted requests carry a queueing deadline
+// the dispatcher enforces lazily — a request still queued past its
+// deadline is shed, never served.
+type deadlineQueue struct {
+	limit    int
+	deadline int64
+}
+
+func (dq *deadlineQueue) Admit(req Request, now int64) Decision {
+	if req.Queued >= dq.limit {
+		return Decision{Action: Reject}
+	}
+	return Decision{Action: Enqueue, Deadline: now + dq.deadline}
+}

@@ -1,0 +1,145 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"", Config{}},
+		{"always", Config{Policy: PolicyAlways}},
+		{"token-bucket", Config{Policy: PolicyTokenBucket,
+			CapacityBytes: DefaultCapacityBytes, RefillBytesPerSec: DefaultRefillBytesPerSec}},
+		{"token-bucket:cap=8MiB,refill=32MiB", Config{Policy: PolicyTokenBucket,
+			CapacityBytes: 8 << 20, RefillBytesPerSec: 32 << 20}},
+		{"token-bucket:cap=1GiB", Config{Policy: PolicyTokenBucket,
+			CapacityBytes: 1 << 30, RefillBytesPerSec: DefaultRefillBytesPerSec}},
+		{"deadline-queue", Config{Policy: PolicyDeadlineQueue,
+			QueueLimit: DefaultQueueLimit, Deadline: DefaultDeadline}},
+		{"deadline-queue:limit=16,deadline=5ms", Config{Policy: PolicyDeadlineQueue,
+			QueueLimit: 16, Deadline: 5 * time.Millisecond}},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// Non-empty specs must round-trip through String.
+		again, err := Parse(got.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", tc.in, got.String(), err)
+		}
+		if tc.in != "" && again != got {
+			t.Fatalf("round trip of %q via %q drifted: %+v", tc.in, got.String(), again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"nope",
+		"always:cap=1MiB",
+		"token-bucket:cap=0",
+		"token-bucket:limit=4",
+		"token-bucket:cap=-1MiB",
+		"deadline-queue:deadline=0s",
+		"deadline-queue:limit=0",
+		"deadline-queue:cap=1MiB",
+		"token-bucket:cap",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	cfgs, err := ParseList("always; token-bucket:cap=8MiB ;deadline-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs, want 3", len(cfgs))
+	}
+	if cfgs[0].Policy != PolicyAlways || cfgs[1].CapacityBytes != 8<<20 || cfgs[2].Policy != PolicyDeadlineQueue {
+		t.Fatalf("unexpected configs: %+v", cfgs)
+	}
+	if s := ListString(cfgs); s != "always;token-bucket:cap=8MiB,refill=256MiB;deadline-queue:limit=512,deadline=250ms" {
+		t.Fatalf("ListString = %q", s)
+	}
+}
+
+func TestAlwaysAdmitIsNil(t *testing.T) {
+	for _, c := range []Config{{}, {Policy: PolicyAlways}} {
+		if !c.IsAlways() {
+			t.Fatalf("%+v should be always-admit", c)
+		}
+		if c.New() != nil {
+			t.Fatalf("%+v must build a nil admitter (skip the seam entirely)", c)
+		}
+	}
+	tb := Config{Policy: PolicyTokenBucket, CapacityBytes: 1, RefillBytesPerSec: 1}
+	if tb.IsAlways() || tb.New() == nil {
+		t.Fatal("token-bucket config must build a real admitter")
+	}
+}
+
+func TestTokenBucketByteCost(t *testing.T) {
+	adm := Config{Policy: PolicyTokenBucket, CapacityBytes: 10 << 20, RefillBytesPerSec: 1 << 20}.New()
+	// Cold bucket starts full: a burst up to capacity is admitted, the
+	// request that would overdraw it is rejected.
+	now := int64(1_000_000_000)
+	for i := 0; i < 10; i++ {
+		if d := adm.Admit(Request{Bytes: 1 << 20}, now); d.Action != Accept {
+			t.Fatalf("burst request %d rejected with a full bucket", i)
+		}
+	}
+	if d := adm.Admit(Request{Bytes: 1 << 20}, now); d.Action != Reject {
+		t.Fatal("request beyond capacity must be rejected")
+	}
+	// Half a second of refill at 1 MiB/s buys half a MiB — still not a
+	// whole 1 MiB request (cost is the FULL payload size, the H5 rule).
+	now += 500_000_000
+	if d := adm.Admit(Request{Bytes: 1 << 20}, now); d.Action != Reject {
+		t.Fatal("partial refill must not admit a full-size request")
+	}
+	if d := adm.Admit(Request{Bytes: 256 << 10}, now); d.Action != Accept {
+		t.Fatal("refilled level must admit a request that fits")
+	}
+	// Refill caps at capacity: after a long idle stretch exactly the
+	// burst capacity is admittable again, not more.
+	now += 3600 * 1_000_000_000
+	for i := 0; i < 10; i++ {
+		if d := adm.Admit(Request{Bytes: 1 << 20}, now); d.Action != Accept {
+			t.Fatalf("post-idle burst request %d rejected", i)
+		}
+	}
+	if d := adm.Admit(Request{Bytes: 1}, now); d.Action != Reject {
+		t.Fatal("bucket must cap at capacity across idle time")
+	}
+}
+
+func TestDeadlineQueueBoundsAndDeadline(t *testing.T) {
+	adm := Config{Policy: PolicyDeadlineQueue, QueueLimit: 4, Deadline: 10 * time.Millisecond}.New()
+	now := int64(5_000_000)
+	d := adm.Admit(Request{Bytes: 1, Queued: 0}, now)
+	if d.Action != Enqueue {
+		t.Fatalf("under-limit arrival got %v, want Enqueue", d.Action)
+	}
+	if want := now + int64(10*time.Millisecond); d.Deadline != want {
+		t.Fatalf("deadline = %d, want %d", d.Deadline, want)
+	}
+	if d := adm.Admit(Request{Bytes: 1, Queued: 3}, now); d.Action != Enqueue {
+		t.Fatal("arrival at limit-1 queued must still enqueue")
+	}
+	if d := adm.Admit(Request{Bytes: 1, Queued: 4}, now); d.Action != Reject {
+		t.Fatal("arrival at the queue limit must be rejected")
+	}
+}

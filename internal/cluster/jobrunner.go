@@ -18,9 +18,19 @@ var streamIDs atomic.Int64
 
 // JobStats summarizes a completed (or cancelled) job run.
 type JobStats struct {
-	RPCs    int64
-	Bytes   int64
+	RPCs    int64 // RPCs actually served
+	Bytes   int64 // bytes actually served (the goodput numerator)
 	Elapsed time.Duration
+
+	// Admission outcomes. Rejected counts RPCs the server refused on
+	// arrival, Shed the ones admitted then dropped past their queueing
+	// deadline; neither is a failure nor an entry in RPCs/Bytes.
+	// OfferedBytes is the payload total of every RPC that got a
+	// definitive answer (served, rejected, or shed) — the goodput
+	// denominator.
+	Rejected     int64
+	Shed         int64
+	OfferedBytes int64
 }
 
 // A JobRunner executes one workload.Job as live goroutines — one per
@@ -76,9 +86,12 @@ func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rpcs, bytes, err := r.runProc(ctx, pat)
-			atomic.AddInt64(&stats.RPCs, rpcs)
-			atomic.AddInt64(&stats.Bytes, bytes)
+			ps, err := r.runProc(ctx, pat)
+			atomic.AddInt64(&stats.RPCs, ps.RPCs)
+			atomic.AddInt64(&stats.Bytes, ps.Bytes)
+			atomic.AddInt64(&stats.Rejected, ps.Rejected)
+			atomic.AddInt64(&stats.Shed, ps.Shed)
+			atomic.AddInt64(&stats.OfferedBytes, ps.OfferedBytes)
 			if err != nil {
 				select {
 				case errc <- err:
@@ -99,8 +112,9 @@ func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
 
 // call issues one RPC with the runner's per-attempt deadline and
 // bounded backoff retry. Transport-level failures retry (the request may
-// never have arrived); server-reported errors and run-context expiry do
-// not.
+// never have arrived); server-reported errors, admission rejections, and
+// run-context expiry do not — a rejection in particular is the server
+// shedding load, and retrying it is exactly the load being shed.
 func (r *JobRunner) call(ctx context.Context, target transport.Caller, req transport.Request) (transport.Reply, error) {
 	backoff := r.RetryBackoff
 	if backoff <= 0 {
@@ -130,7 +144,8 @@ func (r *JobRunner) call(ctx context.Context, target transport.Caller, req trans
 			return rep, nil
 		}
 		var remote *transport.RemoteError
-		if errors.As(err, &remote) || ctx.Err() != nil {
+		var rejected *transport.RejectedError
+		if errors.As(err, &remote) || errors.As(err, &rejected) || ctx.Err() != nil {
 			return rep, err
 		}
 	}
@@ -140,12 +155,12 @@ func (r *JobRunner) call(ctx context.Context, target transport.Caller, req trans
 // runProc executes one process: sequential RPCs to its own stream with a
 // bounded in-flight window, optionally grouped into bursts separated by
 // idle intervals.
-func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, bytes int64, err error) {
+func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (st JobStats, err error) {
 	if pat.StartDelay > 0 {
 		select {
 		case <-time.After(pat.StartDelay):
 		case <-ctx.Done():
-			return 0, 0, ctx.Err()
+			return st, ctx.Err()
 		}
 	}
 	stream := int(streamIDs.Add(1))
@@ -204,6 +219,20 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 					Stream: stream,
 				})
 				if err != nil {
+					// An admission rejection is a definitive answer from a
+					// healthy server, not a failure: count it, keep going,
+					// and keep it out of the latency observer — rejected
+					// work must never flatter the served distribution.
+					var rej *transport.RejectedError
+					if errors.As(err, &rej) {
+						atomic.AddInt64(&st.OfferedBytes, pat.RPCBytes)
+						if rej.Shed {
+							atomic.AddInt64(&st.Shed, 1)
+						} else {
+							atomic.AddInt64(&st.Rejected, 1)
+						}
+						return
+					}
 					// A call cut short by the run ending is not a job
 					// failure — the issue loop reports ctx.Err() itself.
 					if ctx.Err() == nil {
@@ -215,8 +244,9 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 					}
 					return
 				}
-				atomic.AddInt64(&bytes, rep.Bytes)
-				atomic.AddInt64(&rpcs, 1)
+				atomic.AddInt64(&st.OfferedBytes, pat.RPCBytes)
+				atomic.AddInt64(&st.Bytes, rep.Bytes)
+				atomic.AddInt64(&st.RPCs, 1)
 				if r.Observe != nil {
 					r.Observe(rep.Bytes, time.Since(issued))
 				}
@@ -233,11 +263,11 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 		if unbounded && err == nil {
 			err = ctx.Err()
 		}
-		return rpcs, bytes, err
+		return st, err
 	}
 	for unbounded || remaining > 0 {
 		if _, err := issueWindow(int64(pat.BurstRPCs)); err != nil {
-			return rpcs, bytes, err
+			return st, err
 		}
 		if !unbounded && remaining == 0 {
 			break
@@ -245,8 +275,8 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (rpcs, by
 		select {
 		case <-time.After(pat.BurstInterval):
 		case <-ctx.Done():
-			return rpcs, bytes, ctx.Err()
+			return st, ctx.Err()
 		}
 	}
-	return rpcs, bytes, nil
+	return st, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/controller"
 	"adaptbf/internal/transport"
 	"adaptbf/internal/workload"
@@ -57,6 +58,12 @@ type NodeConfig struct {
 	// CoordAddr is the GIFT coordinator's address (gift policy).
 	CoordAddr string
 
+	// Admission selects the OSS's overload-protection policy (zero =
+	// always-admit). Convenience: it is copied into OSS.Admission, so a
+	// spawner can thread the whole node through flags without touching
+	// the nested OSSConfig.
+	Admission admission.Config
+
 	// Fault, when nonzero, wraps every accepted connection so each
 	// message this node sends pays the profile's delays, seeded by
 	// FaultSeed plus a per-connection offset.
@@ -84,6 +91,12 @@ type NodeStats struct {
 	Walks              int64   `json:"walks,omitempty"`
 	BankEntries        int     `json:"bank_entries,omitempty"`
 	CouponsOutstanding float64 `json:"coupons_outstanding,omitempty"`
+
+	// Admission counters (zero under always-admit; see OSS.AdmissionStats).
+	RejectedRPCs uint64 `json:"rejected_rpcs,omitempty"`
+	ShedRPCs     uint64 `json:"shed_rpcs,omitempty"`
+	OfferedBytes int64  `json:"offered_bytes,omitempty"`
+	GoodputBytes int64  `json:"goodput_bytes,omitempty"`
 }
 
 // MarshalLine renders the stats as one compact JSON object — the
@@ -157,6 +170,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.coord = NewGIFTCoordinator(cfg.Period)
 	case "oss":
 		ocfg := cfg.OSS
+		if err := cfg.Admission.Validate(); err != nil {
+			stopCtls()
+			return nil, err
+		}
+		if !cfg.Admission.IsAlways() {
+			ocfg.Admission = cfg.Admission
+		}
 		if cfg.Policy == "sfq" {
 			nodes := cfg.Nodes
 			ocfg.SFQ = &SFQConfig{
@@ -309,6 +329,7 @@ func (n *Node) liveStats() NodeStats {
 		for _, k := range n.oss.PendingJobs() {
 			st.PendingRPCs += k
 		}
+		st.RejectedRPCs, st.ShedRPCs, st.OfferedBytes, st.GoodputBytes = n.oss.AdmissionStats()
 	}
 	if n.coord != nil {
 		st.Walks = n.coord.Walks()
@@ -330,6 +351,7 @@ func (n *Node) teardownRole() {
 		served, busy := n.oss.DeviceStats()
 		n.final.ServedRPCs = served
 		n.final.BusySeconds = busy.Seconds()
+		n.final.RejectedRPCs, n.final.ShedRPCs, n.final.OfferedBytes, n.final.GoodputBytes = n.oss.AdmissionStats()
 	}
 	if n.coord != nil {
 		n.final.Walks = n.coord.Walks()

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/controller"
 	"adaptbf/internal/core"
 	"adaptbf/internal/device"
@@ -53,6 +54,11 @@ type OSSConfig struct {
 	// SFQ, when non-nil, gates requests through Start-time Fair Queueing
 	// instead of the TBF scheduler (see SFQConfig).
 	SFQ *SFQConfig
+	// Admission selects the overload-protection policy in front of the
+	// server (package admission). The zero value is always-admit: the
+	// seam is skipped entirely. Rejected requests answer with a typed
+	// transport rejection (Reply.Reject) instead of a service outcome.
+	Admission admission.Config
 }
 
 // requestGate is the scheduler standing between arriving requests and the
@@ -80,6 +86,16 @@ type OSS struct {
 	sched       *tbf.Scheduler // nil when the gate is SFQ
 	onServed    func()         // SFQ dispatch-slot release; nil under TBF
 	outstanding map[int]int
+	adm         admission.Admitter // nil under always-admit
+	queued      int                // requests currently in the gate (admission bound input)
+
+	// Admission accounting, under mu. Offered counts every arriving
+	// request's payload; goodput only served ones — rejected and shed
+	// work appears in the gap, never in throughput.
+	rejected     uint64
+	shed         uint64
+	offeredBytes int64
+	goodputBytes int64
 
 	kick chan struct{}
 	done chan struct{}
@@ -108,6 +124,7 @@ func NewOSS(cfg OSSConfig) *OSS {
 		kick:        make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
+	o.adm = cfg.Admission.New()
 	if cfg.SFQ != nil {
 		q := sfq.New(cfg.SFQ.Depth, cfg.SFQ.Weights)
 		o.gate = q
@@ -131,21 +148,47 @@ func (o *OSS) Now() int64 {
 // Tracker exposes the job stats tracker (the controller's stats source).
 func (o *OSS) Tracker() *jobstats.Tracker { return &o.tracker }
 
-// Handle implements transport.Handler: classify, account, enqueue, and
-// wake the dispatcher. The reply is issued when the device finishes the
-// request.
+// admitted carries a request's reply path and its admission deadline
+// through the gate as the tbf.Request's Userdata.
+type admitted struct {
+	reply    func(transport.Reply)
+	deadline int64 // OSS-time admission deadline; 0 = none
+}
+
+// Handle implements transport.Handler: admit, classify, account,
+// enqueue, and wake the dispatcher. The reply is issued when the device
+// finishes the request — or immediately, as a typed rejection, when the
+// admission layer refuses it: a rejected request never touches the
+// tracker, the gate, or the device, so it leaves no trace in demand or
+// throughput accounting.
 func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
+	o.mu.Lock()
+	now := o.Now()
+	o.offeredBytes += req.Bytes
+	var deadline int64
+	if o.adm != nil {
+		d := o.adm.Admit(admission.Request{Job: req.JobID, Bytes: req.Bytes, Queued: o.queued}, now)
+		switch d.Action {
+		case admission.Reject:
+			o.rejected++
+			o.mu.Unlock()
+			reply(transport.Reply{Reject: transport.RejectRefused})
+			return
+		case admission.Enqueue:
+			deadline = d.Deadline
+		}
+	}
 	o.tracker.Observe(req.JobID, req.Bytes)
 	r := &tbf.Request{
 		JobID:    req.JobID,
 		Op:       tbf.Opcode(req.Op),
 		Bytes:    req.Bytes,
 		Stream:   req.Stream,
-		Userdata: reply,
+		Userdata: admitted{reply: reply, deadline: deadline},
 	}
-	o.mu.Lock()
 	o.outstanding[req.Stream]++
-	o.gate.Enqueue(r, o.Now())
+	o.queued++
+	o.gate.Enqueue(r, now)
 	o.mu.Unlock()
 	o.wake()
 }
@@ -177,11 +220,31 @@ func (o *OSS) dispatch() {
 		req, wakeAt, ok := o.gate.Dequeue(now)
 		var streams int
 		if ok {
+			o.queued--
 			streams = len(o.outstanding)
 		}
 		o.mu.Unlock()
 
 		if ok {
+			ad := req.Userdata.(admitted)
+			// Lazy deadline shedding (admission.Enqueue decisions): a
+			// request that waited past its queueing deadline is dropped
+			// here with a typed rejection — never served late.
+			if ad.deadline != 0 && now > ad.deadline {
+				o.mu.Lock()
+				o.shed++
+				if n := o.outstanding[req.Stream] - 1; n > 0 {
+					o.outstanding[req.Stream] = n
+				} else {
+					delete(o.outstanding, req.Stream)
+				}
+				if o.onServed != nil {
+					o.onServed() // frees the SFQ dispatch slot
+				}
+				o.mu.Unlock()
+				ad.reply(transport.Reply{Reject: transport.RejectShed})
+				continue
+			}
 			st := o.dev.ServiceTime(req.Bytes, req.Stream, streams)
 			if deviceFree < now {
 				deviceFree = now
@@ -193,6 +256,7 @@ func (o *OSS) dispatch() {
 				}
 			}
 			o.mu.Lock()
+			o.goodputBytes += req.Bytes
 			if n := o.outstanding[req.Stream] - 1; n > 0 {
 				o.outstanding[req.Stream] = n
 			} else {
@@ -202,7 +266,7 @@ func (o *OSS) dispatch() {
 				o.onServed() // frees the SFQ dispatch slot
 			}
 			o.mu.Unlock()
-			req.Userdata.(func(transport.Reply))(transport.Reply{Bytes: req.Bytes})
+			ad.reply(transport.Reply{Bytes: req.Bytes})
 			continue
 		}
 
@@ -259,6 +323,16 @@ func (o *OSS) Close() {
 func (o *OSS) DeviceStats() (served uint64, busy time.Duration) {
 	served, _, busy = o.dev.Stats()
 	return served, busy
+}
+
+// AdmissionStats reports the admission layer's lifetime counters:
+// requests rejected on arrival, requests shed past their queueing
+// deadline, and the offered/goodput byte totals. All zero under
+// always-admit except offered/goodput, which account every request.
+func (o *OSS) AdmissionStats() (rejected, shed uint64, offeredBytes, goodputBytes int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rejected, o.shed, o.offeredBytes, o.goodputBytes
 }
 
 // PendingJobs reports queued requests per job (the controller's backlog

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptbf/internal/admission"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/workload"
+)
+
+// starvedBucket is a token bucket far below liveScenario's demand: 8
+// RPCs of headroom, then a trickle. Every backend must both serve and
+// reject under it.
+func starvedBucket() admission.Config {
+	return admission.Config{
+		Policy:            admission.PolicyTokenBucket,
+		CapacityBytes:     8 * 64 << 10,
+		RefillBytesPerSec: 64 << 10,
+	}
+}
+
+// TestAdmissionAccountingParity pins the cross-backend admission
+// contract: the same starved token bucket on the sim, live, and remote
+// backends upholds the same bookkeeping on each — rejected RPCs are
+// excluded from the latency digest, throughput, and goodput bytes, but
+// their payloads still count as offered, so goodput drops below 100%
+// identically everywhere. The counts themselves may differ (wall-clock
+// refill vs simulated refill); the invariants may not.
+func TestAdmissionAccountingParity(t *testing.T) {
+	const rpc = int64(64 << 10)
+	backends := []Backend{NewSimBackend(), &ClusterBackend{Device: liveDevice()}}
+	if !testing.Short() {
+		backends = append(backends, &RemoteBackend{Device: liveDevice()})
+	}
+	for _, be := range backends {
+		t.Run(be.Name(), func(t *testing.T) {
+			m := Matrix{
+				Scenarios:    []Scenario{liveScenario()},
+				Policies:     []sim.Policy{sim.NoBW},
+				OSSes:        []int{2},
+				MaxTokenRate: 4000,
+				Period:       20 * time.Millisecond,
+				Duration:     30 * time.Second,
+				Admission:    starvedBucket(),
+			}
+			res, err := Run(context.Background(), m,
+				WithBackend(be), WithDigests(true), WithCellTimeout(2*time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr := res.Cells[0]
+			r := cr.Result
+			if r.ServedRPCs == 0 {
+				t.Fatal("a full bucket at start must serve something")
+			}
+			if r.Rejected == 0 {
+				t.Fatal("a starved bucket under 4 MiB of demand rejected nothing")
+			}
+			if r.Shed != 0 {
+				t.Fatalf("token bucket never sheds (arrival-time policy), got %d", r.Shed)
+			}
+			if r.ServedRPCs+r.Rejected != 64 { // 2 jobs × 2 procs × 16 RPCs
+				t.Fatalf("served %d + rejected %d != 64 offered RPCs", r.ServedRPCs, r.Rejected)
+			}
+			if r.OfferedBytes != 64*rpc {
+				t.Fatalf("offered %d bytes, want %d", r.OfferedBytes, 64*rpc)
+			}
+			if r.GoodputBytes != int64(r.ServedRPCs)*rpc {
+				t.Fatalf("goodput %d != served %d × %d (rejected work leaked into goodput)",
+					r.GoodputBytes, r.ServedRPCs, rpc)
+			}
+			if got := r.Timeline.GrandTotalBytes(); got != r.GoodputBytes {
+				t.Fatalf("timeline total %d != goodput %d (rejected work leaked into throughput)",
+					got, r.GoodputBytes)
+			}
+			if cr.LatencyDigest.N() != int64(r.ServedRPCs) {
+				t.Fatalf("latency digest holds %d samples for %d served RPCs (rejections must not be timed)",
+					cr.LatencyDigest.N(), r.ServedRPCs)
+			}
+			if pct := r.GoodputPct(); pct >= 100 || pct <= 0 {
+				t.Fatalf("goodput = %.1f%%, want strictly between 0 and 100", pct)
+			}
+		})
+	}
+}
+
+// TestAdmissionFingerprintSegment: admission counters are folded into
+// the fingerprint only when admission actually refused or shed work, so
+// always-admit runs keep their pre-admission hashes (the golden test
+// pins the exact value) while a rejecting run hashes differently.
+func TestAdmissionFingerprintSegment(t *testing.T) {
+	m := Matrix{
+		Scenarios: []Scenario{liveScenario()},
+		Policies:  []sim.Policy{sim.NoBW},
+		Duration:  30 * time.Second,
+	}
+	clean, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Admission = admission.Config{Policy: admission.PolicyAlways}
+	explicit, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Fingerprint() != explicit.Fingerprint() {
+		t.Fatal("explicit always-admit changed the fingerprint")
+	}
+	m.Admission = starvedBucket()
+	starved, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Cells[0].Result.Rejected == 0 {
+		t.Fatal("starved bucket rejected nothing; the test lost its premise")
+	}
+	if starved.Fingerprint() == clean.Fingerprint() {
+		t.Fatal("rejections left the fingerprint unchanged")
+	}
+}
+
+// TestFaultAxisExpandsCells: Matrix.Faults is a real axis — n profiles
+// multiply the cell count by n, innermost (so the seed axis groups
+// fault variants of the same run together), and only non-zero profiles
+// mark the cell name, keeping every pre-axis cell string intact.
+func TestFaultAxisExpandsCells(t *testing.T) {
+	profiles, err := ParseFaultProfiles("none;latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{
+		Scenarios: []Scenario{StripedSequentialScenario()},
+		Policies:  []sim.Policy{sim.NoBW},
+		Seeds:     []int64{1, 2},
+		Faults:    profiles,
+	}
+	cells, err := m.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("2 seeds × 2 fault profiles = %d cells, want 4", len(cells))
+	}
+	for i, c := range cells {
+		name := c.String()
+		switch {
+		case i%2 == 0: // clean variant first: the fault axis is innermost
+			if !c.Faults.IsZero() || strings.Contains(name, "faults=") {
+				t.Fatalf("cell %d %q should be the fault-free variant", i, name)
+			}
+		default:
+			if c.Faults.IsZero() || !strings.Contains(name, "/faults=latency=1ms") {
+				t.Fatalf("cell %d %q should carry the fault profile", i, name)
+			}
+		}
+	}
+	if cells[0].Seed != 1 || cells[1].Seed != 1 || cells[2].Seed != 2 {
+		t.Fatalf("fault axis is not innermost: %v", cells)
+	}
+}
+
+// TestRemoteDeadlineQueueShedsAcrossCrashRestart is the overload story
+// end to end on the most hostile substrate: a deadline-queue OSS pair
+// where the first node is SIGKILLed mid-run and respawned, under enough
+// concurrency that queue waits blow the deadline. The cell must finish
+// with no job error — shed RPCs unblock their processes instead of
+// being retried — while serving real work, shedding real work, and
+// keeping every shed RPC out of the latency digest.
+func TestRemoteDeadlineQueueShedsAcrossCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns node processes")
+	}
+	pat := workload.Pattern{RPCBytes: 64 << 10, MaxInflight: 16}
+	m := Matrix{
+		Scenarios: []Scenario{{
+			Name: "shed-crash",
+			Jobs: func(CellParams) []workload.Job {
+				return []workload.Job{
+					{ID: "a.n01", Nodes: 1, Procs: []workload.Pattern{pat, pat}},
+				}
+			},
+		}},
+		Policies:     []sim.Policy{sim.NoBW},
+		OSSes:        []int{2},
+		MaxTokenRate: 4000,
+		Period:       50 * time.Millisecond,
+		Duration:     4 * time.Second,
+		Faults:       mustFaults(t, "crash=500ms,restart=300ms"),
+		Admission: admission.Config{
+			Policy:     admission.PolicyDeadlineQueue,
+			QueueLimit: 10_000,
+			Deadline:   200 * time.Microsecond,
+		},
+	}
+	res, err := Run(context.Background(), m,
+		WithBackend(&RemoteBackend{Device: liveDevice()}), WithCellTimeout(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Cells[0]
+	r := cr.Result
+	if r.ServedRPCs == 0 {
+		t.Fatal("no RPCs survived the shedding crash/restart cell")
+	}
+	if r.Shed == 0 {
+		t.Fatal("32-deep queues against a 200µs deadline shed nothing")
+	}
+	if cr.LatencyDigest.N() != int64(r.ServedRPCs) {
+		t.Fatalf("latency digest holds %d samples for %d served RPCs (shed RPCs must not be timed)",
+			cr.LatencyDigest.N(), r.ServedRPCs)
+	}
+	if r.GoodputBytes != int64(r.ServedRPCs)*(64<<10) {
+		t.Fatalf("goodput %d != served %d × 64KiB", r.GoodputBytes, r.ServedRPCs)
+	}
+	if pct := r.GoodputPct(); pct >= 100 {
+		t.Fatalf("goodput = %.1f%% despite shedding", pct)
+	}
+	// Both device slots still fold: the respawned first node drains its
+	// post-restart stats, the second node its whole lifetime.
+	if len(r.DeviceBusy) != 2 {
+		t.Fatalf("device stats: %v", r.DeviceBusy)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
 )
@@ -29,11 +30,17 @@ type CellSpec struct {
 	// job in addition to the always-on per-cell digest (WithDigests).
 	PerJobDigests bool
 
-	// Faults is the matrix's fault-injection axis. Backends that cannot
-	// realize a requested fault must fail the cell rather than silently
-	// run it clean (SimBackend rejects any fault; ClusterBackend rejects
-	// crash/restart, which need a process to kill).
+	// Faults is the cell's point on the matrix's fault axis. Backends
+	// that cannot realize a requested fault must fail the cell rather
+	// than silently run it clean (SimBackend rejects any fault;
+	// ClusterBackend rejects crash/restart, which need a process to
+	// kill).
 	Faults FaultProfile
+
+	// Admission is the admission-control policy each OSS runs behind.
+	// The zero value is always-admit, bit-identical to no admission at
+	// all; every backend realizes all three policies.
+	Admission admission.Config
 }
 
 // A CellOutcome is a backend's finished cell: the raw result plus the
@@ -116,6 +123,7 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 		Duration:     spec.Duration,
 		OSTs:         spec.Cell.OSSes,
 		SFQDepth:     spec.SFQDepth,
+		Admission:    spec.Admission,
 	}
 	res, err := sim.RunScratch(cfg, scratch)
 	if err != nil {

@@ -139,6 +139,7 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		Device:      b.Device,
 		BucketDepth: depth,
 		Speedup:     speedup,
+		Admission:   spec.Admission,
 	}
 	if spec.Cell.Policy == sim.SFQ {
 		cfg.SFQ = &cluster.SFQConfig{
@@ -370,6 +371,10 @@ func foldLiveResult(spec CellSpec, jobs []workload.Job, outcomes []liveJobOutcom
 	var firstErr error
 	for i, jo := range outcomes {
 		res.ServedRPCs += uint64(jo.stats.RPCs)
+		res.Rejected += uint64(jo.stats.Rejected)
+		res.Shed += uint64(jo.stats.Shed)
+		res.OfferedBytes += jo.stats.OfferedBytes
+		res.GoodputBytes += jo.stats.Bytes
 		switch {
 		case jo.err == nil:
 			if jobs[i].TotalBytes() > 0 {

@@ -148,6 +148,32 @@ func ParseFaultProfile(s string) (FaultProfile, error) {
 	return f, f.Validate()
 }
 
+// ParseFaultProfiles parses the fault axis as a ";"-separated list of
+// ParseFaultProfile entries ("none" or the empty entry meaning the zero
+// profile), so one sweep can hold clean and faulted cells side by side:
+//
+//	none;latency=2ms,loss=0.05;straggler=4
+//
+// The empty string yields a single zero profile.
+func ParseFaultProfiles(s string) ([]FaultProfile, error) {
+	if strings.TrimSpace(s) == "" {
+		return []FaultProfile{{}}, nil
+	}
+	var out []FaultProfile
+	for _, field := range strings.Split(s, ";") {
+		field = strings.TrimSpace(field)
+		if field == "none" {
+			field = ""
+		}
+		f, err := ParseFaultProfile(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 // faultSeed derives the deterministic per-connection fault RNG seed
 // from the cell seed and a connection index, mixed so adjacent indices
 // start far apart in the splitmix64 stream.

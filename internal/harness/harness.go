@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/metrics"
 	"adaptbf/internal/sim"
@@ -79,10 +80,16 @@ type Matrix struct {
 	// SFQDepth is the dispatch depth for SFQ cells. Defaults to 1.
 	SFQDepth int
 
-	// Faults is the fault-injection axis, applied to every cell. Only
-	// fault-capable backends accept it (the sim backend rejects any
-	// profile; crash/restart need the remote backend).
-	Faults FaultProfile
+	// Faults is the fault-injection axis: every cell runs once per
+	// profile, like any other axis. Empty means one fault-free pass.
+	// Only fault-capable backends accept a non-zero profile (the sim
+	// backend rejects any; crash/restart need the remote backend).
+	Faults []FaultProfile
+
+	// Admission is the admission-control policy installed in front of
+	// every OSS in every cell. The zero value (always-admit) is
+	// bit-identical to running without one.
+	Admission admission.Config
 }
 
 // DefaultPolicies is the policy axis used when Matrix.Policies is empty.
@@ -133,7 +140,15 @@ func (m Matrix) normalize() (Matrix, error) {
 	if m.Duration == 0 {
 		m.Duration = 30 * time.Minute
 	}
-	if err := m.Faults.Validate(); err != nil {
+	if len(m.Faults) == 0 {
+		m.Faults = []FaultProfile{{}}
+	}
+	for _, f := range m.Faults {
+		if err := f.Validate(); err != nil {
+			return m, err
+		}
+	}
+	if err := m.Admission.Validate(); err != nil {
 		return m, err
 	}
 	return m, nil
@@ -147,6 +162,8 @@ type Cell struct {
 	Scale    int64
 	OSSes    int
 	Seed     int64
+	// Faults is the cell's point on the fault axis (zero = fault-free).
+	Faults FaultProfile
 }
 
 // Params extracts the scenario-generator view of the cell.
@@ -154,14 +171,20 @@ func (c Cell) Params() CellParams {
 	return CellParams{Scale: c.Scale, OSSes: c.OSSes, Seed: c.Seed}
 }
 
-// String renders the cell's coordinates for logs and table rows.
+// String renders the cell's coordinates for logs and table rows. The
+// fault segment appears only on faulted cells, so every pre-fault-axis
+// cell name (and the golden fingerprint built from them) is unchanged.
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%v/scale%d/oss%d/seed%d", c.Scenario, c.Policy, c.Scale, c.OSSes, c.Seed)
+	s := fmt.Sprintf("%s/%v/scale%d/oss%d/seed%d", c.Scenario, c.Policy, c.Scale, c.OSSes, c.Seed)
+	if !c.Faults.IsZero() {
+		s += "/faults=" + c.Faults.String()
+	}
+	return s
 }
 
 // Cells expands the matrix in its canonical order: scenario, then policy,
-// then scale, then OSS count, then seed. Merging and reporting follow this
-// order, never completion order.
+// then scale, then OSS count, then seed, then fault profile. Merging and
+// reporting follow this order, never completion order.
 func (m Matrix) Cells() ([]Cell, error) {
 	n, err := m.normalize()
 	if err != nil {
@@ -178,14 +201,17 @@ func (m Matrix) cells() []Cell {
 			for _, scale := range m.Scales {
 				for _, osses := range m.OSSes {
 					for _, seed := range m.Seeds {
-						cells = append(cells, Cell{
-							Index:    len(cells),
-							Scenario: sc.Name,
-							Policy:   pol,
-							Scale:    scale,
-							OSSes:    osses,
-							Seed:     seed,
-						})
+						for _, faults := range m.Faults {
+							cells = append(cells, Cell{
+								Index:    len(cells),
+								Scenario: sc.Name,
+								Policy:   pol,
+								Scale:    scale,
+								OSSes:    osses,
+								Seed:     seed,
+								Faults:   faults,
+							})
+						}
 					}
 				}
 			}
@@ -386,7 +412,8 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					Duration:      norm.Duration,
 					SFQDepth:      norm.SFQDepth,
 					PerJobDigests: cfg.perJobDigests,
-					Faults:        norm.Faults,
+					Faults:        c.Faults,
+					Admission:     norm.Admission,
 				}
 				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
 				if cfg.cellTimeout > 0 {
@@ -482,14 +509,15 @@ func (r *MatrixResult) ReportCIWith(sums []metrics.Summary, level float64) *expe
 func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
 	t := experiments.Table{
 		Name:   "matrix-cells",
-		Header: []string{"scenario", "policy", "scale", "OSSes", "seed", "overall MiB/s", "makespan (s)", "done", "RPCs", "lat p50/p99"},
+		Header: []string{"scenario", "policy", "scale", "OSSes", "seed", "faults", "overall MiB/s", "makespan (s)", "done", "RPCs", "lat p50/p99", "goodput %", "rej/shed"},
 	}
 	for i, cr := range r.Cells {
 		c := cr.Cell
 		row := []string{c.Scenario, c.Policy.String(),
-			fmt.Sprintf("%d", c.Scale), fmt.Sprintf("%d", c.OSSes), fmt.Sprintf("%d", c.Seed)}
+			fmt.Sprintf("%d", c.Scale), fmt.Sprintf("%d", c.OSSes), fmt.Sprintf("%d", c.Seed),
+			c.Faults.String()}
 		if cr.Err != nil {
-			row = append(row, "ERROR: "+cr.Err.Error(), "-", "-", "-", "-")
+			row = append(row, "ERROR: "+cr.Err.Error(), "-", "-", "-", "-", "-", "-")
 		} else {
 			lat := "-"
 			if d := cr.LatencyDigest; d != nil && d.N() > 0 {
@@ -497,12 +525,16 @@ func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
 					d.Quantile(50).Round(100*time.Microsecond),
 					d.Quantile(99).Round(100*time.Microsecond))
 			}
+			// Goodput rides beside every latency column: a shed-heavy cell
+			// with a flattering p99 must confess what it turned away.
 			row = append(row,
 				metrics.FormatMiBps(sums[i].OverallMiBps),
 				fmt.Sprintf("%.1f", cr.Result.Elapsed.Seconds()),
 				fmt.Sprintf("%v", cr.Result.Done),
 				fmt.Sprintf("%d", cr.Result.ServedRPCs),
 				lat,
+				fmt.Sprintf("%.1f", cr.Result.GoodputPct()),
+				fmt.Sprintf("%d/%d", cr.Result.Rejected, cr.Result.Shed),
 			)
 		}
 		t.Rows = append(t.Rows, row)
@@ -510,18 +542,20 @@ func (r *MatrixResult) cellTable(sums []metrics.Summary) experiments.Table {
 	return t
 }
 
-// policyMeansTable averages each scenario×policy group's overall bandwidth
-// and makespan over the scale, OSS, and seed axes — with Student-t
-// confidence-interval half-widths at the given level (the seed axis is
-// what populates the groups in a replicated sweep) — and reports the
-// percentage delta against the group's NoBW mean when one exists.
+// policyMeansTable averages each scenario×policy×faults group's overall
+// bandwidth, makespan, and goodput over the scale, OSS, and seed axes —
+// with Student-t confidence-interval half-widths at the given level (the
+// seed axis is what populates the groups in a replicated sweep) — and
+// reports the percentage delta against the group's NoBW mean when one
+// exists.
 func (r *MatrixResult) policyMeansTable(sums []metrics.Summary, level float64) experiments.Table {
 	pct := fmt.Sprintf("%g", level*100)
 	t := experiments.Table{
 		Name: "matrix-policy-means",
-		Header: []string{"scenario", "policy", "n",
+		Header: []string{"scenario", "policy", "faults", "n",
 			"mean MiB/s", "±" + pct + "% CI",
 			"mean makespan (s)", "±" + pct + "% CI",
+			"mean goodput %",
 			"vs No BW (%)"},
 	}
 	groups := r.PolicyGroups(sums)
@@ -529,7 +563,7 @@ func (r *MatrixResult) policyMeansTable(sums []metrics.Summary, level float64) e
 		g := &groups[i]
 		mean := g.BW.Mean()
 		delta := "-"
-		if base := NoBWBaseline(groups, g.Scenario); base != nil && base.BW.Mean() > 0 && g.Policy != sim.NoBW {
+		if base := NoBWBaseline(groups, g.Scenario, g.Faults); base != nil && base.BW.Mean() > 0 && g.Policy != sim.NoBW {
 			delta = fmt.Sprintf("%+.1f", (mean-base.BW.Mean())/base.BW.Mean()*100)
 		}
 		ci := func(m *stats.Moments) string {
@@ -539,26 +573,31 @@ func (r *MatrixResult) policyMeansTable(sums []metrics.Summary, level float64) e
 			return fmt.Sprintf("%.1f", m.CIHalfWidth(level))
 		}
 		t.Rows = append(t.Rows, []string{
-			g.Scenario, g.Policy.String(),
+			g.Scenario, g.Policy.String(), g.Faults.String(),
 			fmt.Sprintf("%d", g.BW.N()),
 			metrics.FormatMiBps(mean), ci(&g.BW),
 			fmt.Sprintf("%.1f", g.Makespan.Mean()), ci(&g.Makespan),
+			fmt.Sprintf("%.1f", g.Goodput.Mean()),
 			delta,
 		})
 	}
 	return t
 }
 
-// A PolicyGroup is one scenario×policy aggregate of a merged matrix:
-// streaming moments of the group's per-cell overall bandwidth and
-// makespan over the scale, OSS, and seed axes. It is the single
-// canonical fold behind both the rendered policy-means table and the
-// JSON document's policy_means section, so the two can never disagree.
+// A PolicyGroup is one scenario×policy×faults aggregate of a merged
+// matrix: streaming moments of the group's per-cell overall bandwidth,
+// makespan, and goodput over the scale, OSS, and seed axes. It is the
+// single canonical fold behind both the rendered policy-means table and
+// the JSON document's policy_means section, so the two can never
+// disagree. Faults joins the key because mixing faulted and clean cells
+// into one mean would answer no question anyone asked.
 type PolicyGroup struct {
 	Scenario string
 	Policy   sim.Policy
+	Faults   FaultProfile
 	BW       stats.Moments // per-cell overall MiB/s
 	Makespan stats.Moments // per-cell makespan, seconds
+	Goodput  stats.Moments // per-cell goodput percentage
 }
 
 // Summaries computes each cell's timeline summary in cell order (zero
@@ -575,9 +614,9 @@ func (r *MatrixResult) Summaries() []metrics.Summary {
 	return sums
 }
 
-// PolicyGroups folds the non-failed cells into scenario×policy moment
-// accumulators in first-appearance (canonical) order. sums must be the
-// result of Summaries (pass nil to have it computed here).
+// PolicyGroups folds the non-failed cells into scenario×policy×faults
+// moment accumulators in first-appearance (canonical) order. sums must
+// be the result of Summaries (pass nil to have it computed here).
 func (r *MatrixResult) PolicyGroups(sums []metrics.Summary) []PolicyGroup {
 	if sums == nil {
 		sums = r.Summaries()
@@ -585,6 +624,7 @@ func (r *MatrixResult) PolicyGroups(sums []metrics.Summary) []PolicyGroup {
 	type key struct {
 		scenario string
 		policy   sim.Policy
+		faults   FaultProfile
 	}
 	index := make(map[key]int)
 	var groups []PolicyGroup
@@ -592,24 +632,25 @@ func (r *MatrixResult) PolicyGroups(sums []metrics.Summary) []PolicyGroup {
 		if cr.Err != nil {
 			continue
 		}
-		k := key{cr.Cell.Scenario, cr.Cell.Policy}
+		k := key{cr.Cell.Scenario, cr.Cell.Policy, cr.Cell.Faults}
 		gi, ok := index[k]
 		if !ok {
 			gi = len(groups)
 			index[k] = gi
-			groups = append(groups, PolicyGroup{Scenario: k.scenario, Policy: k.policy})
+			groups = append(groups, PolicyGroup{Scenario: k.scenario, Policy: k.policy, Faults: k.faults})
 		}
 		groups[gi].BW.Add(sums[i].OverallMiBps)
 		groups[gi].Makespan.Add(cr.Result.Elapsed.Seconds())
+		groups[gi].Goodput.Add(cr.Result.GoodputPct())
 	}
 	return groups
 }
 
-// NoBWBaseline finds the scenario's NoBW group in groups, for the
-// vs-NoBW delta columns (nil when the scenario has no NoBW cells).
-func NoBWBaseline(groups []PolicyGroup, scenario string) *PolicyGroup {
+// NoBWBaseline finds the scenario's NoBW group at the same fault point,
+// for the vs-NoBW delta columns (nil when no such cells ran).
+func NoBWBaseline(groups []PolicyGroup, scenario string, faults FaultProfile) *PolicyGroup {
 	for i := range groups {
-		if groups[i].Scenario == scenario && groups[i].Policy == sim.NoBW {
+		if groups[i].Scenario == scenario && groups[i].Policy == sim.NoBW && groups[i].Faults == faults {
 			return &groups[i]
 		}
 	}
@@ -635,6 +676,13 @@ func (r *MatrixResult) Fingerprint() string {
 		}
 		res := cr.Result
 		fmt.Fprintf(&b, "elapsed=%d|done=%v|rpcs=%d|", res.Elapsed, res.Done, res.ServedRPCs)
+		// Admission outcomes join the digest only when admission actually
+		// turned work away: an always-admit run (or any policy that never
+		// fired) hashes exactly as it did before the field existed, so the
+		// golden fingerprint is stable across the feature's introduction.
+		if res.Rejected+res.Shed > 0 {
+			fmt.Fprintf(&b, "adm=%d:%d:%d:%d|", res.Rejected, res.Shed, res.OfferedBytes, res.GoodputBytes)
+		}
 		jobs := res.Timeline.Jobs()
 		for _, j := range jobs {
 			fmt.Fprintf(&b, "job=%s:%d|", j, res.Timeline.TotalBytes(j))

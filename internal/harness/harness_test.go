@@ -304,8 +304,8 @@ func TestPolicyMeansCIColumns(t *testing.T) {
 	if means == nil || cells == nil {
 		t.Fatal("report tables missing")
 	}
-	wantHeader := []string{"scenario", "policy", "n", "mean MiB/s", "±95% CI",
-		"mean makespan (s)", "±95% CI", "vs No BW (%)"}
+	wantHeader := []string{"scenario", "policy", "faults", "n", "mean MiB/s", "±95% CI",
+		"mean makespan (s)", "±95% CI", "mean goodput %", "vs No BW (%)"}
 	if !reflect.DeepEqual(means.Header, wantHeader) {
 		t.Fatalf("policy-means header = %v", means.Header)
 	}
@@ -313,14 +313,17 @@ func TestPolicyMeansCIColumns(t *testing.T) {
 		t.Fatalf("want 2 policy groups, got %d", len(means.Rows))
 	}
 	for _, row := range means.Rows {
-		if row[2] != "5" {
-			t.Fatalf("group n = %q, want 5 (one per seed)", row[2])
+		if row[3] != "5" {
+			t.Fatalf("group n = %q, want 5 (one per seed)", row[3])
 		}
-		if row[4] == "-" || row[6] == "-" {
+		if row[5] == "-" || row[7] == "-" {
 			t.Fatalf("CI columns empty for a 5-seed group: %v", row)
 		}
+		if row[8] != "100.0" {
+			t.Fatalf("admission-free group goodput = %q, want 100.0", row[8])
+		}
 	}
-	latCol := len(cells.Header) - 1
+	latCol := len(cells.Header) - 3
 	if cells.Header[latCol] != "lat p50/p99" {
 		t.Fatalf("cell table missing latency column: %v", cells.Header)
 	}

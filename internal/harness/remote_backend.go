@@ -351,6 +351,9 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 		if len(nodesFlag) > 0 {
 			args = append(args, "-nodes", strings.Join(nodesFlag, ","))
 		}
+		if !spec.Admission.IsAlways() {
+			args = append(args, "-admission", spec.Admission.String())
+		}
 		if coordProc != nil {
 			args = append(args, "-coord", coordProc.addr)
 		}

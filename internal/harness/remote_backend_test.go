@@ -189,11 +189,11 @@ func TestParseFaultProfile(t *testing.T) {
 	}
 }
 
-func mustFaults(t *testing.T, s string) FaultProfile {
+func mustFaults(t *testing.T, s string) []FaultProfile {
 	t.Helper()
 	f, err := ParseFaultProfile(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return f
+	return []FaultProfile{f}
 }

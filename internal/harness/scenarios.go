@@ -123,6 +123,32 @@ func StaggeredBurstScenario() Scenario {
 	}
 }
 
+// SaturationRampScenario is the overload workload behind the
+// capacity-at-SLO study: here — unlike every volume-divisor scenario —
+// Scale is an offered-load MULTIPLIER. Each step up adds concurrent
+// processes to both jobs while the per-process volume stays fixed, so
+// sweeping the scale axis walks the cell from comfortable load into
+// saturation and the p99-vs-scale curve develops the knee the study
+// bisects for. It is deliberately not in BuiltinScenarios: mixing its
+// scale semantics into a divisor sweep would be nonsense, and adding it
+// to the default library would move the golden fingerprint.
+func SaturationRampScenario() Scenario {
+	return Scenario{
+		Name: "saturation-ramp",
+		Jobs: func(p CellParams) []workload.Job {
+			k := int(p.Scale)
+			if k < 1 {
+				k = 1
+			}
+			jobs := []workload.Job{
+				workload.StripedSequential("load.n04", 4, 2*k, 16*mib, 0),
+				workload.StripedSequential("bg.n01", 1, k, 16*mib, 1),
+			}
+			return jitterStarts(jobs, p.Seed, 100*time.Millisecond)
+		},
+	}
+}
+
 // BuiltinScenarios returns the scenario library in canonical order.
 func BuiltinScenarios() []Scenario {
 	return []Scenario{

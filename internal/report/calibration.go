@@ -254,7 +254,7 @@ func RunCalibrationStudy(opt CalibrationStudyOptions) (*CalibrationStudy, error)
 	var remoteSums []metrics.Summary
 	if opt.Remote {
 		rm := m
-		rm.Faults = opt.Faults
+		rm.Faults = []harness.FaultProfile{opt.Faults}
 		var remoteErr error
 		remoteRes, remoteErr = harness.Run(context.Background(), rm,
 			harness.WithWorkers(opt.LiveWorkers), harness.WithProgress(opt.OnCell),

@@ -16,6 +16,7 @@ package report
 import (
 	"encoding/json"
 	"os"
+	"sort"
 	"time"
 
 	"adaptbf/internal/harness"
@@ -45,7 +46,18 @@ import (
 // remote grid's cells under remote_cells and the injected fault profile
 // under faults. Plain matrix documents are unchanged apart from the
 // version stamp.
-const SchemaVersion = 4
+//
+// v5 (admission control & saturation): faults is a first-class matrix
+// axis — the grid carries the swept profiles and each cell its own point
+// on the axis — and every cell that reports latency also reports the
+// goodput side of the story: rejected_rpcs/shed_rpcs counts and
+// goodput_pct (served bytes over offered bytes), with matching
+// mean_goodput_pct/ci_goodput_pct on policy means. The grid records the
+// installed admission policy; cells with per-job digests additionally
+// carry a starvation section (tail-of-tails over per-job p99s).
+// Saturation-study documents (kind "saturation") carry the per-policy
+// capacity-at-SLO bisection under saturation.
+const SchemaVersion = 5
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -62,6 +74,7 @@ type Document struct {
 	PolicyMeans []PolicyMean `json:"policy_means"`
 	Study       *Study       `json:"study,omitempty"`
 	Calibration *Calibration `json:"calibration,omitempty"`
+	Saturation  *Saturation  `json:"saturation,omitempty"`
 }
 
 // Grid records the swept axes in canonical order, recovered from the
@@ -72,6 +85,12 @@ type Grid struct {
 	Scales    []int64  `json:"scales"`
 	OSSes     []int    `json:"osses"`
 	Seeds     []int64  `json:"seeds"`
+	// Faults lists the swept fault profiles (harness.FaultProfile
+	// syntax) when any cell ran faulted; absent on all-clean grids.
+	Faults []string `json:"faults,omitempty"`
+	// Admission is the admission policy installed in front of every OSS
+	// (admission.Config syntax); absent under always-admit.
+	Admission string `json:"admission,omitempty"`
 }
 
 // A Cell is one matrix point's summary. Backend names the substrate
@@ -87,18 +106,53 @@ type Cell struct {
 	Backend  string `json:"backend,omitempty"`
 	Error    string `json:"error,omitempty"`
 
+	// Faults is the cell's point on the fault axis (harness.FaultProfile
+	// syntax); absent on fault-free cells.
+	Faults string `json:"faults,omitempty"`
+
 	Done            bool    `json:"done,omitempty"`
 	OverallMiBps    float64 `json:"overall_mibps,omitempty"`
 	MakespanS       float64 `json:"makespan_s,omitempty"`
 	ServedRPCs      uint64  `json:"served_rpcs,omitempty"`
 	UtilizationMean float64 `json:"utilization_mean,omitempty"`
 
+	// Admission outcomes: RPCs refused on arrival, RPCs shed past their
+	// queueing deadline, and goodput (served bytes over offered bytes,
+	// percent — 100 when admission never fired). Latency numbers below
+	// cover served RPCs only, so these fields are the mandatory other
+	// half of any latency claim.
+	RejectedRPCs uint64  `json:"rejected_rpcs,omitempty"`
+	ShedRPCs     uint64  `json:"shed_rpcs,omitempty"`
+	GoodputPct   float64 `json:"goodput_pct,omitempty"`
+
 	Latency *Latency `json:"latency,omitempty"`
 	// PerJobDigests holds each job's own latency summary, present only
 	// when the run captured per-job digests (harness.WithDigests) and
 	// Options.PerJobDigests asked for them — the starvation-tail view.
 	PerJobDigests map[string]*Latency `json:"per_job_digests,omitempty"`
+	// Starvation condenses the per-job digests into the tail-of-tails:
+	// present whenever the run captured per-job digests for 2+ jobs.
+	Starvation *Starvation `json:"starvation,omitempty"`
 }
+
+// Starvation is the tail-of-tails analysis of one cell: the cell-wide
+// p99 can look healthy while one job starves, so the distribution OVER
+// jobs of each job's own p99 is summarized here. A job counts as
+// starved when its p99 exceeds StarvationK times the median job p99.
+type Starvation struct {
+	Jobs           int     `json:"jobs"`
+	MedianJobP99US float64 `json:"median_job_p99_us"`
+	P99JobP99US    float64 `json:"p99_job_p99_us"`
+	MaxJobP99US    float64 `json:"max_job_p99_us"`
+	// StarvationFactor is max over median — 1.0 means perfectly even
+	// tails, large values mean one job's tail dwarfs the typical job's.
+	StarvationFactor float64 `json:"starvation_factor"`
+	StarvedJobs      int     `json:"starved_jobs"`
+}
+
+// StarvationK is the starved-job threshold: a job whose p99 exceeds
+// K× the median job p99 counts as starved.
+const StarvationK = 4.0
 
 // Latency condenses a cell's digest: count, extremes, mean, and
 // nearest-rank quantile estimates, all in microseconds. Buckets carries
@@ -127,14 +181,19 @@ type LatencyBucket struct {
 // fields are Student-t half-widths at the document's CILevel; they are 0
 // when N < 2 (no interval exists).
 type PolicyMean struct {
-	Scenario      string   `json:"scenario"`
-	Policy        string   `json:"policy"`
-	N             int64    `json:"n"`
-	MeanMiBps     float64  `json:"mean_mibps"`
-	CIMiBps       float64  `json:"ci_mibps"`
-	MeanMakespanS float64  `json:"mean_makespan_s"`
-	CIMakespanS   float64  `json:"ci_makespan_s"`
-	VsNoBWPct     *float64 `json:"vs_nobw_pct,omitempty"`
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Faults keys the group alongside scenario and policy: faulted and
+	// clean cells never share a mean. Absent for fault-free groups.
+	Faults         string   `json:"faults,omitempty"`
+	N              int64    `json:"n"`
+	MeanMiBps      float64  `json:"mean_mibps"`
+	CIMiBps        float64  `json:"ci_mibps"`
+	MeanMakespanS  float64  `json:"mean_makespan_s"`
+	CIMakespanS    float64  `json:"ci_makespan_s"`
+	MeanGoodputPct float64  `json:"mean_goodput_pct"`
+	CIGoodputPct   float64  `json:"ci_goodput_pct"`
+	VsNoBWPct      *float64 `json:"vs_nobw_pct,omitempty"`
 }
 
 // Options tunes document construction.
@@ -151,6 +210,10 @@ type Options struct {
 	// the run captured them via harness.WithDigests) under
 	// per_job_digests.
 	PerJobDigests bool
+	// Admission is stamped into the grid section (admission.Config
+	// syntax) so the document records what stood in front of the OSSes.
+	// Empty means always-admit and stays absent from the JSON.
+	Admission string
 }
 
 func (o Options) normalize() Options {
@@ -183,6 +246,7 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 		Grid:          gridOf(res),
 		Cells:         make([]Cell, 0, len(res.Cells)),
 	}
+	doc.Grid.Admission = opt.Admission
 	if doc.Title == "" {
 		doc.Title = "Scenario matrix"
 	}
@@ -197,15 +261,20 @@ func fromMatrix(res *harness.MatrixResult, sums []metrics.Summary, opt Options) 
 	for i := range groups {
 		g := &groups[i]
 		pm := PolicyMean{
-			Scenario:      g.Scenario,
-			Policy:        g.Policy.String(),
-			N:             g.BW.N(),
-			MeanMiBps:     g.BW.Mean(),
-			CIMiBps:       g.BW.CIHalfWidth(opt.CILevel),
-			MeanMakespanS: g.Makespan.Mean(),
-			CIMakespanS:   g.Makespan.CIHalfWidth(opt.CILevel),
+			Scenario:       g.Scenario,
+			Policy:         g.Policy.String(),
+			N:              g.BW.N(),
+			MeanMiBps:      g.BW.Mean(),
+			CIMiBps:        g.BW.CIHalfWidth(opt.CILevel),
+			MeanMakespanS:  g.Makespan.Mean(),
+			CIMakespanS:    g.Makespan.CIHalfWidth(opt.CILevel),
+			MeanGoodputPct: g.Goodput.Mean(),
+			CIGoodputPct:   g.Goodput.CIHalfWidth(opt.CILevel),
 		}
-		if base := harness.NoBWBaseline(groups, g.Scenario); base != nil && g.Policy != sim.NoBW && base.BW.Mean() > 0 {
+		if !g.Faults.IsZero() {
+			pm.Faults = g.Faults.String()
+		}
+		if base := harness.NoBWBaseline(groups, g.Scenario, g.Faults); base != nil && g.Policy != sim.NoBW && base.BW.Mean() > 0 {
 			d := (pm.MeanMiBps - base.BW.Mean()) / base.BW.Mean() * 100
 			pm.VsNoBWPct = &d
 		}
@@ -226,6 +295,9 @@ func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
 		Seed:     cr.Cell.Seed,
 		Backend:  cr.Backend,
 	}
+	if !cr.Cell.Faults.IsZero() {
+		c.Faults = cr.Cell.Faults.String()
+	}
 	if cr.Err != nil {
 		c.Error = cr.Err.Error()
 		return c
@@ -234,6 +306,9 @@ func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
 	c.OverallMiBps = sum.OverallMiBps
 	c.MakespanS = cr.Result.Elapsed.Seconds()
 	c.ServedRPCs = cr.Result.ServedRPCs
+	c.RejectedRPCs = cr.Result.Rejected
+	c.ShedRPCs = cr.Result.Shed
+	c.GoodputPct = cr.Result.GoodputPct()
 	var util float64
 	for i := range cr.Result.DeviceBusy {
 		util += cr.Result.Utilization(i)
@@ -250,7 +325,51 @@ func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
 			}
 		}
 	}
+	c.Starvation = starvationOf(cr.JobDigests)
 	return c
+}
+
+// starvationOf folds per-job digests into the tail-of-tails summary:
+// the distribution over jobs of each job's own p99. Needs at least two
+// jobs with samples — with one job the median IS the max and the
+// section would only restate the cell p99.
+func starvationOf(jds []harness.JobDigest) *Starvation {
+	var tails []float64
+	for _, jd := range jds {
+		if jd.Digest != nil && jd.Digest.N() > 0 {
+			tails = append(tails, us(jd.Digest.Quantile(99)))
+		}
+	}
+	if len(tails) < 2 {
+		return nil
+	}
+	sort.Float64s(tails)
+	// Nearest-rank order statistics over the (small) job population.
+	at := func(q float64) float64 {
+		i := int(q*float64(len(tails))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(tails) {
+			i = len(tails) - 1
+		}
+		return tails[i]
+	}
+	s := &Starvation{
+		Jobs:           len(tails),
+		MedianJobP99US: at(0.50),
+		P99JobP99US:    at(0.99),
+		MaxJobP99US:    tails[len(tails)-1],
+	}
+	if s.MedianJobP99US > 0 {
+		s.StarvationFactor = s.MaxJobP99US / s.MedianJobP99US
+	}
+	for _, t := range tails {
+		if s.MedianJobP99US > 0 && t > StarvationK*s.MedianJobP99US {
+			s.StarvedJobs++
+		}
+	}
+	return s
 }
 
 func latencyOf(d *stats.Digest, includeBuckets bool) *Latency {
@@ -283,8 +402,15 @@ func gridOf(res *harness.MatrixResult) Grid {
 	seenScale := map[int64]bool{}
 	seenOSS := map[int]bool{}
 	seenSeed := map[int64]bool{}
+	seenFault := map[harness.FaultProfile]bool{}
+	anyFault := false
 	for _, cr := range res.Cells {
 		c := cr.Cell
+		if !seenFault[c.Faults] {
+			seenFault[c.Faults] = true
+			g.Faults = append(g.Faults, c.Faults.String())
+			anyFault = anyFault || !c.Faults.IsZero()
+		}
 		if !seenSc[c.Scenario] {
 			seenSc[c.Scenario] = true
 			g.Scenarios = append(g.Scenarios, c.Scenario)
@@ -305,6 +431,11 @@ func gridOf(res *harness.MatrixResult) Grid {
 			seenSeed[c.Seed] = true
 			g.Seeds = append(g.Seeds, c.Seed)
 		}
+	}
+	if !anyFault {
+		// An all-clean grid keeps its pre-fault-axis shape: no faults key
+		// at all beats a ["none"] that every consumer must special-case.
+		g.Faults = nil
 	}
 	return g
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/harness"
 	"adaptbf/internal/sim"
 )
@@ -308,5 +309,72 @@ func TestGIFTScaleStudy(t *testing.T) {
 	}
 	if len(files) < 4 {
 		t.Fatalf("study CSV export wrote only %d files", len(files))
+	}
+}
+
+// TestDocumentAdmissionAndStarvation is the schema-v5 integration shape:
+// a grid run behind a starved token bucket stamps the admission policy
+// into the grid header, per-cell rejected counts and goodput beside
+// every latency, a goodput mean into each policy row, and — when per-job
+// digests were captured — the starvation-tail section per cell. A clean
+// always-admit document keeps the pre-v5 shape (no admission, faults, or
+// rejection fields serialized).
+func TestDocumentAdmissionAndStarvation(t *testing.T) {
+	m := testMatrix()
+	m.Admission = admission.Config{
+		Policy:            admission.PolicyTokenBucket,
+		CapacityBytes:     4 << 20,
+		RefillBytesPerSec: 1 << 20,
+	}
+	res, err := harness.Run(context.Background(), m, harness.WithDigests(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromMatrix(res, Options{Admission: m.Admission.String()})
+	if doc.Grid.Admission != m.Admission.String() {
+		t.Fatalf("grid admission = %q, want %q", doc.Grid.Admission, m.Admission)
+	}
+	if doc.Grid.Faults != nil {
+		t.Fatalf("clean grid grew a fault axis: %v", doc.Grid.Faults)
+	}
+	for _, c := range doc.Cells {
+		if c.RejectedRPCs == 0 {
+			t.Fatalf("cell %s/%s rejected nothing under a starved bucket", c.Scenario, c.Policy)
+		}
+		if c.GoodputPct <= 0 || c.GoodputPct >= 100 {
+			t.Fatalf("cell %s/%s goodput = %.1f%%", c.Scenario, c.Policy, c.GoodputPct)
+		}
+		if c.Faults != "" {
+			t.Fatalf("clean cell carries fault label %q", c.Faults)
+		}
+		// A fully-rejected job has no latency samples and drops out of the
+		// per-job distribution, so 2 is possible under a starved bucket.
+		if c.Starvation == nil || c.Starvation.Jobs < 2 || c.Starvation.MedianJobP99US <= 0 {
+			t.Fatalf("cell %s/%s starvation section: %+v", c.Scenario, c.Policy, c.Starvation)
+		}
+	}
+	for _, pm := range doc.PolicyMeans {
+		if pm.MeanGoodputPct <= 0 || pm.MeanGoodputPct >= 100 {
+			t.Fatalf("policy %s mean goodput = %.1f%%", pm.Policy, pm.MeanGoodputPct)
+		}
+		if pm.Faults != "" {
+			t.Fatalf("clean policy row carries fault label %q", pm.Faults)
+		}
+	}
+
+	// The clean control: no admission fields serialize on an always-admit
+	// run without digests.
+	bare, err := harness.Run(context.Background(), testMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(FromMatrix(bare, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"admission", "rejected_rpcs", "shed_rpcs", "starvation", "faults"} {
+		if bytes.Contains(raw, []byte(`"`+field+`"`)) {
+			t.Fatalf("always-admit document serialized %q", field)
+		}
 	}
 }

@@ -1,0 +1,368 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adaptbf/internal/admission"
+	"adaptbf/internal/experiments"
+	"adaptbf/internal/harness"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/stats"
+)
+
+// SaturationStudyName is the Study kind of the built-in capacity-at-SLO
+// saturation study, and the value the CLI's -study flag accepts.
+const SaturationStudyName = "saturation"
+
+// A SaturationProbe is one probed point of a policy's load ramp: the
+// scenario run at one scale over the seed axis. Statistics are seed-axis
+// (Student-t CIs at the document's CILevel); Breach means the seed-mean
+// p99 exceeded the SLO at this scale.
+type SaturationProbe struct {
+	Scale int64 `json:"scale"`
+	N     int64 `json:"n"` // completed seeds
+
+	P99USMean      float64 `json:"p99_us_mean"`
+	P99USCI        float64 `json:"p99_us_ci"`
+	GoodputPctMean float64 `json:"goodput_pct_mean"`
+	GoodputPctCI   float64 `json:"goodput_pct_ci"`
+	RejectedMean   float64 `json:"rejected_mean"`
+	ShedMean       float64 `json:"shed_mean"`
+	MiBpsMean      float64 `json:"mibps_mean"`
+
+	Breach bool `json:"breach"`
+}
+
+// A SaturationPolicy is one admission policy's finished bisection: the
+// knee — the largest probed scale whose seed-mean p99 still met the SLO
+// — plus the at-knee statistics and every probe the search visited (in
+// ascending scale order), so the whole p99-vs-load curve is in the
+// artifact, not just its knee.
+//
+// CapacityScale 0 means the policy breached the SLO even at scale 1 (no
+// capacity exists under this SLO). Censored means the ramp never
+// breached up to MaxScale: the knee is a lower bound, not a crossing —
+// which is exactly what a shedding policy under an aggressive SLO looks
+// like, and why AtKnee's goodput/rejected figures must be read alongside
+// it (the H5 lesson: a policy can "meet" any latency SLO by refusing the
+// work).
+type SaturationPolicy struct {
+	Admission string `json:"admission"`
+
+	CapacityScale int64 `json:"capacity_scale"`
+	Censored      bool  `json:"censored,omitempty"`
+
+	AtKnee *SaturationProbe  `json:"at_knee,omitempty"`
+	Probes []SaturationProbe `json:"probes"`
+}
+
+// A Saturation is the saturation-study section of a schema-v5 document:
+// per admission policy, where the p99-vs-offered-load curve crosses the
+// SLO, with seed-axis confidence intervals and the goodput/rejected
+// split at the knee.
+type Saturation struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Scenario    string  `json:"scenario"`
+	SLOP99US    float64 `json:"slo_p99_us"`
+	MaxScale    int64   `json:"max_scale"`
+	Seeds       []int64 `json:"seeds"`
+
+	Policies []SaturationPolicy `json:"policies"`
+}
+
+// SaturationStudyOptions parameterizes RunSaturationStudy. The zero
+// value compares all three admission policies (at their defaults) on
+// the saturation-ramp scenario over seeds {1,2,3}, bisecting scales
+// 1..64 against a 100 ms p99 SLO, 60 simulated seconds per cell.
+type SaturationStudyOptions struct {
+	// Admissions are the admission policies to ramp, compared side by
+	// side. Default: always-admit, token-bucket, and deadline-queue at
+	// their package defaults.
+	Admissions []admission.Config
+	// Scenario must interpret Scale as an offered-load multiplier.
+	// Default harness.SaturationRampScenario().
+	Scenario harness.Scenario
+	Policy   sim.Policy    // scheduling policy beside admission; default NoBW
+	Seeds    []int64       // default {1, 2, 3}
+	OSSes    int           // default 1
+	MaxScale int64         // ramp ceiling; default 64
+	SLOP99   time.Duration // the p99 SLO; default 100 ms
+	Duration time.Duration // per-cell simulated-time cap; default 60 s
+
+	Workers int
+	CILevel float64 // default harness.DefaultCILevel
+	// OnCell observes every finished probe cell.
+	OnCell func(harness.CellResult)
+}
+
+func (o SaturationStudyOptions) normalize() SaturationStudyOptions {
+	if len(o.Admissions) == 0 {
+		o.Admissions = []admission.Config{
+			{},
+			{Policy: admission.PolicyTokenBucket},
+			{Policy: admission.PolicyDeadlineQueue},
+		}
+	}
+	if o.Scenario.Jobs == nil {
+		o.Scenario = harness.SaturationRampScenario()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2, 3}
+	}
+	if o.OSSes < 1 {
+		o.OSSes = 1
+	}
+	if o.MaxScale < 1 {
+		o.MaxScale = 64
+	}
+	if o.SLOP99 <= 0 {
+		o.SLOP99 = 100 * time.Millisecond
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Minute
+	}
+	if o.CILevel <= 0 || o.CILevel >= 1 {
+		o.CILevel = harness.DefaultCILevel
+	}
+	return o
+}
+
+// A SaturationStudy is a finished capacity-at-SLO bisection: the
+// schema-v5 document (Saturation section filled) and the renderable/
+// CSV-exportable report.
+type SaturationStudy struct {
+	Document *Document
+	Report   *experiments.Report
+}
+
+// RunSaturationStudy finds, per admission policy, the capacity-at-SLO
+// knee: the largest offered-load multiple at which the seed-mean p99
+// still meets the SLO. The ramp doubles the scale until the SLO breaks
+// (or MaxScale censors the search), then binary-searches the open
+// interval for the exact knee — every probe is a deterministic sim grid
+// over the seed axis, so the whole study is reproducible. Each probe
+// and knee reports goodput and rejected/shed counts beside its p99: a
+// shedding policy buys its flat tail by refusing work, and a capacity
+// claim that hides that is the H5 trap this study exists to avoid.
+func RunSaturationStudy(opt SaturationStudyOptions) (*SaturationStudy, error) {
+	opt = opt.normalize()
+	for i, cfg := range opt.Admissions {
+		if err := opt.Admissions[i].Validate(); err != nil {
+			return nil, fmt.Errorf("saturation: admission %q: %w", cfg.String(), err)
+		}
+	}
+
+	sat := &Saturation{
+		Name: SaturationStudyName,
+		Description: "Capacity-at-SLO bisection: per admission policy, the scale axis (an " +
+			"offered-load multiplier in this scenario) is ramped and bisected for the knee " +
+			"where the seed-mean p99 first exceeds slo_p99_us. capacity_scale is the largest " +
+			"probed scale meeting the SLO (0 = breached even at scale 1; censored = never " +
+			"breached up to max_scale, a lower bound). Goodput and rejected/shed ride beside " +
+			"every p99 because an admission policy can meet any latency SLO by refusing the " +
+			"work; a capacity claim is the pair, never the latency alone.",
+		Scenario: opt.Scenario.Name,
+		SLOP99US: float64(opt.SLOP99.Nanoseconds()) / 1e3,
+		MaxScale: opt.MaxScale,
+		Seeds:    opt.Seeds,
+	}
+
+	probesTable := experiments.Table{
+		Name: "saturation-probes",
+		Header: []string{"admission", "scale", "n", "p99 (µs)", "±CI",
+			"goodput %", "rej mean", "shed mean", "MiB/s", "SLO"},
+	}
+	kneeTable := experiments.Table{
+		Name: "saturation-capacity",
+		Header: []string{"admission", "capacity scale", "censored",
+			"p99@knee (µs)", "±CI", "goodput@knee %", "rej@knee", "shed@knee"},
+	}
+
+	for _, adm := range opt.Admissions {
+		pol, err := rampPolicy(adm, opt)
+		if err != nil {
+			return nil, err
+		}
+		sat.Policies = append(sat.Policies, pol)
+
+		for _, p := range pol.Probes {
+			slo := "ok"
+			if p.Breach {
+				slo = "BREACH"
+			}
+			probesTable.Rows = append(probesTable.Rows, []string{
+				pol.Admission, fmt.Sprintf("%d", p.Scale), fmt.Sprintf("%d", p.N),
+				fmt.Sprintf("%.1f", p.P99USMean), fmt.Sprintf("%.1f", p.P99USCI),
+				fmt.Sprintf("%.1f", p.GoodputPctMean),
+				fmt.Sprintf("%.1f", p.RejectedMean), fmt.Sprintf("%.1f", p.ShedMean),
+				fmt.Sprintf("%.1f", p.MiBpsMean), slo,
+			})
+		}
+		row := []string{pol.Admission, fmt.Sprintf("%d", pol.CapacityScale),
+			fmt.Sprintf("%v", pol.Censored)}
+		if k := pol.AtKnee; k != nil {
+			row = append(row,
+				fmt.Sprintf("%.1f", k.P99USMean), fmt.Sprintf("%.1f", k.P99USCI),
+				fmt.Sprintf("%.1f", k.GoodputPctMean),
+				fmt.Sprintf("%.1f", k.RejectedMean), fmt.Sprintf("%.1f", k.ShedMean))
+		} else {
+			row = append(row, "-", "-", "-", "-", "-")
+		}
+		kneeTable.Rows = append(kneeTable.Rows, row)
+	}
+
+	doc := &Document{
+		SchemaVersion: SchemaVersion,
+		Generator:     "adaptbf",
+		Kind:          SaturationStudyName,
+		Title:         "Admission-policy saturation study (capacity at SLO)",
+		CILevel:       opt.CILevel,
+		Saturation:    sat,
+	}
+	rep := &experiments.Report{
+		ID:     SaturationStudyName,
+		Title:  doc.Title,
+		Tables: []experiments.Table{kneeTable, probesTable},
+	}
+	return &SaturationStudy{Document: doc, Report: rep}, nil
+}
+
+// rampPolicy runs one admission policy's exponential ramp + bisection.
+func rampPolicy(adm admission.Config, opt SaturationStudyOptions) (SaturationPolicy, error) {
+	pol := SaturationPolicy{Admission: adm.String()}
+	cache := map[int64]*SaturationProbe{}
+	probe := func(scale int64) (*SaturationProbe, error) {
+		if p, ok := cache[scale]; ok {
+			return p, nil
+		}
+		p, err := runProbe(adm, scale, opt)
+		if err != nil {
+			return nil, err
+		}
+		cache[scale] = p
+		return p, nil
+	}
+
+	// Exponential ramp: 1, 2, 4, ... until the SLO breaks or MaxScale
+	// censors the search.
+	var lastGood, firstBad int64
+	for scale := int64(1); ; scale *= 2 {
+		if scale > opt.MaxScale {
+			scale = opt.MaxScale
+		}
+		p, err := probe(scale)
+		if err != nil {
+			return pol, err
+		}
+		if p.Breach {
+			firstBad = scale
+			break
+		}
+		lastGood = scale
+		if scale == opt.MaxScale {
+			break
+		}
+	}
+
+	switch {
+	case firstBad == 0:
+		// Never breached: the knee is censored at the ramp ceiling.
+		pol.CapacityScale = opt.MaxScale
+		pol.Censored = true
+	case lastGood == 0:
+		// Breached at scale 1: no capacity under this SLO.
+		pol.CapacityScale = 0
+	default:
+		// Binary search the open interval (lastGood, firstBad) for the
+		// true knee.
+		for lo, hi := lastGood, firstBad; hi-lo > 1; {
+			mid := lo + (hi-lo)/2
+			p, err := probe(mid)
+			if err != nil {
+				return pol, err
+			}
+			if p.Breach {
+				hi = mid
+			} else {
+				lo = mid
+			}
+			lastGood = lo
+		}
+		pol.CapacityScale = lastGood
+	}
+
+	scales := make([]int64, 0, len(cache))
+	for s := range cache {
+		scales = append(scales, s)
+	}
+	// Ascending-scale probe order keeps the document deterministic.
+	for i := 0; i < len(scales); i++ {
+		for j := i + 1; j < len(scales); j++ {
+			if scales[j] < scales[i] {
+				scales[i], scales[j] = scales[j], scales[i]
+			}
+		}
+	}
+	for _, s := range scales {
+		pol.Probes = append(pol.Probes, *cache[s])
+	}
+	if pol.CapacityScale > 0 {
+		if p, ok := cache[pol.CapacityScale]; ok {
+			knee := *p
+			pol.AtKnee = &knee
+		}
+	}
+	return pol, nil
+}
+
+// runProbe executes one (admission, scale) point over the seed axis on
+// the deterministic sim backend and folds the seed statistics.
+func runProbe(adm admission.Config, scale int64, opt SaturationStudyOptions) (*SaturationProbe, error) {
+	m := harness.Matrix{
+		Scenarios: []harness.Scenario{opt.Scenario},
+		Policies:  []sim.Policy{opt.Policy},
+		Scales:    []int64{scale},
+		OSSes:     []int{opt.OSSes},
+		Seeds:     opt.Seeds,
+		Duration:  opt.Duration,
+		Admission: adm,
+	}
+	res, err := harness.Run(context.Background(), m,
+		harness.WithWorkers(opt.Workers), harness.WithProgress(opt.OnCell))
+	if res == nil {
+		return nil, fmt.Errorf("saturation: probe %s scale %d: %w", adm.String(), scale, err)
+	}
+	sums := res.Summaries()
+	var p99, goodput, rejected, shed, mibps stats.Moments
+	for i, cr := range res.Cells {
+		if cr.Err != nil {
+			continue
+		}
+		if d := cr.LatencyDigest; d != nil && d.N() > 0 {
+			p99.Add(float64(d.Quantile(99).Nanoseconds()) / 1e3)
+		}
+		goodput.Add(cr.Result.GoodputPct())
+		rejected.Add(float64(cr.Result.Rejected))
+		shed.Add(float64(cr.Result.Shed))
+		mibps.Add(sums[i].OverallMiBps)
+	}
+	if p99.N() == 0 {
+		return nil, fmt.Errorf("saturation: probe %s scale %d produced no latency samples (%w)", adm.String(), scale, err)
+	}
+	p := &SaturationProbe{
+		Scale:          scale,
+		N:              p99.N(),
+		P99USMean:      p99.Mean(),
+		P99USCI:        p99.CIHalfWidth(opt.CILevel),
+		GoodputPctMean: goodput.Mean(),
+		GoodputPctCI:   goodput.CIHalfWidth(opt.CILevel),
+		RejectedMean:   rejected.Mean(),
+		ShedMean:       shed.Mean(),
+		MiBpsMean:      mibps.Mean(),
+		Breach:         p99.Mean() > float64(opt.SLOP99.Nanoseconds())/1e3,
+	}
+	return p, nil
+}

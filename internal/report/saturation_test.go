@@ -1,0 +1,235 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptbf/internal/admission"
+	"adaptbf/internal/harness"
+	"adaptbf/internal/stats"
+)
+
+// fastSaturationOptions keeps a study cheap: one seed, a short simulated
+// window, a small ramp ceiling.
+func fastSaturationOptions() SaturationStudyOptions {
+	return SaturationStudyOptions{
+		Admissions: []admission.Config{{}},
+		Seeds:      []int64{1},
+		MaxScale:   4,
+		Duration:   5 * time.Second,
+	}
+}
+
+// TestSaturationStudyCensored: an SLO no simulated workload can breach
+// censors the bisection at the ramp ceiling — capacity is a lower
+// bound, the flag says so, and the exponential ramp probed exactly
+// 1, 2, 4 (ascending, no bisection needed).
+func TestSaturationStudyCensored(t *testing.T) {
+	opt := fastSaturationOptions()
+	opt.SLOP99 = time.Hour
+	st, err := RunSaturationStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := st.Document
+	if doc.SchemaVersion != SchemaVersion || doc.Kind != SaturationStudyName {
+		t.Fatalf("document header: schema %d kind %q", doc.SchemaVersion, doc.Kind)
+	}
+	if doc.Saturation == nil || len(doc.Saturation.Policies) != 1 {
+		t.Fatalf("saturation section: %+v", doc.Saturation)
+	}
+	pol := doc.Saturation.Policies[0]
+	if pol.Admission != "always" {
+		t.Fatalf("policy label %q", pol.Admission)
+	}
+	if !pol.Censored || pol.CapacityScale != 4 {
+		t.Fatalf("unbreachable SLO: capacity %d censored %v, want 4 censored", pol.CapacityScale, pol.Censored)
+	}
+	wantScales := []int64{1, 2, 4}
+	if len(pol.Probes) != len(wantScales) {
+		t.Fatalf("probed %d scales, want %v", len(pol.Probes), wantScales)
+	}
+	for i, p := range pol.Probes {
+		if p.Scale != wantScales[i] {
+			t.Fatalf("probe %d at scale %d, want %d", i, p.Scale, wantScales[i])
+		}
+		if p.Breach {
+			t.Fatalf("scale %d breached a 1h SLO", p.Scale)
+		}
+		if p.N != 1 || p.P99USMean <= 0 {
+			t.Fatalf("probe %d stats: n=%d p99=%f", i, p.N, p.P99USMean)
+		}
+		if p.GoodputPctMean != 100 || p.RejectedMean != 0 || p.ShedMean != 0 {
+			t.Fatalf("always-admit probe refused work: %+v", p)
+		}
+	}
+	if pol.AtKnee == nil || pol.AtKnee.Scale != 4 {
+		t.Fatalf("at-knee: %+v", pol.AtKnee)
+	}
+}
+
+// TestSaturationStudyNoCapacity: an SLO nothing can meet breaches at
+// scale 1 — capacity 0, no knee stats, exactly one probe.
+func TestSaturationStudyNoCapacity(t *testing.T) {
+	opt := fastSaturationOptions()
+	opt.SLOP99 = time.Nanosecond
+	st, err := RunSaturationStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := st.Document.Saturation.Policies[0]
+	if pol.CapacityScale != 0 || pol.Censored {
+		t.Fatalf("unmeetable SLO: capacity %d censored %v, want 0 uncensored", pol.CapacityScale, pol.Censored)
+	}
+	if pol.AtKnee != nil {
+		t.Fatalf("no capacity, but knee stats present: %+v", pol.AtKnee)
+	}
+	if len(pol.Probes) != 1 || pol.Probes[0].Scale != 1 || !pol.Probes[0].Breach {
+		t.Fatalf("probes: %+v", pol.Probes)
+	}
+}
+
+// TestSaturationStudyBisectionInvariants runs a real multi-policy
+// bisection against a mid-range SLO and checks the properties that hold
+// wherever the knee lands: probes ascend, the knee probe meets the SLO,
+// an uncensored knee has a breaching probe above it, and the document
+// round-trips through JSON with its v5 section intact — the acceptance
+// shape for -study saturation.
+func TestSaturationStudyBisectionInvariants(t *testing.T) {
+	opt := fastSaturationOptions()
+	opt.MaxScale = 8
+	opt.SLOP99 = 4 * time.Millisecond
+	opt.Admissions = []admission.Config{
+		{},
+		{Policy: admission.PolicyDeadlineQueue, QueueLimit: 512, Deadline: 2 * time.Millisecond},
+	}
+	st, err := RunSaturationStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := st.Document.Saturation
+	if got := sat.SLOP99US; got != 4000 {
+		t.Fatalf("slo_p99_us = %f, want 4000", got)
+	}
+	if len(sat.Policies) != 2 {
+		t.Fatalf("policies: %d", len(sat.Policies))
+	}
+	for _, pol := range sat.Policies {
+		if pol.CapacityScale < 0 || pol.CapacityScale > opt.MaxScale {
+			t.Fatalf("%s: capacity %d outside [0, %d]", pol.Admission, pol.CapacityScale, opt.MaxScale)
+		}
+		var kneeProbe *SaturationProbe
+		var breachAbove bool
+		for i := range pol.Probes {
+			p := &pol.Probes[i]
+			if i > 0 && p.Scale <= pol.Probes[i-1].Scale {
+				t.Fatalf("%s: probes out of order at %d", pol.Admission, i)
+			}
+			if p.Scale == pol.CapacityScale {
+				kneeProbe = p
+			}
+			if p.Scale > pol.CapacityScale && p.Breach {
+				breachAbove = true
+			}
+			if p.GoodputPctMean < 0 || p.GoodputPctMean > 100 {
+				t.Fatalf("%s scale %d: goodput %.1f%%", pol.Admission, p.Scale, p.GoodputPctMean)
+			}
+		}
+		switch {
+		case pol.CapacityScale == 0:
+			if pol.AtKnee != nil {
+				t.Fatalf("%s: capacity 0 with knee stats", pol.Admission)
+			}
+		default:
+			if kneeProbe == nil || kneeProbe.Breach {
+				t.Fatalf("%s: knee probe missing or breaching: %+v", pol.Admission, kneeProbe)
+			}
+			if pol.AtKnee == nil || pol.AtKnee.Scale != pol.CapacityScale {
+				t.Fatalf("%s: at-knee stats missing: %+v", pol.Admission, pol.AtKnee)
+			}
+			if !pol.Censored && !breachAbove {
+				t.Fatalf("%s: uncensored knee %d with no breaching probe above it", pol.Admission, pol.CapacityScale)
+			}
+		}
+	}
+	// The knee and probe tables render one row per policy / per probe.
+	if len(st.Report.Tables) != 2 {
+		t.Fatalf("tables: %d", len(st.Report.Tables))
+	}
+	if got := len(st.Report.Tables[0].Rows); got != 2 {
+		t.Fatalf("capacity table rows: %d", got)
+	}
+
+	// JSON round-trip: the artifact CI consumes.
+	path := filepath.Join(t.TempDir(), "saturation.json")
+	if err := st.Document.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Kind != SaturationStudyName ||
+		back.Saturation == nil || len(back.Saturation.Policies) != 2 {
+		t.Fatalf("round-tripped document lost its saturation section: %+v", back.Saturation)
+	}
+}
+
+// TestStarvationOf pins the per-job tail analysis: six jobs where one
+// job's p99 sits 10× over the median is one starved job, with the
+// factor and percentile fields tracking the inputs.
+func TestStarvationOf(t *testing.T) {
+	mk := func(job string, lat time.Duration) harness.JobDigest {
+		d := &stats.Digest{}
+		for i := 0; i < 100; i++ {
+			d.Add(lat)
+		}
+		return harness.JobDigest{Job: job, Digest: d}
+	}
+	jds := []harness.JobDigest{
+		mk("a", time.Millisecond), mk("b", time.Millisecond), mk("c", time.Millisecond),
+		mk("d", time.Millisecond), mk("e", time.Millisecond),
+		mk("tail", 10*time.Millisecond),
+	}
+	s := starvationOf(jds)
+	if s == nil {
+		t.Fatal("no starvation section for 6 jobs")
+	}
+	if s.Jobs != 6 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+	if s.StarvedJobs != 1 {
+		t.Fatalf("starved = %d, want 1 (tail is 10× median, K = %v)", s.StarvedJobs, StarvationK)
+	}
+	// Digest bucketing is approximate; accept a loose band around the
+	// exact values.
+	if s.MedianJobP99US < 800 || s.MedianJobP99US > 1300 {
+		t.Fatalf("median job p99 = %.0fµs, want ~1000", s.MedianJobP99US)
+	}
+	if s.MaxJobP99US < 8000 || s.MaxJobP99US > 13000 {
+		t.Fatalf("max job p99 = %.0fµs, want ~10000", s.MaxJobP99US)
+	}
+	if s.StarvationFactor < 7 || s.StarvationFactor > 14 {
+		t.Fatalf("starvation factor = %.1f, want ~10", s.StarvationFactor)
+	}
+	if s.P99JobP99US < s.MedianJobP99US || s.P99JobP99US > s.MaxJobP99US {
+		t.Fatalf("p99-of-p99s %.0f outside [median %.0f, max %.0f]",
+			s.P99JobP99US, s.MedianJobP99US, s.MaxJobP99US)
+	}
+
+	// Fewer than two jobs: no distribution to analyze.
+	if starvationOf(jds[:1]) != nil || starvationOf(nil) != nil {
+		t.Fatal("starvation section produced for <2 jobs")
+	}
+	// A uniform mix starves nobody.
+	if u := starvationOf(jds[:5]); u == nil || u.StarvedJobs != 0 {
+		t.Fatalf("uniform jobs: %+v", u)
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"adaptbf/internal/admission"
+	"adaptbf/internal/workload"
+)
+
+// TestAlwaysAdmitIsBitIdentical pins the zero-cost default: an explicit
+// always-admit config must produce the exact same result as no
+// admission config at all (the seam is a nil check, nothing more).
+func TestAlwaysAdmitIsBitIdentical(t *testing.T) {
+	base, err := Run(smallScenario(AdapTBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallScenario(AdapTBF)
+	cfg.Admission = admission.Config{Policy: admission.PolicyAlways}
+	withAlways, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Elapsed != withAlways.Elapsed || base.ServedRPCs != withAlways.ServedRPCs ||
+		base.Timeline.GrandTotalBytes() != withAlways.Timeline.GrandTotalBytes() {
+		t.Fatalf("always-admit drifted from no-admission: elapsed %v vs %v, served %d vs %d",
+			base.Elapsed, withAlways.Elapsed, base.ServedRPCs, withAlways.ServedRPCs)
+	}
+	if base.Rejected != 0 || base.Shed != 0 || withAlways.Rejected != 0 || withAlways.Shed != 0 {
+		t.Fatalf("always-admit rejected/shed work: %d/%d and %d/%d",
+			base.Rejected, base.Shed, withAlways.Rejected, withAlways.Shed)
+	}
+	if base.GoodputBytes != base.OfferedBytes {
+		t.Fatalf("always-admit goodput %d != offered %d on a completed run",
+			base.GoodputBytes, base.OfferedBytes)
+	}
+	if pct := base.GoodputPct(); pct != 100 {
+		t.Fatalf("always-admit goodput = %.2f%%, want 100", pct)
+	}
+}
+
+// TestTokenBucketRejectsBeyondRefill drives far more bytes than a tiny
+// token bucket refills and checks the overflow is rejected on arrival —
+// with the accounting invariant that offered splits exactly into
+// goodput plus rejected/shed payloads once the run completes.
+func TestTokenBucketRejectsBeyondRefill(t *testing.T) {
+	cfg := smallScenario(NoBW)
+	cfg.Admission = admission.Config{
+		Policy:            admission.PolicyTokenBucket,
+		CapacityBytes:     4 * mib,
+		RefillBytesPerSec: 8 * mib,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("workload did not finish (rejected RPCs must still unblock their process)")
+	}
+	if res.Rejected == 0 {
+		t.Fatal("a 4 MiB / 8 MiB/s bucket under ~96 MiB/s of demand rejected nothing")
+	}
+	if res.Shed != 0 {
+		t.Fatalf("token bucket never sheds (arrival-time policy), got %d", res.Shed)
+	}
+	rejectedBytes := int64(res.Rejected) * mib // smallScenario issues 1 MiB RPCs
+	if res.OfferedBytes != res.GoodputBytes+rejectedBytes {
+		t.Fatalf("offered %d != goodput %d + rejected payload %d",
+			res.OfferedBytes, res.GoodputBytes, rejectedBytes)
+	}
+	// Excluded-from-throughput check: the timeline only saw served bytes.
+	if res.Timeline.GrandTotalBytes() != res.GoodputBytes {
+		t.Fatalf("timeline total %d != goodput %d (rejected work leaked into throughput)",
+			res.Timeline.GrandTotalBytes(), res.GoodputBytes)
+	}
+	if res.GoodputPct() >= 99 {
+		t.Fatalf("goodput %.1f%% too high for a starved bucket", res.GoodputPct())
+	}
+	// Latency digests must only contain served RPCs.
+	var latencyN uint64
+	for _, job := range []string{"small.h1", "large.h2"} {
+		latencyN += uint64(res.Latencies.Count(job))
+	}
+	if latencyN != res.ServedRPCs {
+		t.Fatalf("latency samples %d != served RPCs %d (rejected RPCs leaked into latency)",
+			latencyN, res.ServedRPCs)
+	}
+}
+
+// TestDeadlineQueueShedsStaleRequests queues work behind a saturated
+// device with a queueing deadline shorter than the wait and checks the
+// stale requests are shed at dispatch, not served late.
+func TestDeadlineQueueShedsStaleRequests(t *testing.T) {
+	cfg := smallScenario(NoBW)
+	cfg.Admission = admission.Config{
+		Policy:     admission.PolicyDeadlineQueue,
+		QueueLimit: 10_000, // bound never hit: isolate the deadline path
+		Deadline:   500 * time.Microsecond,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("workload did not finish (shed RPCs must still unblock their process)")
+	}
+	if res.Shed == 0 {
+		t.Fatal("a 500µs deadline behind a ~2ms-per-RPC device shed nothing")
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("queue bound of 10000 should never reject, got %d", res.Rejected)
+	}
+	droppedBytes := int64(res.Shed) * mib
+	if res.OfferedBytes != res.GoodputBytes+droppedBytes {
+		t.Fatalf("offered %d != goodput %d + shed payload %d",
+			res.OfferedBytes, res.GoodputBytes, droppedBytes)
+	}
+	if res.Timeline.GrandTotalBytes() != res.GoodputBytes {
+		t.Fatalf("timeline total %d != goodput %d (shed work leaked into throughput)",
+			res.Timeline.GrandTotalBytes(), res.GoodputBytes)
+	}
+}
+
+// TestDeadlineQueueBoundRejects shrinks the queue bound instead and
+// checks arrivals beyond it are refused on arrival.
+func TestDeadlineQueueBoundRejects(t *testing.T) {
+	cfg := smallScenario(NoBW)
+	cfg.Admission = admission.Config{
+		Policy:     admission.PolicyDeadlineQueue,
+		QueueLimit: 2,
+		Deadline:   time.Hour, // deadline never fires: isolate the bound path
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("workload did not finish")
+	}
+	if res.Rejected == 0 {
+		t.Fatal("a 2-deep queue bound under 8 concurrent streams rejected nothing")
+	}
+	if res.Shed != 0 {
+		t.Fatalf("1h deadline should never shed, got %d", res.Shed)
+	}
+}
+
+// TestAdmissionDeterminism pins that admission-bearing runs stay
+// bit-for-bit reproducible: same config, same counters.
+func TestAdmissionDeterminism(t *testing.T) {
+	cfg := Config{
+		Policy: SFQ,
+		Jobs: []workload.Job{
+			workload.Continuous("a.h1", 1, 4, 32*mib),
+			workload.Continuous("b.h2", 3, 4, 32*mib),
+		},
+		Admission: admission.Config{
+			Policy:     admission.PolicyDeadlineQueue,
+			QueueLimit: 8,
+			Deadline:   2 * time.Millisecond,
+		},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScratch(cfg, NewScratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rejected != b.Rejected || a.Shed != b.Shed ||
+		a.OfferedBytes != b.OfferedBytes || a.GoodputBytes != b.GoodputBytes ||
+		a.Elapsed != b.Elapsed {
+		t.Fatalf("admission run not deterministic:\n run A: rej=%d shed=%d off=%d good=%d elapsed=%v\n run B: rej=%d shed=%d off=%d good=%d elapsed=%v",
+			a.Rejected, a.Shed, a.OfferedBytes, a.GoodputBytes, a.Elapsed,
+			b.Rejected, b.Shed, b.OfferedBytes, b.GoodputBytes, b.Elapsed)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"time"
 
+	"adaptbf/internal/admission"
 	"adaptbf/internal/controller"
 	"adaptbf/internal/core"
 	"adaptbf/internal/des"
@@ -122,6 +123,11 @@ type Config struct {
 	// SFQDepth is the dispatch depth D for the SFQ policy. Defaults to 1
 	// (the device model serves one request at a time).
 	SFQDepth int
+	// Admission selects the overload-protection policy in front of each
+	// OST (package admission). The zero value is always-admit: the
+	// admission seam is skipped entirely and the simulation is
+	// bit-identical to one without the field.
+	Admission admission.Config
 }
 
 // MaxDuration caps bounded scenarios that fail to converge (e.g. a
@@ -169,6 +175,27 @@ type Result struct {
 	DeviceBusy []time.Duration // per-OST busy time
 	ServedRPCs uint64          // RPCs served across OSTs
 	Events     uint64          // DES events processed (perf tracking, not part of any fingerprint)
+
+	// Admission accounting (all zero under always-admit). Rejected
+	// counts RPCs refused on arrival; Shed counts RPCs admitted with a
+	// queueing deadline and dropped at dispatch after it expired.
+	// Rejected/shed RPCs are excluded from the Timeline, the latency
+	// recorder, and ServedRPCs — but included in OfferedBytes, so a
+	// policy cannot "improve" latency by shedding without the loss
+	// showing up in goodput (the H5 lesson).
+	Rejected     uint64
+	Shed         uint64
+	OfferedBytes int64 // payload bytes of every RPC that reached an OST
+	GoodputBytes int64 // payload bytes of RPCs actually served
+}
+
+// GoodputPct is the served fraction of offered bytes, in percent. An
+// idle run (nothing offered) reports 100: nothing was refused.
+func (r *Result) GoodputPct() float64 {
+	if r.OfferedBytes <= 0 {
+		return 100
+	}
+	return 100 * float64(r.GoodputBytes) / float64(r.OfferedBytes)
 }
 
 // Utilization reports the fraction of the makespan OST i spent busy.
@@ -227,6 +254,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.SFQDepth < 0 {
 		return out, fmt.Errorf("sim: negative SFQDepth")
+	}
+	if err := out.Admission.Validate(); err != nil {
+		return out, err
 	}
 	unbounded := false
 	for _, j := range out.Jobs {
@@ -344,6 +374,7 @@ type ostState struct {
 	dev      device.Device
 	tracker  jobstats.Tracker
 	ctrl     *controller.Controller
+	adm      admission.Admitter // nil under always-admit (the common case)
 
 	busy bool
 	// Wake bookkeeping: at most one wake event is live per OST. wakeAt is
@@ -368,6 +399,9 @@ type rpcToken struct {
 	req      tbf.Request
 	proc     *procState
 	issuedAt int64
+	// admitDeadline is the admission layer's queueing deadline (0 =
+	// none): a request still queued past it is shed at dispatch time.
+	admitDeadline int64
 }
 
 func (s *simulation) getToken() *rpcToken {
@@ -382,6 +416,7 @@ func (s *simulation) getToken() *rpcToken {
 func (s *simulation) putToken(tok *rpcToken) {
 	tok.proc = nil
 	tok.req = tbf.Request{}
+	tok.admitDeadline = 0
 	s.scratch.tokens = append(s.scratch.tokens, tok)
 }
 
@@ -442,6 +477,7 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 		o.idx = i
 		o.dev = *device.New(c.Device)
 		o.backlogBuf = make(map[string]int)
+		o.adm = c.Admission.New()
 		o.tracker.SetJobs(s.jobIDs)
 		if c.Policy == SFQ {
 			q := sfq.New(c.SFQDepth, func(jobID string) float64 {
@@ -802,9 +838,29 @@ func (p *procState) finishProc() {
 
 // ---- server side ----
 
-// arrive lands a request at the OST after the network delay.
+// arrive lands a request at the OST after the network delay. The
+// admission seam sits here, before the request touches the tracker or
+// the gate: a rejected request leaves no trace in demand accounting,
+// the timeline, or the latency recorder — only in the offered/rejected
+// counters — and its reply still pays the return network delay, exactly
+// like a served one.
 func (o *ostState) arrive(req *tbf.Request) {
-	now := o.sim.loop.Now()
+	s := o.sim
+	now := s.loop.Now()
+	s.res.OfferedBytes += req.Bytes
+	if o.adm != nil {
+		tok := req.Userdata.(*rpcToken)
+		d := o.adm.Admit(admission.Request{Job: req.JobID, Bytes: req.Bytes, Queued: o.gate.Pending()}, now)
+		switch d.Action {
+		case admission.Reject:
+			s.res.Rejected++
+			s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
+			s.putToken(tok)
+			return
+		case admission.Enqueue:
+			tok.admitDeadline = d.Deadline
+		}
+	}
 	o.tracker.ObserveIdx(int(req.Job), req.Bytes)
 	if o.outstanding[req.Stream] == 0 {
 		o.activeStreams++
@@ -824,27 +880,51 @@ func (o *ostState) kick() {
 	if o.busy {
 		return
 	}
-	now := o.sim.loop.Now()
-	req, wake, ok := o.gate.Dequeue(now)
-	if !ok {
-		if wake == tbf.InfiniteDeadline {
+	s := o.sim
+	now := s.loop.Now()
+	for {
+		req, wake, ok := o.gate.Dequeue(now)
+		if !ok {
+			if wake == tbf.InfiniteDeadline {
+				return
+			}
+			if o.wakeAt != 0 && o.wakeAt <= wake && o.wakeAt > now {
+				return // an earlier (still pending) wake already covers this
+			}
+			o.wakeGen++
+			o.wakeAt = wake
+			s.loop.AtCall(wake, s.wakeFn, o, o.wakeGen)
 			return
 		}
-		if o.wakeAt != 0 && o.wakeAt <= wake && o.wakeAt > now {
-			return // an earlier (still pending) wake already covers this
+		tok := req.Userdata.(*rpcToken)
+		// Lazy deadline shedding (admission.Enqueue decisions): a request
+		// that waited past its queueing deadline is dropped here — never
+		// served late — and its reply goes straight back to the client.
+		// The loop then pulls the next candidate for the idle device.
+		if tok.admitDeadline != 0 && now > tok.admitDeadline {
+			s.res.Shed++
+			if o.onServed != nil {
+				o.onServed() // frees the SFQ dispatch slot
+			}
+			if n := o.outstanding[req.Stream] - 1; n >= 0 {
+				o.outstanding[req.Stream] = n
+				if n == 0 {
+					o.activeStreams--
+				}
+			}
+			s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
+			s.putToken(tok)
+			continue
 		}
-		o.wakeGen++
-		o.wakeAt = wake
-		o.sim.loop.AtCall(wake, o.sim.wakeFn, o, o.wakeGen)
+		if o.wakeAt != 0 {
+			o.wakeGen++ // strand the armed wake; completion will re-kick
+			o.wakeAt = 0
+		}
+		o.busy = true
+		st := o.dev.ServiceTime(req.Bytes, req.Stream, o.activeStreams)
+		s.loop.AfterCall(st, s.serveFn, tok, int64(o.idx))
 		return
 	}
-	if o.wakeAt != 0 {
-		o.wakeGen++ // strand the armed wake; completion will re-kick
-		o.wakeAt = 0
-	}
-	o.busy = true
-	st := o.dev.ServiceTime(req.Bytes, req.Stream, o.activeStreams)
-	o.sim.loop.AfterCall(st, o.sim.serveFn, req.Userdata.(*rpcToken), int64(o.idx))
 }
 
 // complete finishes a request: accounts it, replies to the client, and
@@ -857,6 +937,7 @@ func (o *ostState) complete(tok *rpcToken) {
 		o.onServed() // frees the SFQ dispatch slot
 	}
 	job := int(tok.req.Job)
+	s.res.GoodputBytes += tok.req.Bytes
 	s.res.Timeline.RecordIdx(job, now, tok.req.Bytes)
 	if n := o.outstanding[tok.req.Stream] - 1; n >= 0 {
 		o.outstanding[tok.req.Stream] = n

@@ -305,6 +305,13 @@ func (r *Redialer) CallCtx(ctx context.Context, req Request) (Reply, error) {
 			if errors.As(err, &remote) {
 				return rep, err // the server answered; retrying cannot help
 			}
+			var rejected *RejectedError
+			if errors.As(err, &rejected) {
+				// Admission control declined the request — a definitive
+				// answer from a healthy server. Retrying is exactly the
+				// load it is shedding.
+				return rep, err
+			}
 		}
 		if ctx.Err() != nil {
 			return rep, err

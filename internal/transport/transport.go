@@ -52,6 +52,16 @@ type Reply struct {
 	Bytes int64  // bytes transferred
 	Err   string // empty on success
 
+	// Reject, when non-zero, marks an admission-control outcome: the
+	// server refused (RejectRefused) or shed (RejectShed) the request
+	// instead of serving it. It is NOT a failure — the server is healthy
+	// and answered definitively — so CallCtx surfaces it as a typed
+	// *RejectedError that retry loops must treat as terminal: retrying
+	// would defeat the overload protection the rejection implements.
+	// Gob-compatible: old peers never set it (decoded as 0) and ignore
+	// it when present.
+	Reject uint8
+
 	// Payload is the control-plane response counterpart of
 	// Request.Payload (nil on storage RPCs).
 	Payload []byte
@@ -88,6 +98,33 @@ var DefaultCallTimeout = 2 * time.Minute
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// Reply.Reject values.
+const (
+	// RejectRefused: the admission layer refused the request on arrival
+	// (token bucket empty, queue bound hit); it never entered the queue.
+	RejectRefused uint8 = 1
+	// RejectShed: the request was admitted with a queueing deadline and
+	// shed at dispatch time after the deadline expired unserved.
+	RejectShed uint8 = 2
+)
+
+// A RejectedError reports that the server's admission layer declined
+// the request — a definitive, healthy answer, not a transport or server
+// failure. It must never be retried: the server is telling the caller
+// it is overloaded, and a retry is exactly the load it is shedding.
+type RejectedError struct {
+	// Shed is true when the request was admitted then shed past its
+	// queueing deadline, false when it was refused on arrival.
+	Shed bool
+}
+
+func (e *RejectedError) Error() string {
+	if e.Shed {
+		return "transport: request shed past its admission deadline"
+	}
+	return "transport: request rejected by admission control"
+}
 
 // A Caller issues request/reply RPCs. *Client (one connection) and
 // *Redialer (reconnect-on-dial) both implement it; the cluster layer's
@@ -268,11 +305,15 @@ func (c *Client) DoCtx(ctx context.Context, req Request) (<-chan Reply, uint64, 
 }
 
 // replyError extracts the call error from a delivered reply: the typed
-// client-side failure when one happened here, a *RemoteError when the
-// server reported one, nil on success.
+// client-side failure when one happened here, a *RejectedError when the
+// server's admission layer declined the request, a *RemoteError when
+// the server reported a failure, nil on success.
 func replyError(rep Reply) error {
 	if rep.failure != nil {
 		return rep.failure
+	}
+	if rep.Reject != 0 {
+		return &RejectedError{Shed: rep.Reject == RejectShed}
 	}
 	if rep.Err != "" {
 		return &RemoteError{Msg: rep.Err}
