@@ -188,6 +188,11 @@ var (
 	WithMatrixDigests = harness.WithDigests
 	// WithMatrixFailFast aborts dispatch after the first failed cell.
 	WithMatrixFailFast = harness.WithFailFast
+	// WithMatrixObs runs every cell with the observability layer
+	// (internal/obs) enabled: each CellResult carries a metrics
+	// snapshot and a span trace, exportable as one Chrome trace-event
+	// document via MatrixResult.WriteTrace.
+	WithMatrixObs = harness.WithObs
 )
 
 // RunMatrixCtx executes every cell of the matrix concurrently on the

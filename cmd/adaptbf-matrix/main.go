@@ -23,6 +23,7 @@
 //	               [-study gift-scale|calibration|saturation] [-slo-p99 100ms]
 //	               [-gate BENCH_matrix.json] [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//	               [-obs] [-trace trace.json] [-trace-cells GIFT]
 //
 // -backend selects the execution substrate for every cell: "sim" (the
 // default deterministic discrete-event simulator), "live" (real
@@ -82,6 +83,18 @@
 // confidence intervals and the goodput/rejected split at the knee
 // (overriding axes: -seeds/-osses/-duration; -scales caps the ramp).
 //
+// -obs runs every cell with the observability layer (internal/obs)
+// enabled: each cell's metrics snapshot lands in the report's "obs"
+// section and the progress lines carry running served/rejected tallies.
+// -trace additionally exports every cell's spans as one Chrome
+// trace-event JSON file — open it in Perfetto or chrome://tracing; one
+// trace process per cell, per-RPC lifecycles as nestable async spans —
+// and implies -obs. -trace-cells keeps only the cells whose name
+// contains the given substring (e.g. "GIFT" or "seed3"). On the sim
+// backend the trace is deterministic: same grid, same bytes. Neither
+// flag changes any measured result or the fingerprint, but they do
+// allocate, so they are rejected alongside -bench-json.
+//
 // With -bench-json the run is measured — wall time, heap allocations, and
 // DES events processed — and a per-cell record (ns/cell, allocs/cell,
 // events/sec) is written to the given file, so the simulator's performance
@@ -108,6 +121,7 @@ import (
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/report"
 	"adaptbf/internal/sim"
 )
@@ -169,20 +183,23 @@ var studyRejectedFlags = map[string][]string{
 	report.GIFTScaleStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "policies", "rate", "period",
 		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
-		"faults", "node-bin", "remote", "admission", "slo-p99"},
+		"faults", "node-bin", "remote", "admission", "slo-p99",
+		"obs", "trace", "trace-cells"},
 	// Calibration runs its backends itself, so -backend is meaningless;
 	// -speedup/-cell-timeout/-policies tune its live half, and
 	// -remote/-node-bin/-faults add and tune its remote half.
 	report.CalibrationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "rate", "period",
-		"backend", "per-job-digests", "gate", "admission", "slo-p99"},
+		"backend", "per-job-digests", "gate", "admission", "slo-p99",
+		"obs", "trace", "trace-cells"},
 	// Saturation fixes its scenario and ramps the scale axis itself;
 	// -admission (a ";"-list of the policies to compare), -slo-p99,
 	// -seeds, -osses, -scales (the ramp ceiling), and -duration tune it.
 	report.SaturationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "policies", "rate", "period",
 		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
-		"faults", "node-bin", "remote"},
+		"faults", "node-bin", "remote",
+		"obs", "trace", "trace-cells"},
 }
 
 // validateGridFlags checks the flag combinations of a plain (non-study)
@@ -229,6 +246,14 @@ func validateGridFlags(backend string, faults []harness.FaultProfile, set map[st
 	}
 	if set["remote"] {
 		return fmt.Errorf("-remote is a -study calibration flag; use -backend remote for a grid run")
+	}
+	if set["trace-cells"] && !set["trace"] {
+		return fmt.Errorf("-trace-cells filters the -trace export; it needs -trace")
+	}
+	if set["bench-json"] && (set["obs"] || set["trace"]) {
+		// The observability layer allocates; measuring it would pollute
+		// the tracked allocs/cell trajectory.
+		return fmt.Errorf("-bench-json measures the bare engine; it cannot be combined with -obs or -trace")
 	}
 	if set["gate"] {
 		// The tracked intervals are captured on the default grid; gating
@@ -303,6 +328,9 @@ func main() {
 	csvDir := flag.String("csv-dir", "", "export every report table as CSV under the given directory")
 	ciLevel := flag.Float64("ci-level", harness.DefaultCILevel, "confidence level for the Student-t interval columns (0 < level < 1)")
 	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale, calibration, saturation)")
+	obsFlag := flag.Bool("obs", false, "run every cell with the observability layer enabled (metrics snapshots in the report's obs section, served/rejected tallies on the progress lines)")
+	traceOut := flag.String("trace", "", "export every cell's spans as a Chrome trace-event JSON file (Perfetto-loadable) to the given path; implies -obs")
+	traceCells := flag.String("trace-cells", "", "keep only the cells whose name contains this substring in the -trace export")
 	benchJSON := flag.String("bench-json", "", "write a benchRecord (ns/cell, allocs/cell, events/sec) of this run to the given file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to the given file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the matrix run to the given file")
@@ -551,19 +579,31 @@ func main() {
 		fmt.Println("bench-json: forcing -quiet so the measurement excludes progress output")
 		*quiet = true
 	}
+	withObs := *obsFlag || *traceOut != ""
 	opts := []harness.RunOption{
 		harness.WithWorkers(*workers),
 		harness.WithBackend(be),
 		harness.WithCellTimeout(*cellTimeout),
 		harness.WithDigests(*perJobDigests),
 	}
+	if withObs {
+		opts = append(opts, harness.WithObs())
+	}
 	if !*quiet {
 		done := 0
+		var served, rejected int64
 		opts = append(opts, harness.WithProgress(func(cr harness.CellResult) {
 			done++
 			status := "ok"
 			if cr.Err != nil {
 				status = "ERROR: " + cr.Err.Error()
+			} else if cr.Obs != nil {
+				// Running tallies out of the cells' metrics registries, so
+				// long matrix runs show work accumulating, not just cell
+				// names scrolling by.
+				served += cr.Obs.Counter(obs.MetricServed)
+				rejected += cr.Obs.Counter(obs.MetricRejected) + cr.Obs.Counter(obs.MetricShed)
+				status = fmt.Sprintf("ok  served %d  rejected %d", served, rejected)
 			}
 			fmt.Printf("  [%3d/%3d] %-45v %s\n", done, len(cells), cr.Cell, status)
 		}))
@@ -660,6 +700,27 @@ func main() {
 		doc = report.FromMatrix(res, ropt)
 	}
 	writeArtifacts(doc, rep, *jsonOut, *csvDir)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteTrace(f, *traceCells); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		traced := 0
+		for _, cr := range res.Cells {
+			if len(cr.Trace) > 0 && (*traceCells == "" || strings.Contains(cr.Cell.String(), *traceCells)) {
+				traced++
+			}
+		}
+		fmt.Printf("wrote Chrome trace of %d cells → %s (open in Perfetto or chrome://tracing)\n", traced, *traceOut)
+	}
 
 	if *gate != "" {
 		spec, err := report.LoadGate(*gate)

@@ -7,6 +7,12 @@
 //
 //	ADDR 127.0.0.1:43721
 //
+// With -obs-addr it also binds an HTTP endpoint serving Prometheus-text
+// /metrics and net/http/pprof under /debug/pprof/, printing the bound
+// address the same way:
+//
+//	OBS 127.0.0.1:43722
+//
 // and on SIGTERM/SIGINT it drains gracefully — stops accepting, lets
 // open connections finish (bounded by -drain), stops the policy
 // machinery — and prints a final snapshot before exiting 0:
@@ -32,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +50,7 @@ import (
 	"adaptbf/internal/admission"
 	"adaptbf/internal/cluster"
 	"adaptbf/internal/device"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/transport"
 )
 
@@ -61,6 +70,8 @@ func main() {
 		faults   = flag.String("faults", "", "fault profile injected on accepted conns, e.g. latency=2ms,jitter=1ms,loss=0.1")
 		seed     = flag.Uint64("fault-seed", 1, "seed for the fault profile's deterministic RNG")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown")
+		obsOn    = flag.Bool("obs", false, "enable observability: traces/metrics drained over the wire (opcode 0xF7)")
+		obsAddr  = flag.String("obs-addr", "", "HTTP listen address serving Prometheus /metrics and /debug/pprof (implies -obs; see the OBS line)")
 
 		devBPS      = flag.Float64("dev-bps", 0, "device streaming rate in bytes/s (0 = the default SSD-class target)")
 		devOverhead = flag.Duration("dev-overhead", 0, "device per-RPC overhead (0 = default)")
@@ -109,6 +120,7 @@ func main() {
 		Fault:        fault,
 		FaultSeed:    *seed,
 		DrainTimeout: *drain,
+		Obs:          *obsOn || *obsAddr != "",
 	})
 	if err != nil {
 		log.Fatalf("adaptbf-node: %v", err)
@@ -116,6 +128,21 @@ func main() {
 	// The machine-parseable startup line: spawners read the bound address
 	// from here when -listen used port 0.
 	fmt.Printf("ADDR %s\n", n.Addr())
+
+	if *obsAddr != "" {
+		// Best-effort endpoint: an unserved scrape must never take the
+		// storage path down with it, so HTTP errors only log.
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("adaptbf-node: -obs-addr: %v", err)
+		}
+		fmt.Printf("OBS %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler(n.Obs().Metrics)); err != nil {
+				log.Printf("adaptbf-node: obs http: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -40,7 +40,11 @@
 //   - a matrix analytics & export subsystem (internal/stats,
 //     internal/report): streaming statistics, seed-axis confidence
 //     intervals, per-cell latency digests, versioned JSON/CSV artifacts,
-//     and the GIFT-vs-AdapTBF centralization-overhead scale study.
+//     and the GIFT-vs-AdapTBF centralization-overhead scale study;
+//   - an opt-in observability layer (internal/obs): a structured tracer
+//     and lock-cheap metrics registry threaded through all three
+//     backends, Chrome trace-event export, and Prometheus-text /metrics
+//     plus net/http/pprof endpoints on the node daemon.
 //
 // Beyond the paper's single-target timelines, a simulation can model a
 // multi-OSS stack with striped files: sim.Config.OSTs sets the stack
@@ -233,7 +237,7 @@
 // offered load (its Scale axis is a load multiplier, not a volume
 // divisor) is doubled and then bisected for the knee — the largest load
 // multiple whose seed-mean p99 still meets the SLO (-slo-p99). The
-// schema-v5 document's "saturation" section carries, per policy, the
+// document's "saturation" section carries, per policy, the
 // capacity-at-SLO (censored when the ramp ceiling never breached), the
 // p99/goodput/rejected statistics at the knee with seed-axis confidence
 // intervals, and every probe of the bisection, so the whole
@@ -282,6 +286,46 @@
 // scalars from the cells (pure functions of CellResult), fold them into
 // stats.Moments groups, and emit a Study section plus experiments.Table
 // rows — see internal/report/study.go for the template.
+//
+// # Observability
+//
+// internal/obs is the instrumentation seam: a structured tracer and a
+// metrics registry, both strictly opt-in and zero-cost when absent —
+// every hot-path hook is a nil check, pinned by the steady-state
+// allocation budgets and the golden fingerprint, which excludes all
+// observability output by construction.
+//
+// The tracer records per-RPC lifecycles (admit → queue → dispatch →
+// device → reply, with rejection and shed outcomes), controller epochs
+// (AdapTBF ticks with per-bucket token levels and the borrow amount,
+// GIFT central-walk wire spans, SFQ dispatch slots), and fault /
+// crash / restart instants. On the sim backend timestamps are virtual,
+// so the same seed yields a bit-identical trace; live cells stamp
+// OSS-time; remote cells run instrumented node processes whose span
+// batches cross the wire in a teardown drain opcode and are folded —
+// thread- and id-remapped per node — into the cell's trace. A matrix
+// run exports every cell as one Chrome trace-event document
+// (MatrixResult.WriteTrace; CLI: -trace out.json, cell-filtered by
+// -trace-cells) loadable in Perfetto or chrome://tracing: one trace
+// process per cell, nestable async spans per RPC, one lane per OSS.
+//
+// The registry (obs.Registry) is a name-keyed set of atomic counters,
+// gauges, and lock-free histograms cheap enough to live inside the
+// request gate. Each cell's final snapshot lands in CellResult.Obs and
+// the JSON document's per-cell "obs" section (schema v6); request-
+// outcome counters are filled from the same Result totals on every
+// backend, so served/rejected/shed agree across substrates by
+// construction, while control-plane metrics (ctrl_ticks_total,
+// tokens_borrowed_total, gate_lock_wait_ns) are measured where the
+// mechanism actually runs. With WithMatrixObs (harness.WithObs; CLI:
+// -obs, implied by -trace) the progress lines also carry running
+// served/rejected tallies summed from the registries.
+//
+// The node daemon serves the same registry live: adaptbf-node
+// -obs-addr exposes Prometheus-text /metrics and net/http/pprof on a
+// side HTTP listener (printed as an OBS line at startup), and its
+// health-opcode reply carries uptime, Go version, and whether the obs
+// layer is armed — surfaced in the remote backend's readiness logs.
 //
 // # Performance
 //

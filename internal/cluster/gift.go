@@ -10,6 +10,7 @@ import (
 
 	"adaptbf/internal/core"
 	"adaptbf/internal/gift"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/rules"
 	"adaptbf/internal/transport"
 )
@@ -194,6 +195,10 @@ func (a *GIFTAgent) Run(ctx context.Context) {
 // clear-only-after-apply contract.
 func (a *GIFTAgent) walk() {
 	start := time.Now()
+	var traceStart int64
+	if a.oss.trace != nil {
+		traceStart = a.oss.Now()
+	}
 	snap := a.oss.tracker.Drain(nil)
 	pending := a.oss.PendingJobs()
 	active := make([]gift.Activity, 0, len(snap)+len(pending))
@@ -262,6 +267,24 @@ func (a *GIFTAgent) walk() {
 	a.stats.BankEntries = walk.BankEntries
 	a.stats.CouponsOutstanding = walk.CouponsOutstanding
 	a.mu.Unlock()
+
+	if o := a.oss; o.tickCtr != nil {
+		o.tickCtr.Add(1)
+		o.mu.Lock()
+		depth := o.queued
+		o.mu.Unlock()
+		o.depthG.Set(float64(depth))
+	}
+	if o := a.oss; o.trace != nil {
+		// Unlike the simulator's zero-width walk instants, the live walk
+		// is a real wire round-trip — the span width IS the coordination
+		// cost GIFT pays for centralization.
+		o.trace.Span("gift.walk", "ctrl", obs.ControllerTID+o.tid, traceStart, o.Now(), map[string]any{
+			"active": len(active),
+			"bank":   walk.BankEntries,
+			"ops":    applied,
+		})
+	}
 }
 
 // Stats snapshots the agent's accumulated coordination cost.

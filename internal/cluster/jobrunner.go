@@ -31,6 +31,11 @@ type JobStats struct {
 	Rejected     int64
 	Shed         int64
 	OfferedBytes int64
+
+	// Retries counts call attempts beyond each RPC's first — transport
+	// failures the runner's backoff loop absorbed (the remote backend
+	// folds these into the cell's transport_retries metric).
+	Retries int64
 }
 
 // A JobRunner executes one workload.Job as live goroutines — one per
@@ -92,6 +97,7 @@ func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
 			atomic.AddInt64(&stats.Rejected, ps.Rejected)
 			atomic.AddInt64(&stats.Shed, ps.Shed)
 			atomic.AddInt64(&stats.OfferedBytes, ps.OfferedBytes)
+			atomic.AddInt64(&stats.Retries, ps.Retries)
 			if err != nil {
 				select {
 				case errc <- err:
@@ -115,7 +121,7 @@ func (r *JobRunner) Run(ctx context.Context) (JobStats, error) {
 // never have arrived); server-reported errors, admission rejections, and
 // run-context expiry do not — a rejection in particular is the server
 // shedding load, and retrying it is exactly the load being shed.
-func (r *JobRunner) call(ctx context.Context, target transport.Caller, req transport.Request) (transport.Reply, error) {
+func (r *JobRunner) call(ctx context.Context, target transport.Caller, req transport.Request, retried *int64) (transport.Reply, error) {
 	backoff := r.RetryBackoff
 	if backoff <= 0 {
 		backoff = 25 * time.Millisecond
@@ -124,6 +130,7 @@ func (r *JobRunner) call(ctx context.Context, target transport.Caller, req trans
 	var err error
 	for try := 0; try <= r.Retries; try++ {
 		if try > 0 {
+			atomic.AddInt64(retried, 1)
 			select {
 			case <-ctx.Done():
 				return rep, ctx.Err()
@@ -217,7 +224,7 @@ func (r *JobRunner) runProc(ctx context.Context, pat workload.Pattern) (st JobSt
 					Op:     uint8(pat.Op),
 					Bytes:  pat.RPCBytes,
 					Stream: stream,
-				})
+				}, &st.Retries)
 				if err != nil {
 					// An admission rejection is a definitive answer from a
 					// healthy server, not a failure: count it, keep going,

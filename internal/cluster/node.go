@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"adaptbf/internal/admission"
 	"adaptbf/internal/controller"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/transport"
 	"adaptbf/internal/workload"
 )
@@ -18,9 +20,14 @@ import (
 // Control-plane opcodes a Node answers itself, in the same far-out range
 // as OpGIFTWalk so they can never collide with storage traffic.
 const (
-	// OpNodeHealth is the readiness probe: the reply payload carries the
-	// node's role and policy, so a spawner can verify it addressed the
-	// process it meant to.
+	// OpObsDrain drains the node's observability: the reply payload is an
+	// ObsDrain JSON — trace events accumulated since the previous drain
+	// plus a cumulative metrics snapshot. Spawners call it at teardown to
+	// fold the node's spans and counters into the cell.
+	OpObsDrain uint8 = 0xF7
+	// OpNodeHealth is the readiness probe: the reply payload is a
+	// NodeHealth JSON (role, policy, uptime, Go version, obs status), so
+	// a spawner can verify it addressed the process it meant to.
 	OpNodeHealth uint8 = 0xF8
 	// OpNodeStats returns a NodeStats JSON snapshot of what is safely
 	// observable while the node is serving (device counters only appear
@@ -73,6 +80,37 @@ type NodeConfig struct {
 	// DrainTimeout bounds the graceful drain: connections still open
 	// that long after Close are force-closed. Default 5s.
 	DrainTimeout time.Duration
+
+	// Obs enables the node's observability: a metrics registry and a
+	// tracer wired through the served OSS, drained over the wire via
+	// OpObsDrain and servable over HTTP (see Obs and cmd/adaptbf-node's
+	// -obs-addr). Off by default — the node then pays only nil checks.
+	Obs bool
+}
+
+// A NodeHealth is the health probe's reply payload.
+type NodeHealth struct {
+	Role      string  `json:"role"`
+	Policy    string  `json:"policy"`
+	UptimeS   float64 `json:"uptime_s"`
+	GoVersion string  `json:"go_version"`
+	Obs       bool    `json:"obs"`
+}
+
+// ParseNodeHealth decodes a health reply payload.
+func ParseNodeHealth(payload []byte) (NodeHealth, error) {
+	var h NodeHealth
+	err := json.Unmarshal(payload, &h)
+	return h, err
+}
+
+// An ObsDrain is the OpObsDrain reply payload: the trace events
+// accumulated since the previous drain and a snapshot of the metrics
+// registry. Events drain incrementally; the snapshot is cumulative, so
+// a folder keeps only the latest one rather than summing drains.
+type ObsDrain struct {
+	Events   []obs.Event  `json:"events,omitempty"`
+	Snapshot obs.Snapshot `json:"snapshot"`
 }
 
 // NodeStats is a node's observable state: served live via OpNodeStats
@@ -121,6 +159,13 @@ type Node struct {
 	coord  *GIFTCoordinator
 	agent  *GIFTAgent
 	acoord *transport.Redialer
+	obs    *obs.CellObs
+	start  time.Time
+
+	// Last coordinator-Redialer counters already folded into the metrics
+	// registry, under mu (syncObsTransport adds only the delta).
+	obsDials   int64
+	obsRetries int64
 
 	stopCtls  context.CancelFunc
 	ctlWG     sync.WaitGroup
@@ -158,7 +203,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("cluster: unknown node role %q (want oss or coord)", cfg.Role)
 	}
 
-	n := &Node{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	n := &Node{cfg: cfg, conns: make(map[net.Conn]struct{}), start: time.Now()}
+	if cfg.Obs {
+		// The tracer's fallback clock is wall time since node start; the
+		// OSS stamps its own spans with OSS time, which shares the epoch.
+		start := n.start
+		n.obs = &obs.CellObs{
+			Tracer:  obs.NewTracer(func() int64 { return int64(time.Since(start)) }),
+			Metrics: obs.NewRegistry(),
+		}
+	}
 	ctlCtx, stopCtls := context.WithCancel(context.Background())
 	n.stopCtls = stopCtls
 
@@ -177,6 +231,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		if !cfg.Admission.IsAlways() {
 			ocfg.Admission = cfg.Admission
 		}
+		ocfg.Obs = n.obs
 		if cfg.Policy == "sfq" {
 			nodes := cfg.Nodes
 			ocfg.SFQ = &SFQConfig{
@@ -299,7 +354,31 @@ func (n *Node) acceptLoop() {
 func (n *Node) Handle(req transport.Request, reply func(transport.Reply)) {
 	switch {
 	case req.Op == OpNodeHealth:
-		reply(transport.Reply{Payload: []byte(n.cfg.Role + "/" + n.cfg.Policy)})
+		buf, err := json.Marshal(NodeHealth{
+			Role:      n.cfg.Role,
+			Policy:    n.cfg.Policy,
+			UptimeS:   time.Since(n.start).Seconds(),
+			GoVersion: runtime.Version(),
+			Obs:       n.obs != nil,
+		})
+		if err != nil {
+			reply(transport.Reply{Err: "node: health: " + err.Error()})
+			return
+		}
+		reply(transport.Reply{Payload: buf})
+	case req.Op == OpObsDrain:
+		var d ObsDrain
+		if n.obs != nil {
+			n.syncObsTransport()
+			d.Events = n.obs.Tracer.Drain()
+			d.Snapshot = n.obs.Metrics.Snapshot()
+		}
+		buf, err := json.Marshal(d)
+		if err != nil {
+			reply(transport.Reply{Err: "node: obs drain: " + err.Error()})
+			return
+		}
+		reply(transport.Reply{Payload: buf})
 	case req.Op == OpNodeStats:
 		buf, err := json.Marshal(n.liveStats())
 		if err != nil {
@@ -337,6 +416,30 @@ func (n *Node) liveStats() NodeStats {
 		st.CouponsOutstanding = n.coord.OutstandingCoupons()
 	}
 	return st
+}
+
+// Obs exposes the node's observability sinks (nil when NodeConfig.Obs
+// is off) — what cmd/adaptbf-node serves at -obs-addr.
+func (n *Node) Obs() *obs.CellObs { return n.obs }
+
+// syncObsTransport folds the coordinator Redialer's dial/retry counters
+// into the metrics registry, adding only what accumulated since the
+// previous sync so repeated drains and scrapes never double-count.
+func (n *Node) syncObsTransport() {
+	if n.obs == nil || n.obs.Metrics == nil || n.acoord == nil {
+		return
+	}
+	st := n.acoord.Stats()
+	n.mu.Lock()
+	dDials, dRetries := st.Dials-n.obsDials, st.Retries-n.obsRetries
+	n.obsDials, n.obsRetries = st.Dials, st.Retries
+	n.mu.Unlock()
+	if dDials > 0 {
+		n.obs.Metrics.Counter(obs.MetricRedials).Add(dDials)
+	}
+	if dRetries > 0 {
+		n.obs.Metrics.Counter(obs.MetricRetries).Add(dRetries)
+	}
 }
 
 // teardownRole stops the served OSS (reading its final device counters

@@ -20,6 +20,7 @@ import (
 	"adaptbf/internal/core"
 	"adaptbf/internal/device"
 	"adaptbf/internal/jobstats"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/rules"
 	"adaptbf/internal/sfq"
 	"adaptbf/internal/tbf"
@@ -59,6 +60,17 @@ type OSSConfig struct {
 	// seam is skipped entirely. Rejected requests answer with a typed
 	// transport rejection (Reply.Reject) instead of a service outcome.
 	Admission admission.Config
+	// Obs, when non-nil with a live sink, attaches the cell's
+	// observability: per-RPC spans and controller-epoch instants into the
+	// tracer (timestamped on this OSS's clock), gate lock-wait and epoch
+	// metrics into the registry. Nil — the default — costs one nil check
+	// per seam. Request-outcome counters (served/rejected/shed/bytes) are
+	// filled by the harness from the cell result, identically for every
+	// backend, so this layer records only what the harness cannot see.
+	Obs *obs.CellObs
+	// ObsTID is the trace track for this OSS's events — its index within
+	// the cell. Only meaningful with Obs.
+	ObsTID int
 }
 
 // requestGate is the scheduler standing between arriving requests and the
@@ -84,10 +96,22 @@ type OSS struct {
 	mu          sync.Mutex
 	gate        requestGate
 	sched       *tbf.Scheduler // nil when the gate is SFQ
+	sfqSched    *sfq.Scheduler // nil when the gate is TBF
 	onServed    func()         // SFQ dispatch-slot release; nil under TBF
 	outstanding map[int]int
 	adm         admission.Admitter // nil under always-admit
 	queued      int                // requests currently in the gate (admission bound input)
+	rpcSeq      uint64             // per-RPC trace span id source, under mu
+
+	// Observability sinks, resolved once in NewOSS; all nil when obs is
+	// off, so every instrumented seam pays one nil check.
+	trace     *obs.Tracer
+	tid       int64
+	lockWaitH *obs.Histogram
+	tickCtr   *obs.Counter
+	borrowG   *obs.Gauge
+	bucketG   *obs.Gauge
+	depthG    *obs.Gauge
 
 	// Admission accounting, under mu. Offered counts every arriving
 	// request's payload; goodput only served ones — rejected and shed
@@ -125,9 +149,21 @@ func NewOSS(cfg OSSConfig) *OSS {
 		done:        make(chan struct{}),
 	}
 	o.adm = cfg.Admission.New()
+	if cfg.Obs != nil {
+		o.trace = cfg.Obs.Tracer
+		o.tid = int64(cfg.ObsTID)
+		if m := cfg.Obs.Metrics; m != nil {
+			o.lockWaitH = m.Histogram(obs.HistGateLockWait)
+			o.tickCtr = m.Counter(obs.MetricCtrlTicks)
+			o.borrowG = m.Gauge(obs.GaugeBorrowed)
+			o.bucketG = m.Gauge(obs.GaugeBucketTokens)
+			o.depthG = m.Gauge(obs.GaugeQueueDepth)
+		}
+	}
 	if cfg.SFQ != nil {
 		q := sfq.New(cfg.SFQ.Depth, cfg.SFQ.Weights)
 		o.gate = q
+		o.sfqSched = q
 		o.onServed = q.Complete
 	} else {
 		o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth})
@@ -152,7 +188,8 @@ func (o *OSS) Tracker() *jobstats.Tracker { return &o.tracker }
 // through the gate as the tbf.Request's Userdata.
 type admitted struct {
 	reply    func(transport.Reply)
-	deadline int64 // OSS-time admission deadline; 0 = none
+	deadline int64  // OSS-time admission deadline; 0 = none
+	traceID  uint64 // per-RPC async span id; 0 when tracing is off
 }
 
 // Handle implements transport.Handler: admit, classify, account,
@@ -162,9 +199,25 @@ type admitted struct {
 // tracker, the gate, or the device, so it leaves no trace in demand or
 // throughput accounting.
 func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
-	o.mu.Lock()
+	if o.lockWaitH != nil {
+		t0 := time.Now()
+		o.mu.Lock()
+		o.lockWaitH.Observe(int64(time.Since(t0)))
+	} else {
+		o.mu.Lock()
+	}
 	now := o.Now()
 	o.offeredBytes += req.Bytes
+	var traceID uint64
+	if o.trace != nil {
+		o.rpcSeq++
+		// Nestable async events are keyed by (category, id) within one
+		// trace process, and a cell's OSSes share a tracer: salt the id
+		// with the OSS's thread so lifecycles never collide across OSSes.
+		traceID = uint64(o.tid)<<32 | (o.rpcSeq & 0xffffffff)
+		o.trace.AsyncBegin("rpc", "rpc", o.tid, traceID, now,
+			map[string]any{"job": req.JobID, "bytes": req.Bytes})
+	}
 	var deadline int64
 	if o.adm != nil {
 		d := o.adm.Admit(admission.Request{Job: req.JobID, Bytes: req.Bytes, Queued: o.queued}, now)
@@ -172,6 +225,10 @@ func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
 		case admission.Reject:
 			o.rejected++
 			o.mu.Unlock()
+			if o.trace != nil {
+				o.trace.Instant("admit.reject", "admission", o.tid, now, map[string]any{"job": req.JobID})
+				o.trace.AsyncEnd("rpc", "rpc", o.tid, traceID, now, map[string]any{"outcome": "rejected"})
+			}
 			reply(transport.Reply{Reject: transport.RejectRefused})
 			return
 		case admission.Enqueue:
@@ -184,11 +241,14 @@ func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
 		Op:       tbf.Opcode(req.Op),
 		Bytes:    req.Bytes,
 		Stream:   req.Stream,
-		Userdata: admitted{reply: reply, deadline: deadline},
+		Userdata: admitted{reply: reply, deadline: deadline, traceID: traceID},
 	}
 	o.outstanding[req.Stream]++
 	o.queued++
 	o.gate.Enqueue(r, now)
+	if o.trace != nil {
+		o.trace.AsyncBegin("queue", "rpc", o.tid, traceID, now, nil)
+	}
 	o.mu.Unlock()
 	o.wake()
 }
@@ -218,15 +278,25 @@ func (o *OSS) dispatch() {
 		o.mu.Lock()
 		now := o.Now()
 		req, wakeAt, ok := o.gate.Dequeue(now)
-		var streams int
+		var streams, sfqSlots int
 		if ok {
 			o.queued--
 			streams = len(o.outstanding)
+			if o.trace != nil && o.sfqSched != nil {
+				sfqSlots = o.sfqSched.InService()
+			}
 		}
 		o.mu.Unlock()
 
 		if ok {
 			ad := req.Userdata.(admitted)
+			if o.trace != nil {
+				o.trace.AsyncEnd("queue", "rpc", o.tid, ad.traceID, now, nil)
+				if o.sfqSched != nil {
+					o.trace.Instant("sfq.dispatch", "sfq", o.tid, now,
+						map[string]any{"slots": sfqSlots, "depth": o.sfqSched.Depth()})
+				}
+			}
 			// Lazy deadline shedding (admission.Enqueue decisions): a
 			// request that waited past its queueing deadline is dropped
 			// here with a typed rejection — never served late.
@@ -242,6 +312,10 @@ func (o *OSS) dispatch() {
 					o.onServed() // frees the SFQ dispatch slot
 				}
 				o.mu.Unlock()
+				if o.trace != nil {
+					o.trace.AsyncEnd("rpc", "rpc", o.tid, ad.traceID, o.Now(),
+						map[string]any{"outcome": "shed"})
+				}
 				ad.reply(transport.Reply{Reject: transport.RejectShed})
 				continue
 			}
@@ -266,6 +340,15 @@ func (o *OSS) dispatch() {
 				o.onServed() // frees the SFQ dispatch slot
 			}
 			o.mu.Unlock()
+			if o.trace != nil {
+				// The device phase is sequential by construction (one
+				// dispatcher), so a complete span nests cleanly; the RPC
+				// span closes when the reply is issued.
+				end := o.Now()
+				o.trace.Span("device", "rpc", o.tid, now, end, nil)
+				o.trace.AsyncEnd("rpc", "rpc", o.tid, ad.traceID, end,
+					map[string]any{"outcome": "served"})
+			}
 			ad.reply(transport.Reply{Bytes: req.Bytes})
 			continue
 		}
@@ -402,6 +485,47 @@ func (o *OSS) Engine() rules.Engine {
 	return lockedEngine{o}
 }
 
+// observeTick feeds one AdapTBF controller tick into the obs sinks —
+// the live twin of the simulator's epoch observation, with the same
+// "adaptbf.tick" instant shape (active jobs, applied ops, borrow total,
+// per-bucket token levels) so traces from either backend read alike.
+func (o *OSS) observeTick(rep controller.TickReport) {
+	var borrowed float64
+	for _, al := range rep.Allocations {
+		if al.Record < 0 {
+			borrowed -= al.Record
+		}
+	}
+	var buckets map[string]float64
+	if o.trace != nil {
+		buckets = make(map[string]float64)
+	}
+	o.mu.Lock()
+	var tokens float64
+	if o.sched != nil {
+		tokens = o.sched.BucketTokens(rep.Now)
+		if buckets != nil {
+			o.sched.BucketLevelsInto(rep.Now, buckets)
+		}
+	}
+	depth := o.queued
+	o.mu.Unlock()
+	if o.tickCtr != nil {
+		o.tickCtr.Add(1)
+		o.borrowG.Add(borrowed)
+		o.bucketG.Set(tokens)
+		o.depthG.Set(float64(depth))
+	}
+	if o.trace != nil {
+		o.trace.Instant("adaptbf.tick", "ctrl", obs.ControllerTID+o.tid, rep.Now, map[string]any{
+			"active":   rep.Active,
+			"ops":      len(rep.Ops.Applied),
+			"borrowed": borrowed,
+			"buckets":  buckets,
+		})
+	}
+}
+
 // NewController assembles this OSS's AdapTBF controller: stats from the
 // local tracker, backlog from the local scheduler, rules applied through
 // the local engine — no information leaves the storage server, which is
@@ -410,7 +534,7 @@ func (o *OSS) NewController(nodes controller.NodeMapper, maxRate float64, period
 	if o.sched == nil {
 		panic("cluster: an SFQ-gated OSS has no TBF rules for a controller to drive")
 	}
-	return controller.New(controller.Config{
+	cfg := controller.Config{
 		Stats:  &o.tracker,
 		Nodes:  nodes,
 		Alloc:  core.New(core.Config{MaxRate: maxRate, Period: period}, opts...),
@@ -420,5 +544,9 @@ func (o *OSS) NewController(nodes controller.NodeMapper, maxRate float64, period
 		TickEvery: time.Duration(float64(period) / o.cfg.Speedup),
 		Backlog:   o.PendingJobs,
 		Clock:     o.Now,
-	})
+	}
+	if o.trace != nil || o.tickCtr != nil {
+		cfg.OnTick = o.observeTick
+	}
+	return controller.New(cfg)
 }

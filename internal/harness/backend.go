@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptbf/internal/admission"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
 )
@@ -41,6 +42,11 @@ type CellSpec struct {
 	// The zero value is always-admit, bit-identical to no admission at
 	// all; every backend realizes all three policies.
 	Admission admission.Config
+
+	// Obs asks the backend to collect the observability layer for this
+	// cell: a metrics snapshot and a span trace in the CellOutcome
+	// (WithObs). Off, the instrumentation costs nil checks only.
+	Obs bool
 }
 
 // A CellOutcome is a backend's finished cell: the raw result plus the
@@ -51,6 +57,12 @@ type CellOutcome struct {
 	Result        *sim.Result
 	LatencyDigest *stats.Digest
 	JobDigests    []JobDigest
+
+	// Obs and Trace are the cell's observability capture, present only
+	// when CellSpec.Obs asked for them. Like the digests they are
+	// reporting artifacts: never folded into the matrix fingerprint.
+	Obs   *obs.Snapshot
+	Trace []obs.Event
 }
 
 // A JobDigest pairs one job with its per-job latency digest, in
@@ -125,6 +137,17 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 		SFQDepth:     spec.SFQDepth,
 		Admission:    spec.Admission,
 	}
+	var cellObs *obs.CellObs
+	if spec.Obs {
+		// The simulator stamps every event with an explicit virtual
+		// timestamp, so the tracer's clock is never consulted — the trace
+		// (and the snapshot) stay pure functions of the spec.
+		cellObs = &obs.CellObs{
+			Tracer:  obs.NewTracer(func() int64 { return 0 }),
+			Metrics: obs.NewRegistry(),
+		}
+		cfg.Obs = cellObs
+	}
 	res, err := sim.RunScratch(cfg, scratch)
 	if err != nil {
 		return CellOutcome{}, err
@@ -132,7 +155,33 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 	if err := ctx.Err(); err != nil {
 		return CellOutcome{}, err // deadline/cancel fired mid-simulation
 	}
-	return outcomeOf(res, spec.PerJobDigests), nil
+	out := outcomeOf(res, spec.PerJobDigests)
+	attachObs(&out, cellObs)
+	return out, nil
+}
+
+// attachObs snapshots a cell's observability state into its outcome.
+// No-op when the cell ran without one.
+func attachObs(out *CellOutcome, cellObs *obs.CellObs) {
+	if cellObs == nil {
+		return
+	}
+	snap := cellObs.Metrics.Snapshot()
+	out.Obs = &snap
+	out.Trace = cellObs.Tracer.Events()
+}
+
+// fillOutcomeCounters derives the request-outcome counters from the
+// result totals — the same numbers per-RPC increments would reach, at
+// zero hot-path cost. The simulator does this itself at finish();
+// wall-clock backends call it here, so the obs section agrees with the
+// Result (and hence across backends) by construction.
+func fillOutcomeCounters(reg *obs.Registry, res *sim.Result) {
+	reg.Counter(obs.MetricServed).Add(int64(res.ServedRPCs))
+	reg.Counter(obs.MetricRejected).Add(int64(res.Rejected))
+	reg.Counter(obs.MetricShed).Add(int64(res.Shed))
+	reg.Counter(obs.MetricOfferedBytes).Add(res.OfferedBytes)
+	reg.Counter(obs.MetricGoodputBytes).Add(res.GoodputBytes)
 }
 
 // outcomeOf condenses a finished result into a CellOutcome: always the

@@ -11,6 +11,7 @@ import (
 	"adaptbf/internal/controller"
 	"adaptbf/internal/device"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/transport"
 	"adaptbf/internal/workload"
@@ -126,6 +127,18 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 
 	scaleWorkloadTimes(jobs, speedup)
 
+	// One observability scope per cell, shared by every OSS (each gets
+	// its own trace thread via ObsTID). Timestamps are OSS time, so the
+	// trace lines up with the cell's reported latencies and makespan.
+	var cellObs *obs.CellObs
+	if spec.Obs {
+		epoch := time.Now()
+		cellObs = &obs.CellObs{
+			Tracer:  obs.NewTracer(func() int64 { return int64(float64(time.Since(epoch)) * speedup) }),
+			Metrics: obs.NewRegistry(),
+		}
+	}
+
 	nodesOf := make(map[string]int, len(jobs))
 	for _, j := range jobs {
 		nodesOf[j.ID] = j.Nodes
@@ -150,6 +163,8 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	osses := make([]*cluster.OSS, spec.Cell.OSSes)
 	for i := range osses {
 		ocfg := cfg
+		ocfg.Obs = cellObs
+		ocfg.ObsTID = i
 		if i == 0 && spec.Faults.StragglerFactor > 1 {
 			// The straggler mode: the first OSS's device runs k× slower —
 			// lower streaming rate, higher per-RPC costs — the slow-node
@@ -316,7 +331,12 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		_, busy := o.DeviceStats()
 		res.DeviceBusy = append(res.DeviceBusy, busy)
 	}
-	return outcomeOf(res, spec.PerJobDigests), nil
+	if cellObs != nil {
+		fillOutcomeCounters(cellObs.Metrics, res)
+	}
+	out := outcomeOf(res, spec.PerJobDigests)
+	attachObs(&out, cellObs)
+	return out, nil
 }
 
 // A liveJobOutcome is one job's end state on a wall-clock backend.

@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -35,6 +36,7 @@ import (
 	"adaptbf/internal/admission"
 	"adaptbf/internal/experiments"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
 	"adaptbf/internal/workload"
@@ -235,6 +237,13 @@ type CellResult struct {
 	LatencyDigest *stats.Digest
 	JobDigests    []JobDigest
 	Err           error
+
+	// Obs is the cell's metrics snapshot and Trace its span events,
+	// present only when the run enabled them (WithObs). Reporting-only,
+	// like the digests: neither ever feeds Fingerprint, so enabling
+	// observability cannot change a golden hash.
+	Obs   *obs.Snapshot
+	Trace []obs.Event
 }
 
 // A MatrixResult holds every cell's outcome in canonical cell order.
@@ -254,6 +263,7 @@ type runConfig struct {
 	cellTimeout   time.Duration
 	perJobDigests bool
 	failFast      bool
+	obs           bool
 }
 
 // A RunOption tunes an engine run (see Run).
@@ -291,6 +301,15 @@ func WithCellTimeout(d time.Duration) RunOption {
 func WithDigests(perJob bool) RunOption {
 	return func(c *runConfig) { c.perJobDigests = perJob }
 }
+
+// WithObs enables the observability layer for every cell: each backend
+// collects a metrics snapshot (CellResult.Obs) and a span trace
+// (CellResult.Trace), exportable as one Chrome trace-event document via
+// MatrixResult.WriteTrace. Off by default; the instrumentation is
+// nil-checked out of every hot path, so a run without WithObs pays
+// nothing. Sim-backend captures are deterministic: same spec, same
+// snapshot, bit-identical trace.
+func WithObs() RunOption { return func(c *runConfig) { c.obs = true } }
 
 // WithFailFast aborts dispatch after the first failed cell: in-flight
 // cells finish, cells not yet dispatched are marked with ErrCellSkipped,
@@ -414,6 +433,7 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					PerJobDigests: cfg.perJobDigests,
 					Faults:        c.Faults,
 					Admission:     norm.Admission,
+					Obs:           cfg.obs,
 				}
 				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
 				if cfg.cellTimeout > 0 {
@@ -429,6 +449,8 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					Result:        outcome.Result,
 					LatencyDigest: outcome.LatencyDigest,
 					JobDigests:    outcome.JobDigests,
+					Obs:           outcome.Obs,
+					Trace:         outcome.Trace,
 					Err:           err,
 				}
 				out.Cells[i] = cr
@@ -705,4 +727,26 @@ func (r *MatrixResult) Fingerprint() string {
 		h.Write([]byte(b.String()))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteTrace exports every traced cell as one Chrome trace-event JSON
+// document (loadable in Perfetto or chrome://tracing): one trace process
+// per cell in canonical cell order, threads within it per OSS plus the
+// control-plane tracks. cellFilter, when non-empty, keeps only cells
+// whose String() coordinates contain it as a substring. Sim-backend
+// traces are deterministic — the written bytes are a pure function of
+// the matrix and the filter.
+func (r *MatrixResult) WriteTrace(w io.Writer, cellFilter string) error {
+	var procs []obs.TraceProcess
+	for _, cr := range r.Cells {
+		if len(cr.Trace) == 0 {
+			continue
+		}
+		name := cr.Cell.String()
+		if cellFilter != "" && !strings.Contains(name, cellFilter) {
+			continue
+		}
+		procs = append(procs, obs.TraceProcess{Name: name, Events: cr.Trace})
+	}
+	return obs.WriteChromeTrace(w, procs)
 }

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptbf/internal/obs"
+	"adaptbf/internal/sim"
+)
+
+// obsMatrix is a small all-control-plane matrix: one scenario across the
+// three policies with distinct controller machinery (per-OSS AdapTBF
+// controllers, SFQ dispatch, GIFT central walks), 2 OSSes so striping
+// and cross-OSS span ids are exercised.
+func obsMatrix() Matrix {
+	return Matrix{
+		Scenarios: BuiltinScenarios()[:1],
+		Policies:  []sim.Policy{sim.AdapTBF, sim.SFQ, sim.GIFT},
+		Scales:    []int64{64},
+		OSSes:     []int{2},
+	}
+}
+
+// TestGoldenDeterministicTrace: two runs of the same matrix — at
+// different worker counts — must produce bit-identical Chrome trace
+// documents and identical metric snapshots. This is the observability
+// layer held to the engine's own determinism contract.
+func TestGoldenDeterministicTrace(t *testing.T) {
+	m := obsMatrix()
+	run := func(workers int) (*MatrixResult, []byte) {
+		res, err := Run(context.Background(), m, WithObs(), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTrace(&buf, ""); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	seq, seqTrace := run(1)
+	par, parTrace := run(0)
+
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Fatal("same matrix, different trace bytes across worker counts")
+	}
+	doc := string(seqTrace)
+	for _, want := range []string{`"traceEvents"`, `"rpc"`, `"device"`, `"adaptbf.tick"`, `"gift.walk"`, `"sfq.dispatch"`, "process_name"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("trace document missing %s", want)
+		}
+	}
+	for i, cr := range seq.Cells {
+		if len(cr.Trace) == 0 {
+			t.Fatalf("cell %v traced no events", cr.Cell)
+		}
+		if cr.Obs == nil || cr.Obs.IsZero() {
+			t.Fatalf("cell %v has no metrics snapshot", cr.Cell)
+		}
+		// The snapshot's request counters are derived from the result
+		// totals, so they must agree exactly.
+		if got, want := cr.Obs.Counter(obs.MetricServed), int64(cr.Result.ServedRPCs); got != want {
+			t.Fatalf("cell %v served counter %d, result %d", cr.Cell, got, want)
+		}
+		// SFQ is the one policy with no periodic controller; the other
+		// two must have recorded their epochs (AdapTBF ticks, GIFT walks).
+		if cr.Cell.Policy != sim.SFQ && cr.Obs.Counter(obs.MetricCtrlTicks) == 0 {
+			t.Fatalf("cell %v recorded no controller epochs", cr.Cell)
+		}
+		other := par.Cells[i].Obs
+		if fmt.Sprint(cr.Obs) != fmt.Sprint(other) {
+			t.Fatalf("cell %v snapshots differ across worker counts:\n%v\n%v", cr.Cell, cr.Obs, other)
+		}
+	}
+
+	// The cell filter keeps matching cells only, still valid JSON.
+	var filtered bytes.Buffer
+	if err := seq.WriteTrace(&filtered, "GIFT"); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(filtered.String(), "process_name"); got != 1 {
+		t.Fatalf("filter GIFT kept %d cells, want 1", got)
+	}
+}
+
+// TestObsOffByDefault: without WithObs, no cell carries a snapshot or a
+// trace — the layer must be invisible unless asked for.
+func TestObsOffByDefault(t *testing.T) {
+	res, err := Run(context.Background(), obsMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range res.Cells {
+		if cr.Obs != nil || cr.Trace != nil {
+			t.Fatalf("cell %v captured obs without WithObs", cr.Cell)
+		}
+	}
+}
+
+// TestObsCrossBackendParity: the request-outcome counters in the obs
+// section agree between the simulator and the live backend on a bounded
+// workload — both fill them from the same Result totals, and the Results
+// themselves must agree on what was served and rejected. Control-plane
+// metrics are backend-specific (a live cell ticks on the wall clock),
+// so for those the test asserts presence, not equality.
+func TestObsCrossBackendParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live wall-clock cells")
+	}
+	m := Matrix{
+		Scenarios:    []Scenario{liveScenario()},
+		Policies:     []sim.Policy{sim.NoBW, sim.AdapTBF},
+		OSSes:        []int{2},
+		MaxTokenRate: 4000,
+		Period:       20 * time.Millisecond,
+		Duration:     30 * time.Second,
+	}
+	simRes, err := Run(context.Background(), m, WithObs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := Run(context.Background(), m, WithObs(),
+		WithBackend(&ClusterBackend{Device: liveDevice()}), WithCellTimeout(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range simRes.Cells {
+		lc := liveRes.Cells[i]
+		if sc.Obs == nil || lc.Obs == nil {
+			t.Fatalf("cell %v: missing obs snapshot (sim %v, live %v)", sc.Cell, sc.Obs, lc.Obs)
+		}
+		for _, name := range []string{obs.MetricServed, obs.MetricRejected, obs.MetricShed} {
+			if s, l := sc.Obs.Counter(name), lc.Obs.Counter(name); s != l {
+				t.Errorf("cell %v: %s sim=%d live=%d", sc.Cell, name, s, l)
+			}
+		}
+		if sc.Cell.Policy == sim.AdapTBF {
+			if sc.Obs.Counter(obs.MetricCtrlTicks) == 0 {
+				t.Errorf("cell %v: sim AdapTBF cell ticked no epochs", sc.Cell)
+			}
+			if _, ok := sc.Obs.Gauges[obs.GaugeBorrowed]; !ok {
+				t.Errorf("cell %v: sim AdapTBF snapshot has no borrowed-token gauge", sc.Cell)
+			}
+			if _, ok := lc.Obs.Gauges[obs.GaugeBorrowed]; !ok {
+				t.Errorf("cell %v: live AdapTBF snapshot has no borrowed-token gauge", lc.Cell)
+			}
+		}
+		if len(sc.Trace) == 0 || len(lc.Trace) == 0 {
+			t.Errorf("cell %v: empty trace (sim %d events, live %d)", sc.Cell, len(sc.Trace), len(lc.Trace))
+		}
+	}
+}
+
+// TestRemoteBackendObsDrain: with WithObs on the remote backend, node
+// processes run instrumented, their spans and metrics cross the wire in
+// the teardown drain (opcode 0xF7), and every node's readiness health
+// probe surfaces through Logf with obs=true.
+func TestRemoteBackendObsDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns node processes")
+	}
+	var mu sync.Mutex
+	var logs []string
+	b := &RemoteBackend{
+		Device: liveDevice(),
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+		},
+	}
+	m := Matrix{
+		Scenarios:    []Scenario{liveScenario()},
+		Policies:     []sim.Policy{sim.NoBW},
+		OSSes:        []int{2},
+		MaxTokenRate: 4000,
+		Period:       20 * time.Millisecond,
+		Duration:     30 * time.Second,
+	}
+	res, err := Run(context.Background(), m, WithObs(),
+		WithBackend(b), WithCellTimeout(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Cells[0]
+	if cr.Obs == nil {
+		t.Fatal("remote cell has no metrics snapshot")
+	}
+	if got, want := cr.Obs.Counter(obs.MetricServed), int64(cr.Result.ServedRPCs); got != want {
+		t.Fatalf("served counter %d, result %d", got, want)
+	}
+	// The lock-wait histogram lives in the node processes: seeing it here
+	// proves the drain crossed the wire.
+	if h, ok := cr.Obs.Histograms[obs.HistGateLockWait]; !ok || h.Count == 0 {
+		t.Fatalf("node-side lock-wait histogram missing from drained snapshot: %+v", cr.Obs.Histograms)
+	}
+	var rpcSpans int
+	for _, e := range cr.Trace {
+		if e.Name == "rpc" {
+			rpcSpans++
+		}
+	}
+	if rpcSpans == 0 {
+		t.Fatal("no node-side rpc spans in the drained trace")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) != 2 { // 2 OSS nodes, no coordinator under NoBW
+		t.Fatalf("Logf saw %d readiness lines, want 2: %q", len(logs), logs)
+	}
+	for _, l := range logs {
+		if !strings.Contains(l, "role=oss") || !strings.Contains(l, "obs=true") || !strings.Contains(l, "go=go") {
+			t.Fatalf("readiness line missing health fields: %q", l)
+		}
+	}
+}
+
+// TestNodeObsEndpoint: adaptbf-node -obs-addr serves Prometheus-text
+// metrics and net/http/pprof on its OBS address while the storage path
+// keeps running.
+func TestNodeObsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a node process")
+	}
+	bin, err := (&RemoteBackend{}).bin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-role", "oss", "-policy", "nobw", "-obs-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	var obsAddr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "OBS "); ok {
+			obsAddr = a
+			break
+		}
+	}
+	if obsAddr == "" {
+		t.Fatal("node printed no OBS line")
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + obsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, obs.HistGateLockWait) {
+		t.Fatalf("/metrics missing %s:\n%s", obs.HistGateLockWait, body)
+	}
+	if body := get("/debug/pprof/cmdline"); !strings.Contains(body, "adaptbf-node") {
+		t.Fatalf("/debug/pprof/cmdline unexpected body: %q", body)
+	}
+}

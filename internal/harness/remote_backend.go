@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -16,6 +17,7 @@ import (
 	"adaptbf/internal/cluster"
 	"adaptbf/internal/device"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/transport"
 )
@@ -57,6 +59,11 @@ type RemoteBackend struct {
 	// Retries is the per-RPC transport-failure retry budget (default 2;
 	// raised automatically to cover a crash/restart gap).
 	Retries int
+	// Logf, when set, receives readiness lines as nodes answer their
+	// health probe (role, policy, Go version, obs status) — the
+	// spawner's view of what it actually addressed. Calls may come from
+	// concurrent cells; plain log.Printf / testing.T.Logf are fine.
+	Logf func(format string, args ...any)
 
 	buildOnce sync.Once
 	builtBin  string
@@ -136,6 +143,7 @@ func moduleRoot() (string, error) {
 type nodeProc struct {
 	cmd    *exec.Cmd
 	addr   string
+	health cluster.NodeHealth     // the readiness probe's answer
 	stats  chan cluster.NodeStats // buffered 1; fed by the STATS drain line
 	exited chan struct{}          // closed when the process is reaped
 	stderr bytes.Buffer
@@ -187,29 +195,38 @@ func spawnNode(bin string, args []string) (*nodeProc, error) {
 		p.kill()
 		return nil, fmt.Errorf("harness: adaptbf-node printed no ADDR line within %v", remoteReadyTimeout)
 	}
-	if err := waitHealthy(p.addr); err != nil {
+	health, err := waitHealthy(p.addr)
+	if err != nil {
 		p.kill()
 		return nil, err
 	}
+	p.health = health
 	return p, nil
 }
 
-// waitHealthy probes the node's health opcode until it answers.
-func waitHealthy(addr string) error {
+// waitHealthy probes the node's health opcode until it answers, and
+// returns the parsed NodeHealth — the node's own account of its role,
+// policy, build, and obs status.
+func waitHealthy(addr string) (cluster.NodeHealth, error) {
 	deadline := time.Now().Add(remoteReadyTimeout)
 	r := &transport.Redialer{Network: "tcp", Addr: addr, Attempts: 1}
 	defer r.Close()
 	var lastErr error
 	for time.Now().Before(deadline) {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		_, lastErr = r.CallCtx(ctx, transport.Request{Op: cluster.OpNodeHealth})
+		rep, err := r.CallCtx(ctx, transport.Request{Op: cluster.OpNodeHealth})
 		cancel()
-		if lastErr == nil {
-			return nil
+		if err == nil {
+			h, perr := cluster.ParseNodeHealth(rep.Payload)
+			if perr != nil {
+				return h, fmt.Errorf("harness: node %s answered health with an unparseable payload: %v", addr, perr)
+			}
+			return h, nil
 		}
+		lastErr = err
 		time.Sleep(50 * time.Millisecond)
 	}
-	return fmt.Errorf("harness: node %s never became healthy: %v", addr, lastErr)
+	return cluster.NodeHealth{}, fmt.Errorf("harness: node %s never became healthy: %v", addr, lastErr)
 }
 
 // terminate SIGTERMs the node (triggering its graceful drain), waits for
@@ -334,12 +351,21 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 		}
 	}()
 
+	logReady := func(p *nodeProc) {
+		if b.Logf == nil {
+			return
+		}
+		h := p.health
+		b.Logf("harness: node %s ready: role=%s policy=%s go=%s obs=%v uptime=%.2fs",
+			p.addr, h.Role, h.Policy, h.GoVersion, h.Obs, h.UptimeS)
+	}
 	if spec.Cell.Policy == sim.GIFT {
 		coordProc, err = spawnNode(bin, commonArgs("coord", 0))
 		if err != nil {
 			return CellOutcome{}, err
 		}
 		procs = append(procs, coordProc)
+		logReady(coordProc)
 	}
 	ossArgs := func(i int) []string {
 		args := append(commonArgs("oss", 1+i),
@@ -348,6 +374,9 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 			"-speedup", strconv.FormatFloat(speedup, 'g', -1, 64),
 			"-sfq-depth", strconv.Itoa(spec.SFQDepth),
 		)
+		if spec.Obs {
+			args = append(args, "-obs")
+		}
 		if len(nodesFlag) > 0 {
 			args = append(args, "-nodes", strings.Join(nodesFlag, ","))
 		}
@@ -368,6 +397,25 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 		}
 		ossProcs[i] = p
 		procs = append(procs, p)
+		logReady(p)
+	}
+
+	// The cell clock starts here: the recorder and any harness-side
+	// trace instants (crash, restart) share one epoch, so fault marks
+	// line up with the reported timelines. Node-side spans ride each
+	// node's own OSS clock and are folded in at teardown.
+	rec := &liveRecorder{
+		epoch:     time.Now(),
+		speedup:   speedup,
+		timeline:  metrics.NewTimeline(spec.Period),
+		latencies: &metrics.LatencyRecorder{},
+	}
+	var cellObs *obs.CellObs
+	if spec.Obs {
+		cellObs = &obs.CellObs{
+			Tracer:  obs.NewTracer(func() int64 { return int64(rec.now()) }),
+			Metrics: obs.NewRegistry(),
+		}
 	}
 
 	// The crash/restart fault: SIGKILL the first OSS node mid-run (no
@@ -395,6 +443,10 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 			}
 			victim := ossProcs[0]
 			victim.kill()
+			if cellObs != nil {
+				cellObs.Tracer.Instant("oss.crash", "fault", 0, cellObs.Tracer.Now(),
+					map[string]any{"addr": victim.addr})
+			}
 			if spec.Faults.RestartAfter <= 0 {
 				return
 			}
@@ -417,6 +469,10 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 			ossProcs[0] = p
 			procs = append(procs, p)
 			restartMu.Unlock()
+			if cellObs != nil {
+				cellObs.Tracer.Instant("oss.restart", "fault", 0, cellObs.Tracer.Now(),
+					map[string]any{"addr": p.addr})
+			}
 		}()
 	}
 
@@ -438,12 +494,6 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 
 	runCtx, cancelRun := context.WithTimeout(ctx, wallCap)
 	defer cancelRun()
-	rec := &liveRecorder{
-		epoch:     time.Now(),
-		speedup:   speedup,
-		timeline:  metrics.NewTimeline(spec.Period),
-		latencies: &metrics.LatencyRecorder{},
-	}
 	observers := make([]func(bytes int64, latency time.Duration), len(jobs))
 	for ji, job := range jobs {
 		observers[ji] = rec.observer(job.ID)
@@ -493,12 +543,44 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 		return CellOutcome{}, err
 	}
 
+	// Harness-side transport resilience: the runners' redialers and
+	// retry loops live on this side of the wire, so their counters fold
+	// here. Node-side counters (a GIFT agent's coordinator client)
+	// arrive in the obs drain below.
+	if cellObs != nil {
+		var redials, retried int64
+		for _, c := range clients {
+			if rd, ok := c.(*transport.Redialer); ok {
+				st := rd.Stats()
+				if st.Dials > 1 {
+					redials += st.Dials - 1
+				}
+				retried += st.Retries
+			}
+		}
+		for _, jo := range outcomes {
+			retried += jo.stats.Retries
+		}
+		cellObs.Metrics.Counter(obs.MetricRedials).Add(redials)
+		cellObs.Metrics.Counter(obs.MetricRetries).Add(retried)
+	}
+
 	// Teardown: drain every node and fold its final snapshot. Device
 	// counters exist only in these STATS lines; a crashed node never
-	// prints one and contributes zeros.
+	// prints one and contributes zeros. The obs drain must come first —
+	// spans and metrics live in the node process, and terminate ends it.
 	restartMu.Lock()
 	finalOSS := append([]*nodeProc(nil), ossProcs...)
 	restartMu.Unlock()
+	var nodeSnap obs.Snapshot
+	if cellObs != nil {
+		for i, p := range finalOSS {
+			if d, ok := drainNodeObs(p.addr, i); ok {
+				cellObs.Tracer.Append(d.Events)
+				nodeSnap.Merge(d.Snapshot)
+			}
+		}
+	}
 	for _, p := range finalOSS {
 		st, ok := p.terminate(8 * time.Second)
 		if !ok {
@@ -518,5 +600,44 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 			res.GIFTCouponsOutstanding = st.CouponsOutstanding
 		}
 	}
-	return outcomeOf(res, spec.PerJobDigests), nil
+	if cellObs != nil {
+		fillOutcomeCounters(cellObs.Metrics, res)
+	}
+	out := outcomeOf(res, spec.PerJobDigests)
+	attachObs(&out, cellObs)
+	if out.Obs != nil {
+		out.Obs.Merge(nodeSnap)
+	}
+	return out, nil
+}
+
+// drainNodeObs pulls one node's accumulated spans and cumulative metrics
+// snapshot over the wire (opcode 0xF7). Each node is its own process,
+// with trace thread ids and span ids scoped to itself; events are
+// relabeled onto the cell's per-node threads before the caller folds
+// them. Best-effort: a node that crashed and never restarted took its
+// spans down with it, exactly like a real process.
+func drainNodeObs(addr string, node int) (cluster.ObsDrain, bool) {
+	r := &transport.Redialer{Network: "tcp", Addr: addr, Attempts: 1}
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rep, err := r.CallCtx(ctx, transport.Request{Op: cluster.OpObsDrain})
+	if err != nil {
+		return cluster.ObsDrain{}, false
+	}
+	var d cluster.ObsDrain
+	if err := json.Unmarshal(rep.Payload, &d); err != nil {
+		return cluster.ObsDrain{}, false
+	}
+	for i := range d.Events {
+		// Data spans move to thread `node`, control spans to
+		// ControllerTID+node; async ids get the node in their high bits
+		// (the node's own OSS runs at tid 0, leaving them clear).
+		d.Events[i].TID += int64(node)
+		if d.Events[i].ID != 0 {
+			d.Events[i].ID |= uint64(node) << 32
+		}
+	}
+	return d, true
 }

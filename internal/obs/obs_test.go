@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUpdates hammers one registry from many
+// goroutines — get-or-create races included — and checks the totals.
+// Run under -race in CI, this is the registry's thread-safety pin.
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter(MetricServed).Add(1)
+				reg.Gauge(GaugeBorrowed).Add(0.5)
+				reg.Histogram(HistGateLockWait).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if got := s.Counter(MetricServed); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d != %d", got, workers*perWorker)
+	}
+	if got := s.Gauge(GaugeBorrowed); got != workers*perWorker*0.5 {
+		t.Fatalf("gauge lost updates: %g", got)
+	}
+	if h := s.Histograms[HistGateLockWait]; h.Count != workers*perWorker || h.MaxNs != perWorker-1 {
+		t.Fatalf("histogram lost updates: %+v", h)
+	}
+}
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry handed out live metrics")
+	}
+	if !r.Snapshot().IsZero() {
+		t.Fatal("nil registry snapshot not zero")
+	}
+	var c *CellObs
+	if c.Enabled() {
+		t.Fatal("nil CellObs enabled")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter(MetricServed).Add(3)
+	a.Gauge(GaugeBorrowed).Add(1.5)
+	a.Histogram(HistGateLockWait).Observe(10)
+	b := NewRegistry()
+	b.Counter(MetricServed).Add(4)
+	b.Gauge(GaugeBorrowed).Add(2.5)
+	b.Histogram(HistGateLockWait).Observe(50)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counter(MetricServed) != 7 || s.Gauge(GaugeBorrowed) != 4.0 {
+		t.Fatalf("merge wrong: %+v", s)
+	}
+	if h := s.Histograms[HistGateLockWait]; h.Count != 2 || h.SumNs != 60 || h.MaxNs != 50 {
+		t.Fatalf("histogram merge wrong: %+v", h)
+	}
+}
+
+func TestWritePrometheusStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricServed).Add(12)
+	reg.Gauge(GaugeBucketTokens).Set(3.25)
+	reg.Histogram(HistGateLockWait).Observe(1000)
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("prometheus output not stable")
+	}
+	for _, want := range []string{
+		"rpc_served_total 12",
+		"tbf_bucket_tokens 3.25",
+		"gate_lock_wait_ns_count 1",
+		"gate_lock_wait_ns_sum 1000",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestHandlerServesMetricsAndPprof pins the HTTP surface the node
+// daemon mounts on -obs-addr: Prometheus text at /metrics and the pprof
+// index under /debug/pprof/.
+func TestHandlerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricServed).Add(5)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "rpc_served_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestWriteChromeTrace checks the exported document's shape: metadata
+// row naming, µs conversion, dur on complete events only, and byte-level
+// determinism of repeated exports.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(func() int64 { return 0 })
+	tr.Span("rpc", "rpc", 1, 2000, 5000, map[string]any{"job": "a.n01"})
+	tr.Instant("crash", "fault", 0, 3000, nil)
+	procs := []TraceProcess{{Name: "cell-0", Events: tr.Events()}}
+
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, procs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, procs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace export not deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("want 3 events (1 meta + 2), got %d", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["args"].(map[string]any)["name"] != "cell-0" {
+		t.Fatalf("bad metadata event: %v", meta)
+	}
+	span := doc.TraceEvents[1]
+	if span["ph"] != "X" || span["ts"].(float64) != 2.0 || span["dur"].(float64) != 3.0 {
+		t.Fatalf("bad span event: %v", span)
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" {
+		t.Fatalf("bad instant event: %v", inst)
+	}
+	if _, hasDur := inst["dur"]; hasDur {
+		t.Fatalf("instant event carries dur: %v", inst)
+	}
+}
+
+func TestTracerDrain(t *testing.T) {
+	tr := NewTracer(func() int64 { return 7 })
+	tr.Instant("a", "", 0, tr.Now(), nil)
+	if got := len(tr.Drain()); got != 1 {
+		t.Fatalf("drain returned %d events", got)
+	}
+	if got := len(tr.Drain()); got != 0 {
+		t.Fatalf("second drain returned %d events", got)
+	}
+	var nilT *Tracer
+	if nilT.Events() != nil || nilT.Drain() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}

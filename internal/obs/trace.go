@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Trace-event phases used by this package (a subset of the Chrome
+// trace-event format: "X" complete events carry ts+dur, "i" instants
+// carry only ts).
+const (
+	PhaseComplete   = "X"
+	PhaseInstant    = "i"
+	PhaseAsyncBegin = "b"
+	PhaseAsyncEnd   = "e"
+)
+
+// An Event is one structured trace record. Times are int64 nanoseconds
+// on the tracer's clock (virtual time in the simulator, OSS time on the
+// live backends); the Chrome export divides down to the microseconds the
+// format requires. TID identifies the emitting track — OST/OSS index for
+// request-path spans, ControllerTID-offset tracks for control-plane
+// spans — and PID is assigned at export time (one process per cell).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	TID   int64          `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ControllerTID offsets control-plane tracks (controller ticks, GIFT
+// walks) away from the request-path tracks so Perfetto renders them as
+// separate rows per OST.
+const ControllerTID = 1000
+
+// A Tracer collects structured span and instant events against an
+// injected clock. It is safe for concurrent use (the live backends trace
+// from many goroutines); under the single-threaded simulator the mutex
+// is uncontended. A nil *Tracer is the disabled tracer: callers guard
+// emission behind a nil check and never pay for it.
+type Tracer struct {
+	now func() int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns a tracer reading timestamps from now (int64
+// nanoseconds, any epoch — virtual or wall).
+func NewTracer(now func() int64) *Tracer {
+	return &Tracer{now: now}
+}
+
+// Now reads the tracer's clock — the timestamp callers capture at span
+// start.
+func (t *Tracer) Now() int64 { return t.now() }
+
+// Span records a completed span [start, end) on track tid. args may be
+// nil; end < start is clamped to a zero-duration span.
+func (t *Tracer) Span(name, cat string, tid, start, end int64, args map[string]any) {
+	if end < start {
+		end = start
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseComplete, TS: start, Dur: end - start, TID: tid, Args: args})
+}
+
+// Instant records a point event at ts on track tid.
+func (t *Tracer) Instant(name, cat string, tid, ts int64, args map[string]any) {
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, TID: tid, Args: args})
+}
+
+// AsyncBegin opens a nestable async span identified by (cat, id).
+// Unlike complete spans, async spans of different ids may overlap
+// freely — the representation for per-RPC lifecycles, where many RPCs
+// are queued on one track at once. Every AsyncBegin must be paired with
+// an AsyncEnd of the same name, cat, and id, with begins and ends
+// properly nested per id (the shape the trace-smoke validator enforces).
+func (t *Tracer) AsyncBegin(name, cat string, tid int64, id uint64, ts int64, args map[string]any) {
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseAsyncBegin, TS: ts, TID: tid, ID: id, Args: args})
+}
+
+// AsyncEnd closes the matching AsyncBegin.
+func (t *Tracer) AsyncEnd(name, cat string, tid int64, id uint64, ts int64, args map[string]any) {
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseAsyncEnd, TS: ts, TID: tid, ID: id, Args: args})
+}
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Append folds externally produced events (a remote node's drained
+// batch) into the tracer.
+func (t *Tracer) Append(events []Event) {
+	t.mu.Lock()
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the collected events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Drain returns the collected events and clears the tracer — the batch
+// semantics of the node daemon's obs-drain opcode: each call yields the
+// events accumulated since the previous one.
+func (t *Tracer) Drain() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.events
+	t.events = nil
+	return out
+}
+
+// A TraceProcess is one process row of an exported trace: a label (the
+// cell name) and its events. WriteChromeTrace assigns pid = slice index,
+// so callers control determinism by ordering processes canonically
+// (cell order, never worker completion order).
+type TraceProcess struct {
+	Name   string
+	Events []Event
+}
+
+// chromeEvent is the wire form of one trace-event JSON object. Field
+// order is fixed by the struct, map args are marshaled with sorted keys
+// by encoding/json, and timestamps are integer nanoseconds divided to
+// fractional microseconds — so the exported bytes are a pure function of
+// the events, which is what the golden deterministic-trace test pins.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports processes as a Chrome trace-event JSON
+// document ({"traceEvents": [...]}) loadable in Perfetto or
+// chrome://tracing. Each process gets a metadata event naming its row
+// and pid = its index in the slice.
+func WriteChromeTrace(w io.Writer, processes []TraceProcess) error {
+	out := make([]json.RawMessage, 0, len(processes)*2)
+	for pid, p := range processes {
+		meta, err := json.Marshal(map[string]any{
+			"name": "process_name",
+			"ph":   "M",
+			"pid":  pid,
+			"args": map[string]any{"name": p.Name},
+		})
+		if err != nil {
+			return err
+		}
+		out = append(out, meta)
+		for _, e := range p.Events {
+			ce := chromeEvent{
+				Name:  e.Name,
+				Cat:   e.Cat,
+				Phase: e.Phase,
+				TS:    float64(e.TS) / 1e3,
+				PID:   pid,
+				TID:   e.TID,
+				ID:    e.ID,
+				Args:  e.Args,
+			}
+			if e.Phase == PhaseComplete {
+				dur := float64(e.Dur) / 1e3
+				ce.Dur = &dur
+			}
+			raw, err := json.Marshal(ce)
+			if err != nil {
+				return fmt.Errorf("obs: marshal trace event %q: %w", e.Name, err)
+			}
+			out = append(out, raw)
+		}
+	}
+	doc := struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}{TraceEvents: out}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

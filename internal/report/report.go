@@ -21,6 +21,7 @@ import (
 
 	"adaptbf/internal/harness"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
 )
@@ -57,7 +58,15 @@ import (
 // carry a starvation section (tail-of-tails over per-job p99s).
 // Saturation-study documents (kind "saturation") carry the per-policy
 // capacity-at-SLO bisection under saturation.
-const SchemaVersion = 5
+//
+// v6 (observability): cells from runs with the obs layer enabled
+// (harness.WithObs) carry an "obs" section — the cell's metrics
+// snapshot: counters (request outcomes, controller epochs, transport
+// retries/redials), gauges (borrowed tokens, bucket levels, queue
+// depth), and histograms (gate lock wait) as count/sum/max. The section
+// is reporting-only and never part of the fingerprint; documents from
+// runs without WithObs are unchanged apart from the version stamp.
+const SchemaVersion = 6
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -124,6 +133,12 @@ type Cell struct {
 	RejectedRPCs uint64  `json:"rejected_rpcs,omitempty"`
 	ShedRPCs     uint64  `json:"shed_rpcs,omitempty"`
 	GoodputPct   float64 `json:"goodput_pct,omitempty"`
+
+	// Obs is the cell's metrics snapshot, present only when the run
+	// enabled the observability layer (harness.WithObs). Counters agree
+	// with the result fields above by construction; the control-plane
+	// gauges and the lock-wait histogram exist nowhere else.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 
 	Latency *Latency `json:"latency,omitempty"`
 	// PerJobDigests holds each job's own latency summary, present only
@@ -315,6 +330,9 @@ func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
 	}
 	if n := len(cr.Result.DeviceBusy); n > 0 {
 		c.UtilizationMean = util / float64(n)
+	}
+	if cr.Obs != nil && !cr.Obs.IsZero() {
+		c.Obs = cr.Obs
 	}
 	c.Latency = latencyOf(cr.LatencyDigest, opt.IncludeBuckets)
 	if opt.PerJobDigests && len(cr.JobDigests) > 0 {

@@ -242,3 +242,10 @@ func (s *Scheduler) PendingJobsInto(dst map[string]int) {
 
 // VirtualTime reports the current virtual system time (for tests).
 func (s *Scheduler) VirtualTime() float64 { return s.v }
+
+// InService reports the dispatch slots currently occupied (≤ D) — the
+// SFQ(D) depth signal the observability layer stamps on dispatch spans.
+func (s *Scheduler) InService() int { return s.inService }
+
+// Depth reports the scheduler's dispatch depth D.
+func (s *Scheduler) Depth() int { return s.depth }

@@ -46,6 +46,7 @@ import (
 	"adaptbf/internal/gift"
 	"adaptbf/internal/jobstats"
 	"adaptbf/internal/metrics"
+	"adaptbf/internal/obs"
 	"adaptbf/internal/rules"
 	"adaptbf/internal/sfq"
 	"adaptbf/internal/tbf"
@@ -128,6 +129,14 @@ type Config struct {
 	// admission seam is skipped entirely and the simulation is
 	// bit-identical to one without the field.
 	Admission admission.Config
+	// Obs attaches observability sinks (package obs): a structured
+	// tracer producing per-RPC and controller-epoch spans on virtual
+	// timestamps (same seed ⇒ bit-identical trace) and a metrics
+	// registry. nil — the default — disables both: every hot-path hook
+	// is a single nil check, the simulation allocates nothing extra, and
+	// results are bit-identical to a run without the field. Obs output
+	// is reporting-only and never joins any fingerprint.
+	Obs *obs.CellObs
 }
 
 // MaxDuration caps bounded scenarios that fail to converge (e.g. a
@@ -350,6 +359,16 @@ type simulation struct {
 	giftActive []gift.Activity   // per-tick scratch (GIFT)
 	giftAllocs []core.Allocation // per-tick scratch (GIFT)
 	giftCtrl   *gift.Controller  // the one centralized controller (GIFT)
+
+	// Observability (all nil when Config.Obs is nil — the hot paths
+	// guard on trace/mets with one nil check and pay nothing else).
+	trace   *obs.Tracer
+	mets    *obs.Registry
+	rpcSeq  uint64       // deterministic async-span id for traced RPCs
+	tickCtr *obs.Counter // MetricCtrlTicks
+	borrowG *obs.Gauge   // GaugeBorrowed (accumulated)
+	bucketG *obs.Gauge   // GaugeBucketTokens (sampled at epochs)
+	depthG  *obs.Gauge   // GaugeQueueDepth (sampled at epochs)
 }
 
 // A requestGate is the scheduler standing between arriving requests and
@@ -370,6 +389,7 @@ type ostState struct {
 	idx      int
 	gate     requestGate
 	sched    *tbf.Scheduler // non-nil except under the SFQ policy
+	sfqSched *sfq.Scheduler // non-nil only under the SFQ policy
 	onServed func()         // SFQ dispatch-slot release; nil elsewhere
 	dev      device.Device
 	tracker  jobstats.Tracker
@@ -402,6 +422,12 @@ type rpcToken struct {
 	// admitDeadline is the admission layer's queueing deadline (0 =
 	// none): a request still queued past it is shed at dispatch time.
 	admitDeadline int64
+	// Tracing fields, written only when a tracer is attached: the
+	// request's async-span id and its arrival/dispatch timestamps.
+	// Pooled with the token, they cost nothing when tracing is off.
+	traceID    uint64
+	arriveAt   int64
+	dispatchAt int64
 }
 
 func (s *simulation) getToken() *rpcToken {
@@ -417,6 +443,9 @@ func (s *simulation) putToken(tok *rpcToken) {
 	tok.proc = nil
 	tok.req = tbf.Request{}
 	tok.admitDeadline = 0
+	tok.traceID = 0
+	tok.arriveAt = 0
+	tok.dispatchAt = 0
 	s.scratch.tokens = append(s.scratch.tokens, tok)
 }
 
@@ -456,6 +485,18 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 	if c.SampleRecords {
 		s.res.Records = metrics.NewSeriesSet()
 	}
+	if c.Obs != nil {
+		s.trace = c.Obs.Tracer
+		s.mets = c.Obs.Metrics
+		if s.mets != nil {
+			// Resolve the periodic metrics once so epoch hooks never take
+			// the registry mutex on the simulation's clock.
+			s.tickCtr = s.mets.Counter(obs.MetricCtrlTicks)
+			s.borrowG = s.mets.Gauge(obs.GaugeBorrowed)
+			s.bucketG = s.mets.Gauge(obs.GaugeBucketTokens)
+			s.depthG = s.mets.Gauge(obs.GaugeQueueDepth)
+		}
+	}
 	// Intern the job table. Job index i is cfg.Jobs[i]'s position, and the
 	// Timeline and LatencyRecorder intern the same names in the same order
 	// so every component shares one index space.
@@ -485,6 +526,7 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 			})
 			q.SetJobs(s.jobIDs)
 			o.gate = q
+			o.sfqSched = q
 			o.onServed = q.Complete
 		} else {
 			o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: c.BucketDepth})
@@ -691,6 +733,21 @@ func (s *simulation) installGIFT() {
 			}
 			s.res.AllocTimes = append(s.res.AllocTimes, allocTime)
 			s.res.TickTimes = append(s.res.TickTimes, time.Since(walkStart))
+			if s.mets != nil {
+				s.tickCtr.Add(1)
+				s.bucketG.Set(s.bucketTokensTotal())
+				s.depthG.Set(float64(s.queueDepthTotal()))
+			}
+			if s.trace != nil {
+				// The central controller's serial walk of target i, as an
+				// instant: simulated walks consume no virtual time (the
+				// wall-clock cost lives in TickTimes and is deliberately
+				// excluded — trace bytes must be seed-deterministic).
+				s.trace.Instant("gift.walk", "ctrl", obs.ControllerTID+int64(i), s.loop.Now(), map[string]any{
+					"active": len(active),
+					"bank":   ctrl.BankEntries(),
+				})
+			}
 			o.kick()
 		}
 		return !s.allDone
@@ -703,6 +760,9 @@ func (s *simulation) observeTick(o *ostState, rep controller.TickReport) {
 	s.res.TickTimes = append(s.res.TickTimes, rep.TotalTime)
 	s.res.RuleOps += len(rep.Ops.Applied)
 	s.res.CtrlMsgs += 2 + int64(len(rep.Ops.Applied))
+	if s.trace != nil || s.mets != nil {
+		s.observeEpoch(o, rep)
+	}
 	if !s.cfg.SampleRecords {
 		return
 	}
@@ -714,6 +774,59 @@ func (s *simulation) observeTick(o *ostState, rep controller.TickReport) {
 		s.res.Records.Add(prefix+"record:"+string(al.Job), rep.Now, al.Record)
 		s.res.Records.Add(prefix+"demand:"+string(al.Job), rep.Now, float64(al.Demand))
 	}
+}
+
+// observeEpoch feeds one AdapTBF controller tick into the obs sinks:
+// an "adaptbf.tick" instant carrying per-bucket token levels and the
+// tick's borrow total, plus the epoch gauges/counters. Only
+// deterministic quantities go into trace args — wall-clock tick costs
+// stay out so a traced simulation remains bit-identical across runs.
+func (s *simulation) observeEpoch(o *ostState, rep controller.TickReport) {
+	var borrowed float64
+	for _, al := range rep.Allocations {
+		if al.Record < 0 {
+			borrowed -= al.Record
+		}
+	}
+	if s.mets != nil {
+		s.tickCtr.Add(1)
+		s.borrowG.Add(borrowed)
+		s.bucketG.Set(s.bucketTokensTotal())
+		s.depthG.Set(float64(s.queueDepthTotal()))
+	}
+	if s.trace != nil {
+		now := s.loop.Now()
+		buckets := make(map[string]float64)
+		o.sched.BucketLevelsInto(now, buckets)
+		s.trace.Instant("adaptbf.tick", "ctrl", obs.ControllerTID+int64(o.idx), now, map[string]any{
+			"active":   rep.Active,
+			"ops":      len(rep.Ops.Applied),
+			"borrowed": borrowed,
+			"buckets":  buckets,
+		})
+	}
+}
+
+// bucketTokensTotal sums token-bucket occupancy across every OST with a
+// TBF gate.
+func (s *simulation) bucketTokensTotal() float64 {
+	now := s.loop.Now()
+	var total float64
+	for _, o := range s.osts {
+		if o.sched != nil {
+			total += o.sched.BucketTokens(now)
+		}
+	}
+	return total
+}
+
+// queueDepthTotal sums the request-gate backlog across OSTs.
+func (s *simulation) queueDepthTotal() int {
+	var total int
+	for _, o := range s.osts {
+		total += o.gate.Pending()
+	}
+	return total
 }
 
 // finish assembles the result after the loop stops.
@@ -729,6 +842,16 @@ func (s *simulation) finish() *Result {
 		served, _, busy := o.dev.Stats()
 		s.res.DeviceBusy = append(s.res.DeviceBusy, busy)
 		s.res.ServedRPCs += served
+	}
+	if s.mets != nil {
+		// Request counters are derived once at the end of the run from the
+		// deterministic result totals — identical numbers to per-RPC atomic
+		// increments, at zero hot-path cost.
+		s.mets.Counter(obs.MetricServed).Add(int64(s.res.ServedRPCs))
+		s.mets.Counter(obs.MetricRejected).Add(int64(s.res.Rejected))
+		s.mets.Counter(obs.MetricShed).Add(int64(s.res.Shed))
+		s.mets.Counter(obs.MetricOfferedBytes).Add(s.res.OfferedBytes)
+		s.mets.Counter(obs.MetricGoodputBytes).Add(s.res.GoodputBytes)
 	}
 	return s.res
 }
@@ -795,6 +918,12 @@ func (p *procState) issue() {
 		Stream:   p.stream,
 		Userdata: tok,
 	}
+	if s.trace != nil {
+		s.rpcSeq++
+		tok.traceID = s.rpcSeq
+		s.trace.AsyncBegin("rpc", "rpc", int64(ost), tok.traceID, tok.issuedAt,
+			map[string]any{"job": p.jobID, "bytes": p.pat.RPCBytes})
+	}
 	s.loop.AfterCall(s.cfg.NetDelay, s.arriveFn, tok, int64(ost))
 }
 
@@ -848,18 +977,30 @@ func (o *ostState) arrive(req *tbf.Request) {
 	s := o.sim
 	now := s.loop.Now()
 	s.res.OfferedBytes += req.Bytes
+	if s.trace != nil {
+		req.Userdata.(*rpcToken).arriveAt = now
+	}
 	if o.adm != nil {
 		tok := req.Userdata.(*rpcToken)
 		d := o.adm.Admit(admission.Request{Job: req.JobID, Bytes: req.Bytes, Queued: o.gate.Pending()}, now)
 		switch d.Action {
 		case admission.Reject:
 			s.res.Rejected++
+			if s.trace != nil {
+				s.trace.Instant("admit.reject", "admission", int64(o.idx), now, map[string]any{"job": req.JobID})
+				s.trace.AsyncEnd("rpc", "rpc", int64(o.idx), tok.traceID, now+int64(s.cfg.NetDelay),
+					map[string]any{"outcome": "rejected"})
+			}
 			s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
 			s.putToken(tok)
 			return
 		case admission.Enqueue:
 			tok.admitDeadline = d.Deadline
 		}
+	}
+	if s.trace != nil {
+		tok := req.Userdata.(*rpcToken)
+		s.trace.AsyncBegin("queue", "rpc", int64(o.idx), tok.traceID, now, nil)
 	}
 	o.tracker.ObserveIdx(int(req.Job), req.Bytes)
 	if o.outstanding[req.Stream] == 0 {
@@ -912,6 +1053,11 @@ func (o *ostState) kick() {
 					o.activeStreams--
 				}
 			}
+			if s.trace != nil {
+				s.trace.AsyncEnd("queue", "rpc", int64(o.idx), tok.traceID, now, nil)
+				s.trace.AsyncEnd("rpc", "rpc", int64(o.idx), tok.traceID, now+int64(s.cfg.NetDelay),
+					map[string]any{"outcome": "shed"})
+			}
 			s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
 			s.putToken(tok)
 			continue
@@ -921,6 +1067,14 @@ func (o *ostState) kick() {
 			o.wakeAt = 0
 		}
 		o.busy = true
+		if s.trace != nil {
+			tok.dispatchAt = now
+			s.trace.AsyncEnd("queue", "rpc", int64(o.idx), tok.traceID, now, nil)
+			if o.sfqSched != nil {
+				s.trace.Instant("sfq.dispatch", "sfq", int64(o.idx), now,
+					map[string]any{"slots": o.sfqSched.InService(), "depth": o.sfqSched.Depth()})
+			}
+		}
 		st := o.dev.ServiceTime(req.Bytes, req.Stream, o.activeStreams)
 		s.loop.AfterCall(st, s.serveFn, tok, int64(o.idx))
 		return
@@ -947,6 +1101,11 @@ func (o *ostState) complete(tok *rpcToken) {
 	}
 	// Client-perceived latency: issue to reply receipt.
 	s.res.Latencies.RecordIdx(job, time.Duration(now+int64(s.cfg.NetDelay)-tok.issuedAt))
+	if s.trace != nil {
+		s.trace.Span("device", "rpc", int64(o.idx), tok.dispatchAt, now, nil)
+		s.trace.AsyncEnd("rpc", "rpc", int64(o.idx), tok.traceID, now+int64(s.cfg.NetDelay),
+			map[string]any{"outcome": "served"})
+	}
 	s.loop.AfterCall(s.cfg.NetDelay, s.replyFn, tok.proc, 0)
 	s.putToken(tok)
 	o.kick()

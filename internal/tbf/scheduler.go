@@ -532,3 +532,25 @@ func (s *Scheduler) Dequeue(now int64) (req *Request, wake int64, ok bool) {
 func (s *Scheduler) Stats() (enqueued, served, fallbackServed uint64) {
 	return s.enqueued, s.served, s.fbServed
 }
+
+// BucketTokens reports the tokens available across every (rule, class)
+// queue's bucket at time now — the scheduler-wide token occupancy the
+// observability layer samples at controller epochs. Reading advances
+// each bucket to now, which is exactly what the next Dequeue would do,
+// so observation never changes scheduling behaviour.
+func (s *Scheduler) BucketTokens(now int64) float64 {
+	var total float64
+	for _, q := range s.queues {
+		total += q.bucket.Tokens(now)
+	}
+	return total
+}
+
+// BucketLevelsInto adds every queue's token level at time now into dst,
+// keyed "<rule>/<class>". dst is not cleared first, so a periodic caller
+// can reuse one map across observations.
+func (s *Scheduler) BucketLevelsInto(now int64, dst map[string]float64) {
+	for _, q := range s.queues {
+		dst[q.rule.Name+"/"+q.class] = q.bucket.Tokens(now)
+	}
+}

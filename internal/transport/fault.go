@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -241,9 +242,31 @@ type Redialer struct {
 	// doubling per attempt.
 	Backoff time.Duration
 
+	// Lifetime counters (atomic): dials made and per-call retry attempts
+	// beyond the first. Read them with Stats; the remote matrix backend
+	// folds them into the cell's transport_redials/retries metrics.
+	dials   atomic.Int64
+	retries atomic.Int64
+
 	mu     sync.Mutex
 	cur    *Client
 	closed bool
+}
+
+// RedialerStats is a snapshot of a Redialer's lifetime transport
+// resilience counters.
+type RedialerStats struct {
+	// Dials counts connections established, including the first; values
+	// above 1 mean the connection was poisoned and re-established.
+	Dials int64
+	// Retries counts call attempts beyond each call's first — every unit
+	// is one transport-level failure the redialer absorbed.
+	Retries int64
+}
+
+// Stats snapshots the redialer's dial/retry counters.
+func (r *Redialer) Stats() RedialerStats {
+	return RedialerStats{Dials: r.dials.Load(), Retries: r.retries.Load()}
 }
 
 // client returns a healthy client, dialing if the previous connection
@@ -269,6 +292,7 @@ func (r *Redialer) client() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.dials.Add(1)
 	r.cur = NewClient(conn)
 	return r.cur, nil
 }
@@ -289,6 +313,7 @@ func (r *Redialer) CallCtx(ctx context.Context, req Request) (Reply, error) {
 	var err error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
+			r.retries.Add(1)
 			select {
 			case <-ctx.Done():
 				return rep, ctx.Err()
