@@ -193,7 +193,19 @@ var (
 	// snapshot and a span trace, exportable as one Chrome trace-event
 	// document via MatrixResult.WriteTrace.
 	WithMatrixObs = harness.WithObs
+	// WithMatrixRecordTrace records every cell's workload as a versioned
+	// trace file in the given directory (sim backend only); a recorded
+	// trace replayed via ReplayWorkloadMatrix reproduces the cell's
+	// fingerprint bit-for-bit.
+	WithMatrixRecordTrace = harness.WithRecordTrace
 )
+
+// ReplayWorkloadMatrix rebuilds the single-cell matrix a recorded
+// workload trace came from, with the policy axis free to sweep (empty =
+// the default policies).
+func ReplayWorkloadMatrix(path string, policies []Policy) (ScenarioMatrix, error) {
+	return harness.ReplayMatrix(path, policies)
+}
 
 // RunMatrixCtx executes every cell of the matrix concurrently on the
 // configured backend (the deterministic simulator by default; pass
@@ -214,9 +226,23 @@ func RunMatrix(m ScenarioMatrix, opt MatrixOptions) (*MatrixResult, error) {
 	return harness.RunOptions(m, opt)
 }
 
-// BuiltinScenarios returns the harness's scenario library: striped
-// sequential, mixed read/write interference, and staggered fan-in bursts.
+// DefaultScenarios returns the materialized preset trio — striped
+// sequential, mixed read/write interference, and staggered fan-in
+// bursts — which run on every backend and pin the golden fingerprint.
+func DefaultScenarios() []MatrixScenario { return harness.DefaultScenarios() }
+
+// BuiltinScenarios returns the full scenario library: the materialized
+// trio plus the generative streaming scenarios (poisson-mix,
+// gamma-burst, diurnal-tenants), which run on the sim backend only.
 func BuiltinScenarios() []MatrixScenario { return harness.BuiltinScenarios() }
+
+// LoadWorkloadScenario loads a declarative workload spec file (see
+// internal/workgen) and wraps it as a matrix scenario: jobs-mode specs
+// materialize up front, stream-mode specs generate jobs lazily on the
+// sim backend.
+func LoadWorkloadScenario(path string) (MatrixScenario, error) {
+	return harness.LoadScenarioSpec(path)
+}
 
 // SaturationRampScenario returns the overload workload behind the
 // capacity-at-SLO saturation study. Unlike the builtin scenarios, its

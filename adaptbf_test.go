@@ -104,7 +104,7 @@ func TestFacadeLiveCluster(t *testing.T) {
 
 func TestFacadeMatrix(t *testing.T) {
 	res, err := adaptbf.RunMatrix(adaptbf.ScenarioMatrix{
-		Scenarios: adaptbf.BuiltinScenarios(),
+		Scenarios: adaptbf.DefaultScenarios(),
 		Policies:  []adaptbf.Policy{adaptbf.PolicyNoBW, adaptbf.PolicyAdapTBF},
 		Scales:    []int64{256},
 		OSSes:     []int{2},

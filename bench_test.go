@@ -347,7 +347,7 @@ func BenchmarkAblationBucketDepth(b *testing.B) {
 
 func benchMatrix() harness.Matrix {
 	return harness.Matrix{
-		Scenarios: harness.BuiltinScenarios(),
+		Scenarios: harness.DefaultScenarios(),
 		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ},
 		Scales:    []int64{64},
 		OSSes:     []int{1, 2},

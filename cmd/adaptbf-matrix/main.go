@@ -24,6 +24,19 @@
 //	               [-gate BENCH_matrix.json] [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	               [-obs] [-trace trace.json] [-trace-cells GIFT]
+//	               [-workload spec.json] [-record-trace traces/]
+//	               [-replay-trace traces/cell.trace]
+//
+// -workload loads a declarative workload spec (JSON; see
+// examples/workloads/ and internal/workgen) and runs it as a scenario:
+// jobs-mode specs materialize their job set up front and run on every
+// backend, stream-mode specs generate jobs lazily on the sim backend so
+// a cell can sweep millions of jobs at flat memory. The builtin
+// streaming scenarios (poisson-mix, gamma-burst, diurnal-tenants) are
+// available by name through -scenarios. -record-trace writes one
+// versioned trace file per cell; -replay-trace re-runs a recorded trace
+// with the grid pinned to the recorded coordinates (only -policies
+// sweeps) and reproduces the recorded cell's fingerprint bit-for-bit.
 //
 // -backend selects the execution substrate for every cell: "sim" (the
 // default deterministic discrete-event simulator), "live" (real
@@ -184,14 +197,16 @@ var studyRejectedFlags = map[string][]string{
 		"scenarios", "policies", "rate", "period",
 		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
 		"faults", "node-bin", "remote", "admission", "slo-p99",
-		"obs", "trace", "trace-cells"},
+		"obs", "trace", "trace-cells",
+		"workload", "record-trace", "replay-trace"},
 	// Calibration runs its backends itself, so -backend is meaningless;
 	// -speedup/-cell-timeout/-policies tune its live half, and
 	// -remote/-node-bin/-faults add and tune its remote half.
 	report.CalibrationStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
 		"scenarios", "rate", "period",
 		"backend", "per-job-digests", "gate", "admission", "slo-p99",
-		"obs", "trace", "trace-cells"},
+		"obs", "trace", "trace-cells",
+		"workload", "record-trace", "replay-trace"},
 	// Saturation fixes its scenario and ramps the scale axis itself;
 	// -admission (a ";"-list of the policies to compare), -slo-p99,
 	// -seeds, -osses, -scales (the ramp ceiling), and -duration tune it.
@@ -199,7 +214,8 @@ var studyRejectedFlags = map[string][]string{
 		"scenarios", "policies", "rate", "period",
 		"backend", "cell-timeout", "speedup", "per-job-digests", "gate",
 		"faults", "node-bin", "remote",
-		"obs", "trace", "trace-cells"},
+		"obs", "trace", "trace-cells",
+		"workload", "record-trace", "replay-trace"},
 }
 
 // validateGridFlags checks the flag combinations of a plain (non-study)
@@ -244,6 +260,20 @@ func validateGridFlags(backend string, faults []harness.FaultProfile, set map[st
 	if set["node-bin"] && backend != "remote" {
 		return fmt.Errorf("-node-bin only applies to -backend remote")
 	}
+	if set["record-trace"] && backend != "sim" {
+		return fmt.Errorf("-record-trace requires -backend sim (a trace pins a deterministic workload; wall-clock cells have none)")
+	}
+	if set["replay-trace"] {
+		if backend != "sim" {
+			return fmt.Errorf("-replay-trace requires -backend sim (replay reproduces the recorded fingerprint bit-for-bit, a simulator-determinism property)")
+		}
+		for _, f := range []string{"scenarios", "workload", "scales", "osses", "seeds",
+			"rate", "period", "duration", "admission", "faults", "record-trace", "gate"} {
+			if set[f] {
+				return fmt.Errorf("-%s conflicts with -replay-trace (the trace pins the recorded workload, grid, and knobs; only -policies sweeps)", f)
+			}
+		}
+	}
 	if set["remote"] {
 		return fmt.Errorf("-remote is a -study calibration flag; use -backend remote for a grid run")
 	}
@@ -258,7 +288,7 @@ func validateGridFlags(backend string, faults []harness.FaultProfile, set map[st
 	if set["gate"] {
 		// The tracked intervals are captured on the default grid; gating
 		// a different grid would compare unrelated measurements.
-		for _, axis := range []string{"scenarios", "policies", "scales", "osses", "seeds", "rate", "period", "duration"} {
+		for _, axis := range []string{"scenarios", "workload", "policies", "scales", "osses", "seeds", "rate", "period", "duration"} {
 			if set[axis] {
 				return fmt.Errorf("-gate checks the tracked default grid; -%s is not supported with it (re-capture the regression_gate intervals instead if the grid should change)", axis)
 			}
@@ -299,11 +329,11 @@ func main() {
 	log.SetPrefix("adaptbf-matrix: ")
 	scenarios := flag.String("scenarios", strings.Join(func() []string {
 		var names []string
-		for _, sc := range harness.BuiltinScenarios() {
+		for _, sc := range harness.DefaultScenarios() {
 			names = append(names, sc.Name)
 		}
 		return names
-	}(), ","), "comma-separated scenario names")
+	}(), ","), "comma-separated scenario names (available: "+strings.Join(harness.ScenarioNames(), ", ")+"; the generative streaming scenarios need -backend sim)")
 	policies := flag.String("policies", "nobw,static,adaptbf,sfq", "comma-separated policies (nobw, static, adaptbf, sfq, gift)")
 	scales := flag.String("scales", "64", "comma-separated volume divisors (1 = paper scale)")
 	osses := flag.String("osses", "1,2", "comma-separated OSS counts")
@@ -318,6 +348,9 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound (0 = none); a cell exceeding it fails with a deadline error (live cells torn down immediately, sim cells on completion)")
 	speedup := flag.Float64("speedup", 1, "live/remote backends only: device/controller clock acceleration factor")
 	faults := flag.String("faults", "", "fault-profile axis for live/remote cells: a \";\"-separated list swept as a matrix axis, e.g. \"none;latency=2ms,loss=0.1\" (each entry latency=,jitter=,loss=,bw=,crash=,restart=,straggler=; crash/restart need -backend remote)")
+	workloadSpec := flag.String("workload", "", "load a declarative workload spec JSON file (see examples/workloads/) as a scenario; replaces the scenario set unless -scenarios is also given, in which case it is added to it")
+	recordTrace := flag.String("record-trace", "", "record every cell's workload as a versioned trace file in the given directory (created if missing; -backend sim only)")
+	replayTrace := flag.String("replay-trace", "", "replay a recorded workload trace: the grid is pinned to the trace's coordinates and knobs, and only -policies sweeps (sim backend)")
 	admissionFlag := flag.String("admission", "", "admission policy in front of every OSS: always, token-bucket[:cap=N,refill=N], or deadline-queue[:limit=N,deadline=D] (empty = always-admit); -study saturation takes a \";\"-separated list of policies to compare")
 	sloP99 := flag.Duration("slo-p99", 0, "saturation study: the p99 latency SLO the capacity bisection targets (0 = study default 100ms)")
 	nodeBin := flag.String("node-bin", "", "remote backend: prebuilt adaptbf-node binary (empty = build one from the module)")
@@ -339,6 +372,17 @@ func main() {
 	scs, err := harness.ScenariosByName(splitList(*scenarios))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *workloadSpec != "" {
+		wsc, err := harness.LoadScenarioSpec(*workloadSpec)
+		if err != nil {
+			log.Fatalf("bad -workload: %v", err)
+		}
+		if setFlags()["scenarios"] {
+			scs = append(scs, wsc)
+		} else {
+			scs = []harness.Scenario{wsc}
+		}
 	}
 	var pols []sim.Policy
 	for _, p := range splitList(*policies) {
@@ -559,6 +603,18 @@ func main() {
 		Faults:       faultProfiles,
 		Admission:    admCfg,
 	}
+	if *replayTrace != "" {
+		// The trace pins the recorded workload, coordinates, and knobs;
+		// the policy axis is the one thing replay sweeps.
+		rm, err := harness.ReplayMatrix(*replayTrace, pols)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = rm
+		scs, scaleVals, ossVals, seedVals = m.Scenarios, m.Scales, m.OSSes, m.Seeds
+		admCfg = m.Admission
+		fmt.Printf("replay: %s (scenario %s)\n", *replayTrace, scs[0].Name)
+	}
 	cells, err := m.Cells()
 	if err != nil {
 		log.Fatal(err)
@@ -588,6 +644,12 @@ func main() {
 	}
 	if withObs {
 		opts = append(opts, harness.WithObs())
+	}
+	if *recordTrace != "" {
+		if err := os.MkdirAll(*recordTrace, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, harness.WithRecordTrace(*recordTrace))
 	}
 	if !*quiet {
 		done := 0

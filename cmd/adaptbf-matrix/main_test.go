@@ -59,6 +59,16 @@ func TestValidateGridFlags(t *testing.T) {
 		{"remote flag on grid run", "remote", "", []string{"backend", "remote"}, "-study calibration flag"},
 		{"gate with axis flag", "sim", "", []string{"gate", "seeds"}, "tracked default grid"},
 		{"gate on default grid", "sim", "", []string{"gate"}, ""},
+		{"gate with workload", "sim", "", []string{"gate", "workload"}, "tracked default grid"},
+		{"record-trace on sim", "sim", "", []string{"record-trace"}, ""},
+		{"record-trace on live", "live", "", []string{"backend", "record-trace"}, "-record-trace requires -backend sim"},
+		{"record-trace on remote", "remote", "", []string{"backend", "record-trace"}, "-record-trace requires -backend sim"},
+		{"replay plain", "sim", "", []string{"replay-trace"}, ""},
+		{"replay with policies", "sim", "", []string{"replay-trace", "policies"}, ""},
+		{"replay on live", "live", "", []string{"backend", "replay-trace"}, "-replay-trace requires -backend sim"},
+		{"replay with scales", "sim", "", []string{"replay-trace", "scales"}, "conflicts with -replay-trace"},
+		{"replay with workload", "sim", "", []string{"replay-trace", "workload"}, "conflicts with -replay-trace"},
+		{"replay while recording", "sim", "", []string{"replay-trace", "record-trace"}, "conflicts with -replay-trace"},
 	}
 	for _, tc := range cases {
 		set := map[string]bool{}
@@ -85,7 +95,8 @@ func TestStudyRejectedFlags(t *testing.T) {
 		for _, f := range rejected {
 			has[f] = true
 		}
-		for _, must := range []string{"verify", "gate", "backend", "bench-json"} {
+		for _, must := range []string{"verify", "gate", "backend", "bench-json",
+			"workload", "record-trace", "replay-trace"} {
 			if !has[must] {
 				t.Errorf("study %s does not reject -%s", study, must)
 			}

@@ -287,6 +287,58 @@
 // stats.Moments groups, and emit a Study section plus experiments.Table
 // rows — see internal/report/study.go for the template.
 //
+// # Workload specs & trace replay
+//
+// internal/workgen is the generative workload engine: declarative,
+// seed-keyed workload specifications plus a versioned trace format for
+// recording and replaying job streams. A spec is a JSON document
+// (SpecVersion 1) in one of two modes:
+//
+//   - Jobs mode: the data form of the hand-written preset constructors —
+//     a list of job specs (id, nodes, procs or readers/writers,
+//     file_bytes, burst and stagger parameters, stripe "full"/"half"/n)
+//     plus an optional jitter_spread. It materializes a []Job up front
+//     and runs on every backend. The shipped files under
+//     examples/workloads/ (striped-seq.json, mixed-rw.json,
+//     staggered-burst.json) materialize byte-identical job sets to the
+//     Go presets; a sync test enforces it.
+//   - Stream mode: a generative job stream — an arrival process
+//     ("poisson", "gamma" with shape k < 1 for clumped bursts, or
+//     "diurnal": a Poisson base rate modulated by sinusoidal periods via
+//     thinning), a tenant population (per-tenant node allocation,
+//     selection weight and Zipf tenant_skew, transfer-size distribution:
+//     fixed / uniform / lognormal / pareto, read_fraction), optional
+//     churn (tenants rotate behaviour profiles every period), and the
+//     stream bounds max_jobs and max_active.
+//
+// Stream cells are the flat-memory path: the simulator pulls jobs from
+// the generator one at a time, holds at most max_active jobs of state
+// (a slot pool), parks arrivals at the generator seam while slots are
+// full, and folds every latency into mergeable digests instead of
+// per-job slices — so one cell sweeps a million jobs (see
+// examples/workloads/million-stream.json, smoke-tested in CI under an
+// RSS ceiling) at the same footprint as a thousand. Generators are pure:
+// the same (spec, scale, seed) yields the byte-identical stream on any
+// worker, so streaming cells keep the engine's fingerprint guarantees;
+// durations are quoted as "250ms" strings, sizes as "16MiB" strings,
+// and each spec's canonical SHA-256 is recorded in reports and trace
+// headers as provenance. From the CLI: -workload spec.json loads a spec
+// as a scenario, and the builtin streaming scenarios poisson-mix,
+// gamma-burst, and diurnal-tenants are available through -scenarios
+// (sim backend only; materialized cells run everywhere).
+//
+// Traces make any cell's workload a file: -record-trace dir/ (API:
+// WithMatrixRecordTrace) writes one versioned trace per cell — a JSON
+// header pinning the cell coordinates, matrix knobs, and spec SHA,
+// followed (in stream mode) by one compact line per generated job —
+// and -replay-trace file re-runs the recorded workload with the grid
+// pinned to the recorded coordinates, reproducing the original cell's
+// fingerprint bit-for-bit; only the policy axis sweeps on replay, so a
+// recorded stream doubles as a fixed benchmark input for policy
+// comparisons. Cells carry their workload provenance (mode, spec
+// name/SHA, stream job count, trace path) into the JSON document's
+// per-cell "workload" section (schema v7).
+//
 // # Observability
 //
 // internal/obs is the instrumentation seam: a structured tracer and a

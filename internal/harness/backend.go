@@ -3,6 +3,9 @@ package harness
 import (
 	"context"
 	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
+	"adaptbf/internal/workgen"
 )
 
 // A CellSpec is everything a backend needs to execute one matrix cell: the
@@ -47,6 +51,11 @@ type CellSpec struct {
 	// cell: a metrics snapshot and a span trace in the CellOutcome
 	// (WithObs). Off, the instrumentation costs nil checks only.
 	Obs bool
+
+	// RecordDir, when set, asks the backend to record the cell's workload
+	// as a versioned trace file in that directory (WithRecordTrace).
+	// Sim backend only.
+	RecordDir string
 }
 
 // A CellOutcome is a backend's finished cell: the raw result plus the
@@ -63,6 +72,10 @@ type CellOutcome struct {
 	// reporting artifacts: never folded into the matrix fingerprint.
 	Obs   *obs.Snapshot
 	Trace []obs.Event
+
+	// TracePath is the workload trace the backend recorded for this cell,
+	// present only when CellSpec.RecordDir asked for one.
+	TracePath string
 }
 
 // A JobDigest pairs one job with its per-job latency digest, in
@@ -129,13 +142,42 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 
 	cfg := sim.Config{
 		Policy:       spec.Cell.Policy,
-		Jobs:         spec.Scenario.Jobs(spec.Cell.Params()),
 		MaxTokenRate: spec.MaxTokenRate,
 		Period:       spec.Period,
 		Duration:     spec.Duration,
 		OSTs:         spec.Cell.OSSes,
 		SFQDepth:     spec.SFQDepth,
 		Admission:    spec.Admission,
+	}
+	var tracePath string
+	var recorder *workgen.Recorder
+	if spec.Scenario.Stream != nil {
+		src, err := spec.Scenario.Stream(spec.Cell.Params())
+		if err != nil {
+			return CellOutcome{}, fmt.Errorf("harness: open stream for %v: %w", spec.Cell, err)
+		}
+		if closer, ok := src.(io.Closer); ok {
+			defer closer.Close() // trace replay holds a file open
+		}
+		if spec.RecordDir != "" {
+			tracePath = filepath.Join(spec.RecordDir, traceFileName(spec.Cell))
+			rec, err := workgen.NewRecorder(tracePath, traceHeaderOf(spec), src)
+			if err != nil {
+				return CellOutcome{}, err
+			}
+			recorder = rec
+			src = rec
+		}
+		cfg.Source = src
+		cfg.PerJobDigests = spec.PerJobDigests
+	} else {
+		cfg.Jobs = spec.Scenario.Jobs(spec.Cell.Params())
+		if spec.RecordDir != "" {
+			tracePath = filepath.Join(spec.RecordDir, traceFileName(spec.Cell))
+			if err := workgen.WriteJobsTrace(tracePath, traceHeaderOf(spec), cfg.Jobs); err != nil {
+				return CellOutcome{}, err
+			}
+		}
 	}
 	var cellObs *obs.CellObs
 	if spec.Obs {
@@ -149,6 +191,11 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 		cfg.Obs = cellObs
 	}
 	res, err := sim.RunScratch(cfg, scratch)
+	if recorder != nil {
+		if cerr := recorder.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return CellOutcome{}, err
 	}
@@ -156,8 +203,53 @@ func (b *SimBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome, e
 		return CellOutcome{}, err // deadline/cancel fired mid-simulation
 	}
 	out := outcomeOf(res, spec.PerJobDigests)
+	out.TracePath = tracePath
 	attachObs(&out, cellObs)
 	return out, nil
+}
+
+// traceHeaderOf pins a cell's coordinates and effective matrix knobs
+// into a trace header. Mode and the mode-specific payload are filled by
+// the trace writer.
+func traceHeaderOf(spec CellSpec) workgen.TraceHeader {
+	h := workgen.TraceHeader{
+		Scenario:     spec.Cell.Scenario,
+		Scale:        spec.Cell.Scale,
+		OSSes:        spec.Cell.OSSes,
+		Seed:         spec.Cell.Seed,
+		MaxTokenRate: spec.MaxTokenRate,
+		PeriodNS:     int64(spec.Period),
+		DurationNS:   int64(spec.Duration),
+		SFQDepth:     spec.SFQDepth,
+	}
+	if !spec.Admission.IsAlways() {
+		h.Admission = spec.Admission.String()
+	}
+	if src := spec.Scenario.Source; src != nil {
+		h.SpecName = src.Name
+		h.SpecSHA = src.SHA
+	}
+	return h
+}
+
+// traceFileName flattens a cell's coordinates into one safe filename:
+// every byte outside [A-Za-z0-9._-] becomes '_'.
+func traceFileName(c Cell) string {
+	s := c.String()
+	var b strings.Builder
+	b.Grow(len(s) + len(".trace"))
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9',
+			ch == '.', ch == '_', ch == '-':
+			b.WriteByte(ch)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString(".trace")
+	return b.String()
 }
 
 // attachObs snapshots a cell's observability state into its outcome.
@@ -188,6 +280,15 @@ func fillOutcomeCounters(reg *obs.Registry, res *sim.Result) {
 // per-cell digest, plus per-job digests when asked. Shared by both
 // builtin backends so digest semantics cannot drift between substrates.
 func outcomeOf(res *sim.Result, perJob bool) CellOutcome {
+	if res.LatencyDigest != nil {
+		// Streaming cells fold their digests inside the simulator; the
+		// outcome just adopts them.
+		out := CellOutcome{Result: res, LatencyDigest: res.LatencyDigest}
+		for _, jd := range res.JobLatencyDigests {
+			out.JobDigests = append(out.JobDigests, JobDigest{Job: jd.Job, Digest: jd.Digest})
+		}
+		return out
+	}
 	out := CellOutcome{Result: res, LatencyDigest: stats.NewDigest()}
 	res.Latencies.FeedDigest(out.LatencyDigest)
 	if perJob {

@@ -107,6 +107,12 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 	if spec.Faults.CrashOSS {
 		return CellOutcome{}, fmt.Errorf("harness: the in-process live backend has no OSS process to crash; use -backend remote for crash/restart faults")
 	}
+	if spec.Scenario.Jobs == nil {
+		return CellOutcome{}, fmt.Errorf("harness: the live backend cannot run streaming scenario %s; use -backend sim", spec.Cell.Scenario)
+	}
+	if spec.RecordDir != "" {
+		return CellOutcome{}, fmt.Errorf("harness: trace recording needs the deterministic sim backend")
+	}
 	jobs := spec.Scenario.Jobs(spec.Cell.Params())
 	if len(jobs) == 0 {
 		return CellOutcome{}, fmt.Errorf("harness: scenario %s produced no jobs", spec.Cell.Scenario)

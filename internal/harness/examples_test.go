@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"adaptbf/internal/workgen"
+)
+
+func exampleSpec(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "examples", "workloads", name)
+}
+
+// TestExampleSpecsMatchBuiltinStreams keeps the shipped JSON spec files
+// in sync with the Go literals the harness registers: drift in either
+// direction fails here.
+func TestExampleSpecsMatchBuiltinStreams(t *testing.T) {
+	for _, want := range []*workgen.Spec{
+		workgen.PoissonMixSpec(),
+		workgen.GammaBurstSpec(),
+		workgen.DiurnalTenantsSpec(),
+	} {
+		got, err := workgen.LoadSpec(exampleSpec(t, want.Name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s.json drifted from the Go spec:\n got %+v\nwant %+v", want.Name, got, want)
+		}
+	}
+}
+
+// TestExampleSpecsMatchPresets proves the spec-file equivalents of the
+// preset trio materialize byte-identical job sets: the declarative form
+// and the hand-written constructors must be the same workload.
+func TestExampleSpecsMatchPresets(t *testing.T) {
+	presets := map[string]Scenario{
+		"striped-seq":     StripedSequentialScenario(),
+		"mixed-rw":        MixedReadWriteScenario(),
+		"staggered-burst": StaggeredBurstScenario(),
+	}
+	params := []CellParams{
+		{Scale: 64, OSSes: 1, Seed: 1},
+		{Scale: 64, OSSes: 2, Seed: 7},
+		{Scale: 1, OSSes: 8, Seed: 3},
+	}
+	for name, preset := range presets {
+		sc, err := LoadScenarioSpec(exampleSpec(t, name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Fatalf("spec file %s.json declares name %q", name, sc.Name)
+		}
+		for _, p := range params {
+			got := sc.Jobs(p)
+			want := preset.Jobs(p)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s at %+v: spec jobs differ from preset jobs", name, p)
+			}
+		}
+	}
+}
+
+// TestMillionStreamSpec validates the CI smoke workload: a full-scale
+// cell must sweep exactly one million single-RPC jobs.
+func TestMillionStreamSpec(t *testing.T) {
+	spec, err := workgen.LoadSpec(exampleSpec(t, "million-stream.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Stream == nil || spec.Stream.MaxJobs != 1_000_000 {
+		t.Fatalf("million-stream spec: %+v", spec.Stream)
+	}
+	g, err := workgen.NewGenerator(spec, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxJobs() != 1_000_000 {
+		t.Fatalf("full-scale stream yields %d jobs", g.MaxJobs())
+	}
+	var j workgen.Job
+	for i := 0; i < 1000; i++ {
+		if !g.Next(&j) {
+			t.Fatalf("stream dried up after %d jobs", i)
+		}
+		if j.Bytes != j.RPCBytes {
+			t.Fatalf("job %d is not single-RPC: %d/%d bytes", i, j.Bytes, j.RPCBytes)
+		}
+	}
+}

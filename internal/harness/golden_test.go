@@ -34,7 +34,7 @@ const goldenFingerprint = "325620e1af144743d8c8ef9a9de8631da6199dd341203804820a7
 
 func goldenMatrix() Matrix {
 	return Matrix{
-		Scenarios: BuiltinScenarios(),
+		Scenarios: DefaultScenarios(),
 		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT},
 		Scales:    []int64{64},
 		OSSes:     []int{1, 2},

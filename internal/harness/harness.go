@@ -39,6 +39,7 @@ import (
 	"adaptbf/internal/obs"
 	"adaptbf/internal/sim"
 	"adaptbf/internal/stats"
+	"adaptbf/internal/workgen"
 	"adaptbf/internal/workload"
 )
 
@@ -55,9 +56,47 @@ type CellParams struct {
 }
 
 // A Scenario names a workload family and builds its job set for a cell.
+// Exactly one of Jobs and Stream must be set. Jobs materializes the full
+// set up front and runs on every backend; Stream opens a lazy generative
+// job stream (package workgen) that the sim backend pulls one job at a
+// time, so cells can sweep millions of jobs at flat memory. Both carry
+// the same purity contract: the returned jobs must be a function of the
+// CellParams alone.
 type Scenario struct {
+	Name   string
+	Jobs   func(p CellParams) []workload.Job
+	Stream func(p CellParams) (workgen.Stream, error)
+
+	// Source records the scenario's declarative origin (a spec file or a
+	// replayed trace) for report provenance. Nil for Go presets.
+	Source *WorkloadSource
+}
+
+// A WorkloadSource identifies where a scenario's workload came from.
+type WorkloadSource struct {
+	// Kind is "spec" or "trace".
+	Kind string
+	// Name is the spec's self-declared name.
 	Name string
-	Jobs func(p CellParams) []workload.Job
+	// SHA is the spec's canonical-JSON SHA-256 (spec-backed scenarios).
+	SHA string
+	// Path is the file the spec or trace was loaded from, when any.
+	Path string
+}
+
+// A WorkloadInfo describes how a finished cell's workload was produced —
+// the provenance block reports carry. Present on CellResults whose
+// scenario was generative, declaratively sourced, or recorded to a
+// trace; nil for plain Go presets.
+type WorkloadInfo struct {
+	// Mode is "jobs" (materialized) or "stream" (generative).
+	Mode string
+	// Source is the scenario's declarative origin, when any.
+	Source *WorkloadSource
+	// StreamJobs counts completed stream jobs (stream cells only).
+	StreamJobs int64
+	// TracePath is the recorded workload trace (WithRecordTrace runs).
+	TracePath string
 }
 
 // A Matrix declares the full cross product of runs.
@@ -103,8 +142,8 @@ func (m Matrix) normalize() (Matrix, error) {
 	}
 	seen := make(map[string]bool, len(m.Scenarios))
 	for _, sc := range m.Scenarios {
-		if sc.Name == "" || sc.Jobs == nil {
-			return m, errors.New("harness: scenario needs a Name and a Jobs func")
+		if sc.Name == "" || (sc.Jobs == nil) == (sc.Stream == nil) {
+			return m, errors.New("harness: scenario needs a Name and exactly one of Jobs or Stream")
 		}
 		if seen[sc.Name] {
 			return m, fmt.Errorf("harness: duplicate scenario %q", sc.Name)
@@ -238,6 +277,11 @@ type CellResult struct {
 	JobDigests    []JobDigest
 	Err           error
 
+	// Workload is the cell's workload provenance (mode, declarative
+	// source, recorded trace). Nil for plain Go-preset materialized
+	// cells. Reporting-only: never feeds Fingerprint.
+	Workload *WorkloadInfo
+
 	// Obs is the cell's metrics snapshot and Trace its span events,
 	// present only when the run enabled them (WithObs). Reporting-only,
 	// like the digests: neither ever feeds Fingerprint, so enabling
@@ -264,6 +308,7 @@ type runConfig struct {
 	perJobDigests bool
 	failFast      bool
 	obs           bool
+	recordDir     string
 }
 
 // A RunOption tunes an engine run (see Run).
@@ -310,6 +355,16 @@ func WithDigests(perJob bool) RunOption {
 // nothing. Sim-backend captures are deterministic: same spec, same
 // snapshot, bit-identical trace.
 func WithObs() RunOption { return func(c *runConfig) { c.obs = true } }
+
+// WithRecordTrace writes one versioned workload trace per cell into dir
+// (which must exist): materialized cells record their job set,
+// generative cells record every streamed job as the simulator pulls it.
+// A recorded trace replayed through ReplayScenario reproduces the cell's
+// fingerprint bit-for-bit. Sim backend only — recording is rejected by
+// the wall-clock backends.
+func WithRecordTrace(dir string) RunOption {
+	return func(c *runConfig) { c.recordDir = dir }
+}
 
 // WithFailFast aborts dispatch after the first failed cell: in-flight
 // cells finish, cells not yet dispatched are marked with ErrCellSkipped,
@@ -434,6 +489,7 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					Faults:        c.Faults,
 					Admission:     norm.Admission,
 					Obs:           cfg.obs,
+					RecordDir:     cfg.recordDir,
 				}
 				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
 				if cfg.cellTimeout > 0 {
@@ -452,6 +508,19 @@ func Run(ctx context.Context, m Matrix, opts ...RunOption) (*MatrixResult, error
 					Obs:           outcome.Obs,
 					Trace:         outcome.Trace,
 					Err:           err,
+				}
+				if sc := spec.Scenario; err == nil &&
+					(sc.Stream != nil || sc.Source != nil || outcome.TracePath != "") {
+					mode := "jobs"
+					if sc.Stream != nil {
+						mode = "stream"
+					}
+					cr.Workload = &WorkloadInfo{
+						Mode:       mode,
+						Source:     sc.Source,
+						StreamJobs: outcome.Result.StreamJobs,
+						TracePath:  outcome.TracePath,
+					}
 				}
 				out.Cells[i] = cr
 				if err != nil && cfg.failFast {
@@ -704,6 +773,20 @@ func (r *MatrixResult) Fingerprint() string {
 		// golden fingerprint is stable across the feature's introduction.
 		if res.Rejected+res.Shed > 0 {
 			fmt.Fprintf(&b, "adm=%d:%d:%d:%d|", res.Rejected, res.Shed, res.OfferedBytes, res.GoodputBytes)
+		}
+		// Stream cells carry their outcome in digests rather than per-job
+		// slices; fold those in with the same conditional-segment rule so
+		// materialized cells hash exactly as before streams existed.
+		if res.StreamJobs > 0 {
+			fmt.Fprintf(&b, "stream=%d|", res.StreamJobs)
+			if res.StreamWaitDigest != nil {
+				res.StreamWaitDigest.WriteFingerprint(&b)
+				b.WriteByte('|')
+			}
+			if res.StreamJobDigest != nil {
+				res.StreamJobDigest.WriteFingerprint(&b)
+				b.WriteByte('|')
+			}
 		}
 		jobs := res.Timeline.Jobs()
 		for _, j := range jobs {

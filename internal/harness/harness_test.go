@@ -18,7 +18,7 @@ import (
 // worker-sweep.
 func acceptanceMatrix() Matrix {
 	return Matrix{
-		Scenarios: BuiltinScenarios(),
+		Scenarios: DefaultScenarios(),
 		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ},
 		Scales:    []int64{64},
 		OSSes:     []int{1, 2},
@@ -89,7 +89,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 // policy, stripe width, OSS count, or seed.
 func TestAllPoliciesInvariants(t *testing.T) {
 	m := Matrix{
-		Scenarios: BuiltinScenarios(),
+		Scenarios: DefaultScenarios(),
 		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT},
 		Scales:    []int64{128},
 		OSSes:     []int{1, 3},
@@ -229,8 +229,8 @@ func TestMatrixValidation(t *testing.T) {
 		{Scenarios: []Scenario{{Name: "x"}}},
 		{Scenarios: []Scenario{{Name: "x", Jobs: func(CellParams) []workload.Job { return nil }},
 			{Name: "x", Jobs: func(CellParams) []workload.Job { return nil }}}},
-		{Scenarios: BuiltinScenarios(), Scales: []int64{0}},
-		{Scenarios: BuiltinScenarios(), OSSes: []int{0}},
+		{Scenarios: DefaultScenarios(), Scales: []int64{0}},
+		{Scenarios: DefaultScenarios(), OSSes: []int{0}},
 	}
 	for i, m := range bad {
 		if _, err := Run(context.Background(), m); err == nil {

@@ -23,7 +23,7 @@ import (
 // and cross-OSS span ids are exercised.
 func obsMatrix() Matrix {
 	return Matrix{
-		Scenarios: BuiltinScenarios()[:1],
+		Scenarios: DefaultScenarios()[:1],
 		Policies:  []sim.Policy{sim.AdapTBF, sim.SFQ, sim.GIFT},
 		Scales:    []int64{64},
 		OSSes:     []int{2},

@@ -271,6 +271,12 @@ func (b *RemoteBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcome
 	if err != nil {
 		return CellOutcome{}, err
 	}
+	if spec.Scenario.Jobs == nil {
+		return CellOutcome{}, fmt.Errorf("harness: the remote backend cannot run streaming scenario %s; use -backend sim", spec.Cell.Scenario)
+	}
+	if spec.RecordDir != "" {
+		return CellOutcome{}, fmt.Errorf("harness: trace recording needs the deterministic sim backend")
+	}
 	jobs := spec.Scenario.Jobs(spec.Cell.Params())
 	if len(jobs) == 0 {
 		return CellOutcome{}, fmt.Errorf("harness: scenario %s produced no jobs", spec.Cell.Scenario)

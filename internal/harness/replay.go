@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/admission"
+	"adaptbf/internal/sim"
+	"adaptbf/internal/workgen"
+	"adaptbf/internal/workload"
+)
+
+// ReplayScenario opens a recorded workload trace and rebuilds a scenario
+// that re-feeds the recorded jobs verbatim. A jobs trace replays the
+// materialized set embedded in its header; a stream trace is re-read
+// lazily, one fresh TraceReader per cell, so a replayed matrix keeps the
+// engine's purity contract (every cell, on every worker, reads the same
+// bytes from the start). The returned header carries the recorded cell
+// coordinates and matrix knobs; ReplayMatrix turns them back into a
+// runnable Matrix.
+func ReplayScenario(path string) (Scenario, workgen.TraceHeader, error) {
+	tr, err := workgen.OpenTrace(path)
+	if err != nil {
+		return Scenario{}, workgen.TraceHeader{}, err
+	}
+	h := tr.Header()
+	if err := tr.Close(); err != nil {
+		return Scenario{}, workgen.TraceHeader{}, err
+	}
+	sc := Scenario{
+		Name:   h.Scenario,
+		Source: &WorkloadSource{Kind: "trace", Name: h.SpecName, SHA: h.SpecSHA, Path: path},
+	}
+	switch h.Mode {
+	case workgen.TraceModeJobs:
+		jobs := h.Jobs
+		sc.Jobs = func(CellParams) []workload.Job { return jobs }
+	case workgen.TraceModeStream:
+		sc.Stream = func(CellParams) (workgen.Stream, error) {
+			return workgen.OpenTrace(path)
+		}
+	}
+	return sc, h, nil
+}
+
+// ReplayMatrix rebuilds the single-cell matrix a trace was recorded
+// from: the replay scenario re-feeds the recorded workload, and every
+// axis is pinned to the recorded coordinates, so the replayed cell's
+// fingerprint matches the original bit-for-bit on the sim backend.
+// Policies is the one free axis — a trace captures the workload, not
+// the policy — and defaults to DefaultPolicies when empty.
+func ReplayMatrix(path string, policies []sim.Policy) (Matrix, error) {
+	sc, h, err := ReplayScenario(path)
+	if err != nil {
+		return Matrix{}, err
+	}
+	adm, err := admission.Parse(h.Admission)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("harness: trace %s admission: %w", path, err)
+	}
+	return Matrix{
+		Scenarios:    []Scenario{sc},
+		Policies:     policies,
+		Scales:       []int64{h.Scale},
+		OSSes:        []int{h.OSSes},
+		Seeds:        []int64{h.Seed},
+		MaxTokenRate: h.MaxTokenRate,
+		Period:       time.Duration(h.PeriodNS),
+		Duration:     time.Duration(h.DurationNS),
+		SFQDepth:     h.SFQDepth,
+		Admission:    adm,
+	}, nil
+}

@@ -5,61 +5,24 @@ import (
 	"sort"
 	"time"
 
+	"adaptbf/internal/workgen"
 	"adaptbf/internal/workload"
 )
 
 // The builtin scenarios scale the paper's 1 GiB-per-process volumes the
-// same way package experiments does.
+// same way package experiments does. Seed-keyed draws come from
+// workload.RNG (the splitmix64 stream the golden fingerprint pins);
+// jitterStarts and scaledBytes are thin aliases kept for the scenario
+// bodies' readability.
 const (
-	mib = int64(1) << 20
-	gib = int64(1) << 30
+	mib = workload.MiB
+	gib = workload.GiB
 )
 
-func scaledBytes(bytes, scale int64) int64 {
-	b := bytes / scale
-	if b < mib {
-		b = mib
-	}
-	return b
-}
+func scaledBytes(bytes, scale int64) int64 { return workload.ScaledBytes(bytes, scale) }
 
-// rng is a splitmix64 stream: tiny, deterministic, and plenty for
-// seed-axis jitter. (math/rand would also be deterministic, but a local
-// generator keeps the scenario library free of global state.)
-type rng struct{ s uint64 }
-
-func newRNG(seed int64) *rng { return &rng{s: uint64(seed)*0x9e3779b97f4a7c15 + 1} }
-
-func (r *rng) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// dur returns a deterministic duration in [lo, hi).
-func (r *rng) dur(lo, hi time.Duration) time.Duration {
-	if hi <= lo {
-		return lo
-	}
-	return lo + time.Duration(r.next()%uint64(hi-lo))
-}
-
-// jitterStarts offsets every process start by a small seed-derived delay,
-// so different seeds explore different arrival phasings of the same
-// workload. Jobs and procs are walked in order, keeping it deterministic.
 func jitterStarts(jobs []workload.Job, seed int64, spread time.Duration) []workload.Job {
-	r := newRNG(seed)
-	out := make([]workload.Job, len(jobs))
-	for i, j := range jobs {
-		j.Procs = append([]workload.Pattern(nil), j.Procs...)
-		for k := range j.Procs {
-			j.Procs[k].StartDelay += r.dur(0, spread)
-		}
-		out[i] = j
-	}
-	return out
+	return workload.JitterStarts(jobs, seed, spread)
 }
 
 // StripedSequentialScenario models the paper's real deployment shape:
@@ -112,9 +75,9 @@ func StaggeredBurstScenario() Scenario {
 		Name: "staggered-burst",
 		Jobs: func(p CellParams) []workload.Job {
 			fb := scaledBytes(1*gib, p.Scale)
-			r := newRNG(p.Seed)
-			stagger := r.dur(300*time.Millisecond, 900*time.Millisecond)
-			interval := r.dur(1500*time.Millisecond, 2500*time.Millisecond)
+			r := workload.NewRNG(p.Seed)
+			stagger := r.Dur(300*time.Millisecond, 900*time.Millisecond)
+			interval := r.Dur(1500*time.Millisecond, 2500*time.Millisecond)
 			return []workload.Job{
 				workload.StaggeredBurst("wave.n06", 6, 4, fb, 32, interval, stagger),
 				workload.Continuous("hog.n02", 2, 8, fb),
@@ -149,13 +112,101 @@ func SaturationRampScenario() Scenario {
 	}
 }
 
-// BuiltinScenarios returns the scenario library in canonical order.
-func BuiltinScenarios() []Scenario {
+// ---- generative (streaming) scenarios ----
+
+// specScenario wraps a workgen spec as a Scenario. Materialized specs
+// (Jobs mode) become ordinary Jobs scenarios; stream specs become
+// generator-backed scenarios whose cells pull jobs lazily. Purity of
+// Jobs(CellParams) generalizes: the generator is keyed only to the
+// cell's scale and seed, so the same cell yields the identical stream
+// whatever worker ran it.
+func specScenario(spec *workgen.Spec) Scenario {
+	sc := Scenario{Name: spec.Name, Source: &WorkloadSource{Kind: "spec", Name: spec.Name, SHA: spec.SHA()}}
+	if spec.Stream != nil {
+		sc.Stream = func(p CellParams) (workgen.Stream, error) {
+			return workgen.NewGenerator(spec, p.Scale, p.Seed)
+		}
+		return sc
+	}
+	sc.Jobs = func(p CellParams) []workload.Job {
+		jobs, err := spec.Materialize(p.Scale, p.OSSes, p.Seed)
+		if err != nil {
+			// Specs are validated at load/registration time, so a
+			// materialization failure is a programming error, and Jobs
+			// has no error channel by contract (pure function).
+			panic(fmt.Sprintf("harness: spec %s failed to materialize: %v", spec.Name, err))
+		}
+		return jobs
+	}
+	return sc
+}
+
+// ScenarioFromSpec registers a parsed workload spec as a scenario
+// (validated first). Materialized specs run on every backend; stream
+// specs run on the sim backend only.
+func ScenarioFromSpec(spec *workgen.Spec) (Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return specScenario(spec), nil
+}
+
+// LoadScenarioSpec reads a workload spec file (see package workgen for
+// the format) and wraps it as a Scenario named by the spec.
+func LoadScenarioSpec(path string) (Scenario, error) {
+	spec, err := workgen.LoadSpec(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := specScenario(spec)
+	sc.Source.Path = path
+	return sc, nil
+}
+
+// PoissonMixScenario is the baseline generative scenario: a Poisson
+// arrival stream over a small skewed multi-tenant population with
+// lognormal transfer sizes and a 30% read mix. Scale divides the
+// stream's job count the way it divides a preset's volumes.
+func PoissonMixScenario() Scenario {
+	return specScenario(workgen.PoissonMixSpec())
+}
+
+// GammaBurstScenario clumps arrivals: Gamma interarrivals with shape
+// k < 1 are heavy at zero, so jobs land in bursts separated by lulls —
+// the fan-in shape at stream scale, with Pareto transfer sizes.
+func GammaBurstScenario() Scenario {
+	return specScenario(workgen.GammaBurstSpec())
+}
+
+// DiurnalTenantsScenario modulates a Poisson stream with multi-period
+// sinusoids (a short and a long period, out of phase) and churns tenant
+// behaviour profiles over time — the day/night shape of shared-storage
+// congestion, compressed to simulation seconds.
+func DiurnalTenantsScenario() Scenario {
+	return specScenario(workgen.DiurnalTenantsSpec())
+}
+
+// DefaultScenarios returns the materialized preset trio — the default
+// grid of the CLI, the golden fingerprint, and the tracked p99 gate.
+// Growing THIS list moves the golden hash; new scenarios belong in
+// BuiltinScenarios.
+func DefaultScenarios() []Scenario {
 	return []Scenario{
 		StripedSequentialScenario(),
 		MixedReadWriteScenario(),
 		StaggeredBurstScenario(),
 	}
+}
+
+// BuiltinScenarios returns the scenario library in canonical order: the
+// preset trio first (the default grid), then the generative streaming
+// scenarios (sim-backend only; selectable via -scenarios).
+func BuiltinScenarios() []Scenario {
+	return append(DefaultScenarios(),
+		PoissonMixScenario(),
+		GammaBurstScenario(),
+		DiurnalTenantsScenario(),
+	)
 }
 
 // ScenarioNames lists the builtin scenario names, sorted.

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptbf/internal/sim"
+)
+
+// streamMatrix is a small generative matrix: one streaming scenario,
+// two policies, scale large enough to keep the cell quick.
+func streamMatrix() Matrix {
+	return Matrix{
+		Scenarios: []Scenario{PoissonMixScenario()},
+		Policies:  []sim.Policy{sim.NoBW, sim.AdapTBF},
+		Scales:    []int64{64},
+		OSSes:     []int{2},
+		Seeds:     []int64{1},
+	}
+}
+
+func TestStreamingScenarioRuns(t *testing.T) {
+	res, err := Run(context.Background(), streamMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range res.Cells {
+		if cr.Err != nil {
+			t.Fatalf("%v: %v", cr.Cell, cr.Err)
+		}
+		if cr.Workload == nil || cr.Workload.Mode != "stream" {
+			t.Fatalf("%v: missing stream workload info: %+v", cr.Cell, cr.Workload)
+		}
+		if cr.Workload.StreamJobs == 0 || cr.Result.StreamJobs != cr.Workload.StreamJobs {
+			t.Fatalf("%v: stream job count %d/%d", cr.Cell, cr.Workload.StreamJobs, cr.Result.StreamJobs)
+		}
+		if cr.Workload.Source == nil || cr.Workload.Source.Kind != "spec" || cr.Workload.Source.SHA == "" {
+			t.Fatalf("%v: missing spec provenance: %+v", cr.Cell, cr.Workload.Source)
+		}
+		if cr.LatencyDigest == nil || cr.LatencyDigest.N() == 0 {
+			t.Fatalf("%v: empty latency digest", cr.Cell)
+		}
+	}
+}
+
+// TestStreamingWorkerInvariance is the generator purity criterion at the
+// engine level: the same seed must yield a byte-identical job stream —
+// and hence a bit-identical matrix fingerprint — regardless of how many
+// workers race over the cells.
+func TestStreamingWorkerInvariance(t *testing.T) {
+	run := func(workers int) string {
+		res, err := Run(context.Background(), streamMatrix(), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fingerprint()
+	}
+	one := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != one {
+			t.Fatalf("fingerprint changed with worker count %d:\n got %s\nwant %s", w, got, one)
+		}
+	}
+}
+
+// TestStreamingScenariosDisjointSeeds guards against a degenerate
+// generator: different seeds must produce different outcomes.
+func TestStreamingScenariosDisjointSeeds(t *testing.T) {
+	m := streamMatrix()
+	fp := func(seed int64) string {
+		mm := m
+		mm.Seeds = []int64{seed}
+		res, err := Run(context.Background(), mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fingerprint()
+	}
+	if fp(1) == fp(2) {
+		t.Fatal("seeds 1 and 2 produced identical streaming fingerprints")
+	}
+}
+
+func TestBuiltinScenariosIncludeStreaming(t *testing.T) {
+	byName := map[string]Scenario{}
+	for _, sc := range BuiltinScenarios() {
+		byName[sc.Name] = sc
+	}
+	for _, name := range []string{"striped-seq", "mixed-rw", "staggered-burst"} {
+		sc, ok := byName[name]
+		if !ok || sc.Jobs == nil || sc.Stream != nil {
+			t.Fatalf("preset %s missing or not materialized", name)
+		}
+	}
+	for _, name := range []string{"poisson-mix", "gamma-burst", "diurnal-tenants"} {
+		sc, ok := byName[name]
+		if !ok || sc.Stream == nil || sc.Jobs != nil {
+			t.Fatalf("streaming scenario %s missing or not generative", name)
+		}
+		if sc.Source == nil || sc.Source.Kind != "spec" {
+			t.Fatalf("streaming scenario %s lacks spec provenance", name)
+		}
+	}
+	if n := len(DefaultScenarios()); n != 3 {
+		t.Fatalf("DefaultScenarios carries %d scenarios, want the materialized trio", n)
+	}
+}
+
+// traceRoundTrip records a single-cell matrix, replays the trace, and
+// requires the replayed fingerprint to match the original bit-for-bit.
+func traceRoundTrip(t *testing.T, sc Scenario, wantMode string) {
+	t.Helper()
+	dir := t.TempDir()
+	m := Matrix{
+		Scenarios: []Scenario{sc},
+		Policies:  []sim.Policy{sim.AdapTBF},
+		Scales:    []int64{64},
+		OSSes:     []int{2},
+		Seeds:     []int64{1},
+		Period:    50 * time.Millisecond,
+	}
+	orig, err := Run(context.Background(), m, WithRecordTrace(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := orig.Cells[0]
+	if cr.Err != nil {
+		t.Fatal(cr.Err)
+	}
+	if cr.Workload == nil || cr.Workload.TracePath == "" {
+		t.Fatalf("no trace recorded: %+v", cr.Workload)
+	}
+	if cr.Workload.Mode != wantMode {
+		t.Fatalf("workload mode %q, want %q", cr.Workload.Mode, wantMode)
+	}
+	if filepath.Dir(cr.Workload.TracePath) != dir {
+		t.Fatalf("trace %s recorded outside %s", cr.Workload.TracePath, dir)
+	}
+	if st, err := os.Stat(cr.Workload.TracePath); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	rm, err := ReplayMatrix(cr.Workload.TracePath, m.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Run(context.Background(), rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replayed.Fingerprint(), orig.Fingerprint(); got != want {
+		t.Fatalf("replayed fingerprint differs from recorded run:\n got %s\nwant %s", got, want)
+	}
+	wcr := replayed.Cells[0]
+	if wcr.Workload == nil || wcr.Workload.Source == nil || wcr.Workload.Source.Kind != "trace" {
+		t.Fatalf("replayed cell lacks trace provenance: %+v", wcr.Workload)
+	}
+}
+
+func TestTraceRoundTripStream(t *testing.T) {
+	traceRoundTrip(t, PoissonMixScenario(), "stream")
+}
+
+func TestTraceRoundTripJobs(t *testing.T) {
+	traceRoundTrip(t, StripedSequentialScenario(), "jobs")
+}

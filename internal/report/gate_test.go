@@ -104,7 +104,7 @@ func TestGateMatchesTrackedFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := harness.Run(context.Background(), harness.Matrix{
-		Scenarios: harness.BuiltinScenarios(),
+		Scenarios: harness.DefaultScenarios(),
 		Policies:  []sim.Policy{sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ},
 		Scales:    []int64{64},
 		OSSes:     []int{1, 2},

@@ -66,7 +66,15 @@ import (
 // depth), and histograms (gate lock wait) as count/sum/max. The section
 // is reporting-only and never part of the fingerprint; documents from
 // runs without WithObs are unchanged apart from the version stamp.
-const SchemaVersion = 6
+//
+// v7 (generative workloads & trace replay): cells whose workload was
+// generative (a streaming workgen scenario), declaratively sourced (a
+// workload spec file), or recorded to a trace carry a "workload"
+// section — the mode ("jobs" or "stream"), the spec/trace provenance
+// (name, canonical SHA-256, path), the completed stream-job count, and
+// the recorded trace path. Cells from plain Go-preset materialized
+// scenarios are unchanged apart from the version stamp.
+const SchemaVersion = 7
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -140,6 +148,10 @@ type Cell struct {
 	// gauges and the lock-wait histogram exist nowhere else.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
 
+	// Workload is the cell's workload provenance — present when the
+	// workload was generative, spec-sourced, or recorded to a trace.
+	Workload *Workload `json:"workload,omitempty"`
+
 	Latency *Latency `json:"latency,omitempty"`
 	// PerJobDigests holds each job's own latency summary, present only
 	// when the run captured per-job digests (harness.WithDigests) and
@@ -148,6 +160,21 @@ type Cell struct {
 	// Starvation condenses the per-job digests into the tail-of-tails:
 	// present whenever the run captured per-job digests for 2+ jobs.
 	Starvation *Starvation `json:"starvation,omitempty"`
+}
+
+// Workload records where a cell's workload came from and how it ran:
+// materialized up front ("jobs") or pulled lazily from a generator or a
+// replayed trace ("stream"). Spec-backed scenarios pin the spec's name
+// and canonical SHA-256, so a document identifies the exact workload
+// definition; recorded cells name the trace that replays them.
+type Workload struct {
+	Mode       string `json:"mode"`
+	SourceKind string `json:"source,omitempty"`
+	SpecName   string `json:"spec_name,omitempty"`
+	SpecSHA    string `json:"spec_sha256,omitempty"`
+	SourcePath string `json:"source_path,omitempty"`
+	StreamJobs int64  `json:"stream_jobs,omitempty"`
+	TracePath  string `json:"trace_path,omitempty"`
 }
 
 // Starvation is the tail-of-tails analysis of one cell: the cell-wide
@@ -316,6 +343,16 @@ func cellOf(cr harness.CellResult, sum metrics.Summary, opt Options) Cell {
 	if cr.Err != nil {
 		c.Error = cr.Err.Error()
 		return c
+	}
+	if wl := cr.Workload; wl != nil {
+		w := &Workload{Mode: wl.Mode, StreamJobs: wl.StreamJobs, TracePath: wl.TracePath}
+		if src := wl.Source; src != nil {
+			w.SourceKind = src.Kind
+			w.SpecName = src.Name
+			w.SpecSHA = src.SHA
+			w.SourcePath = src.Path
+		}
+		c.Workload = w
 	}
 	c.Done = cr.Result.Done
 	c.OverallMiBps = sum.OverallMiBps

@@ -378,3 +378,61 @@ func TestDocumentAdmissionAndStarvation(t *testing.T) {
 		}
 	}
 }
+
+// TestDocumentWorkloadSection: a streaming cell's document carries the
+// per-cell workload provenance (mode, spec source + SHA, streamed job
+// count), and materialized preset cells omit the section entirely so
+// existing consumers see byte-identical cells.
+func TestDocumentWorkloadSection(t *testing.T) {
+	m := harness.Matrix{
+		Scenarios: []harness.Scenario{
+			harness.StripedSequentialScenario(),
+			harness.PoissonMixScenario(),
+		},
+		Policies: []sim.Policy{sim.NoBW},
+		Scales:   []int64{64},
+		OSSes:    []int{2},
+		Seeds:    []int64{1},
+		Duration: 30 * time.Minute,
+	}
+	res, err := harness.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromMatrix(res, Options{})
+	var streamed, materialized int
+	for _, c := range doc.Cells {
+		switch c.Scenario {
+		case "poisson-mix":
+			streamed++
+			w := c.Workload
+			if w == nil || w.Mode != "stream" {
+				t.Fatalf("streaming cell workload section: %+v", w)
+			}
+			if w.SourceKind != "spec" || w.SpecName != "poisson-mix" || len(w.SpecSHA) != 64 {
+				t.Fatalf("spec provenance: %+v", w)
+			}
+			if w.StreamJobs <= 0 || int64(c.ServedRPCs) < w.StreamJobs {
+				t.Fatalf("stream_jobs %d vs served %d", w.StreamJobs, c.ServedRPCs)
+			}
+		default:
+			materialized++
+			if c.Workload != nil {
+				t.Fatalf("preset cell grew a workload section: %+v", c.Workload)
+			}
+		}
+	}
+	if streamed != 1 || materialized != 1 {
+		t.Fatalf("saw %d streamed / %d materialized cells", streamed, materialized)
+	}
+	// The section must survive a JSON round trip under its wire names.
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"workload"`, `"spec_sha256"`, `"stream_jobs"`} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("document JSON missing %s", field)
+		}
+	}
+}

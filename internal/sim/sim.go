@@ -36,6 +36,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"adaptbf/internal/admission"
@@ -49,7 +50,9 @@ import (
 	"adaptbf/internal/obs"
 	"adaptbf/internal/rules"
 	"adaptbf/internal/sfq"
+	"adaptbf/internal/stats"
 	"adaptbf/internal/tbf"
+	"adaptbf/internal/workgen"
 	"adaptbf/internal/workload"
 )
 
@@ -88,6 +91,24 @@ func (p Policy) String() string {
 type Config struct {
 	Policy Policy
 	Jobs   []workload.Job
+
+	// Source streams jobs lazily instead of materializing them: each
+	// generated job becomes one bounded transfer (Bytes in RPCBytes
+	// chunks) billed to its tenant, admitted into the event loop at its
+	// arrival time — or, when all MaxActive() slots are occupied, when
+	// the next slot frees. Mutually exclusive with Jobs. A streaming run
+	// holds MaxActive process slots regardless of stream length, and
+	// forces StreamStats so per-RPC state stays flat too.
+	Source workgen.Stream
+	// StreamStats folds per-RPC latencies incrementally into
+	// stats.Digest instead of recording them per-RPC in the latency
+	// recorder: Result.LatencyDigest (and, with PerJobDigests,
+	// Result.JobLatencyDigests) replace Result.Latencies. Usable with
+	// materialized Jobs too — the fold is order-independent, so the
+	// digest equals the one fed from a recorded run bit-for-bit.
+	StreamStats bool
+	// PerJobDigests adds per-job latency digests under StreamStats.
+	PerJobDigests bool
 
 	// MaxTokenRate is T_i per OST in tokens/s. Defaults to 500
 	// (≈ 500 MiB/s with 1 MiB RPCs, the SSD-class OST of Table II).
@@ -196,6 +217,25 @@ type Result struct {
 	Shed         uint64
 	OfferedBytes int64 // payload bytes of every RPC that reached an OST
 	GoodputBytes int64 // payload bytes of RPCs actually served
+
+	// Streaming/digest results (StreamStats runs only; nil otherwise).
+	// LatencyDigest folds every served RPC's client-perceived latency;
+	// JobLatencyDigests (PerJobDigests only) split the fold per job,
+	// sorted by job ID. Under a Source, StreamJobs counts completed
+	// stream jobs, StreamWaitDigest folds arrival→admission waits (slot
+	// queueing at the generator seam), and StreamJobDigest folds
+	// arrival→completion sojourn times.
+	LatencyDigest     *stats.Digest
+	JobLatencyDigests []JobLatencyDigest
+	StreamJobs        int64
+	StreamWaitDigest  *stats.Digest
+	StreamJobDigest   *stats.Digest
+}
+
+// A JobLatencyDigest is one job's latency fold in a StreamStats run.
+type JobLatencyDigest struct {
+	Job    string
+	Digest *stats.Digest
 }
 
 // GoodputPct is the served fraction of offered bytes, in percent. An
@@ -217,7 +257,20 @@ func (r *Result) Utilization(i int) float64 {
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
-	if len(out.Jobs) == 0 {
+	if out.Source != nil {
+		if len(out.Jobs) > 0 {
+			return out, fmt.Errorf("sim: Source and Jobs are mutually exclusive")
+		}
+		if out.Source.MaxActive() < 1 {
+			return out, fmt.Errorf("sim: stream source needs MaxActive >= 1")
+		}
+		if len(out.Source.Tenants()) == 0 {
+			return out, fmt.Errorf("sim: stream source has no tenants")
+		}
+		// Flat memory requires the digest fold: per-RPC recording would
+		// grow with stream length.
+		out.StreamStats = true
+	} else if len(out.Jobs) == 0 {
 		return out, fmt.Errorf("sim: no jobs")
 	}
 	for _, j := range out.Jobs {
@@ -348,6 +401,24 @@ type simulation struct {
 	hasUnbounded bool
 	allDone      bool
 
+	// Streaming state (Source runs only). The stream is pulled one job
+	// ahead: pending holds the next arrival, and when every slot is
+	// occupied the arrival waits at the seam until streamFinish frees
+	// one. staticJobs carries the per-tenant pseudo-jobs Static BW rules
+	// are computed from.
+	src          workgen.Stream
+	pending      workgen.Job
+	pendingValid bool
+	waiting      bool
+	freeSlots    []int32
+	activeJobs   int
+	staticJobs   []workload.Job
+	streamFn     func(arg any, n int64)
+
+	// Digest folds (StreamStats runs only).
+	latDig  *stats.Digest
+	jobDigs []stats.Digest // per job index (PerJobDigests only)
+
 	// Pre-bound event callbacks (see des.AtCall): one closure each per
 	// run, shared by every RPC.
 	beginFn    func(arg any, n int64)
@@ -467,6 +538,9 @@ type procState struct {
 	stripeBase  int
 	stripeCount int
 	ostRR       int
+
+	// arrivalAt is the stream job's arrival timestamp (Source runs only).
+	arrivalAt int64
 }
 
 func newSimulation(c Config, scratch *Scratch) *simulation {
@@ -497,17 +571,33 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 			s.depthG = s.mets.Gauge(obs.GaugeQueueDepth)
 		}
 	}
-	// Intern the job table. Job index i is cfg.Jobs[i]'s position, and the
-	// Timeline and LatencyRecorder intern the same names in the same order
-	// so every component shares one index space.
-	s.jobIDs = make([]string, len(c.Jobs))
-	s.procsByJob = make([][]*procState, len(c.Jobs))
-	for i, job := range c.Jobs {
-		s.jobIDs[i] = job.ID
-		s.nodesByJob[job.ID] = job.Nodes
-		s.res.Timeline.JobIndex(job.ID)
-		s.res.Latencies.JobIndex(job.ID)
+	// Intern the job table. Job index i is cfg.Jobs[i]'s position — or,
+	// under a stream Source, tenant i's slot in the stream's tenant
+	// table — and the Timeline and LatencyRecorder intern the same names
+	// in the same order so every component shares one index space.
+	s.src = c.Source
+	if s.src != nil {
+		tenants := s.src.Tenants()
+		s.jobIDs = make([]string, len(tenants))
+		s.staticJobs = make([]workload.Job, len(tenants))
+		for i, t := range tenants {
+			s.jobIDs[i] = t.ID
+			s.nodesByJob[t.ID] = t.Nodes
+			s.res.Timeline.JobIndex(t.ID)
+			s.res.Latencies.JobIndex(t.ID)
+			s.staticJobs[i] = workload.Job{ID: t.ID, Nodes: t.Nodes}
+		}
+	} else {
+		s.jobIDs = make([]string, len(c.Jobs))
+		for i, job := range c.Jobs {
+			s.jobIDs[i] = job.ID
+			s.nodesByJob[job.ID] = job.Nodes
+			s.res.Timeline.JobIndex(job.ID)
+			s.res.Latencies.JobIndex(job.ID)
+		}
+		s.staticJobs = c.Jobs
 	}
+	s.procsByJob = make([][]*procState, len(s.jobIDs))
 	// OST and process states live in two slabs: one allocation each for
 	// the whole stack instead of one per object.
 	ostSlab := make([]ostState, c.OSTs)
@@ -535,11 +625,26 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 		}
 		s.osts[i] = o
 	}
+	// Process slots: one per materialized process, or — streaming — a
+	// fixed pool of MaxActive slots that stream jobs claim and release.
+	// The pool is the flat-memory invariant: a million-job stream runs
+	// in the same per-process state as a MaxActive-process cell.
 	nprocs := 0
-	for _, job := range c.Jobs {
-		nprocs += len(job.Procs)
+	if s.src != nil {
+		nprocs = s.src.MaxActive()
+	} else {
+		for _, job := range c.Jobs {
+			nprocs += len(job.Procs)
+		}
 	}
 	procSlab := make([]procState, 0, nprocs)
+	if s.src != nil {
+		for i := 0; i < nprocs; i++ {
+			procSlab = append(procSlab, procState{sim: s, stream: i, done: true})
+			s.procs = append(s.procs, &procSlab[i])
+			s.freeSlots = append(s.freeSlots, int32(i))
+		}
+	}
 	for jobIdx, job := range c.Jobs {
 		for _, pat := range job.Procs {
 			procSlab = append(procSlab, procState{
@@ -575,16 +680,30 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 	for i, o := range s.osts {
 		o.outstanding = outSlab[i*nprocs : (i+1)*nprocs : (i+1)*nprocs]
 	}
-	for jobIdx, job := range c.Jobs {
-		var total int64
-		for _, pat := range job.Procs {
-			if pat.FileBytes > 0 {
-				total += pat.Normalize().RPCs()
+	// Latency storage: the digest fold (flat) or the per-RPC recorder
+	// (reserved up front from each bounded job's known RPC total).
+	if c.StreamStats {
+		s.latDig = stats.NewDigest()
+		s.res.LatencyDigest = s.latDig
+		if c.PerJobDigests {
+			s.jobDigs = make([]stats.Digest, len(s.jobIDs))
+		}
+	} else {
+		for jobIdx, job := range c.Jobs {
+			var total int64
+			for _, pat := range job.Procs {
+				if pat.FileBytes > 0 {
+					total += pat.Normalize().RPCs()
+				}
+			}
+			if total > 0 {
+				s.res.Latencies.Reserve(jobIdx, int(total))
 			}
 		}
-		if total > 0 {
-			s.res.Latencies.Reserve(jobIdx, int(total))
-		}
+	}
+	if s.src != nil {
+		s.res.StreamWaitDigest = stats.NewDigest()
+		s.res.StreamJobDigest = stats.NewDigest()
 	}
 	s.bindCallbacks()
 	return s
@@ -614,6 +733,7 @@ func (s *simulation) bindCallbacks() {
 		p.burstLeft = p.burstSize()
 		p.fill()
 	}
+	s.streamFn = func(any, int64) { s.streamArrive() }
 }
 
 // start installs policy machinery and schedules process starts.
@@ -626,8 +746,112 @@ func (s *simulation) start() {
 	case GIFT:
 		s.installGIFT()
 	}
+	if s.src != nil {
+		s.pullNext()
+		if s.pendingValid {
+			s.scheduleArrival()
+		} else {
+			s.allDone = true
+		}
+		return
+	}
 	for _, p := range s.procs {
 		s.loop.AtCall(int64(p.pat.StartDelay), s.beginFn, p, 0)
+	}
+}
+
+// ---- streaming (lazy job admission) ----
+
+// pullNext advances the stream by one job into pending.
+func (s *simulation) pullNext() {
+	s.pendingValid = s.src.Next(&s.pending)
+}
+
+// scheduleArrival books the pending job's arrival event, clamped to now
+// for jobs whose arrival time passed while every slot was occupied.
+func (s *simulation) scheduleArrival() {
+	at := int64(s.pending.At)
+	if now := s.loop.Now(); at < now {
+		at = now
+	}
+	s.loop.AtCall(at, s.streamFn, nil, 0)
+}
+
+// streamArrive lands the pending job: admit it into a free slot, or —
+// with every slot occupied — park it at the seam until streamFinish
+// frees one. Only admission pulls the next job, so the simulation holds
+// exactly one un-admitted job in memory no matter how far arrivals run
+// ahead of service.
+func (s *simulation) streamArrive() {
+	if !s.pendingValid {
+		return
+	}
+	if len(s.freeSlots) == 0 {
+		s.waiting = true
+		return
+	}
+	s.admitPending()
+	s.pullNext()
+	if s.pendingValid {
+		s.scheduleArrival()
+	} else if s.activeJobs == 0 {
+		s.allDone = true
+	}
+}
+
+// admitPending claims a slot for the pending job and starts its
+// transfer. The slot's procState is rebuilt in place: no allocation.
+func (s *simulation) admitPending() {
+	j := &s.pending
+	slot := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	now := s.loop.Now()
+	s.res.StreamWaitDigest.Add(time.Duration(now - int64(j.At)))
+	pat := workload.Pattern{
+		FileBytes:   j.Bytes,
+		RPCBytes:    j.RPCBytes,
+		MaxInflight: j.MaxInflight,
+		Op:          j.Op,
+	}
+	p := s.procs[slot]
+	*p = procState{
+		sim:       s,
+		jobID:     s.jobIDs[j.Tenant],
+		job:       j.Tenant,
+		pat:       pat.Normalize(),
+		stream:    int(slot),
+		arrivalAt: int64(j.At),
+		// Stripe full width, the file's first object rotating with the
+		// stream position (Lustre's round-robin allocator at stream
+		// scale).
+		stripeCount: len(s.osts),
+		stripeBase:  int(j.Seq % int64(len(s.osts))),
+	}
+	p.rpcsLeft = p.pat.RPCs()
+	s.activeJobs++
+	p.begin()
+}
+
+// streamFinish releases a completed stream job's slot, folds its
+// sojourn, and unblocks a parked arrival.
+func (p *procState) streamFinish() {
+	s := p.sim
+	p.done = true
+	s.activeJobs--
+	now := s.loop.Now()
+	s.res.StreamJobs++
+	s.res.StreamJobDigest.Add(time.Duration(now - p.arrivalAt))
+	s.freeSlots = append(s.freeSlots, int32(p.stream))
+	if s.waiting && s.pendingValid {
+		s.waiting = false
+		s.admitPending()
+		s.pullNext()
+		if s.pendingValid {
+			s.scheduleArrival()
+		}
+	}
+	if !s.pendingValid && s.activeJobs == 0 {
+		s.allDone = true
 	}
 }
 
@@ -635,7 +859,7 @@ func (s *simulation) start() {
 // OST: rate = T_i · nodes/totalNodes, never adjusted — the paper's Static
 // BW baseline (workload.StaticRules, shared with the live backend).
 func (s *simulation) installStaticRules() {
-	rules := workload.StaticRules(s.cfg.Jobs, s.cfg.MaxTokenRate, s.cfg.StaticTotalNodes)
+	rules := workload.StaticRules(s.staticJobs, s.cfg.MaxTokenRate, s.cfg.StaticTotalNodes)
 	for _, o := range s.osts {
 		for _, r := range rules {
 			if err := o.sched.StartRule(r, 0); err != nil {
@@ -832,6 +1056,20 @@ func (s *simulation) queueDepthTotal() int {
 // finish assembles the result after the loop stops.
 func (s *simulation) finish() *Result {
 	s.res.Done = s.unfinished == 0 && !s.hasUnbounded
+	if s.src != nil {
+		// A streaming run is done when the stream is exhausted and every
+		// admitted job completed (a Duration cap can cut it short).
+		s.res.Done = s.allDone
+	}
+	if s.jobDigs != nil {
+		s.res.JobLatencyDigests = make([]JobLatencyDigest, len(s.jobDigs))
+		for i := range s.jobDigs {
+			s.res.JobLatencyDigests[i] = JobLatencyDigest{Job: s.jobIDs[i], Digest: &s.jobDigs[i]}
+		}
+		sort.Slice(s.res.JobLatencyDigests, func(i, j int) bool {
+			return s.res.JobLatencyDigests[i].Job < s.res.JobLatencyDigests[j].Job
+		})
+	}
 	s.res.Elapsed = time.Duration(s.loop.Now())
 	s.res.Events = s.loop.Processed()
 	if s.giftCtrl != nil {
@@ -948,6 +1186,10 @@ func (p *procState) onComplete() {
 // records the job finish time.
 func (p *procState) finishProc() {
 	if p.done {
+		return
+	}
+	if p.sim.src != nil {
+		p.streamFinish()
 		return
 	}
 	p.done = true
@@ -1099,8 +1341,17 @@ func (o *ostState) complete(tok *rpcToken) {
 			o.activeStreams--
 		}
 	}
-	// Client-perceived latency: issue to reply receipt.
-	s.res.Latencies.RecordIdx(job, time.Duration(now+int64(s.cfg.NetDelay)-tok.issuedAt))
+	// Client-perceived latency: issue to reply receipt — folded into the
+	// digest under StreamStats (flat memory), recorded per-RPC otherwise.
+	lat := time.Duration(now + int64(s.cfg.NetDelay) - tok.issuedAt)
+	if s.latDig != nil {
+		s.latDig.Add(lat)
+		if s.jobDigs != nil {
+			s.jobDigs[job].Add(lat)
+		}
+	} else {
+		s.res.Latencies.RecordIdx(job, lat)
+	}
 	if s.trace != nil {
 		s.trace.Span("device", "rpc", int64(o.idx), tok.dispatchAt, now, nil)
 		s.trace.AsyncEnd("rpc", "rpc", int64(o.idx), tok.traceID, now+int64(s.cfg.NetDelay),

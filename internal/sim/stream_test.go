@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"adaptbf/internal/stats"
+	"adaptbf/internal/workgen"
+	"adaptbf/internal/workload"
+)
+
+func streamSource(t *testing.T, spec *workgen.Spec, scale, seed int64) *workgen.Generator {
+	t.Helper()
+	g, err := workgen.NewGenerator(spec, scale, seed)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func TestStreamRunCompletes(t *testing.T) {
+	spec := workgen.PoissonMixSpec()
+	for _, pol := range []Policy{NoBW, AdapTBF, SFQ} {
+		g := streamSource(t, spec, 64, 1)
+		res, err := Run(Config{Policy: pol, Source: g, OSTs: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if !res.Done {
+			t.Fatalf("%v: stream run not done (elapsed %v)", pol, res.Elapsed)
+		}
+		if res.StreamJobs != g.MaxJobs() {
+			t.Fatalf("%v: completed %d stream jobs, want %d", pol, res.StreamJobs, g.MaxJobs())
+		}
+		if res.LatencyDigest == nil || res.LatencyDigest.N() == 0 {
+			t.Fatalf("%v: empty latency digest", pol)
+		}
+		if res.StreamWaitDigest.N() != res.StreamJobs || res.StreamJobDigest.N() != res.StreamJobs {
+			t.Fatalf("%v: digest counts %d/%d, want %d", pol,
+				res.StreamWaitDigest.N(), res.StreamJobDigest.N(), res.StreamJobs)
+		}
+		for _, job := range res.Latencies.Jobs() {
+			if res.Latencies.Count(job) != 0 {
+				t.Fatalf("%v: per-RPC recorder grew in a streaming run (job %s)", pol, job)
+			}
+		}
+	}
+}
+
+func TestStreamDeterministicAcrossRuns(t *testing.T) {
+	fp := func() string {
+		g := streamSource(t, workgen.GammaBurstSpec(), 32, 7)
+		res, err := Run(Config{Policy: AdapTBF, Source: g, OSTs: 2, PerJobDigests: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		res.LatencyDigest.WriteFingerprint(&b)
+		res.StreamWaitDigest.WriteFingerprint(&b)
+		res.StreamJobDigest.WriteFingerprint(&b)
+		for _, jd := range res.JobLatencyDigests {
+			b.WriteString(jd.Job)
+			jd.Digest.WriteFingerprint(&b)
+		}
+		return b.String()
+	}
+	if fp() != fp() {
+		t.Fatal("identical streaming configs produced different results")
+	}
+}
+
+// TestStreamStatsMatchesRecorder proves the incremental digest fold is
+// the same function as recording every latency and feeding the digest
+// afterwards: one materialized cell run both ways must produce
+// byte-identical digest fingerprints, overall and per job.
+func TestStreamStatsMatchesRecorder(t *testing.T) {
+	jobs := []workload.Job{
+		workload.StripedSequential("narrow.n01", 1, 4, 64<<20, 1),
+		workload.MixedReadWrite("mixed.n02", 2, 2, 2, 64<<20),
+	}
+	base := Config{Policy: AdapTBF, Jobs: jobs, OSTs: 2}
+
+	recorded, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := base
+	folded.StreamStats = true
+	folded.PerJobDigests = true
+	streamed, err := Run(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := stats.NewDigest()
+	recorded.Latencies.FeedDigest(want)
+	if got, wantFP := fpOf(t, streamed.LatencyDigest), fpOf(t, want); got != wantFP {
+		t.Fatalf("streaming digest differs from recorded fold:\n got %q\nwant %q", got, wantFP)
+	}
+	for _, jd := range streamed.JobLatencyDigests {
+		per := stats.NewDigest()
+		recorded.Latencies.FeedDigestJob(per, jd.Job)
+		if fpOf(t, jd.Digest) != fpOf(t, per) {
+			t.Fatalf("job %s: streaming digest differs from recorded fold", jd.Job)
+		}
+	}
+}
+
+func fpOf(t *testing.T, d *stats.Digest) string {
+	t.Helper()
+	var b bytes.Buffer
+	d.WriteFingerprint(&b)
+	return b.String()
+}
+
+// TestStreamFlatAllocs is the flat-memory criterion: tripling the
+// number of stream jobs must not grow allocations with the job count.
+// Slots, tokens, and digests are all reused; the only true growth is
+// the timeline's bins, which scale with simulated time, so the bound is
+// a small per-job byte budget rather than strict zero.
+func TestStreamFlatAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	spec := &workgen.Spec{
+		SpecVersion: workgen.SpecVersion,
+		Name:        "alloc-probe",
+		Stream: &workgen.StreamSpec{
+			Arrival:   workgen.ArrivalSpec{Process: workgen.ArrivalPoisson, RatePerSec: 2000},
+			MaxJobs:   60000,
+			MaxActive: 64,
+			Tenants: []workgen.TenantSpec{
+				{ID: "a.n04", Nodes: 4, Size: workgen.DistSpec{Dist: workgen.DistFixed, Mean: 1 << 20}, RPCBytes: 1 << 20},
+				{ID: "b.n02", Nodes: 2, Size: workgen.DistSpec{Dist: workgen.DistFixed, Mean: 1 << 20}, RPCBytes: 1 << 20},
+			},
+		},
+	}
+	scratch := NewScratch()
+	run := func(maxJobs int64) uint64 {
+		// Scale divides MaxJobs: 60000/scale jobs per run.
+		scale := spec.Stream.MaxJobs / maxJobs
+		g, err := workgen.NewGenerator(spec, scale, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Source: g, OSTs: 2, BinWidth: time.Second}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		if _, err := RunScratch(cfg, scratch); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		return ms1.TotalAlloc - ms0.TotalAlloc
+	}
+	run(20000) // warm the scratch and pools
+	small := run(20000)
+	large := run(60000)
+	extra := int64(large) - int64(small)
+	perJob := float64(extra) / 40000
+	if perJob > 64 {
+		t.Fatalf("allocations scale with stream length: %d extra bytes for 40000 extra jobs (%.1f B/job)",
+			extra, perJob)
+	}
+}

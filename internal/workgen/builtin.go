@@ -1,0 +1,88 @@
+package workgen
+
+import "time"
+
+// The builtin stream specs below are the Go source of truth for the
+// generative scenarios the harness registers; the JSON files under
+// examples/workloads/ mirror them byte-for-semantics (a test keeps the
+// two in sync). Job counts are quoted at paper scale — a cell divides
+// MaxJobs by its scale divisor, so the default grid scale of 64 runs
+// hundreds of jobs per cell while scale 1 runs the full stream.
+
+// PoissonMixSpec is the baseline generative stream: memoryless arrivals
+// over a skewed six-tenant population with lognormal transfer sizes and
+// per-tenant read mixes.
+func PoissonMixSpec() *Spec {
+	return &Spec{
+		SpecVersion: SpecVersion,
+		Name:        "poisson-mix",
+		Stream: &StreamSpec{
+			Arrival:    ArrivalSpec{Process: ArrivalPoisson, RatePerSec: 200},
+			MaxJobs:    40000,
+			MaxActive:  64,
+			TenantSkew: 1.1,
+			Tenants: []TenantSpec{
+				{ID: "ml.n08", Nodes: 8, Size: DistSpec{Dist: DistLognormal, Mean: 16 << 20, Sigma: 1.0, Max: 512 << 20}, ReadFraction: 0.8},
+				{ID: "etl.n04", Nodes: 4, Size: DistSpec{Dist: DistLognormal, Mean: 8 << 20, Sigma: 0.8, Max: 256 << 20}, ReadFraction: 0.3},
+				{ID: "ckpt.n06", Nodes: 6, Size: DistSpec{Dist: DistFixed, Mean: 64 << 20}},
+				{ID: "log.n01", Nodes: 1, Size: DistSpec{Dist: DistFixed, Mean: 1 << 20}, RPCBytes: 256 << 10},
+				{ID: "bio.n03", Nodes: 3, Size: DistSpec{Dist: DistLognormal, Mean: 4 << 20, Sigma: 1.2, Max: 128 << 20}, ReadFraction: 0.5},
+				{ID: "adhoc.n01", Nodes: 1, Size: DistSpec{Dist: DistUniform, Min: 1 << 20, Max: 32 << 20}, ReadFraction: 0.5},
+			},
+		},
+	}
+}
+
+// GammaBurstSpec clumps arrivals: Gamma interarrivals with shape k < 1
+// put most of the mass near zero, so jobs land in tight bursts separated
+// by long lulls — the fan-in wave at stream scale — with heavy-tailed
+// Pareto transfer sizes on the bursty tenants.
+func GammaBurstSpec() *Spec {
+	return &Spec{
+		SpecVersion: SpecVersion,
+		Name:        "gamma-burst",
+		Stream: &StreamSpec{
+			Arrival:    ArrivalSpec{Process: ArrivalGamma, RatePerSec: 300, Shape: 0.35},
+			MaxJobs:    30000,
+			MaxActive:  96,
+			TenantSkew: 0.8,
+			Tenants: []TenantSpec{
+				{ID: "wave.n06", Nodes: 6, Weight: 3, Size: DistSpec{Dist: DistPareto, Min: 1 << 20, Alpha: 1.5, Max: 256 << 20}, ReadFraction: 0.1},
+				{ID: "scratch.n02", Nodes: 2, Weight: 2, Size: DistSpec{Dist: DistPareto, Min: 512 << 10, Alpha: 1.8, Max: 64 << 20}, ReadFraction: 0.5},
+				{ID: "hog.n02", Nodes: 2, Weight: 1, Size: DistSpec{Dist: DistFixed, Mean: 32 << 20}},
+				{ID: "probe.n01", Nodes: 1, Weight: 1, Size: DistSpec{Dist: DistFixed, Mean: 1 << 20}, RPCBytes: 256 << 10, ReadFraction: 1},
+			},
+		},
+	}
+}
+
+// DiurnalTenantsSpec modulates a Poisson stream with two out-of-phase
+// sinusoids — a short "shift" period and a long "day" period — and
+// churns tenant behaviour profiles every churn period, so which tenant
+// is the heavy hitter wanders over the run.
+func DiurnalTenantsSpec() *Spec {
+	return &Spec{
+		SpecVersion: SpecVersion,
+		Name:        "diurnal-tenants",
+		Stream: &StreamSpec{
+			Arrival: ArrivalSpec{
+				Process:    ArrivalDiurnal,
+				RatePerSec: 150,
+				Periods: []PeriodSpec{
+					{Period: Duration(20 * time.Second), Amplitude: 0.6},
+					{Period: Duration(3 * time.Minute), Amplitude: 0.3, Phase: 1.5707963},
+				},
+			},
+			MaxJobs:    25000,
+			MaxActive:  64,
+			TenantSkew: 1.0,
+			Churn:      &ChurnSpec{Period: Duration(30 * time.Second)},
+			Tenants: []TenantSpec{
+				{ID: "day.n08", Nodes: 8, Size: DistSpec{Dist: DistLognormal, Mean: 12 << 20, Sigma: 0.9, Max: 256 << 20}, ReadFraction: 0.6},
+				{ID: "night.n04", Nodes: 4, Size: DistSpec{Dist: DistLognormal, Mean: 24 << 20, Sigma: 0.7, Max: 256 << 20}, ReadFraction: 0.2},
+				{ID: "steady.n02", Nodes: 2, Size: DistSpec{Dist: DistFixed, Mean: 8 << 20}, ReadFraction: 0.5},
+				{ID: "tail.n01", Nodes: 1, Size: DistSpec{Dist: DistUniform, Min: 512 << 10, Max: 16 << 20}, ReadFraction: 0.5},
+			},
+		},
+	}
+}

@@ -1,0 +1,138 @@
+package workgen
+
+import (
+	"math"
+
+	"adaptbf/internal/workload"
+)
+
+// rngState wraps the workload splitmix64 stream with the one extra piece
+// of state the samplers need: the cached spare normal from Box-Muller.
+// Everything a Generator draws flows through one rngState in one
+// deterministic order, which is what makes the stream a pure function of
+// the seed.
+type rngState struct {
+	r     *workload.RNG
+	spare float64
+	has   bool
+}
+
+func newRNGState(seed int64) *rngState { return &rngState{r: workload.NewRNG(seed)} }
+
+func (s *rngState) float64() float64 { return s.r.Float64() }
+
+// exp draws an exponential with the given mean by inversion. The
+// 1-u guard keeps Log's argument strictly positive.
+func (s *rngState) exp(mean float64) float64 {
+	u := s.float64()
+	return -math.Log(1-u) * mean
+}
+
+// normal draws a standard normal via Box-Muller, caching the spare so
+// consecutive draws cost one transform per pair.
+func (s *rngState) normal() float64 {
+	if s.has {
+		s.has = false
+		return s.spare
+	}
+	var u, v float64
+	for {
+		u = s.float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = s.float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.spare = r * math.Sin(2*math.Pi*v)
+	s.has = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// gamma draws Gamma(shape k, scale theta) by Marsaglia-Tsang squeeze,
+// with the standard boost for k < 1 (draw at k+1, multiply by u^{1/k}).
+func (s *rngState) gamma(k, theta float64) float64 {
+	if k < 1 {
+		u := s.float64()
+		for u == 0 {
+			u = s.float64()
+		}
+		return s.gamma(k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// lognormal draws exp(N(mu, sigma²)).
+func (s *rngState) lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.normal())
+}
+
+// pareto draws a Pareto with minimum xm and tail index alpha by
+// inversion.
+func (s *rngState) pareto(xm, alpha float64) float64 {
+	u := s.float64()
+	for u == 0 {
+		u = s.float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// sizeSampler converts a validated DistSpec into a draw function over
+// the shared rngState, clamped to the spec's [Min, Max] when set and to
+// a 64 KiB floor so every job carries at least one small RPC.
+func sizeSampler(d DistSpec) func(*rngState) int64 {
+	const floor = 64 << 10
+	lo := int64(d.Min)
+	if lo < floor {
+		lo = floor
+	}
+	hi := int64(d.Max)
+	clamp := func(b int64) int64 {
+		if b < lo {
+			b = lo
+		}
+		if hi > 0 && b > hi {
+			b = hi
+		}
+		return b
+	}
+	switch d.Dist {
+	case DistUniform:
+		span := int64(d.Max) - int64(d.Min)
+		return func(s *rngState) int64 {
+			if span <= 0 {
+				return clamp(int64(d.Min))
+			}
+			return clamp(int64(d.Min) + int64(s.float64()*float64(span)))
+		}
+	case DistLognormal:
+		// Mean is the median (exp mu): the intuitive "typical job" knob.
+		mu := math.Log(float64(d.Mean))
+		return func(s *rngState) int64 {
+			return clamp(int64(s.lognormal(mu, d.Sigma)))
+		}
+	case DistPareto:
+		return func(s *rngState) int64 {
+			return clamp(int64(s.pareto(float64(d.Min), d.Alpha)))
+		}
+	default: // DistFixed
+		v := clamp(int64(d.Mean))
+		return func(*rngState) int64 { return v }
+	}
+}

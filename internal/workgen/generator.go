@@ -1,0 +1,256 @@
+package workgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"adaptbf/internal/tbf"
+)
+
+// A Tenant is one stream identity: the TBF job the generated requests
+// bill to, with its node allocation (the policy's priority input).
+// Tenant state is what the simulator sizes against — MaxActive slots
+// over a fixed tenant population — so streams of any length run at flat
+// memory.
+type Tenant struct {
+	ID    string `json:"id"`
+	Nodes int    `json:"nodes"`
+}
+
+// A Job is one generated unit of work: Bytes to move for Tenant
+// starting at stream time At. Next fills a caller-owned Job, so pulling
+// a stream allocates nothing per job.
+type Job struct {
+	// Seq is the job's position in the stream (0-based).
+	Seq int64
+	// At is the arrival offset from stream start.
+	At time.Duration
+	// Tenant indexes the stream's Tenants().
+	Tenant int32
+	// Op is the request class (read or write).
+	Op tbf.Opcode
+	// Bytes is the transfer volume; RPCBytes and MaxInflight override
+	// the workload Pattern defaults when positive.
+	Bytes       int64
+	RPCBytes    int64
+	MaxInflight int
+}
+
+// A Stream yields jobs lazily in arrival order. Implementations are
+// pure: the same construction inputs yield the identical sequence.
+// Next returns false at end of stream; Err distinguishes exhaustion
+// from failure (a Generator never fails; a trace reader can).
+type Stream interface {
+	Tenants() []Tenant
+	MaxActive() int
+	Next(*Job) bool
+	Err() error
+}
+
+// tenantProfile is the behavioural half of a tenant — under churn it
+// rotates across identities while Tenant (ID, nodes, priority) stays
+// put.
+type tenantProfile struct {
+	size        func(*rngState) int64
+	readFrac    float64
+	rpcBytes    int64
+	maxInflight int
+}
+
+// periodState is one precomputed diurnal sinusoid: omega = 2π/period.
+type periodState struct {
+	omega, amp, phase float64
+}
+
+// A Generator streams jobs from a Spec's StreamSpec: interarrivals from
+// the configured process, tenants picked by Zipf-skewed weight, sizes
+// and read mix from the picked tenant's (possibly churned) profile. All
+// draws flow through one splitmix64 stream in a fixed per-job order —
+// interarrival, tenant, op, size — so the whole stream is a pure
+// function of (spec, scale, seed).
+type Generator struct {
+	tenants   []Tenant
+	profiles  []tenantProfile
+	base      []float64 // per-slot selection weight, epoch 0
+	cum       []float64 // cumulative weights, current epoch
+	total     float64
+	maxActive int
+
+	rng     *rngState
+	maxJobs int64
+	seq     int64
+	tSec    float64
+
+	process  string
+	meanSec  float64 // mean interarrival, seconds
+	shape    float64 // gamma k
+	lamMax   float64 // diurnal thinning envelope, jobs/sec
+	rate     float64
+	periods  []periodState
+	churnSec float64
+	epoch    int64
+}
+
+// NewGenerator opens a stream over the spec's StreamSpec for one cell.
+// Scale divides MaxJobs (clamped to one) the way it divides a
+// materialized scenario's volumes; seed keys every draw.
+func NewGenerator(spec *Spec, scale, seed int64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ss := spec.Stream
+	if ss == nil {
+		return nil, fmt.Errorf("workgen: spec %s has no stream section", spec.Name)
+	}
+	maxJobs := ss.MaxJobs
+	if scale > 1 {
+		maxJobs /= scale
+		if maxJobs < 1 {
+			maxJobs = 1
+		}
+	}
+	g := &Generator{
+		tenants:   make([]Tenant, len(ss.Tenants)),
+		profiles:  make([]tenantProfile, len(ss.Tenants)),
+		base:      make([]float64, len(ss.Tenants)),
+		cum:       make([]float64, len(ss.Tenants)),
+		maxActive: ss.MaxActive,
+		rng:       newRNGState(seed),
+		maxJobs:   maxJobs,
+		process:   ss.Arrival.Process,
+		meanSec:   1 / ss.Arrival.RatePerSec,
+		shape:     ss.Arrival.Shape,
+		rate:      ss.Arrival.RatePerSec,
+	}
+	for i, t := range ss.Tenants {
+		g.tenants[i] = Tenant{ID: t.ID, Nodes: t.Nodes}
+		g.profiles[i] = tenantProfile{
+			size:        sizeSampler(t.Size),
+			readFrac:    t.ReadFraction,
+			rpcBytes:    int64(t.RPCBytes),
+			maxInflight: t.MaxInflight,
+		}
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		g.base[i] = w / math.Pow(float64(i+1), ss.TenantSkew)
+	}
+	if g.process == ArrivalDiurnal {
+		ampSum := 0.0
+		g.periods = make([]periodState, len(ss.Arrival.Periods))
+		for i, p := range ss.Arrival.Periods {
+			g.periods[i] = periodState{
+				omega: 2 * math.Pi / p.Period.D().Seconds(),
+				amp:   p.Amplitude,
+				phase: p.Phase,
+			}
+			ampSum += math.Abs(p.Amplitude)
+		}
+		g.lamMax = g.rate * (1 + ampSum)
+	}
+	if ss.Churn != nil {
+		g.churnSec = ss.Churn.Period.D().Seconds()
+	}
+	g.rebuildCum()
+	return g, nil
+}
+
+// Tenants returns the stream's tenant identities.
+func (g *Generator) Tenants() []Tenant { return g.tenants }
+
+// MaxActive returns the stream's concurrent-job bound.
+func (g *Generator) MaxActive() int { return g.maxActive }
+
+// Err always returns nil: a generator cannot fail mid-stream.
+func (g *Generator) Err() error { return nil }
+
+// MaxJobs returns the stream's (scale-divided) job count.
+func (g *Generator) MaxJobs() int64 { return g.maxJobs }
+
+// lambda is the diurnal instantaneous rate at time t (seconds).
+func (g *Generator) lambda(t float64) float64 {
+	m := 1.0
+	for _, p := range g.periods {
+		m += p.amp * math.Sin(p.omega*t+p.phase)
+	}
+	if m < 0 {
+		m = 0
+	}
+	return g.rate * m
+}
+
+// advance moves the stream clock to the next arrival.
+func (g *Generator) advance() {
+	switch g.process {
+	case ArrivalGamma:
+		g.tSec += g.rng.gamma(g.shape, g.meanSec/g.shape)
+	case ArrivalDiurnal:
+		// Lewis-Shedler thinning against the constant envelope lamMax.
+		for {
+			g.tSec += g.rng.exp(1 / g.lamMax)
+			if g.rng.float64()*g.lamMax <= g.lambda(g.tSec) {
+				return
+			}
+		}
+	default: // poisson
+		g.tSec += g.rng.exp(g.meanSec)
+	}
+}
+
+// rebuildCum recomputes the cumulative tenant weights for the current
+// churn epoch: slot i sells at the base weight of slot (i+epoch) mod n.
+func (g *Generator) rebuildCum() {
+	n := int64(len(g.base))
+	sum := 0.0
+	for i := range g.cum {
+		sum += g.base[(int64(i)+g.epoch)%n]
+		g.cum[i] = sum
+	}
+	g.total = sum
+}
+
+// profileIdx maps a tenant slot to its behaviour profile in the current
+// churn epoch.
+func (g *Generator) profileIdx(slot int) int {
+	if g.churnSec == 0 {
+		return slot
+	}
+	return int((int64(slot) + g.epoch) % int64(len(g.profiles)))
+}
+
+// Next fills j with the stream's next job and reports whether one
+// remained. It performs no allocation.
+func (g *Generator) Next(j *Job) bool {
+	if g.seq >= g.maxJobs {
+		return false
+	}
+	g.advance()
+	if g.churnSec > 0 {
+		if e := int64(g.tSec / g.churnSec); e != g.epoch {
+			g.epoch = e
+			g.rebuildCum()
+		}
+	}
+	u := g.rng.float64() * g.total
+	slot := sort.SearchFloat64s(g.cum, u)
+	if slot >= len(g.cum) {
+		slot = len(g.cum) - 1
+	}
+	p := &g.profiles[g.profileIdx(slot)]
+	j.Seq = g.seq
+	j.At = time.Duration(g.tSec * 1e9)
+	j.Tenant = int32(slot)
+	if g.rng.float64() < p.readFrac {
+		j.Op = tbf.OpRead
+	} else {
+		j.Op = tbf.OpWrite
+	}
+	j.Bytes = p.size(g.rng)
+	j.RPCBytes = p.rpcBytes
+	j.MaxInflight = p.maxInflight
+	g.seq++
+	return true
+}

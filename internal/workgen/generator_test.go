@@ -1,0 +1,202 @@
+package workgen
+
+import (
+	"testing"
+	"time"
+
+	"adaptbf/internal/tbf"
+)
+
+func drain(t *testing.T, s Stream, limit int) []Job {
+	t.Helper()
+	var out []Job
+	var j Job
+	for len(out) < limit && s.Next(&j) {
+		out = append(out, j)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGeneratorPurity is the determinism contract: two generators built
+// from the same (spec, scale, seed) yield byte-identical job streams,
+// and a different seed yields a different one.
+func TestGeneratorPurity(t *testing.T) {
+	for _, spec := range []*Spec{PoissonMixSpec(), GammaBurstSpec(), DiurnalTenantsSpec()} {
+		mk := func(seed int64) []Job {
+			g, err := NewGenerator(spec, 32, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return drain(t, g, int(g.MaxJobs())+1)
+		}
+		a, b := mk(7), mk(7)
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: stream lengths %d/%d", spec.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: job %d differs across identical generators:\n%+v\n%+v", spec.Name, i, a[i], b[i])
+			}
+		}
+		c := mk(8)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 7 and 8 yield identical streams", spec.Name)
+		}
+	}
+}
+
+func TestGeneratorStreamShape(t *testing.T) {
+	spec := PoissonMixSpec()
+	g, err := NewGenerator(spec, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := spec.Stream.MaxJobs / 100; g.MaxJobs() != want {
+		t.Fatalf("MaxJobs = %d, want %d", g.MaxJobs(), want)
+	}
+	if g.MaxActive() != spec.Stream.MaxActive {
+		t.Fatalf("MaxActive = %d", g.MaxActive())
+	}
+	if len(g.Tenants()) != len(spec.Stream.Tenants) {
+		t.Fatalf("tenant table has %d entries", len(g.Tenants()))
+	}
+	jobs := drain(t, g, int(g.MaxJobs())+10)
+	if int64(len(jobs)) != g.MaxJobs() {
+		t.Fatalf("stream yielded %d jobs, want %d", len(jobs), g.MaxJobs())
+	}
+	var prev time.Duration
+	sawRead, sawWrite := false, false
+	for i, j := range jobs {
+		if j.Seq != int64(i) {
+			t.Fatalf("job %d has seq %d", i, j.Seq)
+		}
+		if j.At < prev {
+			t.Fatalf("job %d arrives at %v, before predecessor %v", i, j.At, prev)
+		}
+		prev = j.At
+		if j.Tenant < 0 || int(j.Tenant) >= len(g.Tenants()) {
+			t.Fatalf("job %d references tenant %d", i, j.Tenant)
+		}
+		if j.Bytes <= 0 || j.RPCBytes < 0 {
+			t.Fatalf("job %d has bytes %d rpc %d", i, j.Bytes, j.RPCBytes)
+		}
+		switch j.Op {
+		case tbf.OpRead:
+			sawRead = true
+		case tbf.OpWrite:
+			sawWrite = true
+		}
+	}
+	if !sawRead || !sawWrite {
+		t.Fatalf("mixed-read spec drew read=%v write=%v", sawRead, sawWrite)
+	}
+}
+
+// TestGeneratorScaleClamp: a scale larger than MaxJobs still yields one
+// job rather than an empty stream.
+func TestGeneratorScaleClamp(t *testing.T) {
+	spec := PoissonMixSpec()
+	g, err := NewGenerator(spec, spec.Stream.MaxJobs*10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxJobs() != 1 {
+		t.Fatalf("MaxJobs = %d, want 1", g.MaxJobs())
+	}
+}
+
+func TestDistSamplersSane(t *testing.T) {
+	const n = 20000
+	cases := []DistSpec{
+		{Dist: DistFixed, Mean: 4 << 20},
+		{Dist: DistUniform, Min: 1 << 20, Max: 8 << 20},
+		{Dist: DistLognormal, Mean: 8 << 20, Sigma: 1.0, Max: 256 << 20},
+		{Dist: DistPareto, Min: 1 << 20, Alpha: 1.5, Max: 64 << 20},
+	}
+	for _, d := range cases {
+		if err := d.validate("t"); err != nil {
+			t.Fatal(err)
+		}
+		sample := sizeSampler(d)
+		r := newRNGState(42)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := sample(r)
+			if v <= 0 {
+				t.Fatalf("%s drew %d", d.Dist, v)
+			}
+			if d.Min > 0 && v < int64(d.Min) && d.Dist != DistFixed {
+				t.Fatalf("%s drew %d below min %d", d.Dist, v, d.Min)
+			}
+			if d.Max > 0 && v > int64(d.Max) {
+				t.Fatalf("%s drew %d above max %d", d.Dist, v, d.Max)
+			}
+			sum += float64(v)
+		}
+		mean := sum / n
+		switch d.Dist {
+		case DistFixed:
+			if mean != float64(d.Mean) {
+				t.Fatalf("fixed mean %v", mean)
+			}
+		case DistUniform:
+			mid := float64(d.Min+d.Max) / 2
+			if mean < mid*0.95 || mean > mid*1.05 {
+				t.Fatalf("uniform mean %v, midpoint %v", mean, mid)
+			}
+		case DistLognormal:
+			// Mean is the median; the arithmetic mean sits above it.
+			if mean < float64(d.Mean) {
+				t.Fatalf("lognormal mean %v below median %d", mean, d.Mean)
+			}
+		case DistPareto:
+			if mean < float64(d.Min) {
+				t.Fatalf("pareto mean %v below scale %d", mean, d.Min)
+			}
+		}
+	}
+}
+
+func TestGammaArrivalsClump(t *testing.T) {
+	// Gamma with shape << 1 must produce a more variable interarrival
+	// sequence than Poisson at the same rate: compare coefficients of
+	// variation.
+	cv := func(spec *Spec) float64 {
+		g, err := NewGenerator(spec, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := drain(t, g, int(g.MaxJobs())+1)
+		var gaps []float64
+		for i := 1; i < len(jobs); i++ {
+			gaps = append(gaps, float64(jobs[i].At-jobs[i-1].At))
+		}
+		var sum, sq float64
+		for _, v := range gaps {
+			sum += v
+		}
+		mean := sum / float64(len(gaps))
+		for _, v := range gaps {
+			sq += (v - mean) * (v - mean)
+		}
+		return (sq / float64(len(gaps))) / (mean * mean)
+	}
+	poisson := PoissonMixSpec()
+	burst := GammaBurstSpec()
+	if cvB, cvP := cv(burst), cv(poisson); cvB < cvP {
+		t.Fatalf("gamma(k=%v) interarrivals less variable than poisson: cv² %v < %v",
+			burst.Stream.Arrival.Shape, cvB, cvP)
+	}
+}

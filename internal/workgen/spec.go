@@ -1,0 +1,508 @@
+// Package workgen is the generative workload engine: declarative,
+// seed-keyed workload specifications (materialized job sets or streaming
+// generators with Poisson / Gamma-burst / diurnal arrivals, per-tenant
+// size and read/write-mix distributions, and tenant churn) plus a
+// versioned trace format for recording and replaying job streams.
+//
+// The package sits between workload (pure job semantics) and the
+// sim/harness layers: a Spec parses from JSON, validates once, and then
+// either materializes a []workload.Job (Jobs mode — runs on every
+// backend) or opens a Stream (Generator mode — jobs yielded lazily, one
+// at a time, so a cell can sweep millions of jobs at flat memory). Both
+// are pure functions of (spec, scale, seed): the same inputs yield the
+// identical job sequence on any worker.
+package workgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adaptbf/internal/workload"
+)
+
+// SpecVersion is the workload spec format version this package reads
+// and writes.
+const SpecVersion = 1
+
+// Duration marshals as a Go duration string ("250ms") and also accepts
+// bare integers (nanoseconds) for mechanically generated specs.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "1.5s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("workgen: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// ByteSize marshals as a human unit string ("256KiB", "1GiB") and also
+// accepts bare integers (bytes).
+type ByteSize int64
+
+var byteUnits = []struct {
+	suffix string
+	mult   int64
+}{
+	{"GiB", 1 << 30},
+	{"MiB", 1 << 20},
+	{"KiB", 1 << 10},
+	{"B", 1},
+}
+
+// MarshalJSON renders the size with the largest unit that divides it.
+func (b ByteSize) MarshalJSON() ([]byte, error) {
+	v := int64(b)
+	for _, u := range byteUnits {
+		if v != 0 && v%u.mult == 0 {
+			return json.Marshal(strconv.FormatInt(v/u.mult, 10) + u.suffix)
+		}
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts "4MiB"-style strings or integer byte counts.
+func (b *ByteSize) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		for _, u := range byteUnits {
+			if strings.HasSuffix(s, u.suffix) {
+				n, err := strconv.ParseInt(strings.TrimSuffix(s, u.suffix), 10, 64)
+				if err != nil {
+					return fmt.Errorf("workgen: bad byte size %q: %w", s, err)
+				}
+				*b = ByteSize(n * u.mult)
+				return nil
+			}
+		}
+		return fmt.Errorf("workgen: byte size %q needs a B/KiB/MiB/GiB suffix", s)
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	*b = ByteSize(n)
+	return nil
+}
+
+// Stripe is a declarative stripe width: "full" (every OSS), "half"
+// (half the cell's OSSes), or an explicit target count.
+type Stripe int
+
+// Stripe sentinel values, mirroring workload's Pattern/JobSpec meaning.
+const (
+	StripeFull Stripe = 0
+	StripeHalf Stripe = Stripe(workload.StripeHalf)
+)
+
+// MarshalJSON renders the sentinels as their names.
+func (st Stripe) MarshalJSON() ([]byte, error) {
+	switch st {
+	case StripeFull:
+		return json.Marshal("full")
+	case StripeHalf:
+		return json.Marshal("half")
+	}
+	return json.Marshal(int(st))
+}
+
+// UnmarshalJSON accepts "full", "half", or an integer width.
+func (st *Stripe) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "full":
+			*st = StripeFull
+		case "half":
+			*st = StripeHalf
+		default:
+			return fmt.Errorf("workgen: bad stripe %q (want full, half, or a count)", s)
+		}
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*st = Stripe(n)
+	return nil
+}
+
+// A JobSpec is the JSON form of one declarative job — the data mirror of
+// the workload preset constructors. See workload.JobSpec for the field
+// semantics; materialization resolves ranges and stripes there.
+type JobSpec struct {
+	ID                 string     `json:"id"`
+	Nodes              int        `json:"nodes"`
+	Procs              int        `json:"procs,omitempty"`
+	Readers            int        `json:"readers,omitempty"`
+	Writers            int        `json:"writers,omitempty"`
+	FileBytes          ByteSize   `json:"file_bytes"`
+	RPCBytes           ByteSize   `json:"rpc_bytes,omitempty"`
+	MaxInflight        int        `json:"max_inflight,omitempty"`
+	BurstRPCs          int        `json:"burst_rpcs,omitempty"`
+	BurstInterval      Duration   `json:"burst_interval,omitempty"`
+	BurstIntervalRange []Duration `json:"burst_interval_range,omitempty"`
+	Stagger            Duration   `json:"stagger,omitempty"`
+	StaggerRange       []Duration `json:"stagger_range,omitempty"`
+	Stripe             Stripe     `json:"stripe,omitempty"`
+}
+
+func (js JobSpec) toWorkload() (workload.JobSpec, error) {
+	w := workload.JobSpec{
+		ID:            js.ID,
+		Nodes:         js.Nodes,
+		Procs:         js.Procs,
+		Readers:       js.Readers,
+		Writers:       js.Writers,
+		FileBytes:     int64(js.FileBytes),
+		RPCBytes:      int64(js.RPCBytes),
+		MaxInflight:   js.MaxInflight,
+		BurstRPCs:     js.BurstRPCs,
+		BurstInterval: js.BurstInterval.D(),
+		Stagger:       js.Stagger.D(),
+		Stripe:        int(js.Stripe),
+	}
+	var err error
+	if w.BurstIntervalRange, err = rangeOf(js.ID, "burst_interval_range", js.BurstIntervalRange); err != nil {
+		return w, err
+	}
+	if w.StaggerRange, err = rangeOf(js.ID, "stagger_range", js.StaggerRange); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+func rangeOf(id, field string, r []Duration) ([2]time.Duration, error) {
+	switch len(r) {
+	case 0:
+		return [2]time.Duration{}, nil
+	case 2:
+		return [2]time.Duration{r[0].D(), r[1].D()}, nil
+	}
+	return [2]time.Duration{}, fmt.Errorf("workgen: job %s: %s wants [lo, hi], got %d elements", id, field, len(r))
+}
+
+// Size distribution kinds for DistSpec.Dist.
+const (
+	DistFixed     = "fixed"
+	DistUniform   = "uniform"
+	DistLognormal = "lognormal"
+	DistPareto    = "pareto"
+)
+
+// A DistSpec describes a per-tenant transfer-size distribution. Fixed
+// uses Mean; uniform draws in [Min, Max]; lognormal uses Mean as the
+// median with log-stddev Sigma; pareto uses Min as the scale with tail
+// index Alpha. Min/Max clamp every draw when set.
+type DistSpec struct {
+	Dist  string   `json:"dist"`
+	Mean  ByteSize `json:"mean,omitempty"`
+	Min   ByteSize `json:"min,omitempty"`
+	Max   ByteSize `json:"max,omitempty"`
+	Sigma float64  `json:"sigma,omitempty"`
+	Alpha float64  `json:"alpha,omitempty"`
+}
+
+func (d DistSpec) validate(tenant string) error {
+	switch d.Dist {
+	case DistFixed:
+		if d.Mean <= 0 {
+			return fmt.Errorf("workgen: tenant %s: fixed size needs positive mean", tenant)
+		}
+	case DistUniform:
+		if d.Min <= 0 || d.Max < d.Min {
+			return fmt.Errorf("workgen: tenant %s: uniform size needs 0 < min <= max", tenant)
+		}
+	case DistLognormal:
+		if d.Mean <= 0 || d.Sigma <= 0 {
+			return fmt.Errorf("workgen: tenant %s: lognormal size needs positive mean and sigma", tenant)
+		}
+	case DistPareto:
+		if d.Min <= 0 || d.Alpha <= 0 {
+			return fmt.Errorf("workgen: tenant %s: pareto size needs positive min and alpha", tenant)
+		}
+	default:
+		return fmt.Errorf("workgen: tenant %s: unknown size dist %q", tenant, d.Dist)
+	}
+	if d.Max < 0 || (d.Max > 0 && d.Max < d.Min) {
+		return fmt.Errorf("workgen: tenant %s: size max %d below min %d", tenant, d.Max, d.Min)
+	}
+	return nil
+}
+
+// Arrival process kinds for ArrivalSpec.Process.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalDiurnal = "diurnal"
+)
+
+// A PeriodSpec is one sinusoidal component of a diurnal rate:
+// rate · amplitude · sin(2π t/period + phase).
+type PeriodSpec struct {
+	Period    Duration `json:"period"`
+	Amplitude float64  `json:"amplitude"`
+	Phase     float64  `json:"phase,omitempty"`
+}
+
+// An ArrivalSpec describes the job arrival process. Poisson draws
+// exponential interarrivals at RatePerSec; gamma draws Gamma(shape k)
+// interarrivals with the same mean, so k < 1 clumps arrivals into
+// bursts; diurnal modulates a Poisson base rate with the Periods
+// sinusoids via Lewis-Shedler thinning:
+// λ(t) = rate · max(0, 1 + Σ ampᵢ·sin(2π t/periodᵢ + phaseᵢ)).
+type ArrivalSpec struct {
+	Process    string       `json:"process"`
+	RatePerSec float64      `json:"rate_per_sec"`
+	Shape      float64      `json:"shape,omitempty"`
+	Periods    []PeriodSpec `json:"periods,omitempty"`
+}
+
+func (a ArrivalSpec) validate() error {
+	if a.RatePerSec <= 0 || math.IsInf(a.RatePerSec, 0) || math.IsNaN(a.RatePerSec) {
+		return fmt.Errorf("workgen: arrival needs positive finite rate_per_sec, got %v", a.RatePerSec)
+	}
+	switch a.Process {
+	case ArrivalPoisson:
+	case ArrivalGamma:
+		if a.Shape <= 0 {
+			return fmt.Errorf("workgen: gamma arrivals need positive shape")
+		}
+	case ArrivalDiurnal:
+		if len(a.Periods) == 0 {
+			return fmt.Errorf("workgen: diurnal arrivals need at least one period")
+		}
+		for i, p := range a.Periods {
+			if p.Period <= 0 {
+				return fmt.Errorf("workgen: diurnal period %d needs positive period", i)
+			}
+			if p.Amplitude == 0 {
+				return fmt.Errorf("workgen: diurnal period %d has zero amplitude", i)
+			}
+		}
+	default:
+		return fmt.Errorf("workgen: unknown arrival process %q", a.Process)
+	}
+	return nil
+}
+
+// A TenantSpec is one tenant behaviour profile: its node allocation
+// (priority input), selection weight, transfer-size distribution, and
+// read mix.
+type TenantSpec struct {
+	ID           string   `json:"id"`
+	Nodes        int      `json:"nodes"`
+	Weight       float64  `json:"weight,omitempty"`
+	Size         DistSpec `json:"size"`
+	ReadFraction float64  `json:"read_fraction,omitempty"`
+	RPCBytes     ByteSize `json:"rpc_bytes,omitempty"`
+	MaxInflight  int      `json:"max_inflight,omitempty"`
+}
+
+// A ChurnSpec rotates tenant behaviour profiles every Period: in epoch
+// e, tenant i adopts the profile of tenant (i+e) mod n, so "who is the
+// heavy hitter" wanders over the run while identities (and priorities)
+// stay put.
+type ChurnSpec struct {
+	Period Duration `json:"period"`
+}
+
+// A StreamSpec describes a generative job stream: the arrival process,
+// the tenant population, and the stream bounds. MaxJobs is quoted at
+// paper scale; a cell divides it by its scale divisor (clamped to one)
+// the same way materialized volumes divide. MaxActive bounds concurrent
+// in-flight jobs — arrivals beyond it queue at the generator seam, which
+// is also what keeps memory flat: the simulator only ever holds
+// MaxActive jobs of state no matter how long the stream runs.
+type StreamSpec struct {
+	Arrival    ArrivalSpec  `json:"arrival"`
+	MaxJobs    int64        `json:"max_jobs"`
+	MaxActive  int          `json:"max_active"`
+	TenantSkew float64      `json:"tenant_skew,omitempty"`
+	Tenants    []TenantSpec `json:"tenants"`
+	Churn      *ChurnSpec   `json:"churn,omitempty"`
+}
+
+func (ss *StreamSpec) validate() error {
+	if err := ss.Arrival.validate(); err != nil {
+		return err
+	}
+	if ss.MaxJobs < 1 {
+		return fmt.Errorf("workgen: stream needs max_jobs >= 1")
+	}
+	if ss.MaxActive < 1 {
+		return fmt.Errorf("workgen: stream needs max_active >= 1")
+	}
+	if len(ss.Tenants) == 0 {
+		return fmt.Errorf("workgen: stream needs at least one tenant")
+	}
+	if ss.TenantSkew < 0 {
+		return fmt.Errorf("workgen: tenant_skew must be >= 0")
+	}
+	seen := make(map[string]bool, len(ss.Tenants))
+	for i, t := range ss.Tenants {
+		if t.ID == "" {
+			return fmt.Errorf("workgen: tenant %d has empty ID", i)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("workgen: duplicate tenant ID %s", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Nodes < 1 {
+			return fmt.Errorf("workgen: tenant %s needs nodes >= 1", t.ID)
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("workgen: tenant %s has negative weight", t.ID)
+		}
+		if t.ReadFraction < 0 || t.ReadFraction > 1 {
+			return fmt.Errorf("workgen: tenant %s read_fraction %v outside [0, 1]", t.ID, t.ReadFraction)
+		}
+		if err := t.Size.validate(t.ID); err != nil {
+			return err
+		}
+	}
+	if ss.Churn != nil && ss.Churn.Period <= 0 {
+		return fmt.Errorf("workgen: churn needs a positive period")
+	}
+	return nil
+}
+
+// A Spec is one declarative workload: either a materialized job set
+// (Jobs — the data form of the hand-written presets, runnable on every
+// backend) or a generative stream (Stream — sim backend only). Exactly
+// one of the two must be set.
+type Spec struct {
+	SpecVersion  int         `json:"spec_version"`
+	Name         string      `json:"name"`
+	JitterSpread Duration    `json:"jitter_spread,omitempty"`
+	Jobs         []JobSpec   `json:"jobs,omitempty"`
+	Stream       *StreamSpec `json:"stream,omitempty"`
+}
+
+// Validate reports whether the spec is well-formed. Every entry point
+// that accepts a Spec validates before use, so downstream code can
+// treat failures as programming errors.
+func (s *Spec) Validate() error {
+	if s.SpecVersion != SpecVersion {
+		return fmt.Errorf("workgen: spec version %d, this build reads version %d", s.SpecVersion, SpecVersion)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("workgen: spec needs a name")
+	}
+	if (len(s.Jobs) > 0) == (s.Stream != nil) {
+		return fmt.Errorf("workgen: spec %s must set exactly one of jobs or stream", s.Name)
+	}
+	if s.JitterSpread < 0 {
+		return fmt.Errorf("workgen: spec %s has negative jitter_spread", s.Name)
+	}
+	if s.Stream != nil {
+		if s.JitterSpread != 0 {
+			return fmt.Errorf("workgen: spec %s: jitter_spread applies to materialized jobs only", s.Name)
+		}
+		return s.Stream.validate()
+	}
+	for _, js := range s.Jobs {
+		w, err := js.toWorkload()
+		if err != nil {
+			return err
+		}
+		if err := w.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SHA returns the hex SHA-256 of the spec's canonical JSON encoding —
+// the provenance hash recorded in reports and trace headers.
+func (s *Spec) SHA() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Materialize builds the concrete job set for one cell of a Jobs-mode
+// spec. Calling it on a stream spec is an error.
+func (s *Spec) Materialize(scale int64, osses int, seed int64) ([]workload.Job, error) {
+	if s.Stream != nil {
+		return nil, fmt.Errorf("workgen: spec %s is a stream spec; open a Generator instead", s.Name)
+	}
+	specs := make([]workload.JobSpec, 0, len(s.Jobs))
+	for _, js := range s.Jobs {
+		w, err := js.toWorkload()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, w)
+	}
+	return workload.MaterializeJobs(specs, scale, osses, seed, s.JitterSpread.D())
+}
+
+// ParseSpec decodes and validates a workload spec from JSON bytes.
+// Unknown fields are rejected so a typoed knob fails loudly instead of
+// silently running the default.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workgen: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and validates a workload spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workgen: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("workgen: %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,141 @@
+package workgen
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurationJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"250ms"`, 250 * time.Millisecond},
+		{`"1.5s"`, 1500 * time.Millisecond},
+		{`1000000`, time.Millisecond},
+	}
+	for _, tc := range cases {
+		var d Duration
+		if err := json.Unmarshal([]byte(tc.in), &d); err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if d.D() != tc.want {
+			t.Errorf("%s parsed to %v, want %v", tc.in, d.D(), tc.want)
+		}
+	}
+	b, err := json.Marshal(Duration(250 * time.Millisecond))
+	if err != nil || string(b) != `"250ms"` {
+		t.Errorf("marshal = %s, %v", b, err)
+	}
+	var bad Duration
+	if err := json.Unmarshal([]byte(`"yesterday"`), &bad); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestByteSizeJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{`"4MiB"`, 4 << 20},
+		{`"256KiB"`, 256 << 10},
+		{`"1GiB"`, 1 << 30},
+		{`"17B"`, 17},
+		{`1048576`, 1 << 20},
+	}
+	for _, tc := range cases {
+		var b ByteSize
+		if err := json.Unmarshal([]byte(tc.in), &b); err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if int64(b) != tc.want {
+			t.Errorf("%s parsed to %d, want %d", tc.in, b, tc.want)
+		}
+	}
+	out, err := json.Marshal(ByteSize(256 << 10))
+	if err != nil || string(out) != `"256KiB"` {
+		t.Errorf("marshal = %s, %v", out, err)
+	}
+	var bad ByteSize
+	if err := json.Unmarshal([]byte(`"4parsecs"`), &bad); err == nil {
+		t.Error("bad byte size accepted")
+	}
+}
+
+func TestStripeJSON(t *testing.T) {
+	for in, want := range map[string]Stripe{`"full"`: StripeFull, `"half"`: StripeHalf, `3`: 3} {
+		var st Stripe
+		if err := json.Unmarshal([]byte(in), &st); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if st != want {
+			t.Errorf("%s parsed to %d, want %d", in, st, want)
+		}
+	}
+	for st, want := range map[Stripe]string{StripeFull: `"full"`, StripeHalf: `"half"`, 3: `3`} {
+		b, err := json.Marshal(st)
+		if err != nil || string(b) != want {
+			t.Errorf("marshal %d = %s, %v", st, b, err)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, want := range []*Spec{PoissonMixSpec(), GammaBurstSpec(), DiurnalTenantsSpec()} {
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseSpec(b)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s did not survive a JSON round trip", want.Name)
+		}
+		if got.SHA() != want.SHA() {
+			t.Errorf("%s: SHA changed across round trip", want.Name)
+		}
+	}
+}
+
+func TestSpecSHADistinguishes(t *testing.T) {
+	a, b := PoissonMixSpec(), PoissonMixSpec()
+	if a.SHA() != b.SHA() {
+		t.Fatal("identical specs hash differently")
+	}
+	b.Stream.MaxJobs++
+	if a.SHA() == b.SHA() {
+		t.Fatal("different specs hash identically")
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"spec_version":1,"name":"x","turbo":true,"stream":{"arrival":{"process":"poisson","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+		"wrong version":  `{"spec_version":9,"name":"x","jobs":[{"id":"a","nodes":1,"file_bytes":"1MiB"}]}`,
+		"no name":        `{"spec_version":1,"jobs":[{"id":"a","nodes":1,"file_bytes":"1MiB"}]}`,
+		"both modes":     `{"spec_version":1,"name":"x","jobs":[{"id":"a","nodes":1,"file_bytes":"1MiB"}],"stream":{"arrival":{"process":"poisson","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+		"neither mode":   `{"spec_version":1,"name":"x"}`,
+		"dup tenants":    `{"spec_version":1,"name":"x","stream":{"arrival":{"process":"poisson","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}},{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+		"bad read mix":   `{"spec_version":1,"name":"x","stream":{"arrival":{"process":"poisson","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"read_fraction":1.5,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+		"gamma no shape": `{"spec_version":1,"name":"x","stream":{"arrival":{"process":"gamma","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+		"stream jitter":  `{"spec_version":1,"name":"x","jitter_spread":"1s","stream":{"arrival":{"process":"poisson","rate_per_sec":1},"max_jobs":1,"max_active":1,"tenants":[{"id":"a","nodes":1,"size":{"dist":"fixed","mean":"1MiB"}}]}}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMaterializeStreamSpecFails(t *testing.T) {
+	if _, err := PoissonMixSpec().Materialize(1, 2, 1); err == nil ||
+		!strings.Contains(err.Error(), "stream spec") {
+		t.Fatalf("materializing a stream spec: err = %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+package workgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"adaptbf/internal/tbf"
+	"adaptbf/internal/workload"
+)
+
+// TraceVersion is the trace file format version this package reads and
+// writes.
+const TraceVersion = 1
+
+// Trace modes: a jobs trace carries the fully materialized job set in
+// its header (nothing follows it); a stream trace carries one compact
+// line per generated job after the header.
+const (
+	TraceModeJobs   = "jobs"
+	TraceModeStream = "stream"
+)
+
+// A TraceHeader is the first line of a trace file: a single JSON object
+// that pins everything needed to reproduce the recorded cell
+// bit-for-bit — the cell coordinates, the effective matrix knobs, and
+// (by mode) either the materialized jobs or the stream's tenant table.
+// Policy is deliberately NOT part of the trace: a trace captures the
+// workload, and replay sweeps whatever policies the caller asks for
+// over it.
+type TraceHeader struct {
+	TraceVersion int     `json:"trace_version"`
+	Mode         string  `json:"mode"`
+	Scenario     string  `json:"scenario"`
+	SpecName     string  `json:"spec_name,omitempty"`
+	SpecSHA      string  `json:"spec_sha256,omitempty"`
+	Scale        int64   `json:"scale"`
+	OSSes        int     `json:"osses"`
+	Seed         int64   `json:"seed"`
+	MaxTokenRate float64 `json:"max_token_rate"`
+	PeriodNS     int64   `json:"period_ns"`
+	DurationNS   int64   `json:"duration_ns"`
+	SFQDepth     int     `json:"sfq_depth"`
+	Admission    string  `json:"admission,omitempty"`
+
+	// Stream mode: the generator's tenant table and concurrency bound.
+	MaxActive int      `json:"max_active,omitempty"`
+	Tenants   []Tenant `json:"tenants,omitempty"`
+
+	// Jobs mode: the materialized job set, verbatim.
+	Jobs []workload.Job `json:"jobs,omitempty"`
+}
+
+func (h *TraceHeader) validate() error {
+	if h.TraceVersion != TraceVersion {
+		return fmt.Errorf("workgen: trace version %d, this build reads version %d", h.TraceVersion, TraceVersion)
+	}
+	switch h.Mode {
+	case TraceModeJobs:
+		if len(h.Jobs) == 0 {
+			return fmt.Errorf("workgen: jobs trace carries no jobs")
+		}
+	case TraceModeStream:
+		if len(h.Tenants) == 0 || h.MaxActive < 1 {
+			return fmt.Errorf("workgen: stream trace needs tenants and max_active")
+		}
+	default:
+		return fmt.Errorf("workgen: unknown trace mode %q", h.Mode)
+	}
+	return nil
+}
+
+func writeHeader(w *bufio.Writer, h *TraceHeader) error {
+	b, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// WriteJobsTrace records a materialized cell: the header (with the jobs
+// embedded) is the whole file.
+func WriteJobsTrace(path string, h TraceHeader, jobs []workload.Job) error {
+	h.TraceVersion = TraceVersion
+	h.Mode = TraceModeJobs
+	h.Jobs = jobs
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workgen: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := writeHeader(w, &h); err == nil {
+		err = w.Flush()
+	} else {
+		w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("workgen: write trace %s: %w", path, err)
+	}
+	return nil
+}
+
+// A Recorder tees a Stream to a trace file as the simulator pulls it:
+// one compact line per job ("seq at_ns tenant op bytes rpc_bytes
+// max_inflight") after the JSON header. The append-encode path reuses
+// one buffer, so recording adds no per-job allocation.
+type Recorder struct {
+	src Stream
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewRecorder opens a stream trace at path and returns the teeing
+// wrapper. The header's mode, tenant table, and concurrency bound are
+// filled from the source stream.
+func NewRecorder(path string, h TraceHeader, src Stream) (*Recorder, error) {
+	h.TraceVersion = TraceVersion
+	h.Mode = TraceModeStream
+	h.Tenants = src.Tenants()
+	h.MaxActive = src.MaxActive()
+	h.Jobs = nil
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("workgen: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := writeHeader(w, &h); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workgen: write trace %s: %w", path, err)
+	}
+	return &Recorder{src: src, f: f, w: w, buf: make([]byte, 0, 96)}, nil
+}
+
+// Tenants returns the source stream's tenant table.
+func (r *Recorder) Tenants() []Tenant { return r.src.Tenants() }
+
+// MaxActive returns the source stream's concurrency bound.
+func (r *Recorder) MaxActive() int { return r.src.MaxActive() }
+
+// Next pulls the next job from the source and appends it to the trace.
+func (r *Recorder) Next(j *Job) bool {
+	if !r.src.Next(j) {
+		return false
+	}
+	if r.err == nil {
+		b := r.buf[:0]
+		b = strconv.AppendInt(b, j.Seq, 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(j.At), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(j.Tenant), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(j.Op), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, j.Bytes, 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, j.RPCBytes, 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(j.MaxInflight), 10)
+		b = append(b, '\n')
+		r.buf = b
+		if _, err := r.w.Write(b); err != nil {
+			r.err = err
+		}
+	}
+	return true
+}
+
+// Err reports the first source or write error.
+func (r *Recorder) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.src.Err()
+}
+
+// Close flushes and closes the trace file.
+func (r *Recorder) Close() error {
+	ferr := r.w.Flush()
+	cerr := r.f.Close()
+	if r.err != nil {
+		return fmt.Errorf("workgen: record trace: %w", r.err)
+	}
+	if ferr != nil {
+		return fmt.Errorf("workgen: record trace: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("workgen: record trace: %w", cerr)
+	}
+	return nil
+}
+
+// A TraceReader replays a trace file. For a stream trace it implements
+// Stream, yielding the recorded jobs lazily; for a jobs trace the
+// materialized set is in Header().Jobs and Next yields nothing.
+type TraceReader struct {
+	f    *os.File
+	br   *bufio.Reader
+	h    TraceHeader
+	err  error
+	line int
+}
+
+// OpenTrace opens and validates a trace file, consuming its header.
+func OpenTrace(path string) (*TraceReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workgen: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workgen: read trace header %s: %w", path, err)
+	}
+	var h TraceHeader
+	if err := json.Unmarshal(line, &h); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workgen: parse trace header %s: %w", path, err)
+	}
+	if err := h.validate(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workgen: %s: %w", path, err)
+	}
+	return &TraceReader{f: f, br: br, h: h, line: 1}, nil
+}
+
+// Header returns the trace's header.
+func (t *TraceReader) Header() TraceHeader { return t.h }
+
+// Tenants returns the recorded tenant table (stream traces).
+func (t *TraceReader) Tenants() []Tenant { return t.h.Tenants }
+
+// MaxActive returns the recorded concurrency bound (stream traces).
+func (t *TraceReader) MaxActive() int { return t.h.MaxActive }
+
+// Err reports the first read or parse error.
+func (t *TraceReader) Err() error { return t.err }
+
+// Close closes the trace file.
+func (t *TraceReader) Close() error { return t.f.Close() }
+
+// Next fills j with the next recorded job. It reads directly from the
+// buffered reader and parses in place, allocating nothing per job.
+func (t *TraceReader) Next(j *Job) bool {
+	if t.err != nil || t.h.Mode != TraceModeStream {
+		return false
+	}
+	line, err := t.br.ReadSlice('\n')
+	if len(line) == 0 {
+		if err != nil && !errors.Is(err, io.EOF) {
+			t.err = fmt.Errorf("workgen: trace line %d: %w", t.line+1, err)
+		}
+		return false
+	}
+	t.line++
+	var fields [7]int64
+	if !parseTraceLine(line, &fields) {
+		t.err = fmt.Errorf("workgen: trace line %d: malformed record %q", t.line, string(line))
+		return false
+	}
+	j.Seq = fields[0]
+	j.At = time.Duration(fields[1])
+	j.Tenant = int32(fields[2])
+	j.Op = tbf.Opcode(fields[3])
+	j.Bytes = fields[4]
+	j.RPCBytes = fields[5]
+	j.MaxInflight = int(fields[6])
+	return true
+}
+
+// parseTraceLine parses exactly seven space-separated non-negative
+// integers, tolerating a trailing newline.
+func parseTraceLine(b []byte, out *[7]int64) bool {
+	i, n := 0, len(b)
+	for f := 0; f < 7; f++ {
+		for i < n && b[i] == ' ' {
+			i++
+		}
+		start := i
+		var v int64
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			v = v*10 + int64(b[i]-'0')
+			i++
+		}
+		if i == start {
+			return false
+		}
+		out[f] = v
+	}
+	for i < n && (b[i] == ' ' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i == n
+}

@@ -1,0 +1,138 @@
+package workgen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"adaptbf/internal/workload"
+)
+
+func TestStreamTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.trace")
+	spec := GammaBurstSpec()
+	g, err := NewGenerator(spec, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := TraceHeader{
+		Scenario: spec.Name, SpecName: spec.Name, SpecSHA: spec.SHA(),
+		Scale: 16, OSSes: 2, Seed: 9,
+		MaxTokenRate: 500, PeriodNS: 1e8, DurationNS: 1e9, SFQDepth: 1,
+	}
+	rec, err := NewRecorder(path, h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, rec, int(g.MaxJobs())+1)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	rh := tr.Header()
+	if rh.Mode != TraceModeStream || rh.Scenario != spec.Name || rh.SpecSHA != spec.SHA() ||
+		rh.Scale != 16 || rh.Seed != 9 || rh.MaxActive != g.MaxActive() {
+		t.Fatalf("replayed header: %+v", rh)
+	}
+	if !reflect.DeepEqual(tr.Tenants(), g.Tenants()) {
+		t.Fatalf("tenant table did not survive: %+v", tr.Tenants())
+	}
+	got := drain(t, tr, len(want)+1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d jobs, recorded %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJobsTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.trace")
+	jobs := []workload.Job{
+		workload.StripedSequential("narrow.n01", 1, 2, 8<<20, 1),
+		workload.MixedReadWrite("mixed.n02", 2, 1, 1, 8<<20),
+	}
+	h := TraceHeader{Scenario: "striped-seq", Scale: 64, OSSes: 2, Seed: 1,
+		MaxTokenRate: 500, PeriodNS: 1e8, DurationNS: 1e9, SFQDepth: 1}
+	if err := WriteJobsTrace(path, h, jobs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Header().Mode != TraceModeJobs {
+		t.Fatalf("mode %q", tr.Header().Mode)
+	}
+	if !reflect.DeepEqual(tr.Header().Jobs, jobs) {
+		t.Fatalf("jobs did not survive:\n got %+v\nwant %+v", tr.Header().Jobs, jobs)
+	}
+	var j Job
+	if tr.Next(&j) {
+		t.Fatal("jobs trace yielded a stream record")
+	}
+}
+
+func TestOpenTraceRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := writeFileForTest(p, content); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"bad json":     "not json\n",
+		"bad version":  `{"trace_version":99,"mode":"jobs","jobs":[{"ID":"a","Nodes":1}]}` + "\n",
+		"bad mode":     `{"trace_version":1,"mode":"psychic"}` + "\n",
+		"empty stream": `{"trace_version":1,"mode":"stream","max_active":0}` + "\n",
+	}
+	for name, content := range cases {
+		if _, err := OpenTrace(write(name, content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := OpenTrace(filepath.Join(dir, "missing.trace")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTraceReaderMalformedLine(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "torn.trace")
+	header := `{"trace_version":1,"mode":"stream","scenario":"x","scale":1,"osses":1,"seed":1,` +
+		`"max_token_rate":500,"period_ns":1,"duration_ns":1,"sfq_depth":1,` +
+		`"max_active":1,"tenants":[{"id":"a","nodes":1}]}`
+	if err := writeFileForTest(p, header+"\n0 100 0 1 1048576 1048576 8\nnot a record\n"); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var j Job
+	if !tr.Next(&j) || j.Bytes != 1<<20 {
+		t.Fatalf("first record: ok=%v job=%+v err=%v", true, j, tr.Err())
+	}
+	if tr.Next(&j) {
+		t.Fatal("malformed record yielded a job")
+	}
+	if tr.Err() == nil {
+		t.Fatal("malformed record not reported")
+	}
+}
+
+func writeFileForTest(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

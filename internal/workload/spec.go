@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"adaptbf/internal/tbf"
+)
+
+// MiB and GiB are the byte units workload volumes are quoted in.
+const (
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+)
+
+// ScaledBytes divides a paper-scale volume by the cell's scale divisor,
+// clamped to one RPC's worth so a deeply scaled cell still does work.
+func ScaledBytes(bytes, scale int64) int64 {
+	if scale > 1 {
+		bytes /= scale
+	}
+	if bytes < MiB {
+		bytes = MiB
+	}
+	return bytes
+}
+
+// StripeHalf is the JobSpec.Stripe sentinel for "half the cell's OSSes"
+// (at least one) — the medium width of the striped-sequential family.
+// Zero keeps Pattern's meaning: full width.
+const StripeHalf = -1
+
+// A JobSpec is the declarative form of one job: everything the preset
+// constructors (Continuous, StripedSequential, MixedReadWrite,
+// StaggeredBurst) take as Go arguments, as data. Seed-drawn parameters
+// (StaggerRange, BurstIntervalRange) are resolved at materialization time
+// from one RNG keyed to the cell seed, walking jobs in order — exactly
+// the draw order the hand-written scenarios use, so a spec that mirrors a
+// preset materializes byte-identical jobs.
+type JobSpec struct {
+	// ID is the job identifier in the %e.%H convention.
+	ID string
+	// Nodes is the job's compute-node allocation (its priority input).
+	Nodes int
+	// Procs is the number of identical processes. Ignored when
+	// Readers+Writers > 0; defaults to 1.
+	Procs int
+	// Readers/Writers, when either is positive, replace Procs with that
+	// many continuous readers followed by that many continuous writers.
+	Readers int
+	Writers int
+	// FileBytes is the per-process volume at paper scale; cells divide it
+	// by their scale (ScaledBytes).
+	FileBytes int64
+	// RPCBytes / MaxInflight override Pattern's defaults when positive.
+	RPCBytes    int64
+	MaxInflight int
+	// BurstRPCs > 0 makes every process issue periodic bursts separated
+	// by BurstInterval (or a seed-drawn interval from
+	// BurstIntervalRange when its width is positive).
+	BurstRPCs          int
+	BurstInterval      time.Duration
+	BurstIntervalRange [2]time.Duration
+	// Stagger delays process i's start by i·stagger (the fan-in wave);
+	// StaggerRange draws the stagger from the seed when its width is
+	// positive.
+	Stagger      time.Duration
+	StaggerRange [2]time.Duration
+	// Stripe is the file stripe width: 0 = full (every OSS), StripeHalf =
+	// half the cell's OSSes, n > 0 = exactly n targets.
+	Stripe int
+}
+
+// Validate reports whether the spec is self-consistent.
+func (js JobSpec) Validate() error {
+	if js.ID == "" {
+		return fmt.Errorf("workload: job spec with empty ID")
+	}
+	if js.Nodes < 1 {
+		return fmt.Errorf("workload: job spec %s has %d nodes, want >= 1", js.ID, js.Nodes)
+	}
+	if js.FileBytes <= 0 {
+		return fmt.Errorf("workload: job spec %s needs positive FileBytes", js.ID)
+	}
+	if js.Stripe < StripeHalf {
+		return fmt.Errorf("workload: job spec %s has stripe %d", js.ID, js.Stripe)
+	}
+	for _, r := range [][2]time.Duration{js.StaggerRange, js.BurstIntervalRange} {
+		if r[0] < 0 || r[1] < 0 {
+			return fmt.Errorf("workload: job spec %s has negative range bound %v", js.ID, r)
+		}
+	}
+	if js.BurstRPCs > 0 && js.BurstInterval == 0 && js.BurstIntervalRange[1] <= js.BurstIntervalRange[0] {
+		return fmt.Errorf("workload: bursty job spec %s needs a burst interval (fixed or range)", js.ID)
+	}
+	return nil
+}
+
+// MaterializeJobs builds the concrete job set of one cell from the
+// declarative specs: volumes divided by scale, "half" stripes resolved
+// against the cell's OSS count, ranged parameters drawn from one RNG
+// keyed to the seed (jobs walked in order: stagger before interval, the
+// scenario library's historical draw order), and — when jitter > 0 —
+// every process start offset by a seed-derived delay. The result is a
+// pure function of (specs, scale, osses, seed, jitter).
+func MaterializeJobs(specs []JobSpec, scale int64, osses int, seed int64, jitter time.Duration) ([]Job, error) {
+	r := NewRNG(seed)
+	jobs := make([]Job, 0, len(specs))
+	for _, js := range specs {
+		if err := js.Validate(); err != nil {
+			return nil, err
+		}
+		stagger := js.Stagger
+		if js.StaggerRange[1] > js.StaggerRange[0] {
+			stagger = r.Dur(js.StaggerRange[0], js.StaggerRange[1])
+		}
+		interval := js.BurstInterval
+		if js.BurstIntervalRange[1] > js.BurstIntervalRange[0] {
+			interval = r.Dur(js.BurstIntervalRange[0], js.BurstIntervalRange[1])
+		}
+		stripe := js.Stripe
+		if stripe == StripeHalf {
+			stripe = osses / 2
+			if stripe < 1 {
+				stripe = 1
+			}
+		}
+		base := Pattern{
+			FileBytes:     ScaledBytes(js.FileBytes, scale),
+			RPCBytes:      js.RPCBytes,
+			MaxInflight:   js.MaxInflight,
+			BurstRPCs:     js.BurstRPCs,
+			BurstInterval: interval,
+			StripeCount:   stripe,
+		}
+		var procs []Pattern
+		if js.Readers+js.Writers > 0 {
+			procs = make([]Pattern, 0, js.Readers+js.Writers)
+			for i := 0; i < js.Readers; i++ {
+				p := base
+				p.Op = tbf.OpRead
+				procs = append(procs, p)
+			}
+			for i := 0; i < js.Writers; i++ {
+				p := base
+				p.Op = tbf.OpWrite
+				procs = append(procs, p)
+			}
+		} else {
+			n := js.Procs
+			if n < 1 {
+				n = 1
+			}
+			procs = Replicate(base, n)
+		}
+		if stagger > 0 {
+			for i := range procs {
+				procs[i].StartDelay = time.Duration(i) * stagger
+			}
+		}
+		j := Job{ID: js.ID, Nodes: js.Nodes, Procs: procs}
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	if jitter > 0 {
+		jobs = JitterStarts(jobs, seed, jitter)
+	}
+	return jobs, nil
+}
