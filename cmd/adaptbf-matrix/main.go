@@ -20,7 +20,8 @@
 //	               [-admission token-bucket:cap=64MiB,refill=256MiB]
 //	               [-node-bin path/to/adaptbf-node] [-remote]
 //	               [-json report.json] [-csv-dir out/] [-ci-level 0.95]
-//	               [-study gift-scale|calibration|saturation] [-slo-p99 100ms]
+//	               [-study gift-scale|calibration|saturation|gate-contention]
+//	               [-slo-p99 100ms]
 //	               [-gate BENCH_matrix.json] [-bench-json BENCH_matrix.json]
 //	               [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	               [-obs] [-trace trace.json] [-trace-cells GIFT]
@@ -95,6 +96,13 @@
 // meets the -slo-p99 target — reporting capacity-at-SLO with seed-axis
 // confidence intervals and the goodput/rejected split at the knee
 // (overriding axes: -seeds/-osses/-duration; -scales caps the ramp).
+// -study gate-contention sweeps runner concurrency against four
+// request-gate implementations (single-lock TBF, sharded TBF, EDT, SFQ)
+// on the live in-process backend and reports p99 latency, served
+// throughput, and the gate_lock_wait_ns p99 per (gate, concurrency)
+// point with seed-axis confidence intervals; here -scales IS the
+// concurrency axis — the one study where it sweeps — and -seeds/-osses/
+// -duration/-speedup/-cell-timeout tune the rest.
 //
 // -obs runs every cell with the observability layer (internal/obs)
 // enabled: each cell's metrics snapshot lands in the report's "obs"
@@ -216,6 +224,16 @@ var studyRejectedFlags = map[string][]string{
 		"faults", "node-bin", "remote",
 		"obs", "trace", "trace-cells",
 		"workload", "record-trace", "replay-trace"},
+	// Gate-contention fixes its scenario, its four gate variants, and the
+	// live backend, and always runs with the obs layer (the lock-wait
+	// histogram IS the measurement); -scales (the concurrency axis),
+	// -seeds, -osses, -duration, -speedup, and -cell-timeout tune it.
+	report.GateContentionStudyName: {"verify", "bench-json", "cpuprofile", "memprofile",
+		"scenarios", "policies", "rate", "period",
+		"backend", "per-job-digests", "gate",
+		"faults", "node-bin", "remote", "admission", "slo-p99",
+		"obs", "trace", "trace-cells",
+		"workload", "record-trace", "replay-trace"},
 }
 
 // validateGridFlags checks the flag combinations of a plain (non-study)
@@ -334,7 +352,7 @@ func main() {
 		}
 		return names
 	}(), ","), "comma-separated scenario names (available: "+strings.Join(harness.ScenarioNames(), ", ")+"; the generative streaming scenarios need -backend sim)")
-	policies := flag.String("policies", "nobw,static,adaptbf,sfq", "comma-separated policies (nobw, static, adaptbf, sfq, gift)")
+	policies := flag.String("policies", "nobw,static,adaptbf,sfq", "comma-separated policies (nobw, static, adaptbf, sfq, edt, gift)")
 	scales := flag.String("scales", "64", "comma-separated volume divisors (1 = paper scale)")
 	osses := flag.String("osses", "1,2", "comma-separated OSS counts")
 	seeds := flag.String("seeds", "1", "comma-separated seeds")
@@ -360,7 +378,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the merged result as a schema-versioned JSON document to the given file")
 	csvDir := flag.String("csv-dir", "", "export every report table as CSV under the given directory")
 	ciLevel := flag.Float64("ci-level", harness.DefaultCILevel, "confidence level for the Student-t interval columns (0 < level < 1)")
-	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale, calibration, saturation)")
+	study := flag.String("study", "", "run a built-in study instead of the grid flags (available: gift-scale, calibration, saturation, gate-contention)")
 	obsFlag := flag.Bool("obs", false, "run every cell with the observability layer enabled (metrics snapshots in the report's obs section, served/rejected tallies on the progress lines)")
 	traceOut := flag.String("trace", "", "export every cell's spans as a Chrome trace-event JSON file (Perfetto-loadable) to the given path; implies -obs")
 	traceCells := flag.String("trace-cells", "", "keep only the cells whose name contains this substring in the -trace export")
@@ -417,15 +435,18 @@ func main() {
 		set := setFlags()
 		rejected, known := studyRejectedFlags[*study]
 		if !known {
-			log.Fatalf("unknown -study %q (available: %s, %s, %s)",
-				*study, report.GIFTScaleStudyName, report.CalibrationStudyName, report.SaturationStudyName)
+			log.Fatalf("unknown -study %q (available: %s, %s, %s, %s)",
+				*study, report.GIFTScaleStudyName, report.CalibrationStudyName,
+				report.SaturationStudyName, report.GateContentionStudyName)
 		}
 		for _, r := range rejected {
 			if set[r] {
 				log.Fatalf("-%s is not supported in -study %s mode (the study fixes its own grid and measurement)", r, *study)
 			}
 		}
-		if set["scales"] && len(scaleVals) > 1 {
+		// Gate-contention is the one study whose scale axis IS a sweep
+		// (runner concurrency); every other study fixes a single scale.
+		if set["scales"] && len(scaleVals) > 1 && *study != report.GateContentionStudyName {
 			log.Fatalf("-study mode sweeps one scale; got -scales %v", scaleVals)
 		}
 		var onCell func(harness.CellResult)
@@ -546,6 +567,38 @@ func main() {
 				}
 				fmt.Printf("study %s: %-40s %s over %d probes\n",
 					*study, p.Admission, cap, len(p.Probes))
+			}
+			fmt.Println()
+			doc, rep = st.Document, st.Report
+		case report.GateContentionStudyName:
+			opt := report.GateContentionStudyOptions{Workers: *workers, CILevel: *ciLevel, OnCell: onCell}
+			if set["scales"] {
+				// In this study the scale axis is runner concurrency.
+				opt.Concurrencies = scaleVals
+			}
+			if set["seeds"] {
+				opt.Seeds = seedVals
+			}
+			if set["osses"] && len(ossVals) > 0 {
+				opt.OSSes = ossVals[0]
+			}
+			if set["duration"] {
+				opt.Duration = *duration
+			}
+			if set["speedup"] {
+				opt.Speedup = *speedup
+			}
+			if set["cell-timeout"] {
+				opt.CellTimeout = *cellTimeout
+			}
+			st, err := report.RunGateContentionStudy(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, g := range st.Document.GateContention.Gates {
+				last := g.Points[len(g.Points)-1]
+				fmt.Printf("study %s: %-12s (%s, %d shards) lock p99 %.0f ns at concurrency %d\n",
+					*study, g.Gate, g.Policy, g.Shards, last.LockWaitP99NsMean, last.Concurrency)
 			}
 			fmt.Println()
 			doc, rep = st.Document, st.Report
@@ -797,6 +850,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("gate: every tracked policy's p99 inside its interval (%s)\n", *gate)
+		// The gate-throughput half: re-measure each tracked live gate
+		// implementation in-process (best-of-3 windows) and fail on a
+		// >20% drop from the recorded ops/sec baseline.
+		if spec.GateThroughput != nil {
+			tput, err := report.MeasureGateThroughputs(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, name := range spec.GateThroughput.GateNames() {
+				fmt.Printf("gate: %-11s throughput = %.2fM req/s (recorded %.2fM)\n",
+					name, tput[name]/1e6, spec.GateThroughput.Gates[name].OpsPerSec/1e6)
+			}
+			if err := report.CheckGateThroughput(spec, tput); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("gate: every tracked gate within %.0f%% of its recorded throughput\n",
+				report.GateThroughputTolerance*100)
+		}
 	}
 
 	if *verify {

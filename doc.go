@@ -25,8 +25,12 @@
 //     figure of the paper's evaluation (internal/des, internal/sim,
 //     internal/experiments, internal/metrics);
 //   - a live goroutine/RPC cluster mode (internal/transport,
-//     internal/cluster) running all five policies on the wall clock,
-//     including a central GIFT coupon-bank coordinator service;
+//     internal/cluster) running all six policies on the wall clock,
+//     including a central GIFT coupon-bank coordinator service and
+//     lock-striped request gates (cluster.ShardedTBF, sharded EDT);
+//   - an Earliest-Departure-Time pacing gate (internal/edt): per-flow
+//     departure stamps in a timestamp priority queue, the post-TBF
+//     pacing model, as a sixth policy on every backend;
 //   - a deployable node daemon (cmd/adaptbf-node, cluster.Node) serving
 //     an OSS or GIFT coordinator over TCP with graceful drain, plus a
 //     deterministic fault-injection layer (transport.Fault,
@@ -112,7 +116,7 @@
 // simulated, they are excluded from all determinism and fingerprint
 // claims.
 //
-// The FULL five-policy axis runs live, each mechanism deployed the way
+// The FULL six-policy axis runs live, each mechanism deployed the way
 // its paper describes it:
 //
 //   - NoBW: no rules; FCFS from the TBF fallback queue.
@@ -131,13 +135,33 @@
 //     serial central walk reproduced as actual RPCs, so its
 //     coordination cost (Result.TickTimes: per-walk round-trips;
 //     CtrlMsgs, RuleOps) is measured on the wire, not modeled.
+//   - EDT: the OSS's request gate paces by Earliest Departure Time
+//     (cluster.OSSConfig.EDT) — each flow carries one next-departure
+//     timestamp, each request is stamped departure = max(now, stamp)
+//     with the stamp advanced by bytes/rate, and a timestamp priority
+//     queue releases requests as the clock reaches them, with
+//     far-future departures clamped to a horizon instead of dropped
+//     (the gate contract has no drop path). The gate is striped across
+//     flow-hashed shards (cluster.DefaultGateShards): a flow's pacing
+//     state is one int64 in one shard, so flows never contend — the
+//     multi-core argument that moved production traffic shaping past
+//     token buckets. Like SFQ, an EDT server has no rule engine and no
+//     controller.
+//
+// On the TBF-ruled policies (StaticBW, AdapTBF, GIFT), setting
+// ClusterBackend.TBFShards > 1 swaps the single-mutex gate for
+// cluster.ShardedTBF: the same token buckets striped over flow-hashed
+// locks, rules broadcast to every shard, with each class's bucket
+// materialized only in the one shard its flow hashes to — so sharding
+// never multiplies a token budget (pinned by a -race conservation
+// test).
 //
 // To add a live policy: give cluster.OSS whatever per-server gate or
 // rule machinery the mechanism needs (SFQ shows the gate seam,
 // requestGate; GIFT shows the coordinator-service pattern over
 // transport.Request.Payload), wire a policy arm into
 // harness.ClusterBackend.RunCell that stands the machinery up and folds
-// its accounting into sim.Result, and extend the five-policy live smoke
+// its accounting into sim.Result, and extend the six-policy live smoke
 // in CI. Anything deterministic belongs in the simulator; anything
 // wall-clock belongs here.
 //
@@ -271,7 +295,14 @@
 // BENCH_matrix.json's regression_gate section tracks each policy's
 // interval, and `adaptbf-matrix -gate BENCH_matrix.json` (run in CI)
 // fails when a merged p99 drifts outside it — the simulator is
-// deterministic, so any excursion is a real behavioural change.
+// deterministic, so any excursion is a real behavioural change. The
+// same invocation then re-measures each live request gate's throughput
+// in-process (cluster.MeasureGateThroughput — the BenchmarkGate*
+// fixture: many enqueuers racing one dispatcher, best of three
+// windows) and fails on a drop of more than 20% from the req/s
+// baselines tracked in regression_gate.gate_throughput. That half is
+// wall-clock, so baselines bind comparable machines only; re-capture
+// them when the runner class changes, in the commit that explains it.
 //
 // RunGIFTScaleStudy (CLI: -study gift-scale) is the built-in study
 // reproducing the paper's decentralization claim at scale: GIFT's one
@@ -281,6 +312,23 @@
 // {1,2,4,8} with ≥5 seeds and reports per-OSS-count coordination cost,
 // priority fairness (node-normalized Jain index), and utilization with
 // confidence intervals, plus seed-paired GIFT-minus-AdapTBF gap rows.
+//
+// RunGateContentionStudy (CLI: -study gate-contention) measures the
+// serving path itself: on the live backend it sweeps runner concurrency
+// — the gate-contention scenario's Scale is the total concurrent client
+// processes, making this the one study where -scales is a sweep axis —
+// against four request-gate implementations: single-lock TBF,
+// lock-striped sharded TBF, EDT, and SFQ. Per (gate, concurrency)
+// point it reports seed-axis p99 latency, served throughput, and the
+// p99 of gate_lock_wait_ns, observed identically for every gate at the
+// requestGate seam (one histogram sample per lock acquisition). The
+// tbf vs sharded-tbf pair isolates lock striping — same buckets, same
+// StaticBW rules — while EDT replaces shared bucket state with
+// departure stamps. The document's "gate_contention" section (schema
+// v8, which also adds histogram bucket exports under per-cell obs)
+// carries the full sweep; CI smokes two concurrency points per push,
+// and the nightly ramp to 64 runners is where the scaling claim is
+// actually measurable.
 //
 // To add a study: build a harness.Matrix, run it, derive per-cell
 // scalars from the cells (pure functions of CellResult), fold them into

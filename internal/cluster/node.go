@@ -46,13 +46,14 @@ type NodeConfig struct {
 
 	// OSS configures the storage server ("oss" role). For the "sfq"
 	// policy the node installs the SFQ gate itself from SFQDepth and
-	// Nodes — leave OSS.SFQ nil.
+	// Nodes — leave OSS.SFQ nil; likewise for "edt" and OSS.EDT, whose
+	// byte rates the node derives from Nodes and MaxRate.
 	OSS OSSConfig
 	// Policy names the bandwidth-control machinery beside the OSS:
-	// "nobw" (default), "static", "adaptbf", "sfq", or "gift".
+	// "nobw" (default), "static", "adaptbf", "sfq", "edt", or "gift".
 	Policy string
 	// MaxRate is the target's token capacity in tokens/s (static,
-	// adaptbf, gift) and the coordinator's per-walk capacity hint.
+	// adaptbf, edt, gift) and the coordinator's per-walk capacity hint.
 	MaxRate float64
 	// Period is the controller/coordinator decision epoch in OSS time.
 	Period time.Duration
@@ -232,7 +233,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			ocfg.Admission = cfg.Admission
 		}
 		ocfg.Obs = n.obs
-		if cfg.Policy == "sfq" {
+		switch cfg.Policy {
+		case "sfq":
 			nodes := cfg.Nodes
 			ocfg.SFQ = &SFQConfig{
 				Depth: cfg.SFQDepth,
@@ -243,6 +245,22 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 					return 1
 				},
 			}
+		case "edt":
+			// The node-proportional byte-rate split StaticRules encodes
+			// as token rules (one token ≈ 1 MiB), expressed as the
+			// bytes/s EDT paces in.
+			nodes := cfg.Nodes
+			total := 0
+			for _, k := range nodes {
+				total += k
+			}
+			maxRate := cfg.MaxRate
+			ocfg.EDT = &EDTConfig{Rates: func(jobID string) float64 {
+				if total == 0 {
+					return 0
+				}
+				return float64(nodes[jobID]) / float64(total) * maxRate * (1 << 20)
+			}}
 		}
 		n.oss = NewOSS(ocfg)
 		if err := n.startOSSPolicy(ctlCtx); err != nil {
@@ -268,8 +286,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 func (n *Node) startOSSPolicy(ctlCtx context.Context) error {
 	cfg := n.cfg
 	switch cfg.Policy {
-	case "nobw", "sfq":
-		// nobw is FCFS; sfq's gate was installed at NewOSS.
+	case "nobw", "sfq", "edt":
+		// nobw is FCFS; sfq's and edt's gates were installed at NewOSS.
 	case "static":
 		jobs := make([]workload.Job, 0, len(cfg.Nodes))
 		for id, k := range cfg.Nodes {

@@ -19,6 +19,7 @@ import (
 	"adaptbf/internal/controller"
 	"adaptbf/internal/core"
 	"adaptbf/internal/device"
+	"adaptbf/internal/edt"
 	"adaptbf/internal/jobstats"
 	"adaptbf/internal/obs"
 	"adaptbf/internal/rules"
@@ -43,6 +44,26 @@ type SFQConfig struct {
 	Weights func(jobID string) float64
 }
 
+// EDTConfig selects Earliest Departure Time pacing for an OSS: the
+// request gate becomes a sharded edt.Scheduler — per-flow departure
+// timestamps (delay = bytes/rate) instead of shared token state, the
+// pacing model production traffic shaping moved to when single-lock
+// token buckets became the scaling wall. An EDT-gated OSS has no rule
+// engine and no AdapTBF controller; its rates are fixed at
+// construction.
+type EDTConfig struct {
+	// Rates returns a flow's pacing rate in BYTES per second, sampled
+	// once when the flow is first seen. Nil (or a non-positive return)
+	// leaves the flow unpaced.
+	Rates func(jobID string) float64
+	// Horizon clamps how far past now a departure may be stamped
+	// (Linux FQ drops beyond its horizon; this gate has no drop path,
+	// so it clamps). Zero selects edt.DefaultHorizon (2 s).
+	Horizon time.Duration
+	// Shards is the gate stripe count. Zero selects DefaultGateShards.
+	Shards int
+}
+
 // OSSConfig parameterizes a storage server.
 type OSSConfig struct {
 	// Device models the backing store. Zero value means device.Default().
@@ -55,6 +76,17 @@ type OSSConfig struct {
 	// SFQ, when non-nil, gates requests through Start-time Fair Queueing
 	// instead of the TBF scheduler (see SFQConfig).
 	SFQ *SFQConfig
+	// EDT, when non-nil, gates requests through sharded Earliest
+	// Departure Time pacing instead of the TBF scheduler (see
+	// EDTConfig). Mutually exclusive with SFQ; EDT wins if both are
+	// set.
+	EDT *EDTConfig
+	// TBFShards, when > 1, stripes the TBF gate across that many
+	// independently locked shards keyed by flow hash (see ShardedTBF),
+	// so concurrent runners stop serializing behind one root lock. The
+	// default (0 or 1) is the single-lock gate. Ignored when SFQ or
+	// EDT selects a different gate.
+	TBFShards int
 	// Admission selects the overload-protection policy in front of the
 	// server (package admission). The zero value is always-admit: the
 	// seam is skipped entirely. Rejected requests answer with a typed
@@ -74,8 +106,11 @@ type OSSConfig struct {
 }
 
 // requestGate is the scheduler standing between arriving requests and the
-// dispatcher — the live twin of the simulator's gate seam. *tbf.Scheduler
-// and *sfq.Scheduler both implement it.
+// dispatcher — the live twin of the simulator's gate seam. Every
+// implementation is safe for concurrent use: the single-threaded
+// schedulers (tbf, sfq, edt) are wrapped by the self-synchronized
+// gates in gates.go, which also observe gate_lock_wait_ns, so each
+// gate reports comparable lock-wait numbers from the same seam.
 type requestGate interface {
 	Enqueue(req *tbf.Request, now int64)
 	Dequeue(now int64) (req *tbf.Request, wake int64, ok bool)
@@ -93,11 +128,24 @@ type OSS struct {
 	tracker jobstats.Tracker
 	epoch   time.Time
 
+	// gate is self-synchronized (see gates.go); mu covers only the
+	// OSS's bookkeeping — outstanding/queued counters, admission state,
+	// byte accounting, and the RPC trace sequence — so gate contention
+	// is the gate's own, measured inside it, not smeared across every
+	// server operation.
+	gate requestGate
+	// TBF-gated servers expose their rule engine and token
+	// introspection through these; all nil for SFQ and EDT gates, which
+	// have no token rules.
+	eng          rules.Engine
+	bucketTokens func(now int64) float64
+	bucketLevels func(now int64, dst map[string]float64)
+	// SFQ-gated servers release a dispatch slot per served request and
+	// report slot occupancy for traces; both nil otherwise.
+	onServed func()
+	sfqInfo  func() (slots, depth int)
+
 	mu          sync.Mutex
-	gate        requestGate
-	sched       *tbf.Scheduler // nil when the gate is SFQ
-	sfqSched    *sfq.Scheduler // nil when the gate is TBF
-	onServed    func()         // SFQ dispatch-slot release; nil under TBF
 	outstanding map[int]int
 	adm         admission.Admitter // nil under always-admit
 	queued      int                // requests currently in the gate (admission bound input)
@@ -105,13 +153,12 @@ type OSS struct {
 
 	// Observability sinks, resolved once in NewOSS; all nil when obs is
 	// off, so every instrumented seam pays one nil check.
-	trace     *obs.Tracer
-	tid       int64
-	lockWaitH *obs.Histogram
-	tickCtr   *obs.Counter
-	borrowG   *obs.Gauge
-	bucketG   *obs.Gauge
-	depthG    *obs.Gauge
+	trace   *obs.Tracer
+	tid     int64
+	tickCtr *obs.Counter
+	borrowG *obs.Gauge
+	bucketG *obs.Gauge
+	depthG  *obs.Gauge
 
 	// Admission accounting, under mu. Offered counts every arriving
 	// request's payload; goodput only served ones — rejected and shed
@@ -149,25 +196,51 @@ func NewOSS(cfg OSSConfig) *OSS {
 		done:        make(chan struct{}),
 	}
 	o.adm = cfg.Admission.New()
+	var waitH *obs.Histogram
 	if cfg.Obs != nil {
 		o.trace = cfg.Obs.Tracer
 		o.tid = int64(cfg.ObsTID)
 		if m := cfg.Obs.Metrics; m != nil {
-			o.lockWaitH = m.Histogram(obs.HistGateLockWait)
+			waitH = m.Histogram(obs.HistGateLockWait)
 			o.tickCtr = m.Counter(obs.MetricCtrlTicks)
 			o.borrowG = m.Gauge(obs.GaugeBorrowed)
 			o.bucketG = m.Gauge(obs.GaugeBucketTokens)
 			o.depthG = m.Gauge(obs.GaugeQueueDepth)
 		}
 	}
-	if cfg.SFQ != nil {
+	switch {
+	case cfg.EDT != nil:
+		o.gate = newShardedEDT(cfg.EDT.Shards, edt.Config{
+			Rates:   cfg.EDT.Rates,
+			Horizon: int64(cfg.EDT.Horizon),
+		}, waitH)
+	case cfg.SFQ != nil:
 		q := sfq.New(cfg.SFQ.Depth, cfg.SFQ.Weights)
-		o.gate = q
-		o.sfqSched = q
-		o.onServed = q.Complete
-	} else {
-		o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth})
-		o.gate = o.sched
+		lg := newLockedGate(q, waitH)
+		o.gate = lg
+		o.onServed = func() { lg.withLock(q.Complete) }
+		o.sfqInfo = func() (slots, depth int) {
+			lg.withLock(func() { slots, depth = q.InService(), q.Depth() })
+			return
+		}
+	case cfg.TBFShards > 1:
+		st := NewShardedTBF(cfg.TBFShards, cfg.BucketDepth, waitH)
+		o.gate = st
+		o.eng = st.Engine()
+		o.bucketTokens = st.BucketTokens
+		o.bucketLevels = st.BucketLevelsInto
+	default:
+		sc := tbf.NewScheduler(tbf.Config{BucketDepth: cfg.BucketDepth})
+		lg := newLockedGate(sc, waitH)
+		o.gate = lg
+		o.eng = lockedTBFEngine{g: lg, sched: sc}
+		o.bucketTokens = func(now int64) (tokens float64) {
+			lg.withLock(func() { tokens = sc.BucketTokens(now) })
+			return
+		}
+		o.bucketLevels = func(now int64, dst map[string]float64) {
+			lg.withLock(func() { sc.BucketLevelsInto(now, dst) })
+		}
 	}
 	o.wg.Add(1)
 	go o.dispatch()
@@ -199,13 +272,7 @@ type admitted struct {
 // tracker, the gate, or the device, so it leaves no trace in demand or
 // throughput accounting.
 func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
-	if o.lockWaitH != nil {
-		t0 := time.Now()
-		o.mu.Lock()
-		o.lockWaitH.Observe(int64(time.Since(t0)))
-	} else {
-		o.mu.Lock()
-	}
+	o.mu.Lock()
 	now := o.Now()
 	o.offeredBytes += req.Bytes
 	var traceID uint64
@@ -243,13 +310,16 @@ func (o *OSS) Handle(req transport.Request, reply func(transport.Reply)) {
 		Stream:   req.Stream,
 		Userdata: admitted{reply: reply, deadline: deadline, traceID: traceID},
 	}
+	// Bookkeeping is committed under mu BEFORE the request enters the
+	// gate: the gate is independently locked, so the dispatcher could
+	// otherwise pop a request whose counters were never incremented.
 	o.outstanding[req.Stream]++
 	o.queued++
-	o.gate.Enqueue(r, now)
+	o.mu.Unlock()
 	if o.trace != nil {
 		o.trace.AsyncBegin("queue", "rpc", o.tid, traceID, now, nil)
 	}
-	o.mu.Unlock()
+	o.gate.Enqueue(r, now)
 	o.wake()
 }
 
@@ -275,26 +345,22 @@ func (o *OSS) dispatch() {
 	defer o.wg.Done()
 	var deviceFree int64 // OSS-time instant the device finishes queued work
 	for {
-		o.mu.Lock()
 		now := o.Now()
 		req, wakeAt, ok := o.gate.Dequeue(now)
-		var streams, sfqSlots int
 		if ok {
+			var streams int
+			o.mu.Lock()
 			o.queued--
 			streams = len(o.outstanding)
-			if o.trace != nil && o.sfqSched != nil {
-				sfqSlots = o.sfqSched.InService()
-			}
-		}
-		o.mu.Unlock()
+			o.mu.Unlock()
 
-		if ok {
 			ad := req.Userdata.(admitted)
 			if o.trace != nil {
 				o.trace.AsyncEnd("queue", "rpc", o.tid, ad.traceID, now, nil)
-				if o.sfqSched != nil {
+				if o.sfqInfo != nil {
+					slots, depth := o.sfqInfo()
 					o.trace.Instant("sfq.dispatch", "sfq", o.tid, now,
-						map[string]any{"slots": sfqSlots, "depth": o.sfqSched.Depth()})
+						map[string]any{"slots": slots, "depth": depth})
 				}
 			}
 			// Lazy deadline shedding (admission.Enqueue decisions): a
@@ -308,10 +374,10 @@ func (o *OSS) dispatch() {
 				} else {
 					delete(o.outstanding, req.Stream)
 				}
+				o.mu.Unlock()
 				if o.onServed != nil {
 					o.onServed() // frees the SFQ dispatch slot
 				}
-				o.mu.Unlock()
 				if o.trace != nil {
 					o.trace.AsyncEnd("rpc", "rpc", o.tid, ad.traceID, o.Now(),
 						map[string]any{"outcome": "shed"})
@@ -336,10 +402,10 @@ func (o *OSS) dispatch() {
 			} else {
 				delete(o.outstanding, req.Stream)
 			}
+			o.mu.Unlock()
 			if o.onServed != nil {
 				o.onServed() // frees the SFQ dispatch slot
 			}
-			o.mu.Unlock()
 			if o.trace != nil {
 				// The device phase is sequential by construction (one
 				// dispatcher), so a complete span nests cleanly; the RPC
@@ -419,55 +485,77 @@ func (o *OSS) AdmissionStats() (rejected, shed uint64, offeredBytes, goodputByte
 }
 
 // PendingJobs reports queued requests per job (the controller's backlog
-// source).
+// source). The gate is self-synchronized, so no OSS lock is taken.
 func (o *OSS) PendingJobs() map[string]int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	return o.gate.PendingJobs()
 }
 
-// lockedEngine adapts the scheduler's rule interface with the OSS lock
-// and a dispatcher wake after every mutation, since a rate change can make
-// a queue immediately eligible.
-type lockedEngine struct{ o *OSS }
-
-func (e lockedEngine) Rules() []tbf.Rule {
-	e.o.mu.Lock()
-	defer e.o.mu.Unlock()
-	return e.o.sched.Rules()
+// lockedTBFEngine adapts a single-lock TBF gate's rule interface: every
+// mutation runs under the gate lock, where the scheduler's state lives.
+type lockedTBFEngine struct {
+	g     *lockedGate
+	sched *tbf.Scheduler
 }
 
-func (e lockedEngine) StartRule(r tbf.Rule, now int64) error {
-	e.o.mu.Lock()
-	err := e.o.sched.StartRule(r, now)
-	e.o.mu.Unlock()
-	e.o.wake()
+func (e lockedTBFEngine) Rules() []tbf.Rule {
+	var out []tbf.Rule
+	e.g.withLock(func() { out = e.sched.Rules() })
+	return out
+}
+
+func (e lockedTBFEngine) StartRule(r tbf.Rule, now int64) error {
+	var err error
+	e.g.withLock(func() { err = e.sched.StartRule(r, now) })
 	return err
 }
 
-func (e lockedEngine) ChangeRule(name string, rate float64, order int, now int64) error {
-	e.o.mu.Lock()
-	err := e.o.sched.ChangeRule(name, rate, order, now)
-	e.o.mu.Unlock()
-	e.o.wake()
+func (e lockedTBFEngine) ChangeRule(name string, rate float64, order int, now int64) error {
+	var err error
+	e.g.withLock(func() { err = e.sched.ChangeRule(name, rate, order, now) })
 	return err
 }
 
-func (e lockedEngine) StopRule(name string, now int64) error {
-	e.o.mu.Lock()
-	err := e.o.sched.StopRule(name, now)
-	e.o.mu.Unlock()
-	e.o.wake()
+func (e lockedTBFEngine) StopRule(name string, now int64) error {
+	var err error
+	e.g.withLock(func() { err = e.sched.StopRule(name, now) })
 	return err
 }
 
-// ErrNoRuleEngine is returned by rule operations on an SFQ-gated OSS:
-// SFQ dispatches by start tag, not token rules, so there is nothing for
-// a rule to act on.
-var ErrNoRuleEngine = errors.New("cluster: SFQ-gated OSS has no TBF rule engine")
+// wakeEngine decorates a rule engine with a dispatcher wake after every
+// mutation, since a rate change can make a queue immediately eligible.
+type wakeEngine struct {
+	inner rules.Engine
+	wake  func()
+}
 
-// noRuleEngine is the Engine of an SFQ-gated OSS: every mutation fails
-// with ErrNoRuleEngine instead of silently disappearing.
+func (e wakeEngine) Rules() []tbf.Rule { return e.inner.Rules() }
+
+func (e wakeEngine) StartRule(r tbf.Rule, now int64) error {
+	err := e.inner.StartRule(r, now)
+	e.wake()
+	return err
+}
+
+func (e wakeEngine) ChangeRule(name string, rate float64, order int, now int64) error {
+	err := e.inner.ChangeRule(name, rate, order, now)
+	e.wake()
+	return err
+}
+
+func (e wakeEngine) StopRule(name string, now int64) error {
+	err := e.inner.StopRule(name, now)
+	e.wake()
+	return err
+}
+
+// ErrNoRuleEngine is returned by rule operations on an OSS whose gate
+// has no token rules (SFQ dispatches by start tag, EDT by departure
+// timestamp), so there is nothing for a rule to act on.
+var ErrNoRuleEngine = errors.New("cluster: this OSS's gate has no TBF rule engine (SFQ and EDT dispatch without token rules)")
+
+// noRuleEngine is the Engine of a ruleless (SFQ- or EDT-gated) OSS:
+// every mutation fails with ErrNoRuleEngine instead of silently
+// disappearing.
 type noRuleEngine struct{}
 
 func (noRuleEngine) Rules() []tbf.Rule                            { return nil }
@@ -475,14 +563,15 @@ func (noRuleEngine) StartRule(tbf.Rule, int64) error              { return ErrNo
 func (noRuleEngine) ChangeRule(string, float64, int, int64) error { return ErrNoRuleEngine }
 func (noRuleEngine) StopRule(string, int64) error                 { return ErrNoRuleEngine }
 
-// Engine returns a thread-safe rules.Engine over this OSS's scheduler,
-// for the rule daemon or for installing static/administrative rules. On
-// an SFQ-gated OSS every mutation fails with ErrNoRuleEngine.
+// Engine returns a thread-safe rules.Engine over this OSS's scheduler
+// (single-lock or sharded), for the rule daemon or for installing
+// static/administrative rules. On an SFQ- or EDT-gated OSS every
+// mutation fails with ErrNoRuleEngine.
 func (o *OSS) Engine() rules.Engine {
-	if o.sched == nil {
+	if o.eng == nil {
 		return noRuleEngine{}
 	}
-	return lockedEngine{o}
+	return wakeEngine{inner: o.eng, wake: o.wake}
 }
 
 // observeTick feeds one AdapTBF controller tick into the obs sinks —
@@ -500,14 +589,14 @@ func (o *OSS) observeTick(rep controller.TickReport) {
 	if o.trace != nil {
 		buckets = make(map[string]float64)
 	}
-	o.mu.Lock()
 	var tokens float64
-	if o.sched != nil {
-		tokens = o.sched.BucketTokens(rep.Now)
+	if o.bucketTokens != nil {
+		tokens = o.bucketTokens(rep.Now)
 		if buckets != nil {
-			o.sched.BucketLevelsInto(rep.Now, buckets)
+			o.bucketLevels(rep.Now, buckets)
 		}
 	}
+	o.mu.Lock()
 	depth := o.queued
 	o.mu.Unlock()
 	if o.tickCtr != nil {
@@ -531,8 +620,8 @@ func (o *OSS) observeTick(rep controller.TickReport) {
 // the local engine — no information leaves the storage server, which is
 // the paper's decentralization property. Run it with go ctrl.Run(ctx).
 func (o *OSS) NewController(nodes controller.NodeMapper, maxRate float64, period time.Duration, opts ...core.Option) *controller.Controller {
-	if o.sched == nil {
-		panic("cluster: an SFQ-gated OSS has no TBF rules for a controller to drive")
+	if o.eng == nil {
+		panic("cluster: an SFQ- or EDT-gated OSS has no TBF rules for a controller to drive")
 	}
 	cfg := controller.Config{
 		Stats:  &o.tracker,

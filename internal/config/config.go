@@ -57,8 +57,10 @@ func ParsePolicy(s string) (sim.Policy, error) {
 		return sim.SFQ, nil
 	case "gift":
 		return sim.GIFT, nil
+	case "edt":
+		return sim.EDT, nil
 	default:
-		return 0, fmt.Errorf("config: unknown policy %q (want nobw, static, adaptbf, sfq, or gift)", s)
+		return 0, fmt.Errorf("config: unknown policy %q (want nobw, static, adaptbf, sfq, edt, or gift)", s)
 	}
 }
 

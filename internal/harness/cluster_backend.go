@@ -32,13 +32,17 @@ import (
 // partake in golden fingerprints, and CellResult.Backend = "live" marks
 // them in every report.
 //
-// All five policies run live. NoBW is FCFS; StaticBW installs fixed
+// All six policies run live. NoBW is FCFS; StaticBW installs fixed
 // priority-proportional rules at start; AdapTBF runs one independent
 // controller per OSS; SFQ gates each OSS through a node-weighted
 // sfq.Scheduler (cluster.SFQConfig); GIFT stands up one central
 // coupon-bank coordinator (cluster.GIFTCoordinator) that every OSS's
 // agent consults over the transport each epoch — the serial central walk
-// as actual RPCs, its cost measured on the wire.
+// as actual RPCs, its cost measured on the wire; EDT gates each OSS
+// through sharded Earliest-Departure-Time pacing (cluster.EDTConfig) at
+// the same node-proportional rates StaticBW encodes as token rules.
+// TBFShards additionally stripes the token-bucket gate itself
+// (cluster.ShardedTBF) for the TBF-family policies.
 //
 // A cell ends when every bounded job finishes, when the matrix Duration
 // elapses in OSS time (Done stays false, like the simulator hitting its
@@ -57,6 +61,11 @@ type ClusterBackend struct {
 	// discard tokens on every oversleep; the default of 16 (vs the
 	// simulator's Lustre-default 3) absorbs that jitter.
 	BucketDepth float64
+	// TBFShards, when > 1, stripes each OSS's token-bucket gate across
+	// that many locks keyed by flow hash (cluster.ShardedTBF) instead
+	// of the single-lock gate, for the TBF-family policies (NoBW,
+	// StaticBW, AdapTBF, GIFT). The gate-contention study sweeps this.
+	TBFShards int
 }
 
 // liveDefaultBucketDepth absorbs wall-clock timer jitter (see
@@ -100,9 +109,9 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		return CellOutcome{}, err
 	}
 	switch spec.Cell.Policy {
-	case sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT:
+	case sim.NoBW, sim.StaticBW, sim.AdapTBF, sim.SFQ, sim.GIFT, sim.EDT:
 	default:
-		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF, SFQ(D), GIFT)", spec.Cell.Policy)
+		return CellOutcome{}, fmt.Errorf("harness: policy %v has no live-cluster implementation (supported: No BW, Static BW, AdapTBF, SFQ(D), GIFT, EDT)", spec.Cell.Policy)
 	}
 	if spec.Faults.CrashOSS {
 		return CellOutcome{}, fmt.Errorf("harness: the in-process live backend has no OSS process to crash; use -backend remote for crash/restart faults")
@@ -159,12 +168,16 @@ func (b *ClusterBackend) RunCell(ctx context.Context, spec CellSpec) (CellOutcom
 		BucketDepth: depth,
 		Speedup:     speedup,
 		Admission:   spec.Admission,
+		TBFShards:   b.TBFShards,
 	}
-	if spec.Cell.Policy == sim.SFQ {
+	switch spec.Cell.Policy {
+	case sim.SFQ:
 		cfg.SFQ = &cluster.SFQConfig{
 			Depth:   spec.SFQDepth,
 			Weights: func(jobID string) float64 { return float64(nodesOf[jobID]) },
 		}
+	case sim.EDT:
+		cfg.EDT = &cluster.EDTConfig{Rates: edtByteRates(nodesOf, spec.MaxTokenRate)}
 	}
 	osses := make([]*cluster.OSS, spec.Cell.OSSes)
 	for i := range osses {
@@ -420,6 +433,23 @@ func foldLiveResult(spec CellSpec, jobs []workload.Job, outcomes []liveJobOutcom
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// edtByteRates converts the matrix token rate into EDT's per-flow byte
+// rates: a job's node share of maxRate tokens/s, one token ≈ 1 MiB —
+// the same node-proportional split workload.StaticRules encodes as
+// token rules, expressed in the bytes/s EDT paces in.
+func edtByteRates(nodesOf map[string]int, maxRate float64) func(jobID string) float64 {
+	total := 0
+	for _, n := range nodesOf {
+		total += n
+	}
+	return func(jobID string) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(nodesOf[jobID]) / float64(total) * maxRate * (1 << 20)
+	}
 }
 
 // installLiveStaticRules applies the Static BW baseline to live servers:

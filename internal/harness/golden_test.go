@@ -85,3 +85,40 @@ func TestGoldenFingerprintScratchInvariant(t *testing.T) {
 		t.Fatalf("digest-bearing fingerprint differs between workers=1 and workers=%d", runtime.NumCPU())
 	}
 }
+
+// TestEDTFingerprintWorkerInvariant extends the determinism claim to
+// the EDT policy, which is not in the golden grid (DefaultPolicies and
+// the golden constant predate it): simulated EDT cells must hash
+// bit-identically between a single worker and a full worker pool. EDT's
+// per-flow departure stamps are ordinary simulator state, so any
+// divergence here means stamp assignment leaked wall-clock or
+// worker-scheduling order into the cell.
+func TestEDTFingerprintWorkerInvariant(t *testing.T) {
+	edtMatrix := func() Matrix {
+		return Matrix{
+			Scenarios: DefaultScenarios(),
+			Policies:  []sim.Policy{sim.EDT},
+			Scales:    []int64{64},
+			OSSes:     []int{1, 2},
+			Seeds:     []int64{1, 2},
+			Duration:  30 * time.Minute,
+		}
+	}
+	seq, err := Run(context.Background(), edtMatrix(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), edtMatrix(), WithWorkers(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Fingerprint() != par.Fingerprint() {
+		t.Fatalf("EDT fingerprint differs between workers=1 (%s) and workers=%d (%s)",
+			seq.Fingerprint(), runtime.NumCPU(), par.Fingerprint())
+	}
+	for _, cr := range seq.Cells {
+		if cr.Err != nil {
+			t.Fatalf("EDT cell %v failed: %v", cr.Cell, cr.Err)
+		}
+	}
+}

@@ -90,6 +90,8 @@ func nodePolicyFlag(p sim.Policy) (string, error) {
 		return "sfq", nil
 	case sim.GIFT:
 		return "gift", nil
+	case sim.EDT:
+		return "edt", nil
 	}
 	return "", fmt.Errorf("harness: policy %v has no remote implementation", p)
 }

@@ -112,6 +112,55 @@ func SaturationRampScenario() Scenario {
 	}
 }
 
+// GateContentionScenario is the gate-stress workload behind the
+// gate-contention study. Like the saturation ramp — and unlike every
+// volume-divisor preset — Scale is not a volume divisor: it is the
+// total number of concurrent client processes, spread across four flows
+// of unequal priority. Every process issues small (64 KiB) RPCs from an
+// unbounded file with a short in-flight window, so the cell runs
+// flat-out until the matrix Duration caps it and every served request
+// crossed the OSS's request gate while Scale-1 peers were hammering the
+// same gate. Small RPCs maximize gate acquisitions per byte; four flows
+// give flow-hashed sharded gates something to actually stripe. It lives
+// in BuiltinScenarios (selectable via -scenarios) but deliberately not
+// in DefaultScenarios: growing that list would move the golden
+// fingerprint, and concurrency-scale semantics are nonsense in a volume
+// sweep.
+func GateContentionScenario() Scenario {
+	return Scenario{
+		Name: "gate-contention",
+		Jobs: func(p CellParams) []workload.Job {
+			procs := int(p.Scale)
+			if procs < 4 {
+				procs = 4
+			}
+			flows := []struct {
+				id    string
+				nodes int
+			}{
+				{"hot.n06", 6},
+				{"warm.n03", 3},
+				{"cool.n02", 2},
+				{"cold.n01", 1},
+			}
+			per, rem := procs/len(flows), procs%len(flows)
+			jobs := make([]workload.Job, 0, len(flows))
+			for i, f := range flows {
+				n := per
+				if i < rem {
+					n++
+				}
+				jobs = append(jobs, workload.Job{
+					ID:    f.id,
+					Nodes: f.nodes,
+					Procs: workload.Replicate(workload.Pattern{RPCBytes: 64 << 10, MaxInflight: 2}, n),
+				})
+			}
+			return jitterStarts(jobs, p.Seed, 20*time.Millisecond)
+		},
+	}
+}
+
 // ---- generative (streaming) scenarios ----
 
 // specScenario wraps a workgen spec as a Scenario. Materialized specs
@@ -206,6 +255,7 @@ func BuiltinScenarios() []Scenario {
 		PoissonMixScenario(),
 		GammaBurstScenario(),
 		DiurnalTenantsScenario(),
+		GateContentionScenario(),
 	)
 }
 

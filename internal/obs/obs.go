@@ -56,8 +56,13 @@ const (
 	// GaugeQueueDepth is the request-gate backlog sampled at the latest
 	// controller epoch.
 	GaugeQueueDepth = "gate_queue_depth"
-	// HistGateLockWait measures time spent waiting on the live OSS's
-	// request-gate mutex (wall nanoseconds; live/remote backends only).
+	// HistGateLockWait measures time spent waiting to acquire a live
+	// OSS request-gate lock (wall nanoseconds; live/remote backends
+	// only). The observation lives inside the gate wrappers themselves
+	// — one sample per lock acquisition, whichever gate (single-lock
+	// TBF, sharded TBF, sharded EDT, SFQ) and whichever stripe — so
+	// every gate reports comparable contention numbers from the same
+	// seam. The gate-contention study compares these distributions.
 	HistGateLockWait = "gate_lock_wait_ns"
 )
 
@@ -189,11 +194,41 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// A HistogramSnapshot is the exported view of one histogram.
+// A HistogramSnapshot is the exported view of one histogram. Buckets
+// holds the power-of-two counts (bucket i counts observations in
+// [2^(i-1), 2^i) nanoseconds), trimmed of trailing zeros; it is what
+// makes quantiles of merged snapshots computable downstream.
 type HistogramSnapshot struct {
-	Count int64 `json:"count"`
-	SumNs int64 `json:"sum_ns"`
-	MaxNs int64 `json:"max_ns"`
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds from
+// the power-of-two buckets: the upper bound 2^i of the bucket holding
+// the q·Count-th observation, capped at the exact MaxNs. Returns 0 for
+// an empty histogram or one snapshotted without buckets.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			upper := int64(1) << uint(i) // bucket i spans [2^(i-1), 2^i)
+			if upper > h.MaxNs {
+				upper = h.MaxNs
+			}
+			return upper
+		}
+	}
+	return h.MaxNs
 }
 
 // A Snapshot is the point-in-time value of every metric in a registry —
@@ -230,11 +265,26 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			s.Histograms[name] = HistogramSnapshot{
+			hs := HistogramSnapshot{
 				Count: h.count.Load(),
 				SumNs: h.sum.Load(),
 				MaxNs: h.max.Load(),
 			}
+			// Export the buckets trimmed of the zero tail, so a typical
+			// (µs-scale) histogram serializes ~20 numbers, not 40.
+			last := -1
+			for i := range h.buckets {
+				if h.buckets[i].Load() > 0 {
+					last = i
+				}
+			}
+			if last >= 0 {
+				hs.Buckets = make([]int64, last+1)
+				for i := 0; i <= last; i++ {
+					hs.Buckets[i] = h.buckets[i].Load()
+				}
+			}
+			s.Histograms[name] = hs
 		}
 	}
 	return s
@@ -263,6 +313,16 @@ func (s *Snapshot) Merge(o Snapshot) {
 		cur.SumNs += v.SumNs
 		if v.MaxNs > cur.MaxNs {
 			cur.MaxNs = v.MaxNs
+		}
+		if len(v.Buckets) > 0 {
+			if len(v.Buckets) > len(cur.Buckets) {
+				grown := make([]int64, len(v.Buckets))
+				copy(grown, cur.Buckets)
+				cur.Buckets = grown
+			}
+			for i, n := range v.Buckets {
+				cur.Buckets[i] += n
+			}
 		}
 		s.Histograms[name] = cur
 	}

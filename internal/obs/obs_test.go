@@ -73,6 +73,44 @@ func TestSnapshotMerge(t *testing.T) {
 	if h := s.Histograms[HistGateLockWait]; h.Count != 2 || h.SumNs != 60 || h.MaxNs != 50 {
 		t.Fatalf("histogram merge wrong: %+v", h)
 	}
+	// The bucket fold must keep quantiles computable: 10 lands in
+	// bucket 4 ([8,16)), 50 in bucket 6 ([32,64)).
+	h := s.Histograms[HistGateLockWait]
+	var total int64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("merged buckets hold %d observations, want 2: %v", total, h.Buckets)
+	}
+	if got := h.Quantile(0.5); got != 16 {
+		t.Fatalf("p50 = %d, want 16 (upper bound of 10's bucket)", got)
+	}
+	if got := h.Quantile(0.99); got != 50 {
+		t.Fatalf("p99 = %d, want 50 (capped at exact max)", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(HistGateLockWait)
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket 7: [64,128)
+	}
+	h.Observe(1 << 20) // one tail outlier
+	hs := reg.Snapshot().Histograms[HistGateLockWait]
+	if got := hs.Quantile(0.5); got != 128 {
+		t.Fatalf("p50 = %d, want 128", got)
+	}
+	if got := hs.Quantile(0.99); got != 128 {
+		t.Fatalf("p99 = %d, want 128 (99 of 100 observations below it)", got)
+	}
+	if got := hs.Quantile(1.0); got != 1<<20 {
+		t.Fatalf("p100 = %d, want the exact max", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
 }
 
 func TestWritePrometheusStable(t *testing.T) {

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"adaptbf/internal/cluster"
 	"adaptbf/internal/harness"
 	"adaptbf/internal/stats"
 )
@@ -24,6 +26,11 @@ type GateSpec struct {
 	Grid string `json:"grid,omitempty"`
 	// Policies maps a policy name (sim.Policy.String()) to its bounds.
 	Policies map[string]GateInterval `json:"policies"`
+	// GateThroughput, when present, adds the live gate-throughput half
+	// of the check: each tracked gate implementation is re-measured
+	// in-process and must stay within GateThroughputTolerance of its
+	// recorded ops/sec.
+	GateThroughput *GateThroughputSpec `json:"gate_throughput,omitempty"`
 }
 
 // A GateInterval bounds one policy's merged p99 latency in microseconds.
@@ -104,6 +111,103 @@ func CheckGate(res *harness.MatrixResult, spec GateSpec) error {
 		if got < iv.P99USMin || got > iv.P99USMax {
 			errs = append(errs, fmt.Errorf("report: policy %q p99 = %.1fµs outside tracked interval [%.1f, %.1f]µs",
 				name, got, iv.P99USMin, iv.P99USMax))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// GateThroughputTolerance is the fraction a gate's measured throughput
+// may fall below its recorded ops/sec before the check fails: 0.20
+// means anything under 80% of the baseline is a regression. Unlike the
+// deterministic p99 intervals, throughput is wall-clock, so the bound
+// is one-sided — running faster than the baseline is never an error.
+const GateThroughputTolerance = 0.20
+
+// Best-of-3 150ms windows per gate: long enough for the scheduler to
+// spread enqueuers across cores, short enough that the whole check adds
+// ~1.5s to a -gate run, and the max over passes sheds one-off noise.
+const (
+	gateThroughputWindow = 150 * time.Millisecond
+	gateThroughputPasses = 3
+)
+
+// A GateThroughputSpec is the gate-throughput section of a regression
+// gate: per gate implementation (cluster.GateThroughputNames), the
+// ops/sec baseline captured by MeasureGateThroughputs on the tracked
+// machine class. Wall-clock, so baselines only bind runs on comparable
+// hardware — re-capture alongside a machine change, in the commit that
+// explains it.
+type GateThroughputSpec struct {
+	// Comment and Machine document the capture, like GateSpec.Grid.
+	Comment string `json:"comment,omitempty"`
+	Machine string `json:"machine,omitempty"`
+	// Gates maps a gate name to its recorded baseline.
+	Gates map[string]GateThroughputBound `json:"gates"`
+}
+
+// A GateThroughputBound records one gate implementation's baseline
+// throughput in requests through the gate per second.
+type GateThroughputBound struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// GateNames reports the tracked gate names in sorted order.
+func (s *GateThroughputSpec) GateNames() []string {
+	names := make([]string, 0, len(s.Gates))
+	for name := range s.Gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MeasureGateThroughputs re-measures every gate the spec tracks
+// (best of gateThroughputPasses windows each, via
+// cluster.MeasureGateThroughput) and returns name → measured ops/sec.
+// A tracked gate the cluster package cannot stand up is an error: the
+// check must not pass vacuously because a gate was renamed.
+func MeasureGateThroughputs(spec GateSpec) (map[string]float64, error) {
+	if spec.GateThroughput == nil {
+		return nil, nil
+	}
+	measured := make(map[string]float64, len(spec.GateThroughput.Gates))
+	for _, name := range spec.GateThroughput.GateNames() {
+		var best float64
+		for pass := 0; pass < gateThroughputPasses; pass++ {
+			ops, err := cluster.MeasureGateThroughput(name, gateThroughputWindow)
+			if err != nil {
+				return nil, fmt.Errorf("report: measuring gate %q throughput: %w", name, err)
+			}
+			if ops > best {
+				best = ops
+			}
+		}
+		measured[name] = best
+	}
+	return measured, nil
+}
+
+// CheckGateThroughput verifies measured gate throughputs against the
+// spec's recorded baselines: any gate more than GateThroughputTolerance
+// below its ops/sec baseline fails, as does a tracked gate that was not
+// measured at all. All violations are joined. A spec without a
+// gate_throughput section checks nothing and returns nil.
+func CheckGateThroughput(spec GateSpec, measured map[string]float64) error {
+	if spec.GateThroughput == nil {
+		return nil
+	}
+	var errs []error
+	for _, name := range spec.GateThroughput.GateNames() {
+		bound := spec.GateThroughput.Gates[name]
+		got, ok := measured[name]
+		if !ok || got <= 0 {
+			errs = append(errs, fmt.Errorf("report: tracked gate %q was not measured", name))
+			continue
+		}
+		floor := bound.OpsPerSec * (1 - GateThroughputTolerance)
+		if got < floor {
+			errs = append(errs, fmt.Errorf("report: gate %q throughput = %.0f ops/s, more than %.0f%% below the recorded %.0f ops/s (floor %.0f)",
+				name, got, GateThroughputTolerance*100, bound.OpsPerSec, floor))
 		}
 	}
 	return errors.Join(errs...)

@@ -95,13 +95,46 @@ func TestLoadGate(t *testing.T) {
 	}
 }
 
+func TestCheckGateThroughput(t *testing.T) {
+	spec := GateSpec{GateThroughput: &GateThroughputSpec{
+		Gates: map[string]GateThroughputBound{
+			"tbf": {OpsPerSec: 1e6},
+			"edt": {OpsPerSec: 1e6},
+		},
+	}}
+	// Exactly at the 20% floor passes; anything below it fails, naming
+	// the gate.
+	floor := 1e6 * (1 - GateThroughputTolerance)
+	if err := CheckGateThroughput(spec, map[string]float64{"tbf": floor, "edt": 2e6}); err != nil {
+		t.Fatalf("at-floor throughput failed: %v", err)
+	}
+	err := CheckGateThroughput(spec, map[string]float64{"tbf": floor - 1, "edt": 2e6})
+	if err == nil || !strings.Contains(err.Error(), `"tbf"`) {
+		t.Fatalf("below-floor gate: err = %v", err)
+	}
+	// A tracked gate that was not measured must fail loudly, not pass
+	// vacuously.
+	if err := CheckGateThroughput(spec, map[string]float64{"tbf": 1e6}); err == nil {
+		t.Fatal("unmeasured tracked gate passed vacuously")
+	}
+	// A spec without the section checks nothing.
+	if err := CheckGateThroughput(GateSpec{}, nil); err != nil {
+		t.Fatalf("sectionless spec: %v", err)
+	}
+}
+
 // TestGateMatchesTrackedFile: the repository's own BENCH_matrix.json
 // gate must pass against a fresh run of the default CLI grid — this is
-// the same check CI's gate step performs.
+// the same check CI's gate step performs (its gate-throughput half is
+// wall-clock and exercised by the CLI, not here; this test only pins
+// that the tracked file carries the section).
 func TestGateMatchesTrackedFile(t *testing.T) {
 	spec, err := LoadGate(filepath.Join("..", "..", "BENCH_matrix.json"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if spec.GateThroughput == nil || len(spec.GateThroughput.Gates) != 3 {
+		t.Fatalf("tracked gate_throughput section missing or wrong size: %+v", spec.GateThroughput)
 	}
 	res, err := harness.Run(context.Background(), harness.Matrix{
 		Scenarios: harness.DefaultScenarios(),

@@ -74,7 +74,18 @@ import (
 // (name, canonical SHA-256, path), the completed stream-job count, and
 // the recorded trace path. Cells from plain Go-preset materialized
 // scenarios are unchanged apart from the version stamp.
-const SchemaVersion = 7
+//
+// v8 (gate-contention study): histogram snapshots under obs carry their
+// power-of-two bucket counts (buckets) beside count/sum/max, so
+// documents hold full wait-time distributions, not just totals.
+// Gate-contention-study documents (kind "gate-contention") carry the
+// per-gate concurrency sweep under gate_contention: for each gate
+// implementation (single-lock TBF, sharded TBF, EDT, SFQ) and each
+// runner-concurrency point, seed-axis p99 latency, served throughput,
+// and the gate_lock_wait_ns p99 measured at the shared requestGate
+// seam. Plain matrix documents are unchanged apart from the version
+// stamp and the histogram buckets.
+const SchemaVersion = 8
 
 // A Document is the machine-readable form of a merged matrix run.
 type Document struct {
@@ -86,12 +97,13 @@ type Document struct {
 	Workers       int     `json:"workers"`
 	Fingerprint   string  `json:"fingerprint"`
 
-	Grid        Grid         `json:"grid"`
-	Cells       []Cell       `json:"cells"`
-	PolicyMeans []PolicyMean `json:"policy_means"`
-	Study       *Study       `json:"study,omitempty"`
-	Calibration *Calibration `json:"calibration,omitempty"`
-	Saturation  *Saturation  `json:"saturation,omitempty"`
+	Grid           Grid            `json:"grid"`
+	Cells          []Cell          `json:"cells"`
+	PolicyMeans    []PolicyMean    `json:"policy_means"`
+	Study          *Study          `json:"study,omitempty"`
+	Calibration    *Calibration    `json:"calibration,omitempty"`
+	Saturation     *Saturation     `json:"saturation,omitempty"`
+	GateContention *GateContention `json:"gate_contention,omitempty"`
 }
 
 // Grid records the swept axes in canonical order, recovered from the

@@ -44,6 +44,7 @@ import (
 	"adaptbf/internal/core"
 	"adaptbf/internal/des"
 	"adaptbf/internal/device"
+	"adaptbf/internal/edt"
 	"adaptbf/internal/gift"
 	"adaptbf/internal/jobstats"
 	"adaptbf/internal/metrics"
@@ -60,13 +61,17 @@ import (
 type Policy int
 
 // The paper's three evaluation mechanisms, plus the related-work
-// fair-queueing baseline.
+// fair-queueing baseline, the GIFT centralized allocator, and EDT
+// (Earliest Departure Time) pacing — the per-request departure-stamp
+// model production traffic shaping adopted when single-lock token
+// buckets became the scaling wall.
 const (
 	NoBW Policy = iota
 	StaticBW
 	AdapTBF
 	SFQ
 	GIFT
+	EDT
 )
 
 // String names the policy as the paper does.
@@ -82,6 +87,8 @@ func (p Policy) String() string {
 		return "SFQ(D)"
 	case GIFT:
 		return "GIFT"
+	case EDT:
+		return "EDT"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -598,6 +605,12 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 		s.staticJobs = c.Jobs
 	}
 	s.procsByJob = make([][]*procState, len(s.jobIDs))
+	// Total node count across jobs — the denominator of EDT's fixed
+	// per-flow rate shares (mirrors workload.StaticRules' split).
+	totalNodes := 0
+	for _, n := range s.nodesByJob {
+		totalNodes += n
+	}
 	// OST and process states live in two slabs: one allocation each for
 	// the whole stack instead of one per object.
 	ostSlab := make([]ostState, c.OSTs)
@@ -618,6 +631,19 @@ func newSimulation(c Config, scratch *Scratch) *simulation {
 			o.gate = q
 			o.sfqSched = q
 			o.onServed = q.Complete
+		} else if c.Policy == EDT {
+			// EDT paces in bytes; a token is one RPC ≈ 1 MiB (the
+			// MaxTokenRate convention), so a job's fixed per-OST byte
+			// rate is its node share of T_i converted to bytes/s —
+			// the same split Static BW's rules encode as token rates.
+			q := edt.New(edt.Config{Rates: func(jobID string) float64 {
+				if totalNodes == 0 {
+					return 0
+				}
+				return float64(s.nodesByJob[jobID]) / float64(totalNodes) * c.MaxTokenRate * (1 << 20)
+			}})
+			q.SetJobs(s.jobIDs)
+			o.gate = q
 		} else {
 			o.sched = tbf.NewScheduler(tbf.Config{BucketDepth: c.BucketDepth})
 			o.sched.SetJobCount(len(s.jobIDs))
